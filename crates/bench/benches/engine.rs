@@ -1,0 +1,165 @@
+//! Benchmarks of the MapReduce engine itself: serialization, shuffle
+//! sort/merge, the wave scheduler, and complete jobs — the pieces whose
+//! costs §3–§4 of the paper reason about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use gmeans::mr::{CenterSet, KMeansJob, SplitTestSpec, TestClustersJob};
+use gmeans::prelude::*;
+use gmr_datagen::GaussianMixture;
+use gmr_linalg::SegmentProjector;
+use gmr_mapreduce::cluster::ClusterConfig;
+use gmr_mapreduce::cost::makespan;
+use gmr_mapreduce::dfs::Dfs;
+use gmr_mapreduce::job::JobConfig;
+use gmr_mapreduce::runtime::JobRunner;
+use gmr_mapreduce::shuffle::{encode_segment, MergeIter, Segment};
+use gmr_mapreduce::writable::{from_bytes, to_bytes};
+use gmr_stats::AndersonDarling;
+
+fn bench_writable(c: &mut Criterion) {
+    let pair: (i64, (Vec<f64>, u64)) = (42, ((0..10).map(|i| i as f64 * 1.5).collect(), 1));
+    let bytes = to_bytes(&pair);
+    c.bench_function("writable_encode_kmeans_pair", |b| {
+        b.iter(|| to_bytes(black_box(&pair)))
+    });
+    c.bench_function("writable_decode_kmeans_pair", |b| {
+        b.iter(|| from_bytes::<(i64, (Vec<f64>, u64))>(black_box(&bytes)).unwrap())
+    });
+}
+
+fn bench_shuffle_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shuffle_merge");
+    for segments in [2usize, 8, 32] {
+        let per_segment = 10_000 / segments;
+        let segs: Vec<Segment> = (0..segments)
+            .map(|s| {
+                let pairs: Vec<(i64, f64)> = (0..per_segment)
+                    .map(|i| ((i * segments + s) as i64, i as f64))
+                    .collect();
+                encode_segment(&pairs)
+            })
+            .collect();
+        g.throughput(Throughput::Elements((per_segment * segments) as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(segments),
+            &segments,
+            |bench, _| {
+                bench.iter(|| {
+                    let merged: Vec<(i64, f64)> = MergeIter::new(black_box(segs.clone()))
+                        .unwrap()
+                        .collect::<gmr_mapreduce::Result<_>>()
+                        .unwrap();
+                    merged.len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_makespan(c: &mut Criterion) {
+    let durations: Vec<f64> = (0..1000).map(|i| 1.0 + (i % 17) as f64).collect();
+    c.bench_function("makespan_1000_tasks_32_slots", |b| {
+        b.iter(|| makespan(black_box(&durations), 32))
+    });
+}
+
+fn staged(n: usize, k: usize) -> (JobRunner, CenterSet) {
+    let spec = GaussianMixture::paper_r10(n, k, 77);
+    let dfs = Arc::new(Dfs::new(128 * 1024));
+    let truth = spec.generate_to_dfs(&dfs, "points.txt").unwrap();
+    let mut centers = CenterSet::new(10);
+    for (i, row) in truth.rows().enumerate() {
+        centers.push(i as i64, row);
+    }
+    let runner = JobRunner::new(dfs, ClusterConfig::default()).unwrap();
+    (runner, centers)
+}
+
+fn bench_kmeans_job(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kmeans_job_10k_points");
+    g.sample_size(10);
+    for k in [8usize, 64] {
+        let (runner, centers) = staged(10_000, k);
+        let centers = Arc::new(centers);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| {
+                let job = KMeansJob::new(Arc::clone(&centers));
+                runner
+                    .run(&job, "points.txt", &JobConfig::with_reducers(8))
+                    .unwrap()
+                    .output
+                    .len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_test_clusters_job(c: &mut Criterion) {
+    let (runner, centers) = staged(10_000, 8);
+    let projectors: Vec<Option<SegmentProjector>> = (0..centers.len())
+        .map(|i| {
+            let base = centers.coords(i);
+            let mut a = base.to_vec();
+            let mut b = base.to_vec();
+            a[0] -= 1.0;
+            b[0] += 1.0;
+            Some(SegmentProjector::new(&a, &b))
+        })
+        .collect();
+    let spec = SplitTestSpec::new(
+        Arc::new(centers),
+        Arc::new(projectors),
+        AndersonDarling::default(),
+    );
+    let mut g = c.benchmark_group("test_clusters_job_10k_points");
+    g.sample_size(10);
+    g.bench_function("reducer_side", |b| {
+        b.iter(|| {
+            runner
+                .run(
+                    &TestClustersJob::new(spec.clone()),
+                    "points.txt",
+                    &JobConfig::with_reducers(8),
+                )
+                .unwrap()
+                .output
+                .len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_gmeans(c: &mut Criterion) {
+    let spec = GaussianMixture::figure_r2(5_000, 12);
+    let dfs = Arc::new(Dfs::new(64 * 1024));
+    spec.generate_to_dfs(&dfs, "points.txt").unwrap();
+    let mut g = c.benchmark_group("mr_gmeans_end_to_end_5k_r2");
+    g.sample_size(10);
+    g.bench_function("default", |b| {
+        b.iter(|| {
+            let runner =
+                JobRunner::new(Arc::clone(&dfs), ClusterConfig::default()).unwrap();
+            MRGMeans::new(runner, GMeansConfig::default())
+                .run("points.txt")
+                .unwrap()
+                .k()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    engine,
+    bench_writable,
+    bench_shuffle_merge,
+    bench_makespan,
+    bench_kmeans_job,
+    bench_test_clusters_job,
+    bench_full_gmeans
+);
+criterion_main!(engine);

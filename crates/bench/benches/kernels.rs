@@ -1,0 +1,124 @@
+//! Micro-benchmarks of the numeric kernels on the hot paths of every
+//! MapReduce job: distance computation (the unit of the paper's §4 cost
+//! model), projection, the Anderson–Darling test, and the text codec
+//! points travel through.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use gmr_datagen::{format_point, parse_point, ClusterWeights, GaussianMixture};
+use gmr_linalg::{
+    nearest_center_flat, squared_euclidean, LinearFit, RunningStats, SegmentProjector,
+};
+use gmr_stats::AndersonDarling;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(-100.0..100.0)).collect()
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("squared_euclidean");
+    for dim in [2usize, 10, 100] {
+        let a = rand_vec(dim, 1);
+        let b = rand_vec(dim, 2);
+        g.throughput(Throughput::Elements(dim as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bench, _| {
+            bench.iter(|| squared_euclidean(black_box(&a), black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_nearest_center(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nearest_center_flat");
+    let dim = 10;
+    let point = rand_vec(dim, 3);
+    for k in [10usize, 100, 1000] {
+        let centers = rand_vec(dim * k, 4);
+        g.throughput(Throughput::Elements(k as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| nearest_center_flat(black_box(&point), black_box(&centers), dim))
+        });
+    }
+    g.finish();
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let c1 = rand_vec(10, 5);
+    let c2 = rand_vec(10, 6);
+    let projector = SegmentProjector::new(&c1, &c2);
+    let point = rand_vec(10, 7);
+    c.bench_function("segment_projection_dim10", |b| {
+        b.iter(|| projector.project(black_box(&point)))
+    });
+}
+
+fn bench_anderson_darling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("anderson_darling");
+    let ad = AndersonDarling::default();
+    for n in [100usize, 1_000, 10_000] {
+        let sample = GaussianMixture {
+            n_points: n,
+            dim: 1,
+            n_clusters: 1,
+            box_min: 0.0,
+            box_max: 10.0,
+            stddev: 1.0,
+            min_separation_sigmas: 0.0,
+            seed: 8,
+            weights: ClusterWeights::Balanced,
+        }
+        .generate()
+        .unwrap();
+        let xs: Vec<f64> = sample.points.rows().map(|r| r[0]).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| ad.test(black_box(&xs)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_running_stats(c: &mut Criterion) {
+    let xs = rand_vec(10_000, 9);
+    c.bench_function("running_stats_10k", |b| {
+        b.iter(|| {
+            let mut s = RunningStats::new();
+            s.push_all(black_box(&xs));
+            s.variance_sample()
+        })
+    });
+}
+
+fn bench_linear_fit(c: &mut Criterion) {
+    let pts: Vec<(f64, f64)> = (0..1000).map(|i| (i as f64, 64.0 * i as f64 - 42.0)).collect();
+    c.bench_function("linear_fit_1k", |b| {
+        b.iter(|| LinearFit::fit(black_box(&pts)).unwrap())
+    });
+}
+
+fn bench_text_codec(c: &mut Criterion) {
+    let point = rand_vec(10, 10);
+    let line = format_point(&point);
+    c.bench_function("format_point_dim10", |b| {
+        b.iter(|| format_point(black_box(&point)))
+    });
+    c.bench_function("parse_point_dim10", |b| {
+        b.iter(|| parse_point(black_box(&line)).unwrap())
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_distance,
+    bench_nearest_center,
+    bench_projection,
+    bench_anderson_darling,
+    bench_running_stats,
+    bench_linear_fit,
+    bench_text_codec
+);
+criterion_main!(kernels);

@@ -1,0 +1,321 @@
+//! Ablations of the design choices §3 argues for.
+//!
+//! The paper justifies four implementation decisions qualitatively;
+//! these runs quantify each on identical data:
+//!
+//! 1. **combiner on/off** — shuffle volume of the k-means job ("this
+//!    effect is largely mitigated by the use of a combiner");
+//! 2. **k-means iterations per G-means round** — the paper found "only
+//!    two k-means iterations are sufficient";
+//! 3. **forced test strategy** — what the §3.2 switch buys over always
+//!    using one job shape;
+//! 4. **center-merge post-processing** — how much of the ≈1.5×
+//!    overestimate the future-work merge step recovers.
+
+use std::sync::Arc;
+
+use gmeans::mr::{CenterSet, ExecutionMode, KMeansJob, TestStrategy};
+use gmeans::prelude::*;
+use gmr_datagen::GaussianMixture;
+use gmr_mapreduce::cluster::ClusterConfig;
+use gmr_mapreduce::counters::Counter;
+use gmr_mapreduce::job::JobConfig;
+
+use crate::harness::{reload, render_table, stage, ExperimentScale};
+
+/// Combined ablation report.
+pub struct Ablations {
+    /// (combiner?, shuffle bytes, reduce input records, sim secs).
+    pub combiner: Vec<(bool, u64, u64, f64)>,
+    /// (kmeans iters/round, k found, avg distance, sim secs, g-means iters).
+    pub refinement: Vec<(usize, usize, f64, f64, usize)>,
+    /// (strategy label, sim secs, heap peak bytes, jobs).
+    pub strategy: Vec<(String, f64, u64, usize)>,
+    /// (merge threshold in σ, k after merge); k_real for reference.
+    pub merge: (usize, Vec<(f64, usize)>),
+    /// (init label, avg distance) — k-means++ vs random for multi-k.
+    pub init_quality: Vec<(String, f64)>,
+    /// (mode label, dataset reads, sim secs) — Hadoop vs Spark-style.
+    pub engine_mode: Vec<(String, u64, f64)>,
+    /// (search label, distance evaluations, sim secs) — linear vs k-d.
+    pub nn_search: Vec<(String, u64, f64)>,
+}
+
+/// Runs every ablation.
+pub fn run(scale: &ExperimentScale) -> Ablations {
+    let k = scale.k(128);
+    let spec = GaussianMixture::paper_r10(scale.points, k, scale.seed + 9000);
+
+    // ---- 1. combiner on/off on one k-means job ----
+    let mut combiner = Vec::new();
+    for on in [true, false] {
+        let (runner, dfs, truth) = stage(&spec, ClusterConfig::default());
+        let mut centers = CenterSet::new(10);
+        for (i, row) in truth.rows().enumerate() {
+            centers.push(i as i64, row);
+        }
+        let job = KMeansJob::new(Arc::new(centers)).with_combiner(on);
+        let result = runner
+            .run(&job, "points.txt", &JobConfig::with_reducers(8))
+            .expect("combiner ablation job");
+        combiner.push((
+            on,
+            result.counters.get(Counter::ShuffleBytes),
+            result.counters.get(Counter::ReduceInputRecords),
+            result.timing.simulated_secs,
+        ));
+        drop(dfs);
+    }
+
+    // ---- 2. k-means iterations per G-means round ----
+    let mut refinement = Vec::new();
+    for iters in [1usize, 2, 3, 4] {
+        let (runner, dfs, _) = stage(&spec, ClusterConfig::default());
+        let config = GMeansConfig {
+            kmeans_iterations_per_round: iters,
+            ..GMeansConfig::default()
+        };
+        let r = MRGMeans::new(runner, config)
+            .run("points.txt")
+            .expect("refinement ablation");
+        let data = reload(&dfs, 10);
+        refinement.push((
+            iters,
+            r.k(),
+            average_distance(&data, &r.centers),
+            r.simulated_secs,
+            r.iterations,
+        ));
+    }
+
+    // ---- 3. forced strategies ----
+    let mut strategy = Vec::new();
+    for (label, force) in [
+        ("auto (paper rule)", None),
+        ("always TestFewClusters", Some(TestStrategy::FewClusters)),
+        ("always TestClusters", Some(TestStrategy::Clusters)),
+    ] {
+        let (runner, _dfs, _) = stage(&spec, ClusterConfig::default());
+        let r = MRGMeans::new(runner, GMeansConfig::default())
+            .with_forced_strategy(force)
+            .run("points.txt")
+            .expect("strategy ablation");
+        strategy.push((
+            label.to_string(),
+            r.simulated_secs,
+            r.counters.get(Counter::HeapPeakBytes),
+            r.jobs,
+        ));
+    }
+
+    // ---- 4. merge threshold sweep ----
+    let (runner, _dfs, _) = stage(&spec, ClusterConfig::default());
+    let r = MRGMeans::new(runner, GMeansConfig::default())
+        .run("points.txt")
+        .expect("merge ablation");
+    let sweep = [0.0f64, 2.0, 4.0, 8.0]
+        .iter()
+        .map(|sigmas| {
+            let merged = merge_close_centers(&r.centers, &r.counts, sigmas * spec.stddev);
+            (*sigmas, merged.centers.len())
+        })
+        .collect();
+
+    // ---- 5. init quality: the §2 claim that k-means++ avoids local
+    //         minima, measured through the serial pipeline ----
+    let small = GaussianMixture::paper_r10(scale.points.min(10_000), scale.k(32), scale.seed + 42)
+        .generate()
+        .expect("init dataset");
+    let mut init_quality = Vec::new();
+    for (label, strat) in [
+        ("random", InitStrategy::Random),
+        ("k-means++", InitStrategy::KMeansPlusPlus),
+    ] {
+        let mut total = 0.0;
+        for seed in 0..3 {
+            let res = kmeans(
+                &small.points,
+                &KMeansConfig::new(scale.k(32)).with_iterations(10).with_seed(seed),
+                strat,
+            );
+            total += average_distance(&small.points, &res.centers);
+        }
+        init_quality.push((label.to_string(), total / 3.0));
+    }
+
+    // ---- 6. execution engine: on-disk (Hadoop) vs cached (Spark) ----
+    let mut engine_mode = Vec::new();
+    for (label, mode) in [
+        ("on-disk (Hadoop-style)", ExecutionMode::OnDisk),
+        ("cached (Spark-style, §6)", ExecutionMode::Cached),
+    ] {
+        let (runner, _dfs, _) = stage(&spec, ClusterConfig::default());
+        let r = MRGMeans::new(runner, GMeansConfig::default())
+            .with_execution_mode(mode)
+            .run("points.txt")
+            .expect("engine-mode ablation");
+        engine_mode.push((label.to_string(), r.dataset_reads, r.simulated_secs));
+    }
+
+    // ---- 7. nearest-center search: linear scan vs k-d tree ----
+    let mut nn_search = Vec::new();
+    for (label, kd) in [("linear scan (paper)", false), ("k-d tree (mrkd-style)", true)] {
+        let (runner, _dfs, _) = stage(&spec, ClusterConfig::default());
+        let r = MRGMeans::new(runner, GMeansConfig::default())
+            .with_kd_index(kd)
+            .run("points.txt")
+            .expect("nn-search ablation");
+        nn_search.push((
+            label.to_string(),
+            r.counters.get(Counter::DistanceComputations),
+            r.simulated_secs,
+        ));
+    }
+
+    Ablations {
+        combiner,
+        refinement,
+        strategy,
+        merge: (k, sweep),
+        init_quality,
+        engine_mode,
+        nn_search,
+    }
+}
+
+/// Renders the full ablation report.
+pub fn render(a: &Ablations) -> String {
+    let mut out = String::new();
+    out.push_str(&render_table(
+        "Ablation 1: map-side combiner (one k-means job)",
+        &["combiner", "shuffle bytes", "reduce input records", "sim secs"],
+        &a.combiner
+            .iter()
+            .map(|(on, bytes, records, secs)| {
+                vec![
+                    if *on { "on" } else { "off" }.into(),
+                    bytes.to_string(),
+                    records.to_string(),
+                    format!("{secs:.1}"),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    ));
+    out.push_str(&render_table(
+        "Ablation 2: k-means iterations per G-means round (paper uses 2)",
+        &["iters/round", "k found", "avg distance", "sim secs", "g-means iters"],
+        &a.refinement
+            .iter()
+            .map(|(i, k, d, s, gi)| {
+                vec![
+                    i.to_string(),
+                    k.to_string(),
+                    format!("{d:.3}"),
+                    format!("{s:.0}"),
+                    gi.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    ));
+    out.push_str(&render_table(
+        "Ablation 3: split-test strategy (§3.2 switch rule vs forced)",
+        &["strategy", "sim secs", "heap peak bytes", "jobs"],
+        &a.strategy
+            .iter()
+            .map(|(l, s, h, j)| {
+                vec![l.clone(), format!("{s:.0}"), h.to_string(), j.to_string()]
+            })
+            .collect::<Vec<_>>(),
+    ));
+    let (k_real, sweep) = &a.merge;
+    out.push_str(&render_table(
+        &format!("Ablation 4: center-merge threshold (k_real = {k_real})"),
+        &["threshold (σ)", "k after merge"],
+        &sweep
+            .iter()
+            .map(|(t, k)| vec![format!("{t:.0}"), k.to_string()])
+            .collect::<Vec<_>>(),
+    ));
+    out.push_str(&render_table(
+        "Ablation 5: initialization (serial k-means, mean of 3 seeds)",
+        &["init", "avg distance"],
+        &a.init_quality
+            .iter()
+            .map(|(l, d)| vec![l.clone(), format!("{d:.3}")])
+            .collect::<Vec<_>>(),
+    ));
+    out.push_str(&render_table(
+        "Ablation 6: execution engine (the paper's §6 future work)",
+        &["engine", "dataset reads", "sim secs"],
+        &a.engine_mode
+            .iter()
+            .map(|(l, r, s)| vec![l.clone(), r.to_string(), format!("{s:.0}")])
+            .collect::<Vec<_>>(),
+    ));
+    out.push_str(&render_table(
+        "Ablation 7: nearest-center search (§2's mrkd-tree citation)",
+        &["search", "distance evaluations", "sim secs"],
+        &a.nn_search
+            .iter()
+            .map(|(l, d, s)| vec![l.clone(), d.to_string(), format!("{s:.0}")])
+            .collect::<Vec<_>>(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_ablations_have_expected_directions() {
+        let a = run(&ExperimentScale::quick());
+
+        // Combiner slashes shuffle volume.
+        let on = &a.combiner[0];
+        let off = &a.combiner[1];
+        assert!(on.0 && !off.0);
+        assert!(
+            on.1 < off.1 / 5,
+            "combiner shuffle {} vs {} without",
+            on.1,
+            off.1
+        );
+
+        // More refinement iterations never blow up the center count and
+        // cost more simulated time per round.
+        assert!(a.refinement.len() == 4);
+        assert!(a.refinement[3].3 > a.refinement[0].3);
+
+        // Three strategies all completed and auto is never the worst in
+        // heap peak (it exists to protect the reducer heap).
+        assert_eq!(a.strategy.len(), 3);
+        let auto_heap = a.strategy[0].2;
+        let clusters_heap = a.strategy[2].2;
+        assert!(auto_heap <= clusters_heap);
+
+        // Merging with a growing radius is monotone non-increasing and
+        // moves k toward k_real.
+        let (k_real, sweep) = &a.merge;
+        for w in sweep.windows(2) {
+            assert!(w[1].1 <= w[0].1);
+        }
+        let k0 = sweep[0].1;
+        let k8 = sweep.last().unwrap().1;
+        assert!(k8 <= k0);
+        assert!(k8 >= k_real / 2, "merge collapsed too far: {k8} vs {k_real}");
+
+        // k-means++ at least matches random init quality.
+        assert!(a.init_quality[1].1 <= a.init_quality[0].1 * 1.02);
+
+        // Cached mode: 2 dataset reads vs 1 per job, same-or-less time.
+        let (_, disk_reads, disk_secs) = &a.engine_mode[0];
+        let (_, cached_reads, cached_secs) = &a.engine_mode[1];
+        assert_eq!(*cached_reads, 2);
+        assert!(*disk_reads > 10);
+        assert!(cached_secs <= disk_secs);
+
+        // k-d search never evaluates more distances than the scan.
+        assert!(a.nn_search[1].1 <= a.nn_search[0].1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Figure 2: heap memory required by the `TestClusters` reducer as a
+//! function of the points it must buffer.
+//!
+//! The paper varies the dataset size and the JVM heap, watches which
+//! jobs die with "Java heap space", and fits `heap(MB) ≈ 64·x − 42.67`
+//! through the success/failure boundary (x in millions of points) — the
+//! 64 B/pt slope that calibrates the §3.2 strategy switch. This
+//! reproduction performs the same sweep against the engine's simulated
+//! heap: for each dataset size, the minimal surviving heap is found by
+//! bisection over real job runs, and the same least-squares fit is
+//! applied.
+
+use std::sync::Arc;
+
+use gmeans::mr::{CenterSet, SplitTestSpec, TestClustersJob};
+use gmr_datagen::{ClusterWeights, GaussianMixture};
+use gmr_linalg::{LinearFit, SegmentProjector};
+use gmr_mapreduce::cluster::ClusterConfig;
+use gmr_mapreduce::dfs::Dfs;
+use gmr_mapreduce::job::JobConfig;
+use gmr_mapreduce::memory::BYTES_PER_PROJECTION;
+use gmr_mapreduce::runtime::JobRunner;
+use gmr_mapreduce::Error;
+use gmr_stats::AndersonDarling;
+
+use crate::harness::{render_table, ExperimentScale};
+
+/// One sweep point.
+pub struct Fig2Row {
+    /// Points the single reducer must buffer.
+    pub points: usize,
+    /// Smallest heap (bytes) with which the job succeeded.
+    pub min_heap_bytes: u64,
+    /// Largest probed heap with which the job failed.
+    pub max_failed_heap_bytes: u64,
+}
+
+/// Result of the Figure 2 sweep.
+pub struct Fig2 {
+    /// Sweep rows, ascending in points.
+    pub rows: Vec<Fig2Row>,
+    /// Least-squares fit of min-heap (bytes) against points.
+    pub fit: LinearFit,
+}
+
+/// Runs the sweep. Dataset sizes scale with `scale.points` (the paper
+/// uses 4–16 × 10⁶ points; the default scale probes 4–16 × `points`/50).
+pub fn run(scale: &ExperimentScale) -> Fig2 {
+    let unit = (scale.points / 50).max(200);
+    let mut rows = Vec::new();
+    for mult in [4usize, 6, 8, 10, 12, 14, 16] {
+        let n = mult * unit;
+        rows.push(probe(n, scale.seed));
+    }
+    let pts: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| (r.points as f64, r.min_heap_bytes as f64))
+        .collect();
+    let fit = LinearFit::fit(&pts).expect("≥2 sweep points");
+    Fig2 { rows, fit }
+}
+
+/// Finds the minimal heap for one dataset size by bisection.
+fn probe(n: usize, seed: u64) -> Fig2Row {
+    // Single Gaussian cluster: during the first iteration every point
+    // lands on one reducer, exactly the paper's setup.
+    let spec = GaussianMixture {
+        n_points: n,
+        dim: 2,
+        n_clusters: 1,
+        box_min: 0.0,
+        box_max: 100.0,
+        stddev: 3.0,
+        min_separation_sigmas: 0.0,
+        seed,
+        weights: ClusterWeights::Balanced,
+    };
+    let dfs = Arc::new(Dfs::new(256 * 1024));
+    let truth = spec.generate_to_dfs(&dfs, "points.txt").expect("dataset");
+    let center = truth.row(0);
+    let mut parents = CenterSet::new(2);
+    parents.push(0, center);
+    let projector = SegmentProjector::new(
+        &[center[0] - 3.0, center[1]],
+        &[center[0] + 3.0, center[1]],
+    );
+
+    let attempt = |heap: u64| -> bool {
+        let cluster = ClusterConfig {
+            heap_per_task: heap,
+            ..ClusterConfig::default()
+        };
+        let runner = JobRunner::new(Arc::clone(&dfs), cluster).expect("cluster");
+        let spec = SplitTestSpec::new(
+            Arc::new(parents.clone()),
+            Arc::new(vec![Some(projector.clone())]),
+            AndersonDarling::default(),
+        );
+        match runner.run(
+            &TestClustersJob::new(spec),
+            "points.txt",
+            &JobConfig::with_reducers(1),
+        ) {
+            Ok(_) => true,
+            Err(Error::HeapSpace { .. }) => false,
+            Err(other) => panic!("unexpected failure: {other}"),
+        }
+    };
+
+    // Bisect between 1 byte (fails) and a safely sufficient heap.
+    let mut lo = 1u64; // fails
+    let mut hi = (n as u64 + 16) * BYTES_PER_PROJECTION * 2; // succeeds
+    assert!(attempt(hi), "upper probe must succeed");
+    assert!(!attempt(lo), "lower probe must fail");
+    while hi - lo > BYTES_PER_PROJECTION {
+        let mid = lo + (hi - lo) / 2;
+        if attempt(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Fig2Row {
+        points: n,
+        min_heap_bytes: hi,
+        max_failed_heap_bytes: lo,
+    }
+}
+
+/// Renders the report.
+pub fn render(fig: &Fig2) -> String {
+    let rows: Vec<Vec<String>> = fig
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.points.to_string(),
+                format!("{:.3}", r.min_heap_bytes as f64 / (1024.0 * 1024.0)),
+                format!("{:.1}", r.min_heap_bytes as f64 / r.points as f64),
+            ]
+        })
+        .collect();
+    let mut out = render_table(
+        "Figure 2: heap required by the TestClusters reducer",
+        &["points", "min heap (MiB)", "bytes/point"],
+        &rows,
+    );
+    out.push_str(&format!(
+        "least-squares fit: heap ≈ {:.2} B/point × points {} {:.0} B   (R² = {:.4})\n\
+         paper:             heap ≈ 64 B/point (fit: 64·x − 42.67 MB over x millions of points)\n",
+        fig.fit.slope,
+        if fig.fit.intercept >= 0.0 { "+" } else { "−" },
+        fig.fit.intercept.abs(),
+        fig.fit.r_squared
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_slope_is_the_papers_64_bytes_per_point() {
+        let fig = run(&ExperimentScale::quick());
+        assert_eq!(fig.rows.len(), 7);
+        // The ledger charges exactly 64 B per buffered projection, so
+        // the fitted slope must land on it.
+        assert!(
+            (fig.fit.slope - BYTES_PER_PROJECTION as f64).abs() < 1.0,
+            "slope {} B/pt",
+            fig.fit.slope
+        );
+        assert!(fig.fit.r_squared > 0.999);
+        for r in &fig.rows {
+            assert!(r.min_heap_bytes > r.max_failed_heap_bytes);
+            // Boundary within a point's worth of the exact requirement.
+            let exact = r.points as u64 * BYTES_PER_PROJECTION;
+            assert!(
+                r.min_heap_bytes >= exact && r.min_heap_bytes <= exact + 2 * BYTES_PER_PROJECTION,
+                "points {}: min heap {} vs exact {exact}",
+                r.points,
+                r.min_heap_bytes
+            );
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Table 4 / Figure 5: scalability with the number of nodes.
+//!
+//! The paper clusters 100M points (R¹⁰, 1000 clusters) on 4, 8 and 12
+//! Hadoop nodes: 798 / 447 / 323 minutes — roughly linear speedup. The
+//! reproduction runs the same sweep on the simulated cluster; the
+//! makespan comes from the engine's wave scheduler, so slot contention
+//! (the mechanism behind the paper's curve) is what is measured.
+
+use gmeans::prelude::*;
+use gmr_datagen::GaussianMixture;
+use gmr_mapreduce::cluster::ClusterConfig;
+
+use crate::harness::{render_table, ExperimentScale};
+
+/// Paper reference: (nodes, minutes).
+pub const PAPER_TABLE4: [(usize, f64); 3] = [(4, 798.0), (8, 447.0), (12, 323.0)];
+
+/// One scalability row.
+pub struct Table4Row {
+    /// Node count.
+    pub nodes: usize,
+    /// Simulated seconds of the full G-means run.
+    pub simulated_secs: f64,
+    /// Real wall seconds.
+    pub wall_secs: f64,
+    /// Discovered k (sanity: identical work across node counts).
+    pub k_found: usize,
+}
+
+/// Optional overrides for the scalability sweep (used by the smoke
+/// test, which must keep the per-node runs' *work* identical and the
+/// map-task count high enough to spread over 96 slots).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Table4Opts {
+    /// Replace the default cost model.
+    pub cost_model: Option<gmr_mapreduce::cost::CostModel>,
+    /// Replace the default 256 KiB DFS block size.
+    pub block_size: Option<usize>,
+    /// Force one split-test strategy so the trajectory does not depend
+    /// on the reduce capacity (which varies with the node count).
+    pub force_strategy: Option<gmeans::mr::TestStrategy>,
+}
+
+/// Runs the sweep with the default cost model.
+pub fn run(scale: &ExperimentScale) -> Vec<Table4Row> {
+    run_with(scale, Table4Opts::default())
+}
+
+/// Runs the sweep with overrides. The dataset doubles the base scale
+/// (the paper's scalability dataset is 10× its Table 1 datasets) and
+/// uses a large k so the test phase has enough tasks to spread.
+pub fn run_with(scale: &ExperimentScale, opts: Table4Opts) -> Vec<Table4Row> {
+    let n = scale.points * 2;
+    let k = scale.k(1000).min(n / 50); // keep ≥50 points per cluster
+    let spec = GaussianMixture::paper_r10(n, k, scale.seed + 4000);
+    PAPER_TABLE4
+        .iter()
+        .map(|&(nodes, _)| {
+            let mut cluster = ClusterConfig::with_nodes(nodes);
+            if let Some(model) = opts.cost_model {
+                cluster.cost_model = model;
+            }
+            let (runner, _dfs, _truth) = crate::harness::stage_with_block(
+                &spec,
+                cluster,
+                opts.block_size.unwrap_or(256 * 1024),
+            );
+            let r = MRGMeans::new(runner, GMeansConfig::default())
+                .with_forced_strategy(opts.force_strategy)
+                .run("points.txt")
+                .expect("table 4 run");
+            Table4Row {
+                nodes,
+                simulated_secs: r.simulated_secs,
+                wall_secs: r.wall_secs,
+                k_found: r.k(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the default-model rows and a task-time-only sweep (job
+/// setup excluded) beside the paper's values. At the paper's 100M-point
+/// scale the per-job setup constant is noise and the task-time column
+/// is the relevant one; at laptop scale the default column shows how
+/// strongly ~40 chained jobs × 6 s of setup cap the speedup.
+pub fn render(rows: &[Table4Row], task_time_rows: &[Table4Row]) -> String {
+    let base = rows.first().map(|r| r.simulated_secs).unwrap_or(1.0);
+    let tbase = task_time_rows.first().map(|r| r.simulated_secs).unwrap_or(1.0);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .zip(task_time_rows)
+        .zip(&PAPER_TABLE4)
+        .map(|((r, t), &(pn, pmin))| {
+            vec![
+                r.nodes.to_string(),
+                format!("{:.0}", r.simulated_secs),
+                format!("{:.2}x", base / r.simulated_secs),
+                format!("{:.1}", t.simulated_secs),
+                format!("{:.2}x", tbase / t.simulated_secs),
+                r.k_found.to_string(),
+                format!("{pn} nodes: {pmin:.0} min ({:.2}x)", 798.0 / pmin),
+            ]
+        })
+        .collect();
+    let mut out = render_table(
+        "Table 4 / Figure 5: G-means running time vs cluster size",
+        &[
+            "nodes",
+            "sim secs",
+            "speedup",
+            "task-time secs",
+            "speedup",
+            "k found",
+            "paper",
+        ],
+        &body,
+    );
+    out.push_str(
+        "paper: \"running time decreases roughly linearly with the number of nodes\"\n\
+         (task-time = simulated makespan without the fixed per-job setup, the paper's regime)\n",
+    );
+    out
+}
+
+/// Runs both sweeps (default model + task-time-only) for [`render`].
+pub fn run_both(scale: &ExperimentScale) -> (Vec<Table4Row>, Vec<Table4Row>) {
+    let default_rows = run(scale);
+    let no_setup = gmr_mapreduce::cost::CostModel {
+        job_setup_secs: 0.0,
+        ..Default::default()
+    };
+    let task_rows = run_with(
+        scale,
+        Table4Opts {
+            cost_model: Some(no_setup),
+            ..Table4Opts::default()
+        },
+    );
+    (default_rows, task_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_speedup_is_monotone() {
+        // At quick scale the default model is setup-dominated (the
+        // per-job constant does not shrink with nodes), so assert the
+        // scheduler's shape under a compute-dominant model — the regime
+        // of the paper's 100M-point run. Strategy is pinned because the
+        // §3.2 switch reads the reduce capacity, which varies with the
+        // node count and would change the work being scheduled; block
+        // size is shrunk so there are enough map tasks to spread over
+        // 96 slots.
+        let opts = Table4Opts {
+            cost_model: Some(gmr_mapreduce::cost::CostModel {
+                job_setup_secs: 0.0,
+                task_setup_secs: 0.0,
+                secs_per_input_byte: 0.0,
+                secs_per_shuffle_byte: 0.0,
+                secs_per_compute_unit: 1e-6,
+                secs_per_cached_point: 0.0,
+            }),
+            block_size: Some(8 * 1024),
+            force_strategy: Some(gmeans::mr::TestStrategy::FewClusters),
+        };
+        let rows = run_with(&ExperimentScale::quick(), opts);
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].simulated_secs >= rows[1].simulated_secs);
+        assert!(rows[1].simulated_secs >= rows[2].simulated_secs);
+        assert!(
+            rows[0].simulated_secs / rows[2].simulated_secs > 1.3,
+            "4→12 nodes speedup too small: {:?}",
+            rows.iter().map(|r| r.simulated_secs).collect::<Vec<_>>()
+        );
+        // Same clustering regardless of node count.
+        assert_eq!(rows[0].k_found, rows[1].k_found);
+        assert_eq!(rows[1].k_found, rows[2].k_found);
+    }
+}

@@ -1,0 +1,21 @@
+//! Experiment harness regenerating every table and figure of
+//! *"Determining the k in k-means with MapReduce"* (EDBT 2014).
+//!
+//! Each submodule of [`experiments`] reproduces one artifact of the
+//! paper's evaluation (§5) and returns structured rows, so the same
+//! code drives the `repro` binary, the smoke tests and EXPERIMENTS.md.
+//!
+//! The paper ran 10M–100M-point datasets on a physical Hadoop cluster;
+//! this harness defaults to laptop-scale datasets (see
+//! [`ExperimentScale`]) and reports **simulated makespan** from the
+//! engine's cost model next to real wall-clock. Absolute numbers are
+//! not comparable with the paper's; the *shapes* (linearity in k, the
+//! G-means/multi-k crossover, node speedup, the 64 B/pt heap line, the
+//! local-minimum quality gap) are, and EXPERIMENTS.md records both.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::ExperimentScale;

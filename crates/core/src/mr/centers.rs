@@ -1,0 +1,275 @@
+//! Shared center-set state distributed to map tasks.
+//!
+//! Hadoop jobs ship the current centers to every mapper through the
+//! distributed cache; here the job object holds an `Arc<CenterSet>` and
+//! each mapper clones the handle in `create_mapper`. Center ids are
+//! `i64` — the paper explicitly prefers integer keys over text ("sorting
+//! text keys requires more processing than simple integer values",
+//! §3.1) — and the candidate-center channel of `KMeansAndFindNewCenters`
+//! is multiplexed by adding [`OFFSET`] to the id.
+
+use gmr_linalg::{nearest_center_flat, Dataset, KdTree};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The id offset separating candidate-center keys from refine-center
+/// keys: "as the type of center id is a Java Long, we use an offset
+/// value equal to half the largest possible value of a Java Long. The
+/// value of OFFSET is thus 2⁶²" (§3.1).
+pub const OFFSET: i64 = 1 << 62;
+
+/// An ordered set of centers with stable ids.
+///
+/// Nearest-center lookup defaults to the linear scan the paper's
+/// implementation performs (`O(k)` distance computations per point —
+/// the unit of its §4 cost model). Calling [`CenterSet::with_kd_index`]
+/// attaches an exact k-d tree (the mrkd-tree acceleration §2 cites);
+/// lookups then evaluate far fewer distances and the cost accounting
+/// charges the *actual* evaluation count.
+#[derive(Clone, Debug, Default)]
+pub struct CenterSet {
+    dim: usize,
+    ids: Vec<i64>,
+    flat: Vec<f64>,
+    by_id: HashMap<i64, usize>,
+    index: Option<Arc<KdTree>>,
+}
+
+impl PartialEq for CenterSet {
+    fn eq(&self, other: &Self) -> bool {
+        // The index is derived state; equality is about the centers.
+        self.dim == other.dim && self.ids == other.ids && self.flat == other.flat
+    }
+}
+
+impl CenterSet {
+    /// An empty set for centers in `R^dim`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self {
+            dim,
+            ids: Vec::new(),
+            flat: Vec::new(),
+            by_id: HashMap::new(),
+            index: None,
+        }
+    }
+
+    /// Builds a set from a dataset, assigning ids `0..len`.
+    pub fn from_dataset(ds: &Dataset) -> Self {
+        let mut set = Self::new(ds.dim());
+        for (i, row) in ds.rows().enumerate() {
+            set.push(i as i64, row);
+        }
+        set
+    }
+
+    /// Appends a center.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch, duplicate id, or id at/above
+    /// [`OFFSET`] (those ids are reserved for the candidate channel).
+    pub fn push(&mut self, id: i64, coords: &[f64]) {
+        assert_eq!(coords.len(), self.dim, "dimension mismatch");
+        assert!(
+            (0..OFFSET).contains(&id),
+            "center id {id} outside [0, OFFSET)"
+        );
+        let idx = self.ids.len();
+        let prev = self.by_id.insert(id, idx);
+        assert!(prev.is_none(), "duplicate center id {id}");
+        self.ids.push(id);
+        self.flat.extend_from_slice(coords);
+        self.index = None; // centers changed; any index is stale
+    }
+
+    /// Builds (or rebuilds) the k-d index over the current centers.
+    /// Subsequent [`CenterSet::nearest_with_cost`] calls use it.
+    ///
+    /// # Panics
+    /// Panics when the set is empty.
+    pub fn with_kd_index(mut self) -> Self {
+        assert!(!self.is_empty(), "cannot index an empty center set");
+        self.index = Some(Arc::new(KdTree::build(&self.flat, self.dim)));
+        self
+    }
+
+    /// True when a k-d index is attached.
+    pub fn has_index(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// Number of centers.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the set holds no centers.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Id of the center at `idx`.
+    pub fn id(&self, idx: usize) -> i64 {
+        self.ids[idx]
+    }
+
+    /// Coordinates of the center at `idx`.
+    pub fn coords(&self, idx: usize) -> &[f64] {
+        &self.flat[idx * self.dim..(idx + 1) * self.dim]
+    }
+
+    /// Index of the center with the given id.
+    pub fn index_of(&self, id: i64) -> Option<usize> {
+        self.by_id.get(&id).copied()
+    }
+
+    /// Iterates `(id, coords)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, &[f64])> {
+        self.ids
+            .iter()
+            .copied()
+            .zip(self.flat.chunks_exact(self.dim))
+    }
+
+    /// Nearest center to `point`: `(index, id, squared_distance)`.
+    pub fn nearest(&self, point: &[f64]) -> Option<(usize, i64, f64)> {
+        self.nearest_with_cost(point).map(|(idx, id, d2, _)| (idx, id, d2))
+    }
+
+    /// Nearest center plus the number of distance evaluations performed
+    /// — `k` for the linear scan, usually far fewer with a k-d index.
+    pub fn nearest_with_cost(&self, point: &[f64]) -> Option<(usize, i64, f64, u64)> {
+        if self.is_empty() {
+            return None;
+        }
+        match &self.index {
+            Some(tree) => {
+                let q = tree.nearest(point);
+                Some((q.index, self.ids[q.index], q.dist2, q.evaluations as u64))
+            }
+            None => nearest_center_flat(point, &self.flat, self.dim)
+                .map(|(idx, d2)| (idx, self.ids[idx], d2, self.ids.len() as u64)),
+        }
+    }
+
+    /// The centers as a [`Dataset`] (ids dropped, order preserved).
+    pub fn to_dataset(&self) -> Dataset {
+        Dataset::from_flat(self.dim, self.flat.clone())
+    }
+}
+
+/// One refined center coming out of a k-means reducer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CenterUpdate {
+    /// Center id.
+    pub id: i64,
+    /// New position (the mean of assigned points).
+    pub coords: Vec<f64>,
+    /// Number of points that contributed.
+    pub count: u64,
+}
+
+/// Applies reducer updates to a center set: updated ids move to their
+/// new position; ids without an update keep their old position with a
+/// count of zero (the empty-cluster convention). Returns the new set and
+/// the per-center counts, aligned with the set's order.
+pub fn apply_updates(current: &CenterSet, updates: &[CenterUpdate]) -> (CenterSet, Vec<u64>) {
+    let by_id: HashMap<i64, &CenterUpdate> = updates.iter().map(|u| (u.id, u)).collect();
+    let mut next = CenterSet::new(current.dim());
+    let mut counts = Vec::with_capacity(current.len());
+    for (id, coords) in current.iter() {
+        match by_id.get(&id) {
+            Some(u) => {
+                next.push(id, &u.coords);
+                counts.push(u.count);
+            }
+            None => {
+                next.push(id, coords);
+                counts.push(0);
+            }
+        }
+    }
+    (next, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_lookup() {
+        let mut s = CenterSet::new(2);
+        s.push(10, &[1.0, 2.0]);
+        s.push(20, &[3.0, 4.0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.id(1), 20);
+        assert_eq!(s.coords(0), &[1.0, 2.0]);
+        assert_eq!(s.index_of(20), Some(1));
+        assert_eq!(s.index_of(99), None);
+        let pairs: Vec<(i64, Vec<f64>)> = s.iter().map(|(i, c)| (i, c.to_vec())).collect();
+        assert_eq!(pairs, vec![(10, vec![1.0, 2.0]), (20, vec![3.0, 4.0])]);
+    }
+
+    #[test]
+    fn nearest_uses_all_centers() {
+        let mut s = CenterSet::new(1);
+        s.push(5, &[0.0]);
+        s.push(6, &[10.0]);
+        let (idx, id, d2) = s.nearest(&[9.0]).unwrap();
+        assert_eq!((idx, id), (1, 6));
+        assert!((d2 - 1.0).abs() < 1e-12);
+        assert_eq!(CenterSet::new(3).nearest(&[1.0, 2.0, 3.0]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate center id")]
+    fn duplicate_id_panics() {
+        let mut s = CenterSet::new(1);
+        s.push(1, &[0.0]);
+        s.push(1, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, OFFSET)")]
+    fn reserved_id_panics() {
+        let mut s = CenterSet::new(1);
+        s.push(OFFSET, &[0.0]);
+    }
+
+    #[test]
+    fn offset_matches_paper() {
+        // 2⁶², "approximatively 4E18".
+        assert_eq!(OFFSET, 4_611_686_018_427_387_904);
+    }
+
+    #[test]
+    fn apply_updates_moves_and_preserves() {
+        let mut s = CenterSet::new(1);
+        s.push(0, &[0.0]);
+        s.push(1, &[10.0]);
+        let updates = vec![CenterUpdate {
+            id: 1,
+            coords: vec![11.0],
+            count: 7,
+        }];
+        let (next, counts) = apply_updates(&s, &updates);
+        assert_eq!(next.coords(0), &[0.0]); // kept, empty
+        assert_eq!(next.coords(1), &[11.0]); // moved
+        assert_eq!(counts, vec![0, 7]);
+    }
+
+    #[test]
+    fn from_dataset_assigns_sequential_ids() {
+        let ds = Dataset::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        let s = CenterSet::from_dataset(&ds);
+        assert_eq!(s.id(0), 0);
+        assert_eq!(s.id(1), 1);
+        assert_eq!(s.to_dataset(), ds);
+    }
+}

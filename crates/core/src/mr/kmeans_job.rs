@@ -1,0 +1,278 @@
+//! The classical MapReduce k-means job with combiners (§3, first loop
+//! operation of Algorithm 1).
+//!
+//! * **Mapper** — parse the point, find its nearest center, emit
+//!   `(center_id, (coordinates, 1))`.
+//! * **Combiner** — pre-aggregate partial `(sum, count)` pairs per
+//!   center, collapsing a split's emissions to at most one record per
+//!   center ("a combiner is a well-known pre-aggregation optimization").
+//! * **Reducer** — fold the partials and emit the new center position
+//!   `sum / count`.
+
+use std::sync::Arc;
+
+use gmr_datagen::parse_point_dim;
+use gmr_mapreduce::prelude::*;
+
+use crate::mr::centers::{CenterSet, CenterUpdate};
+
+/// Intermediate value: partial coordinate sums plus a point count.
+pub type PointSum = (Vec<f64>, u64);
+
+/// Element-wise fold of partial sums (shared by this job's combiner and
+/// reducer and by `KMeansAndFindNewCenters`).
+pub fn fold_point_sums(values: impl IntoIterator<Item = PointSum>) -> Option<PointSum> {
+    let mut acc: Option<PointSum> = None;
+    for (coords, count) in values {
+        match acc.as_mut() {
+            None => acc = Some((coords, count)),
+            Some((sum, total)) => {
+                debug_assert_eq!(sum.len(), coords.len(), "mixed dimensions in shuffle");
+                for (s, c) in sum.iter_mut().zip(&coords) {
+                    *s += c;
+                }
+                *total += count;
+            }
+        }
+    }
+    acc
+}
+
+/// The k-means MapReduce job.
+pub struct KMeansJob {
+    centers: Arc<CenterSet>,
+    combiner: bool,
+}
+
+impl KMeansJob {
+    /// Creates the job for the given current centers.
+    pub fn new(centers: Arc<CenterSet>) -> Self {
+        assert!(!centers.is_empty(), "k-means needs at least one center");
+        Self {
+            centers,
+            combiner: true,
+        }
+    }
+
+    /// Disables or re-enables the map-side combiner. The paper treats
+    /// the combiner as essential (§3.1); the toggle exists for the
+    /// ablation benchmark that quantifies what it buys.
+    pub fn with_combiner(mut self, combiner: bool) -> Self {
+        self.combiner = combiner;
+        self
+    }
+}
+
+/// Mapper of [`KMeansJob`].
+pub struct KMeansMapper {
+    centers: Arc<CenterSet>,
+}
+
+impl KMeansMapper {
+    fn process(
+        &self,
+        point: Vec<f64>,
+        out: &mut MapOutput<'_, i64, PointSum>,
+        ctx: &mut TaskContext,
+    ) {
+        let (_, id, _, evals) = self
+            .centers
+            .nearest_with_cost(&point)
+            .expect("nonempty centers");
+        ctx.charge_distances(evals, self.centers.dim());
+        out.emit(id, (point, 1));
+    }
+}
+
+impl Mapper for KMeansMapper {
+    type Key = i64;
+    type Value = PointSum;
+
+    fn map(
+        &mut self,
+        _offset: u64,
+        line: &str,
+        out: &mut MapOutput<'_, i64, PointSum>,
+        ctx: &mut TaskContext,
+    ) -> Result<()> {
+        let point = parse_point_dim(line, self.centers.dim())?;
+        self.process(point, out, ctx);
+        Ok(())
+    }
+}
+
+impl PointMapper for KMeansMapper {
+    fn map_point(
+        &mut self,
+        point: &[f64],
+        out: &mut MapOutput<'_, i64, PointSum>,
+        ctx: &mut TaskContext,
+    ) -> Result<()> {
+        self.process(point.to_vec(), out, ctx);
+        Ok(())
+    }
+}
+
+/// Reducer of [`KMeansJob`].
+pub struct KMeansReducer;
+
+impl Reducer for KMeansReducer {
+    type Key = i64;
+    type Value = PointSum;
+    type Output = CenterUpdate;
+
+    fn reduce(
+        &mut self,
+        key: i64,
+        values: Values<'_, PointSum>,
+        out: &mut Vec<CenterUpdate>,
+        _ctx: &mut TaskContext,
+    ) -> Result<()> {
+        if let Some((sum, count)) = fold_point_sums(values) {
+            let inv = 1.0 / count as f64;
+            out.push(CenterUpdate {
+                id: key,
+                coords: sum.iter().map(|s| s * inv).collect(),
+                count,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Job for KMeansJob {
+    type Key = i64;
+    type Value = PointSum;
+    type Output = CenterUpdate;
+    type Mapper = KMeansMapper;
+    type Reducer = KMeansReducer;
+
+    fn name(&self) -> &str {
+        "KMeans"
+    }
+
+    fn create_mapper(&self) -> KMeansMapper {
+        KMeansMapper {
+            centers: Arc::clone(&self.centers),
+        }
+    }
+
+    fn create_reducer(&self) -> KMeansReducer {
+        KMeansReducer
+    }
+
+    fn has_combiner(&self) -> bool {
+        self.combiner
+    }
+
+    fn combine(&self, _key: &i64, values: Vec<PointSum>) -> Vec<PointSum> {
+        fold_point_sums(values).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mr::centers::apply_updates;
+    use gmr_datagen::format_point;
+    use gmr_mapreduce::cluster::ClusterConfig;
+    use gmr_mapreduce::dfs::Dfs;
+    use gmr_mapreduce::runtime::JobRunner;
+
+    fn write_points(dfs: &Arc<Dfs>, path: &str, pts: &[Vec<f64>]) {
+        dfs.put_lines(path, pts.iter().map(|p| format_point(p))).unwrap();
+    }
+
+    #[test]
+    fn fold_sums_basic() {
+        let folded = fold_point_sums(vec![(vec![1.0, 2.0], 1), (vec![3.0, 4.0], 2)]).unwrap();
+        assert_eq!(folded, (vec![4.0, 6.0], 3));
+        assert_eq!(fold_point_sums(Vec::new()), None);
+    }
+
+    #[test]
+    fn one_job_equals_one_lloyd_iteration() {
+        // Two 1-D blobs; centers slightly off. After one job the centers
+        // must be the blob means, exactly like serial Lloyd.
+        let dfs = Arc::new(Dfs::new(64));
+        write_points(
+            &dfs,
+            "pts",
+            &[
+                vec![0.0],
+                vec![1.0],
+                vec![2.0],
+                vec![10.0],
+                vec![11.0],
+                vec![12.0],
+            ],
+        );
+        let mut centers = CenterSet::new(1);
+        centers.push(0, &[0.5]);
+        centers.push(1, &[11.5]);
+        let job = KMeansJob::new(Arc::new(centers.clone()));
+        let runner = JobRunner::new(Arc::clone(&dfs), ClusterConfig::default()).unwrap();
+        let result = runner.run(&job, "pts", &JobConfig::with_reducers(2)).unwrap();
+
+        let (next, counts) = apply_updates(&centers, &result.output);
+        assert_eq!(counts, vec![3, 3]);
+        assert!((next.coords(0)[0] - 1.0).abs() < 1e-12);
+        assert!((next.coords(1)[0] - 11.0).abs() < 1e-12);
+
+        // Distance accounting: 6 points × 2 centers.
+        assert_eq!(result.counters.get(Counter::DistanceComputations), 12);
+    }
+
+    #[test]
+    fn empty_cluster_is_absent_from_output() {
+        let dfs = Arc::new(Dfs::new(64));
+        write_points(&dfs, "pts", &[vec![0.0], vec![1.0]]);
+        let mut centers = CenterSet::new(1);
+        centers.push(0, &[0.5]);
+        centers.push(1, &[100.0]);
+        let job = KMeansJob::new(Arc::new(centers.clone()));
+        let runner = JobRunner::new(dfs, ClusterConfig::default()).unwrap();
+        let result = runner.run(&job, "pts", &JobConfig::with_reducers(2)).unwrap();
+        assert_eq!(result.output.len(), 1);
+        assert_eq!(result.output[0].id, 0);
+        let (next, counts) = apply_updates(&centers, &result.output);
+        assert_eq!(next.coords(1), &[100.0]);
+        assert_eq!(counts[1], 0);
+    }
+
+    #[test]
+    fn combiner_collapses_to_one_record_per_center_per_split() {
+        let dfs = Arc::new(Dfs::new(1 << 20)); // single split
+        let pts: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 2) as f64 * 10.0]).collect();
+        write_points(&dfs, "pts", &pts);
+        let mut centers = CenterSet::new(1);
+        centers.push(0, &[0.0]);
+        centers.push(1, &[10.0]);
+        let job = KMeansJob::new(Arc::new(centers));
+        let runner = JobRunner::new(dfs, ClusterConfig::default()).unwrap();
+        let result = runner.run(&job, "pts", &JobConfig::with_reducers(2)).unwrap();
+        assert_eq!(result.counters.get(Counter::MapOutputRecords), 100);
+        // One split, two centers → exactly 2 combined records shuffled.
+        assert_eq!(result.counters.get(Counter::ReduceInputRecords), 2);
+    }
+
+    #[test]
+    fn malformed_point_fails_job() {
+        let dfs = Arc::new(Dfs::new(64));
+        dfs.put_lines("pts", ["1.0", "oops"]).unwrap();
+        let mut centers = CenterSet::new(1);
+        centers.push(0, &[0.0]);
+        let job = KMeansJob::new(Arc::new(centers));
+        let runner = JobRunner::new(dfs, ClusterConfig::default()).unwrap();
+        let err = runner
+            .run(&job, "pts", &JobConfig::with_reducers(1))
+            .unwrap_err();
+        assert!(matches!(err, gmr_mapreduce::Error::Corrupt(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one center")]
+    fn empty_center_set_panics() {
+        KMeansJob::new(Arc::new(CenterSet::new(2)));
+    }
+}

@@ -1,0 +1,47 @@
+//! The MapReduce implementations: the paper's contribution.
+//!
+//! * [`centers`] — center sets shipped to mappers; the `OFFSET` trick.
+//! * [`kmeans_job`] — classical MR k-means with combiners.
+//! * [`find_new_centers`] — Algorithm 2, the fused last-iteration +
+//!   candidate-pick job.
+//! * [`split_test`] — Algorithms 3–5: `TestClusters` (reducer-side) and
+//!   `TestFewClusters` (mapper-side) Anderson–Darling testing.
+//! * [`strategy`] — the §3.2 switch rule between the two test jobs.
+//! * [`driver`] — Algorithm 1: the MapReduce G-means loop.
+//! * [`kmeans_driver`] — plain iterated MR k-means (baseline).
+//! * [`multi_kmeans`] — Algorithm 6: all k in one job per iteration
+//!   (the O(nk²) baseline).
+//! * [`sample`] — serial reservoir sampling for `PickInitialCenters`.
+//! * [`parallel_init`] — k-means‖, the distributed k-means++
+//!   initialization (§2's Bahmani citation), as MapReduce jobs.
+//! * [`model_scoring`] — the "additional job to find the correct value
+//!   of k" the multi-k pipeline needs (§4): one MR pass scoring every
+//!   candidate model's WCSS, feeding the elbow / jump criteria.
+
+pub mod bic_test;
+pub mod centers;
+pub mod driver;
+pub mod find_new_centers;
+pub mod kmeans_driver;
+pub mod kmeans_job;
+pub mod model_scoring;
+pub mod multi_kmeans;
+pub mod parallel_init;
+pub mod sample;
+pub mod split_test;
+pub mod strategy;
+
+pub use centers::{apply_updates, CenterSet, CenterUpdate, OFFSET};
+pub use bic_test::{BicTestJob, BicTestSpec};
+pub use driver::{ExecutionMode, IterationReport, MRGMeans, MRGMeansResult, SplitCriterion};
+pub use find_new_centers::{FindNewCentersJob, FindNewOutput};
+pub use kmeans_driver::{MRKMeans, MRKMeansResult};
+pub use kmeans_job::KMeansJob;
+pub use model_scoring::{score_models, ModelScore, ModelScoringJob, ScoredModels};
+pub use multi_kmeans::{MRKModel, MultiKMeans, MultiKMeansJob, MultiKMeansResult};
+pub use parallel_init::KMeansParallelInit;
+pub use sample::sample_points;
+pub use split_test::{
+    SplitTestSpec, TestClustersJob, TestDecision, TestFewClustersJob, TestOutcome,
+};
+pub use strategy::{choose_strategy, TestStrategy};

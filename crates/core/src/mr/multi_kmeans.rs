@@ -1,0 +1,385 @@
+//! Multi-k-means (Algorithm 6): one MapReduce job per Lloyd iteration
+//! that updates the centers for **every** k in `[k_min, k_max]`
+//! simultaneously.
+//!
+//! This is the baseline the paper compares G-means against: "all
+//! possible values of k can be tested in a single round, thus vastly
+//! reducing the number of iterations and dataset reads" — at the price
+//! of `O(n·k_max²)` distance computations per iteration, which is what
+//! Table 2 and Figure 3 measure.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gmr_datagen::parse_point_dim;
+use gmr_linalg::Dataset;
+use gmr_mapreduce::cost::JobTiming;
+use gmr_mapreduce::counters::Counters;
+use gmr_mapreduce::prelude::*;
+
+use crate::mr::centers::{apply_updates, CenterSet, CenterUpdate};
+use crate::mr::driver::ExecutionMode;
+use crate::mr::kmeans_job::{fold_point_sums, PointSum};
+use crate::mr::sample::sample_points;
+use gmr_mapreduce::cache::PointCache;
+
+/// Intermediate key: `(k-index, center id)` — the paper's `k_centerid`
+/// composite key, kept numeric for cheap shuffle sorting.
+pub type MultiKey = (u32, u32);
+
+/// The multi-k-means job over one family of center sets.
+pub struct MultiKMeansJob {
+    sets: Arc<Vec<CenterSet>>,
+}
+
+impl MultiKMeansJob {
+    /// Creates the job.
+    pub fn new(sets: Arc<Vec<CenterSet>>) -> Self {
+        assert!(!sets.is_empty(), "need at least one center set");
+        assert!(
+            sets.iter().all(|s| !s.is_empty()),
+            "every center set needs centers"
+        );
+        Self { sets }
+    }
+}
+
+/// Mapper: "for k = k_min; k ≤ k_max; k += k_step: find nearest center,
+/// emit(k_centerid ⇒ point)".
+pub struct MultiKMeansMapper {
+    sets: Arc<Vec<CenterSet>>,
+}
+
+impl Mapper for MultiKMeansMapper {
+    type Key = MultiKey;
+    type Value = PointSum;
+
+    fn map(
+        &mut self,
+        _offset: u64,
+        line: &str,
+        out: &mut MapOutput<'_, MultiKey, PointSum>,
+        ctx: &mut TaskContext,
+    ) -> Result<()> {
+        let point = parse_point_dim(line, self.sets[0].dim())?;
+        self.map_point(&point, out, ctx)
+    }
+}
+
+impl PointMapper for MultiKMeansMapper {
+    fn map_point(
+        &mut self,
+        point: &[f64],
+        out: &mut MapOutput<'_, MultiKey, PointSum>,
+        ctx: &mut TaskContext,
+    ) -> Result<()> {
+        let dim = self.sets[0].dim();
+        for (ki, set) in self.sets.iter().enumerate() {
+            let (_, id, _, evals) = set.nearest_with_cost(point).expect("nonempty set");
+            ctx.charge_distances(evals, dim);
+            out.emit((ki as u32, id as u32), (point.to_vec(), 1));
+        }
+        Ok(())
+    }
+}
+
+/// Reducer: classical centroid mean per `(k, center)` key.
+pub struct MultiKMeansReducer;
+
+impl Reducer for MultiKMeansReducer {
+    type Key = MultiKey;
+    type Value = PointSum;
+    type Output = (u32, CenterUpdate);
+
+    fn reduce(
+        &mut self,
+        key: MultiKey,
+        values: Values<'_, PointSum>,
+        out: &mut Vec<(u32, CenterUpdate)>,
+        _ctx: &mut TaskContext,
+    ) -> Result<()> {
+        if let Some((sum, count)) = fold_point_sums(values) {
+            let inv = 1.0 / count as f64;
+            out.push((
+                key.0,
+                CenterUpdate {
+                    id: key.1 as i64,
+                    coords: sum.iter().map(|s| s * inv).collect(),
+                    count,
+                },
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Job for MultiKMeansJob {
+    type Key = MultiKey;
+    type Value = PointSum;
+    type Output = (u32, CenterUpdate);
+    type Mapper = MultiKMeansMapper;
+    type Reducer = MultiKMeansReducer;
+
+    fn name(&self) -> &str {
+        "MultiKMeans"
+    }
+
+    fn create_mapper(&self) -> MultiKMeansMapper {
+        MultiKMeansMapper {
+            sets: Arc::clone(&self.sets),
+        }
+    }
+
+    fn create_reducer(&self) -> MultiKMeansReducer {
+        MultiKMeansReducer
+    }
+
+    fn has_combiner(&self) -> bool {
+        true
+    }
+
+    fn combine(&self, _key: &MultiKey, values: Vec<PointSum>) -> Vec<PointSum> {
+        fold_point_sums(values).into_iter().collect()
+    }
+}
+
+/// One fitted model of the MapReduce multi-k family.
+#[derive(Clone, Debug)]
+pub struct MRKModel {
+    /// Number of clusters of this model.
+    pub k: usize,
+    /// Fitted centers.
+    pub centers: Dataset,
+    /// Points per center after the final iteration.
+    pub counts: Vec<u64>,
+}
+
+/// Result of a full multi-k-means run.
+#[derive(Debug)]
+pub struct MultiKMeansResult {
+    /// One model per tested k, ascending.
+    pub models: Vec<MRKModel>,
+    /// Timing of each Lloyd iteration's job.
+    pub iteration_timings: Vec<JobTiming>,
+    /// Counters accumulated over all jobs.
+    pub counters: Counters,
+    /// Total simulated seconds.
+    pub simulated_secs: f64,
+    /// Real wall-clock seconds.
+    pub wall_secs: f64,
+}
+
+impl MultiKMeansResult {
+    /// Average simulated seconds of a single iteration — the quantity
+    /// Table 2 reports.
+    pub fn avg_iteration_simulated_secs(&self) -> f64 {
+        if self.iteration_timings.is_empty() {
+            0.0
+        } else {
+            self.iteration_timings
+                .iter()
+                .map(|t| t.simulated_secs)
+                .sum::<f64>()
+                / self.iteration_timings.len() as f64
+        }
+    }
+}
+
+/// Driver: initializes a center set per k and iterates the fused job.
+pub struct MultiKMeans {
+    runner: JobRunner,
+    ks: Vec<usize>,
+    iterations: usize,
+    seed: u64,
+    mode: ExecutionMode,
+    kd_index: bool,
+}
+
+impl MultiKMeans {
+    /// Tests every k in `k_min..=k_max` with the given step.
+    ///
+    /// # Panics
+    /// Panics on an empty k range or zero step/iterations.
+    pub fn new(runner: JobRunner, k_min: usize, k_max: usize, k_step: usize, iterations: usize, seed: u64) -> Self {
+        assert!(k_min > 0 && k_min <= k_max, "bad k range");
+        assert!(k_step > 0, "k_step must be positive");
+        assert!(iterations > 0, "need at least one iteration");
+        let ks: Vec<usize> = (k_min..=k_max).step_by(k_step).collect();
+        Self {
+            runner,
+            ks,
+            iterations,
+            seed,
+            mode: ExecutionMode::OnDisk,
+            kd_index: false,
+        }
+    }
+
+    /// Enables the k-d-tree nearest-center index inside the job.
+    pub fn with_kd_index(mut self, kd_index: bool) -> Self {
+        self.kd_index = kd_index;
+        self
+    }
+
+    /// Selects disk-based (Hadoop-style) or cached (Spark-style)
+    /// execution. See [`ExecutionMode`].
+    pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The tested k values.
+    pub fn ks(&self) -> &[usize] {
+        &self.ks
+    }
+
+    /// Runs the sweep over the DFS text file at `input`.
+    pub fn run(&self, input: &str) -> Result<MultiKMeansResult> {
+        let wall = Instant::now();
+        let k_max = *self.ks.last().expect("nonempty ks");
+        // Serial init: one reservoir sample feeds every k (centers for
+        // k are the first k sampled points).
+        let sample = sample_points(self.runner.dfs(), input, k_max, self.seed)?;
+        let dim = sample.dim();
+        let cache = match self.mode {
+            ExecutionMode::OnDisk => None,
+            ExecutionMode::Cached => Some(PointCache::build(
+                self.runner.dfs(),
+                input,
+                dim,
+                gmr_datagen::parse_point,
+            )?),
+        };
+        let mut sets: Vec<CenterSet> = Vec::with_capacity(self.ks.len());
+        for &k in &self.ks {
+            let mut set = CenterSet::new(dim);
+            for i in 0..k {
+                set.push(i as i64, sample.row(i % sample.len()));
+            }
+            sets.push(set);
+        }
+
+        let counters = Counters::new();
+        let mut timings = Vec::with_capacity(self.iterations);
+        let mut simulated = 0.0;
+        let reducers = self
+            .runner
+            .cluster()
+            .total_reduce_slots()
+            .min(self.ks.iter().sum::<usize>())
+            .max(1);
+        let mut counts: Vec<Vec<u64>> = sets.iter().map(|s| vec![0; s.len()]).collect();
+        for _ in 0..self.iterations {
+            let job_sets: Vec<CenterSet> = if self.kd_index {
+                sets.iter().map(|s| s.clone().with_kd_index()).collect()
+            } else {
+                sets.clone()
+            };
+            let job = MultiKMeansJob::new(Arc::new(job_sets));
+            let config = JobConfig::with_reducers(reducers);
+            let result = match cache.as_ref() {
+                Some(cache) => self.runner.run_cached(&job, cache, &config)?,
+                None => self.runner.run(&job, input, &config)?,
+            };
+            counters.merge(&result.counters);
+            simulated += result.timing.simulated_secs;
+
+            let mut per_k: HashMap<u32, Vec<CenterUpdate>> = HashMap::new();
+            for (ki, update) in result.output {
+                per_k.entry(ki).or_default().push(update);
+            }
+            for (ki, set) in sets.iter_mut().enumerate() {
+                let updates = per_k.remove(&(ki as u32)).unwrap_or_default();
+                let (next, c) = apply_updates(set, &updates);
+                *set = next;
+                counts[ki] = c;
+            }
+            timings.push(result.timing);
+        }
+
+        let models = sets
+            .iter()
+            .zip(&self.ks)
+            .zip(&counts)
+            .map(|((set, &k), c)| MRKModel {
+                k,
+                centers: set.to_dataset(),
+                counts: c.clone(),
+            })
+            .collect();
+        Ok(MultiKMeansResult {
+            models,
+            iteration_timings: timings,
+            counters,
+            simulated_secs: simulated,
+            wall_secs: wall.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmr_datagen::{format_point, GaussianMixture};
+    use gmr_mapreduce::cluster::ClusterConfig;
+    use gmr_mapreduce::dfs::Dfs;
+
+    fn runner_with_blobs(k_real: usize, n: usize, seed: u64) -> (JobRunner, Dataset) {
+        let d = GaussianMixture::paper_r10(n, k_real, seed).generate().unwrap();
+        let dfs = Arc::new(Dfs::new(64 * 1024));
+        dfs.put_lines("pts", d.points.rows().map(format_point)).unwrap();
+        (
+            JobRunner::new(dfs, ClusterConfig::default()).unwrap(),
+            d.points,
+        )
+    }
+
+    #[test]
+    fn sweep_produces_model_per_k() {
+        let (runner, data) = runner_with_blobs(4, 1200, 3);
+        let mk = MultiKMeans::new(runner, 1, 6, 1, 5, 9);
+        let r = mk.run("pts").unwrap();
+        assert_eq!(r.models.len(), 6);
+        for (i, m) in r.models.iter().enumerate() {
+            assert_eq!(m.k, i + 1);
+            assert_eq!(m.centers.len(), m.k);
+            assert_eq!(m.counts.iter().sum::<u64>(), 1200, "k={} loses points", m.k);
+        }
+        assert_eq!(r.iteration_timings.len(), 5);
+        assert!(r.avg_iteration_simulated_secs() > 0.0);
+        // WCSS at k=4 (true k) must crush WCSS at k=1.
+        let w1 = crate::eval::wcss(&data, &r.models[0].centers);
+        let w4 = crate::eval::wcss(&data, &r.models[3].centers);
+        assert!(w4 < w1 / 10.0, "w1={w1} w4={w4}");
+    }
+
+    #[test]
+    fn distance_count_is_sum_over_ks() {
+        let (runner, _) = runner_with_blobs(2, 300, 5);
+        let mk = MultiKMeans::new(runner, 1, 4, 1, 1, 2);
+        let r = mk.run("pts").unwrap();
+        // Per point per iteration: 1+2+3+4 = 10 distance computations.
+        assert_eq!(
+            r.counters.get(Counter::DistanceComputations),
+            300 * 10,
+            "O(n·Σk) distances"
+        );
+    }
+
+    #[test]
+    fn step_is_respected() {
+        let (runner, _) = runner_with_blobs(2, 200, 6);
+        let mk = MultiKMeans::new(runner, 2, 10, 4, 1, 1);
+        assert_eq!(mk.ks(), &[2, 6, 10]);
+        let r = mk.run("pts").unwrap();
+        assert_eq!(r.models.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad k range")]
+    fn bad_range_panics() {
+        let (runner, _) = runner_with_blobs(2, 50, 7);
+        MultiKMeans::new(runner, 0, 4, 1, 1, 1);
+    }
+}

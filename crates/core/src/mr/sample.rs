@@ -1,0 +1,115 @@
+//! Serial point sampling from the DFS.
+//!
+//! `PickInitialCenters` is "a serial implementation, that picks initial
+//! centers at random" (§3). Reading the dataset once to reservoir-sample
+//! a handful of points is exactly one dataset read — the driver charges
+//! it as such.
+
+use gmr_datagen::parse_point;
+use gmr_linalg::Dataset;
+use gmr_mapreduce::dfs::Dfs;
+use gmr_mapreduce::{Error, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Reservoir-samples `count` points from a DFS text file (one dataset
+/// read). Returns fewer points when the file is smaller than `count`.
+pub fn sample_points(dfs: &Arc<Dfs>, path: &str, count: usize, seed: u64) -> Result<Dataset> {
+    assert!(count > 0, "sample count must be positive");
+    let splits = dfs.splits(path)?;
+    dfs.begin_dataset_read();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reservoir: Vec<Vec<f64>> = Vec::with_capacity(count);
+    let mut seen = 0usize;
+    for split in &splits {
+        dfs.charge_split_read(split);
+        for (_, line) in split.lines() {
+            let point = parse_point(line)?;
+            seen += 1;
+            if reservoir.len() < count {
+                reservoir.push(point);
+            } else {
+                let j = rng.random_range(0..seen);
+                if j < count {
+                    reservoir[j] = point;
+                }
+            }
+        }
+    }
+    if reservoir.is_empty() {
+        return Err(Error::Config(format!("no points in {path}")));
+    }
+    let dim = reservoir[0].len();
+    let mut ds = Dataset::with_capacity(dim, reservoir.len());
+    for p in &reservoir {
+        if p.len() != dim {
+            return Err(Error::Corrupt(format!(
+                "mixed dimensions in {path}: {} vs {dim}",
+                p.len()
+            )));
+        }
+        ds.push(p);
+    }
+    Ok(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs_with(n: usize) -> Arc<Dfs> {
+        let dfs = Arc::new(Dfs::new(256));
+        dfs.put_lines("pts", (0..n).map(|i| format!("{i} {}", i * 2)))
+            .unwrap();
+        dfs
+    }
+
+    #[test]
+    fn samples_requested_count() {
+        let dfs = fs_with(1000);
+        let s = sample_points(&dfs, "pts", 10, 1).unwrap();
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.dim(), 2);
+        // Sampled rows are real data rows (y = 2x).
+        for row in s.rows() {
+            assert_eq!(row[1], row[0] * 2.0);
+        }
+    }
+
+    #[test]
+    fn small_file_returns_everything() {
+        let dfs = fs_with(5);
+        let s = sample_points(&dfs, "pts", 100, 1).unwrap();
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn counts_as_one_dataset_read() {
+        let dfs = fs_with(100);
+        sample_points(&dfs, "pts", 3, 1).unwrap();
+        assert_eq!(dfs.stats().dataset_reads, 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_spread_out() {
+        let dfs = fs_with(10_000);
+        let a = sample_points(&dfs, "pts", 20, 9).unwrap();
+        let b = sample_points(&dfs, "pts", 20, 9).unwrap();
+        assert_eq!(a, b);
+        let c = sample_points(&dfs, "pts", 20, 10).unwrap();
+        assert_ne!(a, c);
+        // A uniform sample of 20 from 10k must not all come from the
+        // first 1000 rows.
+        assert!(a.rows().any(|r| r[0] > 1000.0));
+    }
+
+    #[test]
+    fn missing_file_and_empty_file_error() {
+        let dfs = Arc::new(Dfs::new(64));
+        assert!(sample_points(&dfs, "nope", 3, 0).is_err());
+        let w = dfs.create("empty", false).unwrap();
+        w.close();
+        assert!(sample_points(&dfs, "empty", 3, 0).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Choosing between the two split-test strategies (§3.2).
+//!
+//! "The algorithm will thus first use the TestFewClusters strategy, and
+//! switch to the other strategy only when the following two conditions
+//! are met: the number of clusters to test is larger than the total
+//! reduce capacity, and the estimated maximum amount of required heap
+//! memory is less than 66% of the heap memory of the JVM."
+//!
+//! The heap estimate multiplies the biggest cluster's point count by the
+//! per-point cost measured in Figure 2 (64 bytes), exactly as the paper
+//! calibrates it; the per-iteration cluster counts come for free from
+//! the k-means reducers.
+
+use gmr_mapreduce::cluster::ClusterConfig;
+use gmr_mapreduce::memory::HeapEstimator;
+
+/// Which split-test job to run this iteration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TestStrategy {
+    /// Mapper-side testing (Algorithm 5) — the low-k workhorse.
+    FewClusters,
+    /// Reducer-side testing (Algorithms 3–4) — used once `k` exceeds
+    /// the cluster's reduce capacity *and* the biggest cluster fits in
+    /// a reducer's heap.
+    Clusters,
+}
+
+/// Applies the paper's switch rule.
+pub fn choose_strategy(
+    clusters_to_test: usize,
+    biggest_cluster_points: u64,
+    cluster: &ClusterConfig,
+) -> TestStrategy {
+    let estimator = HeapEstimator::with_heap(cluster.heap_per_task);
+    if clusters_to_test > cluster.total_reduce_slots() && estimator.fits(biggest_cluster_points) {
+        TestStrategy::Clusters
+    } else {
+        TestStrategy::FewClusters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmr_mapreduce::memory::{BYTES_PER_PROJECTION, MAX_HEAP_USAGE};
+
+    fn cluster() -> ClusterConfig {
+        ClusterConfig::default() // 4 nodes × 8 = 32 reduce slots, 1 GiB heap
+    }
+
+    #[test]
+    fn low_k_uses_few_clusters() {
+        assert_eq!(
+            choose_strategy(4, 1_000_000, &cluster()),
+            TestStrategy::FewClusters
+        );
+    }
+
+    #[test]
+    fn high_k_small_clusters_switch() {
+        assert_eq!(
+            choose_strategy(100, 100_000, &cluster()),
+            TestStrategy::Clusters
+        );
+    }
+
+    #[test]
+    fn high_k_but_huge_cluster_stays_mapper_side() {
+        // A cluster needing more than 66% of the heap must not be sent
+        // to a single reducer.
+        let c = cluster();
+        let too_big =
+            ((c.heap_per_task as f64 * MAX_HEAP_USAGE) as u64 / BYTES_PER_PROJECTION) + 1;
+        assert_eq!(
+            choose_strategy(100, too_big, &c),
+            TestStrategy::FewClusters
+        );
+        let fits = too_big - 2;
+        assert_eq!(choose_strategy(100, fits, &c), TestStrategy::Clusters);
+    }
+
+    #[test]
+    fn boundary_is_reduce_capacity() {
+        let c = cluster();
+        assert_eq!(c.total_reduce_slots(), 32);
+        assert_eq!(choose_strategy(32, 1000, &c), TestStrategy::FewClusters);
+        assert_eq!(choose_strategy(33, 1000, &c), TestStrategy::Clusters);
+    }
+
+    #[test]
+    fn more_nodes_delay_the_switch() {
+        let big = ClusterConfig::with_nodes(12); // 96 reduce slots
+        assert_eq!(choose_strategy(60, 1000, &big), TestStrategy::FewClusters);
+        assert_eq!(choose_strategy(97, 1000, &big), TestStrategy::Clusters);
+    }
+}

@@ -1,0 +1,332 @@
+//! Criteria for choosing k from a family of fitted models.
+//!
+//! The paper's §2 surveys the classical route to k: "run a clustering
+//! algorithm with different values of k, and choose the value of k that
+//! provides the best results according to some criterion". These are
+//! the criteria it lists — the elbow method (Thorndike), the average
+//! silhouette (Rousseeuw), Dunn's index, Sugar & James' jump method and
+//! Tibshirani's gap statistic — implemented over the model family that
+//! [`crate::serial::multi_kmeans`] (or the MapReduce multi-k-means
+//! driver) produces. The paper's point is that this whole pipeline costs
+//! `O(nk²)` where G-means costs `O(nk)`; the ablation benches quantify
+//! exactly that.
+
+use gmr_linalg::{euclidean, nearest_center, squared_euclidean, Dataset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::eval::assign;
+use crate::serial::multik::KModel;
+
+/// Variance explained (the elbow method's y-axis): ratio of
+/// between-group variance to total variance, in `[0, 1]`.
+pub fn variance_explained(data: &Dataset, model: &KModel) -> f64 {
+    let a = assign(data, &model.centers);
+    let total = total_ss(data);
+    if total == 0.0 {
+        return 1.0;
+    }
+    (1.0 - a.wcss / total).clamp(0.0, 1.0)
+}
+
+fn total_ss(data: &Dataset) -> f64 {
+    let mut acc = gmr_linalg::CentroidAccumulator::new(data.dim());
+    for row in data.rows() {
+        acc.push(row);
+    }
+    let mean = acc.mean().expect("nonempty");
+    data.rows()
+        .map(|p| squared_euclidean(p, mean.as_slice()))
+        .sum()
+}
+
+/// Elbow method: picks the k where the marginal gain of explained
+/// variance drops the most (largest negative second difference).
+///
+/// Returns `None` with fewer than three models (no curvature to
+/// measure).
+pub fn elbow(data: &Dataset, models: &[KModel]) -> Option<usize> {
+    if models.len() < 3 {
+        return None;
+    }
+    let ev: Vec<f64> = models.iter().map(|m| variance_explained(data, m)).collect();
+    let mut best_k = None;
+    let mut best_drop = f64::NEG_INFINITY;
+    for i in 1..models.len() - 1 {
+        let gain_before = ev[i] - ev[i - 1];
+        let gain_after = ev[i + 1] - ev[i];
+        let drop = gain_before - gain_after; // curvature at i
+        if drop > best_drop {
+            best_drop = drop;
+            best_k = Some(models[i].k);
+        }
+    }
+    best_k
+}
+
+/// Average silhouette (Rousseeuw) of one model, computed exactly over a
+/// deterministic sample of points.
+///
+/// For a sampled point, `a` is its mean distance to the other points of
+/// its cluster and `b` the smallest mean distance to the points of any
+/// other cluster; the silhouette is `(b − a) / max(a, b)`. The full
+/// criterion is `O(n²)`; sampling ~384 anchor points (all pairwise
+/// partners retained) keeps the estimate unbiased while staying usable
+/// on the paper-scale datasets.
+pub fn average_silhouette(data: &Dataset, model: &KModel) -> f64 {
+    let k = model.centers.len();
+    let n = data.len();
+    if k < 2 || n < 2 {
+        return 0.0;
+    }
+    let assignment = assign(data, &model.centers);
+    // Points per cluster for mean-distance denominators.
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &l) in assignment.labels.iter().enumerate() {
+        members[l as usize].push(i);
+    }
+    let stride = (n / 384).max(1);
+    let mut total = 0.0;
+    let mut sampled = 0usize;
+    for i in (0..n).step_by(stride) {
+        let own = assignment.labels[i] as usize;
+        if members[own].len() < 2 {
+            continue; // singleton cluster: silhouette defined as 0
+        }
+        let p = data.row(i);
+        let mut a = 0.0;
+        for &j in &members[own] {
+            if j != i {
+                a += squared_euclidean(p, data.row(j)).sqrt();
+            }
+        }
+        a /= (members[own].len() - 1) as f64;
+        let mut b = f64::INFINITY;
+        for (c, idxs) in members.iter().enumerate() {
+            if c == own || idxs.is_empty() {
+                continue;
+            }
+            let mut mean = 0.0;
+            for &j in idxs {
+                mean += squared_euclidean(p, data.row(j)).sqrt();
+            }
+            b = b.min(mean / idxs.len() as f64);
+        }
+        let m = a.max(b);
+        if m > 0.0 && m.is_finite() {
+            total += (b - a) / m;
+        }
+        sampled += 1;
+    }
+    if sampled == 0 {
+        0.0
+    } else {
+        total / sampled as f64
+    }
+}
+
+/// Silhouette criterion: the k whose model has the highest average
+/// silhouette.
+pub fn best_silhouette(data: &Dataset, models: &[KModel]) -> Option<usize> {
+    models
+        .iter()
+        .map(|m| (m.k, average_silhouette(data, m)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite silhouettes"))
+        .map(|(k, _)| k)
+}
+
+/// Centroid-based Dunn index: minimum center-to-center distance divided
+/// by the largest cluster diameter (twice the largest point-to-center
+/// distance). Higher is better; degenerate models score `0`.
+pub fn dunn_index(data: &Dataset, model: &KModel) -> f64 {
+    let k = model.centers.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let rows: Vec<&[f64]> = model.centers.rows().collect();
+    let mut min_sep = f64::INFINITY;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            min_sep = min_sep.min(euclidean(rows[i], rows[j]));
+        }
+    }
+    let mut max_radius = vec![0.0f64; k];
+    for p in data.rows() {
+        let (idx, d2) = nearest_center(p, rows.iter().copied()).expect("centers");
+        max_radius[idx] = max_radius[idx].max(d2.sqrt());
+    }
+    let max_diameter = 2.0 * max_radius.iter().fold(0.0f64, |a, &b| a.max(b));
+    if max_diameter == 0.0 {
+        return 0.0;
+    }
+    min_sep / max_diameter
+}
+
+/// Dunn criterion: the k with the highest Dunn index.
+pub fn best_dunn(data: &Dataset, models: &[KModel]) -> Option<usize> {
+    models
+        .iter()
+        .map(|m| (m.k, dunn_index(data, m)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite dunn"))
+        .map(|(k, _)| k)
+}
+
+/// Jump method (Sugar & James): transformed distortion
+/// `d_k = (WCSS / (n·dim))^(−dim/2)`; the chosen k maximizes the jump
+/// `d_k − d_{k−1}`. The first model's jump uses `d_0 = 0`.
+pub fn jump_method(data: &Dataset, models: &[KModel]) -> Option<usize> {
+    if models.is_empty() {
+        return None;
+    }
+    let n = data.len() as f64;
+    let dim = data.dim() as f64;
+    let power = -dim / 2.0;
+    let mut prev = 0.0;
+    let mut best: Option<(usize, f64)> = None;
+    for m in models {
+        let distortion = (assign(data, &m.centers).wcss / (n * dim)).max(1e-300);
+        let transformed = distortion.powf(power);
+        let jump = transformed - prev;
+        prev = transformed;
+        if best.map_or(true, |(_, bj)| jump > bj) {
+            best = Some((m.k, jump));
+        }
+    }
+    best.map(|(k, _)| k)
+}
+
+/// Gap statistic (Tibshirani et al.): compares `log(W_k)` against its
+/// expectation under a uniform reference distribution over the data's
+/// bounding box, using `b_refs` reference draws. Returns the smallest k
+/// with `Gap(k) ≥ Gap(k+1) − s_{k+1}`.
+pub fn gap_statistic(data: &Dataset, models: &[KModel], b_refs: usize, seed: u64) -> Option<usize> {
+    if models.is_empty() || b_refs == 0 {
+        return None;
+    }
+    // Bounding box of the data.
+    let dim = data.dim();
+    let mut lo = vec![f64::INFINITY; dim];
+    let mut hi = vec![f64::NEG_INFINITY; dim];
+    for p in data.rows() {
+        for d in 0..dim {
+            lo[d] = lo[d].min(p[d]);
+            hi[d] = hi[d].max(p[d]);
+        }
+    }
+
+    let mut gaps = Vec::with_capacity(models.len());
+    let mut sks = Vec::with_capacity(models.len());
+    for m in models {
+        let log_w = assign(data, &m.centers).wcss.max(1e-300).ln();
+        // Reference dispersion: k-means with the same k on uniform data.
+        let mut ref_logs = Vec::with_capacity(b_refs);
+        for b in 0..b_refs {
+            let mut rng = StdRng::seed_from_u64(seed ^ ((m.k as u64) << 32) ^ b as u64);
+            let mut ref_data = Dataset::with_capacity(dim, data.len());
+            let mut buf = vec![0.0; dim];
+            for _ in 0..data.len() {
+                for d in 0..dim {
+                    buf[d] = if hi[d] > lo[d] {
+                        rng.random_range(lo[d]..hi[d])
+                    } else {
+                        lo[d]
+                    };
+                }
+                ref_data.push(&buf);
+            }
+            let r = crate::serial::kmeans::kmeans(
+                &ref_data,
+                &crate::config::KMeansConfig::new(m.k).with_iterations(5).with_seed(b as u64),
+                crate::serial::init::InitStrategy::KMeansPlusPlus,
+            );
+            ref_logs.push(r.wcss.max(1e-300).ln());
+        }
+        let mean_ref = ref_logs.iter().sum::<f64>() / b_refs as f64;
+        let sd_ref = (ref_logs.iter().map(|l| (l - mean_ref).powi(2)).sum::<f64>()
+            / b_refs as f64)
+            .sqrt();
+        gaps.push(mean_ref - log_w);
+        sks.push(sd_ref * (1.0 + 1.0 / b_refs as f64).sqrt());
+    }
+    for i in 0..models.len() - 1 {
+        if gaps[i] >= gaps[i + 1] - sks[i + 1] {
+            return Some(models[i].k);
+        }
+    }
+    models.last().map(|m| m.k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::multik::multi_kmeans;
+    use gmr_datagen::GaussianMixture;
+
+    fn models_on(k_real: usize, seed: u64) -> (Dataset, Vec<KModel>) {
+        let d = GaussianMixture::paper_r10(1500, k_real, seed).generate().unwrap();
+        let models = multi_kmeans(&d.points, 1, 2 * k_real, 1, 8, 3);
+        (d.points, models)
+    }
+
+    #[test]
+    fn variance_explained_increases_with_k() {
+        let (data, models) = models_on(4, 31);
+        let e1 = variance_explained(&data, &models[0]);
+        let e4 = variance_explained(&data, &models[3]);
+        assert!(e4 > e1);
+        assert!((0.0..=1.0).contains(&e1));
+        assert!((0.0..=1.0).contains(&e4));
+        // At k = k_real nearly all variance is explained.
+        assert!(e4 > 0.99, "explained only {e4}");
+    }
+
+    #[test]
+    fn elbow_finds_the_knee() {
+        let (data, models) = models_on(4, 32);
+        let k = elbow(&data, &models).unwrap();
+        assert!((3..=5).contains(&k), "elbow picked {k} for k_real=4");
+    }
+
+    #[test]
+    fn silhouette_peaks_near_k_real() {
+        let (data, models) = models_on(5, 33);
+        let k = best_silhouette(&data, &models).unwrap();
+        assert!((4..=6).contains(&k), "silhouette picked {k} for k_real=5");
+    }
+
+    #[test]
+    fn dunn_peaks_near_k_real() {
+        let (data, models) = models_on(4, 34);
+        let k = best_dunn(&data, &models).unwrap();
+        assert!((3..=6).contains(&k), "dunn picked {k} for k_real=4");
+    }
+
+    #[test]
+    fn jump_picks_near_k_real() {
+        let (data, models) = models_on(5, 35);
+        let k = jump_method(&data, &models).unwrap();
+        assert!((4..=7).contains(&k), "jump picked {k} for k_real=5");
+    }
+
+    #[test]
+    fn gap_statistic_picks_near_k_real() {
+        let d = GaussianMixture::paper_r10(800, 3, 36).generate().unwrap();
+        let models = multi_kmeans(&d.points, 1, 6, 1, 8, 3);
+        let k = gap_statistic(&d.points, &models, 3, 99).unwrap();
+        assert!((2..=4).contains(&k), "gap picked {k} for k_real=3");
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none_or_zero() {
+        let data = Dataset::from_flat(1, vec![1.0, 2.0, 3.0]);
+        assert_eq!(elbow(&data, &[]), None);
+        assert_eq!(jump_method(&data, &[]), None);
+        let single = KModel {
+            k: 1,
+            centers: Dataset::from_flat(1, vec![2.0]),
+            wcss: 2.0,
+        };
+        assert_eq!(dunn_index(&data, &single), 0.0);
+        assert_eq!(average_silhouette(&data, &single), 0.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Canopy clustering (McCallum, Nigam & Ungar, KDD 2000).
+//!
+//! The paper cites canopies twice: as a common way to "compute the
+//! initial centers" for k-means, and as a pre-partitioning technique
+//! for high-dimensional data (§2). The algorithm is a single cheap
+//! pass: repeatedly pick a remaining point as a canopy center, pull
+//! every point within the loose threshold `t1` into its canopy, and
+//! remove points within the tight threshold `t2` from further
+//! consideration. The canopy centers make good k-means seeds; the
+//! (overlapping) canopy memberships bound which center/point pairs need
+//! exact distances.
+
+use gmr_linalg::{squared_euclidean, Dataset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One canopy: a center plus the indices of its (possibly shared)
+/// members.
+#[derive(Clone, Debug)]
+pub struct Canopy {
+    /// Index of the point chosen as the canopy center.
+    pub center: usize,
+    /// Indices of all points within `t1` of the center.
+    pub members: Vec<usize>,
+}
+
+/// Result of a canopy pass.
+#[derive(Clone, Debug)]
+pub struct CanopyResult {
+    /// The canopies, in creation order.
+    pub canopies: Vec<Canopy>,
+}
+
+impl CanopyResult {
+    /// Number of canopies (a cheap upper estimate of k, and the number
+    /// of seeds this pass provides).
+    pub fn k(&self) -> usize {
+        self.canopies.len()
+    }
+
+    /// The canopy centers as a dataset (k-means seeds).
+    pub fn centers(&self, data: &Dataset) -> Dataset {
+        let mut out = Dataset::with_capacity(data.dim(), self.canopies.len());
+        for c in &self.canopies {
+            out.push(data.row(c.center));
+        }
+        out
+    }
+}
+
+/// Runs canopy clustering with loose threshold `t1` and tight
+/// threshold `t2`.
+///
+/// # Panics
+/// Panics unless `t1 > t2 > 0` and `data` is nonempty.
+pub fn canopy_clustering(data: &Dataset, t1: f64, t2: f64, seed: u64) -> CanopyResult {
+    assert!(!data.is_empty(), "cannot canopy an empty dataset");
+    assert!(t2 > 0.0 && t1 > t2, "need t1 > t2 > 0 (got t1={t1}, t2={t2})");
+    let t1_sq = t1 * t1;
+    let t2_sq = t2 * t2;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // `alive[i]` — still eligible to *found* a canopy.
+    let mut alive: Vec<usize> = (0..data.len()).collect();
+    let mut canopies = Vec::new();
+    while !alive.is_empty() {
+        let pick = rng.random_range(0..alive.len());
+        let center = alive.swap_remove(pick);
+        let center_row = data.row(center);
+
+        let mut members = vec![center];
+        // Membership is tested against every point (canopies overlap);
+        // removal only against the alive list.
+        for (i, row) in data.rows().enumerate() {
+            if i == center {
+                continue;
+            }
+            if squared_euclidean(center_row, row) <= t1_sq {
+                members.push(i);
+            }
+        }
+        alive.retain(|&i| squared_euclidean(center_row, data.row(i)) > t2_sq);
+        canopies.push(Canopy { center, members });
+    }
+    CanopyResult { canopies }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmr_datagen::GaussianMixture;
+
+    #[test]
+    fn well_separated_blobs_are_each_anchored_by_a_canopy() {
+        let d = GaussianMixture::paper_r10(2000, 6, 60).generate().unwrap();
+        // Blobs have σ = 1 (point-to-point distances ≈ √20 ≈ 4.5 in
+        // R¹⁰) and ≥8σ mean separation. t2 = 7 swallows most of a blob;
+        // a handful of tail points per blob found straggler canopies —
+        // canopies over-estimate k by design (they are an upper bound).
+        let r = canopy_clustering(&d.points, 9.0, 7.0, 1);
+        assert!(
+            (6..=20).contains(&r.k()),
+            "{} canopies for 6 blobs",
+            r.k()
+        );
+        // Every true center is anchored by some canopy center.
+        for t in d.true_centers.rows() {
+            let best = r
+                .canopies
+                .iter()
+                .map(|c| gmr_linalg::euclidean(d.points.row(c.center), t))
+                .fold(f64::INFINITY, f64::min);
+            assert!(best < 7.0, "a blob has no canopy anchor ({best})");
+        }
+        // Every point belongs to at least one canopy.
+        let mut covered = vec![false; d.points.len()];
+        for c in &r.canopies {
+            for &m in &c.members {
+                covered[m] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "uncovered points");
+    }
+
+    #[test]
+    fn canopy_centers_seed_kmeans_well() {
+        let d = GaussianMixture::paper_r10(3000, 5, 61).generate().unwrap();
+        let r = canopy_clustering(&d.points, 9.0, 7.0, 2);
+        assert!(r.k() >= 5);
+        let seeds = r.centers(&d.points);
+        let fit = crate::serial::kmeans_from(
+            &d.points,
+            seeds,
+            &crate::config::KMeansConfig::new(r.k()).with_iterations(10),
+        );
+        // Canopy seeding guarantees every blob is covered (the extra
+        // straggler seeds merely split blobs, never starve one). A
+        // split blob's sub-centers sit up to ~1σ off its true mean.
+        for t in d.true_centers.rows() {
+            let best = fit
+                .centers
+                .rows()
+                .map(|c| gmr_linalg::euclidean(c, t))
+                .fold(f64::INFINITY, f64::min);
+            assert!(best < 2.0, "missed a center by {best}");
+        }
+    }
+
+    #[test]
+    fn tight_thresholds_make_many_canopies() {
+        let d = GaussianMixture::figure_r2(500, 62).generate().unwrap();
+        let coarse = canopy_clustering(&d.points, 20.0, 10.0, 3);
+        let fine = canopy_clustering(&d.points, 2.0, 1.0, 3);
+        assert!(fine.k() > coarse.k());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = GaussianMixture::figure_r2(400, 63).generate().unwrap();
+        let a = canopy_clustering(&d.points, 10.0, 5.0, 7);
+        let b = canopy_clustering(&d.points, 10.0, 5.0, 7);
+        assert_eq!(a.canopies.len(), b.canopies.len());
+        for (x, y) in a.canopies.iter().zip(&b.canopies) {
+            assert_eq!(x.center, y.center);
+            assert_eq!(x.members, y.members);
+        }
+    }
+
+    #[test]
+    fn single_point_is_one_canopy() {
+        let data = Dataset::from_flat(2, vec![1.0, 2.0]);
+        let r = canopy_clustering(&data, 2.0, 1.0, 0);
+        assert_eq!(r.k(), 1);
+        assert_eq!(r.canopies[0].members, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "t1 > t2")]
+    fn inverted_thresholds_panic() {
+        let data = Dataset::from_flat(1, vec![0.0, 1.0]);
+        canopy_clustering(&data, 1.0, 2.0, 0);
+    }
+}

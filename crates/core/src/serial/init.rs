@@ -1,0 +1,198 @@
+//! Center initialization strategies.
+//!
+//! The paper's own implementation "picks initial centers at random, but
+//! other distributed or more efficient algorithms can be found in the
+//! literature and can perfectly be used instead" (§3). Both strategies
+//! it cites are provided: uniform random picks and k-means++ (Arthur &
+//! Vassilvitskii 2007), which §2 describes as reducing "the probability
+//! to fall into a local minimum".
+
+use gmr_linalg::{squared_euclidean, Dataset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How initial centers are chosen.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum InitStrategy {
+    /// `k` distinct points drawn uniformly at random (the paper's
+    /// choice).
+    #[default]
+    Random,
+    /// k-means++: each next center is drawn with probability
+    /// proportional to its squared distance from the nearest already
+    /// chosen center.
+    KMeansPlusPlus,
+}
+
+/// Picks `k` initial centers from `data` using `strategy`.
+///
+/// # Panics
+/// Panics if `data` is empty or `k == 0`; if `k > data.len()`, some
+/// centers will coincide (duplicates are tolerated, matching the
+/// behaviour of sampling from a tiny dataset).
+pub fn initial_centers(data: &Dataset, k: usize, strategy: InitStrategy, seed: u64) -> Dataset {
+    assert!(k > 0, "k must be positive");
+    assert!(!data.is_empty(), "cannot initialize from an empty dataset");
+    let mut rng = StdRng::seed_from_u64(seed);
+    match strategy {
+        InitStrategy::Random => random_centers(data, k, &mut rng),
+        InitStrategy::KMeansPlusPlus => kmeanspp_centers(data, k, &mut rng),
+    }
+}
+
+fn random_centers(data: &Dataset, k: usize, rng: &mut StdRng) -> Dataset {
+    let n = data.len();
+    let mut centers = Dataset::with_capacity(data.dim(), k);
+    if k >= n {
+        // Take everything, then repeat random rows.
+        for i in 0..n {
+            centers.push(data.row(i));
+        }
+        for _ in n..k {
+            centers.push(data.row(rng.random_range(0..n)));
+        }
+        return centers;
+    }
+    // Distinct indices via partial Fisher–Yates over an index vec when k
+    // is a large fraction of n, rejection sampling otherwise.
+    if k * 4 >= n {
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = rng.random_range(i..n);
+            idx.swap(i, j);
+            centers.push(data.row(idx[i]));
+        }
+    } else {
+        let mut chosen = std::collections::HashSet::with_capacity(k);
+        while chosen.len() < k {
+            let i = rng.random_range(0..n);
+            if chosen.insert(i) {
+                centers.push(data.row(i));
+            }
+        }
+    }
+    centers
+}
+
+fn kmeanspp_centers(data: &Dataset, k: usize, rng: &mut StdRng) -> Dataset {
+    let n = data.len();
+    let mut centers = Dataset::with_capacity(data.dim(), k);
+    centers.push(data.row(rng.random_range(0..n)));
+    // dist2[i] = squared distance of point i to its nearest chosen center.
+    let mut dist2: Vec<f64> = data
+        .rows()
+        .map(|p| squared_euclidean(p, centers.row(0)))
+        .collect();
+    while centers.len() < k {
+        let total: f64 = dist2.iter().sum();
+        let pick = if total <= 0.0 {
+            // All remaining mass is zero (k > distinct points): any index.
+            rng.random_range(0..n)
+        } else {
+            let mut target = rng.random_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &d) in dist2.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        centers.push(data.row(pick));
+        let new_center: Vec<f64> = data.row(pick).to_vec();
+        for (i, d) in dist2.iter_mut().enumerate() {
+            let nd = squared_euclidean(data.row(i), &new_center);
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    centers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_dataset(n: usize) -> Dataset {
+        Dataset::from_flat(1, (0..n).map(|i| i as f64).collect())
+    }
+
+    #[test]
+    fn random_centers_are_data_points_and_distinct() {
+        let data = line_dataset(100);
+        let c = initial_centers(&data, 10, InitStrategy::Random, 1);
+        assert_eq!(c.len(), 10);
+        let mut vals: Vec<f64> = c.rows().map(|r| r[0]).collect();
+        vals.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.dedup();
+        assert_eq!(vals.len(), 10, "random centers must be distinct points");
+        for v in vals {
+            assert!(v.fract() == 0.0 && (0.0..100.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = line_dataset(50);
+        for strategy in [InitStrategy::Random, InitStrategy::KMeansPlusPlus] {
+            let a = initial_centers(&data, 5, strategy, 7);
+            let b = initial_centers(&data, 5, strategy, 7);
+            assert_eq!(a, b);
+            let c = initial_centers(&data, 5, strategy, 8);
+            assert_ne!(a, c, "different seeds should differ ({strategy:?})");
+        }
+    }
+
+    #[test]
+    fn k_equal_n_takes_all_points() {
+        let data = line_dataset(5);
+        let c = initial_centers(&data, 5, InitStrategy::Random, 3);
+        let mut vals: Vec<f64> = c.rows().map(|r| r[0]).collect();
+        vals.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(vals, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn k_bigger_than_n_duplicates() {
+        let data = line_dataset(3);
+        let c = initial_centers(&data, 6, InitStrategy::Random, 3);
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn kmeanspp_spreads_centers() {
+        // Two tight blobs far apart: k-means++ with k=2 must take one
+        // center from each blob, for any seed.
+        let mut data = Dataset::new(1);
+        for i in 0..50 {
+            data.push(&[i as f64 * 0.01]);
+        }
+        for i in 0..50 {
+            data.push(&[1000.0 + i as f64 * 0.01]);
+        }
+        for seed in 0..20 {
+            let c = initial_centers(&data, 2, InitStrategy::KMeansPlusPlus, seed);
+            let a = c.row(0)[0];
+            let b = c.row(1)[0];
+            assert!(
+                (a < 500.0) != (b < 500.0),
+                "seed {seed}: both centers in one blob ({a}, {b})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        initial_centers(&line_dataset(10), 0, InitStrategy::Random, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_data_panics() {
+        initial_centers(&Dataset::new(2), 3, InitStrategy::Random, 0);
+    }
+}

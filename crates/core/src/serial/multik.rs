@@ -1,0 +1,101 @@
+//! Serial multi-k-means: fit models for every k in a range.
+//!
+//! This is the single-machine counterpart of the paper's Algorithm 6:
+//! "the classical way to find k is to … let [k-means] run for different
+//! values of k, and use one of the criteria … to find the best value of
+//! k". The MapReduce version updates all k simultaneously per job; the
+//! serial version simply loops, producing the same family of models that
+//! [`crate::selection`] criteria choose from.
+
+use gmr_linalg::Dataset;
+
+use crate::config::KMeansConfig;
+use crate::serial::init::{initial_centers, InitStrategy};
+use crate::serial::kmeans::kmeans_from;
+
+/// One fitted model of the multi-k family.
+#[derive(Clone, Debug)]
+pub struct KModel {
+    /// The k this model was fitted with.
+    pub k: usize,
+    /// Fitted centers.
+    pub centers: Dataset,
+    /// Final within-cluster sum of squares.
+    pub wcss: f64,
+}
+
+/// Fits k-means for every `k` in `k_min..=k_max` with the given step.
+///
+/// Each model is initialized independently (random points, seeded per
+/// k) and refined for `iterations` Lloyd rounds — the paper's Table 3
+/// lets multi-k-means run 10 iterations, "enough to find a stable
+/// solution".
+///
+/// # Panics
+/// Panics if the range is empty, `k_step == 0` or `data` is empty.
+pub fn multi_kmeans(
+    data: &Dataset,
+    k_min: usize,
+    k_max: usize,
+    k_step: usize,
+    iterations: usize,
+    seed: u64,
+) -> Vec<KModel> {
+    assert!(k_min > 0 && k_min <= k_max, "bad k range");
+    assert!(k_step > 0, "k_step must be positive");
+    assert!(!data.is_empty(), "cannot cluster an empty dataset");
+    let mut models = Vec::new();
+    let mut k = k_min;
+    while k <= k_max {
+        let init = initial_centers(data, k, InitStrategy::Random, seed ^ (k as u64) << 17);
+        let r = kmeans_from(data, init, &KMeansConfig::new(k).with_iterations(iterations));
+        models.push(KModel {
+            k,
+            centers: r.centers,
+            wcss: r.wcss,
+        });
+        k += k_step;
+    }
+    models
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmr_datagen::GaussianMixture;
+
+    #[test]
+    fn produces_one_model_per_k() {
+        let d = GaussianMixture::paper_r10(500, 4, 8).generate().unwrap();
+        let models = multi_kmeans(&d.points, 1, 8, 1, 5, 0);
+        assert_eq!(models.len(), 8);
+        for (i, m) in models.iter().enumerate() {
+            assert_eq!(m.k, i + 1);
+            assert_eq!(m.centers.len(), m.k);
+        }
+    }
+
+    #[test]
+    fn step_is_respected() {
+        let d = GaussianMixture::paper_r10(300, 4, 8).generate().unwrap();
+        let models = multi_kmeans(&d.points, 2, 10, 3, 3, 0);
+        let ks: Vec<usize> = models.iter().map(|m| m.k).collect();
+        assert_eq!(ks, vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn wcss_trends_downward_in_k() {
+        let d = GaussianMixture::paper_r10(2000, 6, 10).generate().unwrap();
+        let models = multi_kmeans(&d.points, 1, 10, 1, 8, 1);
+        // Independent restarts are not strictly monotone, but the first
+        // and last models must differ hugely on well-separated data.
+        assert!(models[0].wcss > 10.0 * models.last().unwrap().wcss);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad k range")]
+    fn empty_range_panics() {
+        let d = Dataset::from_flat(1, vec![1.0]);
+        multi_kmeans(&d, 3, 2, 1, 1, 0);
+    }
+}

@@ -1,0 +1,256 @@
+//! X-means (Pelleg & Moore, 2000): the BIC-driven alternative to
+//! G-means that the paper's related work compares against.
+//!
+//! X-means alternates "improve-params" (plain k-means) with
+//! "improve-structure": every cluster is tentatively split in two and
+//! the split is kept when the Bayesian Information Criterion of the
+//! two-cluster model on that cluster's points beats the one-cluster
+//! model. G-means' own evaluation (Hamerly & Elkan) found that X-means
+//! tends to overfit non-Gaussian data; having both lets the example
+//! programs and the ablation benches compare the two split criteria on
+//! identical substrates.
+
+use gmr_linalg::{nearest_center, squared_euclidean, Dataset, Point};
+use gmr_stats::{bic_spherical, ClusterModelStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::KMeansConfig;
+use crate::serial::kmeans::kmeans_from;
+
+/// Configuration of X-means.
+#[derive(Clone, Copy, Debug)]
+pub struct XMeansConfig {
+    /// Initial number of clusters.
+    pub k_min: usize,
+    /// Upper bound on clusters.
+    pub k_max: usize,
+    /// Lloyd iterations per improve-params phase.
+    pub kmeans_iterations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for XMeansConfig {
+    fn default() -> Self {
+        Self {
+            k_min: 1,
+            k_max: 64,
+            kmeans_iterations: 10,
+            seed: 0xdecafbad,
+        }
+    }
+}
+
+/// Result of an X-means run.
+#[derive(Clone, Debug)]
+pub struct XMeansResult {
+    /// Discovered centers.
+    pub centers: Dataset,
+    /// Structure-improvement rounds performed.
+    pub rounds: usize,
+}
+
+impl XMeansResult {
+    /// Number of discovered clusters.
+    pub fn k(&self) -> usize {
+        self.centers.len()
+    }
+}
+
+/// Runs X-means on `data`.
+///
+/// # Panics
+/// Panics if `data` is empty or `k_min == 0` or `k_min > k_max`.
+pub fn xmeans(data: &Dataset, config: &XMeansConfig) -> XMeansResult {
+    assert!(!data.is_empty(), "cannot cluster an empty dataset");
+    assert!(config.k_min > 0 && config.k_min <= config.k_max, "bad k range");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let dim = data.dim();
+
+    let mut centers = crate::serial::init::initial_centers(
+        data,
+        config.k_min,
+        crate::serial::init::InitStrategy::KMeansPlusPlus,
+        config.seed,
+    );
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        // Improve-params.
+        centers = kmeans_from(
+            data,
+            centers,
+            &KMeansConfig::new(0).with_iterations(config.kmeans_iterations),
+        )
+        .centers;
+
+        // Partition points by cluster.
+        let mut subsets: Vec<Dataset> = (0..centers.len()).map(|_| Dataset::new(dim)).collect();
+        let center_rows: Vec<&[f64]> = centers.rows().collect();
+        for row in data.rows() {
+            let (idx, _) = nearest_center(row, center_rows.iter().copied()).expect("centers");
+            subsets[idx].push(row);
+        }
+
+        // Improve-structure: per-cluster BIC split test.
+        let mut next = Dataset::new(dim);
+        let mut split_any = false;
+        for (i, subset) in subsets.iter().enumerate() {
+            let parent = centers.point(i);
+            let remaining = config.k_max.saturating_sub(next.len() + (subsets.len() - i - 1));
+            if subset.len() < 4 || remaining < 2 {
+                next.push(parent.as_slice());
+                continue;
+            }
+            match try_split(subset, &parent, config, &mut rng) {
+                Some((c1, c2)) => {
+                    split_any = true;
+                    next.push(c1.as_slice());
+                    next.push(c2.as_slice());
+                }
+                None => next.push(parent.as_slice()),
+            }
+        }
+        centers = next;
+        if !split_any || centers.len() >= config.k_max || rounds >= 64 {
+            break;
+        }
+    }
+    XMeansResult { centers, rounds }
+}
+
+/// BIC-compares the one-cluster model of `subset` against a locally
+/// fitted two-cluster model; returns the children when splitting wins.
+fn try_split(
+    subset: &Dataset,
+    parent: &Point,
+    config: &XMeansConfig,
+    rng: &mut StdRng,
+) -> Option<(Point, Point)> {
+    let n = subset.len();
+    let dim = subset.dim();
+
+    // Parent model score.
+    let parent_wcss: f64 = subset
+        .rows()
+        .map(|p| squared_euclidean(p, parent.as_slice()))
+        .sum();
+    let bic1 = bic_spherical(&ClusterModelStats {
+        cluster_sizes: vec![n as u64],
+        wcss: parent_wcss,
+        dim,
+    })?;
+
+    // Child model: 2-means from two random points.
+    let i = rng.random_range(0..n);
+    let mut j = rng.random_range(0..n);
+    if subset.row(i) == subset.row(j) {
+        j = (i + 1) % n;
+    }
+    let mut starts = Dataset::with_capacity(dim, 2);
+    starts.push(subset.row(i));
+    starts.push(subset.row(j));
+    let refined = kmeans_from(
+        subset,
+        starts,
+        &KMeansConfig::new(2).with_iterations(config.kmeans_iterations),
+    );
+    let c1 = refined.centers.point(0);
+    let c2 = refined.centers.point(1);
+
+    let mut sizes = [0u64; 2];
+    let mut wcss2 = 0.0;
+    for row in subset.rows() {
+        let (idx, d2) = nearest_center(row, [c1.as_slice(), c2.as_slice()]).expect("two");
+        sizes[idx] += 1;
+        wcss2 += d2;
+    }
+    if sizes[0] == 0 || sizes[1] == 0 {
+        return None;
+    }
+    let bic2 = bic_spherical(&ClusterModelStats {
+        cluster_sizes: sizes.to_vec(),
+        wcss: wcss2,
+        dim,
+    })?;
+
+    (bic2 > bic1).then_some((c1, c2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmr_datagen::{ClusterWeights, GaussianMixture};
+    use gmr_linalg::euclidean;
+
+    #[test]
+    fn single_gaussian_stays_single() {
+        let spec = GaussianMixture {
+            n_points: 2000,
+            dim: 2,
+            n_clusters: 1,
+            box_min: 0.0,
+            box_max: 10.0,
+            stddev: 1.0,
+            min_separation_sigmas: 0.0,
+            seed: 3,
+            weights: ClusterWeights::Balanced,
+        };
+        let d = spec.generate().unwrap();
+        let r = xmeans(&d.points, &XMeansConfig::default());
+        assert!(r.k() <= 2, "split a single Gaussian into {}", r.k());
+    }
+
+    #[test]
+    fn finds_separated_clusters() {
+        let d = GaussianMixture::paper_r10(4000, 8, 21).generate().unwrap();
+        let r = xmeans(&d.points, &XMeansConfig::default());
+        assert!(
+            (8..=14).contains(&r.k()),
+            "found {} clusters for 8 real",
+            r.k()
+        );
+        for t in d.true_centers.rows() {
+            let best = r
+                .centers
+                .rows()
+                .map(|c| euclidean(c, t))
+                .fold(f64::INFINITY, f64::min);
+            assert!(best < 2.0, "missed a true center by {best}");
+        }
+    }
+
+    #[test]
+    fn respects_k_max() {
+        let d = GaussianMixture::paper_r10(3000, 10, 5).generate().unwrap();
+        let cfg = XMeansConfig {
+            k_max: 4,
+            ..XMeansConfig::default()
+        };
+        let r = xmeans(&d.points, &cfg);
+        assert!(r.k() <= 4, "k_max violated: {}", r.k());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = GaussianMixture::figure_r2(1000, 9).generate().unwrap();
+        let a = xmeans(&d.points, &XMeansConfig::default());
+        let b = xmeans(&d.points, &XMeansConfig::default());
+        assert_eq!(a.centers, b.centers);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad k range")]
+    fn invalid_range_panics() {
+        let d = Dataset::from_flat(1, vec![1.0, 2.0]);
+        xmeans(
+            &d,
+            &XMeansConfig {
+                k_min: 5,
+                k_max: 2,
+                ..XMeansConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! The point-per-line text encoding.
+//!
+//! Points travel through the DFS exactly as the paper stores them in
+//! HDFS: one point per line, coordinates as space-separated decimal
+//! strings. §3.2 sizes reducer memory assuming "the value of a point in
+//! each dimension is stored as a string of approximatively 15
+//! characters (the number of significant decimal digits of IEEE 754
+//! double-precision floating-point format)"; the formatter below emits
+//! full round-trip precision, which lands in the same regime.
+
+use gmr_mapreduce::{Error, Result};
+
+/// Formats a point as a space-separated coordinate line.
+///
+/// Uses the shortest representation that round-trips through `f64`
+/// parsing, so `parse_point(&format_point(p)) == p` bit-for-bit for
+/// finite coordinates.
+pub fn format_point(coords: &[f64]) -> String {
+    let mut s = String::with_capacity(coords.len() * 16);
+    for (i, c) in coords.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        // `{}` on f64 is the shortest round-trip representation.
+        s.push_str(&format!("{c}"));
+    }
+    s
+}
+
+/// Parses a space-separated coordinate line into a point.
+///
+/// Fails on empty lines, non-numeric tokens, and non-finite values
+/// (NaN/inf never describe a valid data point and would poison every
+/// distance computation downstream).
+pub fn parse_point(line: &str) -> Result<Vec<f64>> {
+    let mut coords = Vec::new();
+    for tok in line.split_whitespace() {
+        let v: f64 = tok
+            .parse()
+            .map_err(|e| Error::Corrupt(format!("bad coordinate {tok:?}: {e}")))?;
+        if !v.is_finite() {
+            return Err(Error::Corrupt(format!("non-finite coordinate {tok:?}")));
+        }
+        coords.push(v);
+    }
+    if coords.is_empty() {
+        return Err(Error::Corrupt("empty point line".into()));
+    }
+    Ok(coords)
+}
+
+/// Parses a point and checks it has the expected dimensionality.
+pub fn parse_point_dim(line: &str, dim: usize) -> Result<Vec<f64>> {
+    let p = parse_point(line)?;
+    if p.len() != dim {
+        return Err(Error::Corrupt(format!(
+            "point has {} coordinates, expected {dim}",
+            p.len()
+        )));
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn format_then_parse_round_trips() {
+        let p = vec![1.5, -2.25, 0.0, 1e-300, 12345.6789];
+        assert_eq!(parse_point(&format_point(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn parse_handles_extra_whitespace() {
+        assert_eq!(parse_point("  1.0   2.0\t3.0 ").unwrap(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_point("").is_err());
+        assert!(parse_point("   ").is_err());
+        assert!(parse_point("1.0 abc").is_err());
+        assert!(parse_point("NaN 1.0").is_err());
+        assert!(parse_point("inf").is_err());
+    }
+
+    #[test]
+    fn parse_point_dim_checks_dimension() {
+        assert!(parse_point_dim("1 2 3", 3).is_ok());
+        assert!(parse_point_dim("1 2 3", 2).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_is_exact(
+            p in proptest::collection::vec(-1e15..1e15f64, 1..12),
+        ) {
+            let parsed = parse_point(&format_point(&p)).unwrap();
+            prop_assert_eq!(parsed, p);
+        }
+    }
+}

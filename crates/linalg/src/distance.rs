@@ -1,0 +1,157 @@
+//! Euclidean distance kernels and nearest-center search.
+//!
+//! The paper's §4 cost model counts *distance computations*: every
+//! MapReduce job in the G-means pipeline performs `O(nk)` of them to
+//! assign points to their nearest center. These kernels are the single
+//! hottest code path of the whole reproduction, so they take plain
+//! slices, avoid bounds checks through `zip`, and let the caller count
+//! invocations.
+
+/// Squared Euclidean distance between two coordinate slices.
+///
+/// Comparisons between distances are order-preserving under squaring, so
+/// nearest-center search uses this and skips the `sqrt`.
+///
+/// # Panics
+/// Panics (in debug builds) if the slices have different lengths; in
+/// release builds the shorter length wins, which is never exercised by
+/// this workspace because all call sites pass same-dimension rows.
+#[inline]
+pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance between two coordinate slices.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    squared_euclidean(a, b).sqrt()
+}
+
+/// Finds the nearest center to `point` among `centers` (rows of equal
+/// dimension), returning `(index, squared_distance)`.
+///
+/// Returns `None` when `centers` is empty.
+#[inline]
+pub fn nearest_center<'a, I>(point: &[f64], centers: I) -> Option<(usize, f64)>
+where
+    I: IntoIterator<Item = &'a [f64]>,
+{
+    let mut best: Option<(usize, f64)> = None;
+    for (i, c) in centers.into_iter().enumerate() {
+        let d = squared_euclidean(point, c);
+        match best {
+            Some((_, bd)) if bd <= d => {}
+            _ => best = Some((i, d)),
+        }
+    }
+    best
+}
+
+/// Nearest-center search over a flat row-major center buffer.
+///
+/// `centers.len()` must be a multiple of `dim`. Returns
+/// `(index, squared_distance)`, or `None` if there are no centers.
+#[inline]
+pub fn nearest_center_flat(point: &[f64], centers: &[f64], dim: usize) -> Option<(usize, f64)> {
+    debug_assert_eq!(centers.len() % dim, 0, "ragged center buffer");
+    nearest_center(point, centers.chunks_exact(dim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn squared_euclidean_basic() {
+        assert_eq!(squared_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = [1.5, -2.5, 7.0];
+        assert_eq!(squared_euclidean(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn nearest_center_picks_minimum() {
+        let centers: Vec<Vec<f64>> = vec![vec![0.0, 0.0], vec![10.0, 10.0], vec![2.0, 2.0]];
+        let (idx, d) = nearest_center(&[1.9, 2.1], centers.iter().map(|c| c.as_slice())).unwrap();
+        assert_eq!(idx, 2);
+        assert!(d < 0.03);
+    }
+
+    #[test]
+    fn nearest_center_empty_is_none() {
+        assert_eq!(nearest_center(&[1.0], std::iter::empty()), None);
+        assert_eq!(nearest_center_flat(&[1.0], &[], 1), None);
+    }
+
+    #[test]
+    fn nearest_center_ties_prefer_first() {
+        // Equidistant centers: the first one encountered wins, which makes
+        // assignment deterministic across runs.
+        let centers: Vec<Vec<f64>> = vec![vec![-1.0], vec![1.0]];
+        let (idx, _) = nearest_center(&[0.0], centers.iter().map(|c| c.as_slice())).unwrap();
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn flat_matches_rowwise() {
+        let flat = [0.0, 0.0, 5.0, 5.0, -3.0, 1.0];
+        let rows: Vec<&[f64]> = flat.chunks_exact(2).collect();
+        let p = [-2.0, 0.5];
+        assert_eq!(
+            nearest_center_flat(&p, &flat, 2),
+            nearest_center(&p, rows.iter().copied())
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn symmetry(a in proptest::collection::vec(-1e6..1e6f64, 1..8)) {
+            let b: Vec<f64> = a.iter().map(|x| x + 1.0).collect();
+            prop_assert!((squared_euclidean(&a, &b) - squared_euclidean(&b, &a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn non_negative(
+            a in proptest::collection::vec(-1e6..1e6f64, 4),
+            b in proptest::collection::vec(-1e6..1e6f64, 4),
+        ) {
+            prop_assert!(squared_euclidean(&a, &b) >= 0.0);
+        }
+
+        #[test]
+        fn triangle_inequality(
+            a in proptest::collection::vec(-1e3..1e3f64, 3),
+            b in proptest::collection::vec(-1e3..1e3f64, 3),
+            c in proptest::collection::vec(-1e3..1e3f64, 3),
+        ) {
+            let ab = euclidean(&a, &b);
+            let bc = euclidean(&b, &c);
+            let ac = euclidean(&a, &c);
+            prop_assert!(ac <= ab + bc + 1e-9);
+        }
+
+        #[test]
+        fn nearest_center_is_argmin(
+            point in proptest::collection::vec(-100.0..100.0f64, 3),
+            centers in proptest::collection::vec(proptest::collection::vec(-100.0..100.0f64, 3), 1..10),
+        ) {
+            let (idx, d) =
+                nearest_center(&point, centers.iter().map(|c| c.as_slice())).unwrap();
+            for c in &centers {
+                prop_assert!(squared_euclidean(&point, c) >= d - 1e-12);
+            }
+            prop_assert!((squared_euclidean(&point, &centers[idx]) - d).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Projection of points onto the line joining two cluster centers.
+//!
+//! G-means decides whether to split a cluster by reducing its points to
+//! one dimension: project every point onto `v = c1 − c2`, "the direction
+//! that k-means believes is important for clustering" (paper §2), then
+//! test the projections for normality. The scalar projection used by the
+//! original algorithm is `x' = ⟨x, v⟩ / ‖v‖²`; any affine rescaling of
+//! the projections is irrelevant because the Anderson–Darling test input
+//! is normalized to zero mean and unit variance first.
+
+/// Scalar projection of `point` onto the direction `v`, scaled by
+/// `1 / ‖v‖²` as in the original G-means formulation.
+///
+/// Returns `0.0` when `v` is the zero vector (degenerate center pair:
+/// both candidate children collapsed onto the same coordinates). A
+/// constant projection vector is then rejected upstream as "not enough
+/// information to split", which matches the conservative behaviour of
+/// keeping the parent center.
+#[inline]
+pub fn project_onto_segment(point: &[f64], v: &[f64]) -> f64 {
+    debug_assert_eq!(point.len(), v.len(), "dimension mismatch");
+    let mut dot = 0.0;
+    let mut norm2 = 0.0;
+    for (x, d) in point.iter().zip(v) {
+        dot += x * d;
+        norm2 += d * d;
+    }
+    if norm2 == 0.0 {
+        0.0
+    } else {
+        dot / norm2
+    }
+}
+
+/// Pre-computed projector for one center pair `(c1, c2)`.
+///
+/// The TestClusters mapper projects every point of a cluster onto the
+/// same vector, so the direction and its squared norm are computed once
+/// per pair at task setup (mirroring the `Setup` procedure of Algorithm
+/// 3) and reused per point.
+#[derive(Clone, Debug)]
+pub struct SegmentProjector {
+    direction: Vec<f64>,
+    inv_norm2: f64,
+}
+
+impl SegmentProjector {
+    /// Builds the projector for the vector `c1 − c2`.
+    ///
+    /// # Panics
+    /// Panics if the centers have different dimensions.
+    pub fn new(c1: &[f64], c2: &[f64]) -> Self {
+        assert_eq!(c1.len(), c2.len(), "dimension mismatch");
+        let direction: Vec<f64> = c1.iter().zip(c2).map(|(a, b)| a - b).collect();
+        let norm2: f64 = direction.iter().map(|d| d * d).sum();
+        let inv_norm2 = if norm2 == 0.0 { 0.0 } else { 1.0 / norm2 };
+        Self {
+            direction,
+            inv_norm2,
+        }
+    }
+
+    /// True if the two centers coincide, making the projection direction
+    /// degenerate.
+    pub fn is_degenerate(&self) -> bool {
+        self.inv_norm2 == 0.0
+    }
+
+    /// The direction vector `c1 − c2`.
+    pub fn direction(&self) -> &[f64] {
+        &self.direction
+    }
+
+    /// Projects one point.
+    #[inline]
+    pub fn project(&self, point: &[f64]) -> f64 {
+        debug_assert_eq!(point.len(), self.direction.len(), "dimension mismatch");
+        let mut dot = 0.0;
+        for (x, d) in point.iter().zip(&self.direction) {
+            dot += x * d;
+        }
+        dot * self.inv_norm2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn projection_along_axis() {
+        // v = (2, 0): projection is x / 2.
+        let p = project_onto_segment(&[4.0, 99.0], &[2.0, 0.0]);
+        assert!((p - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_direction_is_zero() {
+        assert_eq!(project_onto_segment(&[1.0, 2.0], &[0.0, 0.0]), 0.0);
+        let proj = SegmentProjector::new(&[1.0, 1.0], &[1.0, 1.0]);
+        assert!(proj.is_degenerate());
+        assert_eq!(proj.project(&[5.0, -3.0]), 0.0);
+    }
+
+    #[test]
+    fn projector_matches_free_function() {
+        let c1 = [3.0, -1.0, 2.0];
+        let c2 = [0.5, 0.5, 0.5];
+        let v: Vec<f64> = c1.iter().zip(&c2).map(|(a, b)| a - b).collect();
+        let proj = SegmentProjector::new(&c1, &c2);
+        let p = [1.0, 2.0, 3.0];
+        assert!((proj.project(&p) - project_onto_segment(&p, &v)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centers_project_to_unit_separation() {
+        // The two centers themselves must land a distance 1 apart on the
+        // projected axis (the direction is scaled by 1/‖v‖²).
+        let c1 = [4.0, 0.0];
+        let c2 = [1.0, 4.0];
+        let proj = SegmentProjector::new(&c1, &c2);
+        let gap = proj.project(&c1) - proj.project(&c2);
+        assert!((gap - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn projection_is_linear(
+            a in proptest::collection::vec(-100.0..100.0f64, 3),
+            b in proptest::collection::vec(-100.0..100.0f64, 3),
+            v in proptest::collection::vec(-100.0..100.0f64, 3),
+        ) {
+            prop_assume!(v.iter().map(|x| x * x).sum::<f64>() > 1e-6);
+            let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+            let lhs = project_onto_segment(&sum, &v);
+            let rhs = project_onto_segment(&a, &v) + project_onto_segment(&b, &v);
+            prop_assert!((lhs - rhs).abs() < 1e-6);
+        }
+
+        #[test]
+        fn orthogonal_component_is_invisible(t in -100.0..100.0f64) {
+            // Moving a point orthogonally to v must not change its projection.
+            let v = [1.0, 1.0];
+            let ortho = [t, -t];
+            let base = [3.0, 7.0];
+            let moved = [base[0] + ortho[0], base[1] + ortho[1]];
+            let d = project_onto_segment(&base, &v) - project_onto_segment(&moved, &v);
+            prop_assert!(d.abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Simulated cluster topology.
+//!
+//! The paper's testbed is "a cluster consisting of 4 nodes. Each node is
+//! equipped with 2 quad-core Xeon processors and 32GB of RAM" (§5), and
+//! the scalability experiment (Table 4 / Figure 5) grows it to 8 and 12
+//! nodes. [`ClusterConfig`] captures exactly the knobs the algorithms
+//! read:
+//!
+//! * the **total reduce capacity** (`nodes × reduce_slots_per_node`) —
+//!   one half of the TestClusters strategy-switch condition;
+//! * the **per-task heap** — the other half, through
+//!   [`crate::memory::HeapEstimator`];
+//! * the slot counts the wave scheduler packs simulated tasks onto.
+
+use crate::cost::CostModel;
+use crate::error::{Error, Result};
+
+/// Static description of the (simulated) cluster a job runs on.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of worker nodes.
+    pub nodes: usize,
+    /// Concurrent map tasks per node.
+    pub map_slots_per_node: usize,
+    /// Concurrent reduce tasks per node.
+    pub reduce_slots_per_node: usize,
+    /// Heap available to each task attempt, in bytes.
+    pub heap_per_task: u64,
+    /// Cost model used to convert task work into simulated seconds.
+    pub cost_model: CostModel,
+}
+
+impl Default for ClusterConfig {
+    /// The paper's baseline: 4 nodes, 8 cores each (2 quad-core Xeons)
+    /// exposed as 8 map and 8 reduce slots, 1 GiB of heap per task (a
+    /// typical Hadoop-1 `mapred.child.java.opts` on 32 GB nodes).
+    fn default() -> Self {
+        Self {
+            nodes: 4,
+            map_slots_per_node: 8,
+            reduce_slots_per_node: 8,
+            heap_per_task: 1 << 30,
+            cost_model: CostModel::default(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A cluster like the default but with a different node count (the
+    /// Table 4 / Figure 5 sweep).
+    pub fn with_nodes(nodes: usize) -> Self {
+        Self {
+            nodes,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.nodes == 0 {
+            return Err(Error::Config("cluster needs at least one node".into()));
+        }
+        if self.map_slots_per_node == 0 || self.reduce_slots_per_node == 0 {
+            return Err(Error::Config("slot counts must be positive".into()));
+        }
+        if self.heap_per_task == 0 {
+            return Err(Error::Config("per-task heap must be positive".into()));
+        }
+        Ok(())
+    }
+
+    /// Total map slots across the cluster.
+    pub fn total_map_slots(&self) -> usize {
+        self.nodes * self.map_slots_per_node
+    }
+
+    /// Total reduce slots across the cluster — the paper's "total reduce
+    /// capacity".
+    pub fn total_reduce_slots(&self) -> usize {
+        self.nodes * self.reduce_slots_per_node
+    }
+
+    /// Number of OS threads the runtime actually uses to execute tasks:
+    /// the simulated slot count, capped by the machine's parallelism so
+    /// that simulating a 96-slot cluster on a laptop does not thrash.
+    pub fn execution_threads(&self, phase_slots: usize) -> usize {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        phase_slots.min(hw).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_testbed() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.nodes, 4);
+        assert_eq!(c.total_map_slots(), 32);
+        assert_eq!(c.total_reduce_slots(), 32);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn with_nodes_scales_slots() {
+        let c = ClusterConfig::with_nodes(12);
+        assert_eq!(c.total_reduce_slots(), 96);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let c = ClusterConfig {
+            nodes: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ClusterConfig {
+            map_slots_per_node: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ClusterConfig {
+            heap_per_task: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn execution_threads_bounded() {
+        let c = ClusterConfig::with_nodes(100);
+        let t = c.execution_threads(c.total_map_slots());
+        assert!(t >= 1);
+        assert!(t <= 800);
+        assert!(t <= std::thread::available_parallelism().unwrap().get());
+    }
+}

@@ -1,0 +1,226 @@
+//! Hadoop-style job counters.
+//!
+//! §4 of the paper expresses every cost in terms of countable events —
+//! dataset reads, distance computations, shuffled coordinates,
+//! Anderson–Darling tests. The runtime increments framework counters
+//! itself (records, bytes, spills); application code charges the
+//! domain-specific ones through its [`crate::job::TaskContext`].
+//!
+//! Counters are plain atomics: tasks on different threads update them
+//! concurrently without coordination, exactly like Hadoop's task-side
+//! counter caches.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The set of counters tracked for every job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Counter {
+    /// Lines consumed by mappers.
+    MapInputRecords,
+    /// Pairs emitted by mappers (before combining).
+    MapOutputRecords,
+    /// Pairs entering combiners.
+    CombineInputRecords,
+    /// Pairs leaving combiners.
+    CombineOutputRecords,
+    /// Pairs entering reducers (after shuffle).
+    ReduceInputRecords,
+    /// Distinct keys reduced.
+    ReduceInputGroups,
+    /// Output items produced by reducers.
+    ReduceOutputRecords,
+    /// Bytes of serialized map output actually shuffled (post-combine).
+    ShuffleBytes,
+    /// Bytes of input read from the DFS.
+    InputBytes,
+    /// In-memory combine spills performed by map tasks.
+    Spills,
+    /// Euclidean distance computations (application counter; the unit of
+    /// the paper's `O(nk)` bounds).
+    DistanceComputations,
+    /// Anderson–Darling tests performed (application counter).
+    AdTests,
+    /// Points projected onto split vectors (application counter).
+    Projections,
+    /// Peak bytes charged to any single task heap ledger.
+    HeapPeakBytes,
+}
+
+/// All counters, indexable without a hash map.
+const ALL: [Counter; 14] = [
+    Counter::MapInputRecords,
+    Counter::MapOutputRecords,
+    Counter::CombineInputRecords,
+    Counter::CombineOutputRecords,
+    Counter::ReduceInputRecords,
+    Counter::ReduceInputGroups,
+    Counter::ReduceOutputRecords,
+    Counter::ShuffleBytes,
+    Counter::InputBytes,
+    Counter::Spills,
+    Counter::DistanceComputations,
+    Counter::AdTests,
+    Counter::Projections,
+    Counter::HeapPeakBytes,
+];
+
+impl Counter {
+    fn index(self) -> usize {
+        ALL.iter().position(|c| *c == self).expect("counter in ALL")
+    }
+
+    /// Every counter, in display order.
+    pub fn all() -> &'static [Counter] {
+        &ALL
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::MapInputRecords => "map_input_records",
+            Counter::MapOutputRecords => "map_output_records",
+            Counter::CombineInputRecords => "combine_input_records",
+            Counter::CombineOutputRecords => "combine_output_records",
+            Counter::ReduceInputRecords => "reduce_input_records",
+            Counter::ReduceInputGroups => "reduce_input_groups",
+            Counter::ReduceOutputRecords => "reduce_output_records",
+            Counter::ShuffleBytes => "shuffle_bytes",
+            Counter::InputBytes => "input_bytes",
+            Counter::Spills => "spills",
+            Counter::DistanceComputations => "distance_computations",
+            Counter::AdTests => "anderson_darling_tests",
+            Counter::Projections => "projections",
+            Counter::HeapPeakBytes => "heap_peak_bytes",
+        }
+    }
+}
+
+/// Thread-safe counter bank for one job (or one accumulated run).
+#[derive(Debug, Default)]
+pub struct Counters {
+    values: [AtomicU64; 14],
+}
+
+impl Counters {
+    /// A zeroed counter bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to a counter.
+    #[inline]
+    pub fn add(&self, counter: Counter, delta: u64) {
+        self.values[counter.index()].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn inc(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Raises a high-water-mark counter to at least `value`.
+    pub fn max(&self, counter: Counter, value: u64) {
+        self.values[counter.index()].fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current value of a counter.
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.values[counter.index()].load(Ordering::Relaxed)
+    }
+
+    /// Folds another bank into this one. Max-semantics counters
+    /// (`HeapPeakBytes`) take the maximum; everything else adds.
+    pub fn merge(&self, other: &Counters) {
+        for &c in Counter::all() {
+            let v = other.get(c);
+            match c {
+                Counter::HeapPeakBytes => self.max(c, v),
+                _ => self.add(c, v),
+            }
+        }
+    }
+
+    /// Immutable snapshot as `(counter, value)` pairs, zeros included.
+    pub fn snapshot(&self) -> Vec<(Counter, u64)> {
+        Counter::all().iter().map(|&c| (c, self.get(c))).collect()
+    }
+}
+
+impl std::fmt::Display for Counters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for &c in Counter::all() {
+            let v = self.get(c);
+            if v != 0 {
+                writeln!(f, "  {:>26}: {}", c.name(), v)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let c = Counters::new();
+        c.add(Counter::MapInputRecords, 10);
+        c.inc(Counter::MapInputRecords);
+        assert_eq!(c.get(Counter::MapInputRecords), 11);
+        assert_eq!(c.get(Counter::ShuffleBytes), 0);
+    }
+
+    #[test]
+    fn max_semantics() {
+        let c = Counters::new();
+        c.max(Counter::HeapPeakBytes, 100);
+        c.max(Counter::HeapPeakBytes, 50);
+        assert_eq!(c.get(Counter::HeapPeakBytes), 100);
+    }
+
+    #[test]
+    fn merge_adds_and_maxes() {
+        let a = Counters::new();
+        a.add(Counter::ShuffleBytes, 5);
+        a.max(Counter::HeapPeakBytes, 10);
+        let b = Counters::new();
+        b.add(Counter::ShuffleBytes, 7);
+        b.max(Counter::HeapPeakBytes, 3);
+        a.merge(&b);
+        assert_eq!(a.get(Counter::ShuffleBytes), 12);
+        assert_eq!(a.get(Counter::HeapPeakBytes), 10);
+    }
+
+    #[test]
+    fn concurrent_updates_are_lossless() {
+        let c = Counters::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.inc(Counter::DistanceComputations);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(Counter::DistanceComputations), 80_000);
+    }
+
+    #[test]
+    fn snapshot_covers_all_counters() {
+        let c = Counters::new();
+        assert_eq!(c.snapshot().len(), Counter::all().len());
+    }
+
+    #[test]
+    fn display_skips_zeros() {
+        let c = Counters::new();
+        c.add(Counter::AdTests, 2);
+        let s = c.to_string();
+        assert!(s.contains("anderson_darling_tests"));
+        assert!(!s.contains("shuffle_bytes"));
+    }
+}

@@ -1,0 +1,462 @@
+//! An in-memory stand-in for HDFS.
+//!
+//! The paper's datasets live in HDFS as plain text — one point per line,
+//! coordinates as decimal strings (§3.2 budgets "approximatively 15
+//! characters" per coordinate). Files are stored as a sequence of
+//! *blocks*; each map task processes one block ("a single split, 64MB on
+//! a default Hadoop installation").
+//!
+//! This DFS reproduces the two properties the algorithms depend on:
+//!
+//! * **split granularity** — files are cut into blocks of a configured
+//!   size, *aligned to line boundaries* (like Hadoop's logical splits),
+//!   and each block becomes one map task;
+//! * **read accounting** — every byte handed to a map task is counted,
+//!   so "number of dataset reads", the quantity §4 bounds by
+//!   `O(4·log₂ k)`, is measurable.
+//!
+//! Blocks are reference-counted [`Bytes`], so handing a block to a task
+//! thread is a pointer copy, not a data copy.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::error::{Error, Result};
+
+/// Default block (and therefore split) size: 4 MiB.
+///
+/// Hadoop's default is 64 MB; our datasets are scaled down by roughly
+/// the same factor as the point counts, so a smaller default keeps the
+/// number of map tasks per job in the same range as the paper's setup
+/// (tens of tasks per job).
+pub const DEFAULT_BLOCK_SIZE: usize = 4 * 1024 * 1024;
+
+/// A stored file: line-aligned blocks plus summary metadata.
+#[derive(Clone, Debug)]
+struct DfsFile {
+    blocks: Vec<Bytes>,
+    len: u64,
+    lines: u64,
+}
+
+/// One input split: a line-aligned slice of a file, processed by exactly
+/// one map task.
+#[derive(Clone, Debug)]
+pub struct InputSplit {
+    /// Path of the file this split belongs to.
+    pub path: String,
+    /// Index of the split within the file.
+    pub index: usize,
+    /// Byte offset of the split's first byte within the file.
+    pub offset: u64,
+    /// The split's data (whole lines).
+    pub data: Bytes,
+}
+
+impl InputSplit {
+    /// Length of the split in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the split holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Iterates `(byte_offset_in_file, line)` pairs, mirroring Hadoop's
+    /// `TextInputFormat` (key = offset, value = line without the
+    /// terminator).
+    pub fn lines(&self) -> impl Iterator<Item = (u64, &str)> {
+        let base = self.offset;
+        let data = std::str::from_utf8(&self.data).unwrap_or("");
+        let mut pos = 0u64;
+        data.split_inclusive('\n').map(move |raw| {
+            let off = base + pos;
+            pos += raw.len() as u64;
+            (off, raw.trim_end_matches(['\n', '\r']))
+        })
+    }
+}
+
+/// Aggregate I/O statistics of a [`Dfs`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DfsStats {
+    /// Total bytes handed to map tasks.
+    pub bytes_read: u64,
+    /// Total bytes stored through writers.
+    pub bytes_written: u64,
+    /// Number of full-file scans (jobs) started.
+    pub dataset_reads: u64,
+}
+
+/// The in-memory distributed file system.
+///
+/// Thread-safe; shared across the driver and all task threads as
+/// `Arc<Dfs>`.
+pub struct Dfs {
+    files: RwLock<BTreeMap<String, Arc<DfsFile>>>,
+    block_size: usize,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    dataset_reads: AtomicU64,
+}
+
+impl std::fmt::Debug for Dfs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dfs")
+            .field("files", &self.files.read().len())
+            .field("block_size", &self.block_size)
+            .finish()
+    }
+}
+
+impl Default for Dfs {
+    fn default() -> Self {
+        Self::new(DEFAULT_BLOCK_SIZE)
+    }
+}
+
+impl Dfs {
+    /// Creates an empty DFS with the given block size.
+    ///
+    /// # Panics
+    /// Panics if `block_size == 0`.
+    pub fn new(block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        Self {
+            files: RwLock::new(BTreeMap::new()),
+            block_size,
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            dataset_reads: AtomicU64::new(0),
+        }
+    }
+
+    /// Configured block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Opens a writer for a new text file.
+    ///
+    /// Fails with [`Error::FileExists`] if the path is taken and
+    /// `overwrite` is false.
+    pub fn create(self: &Arc<Self>, path: &str, overwrite: bool) -> Result<TextWriter> {
+        let files = self.files.read();
+        if !overwrite && files.contains_key(path) {
+            return Err(Error::FileExists(path.to_string()));
+        }
+        drop(files);
+        Ok(TextWriter {
+            dfs: Arc::clone(self),
+            path: path.to_string(),
+            blocks: Vec::new(),
+            current: Vec::with_capacity(self.block_size.min(1 << 20)),
+            len: 0,
+            lines: 0,
+        })
+    }
+
+    /// Writes a whole file from an iterator of lines (convenience over
+    /// [`Dfs::create`]).
+    pub fn put_lines<I, S>(self: &Arc<Self>, path: &str, lines: I) -> Result<()>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut w = self.create(path, false)?;
+        for line in lines {
+            w.write_line(line.as_ref());
+        }
+        w.close();
+        Ok(())
+    }
+
+    fn file(&self, path: &str) -> Result<Arc<DfsFile>> {
+        self.files
+            .read()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| Error::FileNotFound(path.to_string()))
+    }
+
+    /// True if `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.read().contains_key(path)
+    }
+
+    /// Removes a file; succeeds silently when absent.
+    pub fn remove(&self, path: &str) {
+        self.files.write().remove(path);
+    }
+
+    /// All stored paths, sorted.
+    pub fn list(&self) -> Vec<String> {
+        self.files.read().keys().cloned().collect()
+    }
+
+    /// Size of a file in bytes.
+    pub fn len(&self, path: &str) -> Result<u64> {
+        Ok(self.file(path)?.len)
+    }
+
+    /// Number of lines in a file.
+    pub fn line_count(&self, path: &str) -> Result<u64> {
+        Ok(self.file(path)?.lines)
+    }
+
+    /// The input splits of a file, one per block. Charges nothing; reads
+    /// are counted when a split is *consumed* via [`Dfs::read_split`].
+    pub fn splits(&self, path: &str) -> Result<Vec<InputSplit>> {
+        let file = self.file(path)?;
+        let mut offset = 0u64;
+        Ok(file
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(index, block)| {
+                let split = InputSplit {
+                    path: path.to_string(),
+                    index,
+                    offset,
+                    data: block.clone(),
+                };
+                offset += block.len() as u64;
+                split
+            })
+            .collect())
+    }
+
+    /// Marks the start of one full scan of the dataset (one MapReduce
+    /// job reading it). §4 counts these as "dataset reads".
+    pub fn begin_dataset_read(&self) {
+        self.dataset_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Charges the bytes of one consumed split to the read counter.
+    pub fn charge_split_read(&self, split: &InputSplit) {
+        self.bytes_read
+            .fetch_add(split.data.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Reads all lines of a file (driver-side convenience; charges the
+    /// read counters like a full scan).
+    pub fn read_lines(&self, path: &str) -> Result<Vec<String>> {
+        let splits = self.splits(path)?;
+        self.begin_dataset_read();
+        let mut out = Vec::new();
+        for split in &splits {
+            self.charge_split_read(split);
+            out.extend(split.lines().map(|(_, l)| l.to_string()));
+        }
+        Ok(out)
+    }
+
+    /// Snapshot of the I/O statistics.
+    pub fn stats(&self) -> DfsStats {
+        DfsStats {
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            dataset_reads: self.dataset_reads.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Buffered line writer that cuts blocks at line boundaries.
+pub struct TextWriter {
+    dfs: Arc<Dfs>,
+    path: String,
+    blocks: Vec<Bytes>,
+    current: Vec<u8>,
+    len: u64,
+    lines: u64,
+}
+
+impl TextWriter {
+    /// Appends one line (the terminator is added by the writer).
+    pub fn write_line(&mut self, line: &str) {
+        self.current.extend_from_slice(line.as_bytes());
+        self.current.push(b'\n');
+        self.len += line.len() as u64 + 1;
+        self.lines += 1;
+        if self.current.len() >= self.dfs.block_size {
+            let block = Bytes::from(std::mem::take(&mut self.current));
+            self.blocks.push(block);
+        }
+    }
+
+    /// Number of lines written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    /// Finishes the file and publishes it into the DFS.
+    pub fn close(mut self) {
+        if !self.current.is_empty() {
+            self.blocks.push(Bytes::from(std::mem::take(&mut self.current)));
+        }
+        self.dfs
+            .bytes_written
+            .fetch_add(self.len, Ordering::Relaxed);
+        let file = Arc::new(DfsFile {
+            blocks: std::mem::take(&mut self.blocks),
+            len: self.len,
+            lines: self.lines,
+        });
+        self.dfs.files.write().insert(self.path.clone(), file);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dfs(block: usize) -> Arc<Dfs> {
+        Arc::new(Dfs::new(block))
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let fs = dfs(1024);
+        fs.put_lines("data/points.txt", ["1.0 2.0", "3.0 4.0", "5.0 6.0"])
+            .unwrap();
+        assert!(fs.exists("data/points.txt"));
+        assert_eq!(fs.line_count("data/points.txt").unwrap(), 3);
+        let lines = fs.read_lines("data/points.txt").unwrap();
+        assert_eq!(lines, vec!["1.0 2.0", "3.0 4.0", "5.0 6.0"]);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let fs = dfs(1024);
+        assert!(matches!(
+            fs.read_lines("nope"),
+            Err(Error::FileNotFound(_))
+        ));
+        assert!(matches!(fs.splits("nope"), Err(Error::FileNotFound(_))));
+    }
+
+    #[test]
+    fn duplicate_create_without_overwrite_errors() {
+        let fs = dfs(1024);
+        fs.put_lines("f", ["a"]).unwrap();
+        assert!(matches!(
+            fs.put_lines("f", ["b"]),
+            Err(Error::FileExists(_))
+        ));
+        // Overwrite succeeds.
+        let mut w = fs.create("f", true).unwrap();
+        w.write_line("c");
+        w.close();
+        assert_eq!(fs.read_lines("f").unwrap(), vec!["c"]);
+    }
+
+    #[test]
+    fn blocks_are_line_aligned() {
+        // Tiny block size: every line longer than the block still lands
+        // whole in a single block.
+        let fs = dfs(8);
+        let lines: Vec<String> = (0..50).map(|i| format!("point-{i:04}")).collect();
+        fs.put_lines("f", &lines).unwrap();
+        let splits = fs.splits("f").unwrap();
+        assert!(splits.len() > 1, "expected multiple splits");
+        for s in &splits {
+            let text = std::str::from_utf8(&s.data).unwrap();
+            assert!(text.ends_with('\n'), "split must end at a line boundary");
+        }
+        // Reassembling the splits yields the original lines in order.
+        let all: Vec<String> = splits
+            .iter()
+            .flat_map(|s| s.lines().map(|(_, l)| l.to_string()).collect::<Vec<_>>())
+            .collect();
+        assert_eq!(all, lines);
+    }
+
+    #[test]
+    fn split_offsets_are_contiguous() {
+        let fs = dfs(16);
+        fs.put_lines("f", (0..100).map(|i| format!("{i}"))).unwrap();
+        let splits = fs.splits("f").unwrap();
+        let mut expected = 0u64;
+        for s in &splits {
+            assert_eq!(s.offset, expected);
+            expected += s.len() as u64;
+        }
+        assert_eq!(expected, fs.len("f").unwrap());
+    }
+
+    #[test]
+    fn line_offsets_match_file_positions() {
+        let fs = dfs(10);
+        fs.put_lines("f", ["ab", "cdef", "g"]).unwrap();
+        let splits = fs.splits("f").unwrap();
+        let offsets: Vec<(u64, String)> = splits
+            .iter()
+            .flat_map(|s| {
+                s.lines()
+                    .map(|(o, l)| (o, l.to_string()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert_eq!(
+            offsets,
+            vec![(0, "ab".into()), (3, "cdef".into()), (8, "g".into())]
+        );
+    }
+
+    #[test]
+    fn read_accounting() {
+        let fs = dfs(1024);
+        fs.put_lines("f", ["hello", "world"]).unwrap();
+        let before = fs.stats();
+        assert_eq!(before.dataset_reads, 0);
+        assert_eq!(before.bytes_written, 12);
+        fs.read_lines("f").unwrap();
+        let after = fs.stats();
+        assert_eq!(after.dataset_reads, 1);
+        assert_eq!(after.bytes_read, 12);
+    }
+
+    #[test]
+    fn remove_and_list() {
+        let fs = dfs(64);
+        fs.put_lines("b", ["1"]).unwrap();
+        fs.put_lines("a", ["1"]).unwrap();
+        assert_eq!(fs.list(), vec!["a".to_string(), "b".to_string()]);
+        fs.remove("a");
+        assert!(!fs.exists("a"));
+        fs.remove("a"); // idempotent
+    }
+
+    #[test]
+    fn empty_file_has_no_splits() {
+        let fs = dfs(64);
+        let w = fs.create("empty", false).unwrap();
+        w.close();
+        assert_eq!(fs.splits("empty").unwrap().len(), 0);
+        assert_eq!(fs.line_count("empty").unwrap(), 0);
+    }
+
+    #[test]
+    fn concurrent_writers_to_distinct_paths() {
+        let fs = dfs(256);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let fs = Arc::clone(&fs);
+                s.spawn(move || {
+                    fs.put_lines(&format!("f{t}"), (0..100).map(|i| format!("{t}-{i}")))
+                        .unwrap();
+                });
+            }
+        });
+        assert_eq!(fs.list().len(), 8);
+        for t in 0..8 {
+            assert_eq!(fs.line_count(&format!("f{t}")).unwrap(), 100);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type shared by the MapReduce runtime.
+
+use std::fmt;
+
+/// Errors surfaced by the MapReduce runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A task exceeded its configured heap. This mirrors the
+    /// `java.lang.OutOfMemoryError: Java heap space` crash the paper uses
+    /// to map out Figure 2: when the TestClusters reducer receives more
+    /// projections than fit in the JVM heap, the whole job fails.
+    HeapSpace {
+        /// Task that crashed, e.g. `"reduce-3"`.
+        task: String,
+        /// Bytes the task attempted to hold.
+        attempted: u64,
+        /// Configured heap limit in bytes.
+        limit: u64,
+    },
+    /// Input path does not exist in the DFS.
+    FileNotFound(String),
+    /// A path was written twice without `overwrite`.
+    FileExists(String),
+    /// A record failed to decode during shuffle or input parsing.
+    Corrupt(String),
+    /// A mapper or reducer reported a fatal application error.
+    Task(String),
+    /// Invalid job or cluster configuration.
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::HeapSpace {
+                task,
+                attempted,
+                limit,
+            } => write!(
+                f,
+                "Java heap space: task {task} needed {attempted} B but heap limit is {limit} B"
+            ),
+            Error::FileNotFound(p) => write!(f, "no such file in DFS: {p}"),
+            Error::FileExists(p) => write!(f, "file already exists in DFS: {p}"),
+            Error::Corrupt(m) => write!(f, "corrupt record: {m}"),
+            Error::Task(m) => write!(f, "task failed: {m}"),
+            Error::Config(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for the MapReduce runtime.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_java_heap_space() {
+        let e = Error::HeapSpace {
+            task: "reduce-0".into(),
+            attempted: 1024,
+            limit: 512,
+        };
+        let s = e.to_string();
+        assert!(s.contains("Java heap space"), "{s}");
+        assert!(s.contains("reduce-0"), "{s}");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            Error::FileNotFound("a".into()),
+            Error::FileNotFound("a".into())
+        );
+        assert_ne!(Error::Config("x".into()), Error::Task("x".into()));
+    }
+}

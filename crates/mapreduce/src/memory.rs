@@ -1,0 +1,215 @@
+//! Simulated per-task heap accounting.
+//!
+//! The paper's §3.2 analysis hinges on JVM heap exhaustion: the
+//! TestClusters reducer buffers one `double` per point of the cluster it
+//! tests, plus JVM object overhead, and "when the quantity of available
+//! heap memory becomes too small, the job crashes with an error ('Java
+//! heap space')" — Figure 2 maps that boundary and fits 64 bytes per
+//! point.
+//!
+//! The [`HeapLedger`] reproduces the mechanism: tasks *charge* bytes for
+//! the data they buffer; exceeding the configured limit aborts the task
+//! (and hence the job) with [`Error::HeapSpace`]. The driver-side
+//! estimator ([`HeapEstimator`]) implements the strategy-switch rule:
+//! G-means predicts the biggest reducer's requirement as
+//! `points_in_biggest_cluster × bytes_per_point` and only allows the
+//! reducer-side test when that fits within a *usage coefficient* (66%)
+//! of the heap, leaving headroom so "the JVM [does not] regularly
+//! trigger the garbage collector".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::{Error, Result};
+
+/// Heap the paper's reducer needs per buffered projection: 8 bytes of
+/// payload plus measured JVM overhead (Figure 2's regression slope,
+/// "approximatively 64 Bytes (8 doubles) per point").
+pub const BYTES_PER_PROJECTION: u64 = 64;
+
+/// Maximum fraction of the heap a task may plan to use (§3.2: "we use a
+/// maximum heap usage coefficient" of 66%).
+pub const MAX_HEAP_USAGE: f64 = 0.66;
+
+/// Per-task heap ledger.
+///
+/// Shared by value-buffering code inside a task; the runtime creates one
+/// per task attempt with the cluster's configured per-task heap.
+#[derive(Debug)]
+pub struct HeapLedger {
+    task: String,
+    limit: u64,
+    used: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl HeapLedger {
+    /// Creates a ledger for `task` with `limit` bytes of heap.
+    pub fn new(task: impl Into<String>, limit: u64) -> Self {
+        Self {
+            task: task.into(),
+            limit,
+            used: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Charges `bytes` to the ledger, failing like a JVM `OutOfMemoryError`
+    /// when the running total would exceed the limit.
+    pub fn charge(&self, bytes: u64) -> Result<()> {
+        let new = self.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        if new > self.limit {
+            // Roll back so the ledger stays consistent for error paths
+            // that continue using the task (tests, diagnostics).
+            self.used.fetch_sub(bytes, Ordering::Relaxed);
+            return Err(Error::HeapSpace {
+                task: self.task.clone(),
+                attempted: new,
+                limit: self.limit,
+            });
+        }
+        self.peak.fetch_max(new, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Releases previously charged bytes (e.g. a buffer handed back
+    /// after an Anderson–Darling test).
+    pub fn release(&self, bytes: u64) {
+        let prev = self.used.fetch_sub(bytes, Ordering::Relaxed);
+        debug_assert!(prev >= bytes, "released more than charged");
+    }
+
+    /// Currently charged bytes.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of charged bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Configured limit in bytes.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+}
+
+/// Driver-side estimator for the TestClusters strategy switch.
+#[derive(Clone, Copy, Debug)]
+pub struct HeapEstimator {
+    /// Estimated heap bytes a reducer needs per buffered point.
+    pub bytes_per_point: u64,
+    /// Per-task heap in bytes.
+    pub heap_limit: u64,
+    /// Usable fraction of the heap (the paper's 66%).
+    pub usage_coefficient: f64,
+}
+
+impl HeapEstimator {
+    /// Estimator with the paper's constants and a given per-task heap.
+    pub fn with_heap(heap_limit: u64) -> Self {
+        Self {
+            bytes_per_point: BYTES_PER_PROJECTION,
+            heap_limit,
+            usage_coefficient: MAX_HEAP_USAGE,
+        }
+    }
+
+    /// Heap bytes the reducer of the biggest cluster will need.
+    pub fn required_bytes(&self, biggest_cluster_points: u64) -> u64 {
+        biggest_cluster_points.saturating_mul(self.bytes_per_point)
+    }
+
+    /// True when the reducer-side test fits in the allowed heap
+    /// fraction — the memory half of the paper's switch condition.
+    pub fn fits(&self, biggest_cluster_points: u64) -> bool {
+        (self.required_bytes(biggest_cluster_points) as f64)
+            <= self.usage_coefficient * self.heap_limit as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_within_limit_succeeds() {
+        let l = HeapLedger::new("reduce-0", 1000);
+        l.charge(400).unwrap();
+        l.charge(600).unwrap();
+        assert_eq!(l.used(), 1000);
+        assert_eq!(l.peak(), 1000);
+    }
+
+    #[test]
+    fn exceeding_limit_is_heap_space_error() {
+        let l = HeapLedger::new("reduce-1", 100);
+        l.charge(60).unwrap();
+        let err = l.charge(41).unwrap_err();
+        match err {
+            Error::HeapSpace {
+                task,
+                attempted,
+                limit,
+            } => {
+                assert_eq!(task, "reduce-1");
+                assert_eq!(attempted, 101);
+                assert_eq!(limit, 100);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // The failed charge was rolled back.
+        assert_eq!(l.used(), 60);
+    }
+
+    #[test]
+    fn release_frees_room() {
+        let l = HeapLedger::new("t", 100);
+        l.charge(90).unwrap();
+        l.release(50);
+        l.charge(50).unwrap();
+        assert_eq!(l.used(), 90);
+        assert_eq!(l.peak(), 90);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let l = HeapLedger::new("t", 1000);
+        l.charge(700).unwrap();
+        l.release(700);
+        l.charge(10).unwrap();
+        assert_eq!(l.peak(), 700);
+    }
+
+    #[test]
+    fn concurrent_charges_respect_limit_approximately() {
+        // All threads charging in total exactly the limit must succeed.
+        let l = HeapLedger::new("t", 8 * 10_000);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        l.charge(100).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(l.used(), 80_000);
+    }
+
+    #[test]
+    fn estimator_matches_paper_rule() {
+        // 1 GiB heap, 64 B/pt, 66% coefficient:
+        // capacity = 0.66 × 2^30 / 64 ≈ 11.07M points.
+        let e = HeapEstimator::with_heap(1 << 30);
+        assert!(e.fits(11_000_000));
+        assert!(!e.fits(11_200_000));
+        assert_eq!(e.required_bytes(1000), 64_000);
+    }
+
+    #[test]
+    fn estimator_survives_overflow() {
+        let e = HeapEstimator::with_heap(u64::MAX);
+        assert_eq!(e.required_bytes(u64::MAX), u64::MAX);
+    }
+}

@@ -1,0 +1,618 @@
+//! Job execution: map tasks over input splits, the shuffle, and reduce
+//! tasks, on a pool of threads standing in for the cluster's task slots.
+//!
+//! Execution is faithful to the Hadoop model the paper programs against:
+//!
+//! * one map task per input split, one reduce task per partition;
+//! * map output is sorted, combined (if the job has a combiner) and
+//!   **serialized**; reduce input is decoded from those bytes through a
+//!   streaming k-way merge — `SHUFFLE_BYTES` measures real serialized
+//!   volume;
+//! * tasks run concurrently on up to `slots` worker threads and every
+//!   task accumulates a [`TaskCost`], from which the job's simulated
+//!   makespan is computed per the cluster's [`CostModel`]
+//!   (wave-scheduled, as Hadoop would run the tasks);
+//! * a task exceeding its simulated heap fails the whole job with
+//!   [`crate::error::Error::HeapSpace`] — the behaviour Figure 2 maps.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::cache::{CachedSplit, PointCache};
+use crate::cluster::ClusterConfig;
+use crate::cost::{JobTiming, TaskCost};
+use crate::counters::{Counter, Counters};
+use crate::dfs::{Dfs, InputSplit};
+use crate::error::{Error, Result};
+use crate::job::{
+    Emitter, Job, JobConfig, MapOutput, Mapper, PointMapper, Reducer, TaskContext, Values,
+};
+use crate::shuffle::{encode_segment, sort_and_combine, MergeIter, Segment};
+
+/// Result of one executed job.
+#[derive(Debug)]
+pub struct JobResult<O> {
+    /// Reducer output records, in reduce-partition order.
+    pub output: Vec<O>,
+    /// The job's counters.
+    pub counters: Counters,
+    /// Simulated and wall-clock timing.
+    pub timing: JobTiming,
+}
+
+/// Executes [`Job`]s against a DFS on a simulated cluster.
+#[derive(Clone)]
+pub struct JobRunner {
+    dfs: Arc<Dfs>,
+    cluster: ClusterConfig,
+}
+
+struct MapTaskOut {
+    segments: Vec<Segment>,
+    cost: TaskCost,
+}
+
+impl JobRunner {
+    /// Creates a runner; validates the cluster configuration.
+    pub fn new(dfs: Arc<Dfs>, cluster: ClusterConfig) -> Result<Self> {
+        cluster.validate()?;
+        Ok(Self { dfs, cluster })
+    }
+
+    /// The underlying DFS.
+    pub fn dfs(&self) -> &Arc<Dfs> {
+        &self.dfs
+    }
+
+    /// The cluster this runner simulates.
+    pub fn cluster(&self) -> &ClusterConfig {
+        &self.cluster
+    }
+
+    /// Runs a job over a DFS input file and returns its output,
+    /// counters and timing.
+    pub fn run<J: Job>(&self, job: &J, input: &str, config: &JobConfig) -> Result<JobResult<J::Output>> {
+        if config.num_reduce_tasks == 0 {
+            return Err(Error::Config(format!(
+                "job {} needs at least one reduce task",
+                job.name()
+            )));
+        }
+        let wall_start = Instant::now();
+        let splits = self.dfs.splits(input)?;
+        self.dfs.begin_dataset_read();
+        let counters = Arc::new(Counters::new());
+
+        // ---------------- map phase ----------------
+        let map_outputs = self.run_map_phase(job, splits, config, &counters)?;
+        let (map_durations, partitioned) = self.collect_map_outputs(map_outputs, config);
+
+        // ---------------- reduce phase ----------------
+        let (outputs, reduce_durations) =
+            self.run_reduce_phase(job, partitioned, &counters)?;
+
+        let timing = JobTiming::compute(
+            &self.cluster.cost_model,
+            map_durations,
+            reduce_durations,
+            self.cluster.total_map_slots(),
+            self.cluster.total_reduce_slots(),
+            wall_start.elapsed().as_secs_f64(),
+        );
+        let counters =
+            Arc::try_unwrap(counters).unwrap_or_else(|arc| {
+                // All task threads are joined; the Arc is unique in
+                // practice. Fall back to a copy if not.
+                let c = Counters::new();
+                c.merge(&arc);
+                c
+            });
+        Ok(JobResult {
+            output: outputs,
+            counters,
+            timing,
+        })
+    }
+
+    /// Runs a job over an in-memory [`PointCache`] instead of a DFS
+    /// file — the Spark-style iterative mode of the paper's §6 future
+    /// work. No dataset read is charged (the cache build already paid
+    /// one), no bytes are scanned from the DFS, and no text is parsed;
+    /// the map cost is the `secs_per_cached_point` memory-scan term.
+    ///
+    /// Requires the job's mapper to implement [`PointMapper`]; results
+    /// are identical to [`JobRunner::run`] on the text form of the same
+    /// points.
+    pub fn run_cached<J>(
+        &self,
+        job: &J,
+        cache: &PointCache,
+        config: &JobConfig,
+    ) -> Result<JobResult<J::Output>>
+    where
+        J: Job,
+        J::Mapper: PointMapper,
+    {
+        if config.num_reduce_tasks == 0 {
+            return Err(Error::Config(format!(
+                "job {} needs at least one reduce task",
+                job.name()
+            )));
+        }
+        let wall_start = Instant::now();
+        let counters = Arc::new(Counters::new());
+
+        let map_outputs = self.run_cached_map_phase(job, cache, config, &counters)?;
+        let (map_durations, partitioned) = self.collect_map_outputs(map_outputs, config);
+        let (outputs, reduce_durations) = self.run_reduce_phase(job, partitioned, &counters)?;
+
+        let timing = JobTiming::compute(
+            &self.cluster.cost_model,
+            map_durations,
+            reduce_durations,
+            self.cluster.total_map_slots(),
+            self.cluster.total_reduce_slots(),
+            wall_start.elapsed().as_secs_f64(),
+        );
+        let counters = Arc::try_unwrap(counters).unwrap_or_else(|arc| {
+            let c = Counters::new();
+            c.merge(&arc);
+            c
+        });
+        Ok(JobResult {
+            output: outputs,
+            counters,
+            timing,
+        })
+    }
+
+    fn run_cached_map_phase<J>(
+        &self,
+        job: &J,
+        cache: &PointCache,
+        config: &JobConfig,
+        counters: &Arc<Counters>,
+    ) -> Result<Vec<MapTaskOut>>
+    where
+        J: Job,
+        J::Mapper: PointMapper,
+    {
+        let splits = cache.splits();
+        let n = splits.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let threads = self
+            .cluster
+            .execution_threads(self.cluster.total_map_slots())
+            .min(n);
+        let next = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let results: Mutex<Vec<Option<Result<MapTaskOut>>>> =
+            Mutex::new((0..n).map(|_| None).collect());
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = self.run_cached_map_task(job, i, &splits[i], config, counters);
+                    if r.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    results.lock()[i] = Some(r);
+                });
+            }
+        });
+
+        let mut out = Vec::with_capacity(n);
+        for slot in results.into_inner() {
+            match slot {
+                Some(Ok(m)) => out.push(m),
+                Some(Err(e)) => return Err(e),
+                None => continue,
+            }
+        }
+        if out.len() < n {
+            return Err(Error::Task(format!(
+                "job {}: {} cached map task(s) did not run",
+                job.name(),
+                n - out.len()
+            )));
+        }
+        Ok(out)
+    }
+
+    fn run_cached_map_task<J>(
+        &self,
+        job: &J,
+        index: usize,
+        split: &CachedSplit,
+        config: &JobConfig,
+        counters: &Arc<Counters>,
+    ) -> Result<MapTaskOut>
+    where
+        J: Job,
+        J::Mapper: PointMapper,
+    {
+        let mut ctx = TaskContext::new(
+            format!("map-{index}"),
+            Arc::clone(counters),
+            self.cluster.heap_per_task,
+        );
+        let num_parts = config.num_reduce_tasks;
+        let partitioner = |k: &J::Key| job.partition(k, num_parts);
+        let mut emitter: Emitter<J::Key, J::Value> = Emitter::new(num_parts);
+        let mut mapper = job.create_mapper();
+
+        mapper.setup(&mut ctx)?;
+        for point in split.points.rows() {
+            counters.inc(Counter::MapInputRecords);
+            let mut out = MapOutput {
+                emitter: &mut emitter,
+                partitioner: &partitioner,
+                counters,
+            };
+            mapper.map_point(point, &mut out, &mut ctx)?;
+            if emitter.records_since_spill() >= config.spill_threshold_records {
+                counters.inc(Counter::Spills);
+                for part in emitter.partitions_mut() {
+                    sort_and_combine(job, part, counters);
+                }
+                emitter.reset_spill_window();
+            }
+        }
+        {
+            let mut out = MapOutput {
+                emitter: &mut emitter,
+                partitioner: &partitioner,
+                counters,
+            };
+            mapper.close(&mut out, &mut ctx)?;
+        }
+
+        let mut segments = Vec::with_capacity(num_parts);
+        let mut shuffle_out = 0u64;
+        for part in emitter.partitions_mut() {
+            sort_and_combine(job, part, counters);
+            let seg = encode_segment(part);
+            shuffle_out += seg.len() as u64;
+            segments.push(seg);
+        }
+        counters.add(Counter::ShuffleBytes, shuffle_out);
+        counters.max(Counter::HeapPeakBytes, ctx.heap.peak());
+
+        Ok(MapTaskOut {
+            segments,
+            cost: TaskCost {
+                input_bytes: 0,
+                cached_points: split.points.len() as u64,
+                shuffle_bytes_out: shuffle_out,
+                shuffle_bytes_in: 0,
+                compute_units: ctx.compute_units(),
+            },
+        })
+    }
+
+    fn run_map_phase<J: Job>(
+        &self,
+        job: &J,
+        splits: Vec<InputSplit>,
+        config: &JobConfig,
+        counters: &Arc<Counters>,
+    ) -> Result<Vec<MapTaskOut>> {
+        let n = splits.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let threads = self
+            .cluster
+            .execution_threads(self.cluster.total_map_slots())
+            .min(n);
+        let next = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let results: Mutex<Vec<Option<Result<MapTaskOut>>>> = Mutex::new((0..n).map(|_| None).collect());
+        let splits = &splits;
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = self.run_map_task(job, i, &splits[i], config, counters);
+                    if r.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    results.lock()[i] = Some(r);
+                });
+            }
+        });
+
+        let mut out = Vec::with_capacity(n);
+        for slot in results.into_inner() {
+            match slot {
+                Some(Ok(m)) => out.push(m),
+                Some(Err(e)) => return Err(e),
+                // Skipped after another task failed: only reachable when
+                // some earlier slot holds the error, which the loop
+                // returns first (results are scanned in order) — unless
+                // the failing task has a higher index; scan again below.
+                None => continue,
+            }
+        }
+        if out.len() < n {
+            // A task was skipped without any stored error: impossible
+            // unless a failure happened; find it.
+            return Err(Error::Task(format!(
+                "job {}: {} map task(s) did not run",
+                job.name(),
+                n - out.len()
+            )));
+        }
+        Ok(out)
+    }
+
+    fn run_map_task<J: Job>(
+        &self,
+        job: &J,
+        index: usize,
+        split: &InputSplit,
+        config: &JobConfig,
+        counters: &Arc<Counters>,
+    ) -> Result<MapTaskOut> {
+        let mut ctx = TaskContext::new(
+            format!("map-{index}"),
+            Arc::clone(counters),
+            self.cluster.heap_per_task,
+        );
+        let num_parts = config.num_reduce_tasks;
+        let partitioner = |k: &J::Key| job.partition(k, num_parts);
+        let mut emitter: Emitter<J::Key, J::Value> = Emitter::new(num_parts);
+        let mut mapper = job.create_mapper();
+
+        mapper.setup(&mut ctx)?;
+        for (offset, line) in split.lines() {
+            counters.inc(Counter::MapInputRecords);
+            let mut out = MapOutput {
+                emitter: &mut emitter,
+                partitioner: &partitioner,
+                counters,
+            };
+            mapper.map(offset, line, &mut out, &mut ctx)?;
+            if emitter.records_since_spill() >= config.spill_threshold_records {
+                counters.inc(Counter::Spills);
+                for part in emitter.partitions_mut() {
+                    sort_and_combine(job, part, counters);
+                }
+                emitter.reset_spill_window();
+            }
+        }
+        {
+            let mut out = MapOutput {
+                emitter: &mut emitter,
+                partitioner: &partitioner,
+                counters,
+            };
+            mapper.close(&mut out, &mut ctx)?;
+        }
+
+        // Final sort/combine and serialization.
+        let mut segments = Vec::with_capacity(num_parts);
+        let mut shuffle_out = 0u64;
+        for part in emitter.partitions_mut() {
+            sort_and_combine(job, part, counters);
+            let seg = encode_segment(part);
+            shuffle_out += seg.len() as u64;
+            segments.push(seg);
+        }
+        counters.add(Counter::ShuffleBytes, shuffle_out);
+        counters.add(Counter::InputBytes, split.len() as u64);
+        counters.max(Counter::HeapPeakBytes, ctx.heap.peak());
+        self.dfs.charge_split_read(split);
+
+        Ok(MapTaskOut {
+            segments,
+            cost: TaskCost {
+                input_bytes: split.len() as u64,
+                cached_points: 0,
+                shuffle_bytes_out: shuffle_out,
+                shuffle_bytes_in: 0,
+                compute_units: ctx.compute_units(),
+            },
+        })
+    }
+
+    /// Transposes map outputs into per-partition segment lists and
+    /// returns the map task durations.
+    fn collect_map_outputs(
+        &self,
+        map_outputs: Vec<MapTaskOut>,
+        config: &JobConfig,
+    ) -> (Vec<f64>, Vec<Vec<Segment>>) {
+        let model = &self.cluster.cost_model;
+        let mut durations = Vec::with_capacity(map_outputs.len());
+        let mut partitioned: Vec<Vec<Segment>> =
+            (0..config.num_reduce_tasks).map(|_| Vec::new()).collect();
+        for m in map_outputs {
+            durations.push(m.cost.duration(model));
+            for (p, seg) in m.segments.into_iter().enumerate() {
+                if !seg.is_empty() {
+                    partitioned[p].push(seg);
+                }
+            }
+        }
+        (durations, partitioned)
+    }
+
+    fn run_reduce_phase<J: Job>(
+        &self,
+        job: &J,
+        partitioned: Vec<Vec<Segment>>,
+        counters: &Arc<Counters>,
+    ) -> Result<(Vec<J::Output>, Vec<f64>)> {
+        let n = partitioned.len();
+        let threads = self
+            .cluster
+            .execution_threads(self.cluster.total_reduce_slots())
+            .min(n.max(1));
+        let next = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let inputs: Vec<Mutex<Option<Vec<Segment>>>> =
+            partitioned.into_iter().map(|p| Mutex::new(Some(p))).collect();
+        type ReduceOut<O> = Option<Result<(Vec<O>, TaskCost)>>;
+        let results: Mutex<Vec<ReduceOut<J::Output>>> = Mutex::new((0..n).map(|_| None).collect());
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let p = next.fetch_add(1, Ordering::Relaxed);
+                    if p >= n {
+                        break;
+                    }
+                    let segments = inputs[p].lock().take().expect("segments taken once");
+                    let r = self.run_reduce_task(job, p, segments, counters);
+                    if r.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    results.lock()[p] = Some(r);
+                });
+            }
+        });
+
+        let mut outputs = Vec::new();
+        let mut durations = Vec::with_capacity(n);
+        let mut completed = 0usize;
+        for slot in results.into_inner() {
+            match slot {
+                Some(Ok((out, cost))) => {
+                    completed += 1;
+                    durations.push(cost.duration(&self.cluster.cost_model));
+                    outputs.extend(out);
+                }
+                Some(Err(e)) => return Err(e),
+                None => continue,
+            }
+        }
+        if completed < n {
+            return Err(Error::Task(format!(
+                "job {}: {} reduce task(s) did not run",
+                job.name(),
+                n - completed
+            )));
+        }
+        Ok((outputs, durations))
+    }
+
+    fn run_reduce_task<J: Job>(
+        &self,
+        job: &J,
+        partition: usize,
+        segments: Vec<Segment>,
+        counters: &Arc<Counters>,
+    ) -> Result<(Vec<J::Output>, TaskCost)> {
+        let mut ctx = TaskContext::new(
+            format!("reduce-{partition}"),
+            Arc::clone(counters),
+            self.cluster.heap_per_task,
+        );
+        let shuffle_in: u64 = segments.iter().map(|s| s.len() as u64).sum();
+        let mut reducer = job.create_reducer();
+        let mut out: Vec<J::Output> = Vec::new();
+        reducer.setup(&mut ctx)?;
+
+        let mut merge: MergeIter<J::Key, J::Value> = MergeIter::new(segments)?;
+        let mut lookahead: Option<(J::Key, J::Value)> = match merge.next() {
+            None => None,
+            Some(r) => {
+                counters.inc(Counter::ReduceInputRecords);
+                Some(r?)
+            }
+        };
+        while let Some((key, first_value)) = lookahead.take() {
+            counters.inc(Counter::ReduceInputGroups);
+            let group_key = key.clone();
+            let mut first = Some(first_value);
+            let mut boundary: Option<(J::Key, J::Value)> = None;
+            let mut decode_err: Option<Error> = None;
+            {
+                let mut next_fn = || -> Option<J::Value> {
+                    if let Some(v) = first.take() {
+                        return Some(v);
+                    }
+                    if boundary.is_some() || decode_err.is_some() {
+                        return None;
+                    }
+                    match merge.next() {
+                        None => None,
+                        Some(Err(e)) => {
+                            decode_err = Some(e);
+                            None
+                        }
+                        Some(Ok((k, v))) => {
+                            counters.inc(Counter::ReduceInputRecords);
+                            if k == group_key {
+                                Some(v)
+                            } else {
+                                boundary = Some((k, v));
+                                None
+                            }
+                        }
+                    }
+                };
+                reducer.reduce(
+                    key,
+                    Values {
+                        next_fn: &mut next_fn,
+                    },
+                    &mut out,
+                    &mut ctx,
+                )?;
+                // Drain any values the reducer did not consume so the
+                // next group starts at the right record.
+                while next_fn().is_some() {}
+            }
+            if let Some(e) = decode_err {
+                return Err(e);
+            }
+            lookahead = match boundary {
+                Some(pair) => Some(pair),
+                None => match merge.next() {
+                    None => None,
+                    Some(r) => {
+                        counters.inc(Counter::ReduceInputRecords);
+                        Some(r?)
+                    }
+                },
+            };
+        }
+        reducer.close(&mut out, &mut ctx)?;
+        counters.add(Counter::ReduceOutputRecords, out.len() as u64);
+        counters.max(Counter::HeapPeakBytes, ctx.heap.peak());
+        Ok((
+            out,
+            TaskCost {
+                input_bytes: 0,
+                cached_points: 0,
+                shuffle_bytes_out: 0,
+                shuffle_bytes_in: shuffle_in,
+                compute_units: ctx.compute_units(),
+            },
+        ))
+    }
+}

@@ -1,0 +1,441 @@
+//! Sort-based shuffle: spills, segments, and the reduce-side k-way merge.
+//!
+//! The life of an intermediate pair mirrors Hadoop's:
+//!
+//! 1. mappers emit typed `(key, value)` pairs into per-partition buffers;
+//! 2. when the buffer exceeds the spill threshold, each partition is
+//!    sorted by key and — if the job has a combiner — combined in place
+//!    (the paper's jobs all rely on this: "this effect is largely
+//!    mitigated by the use of a combiner", §3.1);
+//! 3. at task end the final sorted/combined buffer is **serialized** into
+//!    a [`Segment`] of bytes; segment sizes are what the `SHUFFLE_BYTES`
+//!    counter reports;
+//! 4. each reduce task fetches its segments from every map task and
+//!    streams them through a k-way merge that decodes records lazily, so
+//!    reducers see keys in sorted order, one group at a time, without
+//!    the framework materializing the partition.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+
+use crate::counters::{Counter, Counters};
+use crate::error::Result;
+use crate::job::Job;
+use crate::writable::{ShuffleKey, ShuffleValue, Writable};
+
+/// A serialized run of key-sorted `(key, value)` pairs produced by one
+/// map task for one reduce partition.
+#[derive(Clone, Debug, Default)]
+pub struct Segment {
+    /// Serialized pairs.
+    pub data: Vec<u8>,
+    /// Number of pairs in the segment.
+    pub records: u64,
+}
+
+impl Segment {
+    /// Byte size of the segment.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the segment holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+}
+
+/// Sorts a map-output buffer by key and applies the job's combiner to
+/// every key group (when enabled), updating the combine counters.
+///
+/// The buffer is replaced by the combined pairs, still key-sorted.
+pub fn sort_and_combine<J: Job>(
+    job: &J,
+    buf: &mut Vec<(J::Key, J::Value)>,
+    counters: &Counters,
+) {
+    // Stable sort keeps emission order within a key, so combiners see
+    // values in a deterministic order.
+    buf.sort_by(|a, b| a.0.cmp(&b.0));
+    if !job.has_combiner() || buf.is_empty() {
+        return;
+    }
+    let pairs = std::mem::take(buf);
+    counters.add(Counter::CombineInputRecords, pairs.len() as u64);
+    let mut out: Vec<(J::Key, J::Value)> = Vec::with_capacity(pairs.len() / 2 + 1);
+    let mut iter = pairs.into_iter();
+    let mut current: Option<(J::Key, Vec<J::Value>)> = None;
+    let flush = |key: J::Key, values: Vec<J::Value>, out: &mut Vec<(J::Key, J::Value)>| {
+        for v in job.combine(&key, values) {
+            out.push((key.clone(), v));
+        }
+    };
+    for (k, v) in iter.by_ref() {
+        match current.as_mut() {
+            Some((ck, vals)) if *ck == k => vals.push(v),
+            _ => {
+                if let Some((ck, vals)) = current.take() {
+                    flush(ck, vals, &mut out);
+                }
+                current = Some((k, vec![v]));
+            }
+        }
+    }
+    if let Some((ck, vals)) = current.take() {
+        flush(ck, vals, &mut out);
+    }
+    counters.add(Counter::CombineOutputRecords, out.len() as u64);
+    *buf = out;
+}
+
+/// Serializes a key-sorted buffer into a shuffle [`Segment`].
+pub fn encode_segment<K: Writable, V: Writable>(pairs: &[(K, V)]) -> Segment {
+    let mut data = Vec::new();
+    for (k, v) in pairs {
+        k.write(&mut data);
+        v.write(&mut data);
+    }
+    Segment {
+        data,
+        records: pairs.len() as u64,
+    }
+}
+
+/// Lazily decodes the records of one segment.
+struct SegmentCursor {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl SegmentCursor {
+    fn next<K: Writable, V: Writable>(&mut self) -> Result<Option<(K, V)>> {
+        if self.pos >= self.data.len() {
+            return Ok(None);
+        }
+        let mut slice = &self.data[self.pos..];
+        let before = slice.len();
+        let k = K::read(&mut slice)?;
+        let v = V::read(&mut slice)?;
+        self.pos += before - slice.len();
+        Ok(Some((k, v)))
+    }
+}
+
+struct HeapEntry<K, V> {
+    key: K,
+    value: V,
+    segment: usize,
+}
+
+impl<K: Ord, V> PartialEq for HeapEntry<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.segment == other.segment
+    }
+}
+impl<K: Ord, V> Eq for HeapEntry<K, V> {}
+impl<K: Ord, V> PartialOrd for HeapEntry<K, V> {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K: Ord, V> Ord for HeapEntry<K, V> {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // BinaryHeap is a max-heap; invert for ascending key order, with
+        // the segment index as a deterministic tie-break.
+        other
+            .key
+            .cmp(&self.key)
+            .then_with(|| other.segment.cmp(&self.segment))
+    }
+}
+
+/// K-way merge over sorted segments, yielding `(key, value)` pairs in
+/// globally ascending key order. Decodes lazily: at any moment only one
+/// record per segment is materialized.
+pub struct MergeIter<K, V> {
+    cursors: Vec<SegmentCursor>,
+    heap: BinaryHeap<HeapEntry<K, V>>,
+}
+
+impl<K: ShuffleKey, V: ShuffleValue> MergeIter<K, V> {
+    /// Builds a merge over the given segments.
+    pub fn new(segments: Vec<Segment>) -> Result<Self> {
+        let mut cursors: Vec<SegmentCursor> = segments
+            .into_iter()
+            .map(|s| SegmentCursor {
+                data: s.data,
+                pos: 0,
+            })
+            .collect();
+        let mut heap = BinaryHeap::with_capacity(cursors.len());
+        for (i, c) in cursors.iter_mut().enumerate() {
+            if let Some((key, value)) = c.next::<K, V>()? {
+                heap.push(HeapEntry {
+                    key,
+                    value,
+                    segment: i,
+                });
+            }
+        }
+        Ok(Self { cursors, heap })
+    }
+}
+
+impl<K: ShuffleKey, V: ShuffleValue> Iterator for MergeIter<K, V> {
+    type Item = Result<(K, V)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let entry = self.heap.pop()?;
+        match self.cursors[entry.segment].next::<K, V>() {
+            Ok(Some((key, value))) => self.heap.push(HeapEntry {
+                key,
+                value,
+                segment: entry.segment,
+            }),
+            Ok(None) => {}
+            Err(e) => return Some(Err(e)),
+        }
+        Some(Ok((entry.key, entry.value)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{MapOutput, Mapper, Reducer, TaskContext, Values};
+    use proptest::prelude::*;
+
+    /// Minimal word-count-style job used to drive sort_and_combine.
+    struct SumJob {
+        combiner: bool,
+    }
+
+    struct NopMapper;
+    impl Mapper for NopMapper {
+        type Key = i64;
+        type Value = u64;
+        fn map(
+            &mut self,
+            _o: u64,
+            _l: &str,
+            _out: &mut MapOutput<'_, i64, u64>,
+            _c: &mut TaskContext,
+        ) -> Result<()> {
+            Ok(())
+        }
+    }
+    struct NopReducer;
+    impl Reducer for NopReducer {
+        type Key = i64;
+        type Value = u64;
+        type Output = (i64, u64);
+        fn reduce(
+            &mut self,
+            key: i64,
+            values: Values<'_, u64>,
+            out: &mut Vec<(i64, u64)>,
+            _ctx: &mut TaskContext,
+        ) -> Result<()> {
+            out.push((key, values.sum()));
+            Ok(())
+        }
+    }
+    impl Job for SumJob {
+        type Key = i64;
+        type Value = u64;
+        type Output = (i64, u64);
+        type Mapper = NopMapper;
+        type Reducer = NopReducer;
+        fn name(&self) -> &str {
+            "sum"
+        }
+        fn create_mapper(&self) -> NopMapper {
+            NopMapper
+        }
+        fn create_reducer(&self) -> NopReducer {
+            NopReducer
+        }
+        fn has_combiner(&self) -> bool {
+            self.combiner
+        }
+        fn combine(&self, _key: &i64, values: Vec<u64>) -> Vec<u64> {
+            vec![values.iter().sum()]
+        }
+    }
+
+    #[test]
+    fn sort_without_combiner_only_sorts() {
+        let job = SumJob { combiner: false };
+        let counters = Counters::new();
+        let mut buf = vec![(3i64, 1u64), (1, 2), (3, 3), (2, 4)];
+        sort_and_combine(&job, &mut buf, &counters);
+        assert_eq!(buf, vec![(1, 2), (2, 4), (3, 1), (3, 3)]);
+        assert_eq!(counters.get(Counter::CombineInputRecords), 0);
+    }
+
+    #[test]
+    fn combiner_collapses_groups() {
+        let job = SumJob { combiner: true };
+        let counters = Counters::new();
+        let mut buf = vec![(3i64, 1u64), (1, 2), (3, 3), (1, 5), (2, 4)];
+        sort_and_combine(&job, &mut buf, &counters);
+        assert_eq!(buf, vec![(1, 7), (2, 4), (3, 4)]);
+        assert_eq!(counters.get(Counter::CombineInputRecords), 5);
+        assert_eq!(counters.get(Counter::CombineOutputRecords), 3);
+    }
+
+    #[test]
+    fn empty_buffer_is_fine() {
+        let job = SumJob { combiner: true };
+        let counters = Counters::new();
+        let mut buf: Vec<(i64, u64)> = vec![];
+        sort_and_combine(&job, &mut buf, &counters);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let pairs = vec![(1i64, 10.5f64), (2, 20.5), (2, 21.5)];
+        let seg = encode_segment(&pairs);
+        assert_eq!(seg.records, 3);
+        assert_eq!(seg.len(), 3 * (8 + 8));
+        let merged: Vec<(i64, f64)> = MergeIter::new(vec![seg])
+            .unwrap()
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(merged, pairs);
+    }
+
+    #[test]
+    fn merge_interleaves_sorted_segments() {
+        let a = encode_segment(&[(1i64, "a".to_string()), (4, "d".into())]);
+        let b = encode_segment(&[(2i64, "b".to_string()), (3, "c".into())]);
+        let merged: Vec<(i64, String)> = MergeIter::new(vec![a, b])
+            .unwrap()
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(
+            merged,
+            vec![
+                (1, "a".to_string()),
+                (2, "b".into()),
+                (3, "c".into()),
+                (4, "d".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_is_stable_across_segments_for_equal_keys() {
+        // Equal keys: segment 0's records come first (deterministic).
+        let a = encode_segment(&[(7i64, 100u64)]);
+        let b = encode_segment(&[(7i64, 200u64)]);
+        let merged: Vec<(i64, u64)> = MergeIter::new(vec![a, b])
+            .unwrap()
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(merged, vec![(7, 100), (7, 200)]);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        let mut m: MergeIter<i64, u64> = MergeIter::new(vec![]).unwrap();
+        assert!(m.next().is_none());
+        let empty = encode_segment::<i64, u64>(&[]);
+        let mut m: MergeIter<i64, u64> = MergeIter::new(vec![empty]).unwrap();
+        assert!(m.next().is_none());
+    }
+
+    #[test]
+    fn corrupt_segment_surfaces_error() {
+        let mut seg = encode_segment(&[(1i64, 2u64)]);
+        seg.data.truncate(seg.data.len() - 3);
+        let r: Result<Vec<(i64, u64)>> = match MergeIter::<i64, u64>::new(vec![seg]) {
+            Ok(m) => m.collect(),
+            Err(e) => Err(e),
+        };
+        assert!(r.is_err());
+    }
+
+    proptest! {
+        /// Group boundaries survive any segment layout: for every key,
+        /// the multiset of values seen by a group-by over the merge
+        /// equals the multiset emitted.
+        #[test]
+        fn grouping_is_exact_under_any_layout(
+            pairs in proptest::collection::vec((0i64..20, 0u64..1000), 1..150),
+            splits in 1usize..6,
+        ) {
+            use std::collections::HashMap;
+            let mut segs: Vec<Vec<(i64, u64)>> = vec![vec![]; splits];
+            for (i, p) in pairs.iter().enumerate() {
+                segs[i % splits].push(*p);
+            }
+            for s in &mut segs {
+                s.sort_by_key(|p| p.0);
+            }
+            let segments: Vec<Segment> = segs.iter().map(|s| encode_segment(s)).collect();
+            let merged: Vec<(i64, u64)> = MergeIter::new(segments)
+                .unwrap()
+                .collect::<Result<_>>()
+                .unwrap();
+            // Group by run — keys must never interleave.
+            let mut seen_keys: Vec<i64> = Vec::new();
+            let mut grouped: HashMap<i64, Vec<u64>> = HashMap::new();
+            for (k, v) in &merged {
+                if seen_keys.last() != Some(k) {
+                    prop_assert!(
+                        !seen_keys.contains(k),
+                        "key {k} appeared in two separate runs"
+                    );
+                    seen_keys.push(*k);
+                }
+                grouped.entry(*k).or_default().push(*v);
+            }
+            let mut expected: HashMap<i64, Vec<u64>> = HashMap::new();
+            for (k, v) in &pairs {
+                expected.entry(*k).or_default().push(*v);
+            }
+            for (k, mut vs) in expected {
+                vs.sort_unstable();
+                let mut got = grouped.remove(&k).expect("key missing");
+                got.sort_unstable();
+                prop_assert_eq!(got, vs);
+            }
+            prop_assert!(grouped.is_empty(), "extra keys appeared");
+        }
+
+        /// Merging any partition of a sorted stream reproduces the stream.
+        #[test]
+        fn merge_reconstructs_global_order(
+            mut pairs in proptest::collection::vec((0i64..50, 0u64..1000), 0..200),
+            cuts in proptest::collection::vec(0usize..4, 0..200),
+        ) {
+            pairs.sort_by_key(|p| p.0);
+            // Deal pairs into 4 segments round-robin-ish by `cuts`,
+            // keeping each segment sorted (subsequences of sorted input).
+            let mut segs: Vec<Vec<(i64, u64)>> = vec![vec![]; 4];
+            for (i, p) in pairs.iter().enumerate() {
+                let s = cuts.get(i).copied().unwrap_or(0);
+                segs[s].push(*p);
+            }
+            let segments: Vec<Segment> = segs.iter().map(|s| encode_segment(s)).collect();
+            let merged: Vec<(i64, u64)> = MergeIter::new(segments)
+                .unwrap()
+                .collect::<Result<_>>()
+                .unwrap();
+            let mut expected = pairs.clone();
+            expected.sort_by_key(|p| p.0);
+            // Keys must match exactly; values per key are a permutation.
+            prop_assert_eq!(
+                merged.iter().map(|p| p.0).collect::<Vec<_>>(),
+                expected.iter().map(|p| p.0).collect::<Vec<_>>()
+            );
+            let mut mv: Vec<(i64, u64)> = merged;
+            let mut ev = expected;
+            mv.sort_unstable();
+            ev.sort_unstable();
+            prop_assert_eq!(mv, ev);
+        }
+    }
+}

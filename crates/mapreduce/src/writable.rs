@@ -1,0 +1,308 @@
+//! Hadoop-style `Writable` binary serialization.
+//!
+//! Everything crossing the shuffle is serialized: the runtime really
+//! encodes each intermediate `(key, value)` pair into a byte buffer
+//! after the map-side combine and decodes it on the reduce side, so the
+//! `SHUFFLE_BYTES` counter measures the same quantity the paper's cost
+//! model reasons about ("shuffles O(n) coordinates").
+//!
+//! The paper explicitly discusses key encodings (§3.1): center ids are
+//! Java `long`s rather than text because "sorting text keys requires
+//! more processing than simple integer values", and the
+//! `KMeansAndFindNewCenters` job multiplexes two logical channels by
+//! adding `OFFSET = 2⁶²` to the ids of candidate centers. We keep the
+//! same choice: keys are `i64` and the OFFSET constant lives in the core
+//! crate.
+
+use crate::error::{Error, Result};
+
+/// A type that can serialize itself to and from a byte stream.
+///
+/// Implementations must round-trip: `read(&mut write(x)) == x`.
+pub trait Writable: Sized {
+    /// Appends the binary representation of `self` to `buf`.
+    fn write(&self, buf: &mut Vec<u8>);
+
+    /// Decodes a value from the front of `buf`, advancing the slice.
+    fn read(buf: &mut &[u8]) -> Result<Self>;
+
+    /// Serialized size in bytes. Default: encode into a scratch buffer.
+    /// Hot types override this with a constant-time computation.
+    fn byte_len(&self) -> usize {
+        let mut buf = Vec::new();
+        self.write(&mut buf);
+        buf.len()
+    }
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
+    if buf.len() < n {
+        return Err(Error::Corrupt(format!(
+            "unexpected end of buffer: wanted {n} bytes, have {}",
+            buf.len()
+        )));
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+macro_rules! impl_writable_num {
+    ($($t:ty),*) => {$(
+        impl Writable for $t {
+            #[inline]
+            fn write(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_be_bytes());
+            }
+            #[inline]
+            fn read(buf: &mut &[u8]) -> Result<Self> {
+                let bytes = take(buf, std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_be_bytes(bytes.try_into().expect("sized slice")))
+            }
+            #[inline]
+            fn byte_len(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_writable_num!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+impl Writable for bool {
+    fn write(&self, buf: &mut Vec<u8>) {
+        buf.push(*self as u8);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        match take(buf, 1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(Error::Corrupt(format!("invalid bool byte {b}"))),
+        }
+    }
+    fn byte_len(&self) -> usize {
+        1
+    }
+}
+
+impl Writable for String {
+    fn write(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).write(buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        let len = u32::read(buf)? as usize;
+        let bytes = take(buf, len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| Error::Corrupt(format!("invalid utf8 string: {e}")))
+    }
+    fn byte_len(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl<T: Writable> Writable for Vec<T> {
+    fn write(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).write(buf);
+        for item in self {
+            item.write(buf);
+        }
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        let len = u32::read(buf)? as usize;
+        // Guard against corrupt lengths blowing the allocator: cap the
+        // pre-allocation, let pushes grow beyond it if the data is real.
+        let mut v = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            v.push(T::read(buf)?);
+        }
+        Ok(v)
+    }
+    fn byte_len(&self) -> usize {
+        4 + self.iter().map(Writable::byte_len).sum::<usize>()
+    }
+}
+
+impl<A: Writable, B: Writable> Writable for (A, B) {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.0.write(buf);
+        self.1.write(buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok((A::read(buf)?, B::read(buf)?))
+    }
+    fn byte_len(&self) -> usize {
+        self.0.byte_len() + self.1.byte_len()
+    }
+}
+
+impl<T: Writable> Writable for Option<T> {
+    fn write(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.write(buf);
+            }
+        }
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        match take(buf, 1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::read(buf)?)),
+            b => Err(Error::Corrupt(format!("invalid option tag {b}"))),
+        }
+    }
+    fn byte_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Writable::byte_len)
+    }
+}
+
+/// Marker bound for shuffle keys: serializable, totally ordered (the
+/// shuffle sorts by key), hashable (the default partitioner hashes) and
+/// sendable across task threads.
+pub trait ShuffleKey: Writable + Ord + std::hash::Hash + Clone + Send + 'static {}
+impl<T: Writable + Ord + std::hash::Hash + Clone + Send + 'static> ShuffleKey for T {}
+
+/// Marker bound for shuffle values.
+pub trait ShuffleValue: Writable + Clone + Send + 'static {}
+impl<T: Writable + Clone + Send + 'static> ShuffleValue for T {}
+
+/// Encodes one value into a fresh buffer (test/debug helper).
+pub fn to_bytes<T: Writable>(value: &T) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(value.byte_len());
+    value.write(&mut buf);
+    buf
+}
+
+/// Decodes one value from a buffer, requiring full consumption.
+pub fn from_bytes<T: Writable>(mut buf: &[u8]) -> Result<T> {
+    let v = T::read(&mut buf)?;
+    if !buf.is_empty() {
+        return Err(Error::Corrupt(format!("{} trailing bytes", buf.len())));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip<T: Writable + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v);
+        assert_eq!(bytes.len(), v.byte_len(), "byte_len mismatch for {v:?}");
+        let back: T = from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(-1i32);
+        round_trip(i64::MIN);
+        round_trip(i64::MAX);
+        round_trip(1u64 << 62); // the paper's OFFSET
+        round_trip(3.25f64);
+        round_trip(f64::NEG_INFINITY);
+        round_trip(true);
+        round_trip(false);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(String::from("12.5 3.75 -0.25"));
+        round_trip(String::new());
+        round_trip(vec![1.0f64, -2.0, 3.5]);
+        round_trip(Vec::<f64>::new());
+        round_trip((42i64, vec![1.0f64, 2.0]));
+        round_trip(Some(7u32));
+        round_trip(Option::<u32>::None);
+        round_trip(vec![(1i64, 2.0f64), (3, 4.0)]);
+    }
+
+    #[test]
+    fn truncated_buffer_is_corrupt() {
+        let bytes = to_bytes(&12345u64);
+        let err = from_bytes::<u64>(&bytes[..4]).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)));
+    }
+
+    #[test]
+    fn trailing_bytes_are_corrupt() {
+        let mut bytes = to_bytes(&1u32);
+        bytes.push(0);
+        assert!(matches!(from_bytes::<u32>(&bytes), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn invalid_bool_and_option_tags() {
+        assert!(matches!(from_bytes::<bool>(&[7]), Err(Error::Corrupt(_))));
+        assert!(matches!(
+            from_bytes::<Option<u8>>(&[9]),
+            Err(Error::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_is_corrupt() {
+        let mut buf = Vec::new();
+        2u32.write(&mut buf);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(from_bytes::<String>(&buf), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn corrupt_vec_length_does_not_overallocate() {
+        // Length claims u32::MAX elements but the buffer is tiny: must
+        // error out, not abort on allocation.
+        let mut buf = Vec::new();
+        u32::MAX.write(&mut buf);
+        buf.extend_from_slice(&[1, 2, 3]);
+        assert!(matches!(
+            from_bytes::<Vec<u64>>(&buf),
+            Err(Error::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn i64_big_endian_encoding_sorts_like_unsigned_for_non_negative() {
+        // Non-negative i64 keys (all center ids) compare identically as
+        // integers and as big-endian byte strings.
+        let pairs = [(0i64, 1i64), (5, 1 << 62), (1 << 62, (1 << 62) + 1)];
+        for (a, b) in pairs {
+            assert_eq!(a.cmp(&b), to_bytes(&a).cmp(&to_bytes(&b)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_i64_round_trip(x: i64) { round_trip(x); }
+
+        #[test]
+        fn prop_f64_round_trip(x in proptest::num::f64::ANY) {
+            let bytes = to_bytes(&x);
+            let back: f64 = from_bytes(&bytes).unwrap();
+            // NaN != NaN; compare bit patterns.
+            prop_assert_eq!(back.to_bits(), x.to_bits());
+        }
+
+        #[test]
+        fn prop_string_round_trip(s in ".*") { round_trip(s); }
+
+        #[test]
+        fn prop_vec_f64_round_trip(v in proptest::collection::vec(-1e12..1e12f64, 0..64)) {
+            round_trip(v);
+        }
+
+        #[test]
+        fn prop_nested_round_trip(
+            k: i64,
+            v in proptest::collection::vec(-1e6..1e6f64, 0..16),
+            n: u64,
+        ) {
+            round_trip((k, (v, n)));
+        }
+    }
+}

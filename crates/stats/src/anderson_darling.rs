@@ -1,0 +1,476 @@
+//! Anderson–Darling normality test.
+//!
+//! This is the statistical heart of G-means: a cluster is kept when the
+//! hypothesis "the projections of its points follow a normal
+//! distribution" is accepted, and split otherwise (paper §2, step 6).
+//!
+//! The implementation follows the classical treatment for the composite
+//! hypothesis where both mean and variance are estimated from the sample
+//! ("case 4" in D'Agostino & Stephens, *Goodness-of-Fit Techniques*,
+//! 1986):
+//!
+//! 1. sort the (already normalized) sample,
+//! 2. compute `A² = −n − (1/n) Σ (2i−1)(ln Φ(xᵢ) + ln(1 − Φ(x_{n+1−i})))`,
+//! 3. apply the small-sample correction `A*² = A² (1 + 4/n − 25/n²)`,
+//! 4. compare against a critical value, or compute Stephens' p-value.
+//!
+//! The paper applies the test to samples of at least 20 points
+//! ("Anderson-Darling … a minimum size of 8 is considered to be
+//! sufficient. In our implementation we use a threshold of 20, to stay
+//! on the safe side"), exposed here as [`MIN_SAMPLE_SIZE`].
+
+use crate::normal::normal_cdf;
+use gmr_linalg::stats::normalize_in_place;
+
+/// Minimum sample size the paper's implementation tests (§3.2).
+pub const MIN_SAMPLE_SIZE: usize = 20;
+
+/// Why a sample could not be tested.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdError {
+    /// Fewer observations than the configured minimum sample size.
+    SampleTooSmall {
+        /// Number of observations provided.
+        got: usize,
+        /// Minimum required.
+        min: usize,
+    },
+    /// The sample is constant (zero variance): normalization is
+    /// impossible and the test undefined.
+    ZeroVariance,
+    /// The sample contains NaN or infinite values.
+    NonFinite,
+}
+
+impl std::fmt::Display for AdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdError::SampleTooSmall { got, min } => {
+                write!(f, "sample too small for Anderson-Darling: {got} < {min}")
+            }
+            AdError::ZeroVariance => write!(f, "sample has zero variance"),
+            AdError::NonFinite => write!(f, "sample contains non-finite values"),
+        }
+    }
+}
+
+impl std::error::Error for AdError {}
+
+/// Result of one Anderson–Darling test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdOutcome {
+    /// The raw `A²` statistic.
+    pub a2: f64,
+    /// The corrected `A*² = A²(1 + 4/n − 25/n²)` statistic.
+    pub a2_star: f64,
+    /// Approximate p-value (Stephens' formulas); probability of seeing a
+    /// statistic at least this large under H₀ (normality).
+    pub p_value: f64,
+    /// Sample size the statistic was computed on.
+    pub n: usize,
+}
+
+impl AdOutcome {
+    /// True iff H₀ (the sample is normal) is **accepted** at significance
+    /// `alpha` — i.e. the cluster should be kept, not split.
+    pub fn is_normal(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Configured Anderson–Darling normality tester.
+///
+/// Holds the significance level and minimum sample size so that every
+/// call site in the MapReduce jobs applies the same policy.
+#[derive(Clone, Copy, Debug)]
+pub struct AndersonDarling {
+    alpha: f64,
+    min_sample: usize,
+}
+
+impl Default for AndersonDarling {
+    /// Significance `α = 0.0001` (the strict level the original G-means
+    /// paper by Hamerly & Elkan recommends so that the number of splits
+    /// stays conservative) and the paper's minimum sample size of 20.
+    fn default() -> Self {
+        Self {
+            alpha: 1e-4,
+            min_sample: MIN_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl AndersonDarling {
+    /// Creates a tester with an explicit significance level and minimum
+    /// sample size.
+    ///
+    /// # Panics
+    /// Panics unless `0 < alpha < 1` and `min_sample ≥ 8` (the rule of
+    /// thumb the paper quotes as the absolute floor for the test).
+    pub fn new(alpha: f64, min_sample: usize) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+        assert!(min_sample >= 8, "Anderson-Darling needs at least 8 samples");
+        Self { alpha, min_sample }
+    }
+
+    /// Significance level.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Minimum sample size.
+    pub fn min_sample(&self) -> usize {
+        self.min_sample
+    }
+
+    /// Tests an arbitrary sample: normalizes a copy to zero mean / unit
+    /// variance, then computes the statistic.
+    pub fn test(&self, sample: &[f64]) -> Result<AdOutcome, AdError> {
+        if sample.len() < self.min_sample {
+            return Err(AdError::SampleTooSmall {
+                got: sample.len(),
+                min: self.min_sample,
+            });
+        }
+        if sample.iter().any(|x| !x.is_finite()) {
+            return Err(AdError::NonFinite);
+        }
+        let mut owned = sample.to_vec();
+        if !normalize_in_place(&mut owned) {
+            return Err(AdError::ZeroVariance);
+        }
+        owned.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite after normalization"));
+        Ok(self.statistic_sorted_normalized(&owned))
+    }
+
+    /// Like [`AndersonDarling::test`] but consumes a buffer, normalizing
+    /// and sorting it in place. This is what the TestClusters reducer
+    /// uses: it already owns the vector of projections, and the paper's
+    /// heap analysis (Figure 2) assumes no second copy is made.
+    pub fn test_in_place(&self, sample: &mut [f64]) -> Result<AdOutcome, AdError> {
+        if sample.len() < self.min_sample {
+            return Err(AdError::SampleTooSmall {
+                got: sample.len(),
+                min: self.min_sample,
+            });
+        }
+        if sample.iter().any(|x| !x.is_finite()) {
+            return Err(AdError::NonFinite);
+        }
+        if !normalize_in_place(sample) {
+            return Err(AdError::ZeroVariance);
+        }
+        sample.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite after normalization"));
+        Ok(self.statistic_sorted_normalized(sample))
+    }
+
+    /// Convenience: `true` iff the sample is accepted as normal at the
+    /// configured significance level.
+    pub fn is_normal(&self, sample: &[f64]) -> Result<bool, AdError> {
+        Ok(self.test(sample)?.is_normal(self.alpha))
+    }
+
+    /// Computes the statistic on an already normalized, sorted sample.
+    fn statistic_sorted_normalized(&self, sorted: &[f64]) -> AdOutcome {
+        let n = sorted.len();
+        let nf = n as f64;
+        // Clamp Φ into (ε, 1−ε): extreme outliers would otherwise produce
+        // ln(0) = −∞. The clamp only makes the statistic *larger* (more
+        // non-normal), which is the correct direction for an outlier.
+        const EPS: f64 = 1e-300;
+        let mut sum = 0.0;
+        for i in 0..n {
+            let phi_lo = normal_cdf(sorted[i]).clamp(EPS, 1.0 - 1e-16);
+            let phi_hi = normal_cdf(sorted[n - 1 - i]).clamp(EPS, 1.0 - 1e-16);
+            let w = (2 * i + 1) as f64;
+            sum += w * (phi_lo.ln() + (1.0 - phi_hi).ln());
+        }
+        let a2 = -nf - sum / nf;
+        let a2_star = a2 * (1.0 + 4.0 / nf - 25.0 / (nf * nf));
+        AdOutcome {
+            a2,
+            a2_star,
+            p_value: p_value_case4(a2_star),
+            n,
+        }
+    }
+}
+
+/// Stephens' p-value approximation for the corrected statistic `A*²`
+/// when mean and variance are estimated (case 4).
+///
+/// Piecewise formulas from D'Agostino & Stephens (1986), Table 4.9.
+pub fn p_value_case4(a2_star: f64) -> f64 {
+    let a = a2_star;
+    let p = if a > 13.0 {
+        // Stephens' quadratic fit is only calibrated up to A*² ≈ 13
+        // (p ≈ 1e-28); beyond that the parabola turns upward, so clamp
+        // the tail to zero instead of evaluating it.
+        0.0
+    } else if a >= 0.6 {
+        (1.2937 - 5.709 * a + 0.0186 * a * a).exp()
+    } else if a > 0.34 {
+        (0.9177 - 4.279 * a - 1.38 * a * a).exp()
+    } else if a > 0.2 {
+        1.0 - (-8.318 + 42.796 * a - 59.938 * a * a).exp()
+    } else {
+        1.0 - (-13.436 + 101.14 * a - 223.73 * a * a).exp()
+    };
+    p.clamp(0.0, 1.0)
+}
+
+/// Critical value of `A*²` for a handful of standard significance
+/// levels (case 4), with log-linear interpolation between table entries
+/// and Stephens' tail formula beyond them.
+///
+/// # Panics
+/// Panics unless `0 < alpha < 1`.
+pub fn critical_value_case4(alpha: f64) -> f64 {
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    // (alpha, critical A*²) — D'Agostino & Stephens, case 4.
+    const TABLE: [(f64, f64); 5] = [
+        (0.15, 0.576),
+        (0.10, 0.656),
+        (0.05, 0.787),
+        (0.025, 0.918),
+        (0.01, 1.092),
+    ];
+    if alpha >= TABLE[0].0 {
+        return TABLE[0].1;
+    }
+    for w in TABLE.windows(2) {
+        let (a_hi, v_lo) = w[0];
+        let (a_lo, v_hi) = w[1];
+        if alpha <= a_hi && alpha >= a_lo {
+            // Interpolate linearly in ln(alpha).
+            let t = (alpha.ln() - a_hi.ln()) / (a_lo.ln() - a_hi.ln());
+            return v_lo + t * (v_hi - v_lo);
+        }
+    }
+    // Below 1%: invert Stephens' upper-tail formula
+    // p = exp(1.2937 − 5.709 A + 0.0186 A²)
+    //   ⇒ 0.0186 A² − 5.709 A + (1.2937 − ln p) = 0, smaller root.
+    let c = 1.2937 - alpha.ln();
+    let disc = 5.709 * 5.709 - 4.0 * 0.0186 * c;
+    (5.709 - disc.sqrt()) / (2.0 * 0.0186)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Deterministic standard normal sample via Box–Muller.
+    fn normal_sample(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.random_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gaussian_sample_is_accepted() {
+        let ad = AndersonDarling::default();
+        for seed in 0..5 {
+            let xs = normal_sample(500, seed);
+            let out = ad.test(&xs).unwrap();
+            assert!(
+                out.is_normal(ad.alpha()),
+                "seed {seed}: A*²={} p={}",
+                out.a2_star,
+                out.p_value
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_sample_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..2000).map(|_| rng.random_range(0.0..1.0)).collect();
+        let ad = AndersonDarling::default();
+        let out = ad.test(&xs).unwrap();
+        assert!(!out.is_normal(ad.alpha()), "A*²={}", out.a2_star);
+        assert!(out.a2_star > critical_value_case4(1e-4));
+    }
+
+    #[test]
+    fn bimodal_sample_is_rejected() {
+        // Two well-separated Gaussians — exactly the situation in which
+        // G-means must decide to split a cluster.
+        let mut xs = normal_sample(400, 1);
+        xs.extend(normal_sample(400, 2).iter().map(|x| x + 8.0));
+        let ad = AndersonDarling::default();
+        assert!(!ad.is_normal(&xs).unwrap());
+    }
+
+    #[test]
+    fn shifted_scaled_gaussian_is_accepted() {
+        // The test normalizes internally, so location/scale must not matter.
+        let xs: Vec<f64> = normal_sample(600, 3).iter().map(|x| 42.0 + 1e-3 * x).collect();
+        let ad = AndersonDarling::default();
+        assert!(ad.is_normal(&xs).unwrap());
+    }
+
+    #[test]
+    fn small_sample_is_error() {
+        let ad = AndersonDarling::default();
+        let xs = normal_sample(10, 4);
+        assert_eq!(
+            ad.test(&xs),
+            Err(AdError::SampleTooSmall { got: 10, min: 20 })
+        );
+    }
+
+    #[test]
+    fn constant_sample_is_error() {
+        let ad = AndersonDarling::default();
+        assert_eq!(ad.test(&vec![3.0; 50]), Err(AdError::ZeroVariance));
+    }
+
+    #[test]
+    fn non_finite_sample_is_error() {
+        let ad = AndersonDarling::default();
+        let mut xs = normal_sample(50, 5);
+        xs[10] = f64::NAN;
+        assert_eq!(ad.test(&xs), Err(AdError::NonFinite));
+    }
+
+    #[test]
+    fn test_in_place_matches_test() {
+        let ad = AndersonDarling::default();
+        let xs = normal_sample(100, 6);
+        let a = ad.test(&xs).unwrap();
+        let mut owned = xs.clone();
+        let b = ad.test_in_place(&mut owned).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn critical_values_match_stephens_table() {
+        assert!((critical_value_case4(0.05) - 0.787).abs() < 1e-9);
+        assert!((critical_value_case4(0.01) - 1.092).abs() < 1e-9);
+        assert!((critical_value_case4(0.5) - 0.576).abs() < 1e-9);
+        // Interpolated value sits between neighbours.
+        let v = critical_value_case4(0.03);
+        assert!(v > 0.787 && v < 0.918);
+        // Tail extrapolation is monotone.
+        assert!(critical_value_case4(1e-4) > critical_value_case4(1e-2));
+    }
+
+    #[test]
+    fn extreme_statistics_have_zero_p_value() {
+        // Stephens' quadratic fit must not be evaluated outside its
+        // calibrated range — a wildly non-normal sample (A*² in the
+        // hundreds) has p = 0, not p = 1.
+        assert_eq!(p_value_case4(515.0), 0.0);
+        assert_eq!(p_value_case4(14.0), 0.0);
+        assert!(p_value_case4(12.9) < 1e-25);
+        assert!(p_value_case4(12.9) > 0.0);
+    }
+
+    #[test]
+    fn p_value_is_monotone_in_statistic() {
+        let mut last = 1.0;
+        for i in 1..200 {
+            let a = i as f64 * 0.02;
+            let p = p_value_case4(a);
+            assert!(p <= last + 1e-9, "p not monotone at A*²={a}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn p_value_consistent_with_critical_values() {
+        // At the critical value for alpha, the p-value should be close
+        // to alpha (the two come from the same source table).
+        for &alpha in &[0.05, 0.025, 0.01] {
+            let cv = critical_value_case4(alpha);
+            let p = p_value_case4(cv);
+            assert!(
+                (p - alpha).abs() < alpha * 0.35,
+                "alpha={alpha}, cv={cv}, p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn statistic_matches_alternate_algebraic_form() {
+        // Independent re-derivation: A² can equivalently be written as
+        //   A² = −n − (1/n) Σ_i [(2i−1)·ln Φ(zᵢ) + (2(n−i)+1)·ln(1−Φ(zᵢ))]
+        // with a completely different index pairing than the production
+        // formula. Both must agree on arbitrary data; an off-by-one in
+        // either indexing scheme breaks the equality.
+        use crate::normal::normal_cdf;
+        use gmr_linalg::stats::normalize_in_place;
+        for seed in 0..4 {
+            let xs = normal_sample(73, 100 + seed);
+            let ad = AndersonDarling::new(0.05, 8);
+            let out = ad.test(&xs).unwrap();
+
+            let mut z = xs.clone();
+            assert!(normalize_in_place(&mut z));
+            z.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+            let n = z.len();
+            let mut sum = 0.0;
+            for (i, &zi) in z.iter().enumerate() {
+                let phi = normal_cdf(zi).clamp(1e-300, 1.0 - 1e-16);
+                let i1 = i + 1; // 1-based
+                sum += (2 * i1 - 1) as f64 * phi.ln()
+                    + (2 * (n - i1) + 1) as f64 * (1.0 - phi).ln();
+            }
+            let a2_alt = -(n as f64) - sum / n as f64;
+            assert!(
+                (out.a2 - a2_alt).abs() < 1e-9,
+                "forms disagree: {} vs {a2_alt}",
+                out.a2
+            );
+        }
+    }
+
+    #[test]
+    fn statistic_known_reference() {
+        // An arithmetic sequence 1..=20 (uniform quantiles). R's
+        // nortest::ad.test reports the uncorrected A² = 0.2207 for this
+        // input (nortest applies a different small-sample correction, so
+        // we compare the raw statistic).
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let ad = AndersonDarling::new(0.05, 8);
+        let out = ad.test(&xs).unwrap();
+        assert!((out.a2 - 0.2207).abs() < 2e-3, "A²={}", out.a2);
+        // With D'Agostino's correction for estimated parameters:
+        assert!((out.a2_star - out.a2 * (1.0 + 4.0 / 20.0 - 25.0 / 400.0)).abs() < 1e-12);
+        // Clearly not rejected at any common significance level.
+        assert!(out.p_value > 0.5, "p={}", out.p_value);
+    }
+
+    #[test]
+    fn null_distribution_median_is_plausible() {
+        // Under H₀ the median of A*² is ≈ 0.34 (D'Agostino & Stephens).
+        // Check the empirical median over independent Gaussian samples.
+        let ad = AndersonDarling::new(0.05, 8);
+        let mut stats: Vec<f64> = (0..200)
+            .map(|seed| ad.test(&normal_sample(100, 1000 + seed)).unwrap().a2_star)
+            .collect();
+        stats.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = stats[stats.len() / 2];
+        assert!(
+            (0.22..0.48).contains(&median),
+            "empirical null median {median} is implausible"
+        );
+    }
+
+    #[test]
+    fn rejects_exponential_sample() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let xs: Vec<f64> = (0..1000)
+            .map(|_| -rng.random_range(f64::EPSILON..1.0f64).ln())
+            .collect();
+        let ad = AndersonDarling::default();
+        assert!(!ad.is_normal(&xs).unwrap());
+    }
+}

@@ -1,0 +1,171 @@
+//! Information criteria for spherical Gaussian mixtures.
+//!
+//! X-means (Pelleg & Moore, 2000) — the other iterative
+//! determine-k-algorithm the paper's related work discusses — scores
+//! candidate models with the Bayesian Information Criterion. The scoring
+//! follows the X-means paper: clusters are modelled as identical
+//! spherical Gaussians whose shared variance is the maximum-likelihood
+//! estimate, and the log-likelihood of the clustered data decomposes per
+//! cluster.
+
+/// Sufficient statistics of a clustering for model scoring.
+#[derive(Clone, Debug)]
+pub struct ClusterModelStats {
+    /// Number of points per cluster (`n_i`).
+    pub cluster_sizes: Vec<u64>,
+    /// Sum over all points of the squared distance to their assigned
+    /// center (the within-cluster sum of squares, WCSS).
+    pub wcss: f64,
+    /// Dimensionality of the space.
+    pub dim: usize,
+}
+
+impl ClusterModelStats {
+    /// Total number of points.
+    pub fn n(&self) -> u64 {
+        self.cluster_sizes.iter().sum()
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.cluster_sizes.len()
+    }
+
+    /// Number of free parameters of the spherical-Gaussian mixture:
+    /// `k − 1` mixture weights, `k·d` center coordinates and one shared
+    /// variance.
+    pub fn free_parameters(&self) -> u64 {
+        (self.k() as u64 - 1) + (self.k() as u64 * self.dim as u64) + 1
+    }
+
+    /// Maximum-likelihood estimate of the shared spherical variance,
+    /// `σ̂² = WCSS / (d · (n − k))`.
+    ///
+    /// Returns `None` when the model is saturated (`n ≤ k`) or the
+    /// variance estimate degenerates to zero.
+    pub fn variance_mle(&self) -> Option<f64> {
+        let n = self.n();
+        let k = self.k() as u64;
+        if n <= k {
+            return None;
+        }
+        let v = self.wcss / (self.dim as f64 * (n - k) as f64);
+        if v > 0.0 && v.is_finite() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// Log-likelihood of the data under the spherical mixture (X-means
+    /// eq. for `l(D)`), or `None` when the variance estimate degenerates.
+    pub fn log_likelihood(&self) -> Option<f64> {
+        let variance = self.variance_mle()?;
+        let n = self.n() as f64;
+        let d = self.dim as f64;
+        let k = self.k() as f64;
+        let mut ll = 0.0;
+        for &ni in &self.cluster_sizes {
+            if ni == 0 {
+                continue;
+            }
+            let nif = ni as f64;
+            ll += nif * (nif / n).ln();
+        }
+        ll += -0.5 * n * d * (2.0 * std::f64::consts::PI * variance).ln();
+        ll += -0.5 * d * (n - k); // −(1/2σ²)·WCSS with σ² the MLE
+        Some(ll)
+    }
+}
+
+/// Bayesian Information Criterion: `ln L − (p/2)·ln n`.
+///
+/// Larger is better. Returns `None` when the likelihood degenerates
+/// (saturated model or zero variance).
+pub fn bic_spherical(stats: &ClusterModelStats) -> Option<f64> {
+    let ll = stats.log_likelihood()?;
+    let p = stats.free_parameters() as f64;
+    let n = stats.n() as f64;
+    Some(ll - 0.5 * p * n.ln())
+}
+
+/// Akaike Information Criterion, oriented so larger is better:
+/// `ln L − p`.
+pub fn aic_spherical(stats: &ClusterModelStats) -> Option<f64> {
+    let ll = stats.log_likelihood()?;
+    Some(ll - stats.free_parameters() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(sizes: &[u64], wcss: f64, dim: usize) -> ClusterModelStats {
+        ClusterModelStats {
+            cluster_sizes: sizes.to_vec(),
+            wcss,
+            dim,
+        }
+    }
+
+    #[test]
+    fn parameter_count() {
+        let s = stats(&[10, 10], 5.0, 3);
+        // (k−1) + k·d + 1 = 1 + 6 + 1
+        assert_eq!(s.free_parameters(), 8);
+        assert_eq!(s.n(), 20);
+        assert_eq!(s.k(), 2);
+    }
+
+    #[test]
+    fn variance_mle_basic() {
+        let s = stats(&[50, 50], 200.0, 2);
+        // 200 / (2 · 98)
+        assert!((s.variance_mle().unwrap() - 200.0 / 196.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturated_model_degenerates() {
+        let s = stats(&[1, 1], 0.0, 2);
+        assert_eq!(s.variance_mle(), None);
+        assert_eq!(bic_spherical(&s), None);
+        assert_eq!(aic_spherical(&s), None);
+    }
+
+    #[test]
+    fn bic_prefers_true_structure() {
+        // Two tight, well separated blobs: splitting into k=2 must beat
+        // k=1. Model A: one cluster covering both blobs (huge WCSS).
+        // Model B: two clusters, each tight.
+        let n = 1000;
+        let one = stats(&[n], 50_000.0, 2);
+        let two = stats(&[n / 2, n / 2], 500.0, 2);
+        let bic1 = bic_spherical(&one).unwrap();
+        let bic2 = bic_spherical(&two).unwrap();
+        assert!(bic2 > bic1, "bic k=2 {bic2} should beat k=1 {bic1}");
+    }
+
+    #[test]
+    fn bic_penalizes_needless_split() {
+        // One tight blob: splitting it in two barely reduces WCSS but
+        // costs parameters, so k=1 must win.
+        let n = 1000;
+        let one = stats(&[n], 1000.0, 2);
+        let two = stats(&[n / 2, n / 2], 980.0, 2);
+        assert!(bic_spherical(&one).unwrap() > bic_spherical(&two).unwrap());
+    }
+
+    #[test]
+    fn aic_and_bic_agree_on_clear_cases() {
+        let n = 1000;
+        let one = stats(&[n], 50_000.0, 2);
+        let two = stats(&[n / 2, n / 2], 500.0, 2);
+        assert!(aic_spherical(&two).unwrap() > aic_spherical(&one).unwrap());
+    }
+
+    #[test]
+    fn empty_cluster_is_tolerated() {
+        let s = stats(&[100, 0, 100], 300.0, 2);
+        assert!(bic_spherical(&s).is_some());
+    }
+}

@@ -1,0 +1,71 @@
+//! Every way to choose k, side by side.
+//!
+//! The paper's §2 surveys the classical criteria (elbow, silhouette,
+//! Dunn, jump, gap statistic — all needing a full multi-k sweep) and the
+//! two iterative algorithms (X-means, G-means). This example runs all of
+//! them on the same dataset and compares both their answer and their
+//! cost in distance computations.
+//!
+//! ```text
+//! cargo run --release --example choose_k
+//! ```
+
+use gmeans_mapreduce::algorithms::prelude::*;
+use gmeans_mapreduce::algorithms::selection;
+use gmeans_mapreduce::datagen::GaussianMixture;
+
+fn main() {
+    let k_real = 12usize;
+    let data = GaussianMixture::paper_r10(20_000, k_real, 321)
+        .generate()
+        .expect("valid spec");
+    println!(
+        "{} points in R{}, k_real = {k_real} (hidden)\n",
+        data.points.len(),
+        data.points.dim()
+    );
+
+    // ---- the multi-k sweep every classical criterion needs ----
+    // O(n·k_max²) distance work, the cost §4 compares against.
+    let k_max = 2 * k_real;
+    let models = multi_kmeans(&data.points, 1, k_max, 1, 10, 7);
+    let sweep_distances: u64 = (1..=k_max as u64).map(|k| k * 10 * data.points.len() as u64).sum();
+
+    println!("criterion        chosen k   (method cost)");
+    println!("---------        --------   -------------");
+    let elbow = selection::elbow(&data.points, &models);
+    println!("elbow            {:>8}   multi-k sweep: ~{sweep_distances} distances", fmt(elbow));
+    let sil = selection::best_silhouette(&data.points, &models);
+    println!("silhouette       {:>8}   multi-k sweep + O(n²) silhouettes", fmt(sil));
+    let dunn = selection::best_dunn(&data.points, &models);
+    println!("dunn index       {:>8}   multi-k sweep + diameters", fmt(dunn));
+    let jump = selection::jump_method(&data.points, &models);
+    println!("jump method      {:>8}   multi-k sweep + distortions", fmt(jump));
+    let gap = selection::gap_statistic(&data.points, &models, 3, 99);
+    println!("gap statistic    {:>8}   multi-k sweep × (1 + B references)", fmt(gap));
+
+    // ---- X-means: BIC-driven splitting ----
+    let x = xmeans(
+        &data.points,
+        &XMeansConfig {
+            k_max,
+            ..XMeansConfig::default()
+        },
+    );
+    println!("x-means (BIC)    {:>8}   iterative, no sweep", x.k());
+
+    // ---- G-means: Anderson–Darling-driven splitting ----
+    let g = GMeans::new(GMeansConfig::default()).fit(&data.points);
+    println!("g-means (AD)     {:>8}   iterative, O(n·k) total", g.k());
+
+    // Merged G-means corrects the parallel overestimate.
+    let assignment = assign(&data.points, &g.centers);
+    let merged = merge_close_centers(&g.centers, &assignment.cluster_sizes, 8.0);
+    println!("g-means + merge  {:>8}   + one O(k²) merge pass", merged.centers.len());
+
+    println!("\nground truth     {k_real:>8}");
+}
+
+fn fmt(k: Option<usize>) -> String {
+    k.map_or_else(|| "-".to_string(), |k| k.to_string())
+}

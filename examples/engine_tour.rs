@@ -1,0 +1,90 @@
+//! A tour of the engine-level options the paper motivates but leaves as
+//! future work or related work — all implemented here:
+//!
+//! * Spark-style cached execution (§6: save disk I/O via in-memory
+//!   caching, partition-preserving),
+//! * k-d-tree nearest-center search (§2: mrkd-tree),
+//! * k-means‖ initialization (§2: Bahmani's MapReduce k-means++).
+//!
+//! ```text
+//! cargo run --release --example engine_tour
+//! ```
+
+use std::sync::Arc;
+
+use gmeans_mapreduce::algorithms::mr::{KMeansParallelInit, MRKMeans};
+use gmeans_mapreduce::algorithms::prelude::*;
+use gmeans_mapreduce::datagen::GaussianMixture;
+use gmeans_mapreduce::mapreduce::counters::Counter;
+use gmeans_mapreduce::mapreduce::prelude::{ClusterConfig, Dfs, JobRunner};
+
+fn staged(seed: u64) -> JobRunner {
+    let spec = GaussianMixture::paper_r10(30_000, 32, seed);
+    let dfs = Arc::new(Dfs::new(128 * 1024));
+    spec.generate_to_dfs(&dfs, "points.txt").expect("dataset");
+    JobRunner::new(dfs, ClusterConfig::default()).expect("cluster")
+}
+
+fn main() {
+    let config = GMeansConfig::default();
+
+    println!("== execution engines: Hadoop-style vs Spark-style (§6) ==");
+    for (label, mode) in [
+        ("on-disk (re-read per job)", ExecutionMode::OnDisk),
+        ("cached (read once)       ", ExecutionMode::Cached),
+    ] {
+        let r = MRGMeans::new(staged(7), config)
+            .with_execution_mode(mode)
+            .run("points.txt")
+            .expect("run");
+        println!(
+            "  {label}  k={:<3} dataset reads={:<3} simulated {:.0}s  wall {:.2}s",
+            r.k(),
+            r.dataset_reads,
+            r.simulated_secs,
+            r.wall_secs
+        );
+    }
+
+    println!("\n== nearest-center search: linear scan vs k-d tree (§2) ==");
+    for (label, kd) in [("linear scan", false), ("k-d tree   ", true)] {
+        let r = MRGMeans::new(staged(7), config)
+            .with_kd_index(kd)
+            .run("points.txt")
+            .expect("run");
+        println!(
+            "  {label}  k={:<3} distance evaluations={:<12} wall {:.2}s",
+            r.k(),
+            r.counters.get(Counter::DistanceComputations),
+            r.wall_secs
+        );
+    }
+
+    println!("\n== initialization for plain MR k-means: random vs k-means|| ==");
+    let runner = staged(7);
+    let data = {
+        let lines = runner.dfs().read_lines("points.txt").expect("read");
+        let mut ds = gmeans_mapreduce::linalg::Dataset::new(10);
+        for l in &lines {
+            ds.push(&gmeans_mapreduce::datagen::parse_point(l).expect("point"));
+        }
+        ds
+    };
+    let random = MRKMeans::new(runner.clone(), 32, 5, 1)
+        .run("points.txt")
+        .expect("run");
+    println!(
+        "  random sample    wcss = {:.0}",
+        wcss(&data, &random.centers)
+    );
+    let init = KMeansParallelInit::new(runner.clone(), 32, 1)
+        .run("points.txt")
+        .expect("init");
+    let kmpp = MRKMeans::new(runner, 32, 5, 1)
+        .run_from("points.txt", init)
+        .expect("run");
+    println!(
+        "  k-means||        wcss = {:.0}   (lower is better)",
+        wcss(&data, &kmpp.centers)
+    );
+}

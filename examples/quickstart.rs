@@ -1,0 +1,84 @@
+//! Quickstart: discover the number of clusters with G-means, serially
+//! and on the MapReduce engine.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use gmeans_mapreduce::algorithms::prelude::*;
+use gmeans_mapreduce::datagen::GaussianMixture;
+use gmeans_mapreduce::mapreduce::prelude::{ClusterConfig, Dfs, JobRunner};
+
+fn main() {
+    // A dataset with an unknown (to the algorithm) number of clusters:
+    // the paper's illustration workload — 10 Gaussian blobs in R².
+    let spec = GaussianMixture::figure_r2(5_000, 2024);
+    let data = spec.generate().expect("valid spec");
+    println!(
+        "dataset: {} points in R{}, {} real clusters (hidden from the algorithm)",
+        data.points.len(),
+        data.points.dim(),
+        data.true_centers.len()
+    );
+
+    // ---- serial G-means ----
+    let serial = GMeans::new(GMeansConfig::default()).fit(&data.points);
+    println!("\nserial G-means discovered k = {}", serial.k());
+
+    // ---- MapReduce G-means ----
+    // Store the points as text in the simulated DFS, then run the
+    // paper's job pipeline on a 4-node simulated cluster.
+    let dfs = Arc::new(Dfs::new(64 * 1024));
+    spec.generate_to_dfs(&dfs, "data/points.txt")
+        .expect("write dataset");
+    let runner = JobRunner::new(Arc::clone(&dfs), ClusterConfig::default()).expect("valid cluster");
+    let result = MRGMeans::new(runner, GMeansConfig::default())
+        .run("data/points.txt")
+        .expect("clustering succeeds");
+
+    println!(
+        "MapReduce G-means discovered k = {} in {} iterations ({} jobs, {} dataset reads)",
+        result.k(),
+        result.iterations,
+        result.jobs,
+        result.dataset_reads
+    );
+    println!(
+        "simulated cluster time {:.1}s, real wall time {:.2}s",
+        result.simulated_secs, result.wall_secs
+    );
+
+    // The parallel version overestimates k (paper: ≈1.5×); merge the
+    // extra centers — the post-processing step the paper sketches.
+    let merged = merge_close_centers(&result.centers, &result.counts, 6.0);
+    println!(
+        "after merging close centers: k = {} (absorbed {})",
+        merged.centers.len(),
+        merged.merged_away
+    );
+
+    // Quality: average distance between a point and its center — the
+    // paper's Table 3 metric.
+    println!(
+        "average point-to-center distance: {:.3}",
+        average_distance(&data.points, &result.centers)
+    );
+
+    println!("\nper-iteration progress:");
+    for r in &result.reports {
+        println!(
+            "  iteration {:>2}: {:>3} clusters, tested {:>3}, split {:>3} [{}]",
+            r.iteration,
+            r.clusters_after,
+            r.clusters_tested,
+            r.splits,
+            match r.strategy {
+                Some(TestStrategy::FewClusters) => "TestFewClusters",
+                Some(TestStrategy::Clusters) => "TestClusters",
+                None => "no test needed",
+            }
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! The k-d-tree nearest-center acceleration: identical clustering,
+//! fewer distance evaluations — the mrkd-tree optimization the paper's
+//! §2 cites as a drop-in addition.
+
+use std::sync::Arc;
+
+use gmeans::mr::MultiKMeans;
+use gmeans::prelude::*;
+use gmr_datagen::GaussianMixture;
+use gmr_mapreduce::counters::Counter;
+use gmr_mapreduce::prelude::{ClusterConfig, Dfs, JobRunner};
+
+fn staged(k: usize, n: usize, seed: u64) -> JobRunner {
+    let spec = GaussianMixture::paper_r10(n, k, seed);
+    let dfs = Arc::new(Dfs::new(32 * 1024));
+    spec.generate_to_dfs(&dfs, "points.txt").unwrap();
+    JobRunner::new(dfs, ClusterConfig::default()).unwrap()
+}
+
+#[test]
+fn indexed_gmeans_matches_linear_gmeans_exactly() {
+    let config = GMeansConfig::default().with_seed(5);
+    let linear = MRGMeans::new(staged(12, 4000, 80), config)
+        .run("points.txt")
+        .unwrap();
+    let indexed = MRGMeans::new(staged(12, 4000, 80), config)
+        .with_kd_index(true)
+        .run("points.txt")
+        .unwrap();
+    assert_eq!(linear.centers, indexed.centers);
+    assert_eq!(linear.counts, indexed.counts);
+    assert_eq!(linear.iterations, indexed.iterations);
+}
+
+#[test]
+fn index_reduces_distance_evaluations_at_high_k() {
+    let config = GMeansConfig::default().with_seed(6);
+    let linear = MRGMeans::new(staged(32, 8000, 81), config)
+        .run("points.txt")
+        .unwrap();
+    let indexed = MRGMeans::new(staged(32, 8000, 81), config)
+        .with_kd_index(true)
+        .run("points.txt")
+        .unwrap();
+    let d_lin = linear.counters.get(Counter::DistanceComputations);
+    let d_idx = indexed.counters.get(Counter::DistanceComputations);
+    // In R¹⁰ the curse of dimensionality limits k-d pruning; ~2× is
+    // what the exact tree buys at k ≈ 50 centers.
+    assert!(
+        (d_idx as f64) < d_lin as f64 * 0.7,
+        "index should cut evaluations by ≥30%: {d_idx} vs {d_lin}"
+    );
+    // Same clusterings despite the different search path.
+    assert_eq!(linear.k(), indexed.k());
+}
+
+#[test]
+fn indexed_multik_matches_linear() {
+    let linear = MultiKMeans::new(staged(6, 2000, 82), 1, 8, 1, 4, 3)
+        .run("points.txt")
+        .unwrap();
+    let indexed = MultiKMeans::new(staged(6, 2000, 82), 1, 8, 1, 4, 3)
+        .with_kd_index(true)
+        .run("points.txt")
+        .unwrap();
+    for (l, i) in linear.models.iter().zip(&indexed.models) {
+        assert_eq!(l.centers, i.centers, "k = {}", l.k);
+        assert_eq!(l.counts, i.counts);
+    }
+    // k ≤ 8 fits in one k-d leaf, so the scan degenerates to linear —
+    // the evaluations must never exceed the linear count.
+    assert!(
+        indexed.counters.get(Counter::DistanceComputations)
+            <= linear.counters.get(Counter::DistanceComputations)
+    );
+}
+
+#[test]
+fn index_composes_with_cached_execution() {
+    let config = GMeansConfig::default().with_seed(7);
+    let plain = MRGMeans::new(staged(10, 3000, 83), config)
+        .run("points.txt")
+        .unwrap();
+    let both = MRGMeans::new(staged(10, 3000, 83), config)
+        .with_kd_index(true)
+        .with_execution_mode(ExecutionMode::Cached)
+        .run("points.txt")
+        .unwrap();
+    assert_eq!(plain.centers, both.centers);
+    assert_eq!(both.dataset_reads, 2);
+}

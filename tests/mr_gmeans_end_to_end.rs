@@ -1,0 +1,250 @@
+//! End-to-end tests of the MapReduce G-means pipeline on synthetic
+//! mixtures — the workloads of the paper's §5 at test scale.
+
+use std::sync::Arc;
+
+use gmeans::prelude::*;
+use gmr_datagen::{ClusterWeights, GaussianMixture};
+use gmr_linalg::euclidean;
+use gmr_mapreduce::counters::Counter;
+use gmr_mapreduce::prelude::{ClusterConfig, Dfs, JobRunner};
+
+fn runner_for(spec: &GaussianMixture) -> (JobRunner, gmr_linalg::Dataset) {
+    let dfs = Arc::new(Dfs::new(32 * 1024));
+    let truth = spec.generate_to_dfs(&dfs, "points.txt").unwrap();
+    (
+        JobRunner::new(dfs, ClusterConfig::default()).unwrap(),
+        truth,
+    )
+}
+
+#[test]
+fn discovers_ten_r2_clusters_with_paper_overestimate() {
+    let spec = GaussianMixture::figure_r2(4000, 41);
+    let (runner, truth) = runner_for(&spec);
+    let result = MRGMeans::new(runner, GMeansConfig::default())
+        .run("points.txt")
+        .unwrap();
+    // Table 1: discovered/real ≈ 1.5; Figure 4 finds 14 for 10.
+    assert!(
+        (10..=20).contains(&result.k()),
+        "found {} clusters for 10 real",
+        result.k()
+    );
+    // Every true center must be represented.
+    for t in truth.rows() {
+        let best = result
+            .centers
+            .rows()
+            .map(|c| euclidean(c, t))
+            .fold(f64::INFINITY, f64::min);
+        assert!(best < 4.0, "missed a true center by {best}");
+    }
+    // All points are accounted for.
+    assert_eq!(result.counts.iter().sum::<u64>(), 4000);
+}
+
+#[test]
+fn discovers_r10_clusters_and_covers_truth() {
+    let spec = GaussianMixture::paper_r10(6000, 16, 42);
+    let (runner, truth) = runner_for(&spec);
+    let result = MRGMeans::new(runner, GMeansConfig::default())
+        .run("points.txt")
+        .unwrap();
+    // The parallel splitting usually overestimates (Table 1: ≈1.5×) but
+    // a pair of near-aligned blobs can occasionally stay fused at the
+    // strict α = 1e-4, so accept a small undershoot too.
+    assert!(
+        (13..=28).contains(&result.k()),
+        "found {} clusters for 16 real",
+        result.k()
+    );
+    let mut missed = 0;
+    for t in truth.rows() {
+        let best = result
+            .centers
+            .rows()
+            .map(|c| euclidean(c, t))
+            .fold(f64::INFINITY, f64::min);
+        if best >= 2.0 {
+            missed += 1;
+        }
+    }
+    assert!(missed <= 2, "{missed}/16 true centers unrepresented");
+}
+
+#[test]
+fn iteration_count_is_logarithmic_in_k() {
+    let spec = GaussianMixture::paper_r10(6000, 16, 43);
+    let (runner, _) = runner_for(&spec);
+    let result = MRGMeans::new(runner, GMeansConfig::default())
+        .run("points.txt")
+        .unwrap();
+    // Theory: 1 + log₂ 16 = 5; the paper observes a couple extra
+    // (Table 1: 9–13 iterations for k = 100–1600, vs log₂ 100 ≈ 6.6).
+    let theoretical = 1 + (16f64).log2().ceil() as usize;
+    assert!(
+        result.iterations >= theoretical - 1,
+        "{} iterations < theoretical {}",
+        result.iterations,
+        theoretical
+    );
+    assert!(
+        result.iterations <= theoretical + 5,
+        "{} iterations for 16 clusters",
+        result.iterations
+    );
+    // k roughly doubles each iteration while clusters remain unfound.
+    for w in result.reports.windows(2) {
+        assert!(w[1].clusters_after >= w[0].clusters_after);
+        assert!(w[1].clusters_after <= w[0].clusters_after * 2);
+    }
+}
+
+#[test]
+fn dataset_reads_scale_with_iterations_not_k() {
+    let spec = GaussianMixture::paper_r10(4000, 8, 44);
+    let (runner, _) = runner_for(&spec);
+    let result = MRGMeans::new(runner, GMeansConfig::default())
+        .run("points.txt")
+        .unwrap();
+    // §4: one read per job; about 3 jobs per iteration plus the serial
+    // init read, so reads ≈ 3·iterations + 1 (± the occasional
+    // undecided-retest job), never anything like n or k.
+    assert_eq!(result.dataset_reads, result.jobs as u64 + 1);
+    assert!(
+        result.dataset_reads <= (4 * result.iterations + 2) as u64,
+        "{} reads for {} iterations",
+        result.dataset_reads,
+        result.iterations
+    );
+}
+
+#[test]
+fn counters_record_the_cost_model_quantities() {
+    let spec = GaussianMixture::figure_r2(3000, 45);
+    let (runner, _) = runner_for(&spec);
+    let result = MRGMeans::new(runner, GMeansConfig::default())
+        .run("points.txt")
+        .unwrap();
+    let distances = result.counters.get(Counter::DistanceComputations);
+    let ad_tests = result.counters.get(Counter::AdTests);
+    let projections = result.counters.get(Counter::Projections);
+    // §4: O(8·n·k_real) distances in total. Give a generous band around
+    // it — the point is the order of magnitude, n·k·c with small c.
+    let nk = 3000u64 * 10;
+    assert!(distances > nk, "too few distances: {distances}");
+    assert!(
+        distances < 60 * nk,
+        "distances {distances} far beyond O(8nk) = {}",
+        8 * nk
+    );
+    // §4: O(2·k_real) Anderson–Darling tests.
+    assert!(ad_tests >= 10, "only {ad_tests} AD tests");
+    assert!(ad_tests <= 120, "{ad_tests} AD tests for k_real = 10");
+    // Each tested point is projected once per test pass.
+    assert!(projections > 0);
+    assert!(result.counters.get(Counter::ShuffleBytes) > 0);
+}
+
+#[test]
+fn strategy_starts_mapper_side_and_switches_on_small_cluster() {
+    // Force an early switch by shrinking the reduce capacity to 1 slot:
+    // as soon as 2+ clusters are tested and they fit the heap, the
+    // reducer-side strategy engages.
+    let spec = GaussianMixture::figure_r2(3000, 46);
+    let dfs = Arc::new(Dfs::new(32 * 1024));
+    spec.generate_to_dfs(&dfs, "points.txt").unwrap();
+    let cluster = ClusterConfig {
+        nodes: 1,
+        map_slots_per_node: 2,
+        reduce_slots_per_node: 1,
+        ..ClusterConfig::default()
+    };
+    let runner = JobRunner::new(dfs, cluster).unwrap();
+    let result = MRGMeans::new(runner, GMeansConfig::default())
+        .run("points.txt")
+        .unwrap();
+    let strategies: Vec<_> = result.reports.iter().filter_map(|r| r.strategy).collect();
+    assert_eq!(
+        strategies.first(),
+        Some(&TestStrategy::FewClusters),
+        "first iteration tests one big cluster mapper-side"
+    );
+    assert!(
+        strategies.contains(&TestStrategy::Clusters),
+        "with reduce capacity 1, later iterations must switch: {strategies:?}"
+    );
+}
+
+#[test]
+fn single_gaussian_terminates_with_one_cluster() {
+    let spec = GaussianMixture {
+        n_points: 3000,
+        dim: 4,
+        n_clusters: 1,
+        box_min: 0.0,
+        box_max: 50.0,
+        stddev: 2.0,
+        min_separation_sigmas: 0.0,
+        seed: 47,
+        weights: ClusterWeights::Balanced,
+    };
+    let (runner, _) = runner_for(&spec);
+    let result = MRGMeans::new(runner, GMeansConfig::default())
+        .run("points.txt")
+        .unwrap();
+    assert_eq!(result.k(), 1, "one Gaussian must stay one cluster");
+    assert!(result.iterations <= 2);
+}
+
+#[test]
+fn merge_post_processing_reduces_overestimate() {
+    let spec = GaussianMixture::figure_r2(4000, 48);
+    let (runner, truth) = runner_for(&spec);
+    let result = MRGMeans::new(runner, GMeansConfig::default())
+        .run("points.txt")
+        .unwrap();
+    // Merge radius: a few cluster σ (σ = 2 in figure_r2, separation 8σ).
+    let merged = merge_close_centers(&result.centers, &result.counts, 6.0);
+    assert!(merged.centers.len() <= result.k());
+    assert!(
+        (truth.len()..=result.k()).contains(&merged.centers.len()),
+        "merged to {} centers (k_real {}, found {})",
+        merged.centers.len(),
+        truth.len(),
+        result.k()
+    );
+    // Coverage must survive the merge.
+    for t in truth.rows() {
+        let best = merged
+            .centers
+            .rows()
+            .map(|c| euclidean(c, t))
+            .fold(f64::INFINITY, f64::min);
+        assert!(best < 4.0, "merge lost a true center ({best})");
+    }
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let spec = GaussianMixture::figure_r2(2000, 49);
+    let (runner_a, _) = runner_for(&spec);
+    let (runner_b, _) = runner_for(&spec);
+    let config = GMeansConfig::default().with_seed(7);
+    let a = MRGMeans::new(runner_a, config).run("points.txt").unwrap();
+    let b = MRGMeans::new(runner_b, config).run("points.txt").unwrap();
+    assert_eq!(a.centers, b.centers);
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.counts, b.counts);
+}
+
+#[test]
+fn missing_input_is_an_error() {
+    let dfs = Arc::new(Dfs::default());
+    let runner = JobRunner::new(dfs, ClusterConfig::default()).unwrap();
+    let err = MRGMeans::new(runner, GMeansConfig::default())
+        .run("absent.txt")
+        .unwrap_err();
+    assert!(matches!(err, gmr_mapreduce::Error::FileNotFound(_)));
+}

@@ -1,0 +1,107 @@
+//! MapReduce X-means: the §2 rival algorithm, run on the same driver
+//! and jobs as MapReduce G-means with the split criterion swapped from
+//! Anderson–Darling to BIC.
+
+use std::sync::Arc;
+
+use gmeans::mr::SplitCriterion;
+use gmeans::prelude::*;
+use gmr_datagen::GaussianMixture;
+use gmr_linalg::euclidean;
+use gmr_mapreduce::prelude::{ClusterConfig, Dfs, JobRunner};
+
+fn staged(spec: &GaussianMixture) -> (JobRunner, gmr_linalg::Dataset) {
+    let dfs = Arc::new(Dfs::new(32 * 1024));
+    let truth = spec.generate_to_dfs(&dfs, "points.txt").unwrap();
+    (
+        JobRunner::new(dfs, ClusterConfig::default()).unwrap(),
+        truth,
+    )
+}
+
+#[test]
+fn bic_criterion_discovers_the_clusters() {
+    let spec = GaussianMixture::paper_r10(6000, 12, 160);
+    let (runner, truth) = staged(&spec);
+    let r = MRGMeans::new(runner, GMeansConfig::default())
+        .with_split_criterion(SplitCriterion::Bic)
+        .run("points.txt")
+        .unwrap();
+    assert!(
+        (10..=20).contains(&r.k()),
+        "X-means found {} clusters for 12 real",
+        r.k()
+    );
+    let mut missed = 0;
+    for t in truth.rows() {
+        let best = r
+            .centers
+            .rows()
+            .map(|c| euclidean(c, t))
+            .fold(f64::INFINITY, f64::min);
+        if best >= 2.0 {
+            missed += 1;
+        }
+    }
+    assert!(missed <= 1, "{missed}/12 blobs unrepresented");
+    assert_eq!(r.counts.iter().sum::<u64>(), 6000);
+}
+
+#[test]
+fn bic_keeps_a_single_gaussian_whole() {
+    let spec = GaussianMixture {
+        n_points: 3000,
+        dim: 4,
+        n_clusters: 1,
+        box_min: 0.0,
+        box_max: 50.0,
+        stddev: 2.0,
+        min_separation_sigmas: 0.0,
+        seed: 161,
+        weights: gmr_datagen::ClusterWeights::Balanced,
+    };
+    let (runner, _) = staged(&spec);
+    let r = MRGMeans::new(runner, GMeansConfig::default())
+        .with_split_criterion(SplitCriterion::Bic)
+        .run("points.txt")
+        .unwrap();
+    assert!(r.k() <= 2, "BIC split a single Gaussian into {}", r.k());
+}
+
+#[test]
+fn both_criteria_agree_on_clean_mixtures() {
+    let spec = GaussianMixture::figure_r2(4000, 162);
+    let (runner_ad, _) = staged(&spec);
+    let (runner_bic, _) = staged(&spec);
+    let config = GMeansConfig::default().with_seed(4);
+    let ad = MRGMeans::new(runner_ad, config).run("points.txt").unwrap();
+    let bic = MRGMeans::new(runner_bic, config)
+        .with_split_criterion(SplitCriterion::Bic)
+        .run("points.txt")
+        .unwrap();
+    // Same data, same seeds: on clean, well-separated blobs the two
+    // criteria land in the same band around k_real = 10 (X-means is
+    // known to over-split more aggressively on non-ideal data).
+    assert!((9..=18).contains(&ad.k()), "G-means found {}", ad.k());
+    assert!((9..=25).contains(&bic.k()), "X-means found {}", bic.k());
+}
+
+#[test]
+fn bic_composes_with_cached_and_indexed_execution() {
+    let spec = GaussianMixture::paper_r10(3000, 6, 163);
+    let (runner_plain, _) = staged(&spec);
+    let (runner_fast, _) = staged(&spec);
+    let config = GMeansConfig::default().with_seed(6);
+    let plain = MRGMeans::new(runner_plain, config)
+        .with_split_criterion(SplitCriterion::Bic)
+        .run("points.txt")
+        .unwrap();
+    let fast = MRGMeans::new(runner_fast, config)
+        .with_split_criterion(SplitCriterion::Bic)
+        .with_execution_mode(ExecutionMode::Cached)
+        .with_kd_index(true)
+        .run("points.txt")
+        .unwrap();
+    assert_eq!(plain.centers, fast.centers);
+    assert_eq!(fast.dataset_reads, 2);
+}

@@ -1,0 +1,63 @@
+//! The full classical pipeline the paper says multi-k-means needs: run
+//! the MapReduce sweep, then pick k with each §2 criterion — "once the
+//! centers have been computed for different values of k, multi-k-means
+//! requires at least one additional job to find the correct value of k".
+
+use std::sync::Arc;
+
+use gmeans::mr::MultiKMeans;
+use gmeans::prelude::*;
+use gmeans::selection;
+use gmeans::serial::multik::KModel;
+use gmr_datagen::GaussianMixture;
+use gmr_mapreduce::prelude::{ClusterConfig, Dfs, JobRunner};
+
+#[test]
+fn mr_sweep_feeds_every_selection_criterion() {
+    let k_real = 5usize;
+    let spec = GaussianMixture::paper_r10(3000, k_real, 140);
+    let d = spec.generate().unwrap();
+    let dfs = Arc::new(Dfs::new(32 * 1024));
+    spec.generate_to_dfs(&dfs, "points.txt").unwrap();
+    let runner = JobRunner::new(dfs, ClusterConfig::default()).unwrap();
+
+    let sweep = MultiKMeans::new(runner, 1, 2 * k_real, 1, 10, 3)
+        .run("points.txt")
+        .unwrap();
+    // Adapt the MR models to the selection API.
+    let models: Vec<KModel> = sweep
+        .models
+        .iter()
+        .map(|m| KModel {
+            k: m.k,
+            centers: m.centers.clone(),
+            wcss: wcss(&d.points, &m.centers),
+        })
+        .collect();
+
+    let elbow = selection::elbow(&d.points, &models).unwrap();
+    let silhouette = selection::best_silhouette(&d.points, &models).unwrap();
+    let dunn = selection::best_dunn(&d.points, &models).unwrap();
+    let jump = selection::jump_method(&d.points, &models).unwrap();
+    let picks = [elbow, silhouette, dunn, jump];
+
+    // Individual criteria are noisy on random-init sweeps (that is the
+    // paper's very argument for G-means), but the majority must land in
+    // a sensible band around k_real.
+    let near = picks
+        .iter()
+        .filter(|&&k| (k_real - 2..=k_real + 3).contains(&k))
+        .count();
+    assert!(
+        near >= 2,
+        "criteria too far off: elbow={elbow} silhouette={silhouette} dunn={dunn} jump={jump} (k_real={k_real})"
+    );
+
+    // And G-means on the same data needs no sweep at all.
+    let g = GMeans::new(GMeansConfig::default()).fit(&d.points);
+    assert!(
+        (k_real..=k_real + 3).contains(&g.k()),
+        "gmeans found {}",
+        g.k()
+    );
+}

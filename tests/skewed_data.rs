@@ -1,0 +1,125 @@
+//! Skewed data: the paper's §4 closing caveat — "there is a risk that
+//! because of skewed data, some reducers will have a higher workload,
+//! thus reducing the global efficiency of the algorithm" — made
+//! measurable through the engine's per-task durations.
+
+use std::sync::Arc;
+
+use gmeans::mr::{CenterSet, KMeansJob};
+use gmeans::prelude::*;
+use gmr_datagen::GaussianMixture;
+use gmr_mapreduce::job::JobConfig;
+use gmr_mapreduce::prelude::{ClusterConfig, Dfs, JobRunner};
+
+fn staged(spec: &GaussianMixture) -> (JobRunner, gmr_linalg::Dataset) {
+    let dfs = Arc::new(Dfs::new(16 * 1024));
+    let truth = spec.generate_to_dfs(&dfs, "points.txt").unwrap();
+    (
+        JobRunner::new(dfs, ClusterConfig::default()).unwrap(),
+        truth,
+    )
+}
+
+#[test]
+fn zipf_skew_produces_imbalanced_components() {
+    let spec = GaussianMixture::paper_r10(20_000, 16, 120).with_zipf_skew(1.0);
+    let d = spec.generate().unwrap();
+    let mut counts = vec![0u64; 16];
+    for &l in &d.labels {
+        counts[l as usize] += 1;
+    }
+    // Zipf(1.0) over 16 components: the head holds ~30% of the mass,
+    // the tail ~2%.
+    let max = *counts.iter().max().unwrap();
+    let min = *counts.iter().min().unwrap();
+    assert!(
+        max > 8 * min.max(1),
+        "expected heavy imbalance, got {counts:?}"
+    );
+    assert_eq!(counts.iter().sum::<u64>(), 20_000);
+}
+
+#[test]
+fn balanced_spec_remains_balanced() {
+    let d = GaussianMixture::paper_r10(1600, 16, 121).generate().unwrap();
+    let mut counts = vec![0u64; 16];
+    for &l in &d.labels {
+        counts[l as usize] += 1;
+    }
+    assert!(counts.iter().all(|&c| c == 100), "{counts:?}");
+}
+
+/// The reducer imbalance itself: on skewed data the slowest reduce task
+/// of a k-means job does far more work than the fastest, stretching the
+/// phase makespan exactly as §4 warns.
+#[test]
+fn skew_stretches_reduce_task_spread() {
+    let spread = |skewed: bool| -> f64 {
+        let mut spec = GaussianMixture::paper_r10(20_000, 16, 122);
+        if skewed {
+            spec = spec.with_zipf_skew(1.2);
+        }
+        let dfs = Arc::new(Dfs::new(16 * 1024));
+        let truth = spec.generate_to_dfs(&dfs, "points.txt").unwrap();
+        // Zero fixed task costs so reduce durations reflect the data
+        // volume each reducer actually receives.
+        let cluster = ClusterConfig {
+            cost_model: gmr_mapreduce::cost::CostModel {
+                task_setup_secs: 0.0,
+                job_setup_secs: 0.0,
+                ..Default::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let runner = JobRunner::new(dfs, cluster).unwrap();
+        let mut centers = CenterSet::new(10);
+        for (i, row) in truth.rows().enumerate() {
+            centers.push(i as i64, row);
+        }
+        // One reducer per cluster and no combiner, so reduce input
+        // volume mirrors cluster sizes directly.
+        let job = KMeansJob::new(Arc::new(centers)).with_combiner(false);
+        let result = runner
+            .run(&job, "points.txt", &JobConfig::with_reducers(16))
+            .unwrap();
+        let durations = &result.timing.reduce_durations;
+        let max = durations.iter().fold(0.0f64, |a, &b| a.max(b));
+        let sum: f64 = durations.iter().sum();
+        let mean = sum / durations.len() as f64;
+        max / mean
+    };
+    let balanced = spread(false);
+    let skewed = spread(true);
+    assert!(
+        skewed > balanced * 1.5,
+        "skewed spread {skewed:.2} should dwarf balanced {balanced:.2}"
+    );
+}
+
+/// G-means still discovers the head clusters under skew; tiny tail
+/// clusters may fall below the 20-point test minimum and merge — the
+/// documented behaviour, not silent corruption.
+#[test]
+fn gmeans_on_skewed_data_finds_the_heavy_clusters() {
+    let spec = GaussianMixture::paper_r10(20_000, 12, 123).with_zipf_skew(1.0);
+    let (runner, truth) = staged(&spec);
+    let result = MRGMeans::new(runner, GMeansConfig::default())
+        .run("points.txt")
+        .unwrap();
+    assert!(
+        result.k() >= 6,
+        "found only {} clusters for 12 skewed real",
+        result.k()
+    );
+    // The four heaviest components must all be represented.
+    for i in 0..4 {
+        let t = truth.row(i);
+        let best = result
+            .centers
+            .rows()
+            .map(|c| gmr_linalg::euclidean(c, t))
+            .fold(f64::INFINITY, f64::min);
+        assert!(best < 2.0, "heavy cluster {i} missed by {best}");
+    }
+    assert_eq!(result.counts.iter().sum::<u64>(), 20_000);
+}
