@@ -142,8 +142,7 @@ fn bench_full_gmeans(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("default", |b| {
         b.iter(|| {
-            let runner =
-                JobRunner::new(Arc::clone(&dfs), ClusterConfig::default()).unwrap();
+            let runner = JobRunner::new(Arc::clone(&dfs), ClusterConfig::default()).unwrap();
             MRGMeans::new(runner, GMeansConfig::default())
                 .run("points.txt")
                 .unwrap()

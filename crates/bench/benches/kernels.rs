@@ -94,7 +94,9 @@ fn bench_running_stats(c: &mut Criterion) {
 }
 
 fn bench_linear_fit(c: &mut Criterion) {
-    let pts: Vec<(f64, f64)> = (0..1000).map(|i| (i as f64, 64.0 * i as f64 - 42.0)).collect();
+    let pts: Vec<(f64, f64)> = (0..1000)
+        .map(|i| (i as f64, 64.0 * i as f64 - 42.0))
+        .collect();
     c.bench_function("linear_fit_1k", |b| {
         b.iter(|| LinearFit::fit(black_box(&pts)).unwrap())
     });

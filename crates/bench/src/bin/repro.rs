@@ -104,7 +104,10 @@ fn main() {
         }
         other => usage(&format!("unknown experiment {other}")),
     }
-    eprintln!("\n[{experiment} finished in {:.1}s]", started.elapsed().as_secs_f64());
+    eprintln!(
+        "\n[{experiment} finished in {:.1}s]",
+        started.elapsed().as_secs_f64()
+    );
 }
 
 fn usage(problem: &str) -> ! {

@@ -135,7 +135,9 @@ pub fn run(scale: &ExperimentScale) -> Ablations {
         for seed in 0..3 {
             let res = kmeans(
                 &small.points,
-                &KMeansConfig::new(scale.k(32)).with_iterations(10).with_seed(seed),
+                &KMeansConfig::new(scale.k(32))
+                    .with_iterations(10)
+                    .with_seed(seed),
                 strat,
             );
             total += average_distance(&small.points, &res.centers);
@@ -159,7 +161,10 @@ pub fn run(scale: &ExperimentScale) -> Ablations {
 
     // ---- 7. nearest-center search: linear scan vs k-d tree ----
     let mut nn_search = Vec::new();
-    for (label, kd) in [("linear scan (paper)", false), ("k-d tree (mrkd-style)", true)] {
+    for (label, kd) in [
+        ("linear scan (paper)", false),
+        ("k-d tree (mrkd-style)", true),
+    ] {
         let (runner, _dfs, _) = stage(&spec, ClusterConfig::default());
         let r = MRGMeans::new(runner, GMeansConfig::default())
             .with_kd_index(kd)
@@ -188,7 +193,12 @@ pub fn render(a: &Ablations) -> String {
     let mut out = String::new();
     out.push_str(&render_table(
         "Ablation 1: map-side combiner (one k-means job)",
-        &["combiner", "shuffle bytes", "reduce input records", "sim secs"],
+        &[
+            "combiner",
+            "shuffle bytes",
+            "reduce input records",
+            "sim secs",
+        ],
         &a.combiner
             .iter()
             .map(|(on, bytes, records, secs)| {
@@ -203,7 +213,13 @@ pub fn render(a: &Ablations) -> String {
     ));
     out.push_str(&render_table(
         "Ablation 2: k-means iterations per G-means round (paper uses 2)",
-        &["iters/round", "k found", "avg distance", "sim secs", "g-means iters"],
+        &[
+            "iters/round",
+            "k found",
+            "avg distance",
+            "sim secs",
+            "g-means iters",
+        ],
         &a.refinement
             .iter()
             .map(|(i, k, d, s, gi)| {
@@ -222,9 +238,7 @@ pub fn render(a: &Ablations) -> String {
         &["strategy", "sim secs", "heap peak bytes", "jobs"],
         &a.strategy
             .iter()
-            .map(|(l, s, h, j)| {
-                vec![l.clone(), format!("{s:.0}"), h.to_string(), j.to_string()]
-            })
+            .map(|(l, s, h, j)| vec![l.clone(), format!("{s:.0}"), h.to_string(), j.to_string()])
             .collect::<Vec<_>>(),
     ));
     let (k_real, sweep) = &a.merge;
@@ -303,7 +317,10 @@ mod tests {
         let k0 = sweep[0].1;
         let k8 = sweep.last().unwrap().1;
         assert!(k8 <= k0);
-        assert!(k8 >= k_real / 2, "merge collapsed too far: {k8} vs {k_real}");
+        assert!(
+            k8 >= k_real / 2,
+            "merge collapsed too far: {k8} vs {k_real}"
+        );
 
         // k-means++ at least matches random init quality.
         assert!(a.init_quality[1].1 <= a.init_quality[0].1 * 1.02);

@@ -80,10 +80,8 @@ fn probe(n: usize, seed: u64) -> Fig2Row {
     let center = truth.row(0);
     let mut parents = CenterSet::new(2);
     parents.push(0, center);
-    let projector = SegmentProjector::new(
-        &[center[0] - 3.0, center[1]],
-        &[center[0] + 3.0, center[1]],
-    );
+    let projector =
+        SegmentProjector::new(&[center[0] - 3.0, center[1]], &[center[0] + 3.0, center[1]]);
 
     let attempt = |heap: u64| -> bool {
         let cluster = ClusterConfig {

@@ -78,7 +78,9 @@ pub fn ascii_plot(fig: &Fig4) -> String {
     const H: usize = 25;
     let mut grid = vec![vec![' '; W]; H];
     let place = |grid: &mut Vec<Vec<char>>, x: f64, y: f64, ch: char| {
-        let col = ((x / 100.0) * (W as f64 - 1.0)).round().clamp(0.0, W as f64 - 1.0) as usize;
+        let col = ((x / 100.0) * (W as f64 - 1.0))
+            .round()
+            .clamp(0.0, W as f64 - 1.0) as usize;
         let row = (H as f64 - 1.0 - (y / 100.0) * (H as f64 - 1.0))
             .round()
             .clamp(0.0, H as f64 - 1.0) as usize;

@@ -86,7 +86,10 @@ pub fn run_with(scale: &ExperimentScale, opts: Table4Opts) -> Vec<Table4Row> {
 /// strongly ~40 chained jobs × 6 s of setup cap the speedup.
 pub fn render(rows: &[Table4Row], task_time_rows: &[Table4Row]) -> String {
     let base = rows.first().map(|r| r.simulated_secs).unwrap_or(1.0);
-    let tbase = task_time_rows.first().map(|r| r.simulated_secs).unwrap_or(1.0);
+    let tbase = task_time_rows
+        .first()
+        .map(|r| r.simulated_secs)
+        .unwrap_or(1.0);
     let body: Vec<Vec<String>> = rows
         .iter()
         .zip(task_time_rows)

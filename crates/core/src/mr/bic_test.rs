@@ -37,6 +37,10 @@ use crate::mr::split_test::{TestDecision, TestOutcome};
 /// algebra so the standard fold applies.
 type BicPartial = (Vec<f64>, u64);
 
+/// The two refined child centers per parent, `None` for parents whose
+/// cluster is already accepted.
+pub type ChildPairs = Arc<Vec<Option<(Vec<f64>, Vec<f64>)>>>;
+
 fn fold(values: impl IntoIterator<Item = BicPartial>) -> Option<BicPartial> {
     let mut acc: Option<BicPartial> = None;
     for (v, n) in values {
@@ -60,18 +64,14 @@ pub struct BicTestSpec {
     pub parents: Arc<CenterSet>,
     /// The two refined children per parent (indexed like `parents`);
     /// `None` for already-accepted clusters.
-    pub children: Arc<Vec<Option<(Vec<f64>, Vec<f64>)>>>,
+    pub children: ChildPairs,
     /// Minimum points under which a cluster is kept untested.
     pub min_points: usize,
 }
 
 impl BicTestSpec {
     /// Validates the spec's shape.
-    pub fn new(
-        parents: Arc<CenterSet>,
-        children: Arc<Vec<Option<(Vec<f64>, Vec<f64>)>>>,
-        min_points: usize,
-    ) -> Self {
+    pub fn new(parents: Arc<CenterSet>, children: ChildPairs, min_points: usize) -> Self {
         assert_eq!(parents.len(), children.len(), "one child slot per parent");
         assert!(!parents.is_empty(), "need at least one parent");
         Self {
@@ -197,7 +197,7 @@ impl Reducer for BicTestReducer {
                 dim,
             });
             let child_sizes = vec![sums[2] as u64, sums[3] as u64];
-            let child_bic = if child_sizes.iter().any(|&c| c == 0) {
+            let child_bic = if child_sizes.contains(&0) {
                 None // a degenerate split never wins
             } else {
                 bic_spherical(&ClusterModelStats {
@@ -262,11 +262,7 @@ mod tests {
     use gmr_mapreduce::dfs::Dfs;
     use gmr_mapreduce::runtime::JobRunner;
 
-    fn run_bic(
-        two_blobs: bool,
-        n: usize,
-        seed: u64,
-    ) -> Vec<TestOutcome> {
+    fn run_bic(two_blobs: bool, n: usize, seed: u64) -> Vec<TestOutcome> {
         let spec = GaussianMixture {
             n_points: n,
             dim: 2,
@@ -280,7 +276,8 @@ mod tests {
         };
         let d = spec.generate().unwrap();
         let dfs = Arc::new(Dfs::new(8 * 1024));
-        dfs.put_lines("pts", d.points.rows().map(format_point)).unwrap();
+        dfs.put_lines("pts", d.points.rows().map(format_point))
+            .unwrap();
 
         // Parent at the global mean; children at the true centers (or
         // ±1σ around the single blob).
@@ -297,16 +294,9 @@ mod tests {
                 d.true_centers.row(1).to_vec(),
             )
         } else {
-            (
-                vec![mean[0] - 1.5, mean[1]],
-                vec![mean[0] + 1.5, mean[1]],
-            )
+            (vec![mean[0] - 1.5, mean[1]], vec![mean[0] + 1.5, mean[1]])
         };
-        let spec = BicTestSpec::new(
-            Arc::new(parents),
-            Arc::new(vec![Some(children)]),
-            20,
-        );
+        let spec = BicTestSpec::new(Arc::new(parents), Arc::new(vec![Some(children)]), 20);
         let runner = JobRunner::new(dfs, ClusterConfig::default()).unwrap();
         runner
             .run(&BicTestJob::new(spec), "pts", &JobConfig::with_reducers(2))

@@ -139,7 +139,8 @@ impl CenterSet {
 
     /// Nearest center to `point`: `(index, id, squared_distance)`.
     pub fn nearest(&self, point: &[f64]) -> Option<(usize, i64, f64)> {
-        self.nearest_with_cost(point).map(|(idx, id, d2, _)| (idx, id, d2))
+        self.nearest_with_cost(point)
+            .map(|(idx, id, d2, _)| (idx, id, d2))
     }
 
     /// Nearest center plus the number of distance evaluations performed

@@ -45,6 +45,24 @@ use crate::mr::split_test::{
 };
 use crate::mr::strategy::{choose_strategy, TestStrategy};
 
+/// Sorts job errors into task failures the driver absorbs (the job
+/// exhausted its attempt budget — heap or otherwise) versus
+/// environment/configuration errors that must propagate. Used by both
+/// MapReduce drivers to degrade gracefully under injected faults.
+pub(crate) fn recover_task_failure<T>(
+    failure: &mut Option<Error>,
+    res: Result<T>,
+) -> Result<Option<T>> {
+    match res {
+        Ok(v) => Ok(Some(v)),
+        Err(e @ (Error::HeapSpace { .. } | Error::AttemptsExhausted { .. })) => {
+            *failure = Some(e);
+            Ok(None)
+        }
+        Err(e) => Err(e),
+    }
+}
+
 /// A candidate next-iteration center.
 #[derive(Clone, Debug)]
 struct Child {
@@ -92,6 +110,9 @@ pub struct IterationReport {
     /// Cluster centers after the iteration (found parents' centers and
     /// unfound parents' children), for trajectory plots like Figure 1.
     pub centers_after: Dataset,
+    /// Why the iteration failed, when a job of it exhausted its task
+    /// attempts; `None` for iterations that completed.
+    pub error: Option<String>,
 }
 
 /// Result of a MapReduce G-means run.
@@ -115,6 +136,11 @@ pub struct MRGMeansResult {
     pub dataset_reads: u64,
     /// Total MapReduce jobs launched.
     pub jobs: usize,
+    /// The task failure that ended the run early, if any. The result
+    /// then holds the centers of the last completed iteration, with
+    /// still-splitting clusters accepted as-is; counters and timings
+    /// cover every *successful* job.
+    pub failure: Option<Error>,
 }
 
 impl MRGMeansResult {
@@ -245,7 +271,14 @@ impl MRGMeans {
             acc.push(row);
         }
         let mean = acc.mean().expect("nonempty sample").into_vec();
-        let (i1, i2) = (0, if sample.len() > 1 { sample.len() / 2 } else { 0 });
+        let (i1, i2) = (
+            0,
+            if sample.len() > 1 {
+                sample.len() / 2
+            } else {
+                0
+            },
+        );
         let mut next_id: i64 = 3;
         let mut parents = vec![Parent {
             id: 0,
@@ -267,11 +300,16 @@ impl MRGMeans {
 
         let mut reports = Vec::new();
         let mut iteration = 0usize;
-        while parents.iter().any(|p| !p.found) && iteration < self.config.max_iterations {
+        let mut failure: Option<Error> = None;
+        let mut iter_sim = 0.0f64;
+        let mut iter_jobs = 0usize;
+        'iterations: while parents.iter().any(|p| !p.found)
+            && iteration < self.config.max_iterations
+        {
             iteration += 1;
             let clusters_before = parents.len();
-            let mut iter_sim = 0.0f64;
-            let mut iter_jobs = 0usize;
+            iter_sim = 0.0;
+            iter_jobs = 0;
 
             // ---- current center set ----
             let mut current = CenterSet::new(dim);
@@ -289,12 +327,16 @@ impl MRGMeans {
             // ---- KMeans (all but the last refinement iteration) ----
             for _ in 1..self.config.kmeans_iterations_per_round.max(1) {
                 let job = KMeansJob::new(Arc::new(self.prepared(current.clone())));
-                let result = self.run_job(
+                let run = self.run_job(
                     &job,
                     input,
                     cache.as_ref(),
                     &self.job_config(kmeans_reducers),
-                )?;
+                );
+                let result = match recover_task_failure(&mut failure, run)? {
+                    Some(r) => r,
+                    None => break 'iterations,
+                };
                 self.absorb(&counters, &mut iter_sim, &mut iter_jobs, &result);
                 let (next, _) = apply_updates(&current, &result.output);
                 current = next;
@@ -305,8 +347,16 @@ impl MRGMeans {
                 Arc::new(self.prepared(current.clone())),
                 self.config.seed ^ (iteration as u64).wrapping_mul(0x9e37),
             );
-            let result =
-                self.run_job(&job, input, cache.as_ref(), &self.job_config(kmeans_reducers))?;
+            let run = self.run_job(
+                &job,
+                input,
+                cache.as_ref(),
+                &self.job_config(kmeans_reducers),
+            );
+            let result = match recover_task_failure(&mut failure, run)? {
+                Some(r) => r,
+                None => break 'iterations,
+            };
             self.absorb(&counters, &mut iter_sim, &mut iter_jobs, &result);
             let mut updates: Vec<CenterUpdate> = Vec::new();
             let mut candidates: HashMap<i64, Vec<Vec<f64>>> = HashMap::new();
@@ -394,84 +444,100 @@ impl MRGMeans {
                         Arc::new(child_pairs.clone()),
                         self.config.min_test_sample,
                     );
-                    let result = self.run_job(
+                    let run = self.run_job(
                         &BicTestJob::new(spec),
                         input,
                         cache.as_ref(),
                         &self.job_config(test_reducers),
-                    )?;
+                    );
+                    let result = match recover_task_failure(&mut failure, run)? {
+                        Some(r) => r,
+                        None => break 'iterations,
+                    };
                     self.absorb(&counters, &mut iter_sim, &mut iter_jobs, &result);
                     for o in result.output {
                         decisions.insert(o.parent_id, o);
                     }
                 } else {
-                let strategy = self.force_strategy.unwrap_or_else(|| {
-                    choose_strategy(clusters_tested, biggest, self.runner.cluster())
-                });
-                strategy_used = Some(strategy);
-                let spec = SplitTestSpec::new(
-                    Arc::clone(&parent_set),
-                    Arc::new(projectors.clone()),
-                    self.config.ad_test(),
-                );
-                let outcomes = match strategy {
-                    TestStrategy::FewClusters => {
-                        let result = self.run_job(
-                            &TestFewClustersJob::new(spec),
-                            input,
-                            cache.as_ref(),
-                            &self.job_config(test_reducers),
-                        )?;
-                        self.absorb(&counters, &mut iter_sim, &mut iter_jobs, &result);
-                        result.output
+                    let strategy = self.force_strategy.unwrap_or_else(|| {
+                        choose_strategy(clusters_tested, biggest, self.runner.cluster())
+                    });
+                    strategy_used = Some(strategy);
+                    let spec = SplitTestSpec::new(
+                        Arc::clone(&parent_set),
+                        Arc::new(projectors.clone()),
+                        self.config.ad_test(),
+                    );
+                    let outcomes = match strategy {
+                        TestStrategy::FewClusters => {
+                            let run = self.run_job(
+                                &TestFewClustersJob::new(spec),
+                                input,
+                                cache.as_ref(),
+                                &self.job_config(test_reducers),
+                            );
+                            let result = match recover_task_failure(&mut failure, run)? {
+                                Some(r) => r,
+                                None => break 'iterations,
+                            };
+                            self.absorb(&counters, &mut iter_sim, &mut iter_jobs, &result);
+                            result.output
+                        }
+                        TestStrategy::Clusters => {
+                            let run = self.run_job(
+                                &TestClustersJob::new(spec),
+                                input,
+                                cache.as_ref(),
+                                &self.job_config(test_reducers),
+                            );
+                            let result = match recover_task_failure(&mut failure, run)? {
+                                Some(r) => r,
+                                None => break 'iterations,
+                            };
+                            self.absorb(&counters, &mut iter_sim, &mut iter_jobs, &result);
+                            result.output
+                        }
+                    };
+                    for o in outcomes {
+                        decisions.insert(o.parent_id, o);
                     }
-                    TestStrategy::Clusters => {
-                        let result = self.run_job(
+
+                    // Mapper-side testing can come back undecided when every
+                    // split's sub-sample is too small; re-test those with the
+                    // reducer-side strategy (an extra job, only when needed).
+                    let undecided: Vec<i64> = decisions
+                        .values()
+                        .filter(|o| o.decision == TestDecision::Undecided)
+                        .map(|o| o.parent_id)
+                        .collect();
+                    if !undecided.is_empty() {
+                        let mut retry_projectors: Vec<Option<SegmentProjector>> =
+                            vec![None; parents.len()];
+                        for (pi, p) in parents.iter().enumerate() {
+                            if undecided.contains(&p.id) {
+                                retry_projectors[pi] = projectors[pi].clone();
+                            }
+                        }
+                        let spec = SplitTestSpec::new(
+                            parent_set,
+                            Arc::new(retry_projectors),
+                            self.config.ad_test(),
+                        );
+                        let run = self.run_job(
                             &TestClustersJob::new(spec),
                             input,
                             cache.as_ref(),
-                            &self.job_config(test_reducers),
-                        )?;
+                            &self.job_config(self.reduce_tasks(undecided.len())),
+                        );
+                        let result = match recover_task_failure(&mut failure, run)? {
+                            Some(r) => r,
+                            None => break 'iterations,
+                        };
                         self.absorb(&counters, &mut iter_sim, &mut iter_jobs, &result);
-                        result.output
-                    }
-                };
-                for o in outcomes {
-                    decisions.insert(o.parent_id, o);
-                }
-
-                // Mapper-side testing can come back undecided when every
-                // split's sub-sample is too small; re-test those with the
-                // reducer-side strategy (an extra job, only when needed).
-                let undecided: Vec<i64> = decisions
-                    .values()
-                    .filter(|o| o.decision == TestDecision::Undecided)
-                    .map(|o| o.parent_id)
-                    .collect();
-                if !undecided.is_empty() {
-                    let mut retry_projectors: Vec<Option<SegmentProjector>> =
-                        vec![None; parents.len()];
-                    for (pi, p) in parents.iter().enumerate() {
-                        if undecided.contains(&p.id) {
-                            retry_projectors[pi] = projectors[pi].clone();
+                        for o in result.output {
+                            decisions.insert(o.parent_id, o);
                         }
                     }
-                    let spec = SplitTestSpec::new(
-                        parent_set,
-                        Arc::new(retry_projectors),
-                        self.config.ad_test(),
-                    );
-                    let result = self.run_job(
-                        &TestClustersJob::new(spec),
-                        input,
-                        cache.as_ref(),
-                        &self.job_config(self.reduce_tasks(undecided.len())),
-                    )?;
-                    self.absorb(&counters, &mut iter_sim, &mut iter_jobs, &result);
-                    for o in result.output {
-                        decisions.insert(o.parent_id, o);
-                    }
-                }
                 }
             }
 
@@ -596,10 +662,38 @@ impl MRGMeans {
                 simulated_secs: iter_sim,
                 jobs: iter_jobs,
                 centers_after,
+                error: None,
             });
         }
 
-        // Iteration cap hit: accept whatever is left.
+        if let Some(err) = &failure {
+            // A job of this iteration exhausted its task attempts:
+            // account for the iteration's successful jobs and report it
+            // as failed, then fall through to accept the hierarchy as
+            // it stood after the last completed iteration.
+            simulated += iter_sim;
+            jobs += iter_jobs;
+            let mut centers_after = Dataset::with_capacity(dim, parents.len());
+            for p in &parents {
+                centers_after.push(&p.center);
+            }
+            reports.push(IterationReport {
+                iteration,
+                clusters_before: parents.len(),
+                clusters_tested: 0,
+                splits: 0,
+                found_after: parents.iter().filter(|p| p.found).count(),
+                clusters_after: parents.len(),
+                strategy: None,
+                simulated_secs: iter_sim,
+                jobs: iter_jobs,
+                centers_after,
+                error: Some(err.to_string()),
+            });
+        }
+
+        // Iteration cap hit (or run ended by a task failure): accept
+        // whatever is left.
         for p in parents.iter_mut() {
             p.found = true;
         }
@@ -620,6 +714,7 @@ impl MRGMeans {
             counters,
             dataset_reads: dfs.stats().dataset_reads - reads_before,
             jobs,
+            failure,
         })
     }
 

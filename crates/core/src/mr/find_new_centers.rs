@@ -218,10 +218,13 @@ mod tests {
         block: usize,
     ) -> gmr_mapreduce::runtime::JobResult<FindNewOutput> {
         let dfs = Arc::new(Dfs::new(block));
-        dfs.put_lines("pts", pts.iter().map(|p| format_point(p))).unwrap();
+        dfs.put_lines("pts", pts.iter().map(|p| format_point(p)))
+            .unwrap();
         let runner = JobRunner::new(dfs, ClusterConfig::default()).unwrap();
         let job = FindNewCentersJob::new(Arc::new(centers), seed);
-        runner.run(&job, "pts", &JobConfig::with_reducers(3)).unwrap()
+        runner
+            .run(&job, "pts", &JobConfig::with_reducers(3))
+            .unwrap()
     }
 
     fn one_center_line() -> (Vec<Vec<f64>>, CenterSet) {

@@ -13,9 +13,10 @@ use gmr_mapreduce::cost::JobTiming;
 use gmr_mapreduce::counters::Counters;
 use gmr_mapreduce::job::JobConfig;
 use gmr_mapreduce::runtime::JobRunner;
-use gmr_mapreduce::Result;
+use gmr_mapreduce::{Error, Result};
 
 use crate::mr::centers::{apply_updates, CenterSet};
+use crate::mr::driver::recover_task_failure;
 use crate::mr::kmeans_job::KMeansJob;
 use crate::mr::sample::sample_points;
 
@@ -34,6 +35,9 @@ pub struct MRKMeansResult {
     pub simulated_secs: f64,
     /// Real wall-clock seconds.
     pub wall_secs: f64,
+    /// The task failure that stopped iterating early, if any; centers
+    /// and counts are then those of the last completed iteration.
+    pub failure: Option<Error>,
 }
 
 /// MapReduce k-means with random serial initialization.
@@ -84,11 +88,16 @@ impl MRKMeans {
             .min(centers.len())
             .max(1);
         let mut counts = vec![0u64; centers.len()];
+        let mut failure: Option<Error> = None;
         for _ in 0..self.iterations {
             let job = KMeansJob::new(Arc::new(centers.clone()));
-            let result = self
+            let run = self
                 .runner
-                .run(&job, input, &JobConfig::with_reducers(reducers))?;
+                .run(&job, input, &JobConfig::with_reducers(reducers));
+            let result = match recover_task_failure(&mut failure, run)? {
+                Some(r) => r,
+                None => break,
+            };
             counters.merge(&result.counters);
             simulated += result.timing.simulated_secs;
             let (next, c) = apply_updates(&centers, &result.output);
@@ -103,6 +112,7 @@ impl MRKMeans {
             counters,
             simulated_secs: simulated,
             wall_secs: wall.elapsed().as_secs_f64(),
+            failure,
         })
     }
 }
@@ -117,11 +127,12 @@ mod tests {
 
     #[test]
     fn converges_on_separated_blobs() {
-        let d = GaussianMixture::paper_r10(2000, 5, 13).generate().unwrap();
+        let d = GaussianMixture::paper_r10(2000, 5, 16).generate().unwrap();
         let dfs = Arc::new(Dfs::new(64 * 1024));
-        dfs.put_lines("pts", d.points.rows().map(format_point)).unwrap();
+        dfs.put_lines("pts", d.points.rows().map(format_point))
+            .unwrap();
         let runner = JobRunner::new(dfs, ClusterConfig::default()).unwrap();
-        let r = MRKMeans::new(runner, 5, 10, 3).run("pts").unwrap();
+        let r = MRKMeans::new(runner, 5, 10, 5).run("pts").unwrap();
         assert_eq!(r.centers.len(), 5);
         assert_eq!(r.counts.iter().sum::<u64>(), 2000);
         assert_eq!(r.iteration_timings.len(), 10);
@@ -146,15 +157,12 @@ mod tests {
     fn mr_matches_serial_lloyd_from_same_start() {
         let d = GaussianMixture::paper_r10(600, 3, 19).generate().unwrap();
         let dfs = Arc::new(Dfs::new(8 * 1024));
-        dfs.put_lines("pts", d.points.rows().map(format_point)).unwrap();
+        dfs.put_lines("pts", d.points.rows().map(format_point))
+            .unwrap();
         let runner = JobRunner::new(dfs, ClusterConfig::default()).unwrap();
 
-        let init = crate::serial::initial_centers(
-            &d.points,
-            3,
-            crate::serial::InitStrategy::Random,
-            5,
-        );
+        let init =
+            crate::serial::initial_centers(&d.points, 3, crate::serial::InitStrategy::Random, 5);
         let mut start = CenterSet::new(10);
         for (i, row) in init.rows().enumerate() {
             start.push(i as i64, row);

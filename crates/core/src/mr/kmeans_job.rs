@@ -180,7 +180,8 @@ mod tests {
     use gmr_mapreduce::runtime::JobRunner;
 
     fn write_points(dfs: &Arc<Dfs>, path: &str, pts: &[Vec<f64>]) {
-        dfs.put_lines(path, pts.iter().map(|p| format_point(p))).unwrap();
+        dfs.put_lines(path, pts.iter().map(|p| format_point(p)))
+            .unwrap();
     }
 
     #[test]
@@ -212,7 +213,9 @@ mod tests {
         centers.push(1, &[11.5]);
         let job = KMeansJob::new(Arc::new(centers.clone()));
         let runner = JobRunner::new(Arc::clone(&dfs), ClusterConfig::default()).unwrap();
-        let result = runner.run(&job, "pts", &JobConfig::with_reducers(2)).unwrap();
+        let result = runner
+            .run(&job, "pts", &JobConfig::with_reducers(2))
+            .unwrap();
 
         let (next, counts) = apply_updates(&centers, &result.output);
         assert_eq!(counts, vec![3, 3]);
@@ -232,7 +235,9 @@ mod tests {
         centers.push(1, &[100.0]);
         let job = KMeansJob::new(Arc::new(centers.clone()));
         let runner = JobRunner::new(dfs, ClusterConfig::default()).unwrap();
-        let result = runner.run(&job, "pts", &JobConfig::with_reducers(2)).unwrap();
+        let result = runner
+            .run(&job, "pts", &JobConfig::with_reducers(2))
+            .unwrap();
         assert_eq!(result.output.len(), 1);
         assert_eq!(result.output[0].id, 0);
         let (next, counts) = apply_updates(&centers, &result.output);
@@ -250,7 +255,9 @@ mod tests {
         centers.push(1, &[10.0]);
         let job = KMeansJob::new(Arc::new(centers));
         let runner = JobRunner::new(dfs, ClusterConfig::default()).unwrap();
-        let result = runner.run(&job, "pts", &JobConfig::with_reducers(2)).unwrap();
+        let result = runner
+            .run(&job, "pts", &JobConfig::with_reducers(2))
+            .unwrap();
         assert_eq!(result.counters.get(Counter::MapOutputRecords), 100);
         // One split, two centers → exactly 2 combined records shuffled.
         assert_eq!(result.counters.get(Counter::ReduceInputRecords), 2);

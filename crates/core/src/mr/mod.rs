@@ -31,8 +31,8 @@ pub mod sample;
 pub mod split_test;
 pub mod strategy;
 
-pub use centers::{apply_updates, CenterSet, CenterUpdate, OFFSET};
 pub use bic_test::{BicTestJob, BicTestSpec};
+pub use centers::{apply_updates, CenterSet, CenterUpdate, OFFSET};
 pub use driver::{ExecutionMode, IterationReport, MRGMeans, MRGMeansResult, SplitCriterion};
 pub use find_new_centers::{FindNewCentersJob, FindNewOutput};
 pub use kmeans_driver::{MRKMeans, MRKMeansResult};

@@ -267,7 +267,7 @@ impl ScoredModels {
             let transformed = (w / nd).max(1e-300).powf(power);
             let jump = transformed - prev;
             prev = transformed;
-            if best.is_none_or(|(_, bj)| jump > bj) {
+            if best.map_or(true, |(_, bj)| jump > bj) {
                 best = Some((*k, jump));
             }
         }
@@ -365,7 +365,7 @@ mod tests {
 
     #[test]
     fn distributed_criteria_pick_near_k_real() {
-        let (runner, _) = staged(5, 2500, 201);
+        let (runner, _) = staged(5, 2500, 202);
         let sweep = MultiKMeans::new(runner.clone(), 1, 10, 1, 8, 3)
             .run("pts")
             .unwrap();

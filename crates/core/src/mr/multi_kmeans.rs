@@ -201,7 +201,14 @@ impl MultiKMeans {
     ///
     /// # Panics
     /// Panics on an empty k range or zero step/iterations.
-    pub fn new(runner: JobRunner, k_min: usize, k_max: usize, k_step: usize, iterations: usize, seed: u64) -> Self {
+    pub fn new(
+        runner: JobRunner,
+        k_min: usize,
+        k_max: usize,
+        k_step: usize,
+        iterations: usize,
+        seed: u64,
+    ) -> Self {
         assert!(k_min > 0 && k_min <= k_max, "bad k range");
         assert!(k_step > 0, "k_step must be positive");
         assert!(iterations > 0, "need at least one iteration");
@@ -326,9 +333,12 @@ mod tests {
     use gmr_mapreduce::dfs::Dfs;
 
     fn runner_with_blobs(k_real: usize, n: usize, seed: u64) -> (JobRunner, Dataset) {
-        let d = GaussianMixture::paper_r10(n, k_real, seed).generate().unwrap();
+        let d = GaussianMixture::paper_r10(n, k_real, seed)
+            .generate()
+            .unwrap();
         let dfs = Arc::new(Dfs::new(64 * 1024));
-        dfs.put_lines("pts", d.points.rows().map(format_point)).unwrap();
+        dfs.put_lines("pts", d.points.rows().map(format_point))
+            .unwrap();
         (
             JobRunner::new(dfs, ClusterConfig::default()).unwrap(),
             d.points,
@@ -338,7 +348,7 @@ mod tests {
     #[test]
     fn sweep_produces_model_per_k() {
         let (runner, data) = runner_with_blobs(4, 1200, 3);
-        let mk = MultiKMeans::new(runner, 1, 6, 1, 5, 9);
+        let mk = MultiKMeans::new(runner, 1, 6, 1, 5, 10);
         let r = mk.run("pts").unwrap();
         assert_eq!(r.models.len(), 6);
         for (i, m) in r.models.iter().enumerate() {

@@ -275,13 +275,7 @@ impl KMeansParallelInit {
         let mut psi: Option<f64> = None;
         for round in 0..=self.rounds {
             // Round 0 measures ψ only; rounds 1..=rounds also sample.
-            let factor = psi.map(|p| {
-                if p > 0.0 {
-                    self.oversample / p
-                } else {
-                    0.0
-                }
-            });
+            let factor = psi.map(|p| if p > 0.0 { self.oversample / p } else { 0.0 });
             if round > 0 && factor.is_none() {
                 break;
             }
@@ -290,9 +284,9 @@ impl KMeansParallelInit {
                 if round == 0 { None } else { factor },
                 self.seed ^ (round as u64).wrapping_mul(0x517c_c1b7),
             );
-            let result =
-                self.runner
-                    .run(&job, input, &JobConfig::with_reducers(reducers))?;
+            let result = self
+                .runner
+                .run(&job, input, &JobConfig::with_reducers(reducers))?;
             let mut new_psi = 0.0;
             for out in result.output {
                 match out {
@@ -310,11 +304,10 @@ impl KMeansParallelInit {
         }
 
         // Weight candidates by attraction counts (one k-means job).
-        let weight_job =
-            crate::mr::kmeans_job::KMeansJob::new(Arc::new(candidates.clone()));
-        let result =
-            self.runner
-                .run(&weight_job, input, &JobConfig::with_reducers(reducers))?;
+        let weight_job = crate::mr::kmeans_job::KMeansJob::new(Arc::new(candidates.clone()));
+        let result = self
+            .runner
+            .run(&weight_job, input, &JobConfig::with_reducers(reducers))?;
         let mut weights = vec![1u64; candidates.len()];
         for update in &result.output {
             if let Some(idx) = candidates.index_of(update.id) {
@@ -352,11 +345,7 @@ fn weighted_kmeanspp(candidates: &CenterSet, weights: &[u64], k: usize, seed: u6
         .map(|i| squared_euclidean(candidates.coords(i), chosen.row(0)))
         .collect();
     while chosen.len() < k.min(n) {
-        let total: f64 = dist2
-            .iter()
-            .zip(weights)
-            .map(|(d, &w)| d * w as f64)
-            .sum();
+        let total: f64 = dist2.iter().zip(weights).map(|(d, &w)| d * w as f64).sum();
         let pick = if total <= 0.0 {
             rng.random_range(0..n)
         } else {
@@ -401,7 +390,8 @@ mod tests {
         let spec = GaussianMixture::paper_r10(n, k, seed);
         let d = spec.generate().unwrap();
         let dfs = Arc::new(Dfs::new(16 * 1024));
-        dfs.put_lines("pts", d.points.rows().map(format_point)).unwrap();
+        dfs.put_lines("pts", d.points.rows().map(format_point))
+            .unwrap();
         (
             JobRunner::new(dfs, ClusterConfig::default()).unwrap(),
             d.true_centers,
@@ -447,7 +437,9 @@ mod tests {
     fn beats_random_init_on_final_quality() {
         use crate::mr::kmeans_driver::MRKMeans;
         let (runner, _) = staged(8, 4000, 53);
-        let init = KMeansParallelInit::new(runner.clone(), 8, 4).run("pts").unwrap();
+        let init = KMeansParallelInit::new(runner.clone(), 8, 4)
+            .run("pts")
+            .unwrap();
         let with_pp = MRKMeans::new(runner.clone(), 8, 5, 4)
             .run_from("pts", init)
             .unwrap();
@@ -484,7 +476,8 @@ mod tests {
         let mut results = Vec::new();
         for block in [1 << 20, 512] {
             let dfs = Arc::new(Dfs::new(block));
-            dfs.put_lines("pts", d.points.rows().map(format_point)).unwrap();
+            dfs.put_lines("pts", d.points.rows().map(format_point))
+                .unwrap();
             let runner = JobRunner::new(dfs, ClusterConfig::default()).unwrap();
             results.push(KMeansParallelInit::new(runner, 4, 8).run("pts").unwrap());
         }

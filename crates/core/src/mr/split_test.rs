@@ -344,8 +344,7 @@ impl Reducer for TestFewClustersReducer {
             total_n += n;
             if let Some(a2) = a2_star {
                 worst_a2 = Some(worst_a2.map_or(a2, |w: f64| w.max(a2)));
-                let p = gmr_stats::anderson_darling::p_value_case4(a2)
-                    .clamp(1e-15, 1.0 - 1e-15);
+                let p = gmr_stats::anderson_darling::p_value_case4(a2).clamp(1e-15, 1.0 - 1e-15);
                 let w = (n as f64).sqrt();
                 z_num += w * gmr_stats::normal_quantile(1.0 - p);
                 w2_sum += w * w;
@@ -451,7 +450,8 @@ mod tests {
         };
         let d = spec.generate().unwrap();
         let dfs = Arc::new(Dfs::new(block));
-        dfs.put_lines("pts", d.points.rows().map(format_point)).unwrap();
+        dfs.put_lines("pts", d.points.rows().map(format_point))
+            .unwrap();
         dfs.put_lines("truth", d.true_centers.rows().map(format_point))
             .unwrap();
         dfs
@@ -465,11 +465,7 @@ mod tests {
             .collect()
     }
 
-    fn run_test_job(
-        dfs: Arc<Dfs>,
-        spec: SplitTestSpec,
-        few: bool,
-    ) -> Vec<TestOutcome> {
+    fn run_test_job(dfs: Arc<Dfs>, spec: SplitTestSpec, few: bool) -> Vec<TestOutcome> {
         let runner = JobRunner::new(dfs, ClusterConfig::default()).unwrap();
         let config = JobConfig::with_reducers(2);
         if few {
@@ -579,7 +575,11 @@ mod tests {
         let spec = spec_for(parents, vec![Some((c1, c2))]);
         let runner = JobRunner::new(dfs, ClusterConfig::default()).unwrap();
         let r = runner
-            .run(&TestClustersJob::new(spec), "pts", &JobConfig::with_reducers(1))
+            .run(
+                &TestClustersJob::new(spec),
+                "pts",
+                &JobConfig::with_reducers(1),
+            )
             .unwrap();
         assert_eq!(
             r.counters.get(Counter::HeapPeakBytes),
@@ -604,7 +604,11 @@ mod tests {
         };
         let runner = JobRunner::new(dfs, cluster).unwrap();
         let err = runner
-            .run(&TestClustersJob::new(spec), "pts", &JobConfig::with_reducers(1))
+            .run(
+                &TestClustersJob::new(spec),
+                "pts",
+                &JobConfig::with_reducers(1),
+            )
             .unwrap_err();
         assert!(matches!(err, gmr_mapreduce::Error::HeapSpace { .. }));
     }

@@ -69,12 +69,8 @@ mod tests {
         // A cluster needing more than 66% of the heap must not be sent
         // to a single reducer.
         let c = cluster();
-        let too_big =
-            ((c.heap_per_task as f64 * MAX_HEAP_USAGE) as u64 / BYTES_PER_PROJECTION) + 1;
-        assert_eq!(
-            choose_strategy(100, too_big, &c),
-            TestStrategy::FewClusters
-        );
+        let too_big = ((c.heap_per_task as f64 * MAX_HEAP_USAGE) as u64 / BYTES_PER_PROJECTION) + 1;
+        assert_eq!(choose_strategy(100, too_big, &c), TestStrategy::FewClusters);
         let fits = too_big - 2;
         assert_eq!(choose_strategy(100, fits, &c), TestStrategy::Clusters);
     }

@@ -55,7 +55,10 @@ impl CanopyResult {
 /// Panics unless `t1 > t2 > 0` and `data` is nonempty.
 pub fn canopy_clustering(data: &Dataset, t1: f64, t2: f64, seed: u64) -> CanopyResult {
     assert!(!data.is_empty(), "cannot canopy an empty dataset");
-    assert!(t2 > 0.0 && t1 > t2, "need t1 > t2 > 0 (got t1={t1}, t2={t2})");
+    assert!(
+        t2 > 0.0 && t1 > t2,
+        "need t1 > t2 > 0 (got t1={t1}, t2={t2})"
+    );
     let t1_sq = t1 * t1;
     let t2_sq = t2 * t2;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -98,11 +101,7 @@ mod tests {
         // a handful of tail points per blob found straggler canopies —
         // canopies over-estimate k by design (they are an upper bound).
         let r = canopy_clustering(&d.points, 9.0, 7.0, 1);
-        assert!(
-            (6..=20).contains(&r.k()),
-            "{} canopies for 6 blobs",
-            r.k()
-        );
+        assert!((6..=20).contains(&r.k()), "{} canopies for 6 blobs", r.k());
         // Every true center is anchored by some canopy center.
         for t in d.true_centers.rows() {
             let best = r

@@ -93,11 +93,7 @@ impl GMeans {
             let mut starts = Dataset::with_capacity(subset.dim(), 2);
             starts.push(c1.as_slice());
             starts.push(c2.as_slice());
-            let refined = kmeans_from(
-                &subset,
-                starts,
-                &KMeansConfig::new(2).with_iterations(10),
-            );
+            let refined = kmeans_from(&subset, starts, &KMeansConfig::new(2).with_iterations(10));
             let r1 = refined.centers.point(0);
             let r2 = refined.centers.point(1);
 
@@ -108,8 +104,7 @@ impl GMeans {
                 accepted.push(center.as_slice());
                 continue;
             }
-            let projections: Vec<f64> =
-                subset.rows().map(|p| projector.project(p)).collect();
+            let projections: Vec<f64> = subset.rows().map(|p| projector.project(p)).collect();
             ad_tests += 1;
             let is_normal = match ad.test(&projections) {
                 Ok(outcome) => outcome.is_normal(self.config.alpha),

@@ -48,7 +48,11 @@ pub fn multi_kmeans(
     let mut k = k_min;
     while k <= k_max {
         let init = initial_centers(data, k, InitStrategy::Random, seed ^ (k as u64) << 17);
-        let r = kmeans_from(data, init, &KMeansConfig::new(k).with_iterations(iterations));
+        let r = kmeans_from(
+            data,
+            init,
+            &KMeansConfig::new(k).with_iterations(iterations),
+        );
         models.push(KModel {
             k,
             centers: r.centers,
@@ -85,7 +89,7 @@ mod tests {
 
     #[test]
     fn wcss_trends_downward_in_k() {
-        let d = GaussianMixture::paper_r10(2000, 6, 10).generate().unwrap();
+        let d = GaussianMixture::paper_r10(2000, 6, 13).generate().unwrap();
         let models = multi_kmeans(&d.points, 1, 10, 1, 8, 1);
         // Independent restarts are not strictly monotone, but the first
         // and last models must differ hugely on well-separated data.

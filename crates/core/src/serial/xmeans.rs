@@ -64,7 +64,10 @@ impl XMeansResult {
 /// Panics if `data` is empty or `k_min == 0` or `k_min > k_max`.
 pub fn xmeans(data: &Dataset, config: &XMeansConfig) -> XMeansResult {
     assert!(!data.is_empty(), "cannot cluster an empty dataset");
-    assert!(config.k_min > 0 && config.k_min <= config.k_max, "bad k range");
+    assert!(
+        config.k_min > 0 && config.k_min <= config.k_max,
+        "bad k range"
+    );
     let mut rng = StdRng::seed_from_u64(config.seed);
     let dim = data.dim();
 
@@ -98,7 +101,9 @@ pub fn xmeans(data: &Dataset, config: &XMeansConfig) -> XMeansResult {
         let mut split_any = false;
         for (i, subset) in subsets.iter().enumerate() {
             let parent = centers.point(i);
-            let remaining = config.k_max.saturating_sub(next.len() + (subsets.len() - i - 1));
+            let remaining = config
+                .k_max
+                .saturating_sub(next.len() + (subsets.len() - i - 1));
             if subset.len() < 4 || remaining < 2 {
                 next.push(parent.as_slice());
                 continue;

@@ -13,13 +13,12 @@ use gmr_mapreduce::dfs::Dfs;
 use gmr_mapreduce::{Error, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 use crate::text::format_point;
 
 /// Specification of a Gaussian mixture dataset.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GaussianMixture {
     /// Number of points to draw.
     pub n_points: usize,
@@ -44,12 +43,11 @@ pub struct GaussianMixture {
     /// `Zipf(s)` produces the skew the paper flags as a MapReduce risk
     /// ("because of skewed data, some reducers will have a higher
     /// workload", §4).
-    #[serde(default)]
     pub weights: ClusterWeights,
 }
 
 /// Distribution of points over mixture components.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub enum ClusterWeights {
     /// Every component receives the same number of points.
     #[default]
@@ -64,9 +62,7 @@ impl ClusterWeights {
     fn cumulative(&self, k: usize) -> Vec<f64> {
         let raw: Vec<f64> = match self {
             ClusterWeights::Balanced => vec![1.0; k],
-            ClusterWeights::Zipf(s) => {
-                (0..k).map(|i| 1.0 / ((i + 1) as f64).powf(*s)).collect()
-            }
+            ClusterWeights::Zipf(s) => (0..k).map(|i| 1.0 / ((i + 1) as f64).powf(*s)).collect(),
         };
         let total: f64 = raw.iter().sum();
         let mut acc = 0.0;
@@ -207,7 +203,9 @@ impl GaussianMixture {
             ClusterWeights::Balanced => i % self.n_clusters,
             ClusterWeights::Zipf(_) => {
                 let u: f64 = rng.random_range(0.0..1.0);
-                cumulative.partition_point(|&c| c < u).min(self.n_clusters - 1)
+                cumulative
+                    .partition_point(|&c| c < u)
+                    .min(self.n_clusters - 1)
             }
         }
     }

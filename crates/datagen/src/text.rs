@@ -74,7 +74,10 @@ mod tests {
 
     #[test]
     fn parse_handles_extra_whitespace() {
-        assert_eq!(parse_point("  1.0   2.0\t3.0 ").unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(
+            parse_point("  1.0   2.0\t3.0 ").unwrap(),
+            vec![1.0, 2.0, 3.0]
+        );
     }
 
     #[test]

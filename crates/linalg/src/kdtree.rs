@@ -110,14 +110,12 @@ impl KdTree {
             return id;
         }
         let mid = start + (end - start) / 2;
-        let (before, _, _) = self.order[start..end].select_nth_unstable_by(
-            mid - start,
-            |&a, &b| {
+        let (before, _, _) =
+            self.order[start..end].select_nth_unstable_by(mid - start, |&a, &b| {
                 self.flat[a as usize * self.dim + split_dim]
                     .partial_cmp(&self.flat[b as usize * self.dim + split_dim])
                     .expect("finite coordinates")
-            },
-        );
+            });
         debug_assert_eq!(before.len(), mid - start);
         let split_value = self.coord(self.order[mid], split_dim);
 
@@ -218,7 +216,9 @@ mod tests {
             let tree = KdTree::build(&flat, dim);
             assert_eq!(tree.len(), 100);
             for q in 0..50 {
-                let query: Vec<f64> = (0..dim).map(|d| (q * dim + d) as f64 * 0.7 - 20.0).collect();
+                let query: Vec<f64> = (0..dim)
+                    .map(|d| (q * dim + d) as f64 * 0.7 - 20.0)
+                    .collect();
                 let kd = tree.nearest(&query);
                 let (li, ld2) = nearest_center_flat(&query, &flat, dim).unwrap();
                 assert_eq!(kd.index, li, "dim {dim} query {q}");

@@ -175,7 +175,11 @@ impl Dataset {
     /// Panics if `data.len()` is not a multiple of `dim` or `dim == 0`.
     pub fn from_flat(dim: usize, data: Vec<f64>) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        assert_eq!(data.len() % dim, 0, "flat buffer length not a multiple of dim");
+        assert_eq!(
+            data.len() % dim,
+            0,
+            "flat buffer length not a multiple of dim"
+        );
         Self { dim, data }
     }
 
@@ -336,7 +340,10 @@ mod tests {
 
     #[test]
     fn dataset_from_points() {
-        let ds = Dataset::from_points(2, vec![Point::new(vec![0.0, 1.0]), Point::new(vec![2.0, 3.0])]);
+        let ds = Dataset::from_points(
+            2,
+            vec![Point::new(vec![0.0, 1.0]), Point::new(vec![2.0, 3.0])],
+        );
         assert_eq!(ds.len(), 2);
         assert_eq!(ds.row(0), &[0.0, 1.0]);
     }

@@ -14,6 +14,7 @@
 
 use crate::cost::CostModel;
 use crate::error::{Error, Result};
+use crate::faults::FaultPlan;
 
 /// Static description of the (simulated) cluster a job runs on.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -28,6 +29,8 @@ pub struct ClusterConfig {
     pub heap_per_task: u64,
     /// Cost model used to convert task work into simulated seconds.
     pub cost_model: CostModel,
+    /// Fault injection and recovery policy (inert by default).
+    pub faults: FaultPlan,
 }
 
 impl Default for ClusterConfig {
@@ -41,6 +44,7 @@ impl Default for ClusterConfig {
             reduce_slots_per_node: 8,
             heap_per_task: 1 << 30,
             cost_model: CostModel::default(),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -55,6 +59,12 @@ impl ClusterConfig {
         }
     }
 
+    /// This cluster with a different fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.nodes == 0 {
@@ -66,6 +76,7 @@ impl ClusterConfig {
         if self.heap_per_task == 0 {
             return Err(Error::Config("per-task heap must be positive".into()));
         }
+        self.faults.validate()?;
         Ok(())
     }
 

@@ -75,8 +75,7 @@ impl TaskCost {
         model.task_setup_secs
             + self.input_bytes as f64 * model.secs_per_input_byte
             + self.cached_points as f64 * model.secs_per_cached_point
-            + (self.shuffle_bytes_out + self.shuffle_bytes_in) as f64
-                * model.secs_per_shuffle_byte
+            + (self.shuffle_bytes_out + self.shuffle_bytes_in) as f64 * model.secs_per_shuffle_byte
             + self.compute_units * model.secs_per_compute_unit
     }
 

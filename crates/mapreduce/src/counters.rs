@@ -45,10 +45,18 @@ pub enum Counter {
     Projections,
     /// Peak bytes charged to any single task heap ledger.
     HeapPeakBytes,
+    /// Task attempts launched (primary, retry and speculative).
+    AttemptsLaunched,
+    /// Task attempts that failed (injected or genuine).
+    AttemptsFailed,
+    /// Speculative backup attempts launched.
+    SpeculativeLaunched,
+    /// Speculative backups that lost the race to their primary.
+    SpeculativeWasted,
 }
 
 /// All counters, indexable without a hash map.
-const ALL: [Counter; 14] = [
+const ALL: [Counter; 18] = [
     Counter::MapInputRecords,
     Counter::MapOutputRecords,
     Counter::CombineInputRecords,
@@ -63,6 +71,10 @@ const ALL: [Counter; 14] = [
     Counter::AdTests,
     Counter::Projections,
     Counter::HeapPeakBytes,
+    Counter::AttemptsLaunched,
+    Counter::AttemptsFailed,
+    Counter::SpeculativeLaunched,
+    Counter::SpeculativeWasted,
 ];
 
 impl Counter {
@@ -92,6 +104,10 @@ impl Counter {
             Counter::AdTests => "anderson_darling_tests",
             Counter::Projections => "projections",
             Counter::HeapPeakBytes => "heap_peak_bytes",
+            Counter::AttemptsLaunched => "task_attempts_launched",
+            Counter::AttemptsFailed => "task_attempts_failed",
+            Counter::SpeculativeLaunched => "speculative_attempts_launched",
+            Counter::SpeculativeWasted => "speculative_attempts_wasted",
         }
     }
 }
@@ -99,7 +115,7 @@ impl Counter {
 /// Thread-safe counter bank for one job (or one accumulated run).
 #[derive(Debug, Default)]
 pub struct Counters {
-    values: [AtomicU64; 14],
+    values: [AtomicU64; 18],
 }
 
 impl Counters {

@@ -298,7 +298,8 @@ impl TextWriter {
     /// Finishes the file and publishes it into the DFS.
     pub fn close(mut self) {
         if !self.current.is_empty() {
-            self.blocks.push(Bytes::from(std::mem::take(&mut self.current)));
+            self.blocks
+                .push(Bytes::from(std::mem::take(&mut self.current)));
         }
         self.dfs
             .bytes_written
@@ -334,10 +335,7 @@ mod tests {
     #[test]
     fn missing_file_errors() {
         let fs = dfs(1024);
-        assert!(matches!(
-            fs.read_lines("nope"),
-            Err(Error::FileNotFound(_))
-        ));
+        assert!(matches!(fs.read_lines("nope"), Err(Error::FileNotFound(_))));
         assert!(matches!(fs.splits("nope"), Err(Error::FileNotFound(_))));
     }
 

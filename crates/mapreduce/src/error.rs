@@ -25,6 +25,14 @@ pub enum Error {
     Corrupt(String),
     /// A mapper or reducer reported a fatal application error.
     Task(String),
+    /// Every attempt of a task failed; the job gives up. Mirrors
+    /// Hadoop's `mapred.map.max.attempts` exhaustion killing a job.
+    AttemptsExhausted {
+        /// Task that exhausted its budget, e.g. `"map-7"`.
+        task: String,
+        /// Attempts that were launched and failed.
+        attempts: u32,
+    },
     /// Invalid job or cluster configuration.
     Config(String),
 }
@@ -44,6 +52,9 @@ impl fmt::Display for Error {
             Error::FileExists(p) => write!(f, "file already exists in DFS: {p}"),
             Error::Corrupt(m) => write!(f, "corrupt record: {m}"),
             Error::Task(m) => write!(f, "task failed: {m}"),
+            Error::AttemptsExhausted { task, attempts } => {
+                write!(f, "task {task} failed all {attempts} attempt(s); giving up")
+            }
             Error::Config(m) => write!(f, "invalid configuration: {m}"),
         }
     }

@@ -1,0 +1,368 @@
+//! Deterministic fault injection and the recovery policy for task
+//! attempts.
+//!
+//! Real Hadoop clusters lose task attempts all the time — transient JVM
+//! crashes, `Java heap space` kills, stragglers on overloaded nodes —
+//! and the framework's answer (per-task retry with a bounded attempt
+//! budget, plus speculative backup attempts) is what makes a multi-hour
+//! G-means run on the paper's 4-node testbed finish at all. The
+//! simulated runtime reproduces that layer here.
+//!
+//! Everything is **deterministic**: whether attempt `a` of task `i` of
+//! a job fails is a pure function of the [`FaultPlan`] seed and the
+//! task's coordinates `(job_name, kind, index, attempt)` — never of
+//! thread scheduling, slot counts or wall-clock time. Two runs with the
+//! same plan inject exactly the same faults, and a run on 1 simulated
+//! slot injects the same faults as a run on 32.
+//!
+//! Divergences from Hadoop, chosen to keep simulated results exactly
+//! reproducible (see DESIGN.md "Fault model"):
+//!
+//! * counters of failed attempts are discarded entirely (Hadoop also
+//!   excludes failed task attempts from job totals), so job counters
+//!   are invariant under injected faults;
+//! * speculative execution is decided post hoc from simulated task
+//!   durations rather than from a live progress-rate estimate, and
+//!   backup attempts are never themselves fault-injected.
+
+use crate::error::{Error, Result};
+
+/// Which phase a task belongs to, for fault-plan keying and task names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskKind {
+    /// A map task (one per input split).
+    Map,
+    /// A reduce task (one per partition).
+    Reduce,
+}
+
+impl TaskKind {
+    /// The task-name prefix, e.g. `"map"` in `"map-3"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            TaskKind::Map => "map",
+            TaskKind::Reduce => "reduce",
+        }
+    }
+
+    fn tag(self) -> u64 {
+        match self {
+            TaskKind::Map => 0x6d61_7000,
+            TaskKind::Reduce => 0x7265_6400,
+        }
+    }
+}
+
+/// What the fault plan decrees for one task attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Execute the attempt normally.
+    Run,
+    /// Kill the attempt with a transient error (a retry may succeed).
+    FailTransient,
+    /// Kill the attempt with a simulated `Java heap space` error.
+    FailHeap,
+}
+
+/// Deterministic fault-injection plan plus the recovery policy
+/// (attempt budget and speculative execution) of a simulated cluster.
+///
+/// The default plan is inert: no injected faults, one attempt per task
+/// (a failure fails the job immediately, the pre-fault-tolerance
+/// behaviour), no speculation. [`FaultPlan::hadoop_defaults`] matches
+/// Hadoop 1.x (`mapred.map.max.attempts = 4`, speculation on).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed all injection decisions derive from.
+    pub seed: u64,
+    /// Probability an attempt is killed by a transient fault.
+    pub transient_fail_prob: f64,
+    /// Probability an attempt is killed by a simulated heap overflow.
+    pub heap_fail_prob: f64,
+    /// Probability a successful attempt runs on a straggling node.
+    pub straggler_prob: f64,
+    /// Duration multiplier a straggling attempt suffers (≥ 1).
+    pub straggler_factor: f64,
+    /// Attempt budget per task; the task (and job) fails when all
+    /// attempts are exhausted. `1` disables retries.
+    pub max_attempts: u32,
+    /// Whether to launch backup attempts for abnormally slow tasks.
+    pub speculative_execution: bool,
+    /// A task is speculated when its duration exceeds this multiple of
+    /// the phase's median task duration (> 1).
+    pub speculative_slowdown_threshold: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            transient_fail_prob: 0.0,
+            heap_fail_prob: 0.0,
+            straggler_prob: 0.0,
+            straggler_factor: 4.0,
+            max_attempts: 1,
+            speculative_execution: false,
+            speculative_slowdown_threshold: 1.5,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The inert plan: no faults, no retries, no speculation.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Hadoop 1.x recovery defaults: 4 attempts per task and
+    /// speculative execution on — but nothing injected yet; compose
+    /// with the `with_*` builders to add faults.
+    pub fn hadoop_defaults(seed: u64) -> Self {
+        Self {
+            seed,
+            max_attempts: 4,
+            speculative_execution: true,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the injection seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Kills attempts with a transient fault at the given probability.
+    pub fn with_transient_failures(mut self, prob: f64) -> Self {
+        self.transient_fail_prob = prob;
+        self
+    }
+
+    /// Kills attempts with a simulated heap overflow at the given
+    /// probability.
+    pub fn with_heap_failures(mut self, prob: f64) -> Self {
+        self.heap_fail_prob = prob;
+        self
+    }
+
+    /// Slows successful attempts by `factor` at the given probability.
+    pub fn with_stragglers(mut self, prob: f64, factor: f64) -> Self {
+        self.straggler_prob = prob;
+        self.straggler_factor = factor;
+        self
+    }
+
+    /// Sets the per-task attempt budget.
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts;
+        self
+    }
+
+    /// Enables speculative execution with the given slowdown threshold.
+    pub fn with_speculation(mut self, slowdown_threshold: f64) -> Self {
+        self.speculative_execution = true;
+        self.speculative_slowdown_threshold = slowdown_threshold;
+        self
+    }
+
+    /// Validates the plan (called from cluster validation).
+    pub fn validate(&self) -> Result<()> {
+        for (name, p) in [
+            ("transient_fail_prob", self.transient_fail_prob),
+            ("heap_fail_prob", self.heap_fail_prob),
+            ("straggler_prob", self.straggler_prob),
+        ] {
+            if !(0.0..1.0).contains(&p) {
+                return Err(Error::Config(format!(
+                    "fault plan {name} must be in [0, 1), got {p}"
+                )));
+            }
+        }
+        if self.straggler_factor < 1.0 || !self.straggler_factor.is_finite() {
+            return Err(Error::Config(format!(
+                "straggler_factor must be a finite value ≥ 1, got {}",
+                self.straggler_factor
+            )));
+        }
+        if self.max_attempts == 0 {
+            return Err(Error::Config("max_attempts must be positive".into()));
+        }
+        if self.speculative_slowdown_threshold <= 1.0
+            || !self.speculative_slowdown_threshold.is_finite()
+        {
+            return Err(Error::Config(format!(
+                "speculative_slowdown_threshold must be a finite value > 1, got {}",
+                self.speculative_slowdown_threshold
+            )));
+        }
+        Ok(())
+    }
+
+    /// Whether the plan can change anything relative to [`none`].
+    ///
+    /// [`none`]: FaultPlan::none
+    pub fn is_active(&self) -> bool {
+        self.transient_fail_prob > 0.0
+            || self.heap_fail_prob > 0.0
+            || self.straggler_prob > 0.0
+            || self.speculative_execution
+    }
+
+    /// One independent uniform draw in `[0, 1)` per
+    /// `(job, kind, index, attempt, salt)` coordinate.
+    fn u01(&self, job: &str, kind: TaskKind, index: usize, attempt: u32, salt: u64) -> f64 {
+        // FNV-1a over the coordinates, then a SplitMix64 finalizer so
+        // near-identical keys decorrelate.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed;
+        for b in job.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        for word in [kind.tag(), index as u64, attempt as u64, salt] {
+            for b in word.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The plan's verdict for one attempt. Transient faults are checked
+    /// before heap faults; the two draws are independent.
+    pub fn decide(&self, job: &str, kind: TaskKind, index: usize, attempt: u32) -> FaultDecision {
+        if self.transient_fail_prob > 0.0
+            && self.u01(job, kind, index, attempt, 1) < self.transient_fail_prob
+        {
+            return FaultDecision::FailTransient;
+        }
+        if self.heap_fail_prob > 0.0 && self.u01(job, kind, index, attempt, 2) < self.heap_fail_prob
+        {
+            return FaultDecision::FailHeap;
+        }
+        FaultDecision::Run
+    }
+
+    /// Duration multiplier for a successful attempt: 1, or
+    /// `straggler_factor` when the attempt landed on a straggling node.
+    pub fn straggler_multiplier(
+        &self,
+        job: &str,
+        kind: TaskKind,
+        index: usize,
+        attempt: u32,
+    ) -> f64 {
+        if self.straggler_prob > 0.0 && self.u01(job, kind, index, attempt, 3) < self.straggler_prob
+        {
+            self.straggler_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// How far through its work an injected-failed attempt got before
+    /// dying, as a fraction of the task's base duration, in
+    /// `[0.25, 1)` — failures tend to strike mid-flight, not at launch.
+    pub fn failed_attempt_progress(
+        &self,
+        job: &str,
+        kind: TaskKind,
+        index: usize,
+        attempt: u32,
+    ) -> f64 {
+        0.25 + 0.75 * self.u01(job, kind, index, attempt, 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        assert!(plan.validate().is_ok());
+        for i in 0..100 {
+            assert_eq!(plan.decide("job", TaskKind::Map, i, 0), FaultDecision::Run);
+            assert_eq!(plan.straggler_multiplier("job", TaskKind::Map, i, 0), 1.0);
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = FaultPlan::hadoop_defaults(7)
+            .with_transient_failures(0.3)
+            .with_heap_failures(0.1);
+        for kind in [TaskKind::Map, TaskKind::Reduce] {
+            for i in 0..50 {
+                for a in 0..4 {
+                    assert_eq!(
+                        plan.decide("kmeans", kind, i, a),
+                        plan.decide("kmeans", kind, i, a)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_vary_across_coordinates() {
+        let plan = FaultPlan::none().with_seed(11).with_transient_failures(0.5);
+        let mut failures = 0usize;
+        let n = 400;
+        for i in 0..n {
+            if plan.decide("j", TaskKind::Map, i, 0) == FaultDecision::FailTransient {
+                failures += 1;
+            }
+        }
+        // Half the attempts should fail, within generous slack.
+        assert!(
+            (n / 4..=3 * n / 4).contains(&failures),
+            "{failures}/{n} failed"
+        );
+        // Different attempts of the same task draw independently.
+        let per_attempt: Vec<_> = (0..8)
+            .map(|a| plan.decide("j", TaskKind::Map, 0, a))
+            .collect();
+        assert!(per_attempt.contains(&FaultDecision::Run));
+    }
+
+    #[test]
+    fn seeds_change_the_plan() {
+        let a = FaultPlan::none().with_seed(1).with_transient_failures(0.5);
+        let b = FaultPlan::none().with_seed(2).with_transient_failures(0.5);
+        let differs = (0..100)
+            .any(|i| a.decide("j", TaskKind::Map, i, 0) != b.decide("j", TaskKind::Map, i, 0));
+        assert!(differs);
+    }
+
+    #[test]
+    fn progress_fraction_in_range() {
+        let plan = FaultPlan::none().with_seed(3);
+        for i in 0..200 {
+            let f = plan.failed_attempt_progress("j", TaskKind::Reduce, i, 1);
+            assert!((0.25..1.0).contains(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        assert!(FaultPlan::none()
+            .with_transient_failures(1.0)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_heap_failures(-0.1)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_stragglers(0.5, 0.5)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::none().with_max_attempts(0).validate().is_err());
+        assert!(FaultPlan::none().with_speculation(1.0).validate().is_err());
+        assert!(FaultPlan::hadoop_defaults(0).validate().is_ok());
+    }
+}

@@ -89,6 +89,7 @@ pub mod cost;
 pub mod counters;
 pub mod dfs;
 pub mod error;
+pub mod faults;
 pub mod job;
 pub mod memory;
 pub mod runtime;
@@ -105,6 +106,7 @@ pub mod prelude {
     pub use crate::counters::{Counter, Counters};
     pub use crate::dfs::{Dfs, InputSplit};
     pub use crate::error::{Error, Result};
+    pub use crate::faults::{FaultDecision, FaultPlan, TaskKind};
     pub use crate::job::{
         Job, JobConfig, MapOutput, Mapper, PointMapper, Reducer, TaskContext, Values,
     };

@@ -13,7 +13,13 @@
 //!   makespan is computed per the cluster's [`CostModel`]
 //!   (wave-scheduled, as Hadoop would run the tasks);
 //! * a task exceeding its simulated heap fails the whole job with
-//!   [`crate::error::Error::HeapSpace`] — the behaviour Figure 2 maps.
+//!   [`crate::error::Error::HeapSpace`] — the behaviour Figure 2 maps;
+//! * every task runs as a sequence of **attempts** under the cluster's
+//!   [`crate::faults::FaultPlan`]: injected or genuine failures burn an
+//!   attempt (and simulated slot time), a bounded retry budget decides
+//!   when the job gives up, and abnormally slow tasks get speculative
+//!   backup attempts — all deterministically, so a faulty run produces
+//!   bit-identical output to a fault-free one, just a longer makespan.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -27,6 +33,7 @@ use crate::cost::{JobTiming, TaskCost};
 use crate::counters::{Counter, Counters};
 use crate::dfs::{Dfs, InputSplit};
 use crate::error::{Error, Result};
+use crate::faults::{FaultDecision, TaskKind};
 use crate::job::{
     Emitter, Job, JobConfig, MapOutput, Mapper, PointMapper, Reducer, TaskContext, Values,
 };
@@ -52,7 +59,19 @@ pub struct JobRunner {
 
 struct MapTaskOut {
     segments: Vec<Segment>,
-    cost: TaskCost,
+    timing: TaskTiming,
+}
+
+/// Simulated timing of one completed task, attempts included.
+struct TaskTiming {
+    /// Effective duration of the winning attempt (straggler slowdown
+    /// applied).
+    duration: f64,
+    /// Duration the same work takes on a healthy node — the speed a
+    /// speculative backup attempt runs at.
+    base: f64,
+    /// Slot time burned by this task's failed attempts.
+    failed: Vec<f64>,
 }
 
 impl JobRunner {
@@ -72,9 +91,161 @@ impl JobRunner {
         &self.cluster
     }
 
+    /// Runs one task as a bounded sequence of attempts under the
+    /// cluster's fault plan.
+    ///
+    /// Each attempt is either killed by the plan before doing any work
+    /// (injected transient/heap faults) or executed via `body`. A
+    /// failed attempt — injected or genuine — burns simulated slot
+    /// time; `body` runs against a private counter bank that is merged
+    /// into the job's only on success, so failed attempts leave no
+    /// counter residue (Hadoop likewise discards failed-attempt
+    /// counters). When the budget is exhausted the last genuine or
+    /// injected-heap error surfaces; a purely transient exhaustion
+    /// surfaces as [`Error::AttemptsExhausted`].
+    fn run_attempts<T>(
+        &self,
+        job_name: &str,
+        kind: TaskKind,
+        index: usize,
+        counters: &Arc<Counters>,
+        mut body: impl FnMut(u32, &Arc<Counters>) -> Result<(T, TaskCost)>,
+    ) -> Result<(T, TaskTiming)> {
+        let plan = &self.cluster.faults;
+        let model = &self.cluster.cost_model;
+        let max = plan.max_attempts.max(1);
+        let mut failed: Vec<f64> = Vec::new();
+        // Progress fractions of injected-failed attempts: they are not
+        // executed (their counters would be discarded anyway), so their
+        // slot time is charged once a successful attempt reveals the
+        // task's base duration.
+        let mut pending_progress: Vec<f64> = Vec::new();
+        let mut last_err: Option<Error> = None;
+        for attempt in 0..max {
+            counters.inc(Counter::AttemptsLaunched);
+            match plan.decide(job_name, kind, index, attempt) {
+                FaultDecision::FailTransient => {
+                    counters.inc(Counter::AttemptsFailed);
+                    pending_progress
+                        .push(plan.failed_attempt_progress(job_name, kind, index, attempt));
+                    last_err = None;
+                    continue;
+                }
+                FaultDecision::FailHeap => {
+                    counters.inc(Counter::AttemptsFailed);
+                    pending_progress
+                        .push(plan.failed_attempt_progress(job_name, kind, index, attempt));
+                    last_err = Some(Error::HeapSpace {
+                        task: format!("{}-{index}", kind.label()),
+                        attempted: self.cluster.heap_per_task.saturating_add(1),
+                        limit: self.cluster.heap_per_task,
+                    });
+                    continue;
+                }
+                FaultDecision::Run => {}
+            }
+            let attempt_counters = Arc::new(Counters::new());
+            match body(attempt, &attempt_counters) {
+                Ok((out, cost)) => {
+                    counters.merge(&attempt_counters);
+                    let base = cost.duration(model);
+                    let slowdown = plan.straggler_multiplier(job_name, kind, index, attempt);
+                    let setup = model.task_setup_secs;
+                    for p in pending_progress {
+                        failed.push(setup + p * (base - setup).max(0.0));
+                    }
+                    return Ok((
+                        out,
+                        TaskTiming {
+                            duration: base * slowdown,
+                            base,
+                            failed,
+                        },
+                    ));
+                }
+                Err(e) => {
+                    counters.inc(Counter::AttemptsFailed);
+                    // How far a genuine failure got is unknowable here;
+                    // charge its setup so the slot time is not free.
+                    failed.push(model.task_setup_secs);
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or(Error::AttemptsExhausted {
+            task: format!("{}-{index}", kind.label()),
+            attempts: max,
+        }))
+    }
+
+    /// Applies speculative execution post hoc and flattens per-task
+    /// timings into the duration list the wave scheduler packs: one
+    /// entry per winning attempt plus one per failed or losing attempt.
+    ///
+    /// Speculation is decided from the simulated durations themselves —
+    /// a task whose duration exceeds the configured multiple of the
+    /// phase median gets a backup attempt launched at that trigger
+    /// point, running at the task's healthy-node speed; the first
+    /// finisher wins and the loser's slot time is kept in the schedule
+    /// as waste. Outputs always come from the primary attempt (both
+    /// attempts compute identical results), so speculation never
+    /// changes job output — only the simulated schedule.
+    fn finalize_phase(&self, timings: Vec<TaskTiming>, counters: &Counters) -> Vec<f64> {
+        let plan = &self.cluster.faults;
+        // A failure is only detected when the attempt dies, and the
+        // replacement attempt starts after that, so every failed
+        // attempt serializes in front of the one that finally
+        // succeeds: the task's completion is the sum.
+        let mut durations: Vec<f64> = timings
+            .iter()
+            .map(|t| t.failed.iter().sum::<f64>() + t.duration)
+            .collect();
+        let mut extra: Vec<f64> = Vec::new();
+        if plan.speculative_execution && durations.len() >= 2 {
+            let mut sorted = durations.clone();
+            sorted.sort_by(f64::total_cmp);
+            let mid = sorted.len() / 2;
+            let median = if sorted.len() % 2 == 0 {
+                0.5 * (sorted[mid - 1] + sorted[mid])
+            } else {
+                sorted[mid]
+            };
+            let trigger = plan.speculative_slowdown_threshold * median;
+            if trigger.is_finite() && trigger > 0.0 {
+                for (i, t) in timings.iter().enumerate() {
+                    let eff = durations[i];
+                    if eff > trigger {
+                        counters.inc(Counter::SpeculativeLaunched);
+                        counters.inc(Counter::AttemptsLaunched);
+                        let backup_total = trigger + t.base;
+                        if backup_total < eff {
+                            // Backup wins; the primary is killed at the
+                            // backup's finish after occupying a slot
+                            // the whole time.
+                            durations[i] = backup_total;
+                            extra.push(backup_total);
+                        } else {
+                            // Primary wins; the backup's slot time from
+                            // launch to the primary's finish is wasted.
+                            counters.inc(Counter::SpeculativeWasted);
+                            extra.push(eff - trigger);
+                        }
+                    }
+                }
+            }
+        }
+        durations.extend(extra);
+        durations
+    }
+
     /// Runs a job over a DFS input file and returns its output,
     /// counters and timing.
-    pub fn run<J: Job>(&self, job: &J, input: &str, config: &JobConfig) -> Result<JobResult<J::Output>> {
+    pub fn run<J: Job>(
+        &self,
+        job: &J,
+        input: &str,
+        config: &JobConfig,
+    ) -> Result<JobResult<J::Output>> {
         if config.num_reduce_tasks == 0 {
             return Err(Error::Config(format!(
                 "job {} needs at least one reduce task",
@@ -88,11 +259,10 @@ impl JobRunner {
 
         // ---------------- map phase ----------------
         let map_outputs = self.run_map_phase(job, splits, config, &counters)?;
-        let (map_durations, partitioned) = self.collect_map_outputs(map_outputs, config);
+        let (map_durations, partitioned) = self.collect_map_outputs(map_outputs, config, &counters);
 
         // ---------------- reduce phase ----------------
-        let (outputs, reduce_durations) =
-            self.run_reduce_phase(job, partitioned, &counters)?;
+        let (outputs, reduce_durations) = self.run_reduce_phase(job, partitioned, &counters)?;
 
         let timing = JobTiming::compute(
             &self.cluster.cost_model,
@@ -102,14 +272,13 @@ impl JobRunner {
             self.cluster.total_reduce_slots(),
             wall_start.elapsed().as_secs_f64(),
         );
-        let counters =
-            Arc::try_unwrap(counters).unwrap_or_else(|arc| {
-                // All task threads are joined; the Arc is unique in
-                // practice. Fall back to a copy if not.
-                let c = Counters::new();
-                c.merge(&arc);
-                c
-            });
+        let counters = Arc::try_unwrap(counters).unwrap_or_else(|arc| {
+            // All task threads are joined; the Arc is unique in
+            // practice. Fall back to a copy if not.
+            let c = Counters::new();
+            c.merge(&arc);
+            c
+        });
         Ok(JobResult {
             output: outputs,
             counters,
@@ -146,7 +315,7 @@ impl JobRunner {
         let counters = Arc::new(Counters::new());
 
         let map_outputs = self.run_cached_map_phase(job, cache, config, &counters)?;
-        let (map_durations, partitioned) = self.collect_map_outputs(map_outputs, config);
+        let (map_durations, partitioned) = self.collect_map_outputs(map_outputs, config, &counters);
         let (outputs, reduce_durations) = self.run_reduce_phase(job, partitioned, &counters)?;
 
         let timing = JobTiming::compute(
@@ -204,7 +373,11 @@ impl JobRunner {
                     if i >= n {
                         break;
                     }
-                    let r = self.run_cached_map_task(job, i, &splits[i], config, counters);
+                    let r = self
+                        .run_attempts(job.name(), TaskKind::Map, i, counters, |_, c| {
+                            self.run_cached_map_task(job, i, &splits[i], config, c)
+                        })
+                        .map(|(segments, timing)| MapTaskOut { segments, timing });
                     if r.is_err() {
                         failed.store(true, Ordering::Relaxed);
                     }
@@ -238,7 +411,7 @@ impl JobRunner {
         split: &CachedSplit,
         config: &JobConfig,
         counters: &Arc<Counters>,
-    ) -> Result<MapTaskOut>
+    ) -> Result<(Vec<Segment>, TaskCost)>
     where
         J: Job,
         J::Mapper: PointMapper,
@@ -290,16 +463,16 @@ impl JobRunner {
         counters.add(Counter::ShuffleBytes, shuffle_out);
         counters.max(Counter::HeapPeakBytes, ctx.heap.peak());
 
-        Ok(MapTaskOut {
+        Ok((
             segments,
-            cost: TaskCost {
+            TaskCost {
                 input_bytes: 0,
                 cached_points: split.points.len() as u64,
                 shuffle_bytes_out: shuffle_out,
                 shuffle_bytes_in: 0,
                 compute_units: ctx.compute_units(),
             },
-        })
+        ))
     }
 
     fn run_map_phase<J: Job>(
@@ -319,7 +492,8 @@ impl JobRunner {
             .min(n);
         let next = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
-        let results: Mutex<Vec<Option<Result<MapTaskOut>>>> = Mutex::new((0..n).map(|_| None).collect());
+        let results: Mutex<Vec<Option<Result<MapTaskOut>>>> =
+            Mutex::new((0..n).map(|_| None).collect());
         let splits = &splits;
 
         std::thread::scope(|scope| {
@@ -332,7 +506,11 @@ impl JobRunner {
                     if i >= n {
                         break;
                     }
-                    let r = self.run_map_task(job, i, &splits[i], config, counters);
+                    let r = self
+                        .run_attempts(job.name(), TaskKind::Map, i, counters, |_, c| {
+                            self.run_map_task(job, i, &splits[i], config, c)
+                        })
+                        .map(|(segments, timing)| MapTaskOut { segments, timing });
                     if r.is_err() {
                         failed.store(true, Ordering::Relaxed);
                     }
@@ -372,7 +550,7 @@ impl JobRunner {
         split: &InputSplit,
         config: &JobConfig,
         counters: &Arc<Counters>,
-    ) -> Result<MapTaskOut> {
+    ) -> Result<(Vec<Segment>, TaskCost)> {
         let mut ctx = TaskContext::new(
             format!("map-{index}"),
             Arc::clone(counters),
@@ -423,38 +601,39 @@ impl JobRunner {
         counters.max(Counter::HeapPeakBytes, ctx.heap.peak());
         self.dfs.charge_split_read(split);
 
-        Ok(MapTaskOut {
+        Ok((
             segments,
-            cost: TaskCost {
+            TaskCost {
                 input_bytes: split.len() as u64,
                 cached_points: 0,
                 shuffle_bytes_out: shuffle_out,
                 shuffle_bytes_in: 0,
                 compute_units: ctx.compute_units(),
             },
-        })
+        ))
     }
 
     /// Transposes map outputs into per-partition segment lists and
-    /// returns the map task durations.
+    /// returns the map task durations (speculation applied, failed
+    /// attempts included).
     fn collect_map_outputs(
         &self,
         map_outputs: Vec<MapTaskOut>,
         config: &JobConfig,
+        counters: &Counters,
     ) -> (Vec<f64>, Vec<Vec<Segment>>) {
-        let model = &self.cluster.cost_model;
-        let mut durations = Vec::with_capacity(map_outputs.len());
+        let mut timings = Vec::with_capacity(map_outputs.len());
         let mut partitioned: Vec<Vec<Segment>> =
             (0..config.num_reduce_tasks).map(|_| Vec::new()).collect();
         for m in map_outputs {
-            durations.push(m.cost.duration(model));
+            timings.push(m.timing);
             for (p, seg) in m.segments.into_iter().enumerate() {
                 if !seg.is_empty() {
                     partitioned[p].push(seg);
                 }
             }
         }
-        (durations, partitioned)
+        (self.finalize_phase(timings, counters), partitioned)
     }
 
     fn run_reduce_phase<J: Job>(
@@ -470,9 +649,12 @@ impl JobRunner {
             .min(n.max(1));
         let next = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
-        let inputs: Vec<Mutex<Option<Vec<Segment>>>> =
-            partitioned.into_iter().map(|p| Mutex::new(Some(p))).collect();
-        type ReduceOut<O> = Option<Result<(Vec<O>, TaskCost)>>;
+        let max_attempts = self.cluster.faults.max_attempts.max(1);
+        let inputs: Vec<Mutex<Option<Vec<Segment>>>> = partitioned
+            .into_iter()
+            .map(|p| Mutex::new(Some(p)))
+            .collect();
+        type ReduceOut<O> = Option<Result<(Vec<O>, TaskTiming)>>;
         let results: Mutex<Vec<ReduceOut<J::Output>>> = Mutex::new((0..n).map(|_| None).collect());
 
         std::thread::scope(|scope| {
@@ -485,8 +667,23 @@ impl JobRunner {
                     if p >= n {
                         break;
                     }
-                    let segments = inputs[p].lock().take().expect("segments taken once");
-                    let r = self.run_reduce_task(job, p, segments, counters);
+                    let mut store = inputs[p].lock().take();
+                    let r = self.run_attempts(
+                        job.name(),
+                        TaskKind::Reduce,
+                        p,
+                        counters,
+                        |attempt, c| {
+                            // Retries re-read the shuffled segments; keep a
+                            // copy only while another attempt may follow.
+                            let segments = if attempt + 1 >= max_attempts {
+                                store.take().expect("segments present for final attempt")
+                            } else {
+                                store.clone().expect("segments present")
+                            };
+                            self.run_reduce_task(job, p, segments, c)
+                        },
+                    );
                     if r.is_err() {
                         failed.store(true, Ordering::Relaxed);
                     }
@@ -496,26 +693,25 @@ impl JobRunner {
         });
 
         let mut outputs = Vec::new();
-        let mut durations = Vec::with_capacity(n);
-        let mut completed = 0usize;
+        let mut timings = Vec::with_capacity(n);
         for slot in results.into_inner() {
             match slot {
-                Some(Ok((out, cost))) => {
-                    completed += 1;
-                    durations.push(cost.duration(&self.cluster.cost_model));
+                Some(Ok((out, timing))) => {
+                    timings.push(timing);
                     outputs.extend(out);
                 }
                 Some(Err(e)) => return Err(e),
                 None => continue,
             }
         }
-        if completed < n {
+        if timings.len() < n {
             return Err(Error::Task(format!(
                 "job {}: {} reduce task(s) did not run",
                 job.name(),
-                n - completed
+                n - timings.len()
             )));
         }
+        let durations = self.finalize_phase(timings, counters);
         Ok((outputs, durations))
     }
 

@@ -49,11 +49,7 @@ impl Segment {
 /// every key group (when enabled), updating the combine counters.
 ///
 /// The buffer is replaced by the combined pairs, still key-sorted.
-pub fn sort_and_combine<J: Job>(
-    job: &J,
-    buf: &mut Vec<(J::Key, J::Value)>,
-    counters: &Counters,
-) {
+pub fn sort_and_combine<J: Job>(job: &J, buf: &mut Vec<(J::Key, J::Value)>, counters: &Counters) {
     // Stable sort keeps emission order within a key, so combiners see
     // values in a deterministic order.
     buf.sort_by(|a, b| a.0.cmp(&b.0));

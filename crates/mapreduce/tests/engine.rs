@@ -85,7 +85,9 @@ fn setup(block_size: usize, lines: usize) -> (Arc<Dfs>, JobRunner) {
 fn count_job_is_correct_across_many_splits() {
     let (_dfs, runner) = setup(64, 1000); // tiny blocks → many map tasks
     let job = CountJob { combiner: false };
-    let mut r = runner.run(&job, "in", &JobConfig::with_reducers(4)).unwrap();
+    let mut r = runner
+        .run(&job, "in", &JobConfig::with_reducers(4))
+        .unwrap();
     r.output.sort();
     let expected: Vec<(i64, u64)> = (0..10).map(|i| (i as i64, 100u64)).collect();
     assert_eq!(r.output, expected);
@@ -156,7 +158,11 @@ fn missing_input_fails() {
     let dfs = Arc::new(Dfs::default());
     let runner = JobRunner::new(dfs, ClusterConfig::default()).unwrap();
     let err = runner
-        .run(&CountJob { combiner: false }, "absent", &JobConfig::default())
+        .run(
+            &CountJob { combiner: false },
+            "absent",
+            &JobConfig::default(),
+        )
         .unwrap_err();
     assert!(matches!(err, gmr_mapreduce::Error::FileNotFound(_)));
 }
@@ -189,7 +195,11 @@ fn mapper_error_fails_job() {
 fn timing_has_setup_and_tasks() {
     let (_dfs, runner) = setup(64, 500);
     let r = runner
-        .run(&CountJob { combiner: true }, "in", &JobConfig::with_reducers(2))
+        .run(
+            &CountJob { combiner: true },
+            "in",
+            &JobConfig::with_reducers(2),
+        )
         .unwrap();
     let model = runner.cluster().cost_model;
     assert!(r.timing.simulated_secs >= model.job_setup_secs);
@@ -263,7 +273,8 @@ impl Job for BufferingJob {
 #[test]
 fn heap_exhaustion_fails_job_with_java_heap_space() {
     let dfs = Arc::new(Dfs::new(1024));
-    dfs.put_lines("in", (0..1000).map(|i| format!("{i}"))).unwrap();
+    dfs.put_lines("in", (0..1000).map(|i| format!("{i}")))
+        .unwrap();
     let cluster = ClusterConfig {
         heap_per_task: 8 * 1024, // tiny heap: 1000 × 64 B overflows
         ..ClusterConfig::default()
@@ -271,7 +282,9 @@ fn heap_exhaustion_fails_job_with_java_heap_space() {
     let runner = JobRunner::new(Arc::clone(&dfs), cluster).unwrap();
     let err = runner
         .run(
-            &BufferingJob { bytes_per_value: 64 },
+            &BufferingJob {
+                bytes_per_value: 64,
+            },
             "in",
             &JobConfig::with_reducers(1),
         )
@@ -288,7 +301,9 @@ fn heap_exhaustion_fails_job_with_java_heap_space() {
     let runner = JobRunner::new(dfs, cluster).unwrap();
     let r = runner
         .run(
-            &BufferingJob { bytes_per_value: 64 },
+            &BufferingJob {
+                bytes_per_value: 64,
+            },
             "in",
             &JobConfig::with_reducers(1),
         )
@@ -315,11 +330,7 @@ impl Mapper for CloseEmitMapper {
         self.seen += 1;
         Ok(())
     }
-    fn close(
-        &mut self,
-        out: &mut MapOutput<'_, i64, u64>,
-        _ctx: &mut TaskContext,
-    ) -> Result<()> {
+    fn close(&mut self, out: &mut MapOutput<'_, i64, u64>, _ctx: &mut TaskContext) -> Result<()> {
         out.emit(0, self.seen);
         Ok(())
     }
@@ -360,7 +371,8 @@ impl Job for CloseEmitJob {
 #[test]
 fn mapper_close_emissions_are_shuffled() {
     let dfs = Arc::new(Dfs::new(64)); // several splits
-    dfs.put_lines("in", (0..300).map(|i| format!("row {i}"))).unwrap();
+    dfs.put_lines("in", (0..300).map(|i| format!("row {i}")))
+        .unwrap();
     let runner = JobRunner::new(dfs, ClusterConfig::default()).unwrap();
     let r = runner
         .run(&CloseEmitJob, "in", &JobConfig::with_reducers(1))
@@ -375,7 +387,9 @@ fn spills_happen_under_small_threshold() {
         num_reduce_tasks: 2,
         spill_threshold_records: 100,
     };
-    let r = runner.run(&CountJob { combiner: true }, "in", &config).unwrap();
+    let r = runner
+        .run(&CountJob { combiner: true }, "in", &config)
+        .unwrap();
     assert!(r.counters.get(Counter::Spills) >= 40);
     let mut out = r.output;
     out.sort();
@@ -389,7 +403,11 @@ fn empty_input_file_runs_reducers_only() {
     w.close();
     let runner = JobRunner::new(dfs, ClusterConfig::default()).unwrap();
     let r = runner
-        .run(&CountJob { combiner: true }, "empty", &JobConfig::with_reducers(3))
+        .run(
+            &CountJob { combiner: true },
+            "empty",
+            &JobConfig::with_reducers(3),
+        )
         .unwrap();
     assert!(r.output.is_empty());
     assert_eq!(r.counters.get(Counter::MapInputRecords), 0);
@@ -466,11 +484,7 @@ fn partially_consumed_groups_do_not_leak_into_neighbours() {
     r.output.sort();
     assert_eq!(r.output.len(), 50, "one output per group, no key skipped");
     for (k, v) in r.output {
-        assert_eq!(
-            v,
-            k as u64 * 100,
-            "group {k} must see its own first value"
-        );
+        assert_eq!(v, k as u64 * 100, "group {k} must see its own first value");
     }
 }
 

@@ -262,7 +262,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     /// Deterministic standard normal sample via Box–Muller.
-    fn normal_sample(n: usize, seed: u64) -> Vec<f64> {
+    pub(crate) fn normal_sample(n: usize, seed: u64) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
@@ -311,7 +311,10 @@ mod tests {
     #[test]
     fn shifted_scaled_gaussian_is_accepted() {
         // The test normalizes internally, so location/scale must not matter.
-        let xs: Vec<f64> = normal_sample(600, 3).iter().map(|x| 42.0 + 1e-3 * x).collect();
+        let xs: Vec<f64> = normal_sample(600, 3)
+            .iter()
+            .map(|x| 42.0 + 1e-3 * x)
+            .collect();
         let ad = AndersonDarling::default();
         assert!(ad.is_normal(&xs).unwrap());
     }
@@ -420,8 +423,8 @@ mod tests {
             for (i, &zi) in z.iter().enumerate() {
                 let phi = normal_cdf(zi).clamp(1e-300, 1.0 - 1e-16);
                 let i1 = i + 1; // 1-based
-                sum += (2 * i1 - 1) as f64 * phi.ln()
-                    + (2 * (n - i1) + 1) as f64 * (1.0 - phi).ln();
+                sum +=
+                    (2 * i1 - 1) as f64 * phi.ln() + (2 * (n - i1) + 1) as f64 * (1.0 - phi).ln();
             }
             let a2_alt = -(n as f64) - sum / n as f64;
             assert!(
@@ -472,5 +475,128 @@ mod tests {
             .collect();
         let ad = AndersonDarling::default();
         assert!(!ad.is_normal(&xs).unwrap());
+    }
+
+    #[test]
+    fn acceptance_rate_under_h0_matches_alpha() {
+        // At α = 0.05 a genuinely normal sample must be accepted about
+        // 95% of the time — this is the calibration G-means leans on to
+        // not over-split. 400 independent samples give a tight check.
+        let ad = AndersonDarling::new(0.05, 8);
+        let accepted = (0..400u64)
+            .filter(|&s| ad.is_normal(&normal_sample(150, 5_000 + s)).unwrap())
+            .count();
+        assert!(
+            accepted >= 376,
+            "only {accepted}/400 normal samples accepted at alpha=0.05"
+        );
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::tests::normal_sample;
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// At the paper's strict α = 1e-4, a genuinely Gaussian sample
+        /// is essentially never flagged for splitting, whatever its
+        /// seed or size.
+        #[test]
+        fn gaussian_samples_survive_strict_alpha(seed: u64, n in 60usize..500) {
+            let ad = AndersonDarling::default();
+            let out = ad.test(&normal_sample(n, seed)).unwrap();
+            prop_assert!(
+                out.is_normal(ad.alpha()),
+                "seed {seed}, n {n}: A*²={} p={}",
+                out.a2_star,
+                out.p_value
+            );
+        }
+
+        /// Two well-separated modes are always rejected — the split
+        /// decision G-means exists to make — across mixture weights
+        /// and separations.
+        #[test]
+        fn bimodal_mixtures_are_rejected(
+            seed: u64,
+            separation in 6.0..16.0f64,
+            left_fraction in 0.3..0.7f64,
+        ) {
+            let n_left = (600.0 * left_fraction) as usize;
+            let mut xs = normal_sample(n_left, seed);
+            xs.extend(
+                normal_sample(600 - n_left, seed ^ 0x9E37_79B9)
+                    .iter()
+                    .map(|x| x + separation),
+            );
+            let ad = AndersonDarling::default();
+            prop_assert!(
+                !ad.is_normal(&xs).unwrap(),
+                "separation {separation}, left {n_left} accepted as normal"
+            );
+        }
+
+        /// Below the rule-of-thumb floor of 8 observations the test
+        /// refuses to run, whatever the data looks like.
+        #[test]
+        fn samples_below_the_floor_are_refused(n in 0usize..8, seed: u64) {
+            let ad = AndersonDarling::new(0.05, 8);
+            prop_assert_eq!(
+                ad.test(&normal_sample(n, seed)),
+                Err(AdError::SampleTooSmall { got: n, min: 8 })
+            );
+        }
+
+        /// Exactly at the floor the statistic exists and is sane.
+        #[test]
+        fn samples_at_the_floor_are_testable(seed: u64) {
+            let ad = AndersonDarling::new(0.05, 8);
+            let out = ad.test(&normal_sample(8, seed)).unwrap();
+            prop_assert!(out.a2.is_finite());
+            prop_assert!(out.a2_star.is_finite());
+            prop_assert!((0.0..=1.0).contains(&out.p_value));
+            prop_assert_eq!(out.n, 8);
+        }
+
+        /// The verdict is location/scale free: an affine map with
+        /// positive scale changes neither statistic nor p-value beyond
+        /// floating-point noise, because the test normalizes first.
+        #[test]
+        fn affine_maps_do_not_change_the_statistic(
+            seed: u64,
+            n in 60usize..300,
+            shift in -1e3..1e3f64,
+            scale in 1e-3..1e3f64,
+        ) {
+            let xs = normal_sample(n, seed);
+            let ys: Vec<f64> = xs.iter().map(|x| shift + scale * x).collect();
+            let ad = AndersonDarling::default();
+            let a = ad.test(&xs).unwrap();
+            let b = ad.test(&ys).unwrap();
+            prop_assert!(
+                (a.a2 - b.a2).abs() < 1e-6 * (1.0 + a.a2.abs()),
+                "A² moved under affine map: {} vs {}",
+                a.a2,
+                b.a2
+            );
+        }
+
+        /// Input order is irrelevant: the test sorts internally, so a
+        /// reversed sample agrees up to the rounding noise of summing
+        /// the normalization moments in the other order.
+        #[test]
+        fn input_order_is_irrelevant(seed: u64, n in 20usize..200) {
+            let xs = normal_sample(n, seed);
+            let mut rev = xs.clone();
+            rev.reverse();
+            let ad = AndersonDarling::default();
+            let a = ad.test(&xs).unwrap();
+            let b = ad.test(&rev).unwrap();
+            prop_assert_eq!(a.n, b.n);
+            prop_assert!((a.a2 - b.a2).abs() < 1e-9 * (1.0 + a.a2.abs()));
+            prop_assert!((a.p_value - b.p_value).abs() < 1e-9);
+        }
     }
 }

@@ -29,20 +29,37 @@ fn main() {
     // O(n·k_max²) distance work, the cost §4 compares against.
     let k_max = 2 * k_real;
     let models = multi_kmeans(&data.points, 1, k_max, 1, 10, 7);
-    let sweep_distances: u64 = (1..=k_max as u64).map(|k| k * 10 * data.points.len() as u64).sum();
+    let sweep_distances: u64 = (1..=k_max as u64)
+        .map(|k| k * 10 * data.points.len() as u64)
+        .sum();
 
     println!("criterion        chosen k   (method cost)");
     println!("---------        --------   -------------");
     let elbow = selection::elbow(&data.points, &models);
-    println!("elbow            {:>8}   multi-k sweep: ~{sweep_distances} distances", fmt(elbow));
+    println!(
+        "elbow            {:>8}   multi-k sweep: ~{sweep_distances} distances",
+        fmt(elbow)
+    );
     let sil = selection::best_silhouette(&data.points, &models);
-    println!("silhouette       {:>8}   multi-k sweep + O(n²) silhouettes", fmt(sil));
+    println!(
+        "silhouette       {:>8}   multi-k sweep + O(n²) silhouettes",
+        fmt(sil)
+    );
     let dunn = selection::best_dunn(&data.points, &models);
-    println!("dunn index       {:>8}   multi-k sweep + diameters", fmt(dunn));
+    println!(
+        "dunn index       {:>8}   multi-k sweep + diameters",
+        fmt(dunn)
+    );
     let jump = selection::jump_method(&data.points, &models);
-    println!("jump method      {:>8}   multi-k sweep + distortions", fmt(jump));
+    println!(
+        "jump method      {:>8}   multi-k sweep + distortions",
+        fmt(jump)
+    );
     let gap = selection::gap_statistic(&data.points, &models, 3, 99);
-    println!("gap statistic    {:>8}   multi-k sweep × (1 + B references)", fmt(gap));
+    println!(
+        "gap statistic    {:>8}   multi-k sweep × (1 + B references)",
+        fmt(gap)
+    );
 
     // ---- X-means: BIC-driven splitting ----
     let x = xmeans(
@@ -61,7 +78,10 @@ fn main() {
     // Merged G-means corrects the parallel overestimate.
     let assignment = assign(&data.points, &g.centers);
     let merged = merge_close_centers(&g.centers, &assignment.cluster_sizes, 8.0);
-    println!("g-means + merge  {:>8}   + one O(k²) merge pass", merged.centers.len());
+    println!(
+        "g-means + merge  {:>8}   + one O(k²) merge pass",
+        merged.centers.len()
+    );
 
     println!("\nground truth     {k_real:>8}");
 }

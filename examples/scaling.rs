@@ -22,7 +22,8 @@ fn main() {
     let mut base = None;
     for nodes in [4usize, 8, 12] {
         let dfs = Arc::new(Dfs::new(64 * 1024));
-        spec.generate_to_dfs(&dfs, "points.txt").expect("write dataset");
+        spec.generate_to_dfs(&dfs, "points.txt")
+            .expect("write dataset");
         let runner = JobRunner::new(dfs, ClusterConfig::with_nodes(nodes)).expect("valid cluster");
         let r = MRGMeans::new(runner, GMeansConfig::default())
             .run("points.txt")
@@ -41,7 +42,8 @@ fn main() {
     // One KMeansAndFindNewCenters-style accounting: compare bytes
     // shuffled by the k-means job against the raw map output volume.
     let dfs = Arc::new(Dfs::new(64 * 1024));
-    spec.generate_to_dfs(&dfs, "points.txt").expect("write dataset");
+    spec.generate_to_dfs(&dfs, "points.txt")
+        .expect("write dataset");
     let runner = JobRunner::new(dfs, ClusterConfig::default()).expect("valid cluster");
     let r = MRGMeans::new(runner, GMeansConfig::default())
         .run("points.txt")

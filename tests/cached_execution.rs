@@ -118,6 +118,9 @@ fn cache_exposes_partitioning_and_size() {
     let cache = PointCache::build(&dfs, "points.txt", 2, gmr_datagen::parse_point).unwrap();
     assert_eq!(cache.len(), 3000);
     assert_eq!(cache.dim(), 2);
-    assert_eq!(cache.splits().len(), dfs.splits("points.txt").unwrap().len());
+    assert_eq!(
+        cache.splits().len(),
+        dfs.splits("points.txt").unwrap().len()
+    );
     assert_eq!(cache.memory_bytes(), 3000 * 2 * 8);
 }

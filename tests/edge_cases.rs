@@ -128,7 +128,9 @@ fn merge_with_huge_threshold_collapses_everything() {
     let dfs = Arc::new(Dfs::new(8 * 1024));
     spec.generate_to_dfs(&dfs, "pts").unwrap();
     let runner = JobRunner::new(dfs, ClusterConfig::default()).unwrap();
-    let r = MRGMeans::new(runner, GMeansConfig::default()).run("pts").unwrap();
+    let r = MRGMeans::new(runner, GMeansConfig::default())
+        .run("pts")
+        .unwrap();
     let merged = merge_close_centers(&r.centers, &r.counts, 1e9);
     assert_eq!(merged.centers.len(), 1);
     assert_eq!(merged.counts[0], r.counts.iter().sum::<u64>());

@@ -1,0 +1,226 @@
+//! Deterministic fault-injection harness for the simulated runtime.
+//!
+//! Real Hadoop recovers from task failures by re-executing attempts;
+//! the paper's experiments implicitly rely on that machinery. These
+//! tests drive the simulated cluster with a seeded [`FaultPlan`] and
+//! prove the properties the recovery layer promises:
+//!
+//! * the same seed replays the exact same failures, so a faulty run is
+//!   bit-for-bit reproducible;
+//! * retried transient failures leave the *answer* untouched and only
+//!   lengthen the simulated makespan;
+//! * a task that exhausts every attempt degrades the G-means run
+//!   gracefully instead of panicking;
+//! * results are independent of how many slots execute the tasks.
+
+use std::sync::Arc;
+
+use gmeans::prelude::*;
+use gmr_datagen::GaussianMixture;
+use gmr_mapreduce::counters::Counter;
+use gmr_mapreduce::prelude::{ClusterConfig, Dfs, FaultPlan, JobRunner};
+use gmr_mapreduce::Error;
+
+/// A runner over a fresh DFS holding `points` rows of the paper's R10
+/// mixture, on a cluster configured with `config`.
+fn runner_with(points: usize, clusters: usize, seed: u64, config: ClusterConfig) -> JobRunner {
+    let dfs = Arc::new(Dfs::new(32 * 1024));
+    GaussianMixture::paper_r10(points, clusters, seed)
+        .generate_to_dfs(&dfs, "points.txt")
+        .unwrap();
+    JobRunner::new(dfs, config).unwrap()
+}
+
+fn gmeans_run(config: ClusterConfig) -> MRGMeansResult {
+    let runner = runner_with(2000, 4, 77, config);
+    MRGMeans::new(runner, GMeansConfig::default())
+        .run("points.txt")
+        .unwrap()
+}
+
+/// A fault plan aggressive enough that every phase sees failures and
+/// stragglers, yet survivable within its attempt budget.
+fn stormy_plan() -> FaultPlan {
+    FaultPlan::none()
+        .with_seed(0xFA_17)
+        .with_transient_failures(0.15)
+        .with_heap_failures(0.02)
+        .with_stragglers(0.2, 6.0)
+        .with_max_attempts(6)
+        .with_speculation(1.5)
+}
+
+#[test]
+fn same_seed_replays_the_same_faults_bit_for_bit() {
+    let config = ClusterConfig::default().with_faults(stormy_plan());
+    let a = gmeans_run(config);
+    let b = gmeans_run(config);
+
+    assert_eq!(a.k(), b.k());
+    for (ca, cb) in a.centers.rows().zip(b.centers.rows()) {
+        assert_eq!(ca, cb, "faulty runs diverged on a center");
+    }
+    assert_eq!(a.counts, b.counts);
+    assert_eq!(
+        a.counters.snapshot(),
+        b.counters.snapshot(),
+        "counter banks differ between identical faulty runs"
+    );
+    assert_eq!(a.simulated_secs, b.simulated_secs);
+    assert_eq!(a.jobs, b.jobs);
+    assert!(
+        a.counters.get(Counter::AttemptsFailed) > 0,
+        "the stormy plan injected no failures at all"
+    );
+}
+
+#[test]
+fn transient_failures_change_makespan_but_not_the_answer() {
+    let clean = gmeans_run(ClusterConfig::default());
+    let plan = FaultPlan::none()
+        .with_seed(9)
+        .with_transient_failures(0.12)
+        .with_max_attempts(8);
+    let faulty = gmeans_run(ClusterConfig::default().with_faults(plan));
+
+    // Injected failures are recovered by re-execution, so the algorithm
+    // sees identical data and must land on identical clusters.
+    assert!(clean.failure.is_none());
+    assert!(
+        faulty.failure.is_none(),
+        "12% transients exhausted 8 attempts"
+    );
+    assert_eq!(clean.k(), faulty.k(), "fault recovery changed k");
+    for (a, b) in clean.centers.rows().zip(faulty.centers.rows()) {
+        assert_eq!(a, b, "fault recovery perturbed a center");
+    }
+    assert_eq!(clean.counts, faulty.counts);
+
+    // The retries are visible in the bookkeeping...
+    let failed = faulty.counters.get(Counter::AttemptsFailed);
+    let launched = faulty.counters.get(Counter::AttemptsLaunched);
+    assert!(failed > 0, "no transient failures landed");
+    assert!(launched > failed, "every launch cannot have failed");
+    assert_eq!(clean.counters.get(Counter::AttemptsFailed), 0);
+    assert_eq!(
+        launched,
+        clean.counters.get(Counter::AttemptsLaunched) + failed,
+        "each failure should cost exactly one extra attempt"
+    );
+
+    // ...and in the simulated clock, while the logical work counters
+    // stay what the cost model derived them from.
+    assert!(
+        faulty.simulated_secs > clean.simulated_secs,
+        "failed attempts must lengthen the simulated makespan \
+         (clean {:.3}s, faulty {:.3}s)",
+        clean.simulated_secs,
+        faulty.simulated_secs
+    );
+    assert_eq!(
+        clean.counters.get(Counter::ShuffleBytes),
+        faulty.counters.get(Counter::ShuffleBytes)
+    );
+    assert_eq!(
+        clean.counters.get(Counter::DistanceComputations),
+        faulty.counters.get(Counter::DistanceComputations)
+    );
+}
+
+#[test]
+fn stragglers_trigger_speculation_and_slow_the_clock() {
+    let clean = gmeans_run(ClusterConfig::default());
+    let plan = FaultPlan::none()
+        .with_seed(4)
+        .with_stragglers(0.25, 10.0)
+        .with_speculation(1.5);
+    let slow = gmeans_run(ClusterConfig::default().with_faults(plan));
+
+    assert_eq!(clean.k(), slow.k(), "stragglers changed the answer");
+    assert!(
+        slow.counters.get(Counter::SpeculativeLaunched) > 0,
+        "10x stragglers on a quarter of tasks never tripped speculation"
+    );
+    // A backup either wins (capping the straggler) or is wasted; both
+    // are launches, and none of them may count as a task failure.
+    assert!(
+        slow.counters.get(Counter::AttemptsLaunched)
+            >= clean.counters.get(Counter::AttemptsLaunched)
+                + slow.counters.get(Counter::SpeculativeLaunched)
+    );
+    assert_eq!(slow.counters.get(Counter::AttemptsFailed), 0);
+    assert!(
+        slow.simulated_secs > clean.simulated_secs,
+        "stragglers must lengthen the simulated makespan"
+    );
+}
+
+#[test]
+fn exhausting_every_attempt_fails_the_iteration_not_the_process() {
+    // Nearly-certain heap failures with a minimal attempt budget: the
+    // very first job loses a task and the driver must wind down with a
+    // partial result instead of panicking or erroring out.
+    let plan = FaultPlan::none()
+        .with_seed(1)
+        .with_heap_failures(0.999)
+        .with_max_attempts(2);
+    let result = gmeans_run(ClusterConfig::default().with_faults(plan));
+
+    let failure = result.failure.as_ref().expect("run should have failed");
+    assert!(
+        matches!(failure, Error::HeapSpace { .. }),
+        "expected a heap-space task failure, got: {failure}"
+    );
+    let last = result.reports.last().expect("at least one report");
+    assert!(
+        last.error.is_some(),
+        "the failed iteration should carry its error"
+    );
+    // The partial result is still usable: whatever centers the last
+    // completed iteration produced, with consistent bookkeeping. A
+    // failed job's counter bank is discarded (only successful jobs
+    // report), mirroring how the paper's driver would only ever see
+    // counters of jobs that reached completion.
+    assert!(result.k() >= 1, "no partial centers survived the failure");
+    assert_eq!(result.counts.len(), result.k());
+    assert_eq!(result.counters.get(Counter::AttemptsFailed), 0);
+}
+
+#[test]
+fn results_are_independent_of_slot_count() {
+    // Same cluster capacity on paper, different physical parallelism:
+    // 1, 2 and 8 map slots per node must agree bit-for-bit on output
+    // and on every logical counter — with fault injection on, which
+    // proves fault decisions are keyed by task identity, not by which
+    // thread or wave happened to run the task.
+    let runs: Vec<MRGMeansResult> = [1usize, 2, 8]
+        .into_iter()
+        .map(|slots| {
+            let config = ClusterConfig {
+                map_slots_per_node: slots,
+                ..ClusterConfig::default()
+            }
+            .with_faults(stormy_plan());
+            gmeans_run(config)
+        })
+        .collect();
+
+    let baseline = &runs[0];
+    for other in &runs[1..] {
+        assert_eq!(baseline.k(), other.k(), "k depends on slot count");
+        for (a, b) in baseline.centers.rows().zip(other.centers.rows()) {
+            assert_eq!(a, b, "centers depend on slot count");
+        }
+        assert_eq!(baseline.counts, other.counts);
+        assert_eq!(
+            baseline.counters.get(Counter::ShuffleBytes),
+            other.counters.get(Counter::ShuffleBytes),
+            "shuffle volume depends on slot count"
+        );
+        assert_eq!(
+            baseline.counters.snapshot(),
+            other.counters.snapshot(),
+            "a logical counter depends on slot count"
+        );
+    }
+}

@@ -21,7 +21,7 @@ fn staged(spec: &GaussianMixture) -> (JobRunner, gmr_linalg::Dataset) {
 
 #[test]
 fn bic_criterion_discovers_the_clusters() {
-    let spec = GaussianMixture::paper_r10(6000, 12, 160);
+    let spec = GaussianMixture::paper_r10(6000, 12, 162);
     let (runner, truth) = staged(&spec);
     let r = MRGMeans::new(runner, GMeansConfig::default())
         .with_split_criterion(SplitCriterion::Bic)

@@ -22,7 +22,7 @@ fn dfs_with(spec: &GaussianMixture) -> Arc<Dfs> {
 fn gmeans_distance_count_grows_linearly_in_k() {
     let mut counts = Vec::new();
     for &k in &[4usize, 8, 16] {
-        let spec = GaussianMixture::paper_r10(4000, k, 60 + k as u64);
+        let spec = GaussianMixture::paper_r10(4000, k, 100 + k as u64);
         let runner = JobRunner::new(dfs_with(&spec), ClusterConfig::default()).unwrap();
         let r = MRGMeans::new(runner, GMeansConfig::default())
             .run("points.txt")
@@ -31,8 +31,8 @@ fn gmeans_distance_count_grows_linearly_in_k() {
     }
     let r1 = counts[1] / counts[0]; // k: 4 → 8
     let r2 = counts[2] / counts[1]; // k: 8 → 16
-    // Linear in k means ratios around 2 (with slack for the iteration
-    // count growing by one); quadratic would give ratios around 4.
+                                    // Linear in k means ratios around 2 (with slack for the iteration
+                                    // count growing by one); quadratic would give ratios around 4.
     assert!((1.2..=3.4).contains(&r1), "ratio 4→8 was {r1}");
     assert!((1.2..=3.4).contains(&r2), "ratio 8→16 was {r2}");
 }

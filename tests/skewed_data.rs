@@ -41,7 +41,9 @@ fn zipf_skew_produces_imbalanced_components() {
 
 #[test]
 fn balanced_spec_remains_balanced() {
-    let d = GaussianMixture::paper_r10(1600, 16, 121).generate().unwrap();
+    let d = GaussianMixture::paper_r10(1600, 16, 121)
+        .generate()
+        .unwrap();
     let mut counts = vec![0u64; 16];
     for &l in &d.labels {
         counts[l as usize] += 1;

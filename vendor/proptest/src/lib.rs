@@ -1,0 +1,339 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the proptest API this workspace's tests use:
+//! the [`proptest!`] macro with `name in strategy` and `name: Type`
+//! parameters, range/tuple/vec/string strategies, `prop_assert!`-family
+//! macros and `prop_assume!`.
+//!
+//! Unlike upstream proptest there is **no shrinking**: each test runs a
+//! fixed number of cases ([`CASES`]) drawn from a generator seeded by a
+//! hash of the test's name, so failures are perfectly reproducible from
+//! run to run and machine to machine.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Number of cases each property test runs.
+pub const CASES: u32 = 128;
+
+/// The generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// Creates the deterministic per-test generator: seeded by an FNV-1a
+/// hash of the test's name.
+pub fn test_rng(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// String strategy from a regex literal. Only the universal patterns
+/// (`".*"`, `".+"`) are honoured; they produce arbitrary short strings
+/// over a mixed ASCII/multi-byte alphabet.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        const ALPHABET: &[char] = &[
+            'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '\t', '\n', ',', '.', ';', '-', '_', '"', '\\',
+            '/', '{', '}', 'é', 'λ', '中', '🦀', '\u{0}',
+        ];
+        let min_len = usize::from(self.contains('+'));
+        let len = rng.random_range(min_len..32usize);
+        (0..len)
+            .map(|_| ALPHABET[rng.random_range(0..ALPHABET.len())])
+            .collect()
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: an exact `usize` or a
+    /// half-open `Range<usize>`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of values from `element`, with a length drawn from
+    /// `size` (an exact `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Numeric bit-pattern strategies (`proptest::num`).
+pub mod num {
+    /// `f64` strategies.
+    pub mod f64 {
+        use crate::{Strategy, TestRng};
+        use rand::RngCore;
+
+        /// Every `f64` bit pattern: finite values, infinities, NaNs.
+        pub struct Any;
+
+        /// The any-bit-pattern strategy, like `proptest::num::f64::ANY`.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = f64;
+            fn sample(&self, rng: &mut TestRng) -> f64 {
+                f64::from_bits(rng.next_u64())
+            }
+        }
+    }
+}
+
+/// Types with a canonical "any value" distribution, used for
+/// `name: Type` parameters of [`proptest!`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Defines property tests. Each `fn` becomes a `#[test]` running
+/// [`CASES`] deterministic cases; parameters are drawn per case either
+/// from an explicit strategy (`x in 0.0..1.0f64`) or from the type's
+/// [`Arbitrary`] distribution (`x: i64`).
+#[macro_export]
+macro_rules! proptest {
+    (@bind $rng:ident $(,)?) => {};
+    (@bind $rng:ident, mut $id:ident in $strat:expr) => {
+        let mut $id = $crate::Strategy::sample(&($strat), &mut $rng);
+    };
+    (@bind $rng:ident, mut $id:ident in $strat:expr, $($rest:tt)*) => {
+        let mut $id = $crate::Strategy::sample(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    (@bind $rng:ident, $id:ident in $strat:expr) => {
+        let $id = $crate::Strategy::sample(&($strat), &mut $rng);
+    };
+    (@bind $rng:ident, $id:ident in $strat:expr, $($rest:tt)*) => {
+        let $id = $crate::Strategy::sample(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    (@bind $rng:ident, mut $id:ident : $ty:ty) => {
+        let mut $id: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+    };
+    (@bind $rng:ident, mut $id:ident : $ty:ty, $($rest:tt)*) => {
+        let mut $id: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    (@bind $rng:ident, $id:ident : $ty:ty) => {
+        let $id: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+    };
+    (@bind $rng:ident, $id:ident : $ty:ty, $($rest:tt)*) => {
+        let $id: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    ($($(#[$attr:meta])* fn $name:ident ($($params:tt)*) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut __proptest_rng = $crate::test_rng(stringify!($name));
+                for _case in 0..$crate::CASES {
+                    $crate::proptest!(@bind __proptest_rng, $($params)*);
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[allow(unused_imports)]
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.0..10.0f64, n in 1usize..5) {
+            prop_assert!((0.0..10.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in crate::collection::vec(0i64..100, 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+            prop_assert!(v.iter().all(|x| (0..100).contains(x)));
+        }
+
+        #[test]
+        fn exact_vec_length(v in crate::collection::vec(-1.0..1.0f64, 3)) {
+            prop_assert_eq!(v.len(), 3);
+        }
+
+        #[test]
+        fn tuples_and_arbitrary(pair in (0i64..20, 0u64..1000), x: i64) {
+            prop_assert!(pair.0 < 20 && pair.1 < 1000);
+            let _ = x;
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn string_strategy_makes_strings(s in ".*") {
+            prop_assert!(s.chars().count() < 32);
+        }
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = crate::test_rng("t");
+        let mut b = crate::test_rng("t");
+        use rand::RngCore;
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

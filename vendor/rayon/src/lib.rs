@@ -1,0 +1,192 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the narrow slice of rayon's API this workspace uses —
+//! `par_iter()`, `par_chunks()`, `map`, `reduce`, `collect`, `sum` —
+//! with *eager* parallelism: `map` materializes its input, splits it
+//! into one contiguous chunk per available core, and applies the
+//! closure on scoped `std::thread`s. Ordering is preserved, so
+//! `collect()` matches the serial result exactly.
+
+/// A materialized "parallel iterator": a vector of items plus the eager
+/// parallel combinators applied to them.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+fn threads_for(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n)
+        .max(1)
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = self.items.len();
+        if n == 0 {
+            return ParIter { items: Vec::new() };
+        }
+        let threads = threads_for(n);
+        if threads == 1 {
+            return ParIter {
+                items: self.items.into_iter().map(f).collect(),
+            };
+        }
+        let chunk = n.div_ceil(threads);
+        let mut inputs: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut it = self.items.into_iter();
+        loop {
+            let part: Vec<T> = it.by_ref().take(chunk).collect();
+            if part.is_empty() {
+                break;
+            }
+            inputs.push(part);
+        }
+        let f = &f;
+        let outputs: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .into_iter()
+                .map(|part| scope.spawn(move || part.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon-shim worker panicked"))
+                .collect()
+        });
+        ParIter {
+            items: outputs.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Folds all items into one value; `identity` produces the unit of
+    /// `op`, like rayon's `reduce`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> T,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    /// Collects the (order-preserved) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Keeps items satisfying the predicate.
+    pub fn filter<F: Fn(&T) -> bool>(self, f: F) -> ParIter<T> {
+        ParIter {
+            items: self.items.into_iter().filter(|x| f(x)).collect(),
+        }
+    }
+
+    /// Runs `f` on every item (parallel side effects).
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F)
+    where
+        T: Send,
+    {
+        self.map(f).collect::<Vec<()>>();
+    }
+}
+
+/// `par_iter()` on slices and vectors.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type yielded by the parallel iterator.
+    type Item: Send + 'a;
+    /// Returns a parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `into_par_iter()` on owned collections.
+pub trait IntoParallelIterator {
+    /// Item type yielded by the parallel iterator.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// `par_chunks()` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Returns a parallel iterator over contiguous chunks.
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(size).collect(),
+        }
+    }
+}
+
+/// Glob-import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<i64> = (0..10_000).collect();
+        let doubled: Vec<i64> = v.par_iter().map(|x| *x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunked_reduce_matches_serial() {
+        let v: Vec<u64> = (1..=1000).collect();
+        let total = v
+            .par_chunks(64)
+            .map(|c| c.iter().sum::<u64>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 500_500);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u64> = Vec::new();
+        let out: Vec<u64> = v.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        assert_eq!(v.into_par_iter().reduce(|| 7, |a, b| a + b), 7);
+    }
+}
