@@ -77,7 +77,8 @@ pub mod prelude {
     pub use crate::eval::{assign, average_distance, wcss, Assignment};
     pub use crate::merge::{merge_close_centers, MergeResult};
     pub use crate::mr::{
-        CenterSet, ExecutionMode, MRGMeans, MRGMeansResult, MRKMeans, MultiKMeans, TestStrategy,
+        check_input, CenterSet, ExecutionMode, InputCheck, KMeansParallelInit, MRGMeans,
+        MRGMeansResult, MRKMeans, MultiKMeans, TestStrategy,
     };
     pub use crate::selection;
     pub use crate::serial::{

@@ -24,12 +24,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use gmr_datagen::parse_point_dim;
 use gmr_linalg::squared_euclidean;
 use gmr_mapreduce::prelude::*;
 use gmr_stats::{bic_spherical, ClusterModelStats};
 
 use crate::mr::centers::CenterSet;
+use crate::mr::kmeans_job::{empty_centers_error, parse_point_or_skip};
 use crate::mr::split_test::{TestDecision, TestOutcome};
 
 /// Per-parent aggregate: `[Σd²_parent, Σd²_children, n_child0, n_child1]`
@@ -102,15 +102,15 @@ pub struct BicTestMapper {
 }
 
 impl BicTestMapper {
-    fn process(&mut self, point: &[f64], ctx: &mut TaskContext) {
+    fn process(&mut self, point: &[f64], ctx: &mut TaskContext) -> Result<()> {
         let (idx, _, d2_parent, evals) = self
             .spec
             .parents
             .nearest_with_cost(point)
-            .expect("nonempty parents");
+            .ok_or_else(|| empty_centers_error("BicTest"))?;
         ctx.charge_distances(evals, self.spec.parents.dim());
         let Some((c0, c1)) = &self.spec.children[idx] else {
-            return; // accepted cluster: no test
+            return Ok(()); // accepted cluster: no test
         };
         let d0 = squared_euclidean(point, c0);
         let d1 = squared_euclidean(point, c1);
@@ -121,6 +121,7 @@ impl BicTestMapper {
         entry.0[1] += d2_child;
         entry.0[2 + which] += 1.0;
         entry.1 += 1;
+        Ok(())
     }
 }
 
@@ -135,9 +136,10 @@ impl Mapper for BicTestMapper {
         _out: &mut MapOutput<'_, i64, BicPartial>,
         ctx: &mut TaskContext,
     ) -> Result<()> {
-        let point = parse_point_dim(line, self.spec.parents.dim())?;
-        self.process(&point, ctx);
-        Ok(())
+        match parse_point_or_skip(line, self.spec.parents.dim(), ctx) {
+            Some(point) => self.process(&point, ctx),
+            None => Ok(()),
+        }
     }
 
     fn close(
@@ -161,8 +163,7 @@ impl PointMapper for BicTestMapper {
         _out: &mut MapOutput<'_, i64, BicPartial>,
         ctx: &mut TaskContext,
     ) -> Result<()> {
-        self.process(point, ctx);
-        Ok(())
+        self.process(point, ctx)
     }
 }
 

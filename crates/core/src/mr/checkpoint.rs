@@ -1,0 +1,564 @@
+//! Serializable driver snapshots for the checkpoint journal.
+//!
+//! Each MapReduce driver persists its loop state through a
+//! [`RunJournal`] so a crashed driver process can resume bit-identical
+//! to an uninterrupted run. The snapshots here are the wire format:
+//! plain [`Writable`] structs mirroring the drivers' private state,
+//! each framed by a per-driver magic tag so a journal written by one
+//! driver cannot be resumed by another.
+//!
+//! Floating-point fields round-trip exactly (the `Writable` codec is
+//! raw IEEE-754 bits), which is what makes resumed `simulated_secs`
+//! accumulations bit-identical to uninterrupted ones.
+//!
+//! # Charge-replay
+//!
+//! A snapshot cannot contain the cost of its own commit (the payload
+//! would have to know its serialized size before serialization), so
+//! drivers charge checkpoint I/O *after* the commit:
+//!
+//! * on commit: serialize → [`RunJournal::commit`] →
+//!   [`apply_commit_charge`] with the stored byte count;
+//! * on resume: decode the snapshot, then re-apply
+//!   [`apply_commit_charge`] with the recovered checkpoint's stored
+//!   byte count.
+//!
+//! Both paths add the same counter deltas and the same simulated
+//! seconds in the same order, so a resumed run's totals match the
+//! uninterrupted run's bit for bit.
+
+use gmr_mapreduce::checkpoint::RunJournal;
+use gmr_mapreduce::cost::{CostModel, JobTiming};
+use gmr_mapreduce::counters::{Counter, Counters};
+use gmr_mapreduce::writable::{from_bytes, to_bytes, Writable};
+use gmr_mapreduce::{Error, Result};
+
+use crate::mr::centers::CenterSet;
+use crate::mr::strategy::TestStrategy;
+
+/// Per-driver format tags (also version the layout; bump on change).
+pub(crate) const GMEANS_MAGIC: u32 = 0x474d_4e01; // "GMN" v1
+pub(crate) const KMEANS_MAGIC: u32 = 0x4b4d_4e01; // "KMN" v1
+pub(crate) const MULTIK_MAGIC: u32 = 0x4d4b_4e01; // "MKN" v1
+pub(crate) const PARINIT_MAGIC: u32 = 0x504e_4901; // "PNI" v1
+
+/// Frames a snapshot with its driver magic.
+pub(crate) fn encode_snapshot<T: Writable>(magic: u32, snap: &T) -> Vec<u8> {
+    to_bytes(&(magic, SnapshotBody(snap)))
+}
+
+/// Unframes and decodes a snapshot, rejecting other drivers' journals.
+pub(crate) fn decode_snapshot<T: Writable>(magic: u32, payload: &[u8]) -> Result<T> {
+    let mut buf = payload;
+    let found = u32::read(&mut buf)?;
+    if found != magic {
+        return Err(Error::Corrupt(format!(
+            "checkpoint magic {found:#010x} does not match expected {magic:#010x}"
+        )));
+    }
+    from_bytes(buf)
+}
+
+/// Borrowing write-only wrapper so `encode_snapshot` can frame without
+/// cloning the snapshot.
+struct SnapshotBody<'a, T>(&'a T);
+
+impl<T: Writable> Writable for SnapshotBody<'_, T> {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.0.write(buf);
+    }
+    fn read(_buf: &mut &[u8]) -> Result<Self> {
+        Err(Error::Corrupt("write-only wrapper".into()))
+    }
+}
+
+/// Charges one committed (or replayed) checkpoint to the counters and
+/// returns the simulated seconds the commit costs the driver.
+pub(crate) fn apply_commit_charge(counters: &Counters, model: &CostModel, stored: u64) -> f64 {
+    counters.inc(Counter::CheckpointsCommitted);
+    counters.add(Counter::CheckpointBytes, stored);
+    model.checkpoint_secs(stored)
+}
+
+/// Commits one framed snapshot and charges it; returns the simulated
+/// seconds to add to the run clock.
+pub(crate) fn commit_snapshot(
+    journal: &RunJournal,
+    seq: u64,
+    payload: &[u8],
+    counters: &Counters,
+    model: &CostModel,
+) -> Result<f64> {
+    let stored = journal.commit(seq, payload)?;
+    Ok(apply_commit_charge(counters, model, stored))
+}
+
+/// Counter bank → values in [`Counter::all`] order.
+pub(crate) fn counters_to_vec(counters: &Counters) -> Vec<u64> {
+    Counter::all().iter().map(|&c| counters.get(c)).collect()
+}
+
+/// Rebuilds a counter bank from a snapshot vector.
+pub(crate) fn counters_from_vec(values: &[u64]) -> Result<Counters> {
+    if values.len() != Counter::all().len() {
+        return Err(Error::Corrupt(format!(
+            "counter snapshot has {} entries, runtime has {}",
+            values.len(),
+            Counter::all().len()
+        )));
+    }
+    let counters = Counters::new();
+    for (&c, &v) in Counter::all().iter().zip(values) {
+        counters.add(c, v);
+    }
+    Ok(counters)
+}
+
+/// Strategy → stable wire tag.
+pub(crate) fn strategy_tag(s: TestStrategy) -> u8 {
+    match s {
+        TestStrategy::FewClusters => 0,
+        TestStrategy::Clusters => 1,
+    }
+}
+
+/// Wire tag → strategy.
+pub(crate) fn strategy_from_tag(tag: u8) -> Result<TestStrategy> {
+    match tag {
+        0 => Ok(TestStrategy::FewClusters),
+        1 => Ok(TestStrategy::Clusters),
+        t => Err(Error::Corrupt(format!("unknown strategy tag {t}"))),
+    }
+}
+
+/// A serialized [`CenterSet`].
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct CenterSetSnap {
+    pub dim: u32,
+    pub ids: Vec<i64>,
+    pub flat: Vec<f64>,
+}
+
+impl CenterSetSnap {
+    pub fn from_set(set: &CenterSet) -> Self {
+        let mut ids = Vec::with_capacity(set.len());
+        let mut flat = Vec::with_capacity(set.len() * set.dim());
+        for i in 0..set.len() {
+            ids.push(set.id(i));
+            flat.extend_from_slice(set.coords(i));
+        }
+        Self {
+            dim: set.dim() as u32,
+            ids,
+            flat,
+        }
+    }
+
+    pub fn to_set(&self) -> Result<CenterSet> {
+        let dim = self.dim as usize;
+        if dim == 0 || self.flat.len() != self.ids.len() * dim {
+            return Err(Error::Corrupt("center set snapshot shape mismatch".into()));
+        }
+        let mut set = CenterSet::new(dim);
+        for (i, &id) in self.ids.iter().enumerate() {
+            set.push(id, &self.flat[i * dim..(i + 1) * dim]);
+        }
+        Ok(set)
+    }
+}
+
+impl Writable for CenterSetSnap {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.dim.write(buf);
+        self.ids.write(buf);
+        self.flat.write(buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Self {
+            dim: u32::read(buf)?,
+            ids: Vec::read(buf)?,
+            flat: Vec::read(buf)?,
+        })
+    }
+}
+
+/// A serialized [`JobTiming`].
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct TimingSnap {
+    pub map: Vec<f64>,
+    pub reduce: Vec<f64>,
+    pub simulated: f64,
+    pub wall: f64,
+}
+
+impl TimingSnap {
+    pub fn from_timing(t: &JobTiming) -> Self {
+        Self {
+            map: t.map_durations.clone(),
+            reduce: t.reduce_durations.clone(),
+            simulated: t.simulated_secs,
+            wall: t.wall_secs,
+        }
+    }
+
+    pub fn to_timing(&self) -> JobTiming {
+        JobTiming {
+            map_durations: self.map.clone(),
+            reduce_durations: self.reduce.clone(),
+            simulated_secs: self.simulated,
+            wall_secs: self.wall,
+        }
+    }
+}
+
+impl Writable for TimingSnap {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.map.write(buf);
+        self.reduce.write(buf);
+        self.simulated.write(buf);
+        self.wall.write(buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Self {
+            map: Vec::read(buf)?,
+            reduce: Vec::read(buf)?,
+            simulated: f64::read(buf)?,
+            wall: f64::read(buf)?,
+        })
+    }
+}
+
+/// One candidate child of a splitting cluster.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct ChildSnap {
+    pub id: i64,
+    pub coords: Vec<f64>,
+}
+
+impl Writable for ChildSnap {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.id.write(buf);
+        self.coords.write(buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Self {
+            id: i64::read(buf)?,
+            coords: Vec::read(buf)?,
+        })
+    }
+}
+
+/// One cluster of the G-means split hierarchy.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct ParentSnap {
+    pub id: i64,
+    pub center: Vec<f64>,
+    pub found: bool,
+    pub count: u64,
+    pub normal_streak: u8,
+    pub children: Vec<ChildSnap>,
+}
+
+impl Writable for ParentSnap {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.id.write(buf);
+        self.center.write(buf);
+        self.found.write(buf);
+        self.count.write(buf);
+        self.normal_streak.write(buf);
+        self.children.write(buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Self {
+            id: i64::read(buf)?,
+            center: Vec::read(buf)?,
+            found: bool::read(buf)?,
+            count: u64::read(buf)?,
+            normal_streak: u8::read(buf)?,
+            children: Vec::read(buf)?,
+        })
+    }
+}
+
+/// One serialized [`crate::mr::IterationReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct ReportSnap {
+    pub iteration: u64,
+    pub clusters_before: u64,
+    pub clusters_tested: u64,
+    pub splits: u64,
+    pub found_after: u64,
+    pub clusters_after: u64,
+    pub strategy: Option<u8>,
+    pub simulated_secs: f64,
+    pub jobs: u64,
+    pub dim: u32,
+    pub centers_flat: Vec<f64>,
+    pub error: Option<String>,
+}
+
+impl Writable for ReportSnap {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.iteration.write(buf);
+        self.clusters_before.write(buf);
+        self.clusters_tested.write(buf);
+        self.splits.write(buf);
+        self.found_after.write(buf);
+        self.clusters_after.write(buf);
+        self.strategy.write(buf);
+        self.simulated_secs.write(buf);
+        self.jobs.write(buf);
+        self.dim.write(buf);
+        self.centers_flat.write(buf);
+        self.error.write(buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Self {
+            iteration: u64::read(buf)?,
+            clusters_before: u64::read(buf)?,
+            clusters_tested: u64::read(buf)?,
+            splits: u64::read(buf)?,
+            found_after: u64::read(buf)?,
+            clusters_after: u64::read(buf)?,
+            strategy: Option::read(buf)?,
+            simulated_secs: f64::read(buf)?,
+            jobs: u64::read(buf)?,
+            dim: u32::read(buf)?,
+            centers_flat: Vec::read(buf)?,
+            error: Option::read(buf)?,
+        })
+    }
+}
+
+/// Full G-means driver state at an iteration boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct GMeansSnapshot {
+    pub dim: u32,
+    pub next_id: i64,
+    pub iteration: u64,
+    pub jobs: u64,
+    pub reads: u64,
+    pub simulated: f64,
+    pub parents: Vec<ParentSnap>,
+    pub reports: Vec<ReportSnap>,
+    pub counters: Vec<u64>,
+}
+
+impl Writable for GMeansSnapshot {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.dim.write(buf);
+        self.next_id.write(buf);
+        self.iteration.write(buf);
+        self.jobs.write(buf);
+        self.reads.write(buf);
+        self.simulated.write(buf);
+        self.parents.write(buf);
+        self.reports.write(buf);
+        self.counters.write(buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Self {
+            dim: u32::read(buf)?,
+            next_id: i64::read(buf)?,
+            iteration: u64::read(buf)?,
+            jobs: u64::read(buf)?,
+            reads: u64::read(buf)?,
+            simulated: f64::read(buf)?,
+            parents: Vec::read(buf)?,
+            reports: Vec::read(buf)?,
+            counters: Vec::read(buf)?,
+        })
+    }
+}
+
+/// Plain k-means driver state at an iteration boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct KMeansSnapshot {
+    pub iteration: u64,
+    pub centers: CenterSetSnap,
+    pub counts: Vec<u64>,
+    pub timings: Vec<TimingSnap>,
+    pub simulated: f64,
+    pub counters: Vec<u64>,
+}
+
+impl Writable for KMeansSnapshot {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.iteration.write(buf);
+        self.centers.write(buf);
+        self.counts.write(buf);
+        self.timings.write(buf);
+        self.simulated.write(buf);
+        self.counters.write(buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Self {
+            iteration: u64::read(buf)?,
+            centers: CenterSetSnap::read(buf)?,
+            counts: Vec::read(buf)?,
+            timings: Vec::read(buf)?,
+            simulated: f64::read(buf)?,
+            counters: Vec::read(buf)?,
+        })
+    }
+}
+
+/// Multi-k-means driver state at an iteration boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct MultiKMeansSnapshot {
+    pub iteration: u64,
+    pub sets: Vec<CenterSetSnap>,
+    pub counts: Vec<Vec<u64>>,
+    pub timings: Vec<TimingSnap>,
+    pub simulated: f64,
+    pub counters: Vec<u64>,
+}
+
+impl Writable for MultiKMeansSnapshot {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.iteration.write(buf);
+        self.sets.write(buf);
+        self.counts.write(buf);
+        self.timings.write(buf);
+        self.simulated.write(buf);
+        self.counters.write(buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Self {
+            iteration: u64::read(buf)?,
+            sets: Vec::read(buf)?,
+            counts: Vec::read(buf)?,
+            timings: Vec::read(buf)?,
+            simulated: f64::read(buf)?,
+            counters: Vec::read(buf)?,
+        })
+    }
+}
+
+/// k-means‖ driver state at a round boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct ParallelInitSnapshot {
+    /// Next round to run (rounds `0..next_round` are complete).
+    pub next_round: u64,
+    pub candidates: CenterSetSnap,
+    pub next_id: i64,
+    pub psi: Option<f64>,
+    /// Whether the sampling loop ended early (cost hit zero).
+    pub done_sampling: bool,
+}
+
+impl Writable for ParallelInitSnapshot {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.next_round.write(buf);
+        self.candidates.write(buf);
+        self.next_id.write(buf);
+        self.psi.write(buf);
+        self.done_sampling.write(buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Self {
+            next_round: u64::read(buf)?,
+            candidates: CenterSetSnap::read(buf)?,
+            next_id: i64::read(buf)?,
+            psi: Option::read(buf)?,
+            done_sampling: bool::read(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmeans_snapshot_round_trips() {
+        let snap = GMeansSnapshot {
+            dim: 3,
+            next_id: 17,
+            iteration: 4,
+            jobs: 12,
+            reads: 13,
+            simulated: 123.456,
+            parents: vec![ParentSnap {
+                id: 5,
+                center: vec![1.0, -2.0, f64::MIN_POSITIVE],
+                found: false,
+                count: 42,
+                normal_streak: 1,
+                children: vec![ChildSnap {
+                    id: 6,
+                    coords: vec![0.5, 0.25, 0.125],
+                }],
+            }],
+            reports: vec![ReportSnap {
+                iteration: 1,
+                clusters_before: 1,
+                clusters_tested: 1,
+                splits: 1,
+                found_after: 0,
+                clusters_after: 2,
+                strategy: Some(strategy_tag(TestStrategy::FewClusters)),
+                simulated_secs: 9.75,
+                jobs: 3,
+                dim: 3,
+                centers_flat: vec![1.0; 6],
+                error: Some("boom".into()),
+            }],
+            counters: vec![7; Counter::all().len()],
+        };
+        let payload = encode_snapshot(GMEANS_MAGIC, &snap);
+        let back: GMeansSnapshot = decode_snapshot(GMEANS_MAGIC, &payload).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let snap = ParallelInitSnapshot {
+            next_round: 1,
+            candidates: CenterSetSnap {
+                dim: 2,
+                ids: vec![0],
+                flat: vec![1.0, 2.0],
+            },
+            next_id: 1,
+            psi: Some(3.0),
+            done_sampling: false,
+        };
+        let payload = encode_snapshot(PARINIT_MAGIC, &snap);
+        assert!(decode_snapshot::<ParallelInitSnapshot>(GMEANS_MAGIC, &payload).is_err());
+        assert!(decode_snapshot::<ParallelInitSnapshot>(PARINIT_MAGIC, &payload).is_ok());
+    }
+
+    #[test]
+    fn center_set_snap_round_trips() {
+        let mut set = CenterSet::new(2);
+        set.push(3, &[1.0, 2.0]);
+        set.push(9, &[4.0, 5.0]);
+        let snap = CenterSetSnap::from_set(&set);
+        let back = snap.to_set().unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.id(0), 3);
+        assert_eq!(back.coords(1), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn counters_round_trip_via_vec() {
+        let c = Counters::new();
+        c.add(Counter::DistanceComputations, 99);
+        c.max(Counter::HeapPeakBytes, 1234);
+        let v = counters_to_vec(&c);
+        let back = counters_from_vec(&v).unwrap();
+        for &counter in Counter::all() {
+            assert_eq!(back.get(counter), c.get(counter));
+        }
+        assert!(counters_from_vec(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn strategy_tags_are_stable() {
+        for s in [TestStrategy::FewClusters, TestStrategy::Clusters] {
+            assert_eq!(strategy_from_tag(strategy_tag(s)).unwrap(), s);
+        }
+        assert!(strategy_from_tag(7).is_err());
+    }
+}

@@ -22,6 +22,20 @@
 //! per iteration and the final count overestimates `k_real` by the
 //! paper's ≈1.5× (Table 1); [`crate::merge`] implements the
 //! post-processing the paper leaves as future work.
+//!
+//! # Crash recovery
+//!
+//! With [`MRGMeans::with_checkpoints`] the driver journals its complete
+//! loop state (hierarchy, counters, clock, reports) through a DFS-backed
+//! [`RunJournal`] after every iteration, plus a seq-0 snapshot right
+//! after `PickInitialCenters`. A driver killed mid-run — including by an
+//! injected [`gmr_mapreduce::faults::FaultPlan`] driver crash — resumes
+//! with [`MRGMeans::resume`] from the newest intact snapshot and
+//! produces a result bit-identical to an uninterrupted run: job-level
+//! fault draws are keyed by (job, kind, index, attempt), so replaying an
+//! interrupted iteration re-derives the same attempts, counters and
+//! simulated seconds, and checkpoint commit charges are re-applied in
+//! the same order on both paths.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -29,6 +43,7 @@ use std::time::Instant;
 
 use gmr_linalg::{Dataset, SegmentProjector};
 use gmr_mapreduce::cache::PointCache;
+use gmr_mapreduce::checkpoint::{no_journal_error, RunJournal};
 use gmr_mapreduce::counters::Counters;
 use gmr_mapreduce::job::{Job, JobConfig, PointMapper};
 use gmr_mapreduce::runtime::{JobResult, JobRunner};
@@ -37,6 +52,11 @@ use gmr_mapreduce::{Error, Result};
 use crate::config::GMeansConfig;
 use crate::mr::bic_test::{BicTestJob, BicTestSpec};
 use crate::mr::centers::{apply_updates, CenterSet, CenterUpdate};
+use crate::mr::checkpoint::{
+    apply_commit_charge, commit_snapshot, counters_from_vec, counters_to_vec, decode_snapshot,
+    encode_snapshot, strategy_from_tag, strategy_tag, ChildSnap, GMeansSnapshot, ParentSnap,
+    ReportSnap, GMEANS_MAGIC,
+};
 use crate::mr::find_new_centers::{FindNewCentersJob, FindNewOutput};
 use crate::mr::kmeans_job::KMeansJob;
 use crate::mr::sample::sample_points;
@@ -46,16 +66,22 @@ use crate::mr::split_test::{
 use crate::mr::strategy::{choose_strategy, TestStrategy};
 
 /// Sorts job errors into task failures the driver absorbs (the job
-/// exhausted its attempt budget — heap or otherwise) versus
-/// environment/configuration errors that must propagate. Used by both
-/// MapReduce drivers to degrade gracefully under injected faults.
+/// exhausted its attempt budget — heap, degenerate input or otherwise)
+/// versus environment/configuration errors that must propagate. Used by
+/// both MapReduce drivers to degrade gracefully under injected faults.
+///
+/// [`Error::DriverCrash`] deliberately propagates: a crashed driver
+/// process cannot catch its own death — recovery happens in a fresh
+/// process through `resume`.
 pub(crate) fn recover_task_failure<T>(
     failure: &mut Option<Error>,
     res: Result<T>,
 ) -> Result<Option<T>> {
     match res {
         Ok(v) => Ok(Some(v)),
-        Err(e @ (Error::HeapSpace { .. } | Error::AttemptsExhausted { .. })) => {
+        Err(
+            e @ (Error::HeapSpace { .. } | Error::AttemptsExhausted { .. } | Error::Degenerate(_)),
+        ) => {
             *failure = Some(e);
             Ok(None)
         }
@@ -126,7 +152,8 @@ pub struct MRGMeansResult {
     pub iterations: usize,
     /// Per-iteration diagnostics.
     pub reports: Vec<IterationReport>,
-    /// Total simulated time (sum of job makespans, incl. job setup).
+    /// Total simulated time (sum of job makespans, incl. job setup and
+    /// checkpoint commits).
     pub simulated_secs: f64,
     /// Real wall-clock of the whole run.
     pub wall_secs: f64,
@@ -180,6 +207,24 @@ pub enum ExecutionMode {
     Cached,
 }
 
+/// The G-means driver's complete loop state — everything the journal
+/// must capture for a resumed run to continue bit-identically.
+struct GState {
+    dim: usize,
+    next_id: i64,
+    iteration: usize,
+    jobs: usize,
+    /// Logical dataset reads so far (sample + cache build + per-job
+    /// scans). Tracked driver-side rather than diffed from DFS stats so
+    /// the physical re-read a resume needs (rebuilding the point cache)
+    /// does not count twice.
+    reads: u64,
+    simulated: f64,
+    parents: Vec<Parent>,
+    reports: Vec<IterationReport>,
+    counters: Counters,
+}
+
 /// MapReduce G-means.
 pub struct MRGMeans {
     runner: JobRunner,
@@ -189,6 +234,7 @@ pub struct MRGMeans {
     mode: ExecutionMode,
     kd_index: bool,
     criterion: SplitCriterion,
+    checkpoint_dir: Option<String>,
 }
 
 impl MRGMeans {
@@ -202,6 +248,7 @@ impl MRGMeans {
             mode: ExecutionMode::OnDisk,
             kd_index: false,
             criterion: SplitCriterion::AndersonDarling,
+            checkpoint_dir: None,
         }
     }
 
@@ -217,6 +264,15 @@ impl MRGMeans {
     /// Results are identical; the distance-evaluation counters drop.
     pub fn with_kd_index(mut self, kd_index: bool) -> Self {
         self.kd_index = kd_index;
+        self
+    }
+
+    /// Journals driver state into a DFS checkpoint directory after
+    /// `PickInitialCenters` and after every iteration, enabling
+    /// [`MRGMeans::resume`]. Commit I/O is charged to the simulated
+    /// clock and the checkpoint counters.
+    pub fn with_checkpoints(mut self, dir: impl Into<String>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
         self
     }
 
@@ -243,29 +299,37 @@ impl MRGMeans {
         self
     }
 
-    /// Clusters the DFS text file at `input`.
-    pub fn run(&self, input: &str) -> Result<MRGMeansResult> {
-        let wall = Instant::now();
-        let dfs = Arc::clone(self.runner.dfs());
-        let reads_before = dfs.stats().dataset_reads;
-        let counters = Counters::new();
-        let mut simulated = 0.0f64;
-        let mut jobs = 0usize;
+    fn journal(&self) -> Option<RunJournal> {
+        self.checkpoint_dir
+            .as_ref()
+            .map(|dir| RunJournal::new(Arc::clone(self.runner.dfs()), dir.clone()))
+    }
 
-        // ---- PickInitialCenters (serial, one dataset read) ----
-        let sample = sample_points(&dfs, input, 64, self.config.seed)?;
-        let dim = sample.dim();
-        // Spark-style mode: parse the dataset once, pin it in memory
-        // (one more dataset read — the cache materialization).
-        let cache = match self.mode {
-            ExecutionMode::OnDisk => None,
-            ExecutionMode::Cached => Some(PointCache::build(
-                &dfs,
+    /// Spark-style mode: parse the dataset once, pin it in memory.
+    fn build_cache(&self, input: &str, dim: usize) -> Result<Option<PointCache>> {
+        match self.mode {
+            ExecutionMode::OnDisk => Ok(None),
+            ExecutionMode::Cached => Ok(Some(PointCache::build(
+                self.runner.dfs(),
                 input,
                 dim,
                 gmr_datagen::parse_point,
-            )?),
-        };
+            )?)),
+        }
+    }
+
+    /// `PickInitialCenters`: one serial sample read, the initial
+    /// one-cluster hierarchy, and (in cached mode) the cache build.
+    fn fresh_state(&self, input: &str) -> Result<(GState, Option<PointCache>)> {
+        let dfs = Arc::clone(self.runner.dfs());
+        let sample = sample_points(&dfs, input, 64, self.config.seed)?;
+        let dim = sample.dim();
+        let mut reads = 1u64;
+        let cache = self.build_cache(input, dim)?;
+        if cache.is_some() {
+            // The cache materialization scans the dataset once more.
+            reads += 1;
+        }
         let mut acc = gmr_linalg::CentroidAccumulator::new(dim);
         for row in sample.rows() {
             acc.push(row);
@@ -279,8 +343,7 @@ impl MRGMeans {
                 0
             },
         );
-        let mut next_id: i64 = 3;
-        let mut parents = vec![Parent {
+        let parents = vec![Parent {
             id: 0,
             center: mean,
             found: false,
@@ -297,9 +360,89 @@ impl MRGMeans {
                 },
             ],
         }];
+        Ok((
+            GState {
+                dim,
+                next_id: 3,
+                iteration: 0,
+                jobs: 0,
+                reads,
+                simulated: 0.0,
+                parents,
+                reports: Vec::new(),
+                counters: Counters::new(),
+            },
+            cache,
+        ))
+    }
 
-        let mut reports = Vec::new();
-        let mut iteration = 0usize;
+    /// Clusters the DFS text file at `input`.
+    pub fn run(&self, input: &str) -> Result<MRGMeansResult> {
+        let wall = Instant::now();
+        let (mut state, cache) = self.fresh_state(input)?;
+        if let Some(journal) = self.journal() {
+            journal.reset();
+            let payload = encode_snapshot(GMEANS_MAGIC, &snapshot_of(&state));
+            state.simulated += commit_snapshot(
+                &journal,
+                0,
+                &payload,
+                &state.counters,
+                &self.runner.cluster().cost_model,
+            )?;
+        }
+        self.drive(state, cache, input, wall)
+    }
+
+    /// Resumes an interrupted checkpointed run from its newest intact
+    /// snapshot, continuing to a result bit-identical to an
+    /// uninterrupted [`MRGMeans::run`]. Falls back to a fresh run when
+    /// the journal holds no valid checkpoint. Requires
+    /// [`MRGMeans::with_checkpoints`].
+    pub fn resume(&self, input: &str) -> Result<MRGMeansResult> {
+        let wall = Instant::now();
+        let journal = self.journal().ok_or_else(|| no_journal_error("MRGMeans"))?;
+        let ckpt = match journal.latest()? {
+            Some(c) => c,
+            None => return self.run(input),
+        };
+        let snap: GMeansSnapshot = decode_snapshot(GMEANS_MAGIC, &ckpt.payload)?;
+        let mut state = restore_state(snap)?;
+        // Re-apply the loaded checkpoint's own commit charge: the
+        // snapshot was serialized before it, so the uninterrupted run
+        // added it right after this point in its accumulation order.
+        state.simulated += apply_commit_charge(
+            &state.counters,
+            &self.runner.cluster().cost_model,
+            ckpt.stored_bytes,
+        );
+        // Rebuild the point cache (physical re-read only; the logical
+        // read is already in the restored `reads`).
+        let cache = self.build_cache(input, state.dim)?;
+        self.drive(state, cache, input, wall)
+    }
+
+    /// The G-means loop, from `state` to completion.
+    fn drive(
+        &self,
+        state: GState,
+        cache: Option<PointCache>,
+        input: &str,
+        wall: Instant,
+    ) -> Result<MRGMeansResult> {
+        let GState {
+            dim,
+            mut next_id,
+            mut iteration,
+            mut jobs,
+            mut reads,
+            mut simulated,
+            mut parents,
+            mut reports,
+            counters,
+        } = state;
+        let journal = self.journal();
+
         let mut failure: Option<Error> = None;
         let mut iter_sim = 0.0f64;
         let mut iter_jobs = 0usize;
@@ -332,12 +475,13 @@ impl MRGMeans {
                     input,
                     cache.as_ref(),
                     &self.job_config(kmeans_reducers),
+                    &mut reads,
                 );
                 let result = match recover_task_failure(&mut failure, run)? {
                     Some(r) => r,
                     None => break 'iterations,
                 };
-                self.absorb(&counters, &mut iter_sim, &mut iter_jobs, &result);
+                self.absorb(&counters, jobs, &mut iter_sim, &mut iter_jobs, &result)?;
                 let (next, _) = apply_updates(&current, &result.output);
                 current = next;
             }
@@ -352,12 +496,13 @@ impl MRGMeans {
                 input,
                 cache.as_ref(),
                 &self.job_config(kmeans_reducers),
+                &mut reads,
             );
             let result = match recover_task_failure(&mut failure, run)? {
                 Some(r) => r,
                 None => break 'iterations,
             };
-            self.absorb(&counters, &mut iter_sim, &mut iter_jobs, &result);
+            self.absorb(&counters, jobs, &mut iter_sim, &mut iter_jobs, &result)?;
             let mut updates: Vec<CenterUpdate> = Vec::new();
             let mut candidates: HashMap<i64, Vec<Vec<f64>>> = HashMap::new();
             for out in result.output {
@@ -449,12 +594,13 @@ impl MRGMeans {
                         input,
                         cache.as_ref(),
                         &self.job_config(test_reducers),
+                        &mut reads,
                     );
                     let result = match recover_task_failure(&mut failure, run)? {
                         Some(r) => r,
                         None => break 'iterations,
                     };
-                    self.absorb(&counters, &mut iter_sim, &mut iter_jobs, &result);
+                    self.absorb(&counters, jobs, &mut iter_sim, &mut iter_jobs, &result)?;
                     for o in result.output {
                         decisions.insert(o.parent_id, o);
                     }
@@ -475,12 +621,13 @@ impl MRGMeans {
                                 input,
                                 cache.as_ref(),
                                 &self.job_config(test_reducers),
+                                &mut reads,
                             );
                             let result = match recover_task_failure(&mut failure, run)? {
                                 Some(r) => r,
                                 None => break 'iterations,
                             };
-                            self.absorb(&counters, &mut iter_sim, &mut iter_jobs, &result);
+                            self.absorb(&counters, jobs, &mut iter_sim, &mut iter_jobs, &result)?;
                             result.output
                         }
                         TestStrategy::Clusters => {
@@ -489,12 +636,13 @@ impl MRGMeans {
                                 input,
                                 cache.as_ref(),
                                 &self.job_config(test_reducers),
+                                &mut reads,
                             );
                             let result = match recover_task_failure(&mut failure, run)? {
                                 Some(r) => r,
                                 None => break 'iterations,
                             };
-                            self.absorb(&counters, &mut iter_sim, &mut iter_jobs, &result);
+                            self.absorb(&counters, jobs, &mut iter_sim, &mut iter_jobs, &result)?;
                             result.output
                         }
                     };
@@ -528,12 +676,13 @@ impl MRGMeans {
                             input,
                             cache.as_ref(),
                             &self.job_config(self.reduce_tasks(undecided.len())),
+                            &mut reads,
                         );
                         let result = match recover_task_failure(&mut failure, run)? {
                             Some(r) => r,
                             None => break 'iterations,
                         };
-                        self.absorb(&counters, &mut iter_sim, &mut iter_jobs, &result);
+                        self.absorb(&counters, jobs, &mut iter_sim, &mut iter_jobs, &result)?;
                         for o in result.output {
                             decisions.insert(o.parent_id, o);
                         }
@@ -664,6 +813,21 @@ impl MRGMeans {
                 centers_after,
                 error: None,
             });
+
+            // ---- checkpoint the completed iteration ----
+            if let Some(journal) = &journal {
+                let snap = snapshot_parts(
+                    dim, next_id, iteration, jobs, reads, simulated, &parents, &reports, &counters,
+                );
+                let payload = encode_snapshot(GMEANS_MAGIC, &snap);
+                simulated += commit_snapshot(
+                    journal,
+                    iteration as u64,
+                    &payload,
+                    &counters,
+                    &self.runner.cluster().cost_model,
+                )?;
+            }
         }
 
         if let Some(err) = &failure {
@@ -712,7 +876,7 @@ impl MRGMeans {
             simulated_secs: simulated,
             wall_secs: wall.elapsed().as_secs_f64(),
             counters,
-            dataset_reads: dfs.stats().dataset_reads - reads_before,
+            dataset_reads: reads,
             jobs,
             failure,
         })
@@ -732,6 +896,7 @@ impl MRGMeans {
         input: &str,
         cache: Option<&PointCache>,
         config: &JobConfig,
+        reads: &mut u64,
     ) -> Result<JobResult<J::Output>>
     where
         J: Job,
@@ -739,7 +904,13 @@ impl MRGMeans {
     {
         match cache {
             Some(cache) => self.runner.run_cached(job, cache, config),
-            None => self.runner.run(job, input, config),
+            None => {
+                // One logical dataset read per disk-based job, charged
+                // whether or not the job succeeds (the runtime scans the
+                // input before tasks can fail).
+                *reads += 1;
+                self.runner.run(job, input, config)
+            }
         }
     }
 
@@ -756,24 +927,224 @@ impl MRGMeans {
             .min(self.runner.cluster().total_reduce_slots().max(1))
     }
 
+    /// Merges a successful job into the run totals, then fires the
+    /// injected driver crash if this job boundary is the configured
+    /// one. The crash strikes *before* the iteration-end checkpoint, so
+    /// a resumed driver replays the interrupted iteration from its
+    /// start — re-deriving identical job outcomes from the per-job
+    /// fault draws.
     fn absorb<O>(
         &self,
         counters: &Counters,
+        base_jobs: usize,
         sim: &mut f64,
         jobs: &mut usize,
         result: &JobResult<O>,
-    ) {
+    ) -> Result<()> {
         counters.merge(&result.counters);
         *sim += result.timing.simulated_secs;
         *jobs += 1;
+        let boundary = (base_jobs + *jobs) as u64;
+        if self.runner.cluster().faults.driver_crashes_at(boundary) {
+            return Err(Error::DriverCrash { boundary });
+        }
+        Ok(())
     }
 }
 
-/// Validates an input path before running (friendlier error than the
-/// first job failing).
-pub fn check_input(runner: &JobRunner, input: &str) -> Result<()> {
-    if !runner.dfs().exists(input) {
+/// Serializes the driver state for the journal.
+fn snapshot_of(state: &GState) -> GMeansSnapshot {
+    snapshot_parts(
+        state.dim,
+        state.next_id,
+        state.iteration,
+        state.jobs,
+        state.reads,
+        state.simulated,
+        &state.parents,
+        &state.reports,
+        &state.counters,
+    )
+}
+
+/// [`snapshot_of`], from the loop's destructured locals.
+#[allow(clippy::too_many_arguments)]
+fn snapshot_parts(
+    dim: usize,
+    next_id: i64,
+    iteration: usize,
+    jobs: usize,
+    reads: u64,
+    simulated: f64,
+    parents: &[Parent],
+    reports: &[IterationReport],
+    counters: &Counters,
+) -> GMeansSnapshot {
+    GMeansSnapshot {
+        dim: dim as u32,
+        next_id,
+        iteration: iteration as u64,
+        jobs: jobs as u64,
+        reads,
+        simulated,
+        parents: parents.iter().map(parent_to_snap).collect(),
+        reports: reports.iter().map(report_to_snap).collect(),
+        counters: counters_to_vec(counters),
+    }
+}
+
+/// Rebuilds driver state from a decoded snapshot.
+fn restore_state(snap: GMeansSnapshot) -> Result<GState> {
+    let counters = counters_from_vec(&snap.counters)?;
+    let reports = snap
+        .reports
+        .into_iter()
+        .map(report_from_snap)
+        .collect::<Result<Vec<_>>>()?;
+    Ok(GState {
+        dim: snap.dim as usize,
+        next_id: snap.next_id,
+        iteration: snap.iteration as usize,
+        jobs: snap.jobs as usize,
+        reads: snap.reads,
+        simulated: snap.simulated,
+        parents: snap.parents.into_iter().map(parent_from_snap).collect(),
+        reports,
+        counters,
+    })
+}
+
+fn parent_to_snap(p: &Parent) -> ParentSnap {
+    ParentSnap {
+        id: p.id,
+        center: p.center.clone(),
+        found: p.found,
+        count: p.count,
+        normal_streak: p.normal_streak,
+        children: p
+            .children
+            .iter()
+            .map(|ch| ChildSnap {
+                id: ch.id,
+                coords: ch.coords.clone(),
+            })
+            .collect(),
+    }
+}
+
+fn parent_from_snap(s: ParentSnap) -> Parent {
+    Parent {
+        id: s.id,
+        center: s.center,
+        found: s.found,
+        count: s.count,
+        normal_streak: s.normal_streak,
+        children: s
+            .children
+            .into_iter()
+            .map(|ch| Child {
+                id: ch.id,
+                coords: ch.coords,
+            })
+            .collect(),
+    }
+}
+
+fn report_to_snap(r: &IterationReport) -> ReportSnap {
+    ReportSnap {
+        iteration: r.iteration as u64,
+        clusters_before: r.clusters_before as u64,
+        clusters_tested: r.clusters_tested as u64,
+        splits: r.splits as u64,
+        found_after: r.found_after as u64,
+        clusters_after: r.clusters_after as u64,
+        strategy: r.strategy.map(strategy_tag),
+        simulated_secs: r.simulated_secs,
+        jobs: r.jobs as u64,
+        dim: r.centers_after.dim() as u32,
+        centers_flat: r
+            .centers_after
+            .rows()
+            .flat_map(|row| row.to_vec())
+            .collect(),
+        error: r.error.clone(),
+    }
+}
+
+fn report_from_snap(s: ReportSnap) -> Result<IterationReport> {
+    let dim = s.dim as usize;
+    if dim == 0 || s.centers_flat.len() % dim != 0 {
+        return Err(Error::Corrupt(
+            "iteration report snapshot shape mismatch".into(),
+        ));
+    }
+    let mut centers_after = Dataset::with_capacity(dim, s.centers_flat.len() / dim);
+    for chunk in s.centers_flat.chunks_exact(dim) {
+        centers_after.push(chunk);
+    }
+    Ok(IterationReport {
+        iteration: s.iteration as usize,
+        clusters_before: s.clusters_before as usize,
+        clusters_tested: s.clusters_tested as usize,
+        splits: s.splits as usize,
+        found_after: s.found_after as usize,
+        clusters_after: s.clusters_after as usize,
+        strategy: s.strategy.map(strategy_from_tag).transpose()?,
+        simulated_secs: s.simulated_secs,
+        jobs: s.jobs as usize,
+        centers_after,
+        error: s.error,
+    })
+}
+
+/// Summary of a pre-flight input scan: what [`check_input`] found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InputCheck {
+    /// Total text lines scanned.
+    pub lines: u64,
+    /// Lines that parsed as points of the modal dimensionality.
+    pub points: u64,
+    /// Lines quarantined: unparsable, non-finite, or of a minority
+    /// dimensionality.
+    pub bad_records: u64,
+    /// The modal point dimensionality.
+    pub dim: usize,
+}
+
+/// Validates an input path before running (friendlier than the first
+/// job failing), scanning it once — one charged dataset read — and
+/// summarizing instead of failing on the first malformed line: how many
+/// lines parse as points, how many would be quarantined as bad records,
+/// and the modal dimensionality the run would use.
+///
+/// Errors only when the file is missing or holds no usable points at
+/// all.
+pub fn check_input(runner: &JobRunner, input: &str) -> Result<InputCheck> {
+    let dfs = runner.dfs();
+    if !dfs.exists(input) {
         return Err(Error::FileNotFound(input.to_string()));
     }
-    Ok(())
+    let splits = dfs.splits(input)?;
+    dfs.begin_dataset_read();
+    let mut lines = 0u64;
+    let mut dim_counts: HashMap<usize, u64> = HashMap::new();
+    for split in &splits {
+        dfs.charge_split_read(split);
+        for (_, line) in split.lines() {
+            lines += 1;
+            if let Ok(point) = gmr_datagen::parse_point(line) {
+                *dim_counts.entry(point.len()).or_insert(0) += 1;
+            }
+        }
+    }
+    let (&dim, &points) = dim_counts
+        .iter()
+        .max_by_key(|&(&d, &n)| (n, std::cmp::Reverse(d)))
+        .ok_or_else(|| Error::Config(format!("no parsable points in {input}")))?;
+    Ok(InputCheck {
+        lines,
+        points,
+        bad_records: lines - points,
+        dim,
+    })
 }

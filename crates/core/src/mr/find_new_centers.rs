@@ -19,11 +19,10 @@
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use gmr_datagen::parse_point_dim;
 use gmr_mapreduce::prelude::*;
 
 use crate::mr::centers::{CenterSet, CenterUpdate, OFFSET};
-use crate::mr::kmeans_job::{fold_point_sums, PointSum};
+use crate::mr::kmeans_job::{empty_centers_error, fold_point_sums, parse_point_or_skip, PointSum};
 
 /// Output of the fused job.
 #[derive(Clone, Debug, PartialEq)]
@@ -90,14 +89,15 @@ impl FindNewCentersMapper {
         point: Vec<f64>,
         out: &mut MapOutput<'_, i64, PointSum>,
         ctx: &mut TaskContext,
-    ) {
+    ) -> Result<()> {
         let (_, id, _, evals) = self
             .centers
             .nearest_with_cost(&point)
-            .expect("nonempty centers");
+            .ok_or_else(|| empty_centers_error("KMeansAndFindNewCenters"))?;
         ctx.charge_distances(evals, self.centers.dim());
         out.emit(id, (point.clone(), 1));
         out.emit(id + OFFSET, (point, 1));
+        Ok(())
     }
 }
 
@@ -112,9 +112,10 @@ impl Mapper for FindNewCentersMapper {
         out: &mut MapOutput<'_, i64, PointSum>,
         ctx: &mut TaskContext,
     ) -> Result<()> {
-        let point = parse_point_dim(line, self.centers.dim())?;
-        self.process(point, out, ctx);
-        Ok(())
+        match parse_point_or_skip(line, self.centers.dim(), ctx) {
+            Some(point) => self.process(point, out, ctx),
+            None => Ok(()),
+        }
     }
 }
 
@@ -125,8 +126,7 @@ impl PointMapper for FindNewCentersMapper {
         out: &mut MapOutput<'_, i64, PointSum>,
         ctx: &mut TaskContext,
     ) -> Result<()> {
-        self.process(point.to_vec(), out, ctx);
-        Ok(())
+        self.process(point.to_vec(), out, ctx)
     }
 }
 

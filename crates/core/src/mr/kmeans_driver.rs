@@ -9,6 +9,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use gmr_linalg::Dataset;
+use gmr_mapreduce::checkpoint::{no_journal_error, RunJournal};
 use gmr_mapreduce::cost::JobTiming;
 use gmr_mapreduce::counters::Counters;
 use gmr_mapreduce::job::JobConfig;
@@ -16,6 +17,10 @@ use gmr_mapreduce::runtime::JobRunner;
 use gmr_mapreduce::{Error, Result};
 
 use crate::mr::centers::{apply_updates, CenterSet};
+use crate::mr::checkpoint::{
+    apply_commit_charge, commit_snapshot, counters_from_vec, counters_to_vec, decode_snapshot,
+    encode_snapshot, CenterSetSnap, KMeansSnapshot, TimingSnap, KMEANS_MAGIC,
+};
 use crate::mr::driver::recover_task_failure;
 use crate::mr::kmeans_job::KMeansJob;
 use crate::mr::sample::sample_points;
@@ -40,12 +45,24 @@ pub struct MRKMeansResult {
     pub failure: Option<Error>,
 }
 
+/// The driver's complete loop state at an iteration boundary.
+struct KState {
+    /// Completed Lloyd iterations.
+    iteration: usize,
+    centers: CenterSet,
+    counts: Vec<u64>,
+    timings: Vec<JobTiming>,
+    simulated: f64,
+    counters: Counters,
+}
+
 /// MapReduce k-means with random serial initialization.
 pub struct MRKMeans {
     runner: JobRunner,
     k: usize,
     iterations: usize,
     seed: u64,
+    checkpoint_dir: Option<String>,
 }
 
 impl MRKMeans {
@@ -61,7 +78,22 @@ impl MRKMeans {
             k,
             iterations,
             seed,
+            checkpoint_dir: None,
         }
+    }
+
+    /// Journals driver state into a DFS checkpoint directory after
+    /// initialization and after every iteration, enabling
+    /// [`MRKMeans::resume`].
+    pub fn with_checkpoints(mut self, dir: impl Into<String>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    fn journal(&self) -> Option<RunJournal> {
+        self.checkpoint_dir
+            .as_ref()
+            .map(|dir| RunJournal::new(Arc::clone(self.runner.dfs()), dir.clone()))
     }
 
     /// Runs on the DFS text file at `input`, initializing from a random
@@ -76,21 +108,65 @@ impl MRKMeans {
     }
 
     /// Runs from explicit initial centers.
-    pub fn run_from(&self, input: &str, mut centers: CenterSet) -> Result<MRKMeansResult> {
+    pub fn run_from(&self, input: &str, centers: CenterSet) -> Result<MRKMeansResult> {
         let wall = Instant::now();
-        let counters = Counters::new();
-        let mut timings = Vec::with_capacity(self.iterations);
-        let mut simulated = 0.0;
+        let counts = vec![0u64; centers.len()];
+        let mut state = KState {
+            iteration: 0,
+            centers,
+            counts,
+            timings: Vec::with_capacity(self.iterations),
+            simulated: 0.0,
+            counters: Counters::new(),
+        };
+        if let Some(journal) = self.journal() {
+            journal.reset();
+            let payload = encode_snapshot(KMEANS_MAGIC, &snapshot_of(&state));
+            state.simulated += commit_snapshot(
+                &journal,
+                0,
+                &payload,
+                &state.counters,
+                &self.runner.cluster().cost_model,
+            )?;
+        }
+        self.drive(input, state, wall)
+    }
+
+    /// Resumes an interrupted checkpointed run from its newest intact
+    /// snapshot (the initial centers travel in the seq-0 snapshot, so
+    /// explicit-init runs resume too), continuing to a result
+    /// bit-identical to an uninterrupted run. Falls back to a fresh
+    /// [`MRKMeans::run`] when the journal holds no valid checkpoint.
+    /// Requires [`MRKMeans::with_checkpoints`].
+    pub fn resume(&self, input: &str) -> Result<MRKMeansResult> {
+        let wall = Instant::now();
+        let journal = self.journal().ok_or_else(|| no_journal_error("MRKMeans"))?;
+        let ckpt = match journal.latest()? {
+            Some(c) => c,
+            None => return self.run(input),
+        };
+        let snap: KMeansSnapshot = decode_snapshot(KMEANS_MAGIC, &ckpt.payload)?;
+        let mut state = restore_state(snap)?;
+        state.simulated += apply_commit_charge(
+            &state.counters,
+            &self.runner.cluster().cost_model,
+            ckpt.stored_bytes,
+        );
+        self.drive(input, state, wall)
+    }
+
+    fn drive(&self, input: &str, mut state: KState, wall: Instant) -> Result<MRKMeansResult> {
+        let journal = self.journal();
         let reducers = self
             .runner
             .cluster()
             .total_reduce_slots()
-            .min(centers.len())
+            .min(state.centers.len())
             .max(1);
-        let mut counts = vec![0u64; centers.len()];
         let mut failure: Option<Error> = None;
-        for _ in 0..self.iterations {
-            let job = KMeansJob::new(Arc::new(centers.clone()));
+        while state.iteration < self.iterations {
+            let job = KMeansJob::new(Arc::new(state.centers.clone()));
             let run = self
                 .runner
                 .run(&job, input, &JobConfig::with_reducers(reducers));
@@ -98,23 +174,67 @@ impl MRKMeans {
                 Some(r) => r,
                 None => break,
             };
-            counters.merge(&result.counters);
-            simulated += result.timing.simulated_secs;
-            let (next, c) = apply_updates(&centers, &result.output);
-            centers = next;
-            counts = c;
-            timings.push(result.timing);
+            state.counters.merge(&result.counters);
+            state.simulated += result.timing.simulated_secs;
+            let (next, c) = apply_updates(&state.centers, &result.output);
+            state.centers = next;
+            state.counts = c;
+            state.timings.push(result.timing);
+            state.iteration += 1;
+
+            // Injected driver crash at this job boundary (before the
+            // iteration's checkpoint — resume replays the iteration).
+            let boundary = state.iteration as u64;
+            if self.runner.cluster().faults.driver_crashes_at(boundary) {
+                return Err(Error::DriverCrash { boundary });
+            }
+
+            if let Some(journal) = &journal {
+                let payload = encode_snapshot(KMEANS_MAGIC, &snapshot_of(&state));
+                state.simulated += commit_snapshot(
+                    journal,
+                    state.iteration as u64,
+                    &payload,
+                    &state.counters,
+                    &self.runner.cluster().cost_model,
+                )?;
+            }
         }
         Ok(MRKMeansResult {
-            centers: centers.to_dataset(),
-            counts,
-            iteration_timings: timings,
-            counters,
-            simulated_secs: simulated,
+            centers: state.centers.to_dataset(),
+            counts: state.counts,
+            iteration_timings: state.timings,
+            counters: state.counters,
+            simulated_secs: state.simulated,
             wall_secs: wall.elapsed().as_secs_f64(),
             failure,
         })
     }
+}
+
+/// Serializes the driver state for the journal.
+fn snapshot_of(state: &KState) -> KMeansSnapshot {
+    KMeansSnapshot {
+        iteration: state.iteration as u64,
+        centers: CenterSetSnap::from_set(&state.centers),
+        counts: state.counts.clone(),
+        timings: state.timings.iter().map(TimingSnap::from_timing).collect(),
+        simulated: state.simulated,
+        counters: counters_to_vec(&state.counters),
+    }
+}
+
+/// Rebuilds driver state from a decoded snapshot.
+fn restore_state(snap: KMeansSnapshot) -> Result<KState> {
+    let counters = counters_from_vec(&snap.counters)?;
+    Ok(KState {
+        iteration: snap.iteration as usize,
+        centers: snap.centers.to_set()?,
+        counts: snap.counts,
+        timings: snap.timings.iter().map(TimingSnap::to_timing).collect(),
+        simulated: snap.simulated,
+        counters,
+    })
 }
 
 #[cfg(test)]

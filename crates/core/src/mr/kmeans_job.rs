@@ -19,6 +19,31 @@ use crate::mr::centers::{CenterSet, CenterUpdate};
 /// Intermediate value: partial coordinate sums plus a point count.
 pub type PointSum = (Vec<f64>, u64);
 
+/// Hadoop-style bad-record skipping, shared by every point-scanning
+/// mapper: a line that does not parse as a finite point of the expected
+/// dimensionality is quarantined under the `BAD_RECORDS_SKIPPED`
+/// counters instead of failing the task.
+pub(crate) fn parse_point_or_skip(
+    line: &str,
+    dim: usize,
+    ctx: &mut TaskContext,
+) -> Option<Vec<f64>> {
+    match parse_point_dim(line, dim) {
+        Ok(point) => Some(point),
+        Err(_) => {
+            ctx.skip_bad_record(line);
+            None
+        }
+    }
+}
+
+/// The typed failure for a job launched over an empty center set — a
+/// degenerate iteration the drivers degrade into a reported error
+/// instead of a panic.
+pub(crate) fn empty_centers_error(job: &str) -> Error {
+    Error::Degenerate(format!("{job} launched with an empty center set"))
+}
+
 /// Element-wise fold of partial sums (shared by this job's combiner and
 /// reducer and by `KMeansAndFindNewCenters`).
 pub fn fold_point_sums(values: impl IntoIterator<Item = PointSum>) -> Option<PointSum> {
@@ -45,9 +70,11 @@ pub struct KMeansJob {
 }
 
 impl KMeansJob {
-    /// Creates the job for the given current centers.
+    /// Creates the job for the given current centers. An empty center
+    /// set is accepted here — the job then fails at runtime with the
+    /// typed [`Error::Degenerate`], which the drivers degrade into a
+    /// reported iteration error instead of a panic.
     pub fn new(centers: Arc<CenterSet>) -> Self {
-        assert!(!centers.is_empty(), "k-means needs at least one center");
         Self {
             centers,
             combiner: true,
@@ -74,13 +101,14 @@ impl KMeansMapper {
         point: Vec<f64>,
         out: &mut MapOutput<'_, i64, PointSum>,
         ctx: &mut TaskContext,
-    ) {
+    ) -> Result<()> {
         let (_, id, _, evals) = self
             .centers
             .nearest_with_cost(&point)
-            .expect("nonempty centers");
+            .ok_or_else(|| empty_centers_error("KMeans"))?;
         ctx.charge_distances(evals, self.centers.dim());
         out.emit(id, (point, 1));
+        Ok(())
     }
 }
 
@@ -95,9 +123,10 @@ impl Mapper for KMeansMapper {
         out: &mut MapOutput<'_, i64, PointSum>,
         ctx: &mut TaskContext,
     ) -> Result<()> {
-        let point = parse_point_dim(line, self.centers.dim())?;
-        self.process(point, out, ctx);
-        Ok(())
+        match parse_point_or_skip(line, self.centers.dim(), ctx) {
+            Some(point) => self.process(point, out, ctx),
+            None => Ok(()),
+        }
     }
 }
 
@@ -108,8 +137,7 @@ impl PointMapper for KMeansMapper {
         out: &mut MapOutput<'_, i64, PointSum>,
         ctx: &mut TaskContext,
     ) -> Result<()> {
-        self.process(point.to_vec(), out, ctx);
-        Ok(())
+        self.process(point.to_vec(), out, ctx)
     }
 }
 
@@ -264,22 +292,38 @@ mod tests {
     }
 
     #[test]
-    fn malformed_point_fails_job() {
+    fn malformed_points_are_skipped_not_fatal() {
+        // Unparsable text, a NaN coordinate, and a dimension mismatch
+        // are all quarantined; the clean points still cluster.
         let dfs = Arc::new(Dfs::new(64));
-        dfs.put_lines("pts", ["1.0", "oops"]).unwrap();
+        dfs.put_lines("pts", ["1.0", "oops", "nan", "2.0 3.0", "3.0"])
+            .unwrap();
         let mut centers = CenterSet::new(1);
         centers.push(0, &[0.0]);
         let job = KMeansJob::new(Arc::new(centers));
         let runner = JobRunner::new(dfs, ClusterConfig::default()).unwrap();
-        let err = runner
+        let result = runner
             .run(&job, "pts", &JobConfig::with_reducers(1))
-            .unwrap_err();
-        assert!(matches!(err, gmr_mapreduce::Error::Corrupt(_)));
+            .unwrap();
+        assert_eq!(result.counters.get(Counter::BadRecordsSkipped), 3);
+        assert!(result.counters.get(Counter::BadRecordBytes) > 0);
+        assert_eq!(result.output.len(), 1);
+        assert_eq!(result.output[0].count, 2);
+        assert!((result.output[0].coords[0] - 2.0).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "at least one center")]
-    fn empty_center_set_panics() {
-        KMeansJob::new(Arc::new(CenterSet::new(2)));
+    fn empty_center_set_is_a_typed_degenerate_error() {
+        let dfs = Arc::new(Dfs::new(64));
+        dfs.put_lines("pts", ["1.0 2.0"]).unwrap();
+        let job = KMeansJob::new(Arc::new(CenterSet::new(2)));
+        let runner = JobRunner::new(dfs, ClusterConfig::default()).unwrap();
+        let err = runner
+            .run(&job, "pts", &JobConfig::with_reducers(1))
+            .unwrap_err();
+        assert!(
+            matches!(err, gmr_mapreduce::Error::Degenerate(_)),
+            "expected Degenerate, got {err:?}"
+        );
     }
 }

@@ -17,9 +17,12 @@
 //! * [`model_scoring`] — the "additional job to find the correct value
 //!   of k" the multi-k pipeline needs (§4): one MR pass scoring every
 //!   candidate model's WCSS, feeding the elbow / jump criteria.
+//! * `checkpoint` (crate-private) — the drivers' journal snapshots:
+//!   `Writable` mirrors of their loop state, for crash recovery.
 
 pub mod bic_test;
 pub mod centers;
+pub(crate) mod checkpoint;
 pub mod driver;
 pub mod find_new_centers;
 pub mod kmeans_driver;
@@ -33,7 +36,10 @@ pub mod strategy;
 
 pub use bic_test::{BicTestJob, BicTestSpec};
 pub use centers::{apply_updates, CenterSet, CenterUpdate, OFFSET};
-pub use driver::{ExecutionMode, IterationReport, MRGMeans, MRGMeansResult, SplitCriterion};
+pub use driver::{
+    check_input, ExecutionMode, InputCheck, IterationReport, MRGMeans, MRGMeansResult,
+    SplitCriterion,
+};
 pub use find_new_centers::{FindNewCentersJob, FindNewOutput};
 pub use kmeans_driver::{MRKMeans, MRKMeansResult};
 pub use kmeans_job::KMeansJob;

@@ -11,10 +11,10 @@
 
 use std::sync::Arc;
 
-use gmr_datagen::parse_point_dim;
 use gmr_mapreduce::prelude::*;
 
 use crate::mr::centers::CenterSet;
+use crate::mr::kmeans_job::{empty_centers_error, parse_point_or_skip};
 
 /// Reserved key for the global-dispersion aggregate (`Σ‖x‖²`, `Σx`,
 /// `n` — enough to derive the total sum of squares around the mean).
@@ -68,9 +68,11 @@ pub struct ModelScoringMapper {
 }
 
 impl ModelScoringMapper {
-    fn process(&mut self, point: &[f64], ctx: &mut TaskContext) {
+    fn process(&mut self, point: &[f64], ctx: &mut TaskContext) -> Result<()> {
         for (mi, set) in self.sets.iter().enumerate() {
-            let (_, _, d2, evals) = set.nearest_with_cost(point).expect("nonempty model");
+            let (_, _, d2, evals) = set
+                .nearest_with_cost(point)
+                .ok_or_else(|| empty_centers_error("ModelScoring"))?;
             ctx.charge_distances(evals, set.dim());
             self.partial_wcss[mi] += d2;
         }
@@ -79,6 +81,7 @@ impl ModelScoringMapper {
             *s += c;
         }
         self.seen += 1;
+        Ok(())
     }
 }
 
@@ -93,9 +96,10 @@ impl Mapper for ModelScoringMapper {
         _out: &mut MapOutput<'_, u32, Partial>,
         ctx: &mut TaskContext,
     ) -> Result<()> {
-        let point = parse_point_dim(line, self.sets[0].dim())?;
-        self.process(&point, ctx);
-        Ok(())
+        match parse_point_or_skip(line, self.sets[0].dim(), ctx) {
+            Some(point) => self.process(&point, ctx),
+            None => Ok(()),
+        }
     }
 
     fn close(
@@ -120,8 +124,7 @@ impl PointMapper for ModelScoringMapper {
         _out: &mut MapOutput<'_, u32, Partial>,
         ctx: &mut TaskContext,
     ) -> Result<()> {
-        self.process(point, ctx);
-        Ok(())
+        self.process(point, ctx)
     }
 }
 

@@ -12,15 +12,19 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use gmr_datagen::parse_point_dim;
 use gmr_linalg::Dataset;
+use gmr_mapreduce::checkpoint::{no_journal_error, RunJournal};
 use gmr_mapreduce::cost::JobTiming;
 use gmr_mapreduce::counters::Counters;
 use gmr_mapreduce::prelude::*;
 
 use crate::mr::centers::{apply_updates, CenterSet, CenterUpdate};
+use crate::mr::checkpoint::{
+    apply_commit_charge, commit_snapshot, counters_from_vec, counters_to_vec, decode_snapshot,
+    encode_snapshot, CenterSetSnap, MultiKMeansSnapshot, TimingSnap, MULTIK_MAGIC,
+};
 use crate::mr::driver::ExecutionMode;
-use crate::mr::kmeans_job::{fold_point_sums, PointSum};
+use crate::mr::kmeans_job::{empty_centers_error, fold_point_sums, parse_point_or_skip, PointSum};
 use crate::mr::sample::sample_points;
 use gmr_mapreduce::cache::PointCache;
 
@@ -62,8 +66,10 @@ impl Mapper for MultiKMeansMapper {
         out: &mut MapOutput<'_, MultiKey, PointSum>,
         ctx: &mut TaskContext,
     ) -> Result<()> {
-        let point = parse_point_dim(line, self.sets[0].dim())?;
-        self.map_point(&point, out, ctx)
+        match parse_point_or_skip(line, self.sets[0].dim(), ctx) {
+            Some(point) => self.map_point(&point, out, ctx),
+            None => Ok(()),
+        }
     }
 }
 
@@ -76,7 +82,9 @@ impl PointMapper for MultiKMeansMapper {
     ) -> Result<()> {
         let dim = self.sets[0].dim();
         for (ki, set) in self.sets.iter().enumerate() {
-            let (_, id, _, evals) = set.nearest_with_cost(point).expect("nonempty set");
+            let (_, id, _, evals) = set
+                .nearest_with_cost(point)
+                .ok_or_else(|| empty_centers_error("MultiKMeans"))?;
             ctx.charge_distances(evals, dim);
             out.emit((ki as u32, id as u32), (point.to_vec(), 1));
         }
@@ -186,6 +194,17 @@ impl MultiKMeansResult {
     }
 }
 
+/// The sweep's complete loop state at an iteration boundary.
+struct MState {
+    /// Completed Lloyd iterations.
+    iteration: usize,
+    sets: Vec<CenterSet>,
+    counts: Vec<Vec<u64>>,
+    timings: Vec<JobTiming>,
+    simulated: f64,
+    counters: Counters,
+}
+
 /// Driver: initializes a center set per k and iterates the fused job.
 pub struct MultiKMeans {
     runner: JobRunner,
@@ -194,6 +213,7 @@ pub struct MultiKMeans {
     seed: u64,
     mode: ExecutionMode,
     kd_index: bool,
+    checkpoint_dir: Option<String>,
 }
 
 impl MultiKMeans {
@@ -220,6 +240,7 @@ impl MultiKMeans {
             seed,
             mode: ExecutionMode::OnDisk,
             kd_index: false,
+            checkpoint_dir: None,
         }
     }
 
@@ -241,6 +262,31 @@ impl MultiKMeans {
         &self.ks
     }
 
+    /// Journals sweep state into a DFS checkpoint directory after every
+    /// iteration, enabling [`MultiKMeans::resume`].
+    pub fn with_checkpoints(mut self, dir: impl Into<String>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    fn journal(&self) -> Option<RunJournal> {
+        self.checkpoint_dir
+            .as_ref()
+            .map(|dir| RunJournal::new(Arc::clone(self.runner.dfs()), dir.clone()))
+    }
+
+    fn build_cache(&self, input: &str, dim: usize) -> Result<Option<PointCache>> {
+        match self.mode {
+            ExecutionMode::OnDisk => Ok(None),
+            ExecutionMode::Cached => Ok(Some(PointCache::build(
+                self.runner.dfs(),
+                input,
+                dim,
+                gmr_datagen::parse_point,
+            )?)),
+        }
+    }
+
     /// Runs the sweep over the DFS text file at `input`.
     pub fn run(&self, input: &str) -> Result<MultiKMeansResult> {
         let wall = Instant::now();
@@ -249,15 +295,7 @@ impl MultiKMeans {
         // k are the first k sampled points).
         let sample = sample_points(self.runner.dfs(), input, k_max, self.seed)?;
         let dim = sample.dim();
-        let cache = match self.mode {
-            ExecutionMode::OnDisk => None,
-            ExecutionMode::Cached => Some(PointCache::build(
-                self.runner.dfs(),
-                input,
-                dim,
-                gmr_datagen::parse_point,
-            )?),
-        };
+        let cache = self.build_cache(input, dim)?;
         let mut sets: Vec<CenterSet> = Vec::with_capacity(self.ks.len());
         for &k in &self.ks {
             let mut set = CenterSet::new(dim);
@@ -266,22 +304,82 @@ impl MultiKMeans {
             }
             sets.push(set);
         }
+        let counts: Vec<Vec<u64>> = sets.iter().map(|s| vec![0; s.len()]).collect();
+        let mut state = MState {
+            iteration: 0,
+            sets,
+            counts,
+            timings: Vec::with_capacity(self.iterations),
+            simulated: 0.0,
+            counters: Counters::new(),
+        };
+        if let Some(journal) = self.journal() {
+            journal.reset();
+            let payload = encode_snapshot(MULTIK_MAGIC, &snapshot_of(&state));
+            state.simulated += commit_snapshot(
+                &journal,
+                0,
+                &payload,
+                &state.counters,
+                &self.runner.cluster().cost_model,
+            )?;
+        }
+        self.drive(input, state, cache, wall)
+    }
 
-        let counters = Counters::new();
-        let mut timings = Vec::with_capacity(self.iterations);
-        let mut simulated = 0.0;
+    /// Resumes an interrupted checkpointed sweep from its newest intact
+    /// snapshot, continuing to a result bit-identical to an
+    /// uninterrupted [`MultiKMeans::run`]. Falls back to a fresh run
+    /// when the journal holds no valid checkpoint. Requires
+    /// [`MultiKMeans::with_checkpoints`].
+    pub fn resume(&self, input: &str) -> Result<MultiKMeansResult> {
+        let wall = Instant::now();
+        let journal = self
+            .journal()
+            .ok_or_else(|| no_journal_error("MultiKMeans"))?;
+        let ckpt = match journal.latest()? {
+            Some(c) => c,
+            None => return self.run(input),
+        };
+        let snap: MultiKMeansSnapshot = decode_snapshot(MULTIK_MAGIC, &ckpt.payload)?;
+        let mut state = restore_state(snap)?;
+        state.simulated += apply_commit_charge(
+            &state.counters,
+            &self.runner.cluster().cost_model,
+            ckpt.stored_bytes,
+        );
+        let dim = state
+            .sets
+            .first()
+            .map(|s| s.dim())
+            .ok_or_else(|| Error::Corrupt("multi-k snapshot has no center sets".into()))?;
+        let cache = self.build_cache(input, dim)?;
+        self.drive(input, state, cache, wall)
+    }
+
+    fn drive(
+        &self,
+        input: &str,
+        mut state: MState,
+        cache: Option<PointCache>,
+        wall: Instant,
+    ) -> Result<MultiKMeansResult> {
+        let journal = self.journal();
         let reducers = self
             .runner
             .cluster()
             .total_reduce_slots()
             .min(self.ks.iter().sum::<usize>())
             .max(1);
-        let mut counts: Vec<Vec<u64>> = sets.iter().map(|s| vec![0; s.len()]).collect();
-        for _ in 0..self.iterations {
+        while state.iteration < self.iterations {
             let job_sets: Vec<CenterSet> = if self.kd_index {
-                sets.iter().map(|s| s.clone().with_kd_index()).collect()
+                state
+                    .sets
+                    .iter()
+                    .map(|s| s.clone().with_kd_index())
+                    .collect()
             } else {
-                sets.clone()
+                state.sets.clone()
             };
             let job = MultiKMeansJob::new(Arc::new(job_sets));
             let config = JobConfig::with_reducers(reducers);
@@ -289,26 +387,46 @@ impl MultiKMeans {
                 Some(cache) => self.runner.run_cached(&job, cache, &config)?,
                 None => self.runner.run(&job, input, &config)?,
             };
-            counters.merge(&result.counters);
-            simulated += result.timing.simulated_secs;
+            state.counters.merge(&result.counters);
+            state.simulated += result.timing.simulated_secs;
 
             let mut per_k: HashMap<u32, Vec<CenterUpdate>> = HashMap::new();
             for (ki, update) in result.output {
                 per_k.entry(ki).or_default().push(update);
             }
-            for (ki, set) in sets.iter_mut().enumerate() {
+            for (ki, set) in state.sets.iter_mut().enumerate() {
                 let updates = per_k.remove(&(ki as u32)).unwrap_or_default();
                 let (next, c) = apply_updates(set, &updates);
                 *set = next;
-                counts[ki] = c;
+                state.counts[ki] = c;
             }
-            timings.push(result.timing);
+            state.timings.push(result.timing);
+            state.iteration += 1;
+
+            // Injected driver crash at this job boundary (before the
+            // iteration's checkpoint — resume replays the iteration).
+            let boundary = state.iteration as u64;
+            if self.runner.cluster().faults.driver_crashes_at(boundary) {
+                return Err(Error::DriverCrash { boundary });
+            }
+
+            if let Some(journal) = &journal {
+                let payload = encode_snapshot(MULTIK_MAGIC, &snapshot_of(&state));
+                state.simulated += commit_snapshot(
+                    journal,
+                    state.iteration as u64,
+                    &payload,
+                    &state.counters,
+                    &self.runner.cluster().cost_model,
+                )?;
+            }
         }
 
-        let models = sets
+        let models = state
+            .sets
             .iter()
             .zip(&self.ks)
-            .zip(&counts)
+            .zip(&state.counts)
             .map(|((set, &k), c)| MRKModel {
                 k,
                 centers: set.to_dataset(),
@@ -317,12 +435,42 @@ impl MultiKMeans {
             .collect();
         Ok(MultiKMeansResult {
             models,
-            iteration_timings: timings,
-            counters,
-            simulated_secs: simulated,
+            iteration_timings: state.timings,
+            counters: state.counters,
+            simulated_secs: state.simulated,
             wall_secs: wall.elapsed().as_secs_f64(),
         })
     }
+}
+
+/// Serializes the sweep state for the journal.
+fn snapshot_of(state: &MState) -> MultiKMeansSnapshot {
+    MultiKMeansSnapshot {
+        iteration: state.iteration as u64,
+        sets: state.sets.iter().map(CenterSetSnap::from_set).collect(),
+        counts: state.counts.clone(),
+        timings: state.timings.iter().map(TimingSnap::from_timing).collect(),
+        simulated: state.simulated,
+        counters: counters_to_vec(&state.counters),
+    }
+}
+
+/// Rebuilds sweep state from a decoded snapshot.
+fn restore_state(snap: MultiKMeansSnapshot) -> Result<MState> {
+    let counters = counters_from_vec(&snap.counters)?;
+    let sets = snap
+        .sets
+        .iter()
+        .map(CenterSetSnap::to_set)
+        .collect::<Result<Vec<_>>>()?;
+    Ok(MState {
+        iteration: snap.iteration as usize,
+        sets,
+        counts: snap.counts,
+        timings: snap.timings.iter().map(TimingSnap::to_timing).collect(),
+        simulated: snap.simulated,
+        counters,
+    })
 }
 
 #[cfg(test)]

@@ -24,14 +24,17 @@
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use gmr_datagen::parse_point_dim;
 use gmr_linalg::{squared_euclidean, Dataset};
+use gmr_mapreduce::checkpoint::{no_journal_error, RunJournal};
 use gmr_mapreduce::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::mr::centers::CenterSet;
-use crate::mr::kmeans_job::{fold_point_sums, PointSum};
+use crate::mr::checkpoint::{
+    decode_snapshot, encode_snapshot, CenterSetSnap, ParallelInitSnapshot, PARINIT_MAGIC,
+};
+use crate::mr::kmeans_job::{empty_centers_error, fold_point_sums, parse_point_or_skip, PointSum};
 use crate::mr::sample::sample_points;
 
 /// Key 0 carries the cost aggregate; key 1 carries sampled candidates.
@@ -85,11 +88,11 @@ impl ParallelInitMapper {
         point: Vec<f64>,
         out: &mut MapOutput<'_, i64, PointSum>,
         ctx: &mut TaskContext,
-    ) {
+    ) -> Result<()> {
         let (_, _, d2, evals) = self
             .candidates
             .nearest_with_cost(&point)
-            .expect("nonempty candidates");
+            .ok_or_else(|| empty_centers_error("KMeansParallelInitRound"))?;
         ctx.charge_distances(evals, self.candidates.dim());
         self.cost_acc += d2;
         self.seen += 1;
@@ -99,6 +102,7 @@ impl ParallelInitMapper {
                 out.emit(SAMPLE_KEY, (point, 1));
             }
         }
+        Ok(())
     }
 }
 
@@ -113,9 +117,10 @@ impl Mapper for ParallelInitMapper {
         out: &mut MapOutput<'_, i64, PointSum>,
         ctx: &mut TaskContext,
     ) -> Result<()> {
-        let point = parse_point_dim(line, self.candidates.dim())?;
-        self.process(point, out, ctx);
-        Ok(())
+        match parse_point_or_skip(line, self.candidates.dim(), ctx) {
+            Some(point) => self.process(point, out, ctx),
+            None => Ok(()),
+        }
     }
 
     fn close(
@@ -136,8 +141,7 @@ impl PointMapper for ParallelInitMapper {
         out: &mut MapOutput<'_, i64, PointSum>,
         ctx: &mut TaskContext,
     ) -> Result<()> {
-        self.process(point.to_vec(), out, ctx);
-        Ok(())
+        self.process(point.to_vec(), out, ctx)
     }
 }
 
@@ -228,6 +232,18 @@ pub struct KMeansParallelInit {
     rounds: usize,
     oversample: f64,
     seed: u64,
+    checkpoint_dir: Option<String>,
+}
+
+/// Driver state at a round boundary.
+struct PState {
+    /// Next sampling round to run (rounds `0..next_round` are done).
+    next_round: usize,
+    candidates: CenterSet,
+    next_id: i64,
+    psi: Option<f64>,
+    /// The sampling loop broke early (cost hit zero).
+    done_sampling: bool,
 }
 
 impl KMeansParallelInit {
@@ -244,7 +260,25 @@ impl KMeansParallelInit {
             rounds: 5,
             oversample: 2.0 * k as f64,
             seed,
+            checkpoint_dir: None,
         }
+    }
+
+    /// Journals driver state into a DFS checkpoint directory after the
+    /// seed sample and after every sampling round, enabling
+    /// [`KMeansParallelInit::resume`]. The init driver surfaces no
+    /// counters or simulated clock, so checkpoint I/O is not charged
+    /// here; the weight job and driver-side k-means++ are recomputed
+    /// deterministically on resume.
+    pub fn with_checkpoints(mut self, dir: impl Into<String>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    fn journal(&self) -> Option<RunJournal> {
+        self.checkpoint_dir
+            .as_ref()
+            .map(|dir| RunJournal::new(Arc::clone(self.runner.dfs()), dir.clone()))
     }
 
     /// Overrides the number of sampling rounds.
@@ -269,11 +303,52 @@ impl KMeansParallelInit {
         let dim = seed_points.dim();
         let mut candidates = CenterSet::new(dim);
         candidates.push(0, seed_points.row(0));
-        let mut next_id: i64 = 1;
+        let state = PState {
+            next_round: 0,
+            candidates,
+            next_id: 1,
+            psi: None,
+            done_sampling: false,
+        };
+        if let Some(journal) = self.journal() {
+            journal.reset();
+            journal.commit(0, &encode_snapshot(PARINIT_MAGIC, &snapshot_of(&state)))?;
+        }
+        self.drive(input, state)
+    }
 
+    /// Resumes an interrupted checkpointed initialization from its
+    /// newest intact snapshot, returning a center set bit-identical to
+    /// an uninterrupted [`KMeansParallelInit::run`]. Falls back to a
+    /// fresh run when the journal holds no valid checkpoint. Requires
+    /// [`KMeansParallelInit::with_checkpoints`].
+    pub fn resume(&self, input: &str) -> Result<CenterSet> {
+        let journal = self
+            .journal()
+            .ok_or_else(|| no_journal_error("KMeansParallelInit"))?;
+        let ckpt = match journal.latest()? {
+            Some(c) => c,
+            None => return self.run(input),
+        };
+        let snap: ParallelInitSnapshot = decode_snapshot(PARINIT_MAGIC, &ckpt.payload)?;
+        self.drive(input, restore_state(snap)?)
+    }
+
+    fn drive(&self, input: &str, state: PState) -> Result<CenterSet> {
+        let PState {
+            next_round,
+            mut candidates,
+            mut next_id,
+            mut psi,
+            mut done_sampling,
+        } = state;
+        let journal = self.journal();
         let reducers = self.runner.cluster().total_reduce_slots().max(1);
-        let mut psi: Option<f64> = None;
-        for round in 0..=self.rounds {
+        let mut rounds_done = next_round;
+        for round in next_round..=self.rounds {
+            if done_sampling {
+                break;
+            }
             // Round 0 measures ψ only; rounds 1..=rounds also sample.
             let factor = psi.map(|p| if p > 0.0 { self.oversample / p } else { 0.0 });
             if round > 0 && factor.is_none() {
@@ -298,8 +373,27 @@ impl KMeansParallelInit {
                 }
             }
             psi = Some(new_psi);
+            rounds_done = round + 1;
             if new_psi == 0.0 {
-                break; // every point is already a candidate
+                done_sampling = true; // every point is already a candidate
+            }
+
+            // Injected driver crash at this job boundary (before the
+            // round's checkpoint — resume replays the round).
+            let boundary = rounds_done as u64;
+            if self.runner.cluster().faults.driver_crashes_at(boundary) {
+                return Err(Error::DriverCrash { boundary });
+            }
+
+            if let Some(journal) = &journal {
+                let snap = ParallelInitSnapshot {
+                    next_round: rounds_done as u64,
+                    candidates: CenterSetSnap::from_set(&candidates),
+                    next_id,
+                    psi,
+                    done_sampling,
+                };
+                journal.commit(rounds_done as u64, &encode_snapshot(PARINIT_MAGIC, &snap))?;
             }
         }
 
@@ -308,6 +402,10 @@ impl KMeansParallelInit {
         let result = self
             .runner
             .run(&weight_job, input, &JobConfig::with_reducers(reducers))?;
+        let boundary = (rounds_done + 1) as u64;
+        if self.runner.cluster().faults.driver_crashes_at(boundary) {
+            return Err(Error::DriverCrash { boundary });
+        }
         let mut weights = vec![1u64; candidates.len()];
         for update in &result.output {
             if let Some(idx) = candidates.index_of(update.id) {
@@ -319,6 +417,28 @@ impl KMeansParallelInit {
         // weighted k-means++, as in Bahmani §3.3).
         Ok(weighted_kmeanspp(&candidates, &weights, self.k, self.seed))
     }
+}
+
+/// Serializes the driver state for the journal.
+fn snapshot_of(state: &PState) -> ParallelInitSnapshot {
+    ParallelInitSnapshot {
+        next_round: state.next_round as u64,
+        candidates: CenterSetSnap::from_set(&state.candidates),
+        next_id: state.next_id,
+        psi: state.psi,
+        done_sampling: state.done_sampling,
+    }
+}
+
+/// Rebuilds driver state from a decoded snapshot.
+fn restore_state(snap: ParallelInitSnapshot) -> Result<PState> {
+    Ok(PState {
+        next_round: snap.next_round as usize,
+        candidates: snap.candidates.to_set()?,
+        next_id: snap.next_id,
+        psi: snap.psi,
+        done_sampling: snap.done_sampling,
+    })
 }
 
 /// Weighted k-means++ over a small candidate set.

@@ -11,10 +11,18 @@ use gmr_mapreduce::dfs::Dfs;
 use gmr_mapreduce::{Error, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Reservoir-samples `count` points from a DFS text file (one dataset
 /// read). Returns fewer points when the file is smaller than `count`.
+///
+/// Malformed rows — unparsable lines and non-finite coordinates — are
+/// skipped, not fatal, mirroring the mappers' bad-record quarantine;
+/// skipped rows touch neither the reservoir count nor the RNG stream,
+/// so a clean dataset samples identically with or without garbage rows
+/// interleaved. When the file mixes dimensions, the sample is filtered
+/// to the modal (most frequent) dimension.
 pub fn sample_points(dfs: &Arc<Dfs>, path: &str, count: usize, seed: u64) -> Result<Dataset> {
     assert!(count > 0, "sample count must be positive");
     let splits = dfs.splits(path)?;
@@ -22,10 +30,17 @@ pub fn sample_points(dfs: &Arc<Dfs>, path: &str, count: usize, seed: u64) -> Res
     let mut rng = StdRng::seed_from_u64(seed);
     let mut reservoir: Vec<Vec<f64>> = Vec::with_capacity(count);
     let mut seen = 0usize;
+    let mut dim_counts: HashMap<usize, u64> = HashMap::new();
     for split in &splits {
         dfs.charge_split_read(split);
         for (_, line) in split.lines() {
-            let point = parse_point(line)?;
+            let Ok(point) = parse_point(line) else {
+                continue;
+            };
+            if point.is_empty() || point.iter().any(|c| !c.is_finite()) {
+                continue;
+            }
+            *dim_counts.entry(point.len()).or_insert(0) += 1;
             seen += 1;
             if reservoir.len() < count {
                 reservoir.push(point);
@@ -37,18 +52,20 @@ pub fn sample_points(dfs: &Arc<Dfs>, path: &str, count: usize, seed: u64) -> Res
             }
         }
     }
+    let Some((&dim, _)) = dim_counts
+        .iter()
+        .max_by_key(|&(&d, &n)| (n, std::cmp::Reverse(d)))
+    else {
+        return Err(Error::Config(format!("no parsable points in {path}")));
+    };
+    reservoir.retain(|p| p.len() == dim);
     if reservoir.is_empty() {
-        return Err(Error::Config(format!("no points in {path}")));
+        return Err(Error::Corrupt(format!(
+            "sample of {path} holds no points of the modal dimension {dim}"
+        )));
     }
-    let dim = reservoir[0].len();
     let mut ds = Dataset::with_capacity(dim, reservoir.len());
     for p in &reservoir {
-        if p.len() != dim {
-            return Err(Error::Corrupt(format!(
-                "mixed dimensions in {path}: {} vs {dim}",
-                p.len()
-            )));
-        }
         ds.push(p);
     }
     Ok(ds)
@@ -102,6 +119,49 @@ mod tests {
         // A uniform sample of 20 from 10k must not all come from the
         // first 1000 rows.
         assert!(a.rows().any(|r| r[0] > 1000.0));
+    }
+
+    #[test]
+    fn bad_records_do_not_perturb_the_sample() {
+        // Garbage rows are skipped without touching the RNG stream, so
+        // the sample is identical to the clean file's.
+        let clean = fs_with(500);
+        let dirty = Arc::new(Dfs::new(256));
+        dirty
+            .put_lines(
+                "pts",
+                (0..500).flat_map(|i| {
+                    let mut rows = vec![format!("{i} {}", i * 2)];
+                    if i % 50 == 0 {
+                        rows.push("not a point".to_string());
+                        rows.push(format!("{i} nan"));
+                    }
+                    rows
+                }),
+            )
+            .unwrap();
+        let a = sample_points(&clean, "pts", 10, 7).unwrap();
+        let b = sample_points(&dirty, "pts", 10, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mixed_dimensions_resolve_to_the_modal_one() {
+        let dfs = Arc::new(Dfs::new(256));
+        dfs.put_lines(
+            "pts",
+            (0..100).map(|i| {
+                if i % 10 == 0 {
+                    format!("{i} {i} {i}")
+                } else {
+                    format!("{i} {}", i * 2)
+                }
+            }),
+        )
+        .unwrap();
+        let s = sample_points(&dfs, "pts", 20, 3).unwrap();
+        assert_eq!(s.dim(), 2);
+        assert!(s.len() <= 20);
     }
 
     #[test]

@@ -23,13 +23,13 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use gmr_datagen::parse_point_dim;
 use gmr_linalg::SegmentProjector;
 use gmr_mapreduce::memory::BYTES_PER_PROJECTION;
 use gmr_mapreduce::prelude::*;
 use gmr_stats::{AdError, AndersonDarling};
 
 use crate::mr::centers::CenterSet;
+use crate::mr::kmeans_job::{empty_centers_error, parse_point_or_skip};
 
 /// What the split test concluded for one cluster.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,7 +97,7 @@ impl SplitTestSpec {
         let (idx, id, _, evals) = self
             .parents
             .nearest_with_cost(point)
-            .expect("nonempty parents");
+            .ok_or_else(|| empty_centers_error("TestClusters"))?;
         ctx.charge_distances(evals, self.parents.dim());
         Ok(self.projectors[idx].as_ref().map(|proj| {
             ctx.counters().inc(Counter::Projections);
@@ -164,8 +164,10 @@ impl Mapper for TestClustersMapper {
         out: &mut MapOutput<'_, i64, f64>,
         ctx: &mut TaskContext,
     ) -> Result<()> {
-        let point = parse_point_dim(line, self.spec.parents.dim())?;
-        self.map_point(&point, out, ctx)
+        match parse_point_or_skip(line, self.spec.parents.dim(), ctx) {
+            Some(point) => self.map_point(&point, out, ctx),
+            None => Ok(()),
+        }
     }
 }
 
@@ -283,8 +285,10 @@ impl Mapper for TestFewClustersMapper {
         out: &mut MapOutput<'_, i64, SubVerdict>,
         ctx: &mut TaskContext,
     ) -> Result<()> {
-        let point = parse_point_dim(line, self.spec.parents.dim())?;
-        self.map_point(&point, out, ctx)
+        match parse_point_or_skip(line, self.spec.parents.dim(), ctx) {
+            Some(point) => self.map_point(&point, out, ctx),
+            None => Ok(()),
+        }
     }
 
     fn close(

@@ -39,6 +39,10 @@ pub struct CostModel {
     /// memory-bandwidth analogue of `secs_per_input_byte`, roughly 20M
     /// decoded points per second per slot.
     pub secs_per_cached_point: f64,
+    /// Seconds per byte of checkpoint state written to the run journal
+    /// by the driver (serialized, replicated DFS write — same rate as
+    /// the shuffle path).
+    pub secs_per_checkpoint_byte: f64,
 }
 
 impl Default for CostModel {
@@ -50,7 +54,16 @@ impl Default for CostModel {
             secs_per_shuffle_byte: 1.0 / 25e6,
             secs_per_compute_unit: 1.0 / 2e8,
             secs_per_cached_point: 1.0 / 20e6,
+            secs_per_checkpoint_byte: 1.0 / 25e6,
         }
+    }
+}
+
+impl CostModel {
+    /// Simulated driver-side cost of committing one checkpoint of
+    /// `bytes` serialized state to the journal.
+    pub fn checkpoint_secs(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.secs_per_checkpoint_byte
     }
 }
 
@@ -188,6 +201,7 @@ mod tests {
             secs_per_shuffle_byte: 0.01,
             secs_per_compute_unit: 0.001,
             secs_per_cached_point: 0.5,
+            secs_per_checkpoint_byte: 0.0,
         };
         let cost = TaskCost {
             input_bytes: 10,

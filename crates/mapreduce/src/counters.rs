@@ -53,10 +53,20 @@ pub enum Counter {
     SpeculativeLaunched,
     /// Speculative backups that lost the race to their primary.
     SpeculativeWasted,
+    /// Checkpoints durably committed to the run journal.
+    CheckpointsCommitted,
+    /// Bytes of checkpoint state written to the run journal.
+    CheckpointBytes,
+    /// Input records quarantined as unparsable, dimension-mismatched or
+    /// non-finite instead of poisoning the computation (Hadoop's
+    /// bad-record skipping).
+    BadRecordsSkipped,
+    /// Bytes of quarantined bad records.
+    BadRecordBytes,
 }
 
 /// All counters, indexable without a hash map.
-const ALL: [Counter; 18] = [
+const ALL: [Counter; 22] = [
     Counter::MapInputRecords,
     Counter::MapOutputRecords,
     Counter::CombineInputRecords,
@@ -75,6 +85,10 @@ const ALL: [Counter; 18] = [
     Counter::AttemptsFailed,
     Counter::SpeculativeLaunched,
     Counter::SpeculativeWasted,
+    Counter::CheckpointsCommitted,
+    Counter::CheckpointBytes,
+    Counter::BadRecordsSkipped,
+    Counter::BadRecordBytes,
 ];
 
 impl Counter {
@@ -108,6 +122,10 @@ impl Counter {
             Counter::AttemptsFailed => "task_attempts_failed",
             Counter::SpeculativeLaunched => "speculative_attempts_launched",
             Counter::SpeculativeWasted => "speculative_attempts_wasted",
+            Counter::CheckpointsCommitted => "checkpoints_committed",
+            Counter::CheckpointBytes => "checkpoint_bytes",
+            Counter::BadRecordsSkipped => "bad_records_skipped",
+            Counter::BadRecordBytes => "bad_record_bytes",
         }
     }
 }
@@ -115,7 +133,7 @@ impl Counter {
 /// Thread-safe counter bank for one job (or one accumulated run).
 #[derive(Debug, Default)]
 pub struct Counters {
-    values: [AtomicU64; 18],
+    values: [AtomicU64; 22],
 }
 
 impl Counters {

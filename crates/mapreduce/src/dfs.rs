@@ -195,6 +195,19 @@ impl Dfs {
         self.files.write().remove(path);
     }
 
+    /// Atomically renames `from` to `to`, replacing any file at `to`
+    /// (HDFS `rename` semantics). Readers see either the old file at
+    /// `from` or the complete file at `to`, never a partial state —
+    /// this is the commit primitive of the checkpoint journal.
+    pub fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let mut files = self.files.write();
+        let file = files
+            .remove(from)
+            .ok_or_else(|| Error::FileNotFound(from.to_string()))?;
+        files.insert(to.to_string(), file);
+        Ok(())
+    }
+
     /// All stored paths, sorted.
     pub fn list(&self) -> Vec<String> {
         self.files.read().keys().cloned().collect()
@@ -429,6 +442,17 @@ mod tests {
         fs.remove("a");
         assert!(!fs.exists("a"));
         fs.remove("a"); // idempotent
+    }
+
+    #[test]
+    fn rename_moves_and_replaces() {
+        let fs = dfs(64);
+        fs.put_lines("tmp", ["new"]).unwrap();
+        fs.put_lines("final", ["old"]).unwrap();
+        fs.rename("tmp", "final").unwrap();
+        assert!(!fs.exists("tmp"));
+        assert_eq!(fs.read_lines("final").unwrap(), vec!["new"]);
+        assert!(matches!(fs.rename("tmp", "x"), Err(Error::FileNotFound(_))));
     }
 
     #[test]

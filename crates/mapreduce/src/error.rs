@@ -35,6 +35,18 @@ pub enum Error {
     },
     /// Invalid job or cluster configuration.
     Config(String),
+    /// The driver process was killed at a job boundary by an injected
+    /// fault ([`crate::faults::FaultPlan::with_driver_crash_after`]).
+    /// Unlike task faults this is never absorbed by retries: the run
+    /// aborts and must be resumed from its checkpoint journal.
+    DriverCrash {
+        /// 1-based count of jobs that had completed when the driver died.
+        boundary: u64,
+    },
+    /// An iteration reached a degenerate state (e.g. an empty center
+    /// set) that makes its jobs unrunnable. Drivers degrade this into
+    /// a per-iteration error instead of panicking.
+    Degenerate(String),
 }
 
 impl fmt::Display for Error {
@@ -56,6 +68,10 @@ impl fmt::Display for Error {
                 write!(f, "task {task} failed all {attempts} attempt(s); giving up")
             }
             Error::Config(m) => write!(f, "invalid configuration: {m}"),
+            Error::DriverCrash { boundary } => {
+                write!(f, "driver crashed after job boundary {boundary}")
+            }
+            Error::Degenerate(m) => write!(f, "degenerate iteration: {m}"),
         }
     }
 }

@@ -34,6 +34,8 @@ pub enum TaskKind {
     Map,
     /// A reduce task (one per partition).
     Reduce,
+    /// The driver itself, keyed at job boundaries rather than per task.
+    Driver,
 }
 
 impl TaskKind {
@@ -42,6 +44,7 @@ impl TaskKind {
         match self {
             TaskKind::Map => "map",
             TaskKind::Reduce => "reduce",
+            TaskKind::Driver => "driver",
         }
     }
 
@@ -49,6 +52,7 @@ impl TaskKind {
         match self {
             TaskKind::Map => 0x6d61_7000,
             TaskKind::Reduce => 0x7265_6400,
+            TaskKind::Driver => 0x6472_7600,
         }
     }
 }
@@ -91,6 +95,14 @@ pub struct FaultPlan {
     /// A task is speculated when its duration exceeds this multiple of
     /// the phase's median task duration (> 1).
     pub speculative_slowdown_threshold: f64,
+    /// Kill the driver after exactly this many completed jobs
+    /// (1-based). `Some(n)` aborts the run with
+    /// [`Error::DriverCrash`] at boundary `n`; resuming from the
+    /// checkpoint journal is the only recovery.
+    pub driver_crash_after_jobs: Option<u64>,
+    /// Probability the driver dies at any given job boundary, drawn
+    /// with the same `(seed, boundary)` hash discipline as task faults.
+    pub driver_crash_prob: f64,
 }
 
 impl Default for FaultPlan {
@@ -104,6 +116,8 @@ impl Default for FaultPlan {
             max_attempts: 1,
             speculative_execution: false,
             speculative_slowdown_threshold: 1.5,
+            driver_crash_after_jobs: None,
+            driver_crash_prob: 0.0,
         }
     }
 }
@@ -165,12 +179,34 @@ impl FaultPlan {
         self
     }
 
+    /// Kills the driver after exactly `jobs` completed jobs (1-based).
+    pub fn with_driver_crash_after(mut self, jobs: u64) -> Self {
+        self.driver_crash_after_jobs = Some(jobs);
+        self
+    }
+
+    /// Kills the driver at each job boundary with the given probability.
+    pub fn with_driver_crashes(mut self, prob: f64) -> Self {
+        self.driver_crash_prob = prob;
+        self
+    }
+
+    /// Clears all driver-crash injection, keeping task faults intact.
+    /// A resumed run uses this: the crash was an incident in the
+    /// previous driver process, not part of the cluster's weather.
+    pub fn without_driver_crashes(mut self) -> Self {
+        self.driver_crash_after_jobs = None;
+        self.driver_crash_prob = 0.0;
+        self
+    }
+
     /// Validates the plan (called from cluster validation).
     pub fn validate(&self) -> Result<()> {
         for (name, p) in [
             ("transient_fail_prob", self.transient_fail_prob),
             ("heap_fail_prob", self.heap_fail_prob),
             ("straggler_prob", self.straggler_prob),
+            ("driver_crash_prob", self.driver_crash_prob),
         ] {
             if !(0.0..1.0).contains(&p) {
                 return Err(Error::Config(format!(
@@ -195,6 +231,11 @@ impl FaultPlan {
                 self.speculative_slowdown_threshold
             )));
         }
+        if self.driver_crash_after_jobs == Some(0) {
+            return Err(Error::Config(
+                "driver_crash_after_jobs is 1-based and must be positive".into(),
+            ));
+        }
         Ok(())
     }
 
@@ -206,6 +247,8 @@ impl FaultPlan {
             || self.heap_fail_prob > 0.0
             || self.straggler_prob > 0.0
             || self.speculative_execution
+            || self.driver_crash_after_jobs.is_some()
+            || self.driver_crash_prob > 0.0
     }
 
     /// One independent uniform draw in `[0, 1)` per
@@ -272,6 +315,20 @@ impl FaultPlan {
         attempt: u32,
     ) -> f64 {
         0.25 + 0.75 * self.u01(job, kind, index, attempt, 4)
+    }
+
+    /// Whether the driver dies at job boundary `boundary` (the 1-based
+    /// count of jobs completed so far). Deterministic in the plan seed
+    /// and the boundary alone, so an identically configured rerun — or
+    /// a resumed run that recomputes the same boundary — crashes at
+    /// exactly the same place.
+    pub fn driver_crashes_at(&self, boundary: u64) -> bool {
+        if self.driver_crash_after_jobs == Some(boundary) {
+            return true;
+        }
+        self.driver_crash_prob > 0.0
+            && self.u01("driver", TaskKind::Driver, boundary as usize, 0, 5)
+                < self.driver_crash_prob
     }
 }
 
@@ -348,6 +405,40 @@ mod tests {
     }
 
     #[test]
+    fn driver_crash_fires_at_exactly_the_configured_boundary() {
+        let plan = FaultPlan::none().with_driver_crash_after(3);
+        assert!(plan.is_active());
+        for b in 1..10 {
+            assert_eq!(plan.driver_crashes_at(b), b == 3, "boundary {b}");
+        }
+        assert!(!FaultPlan::none().driver_crashes_at(3));
+    }
+
+    #[test]
+    fn probabilistic_driver_crashes_are_deterministic_and_seeded() {
+        let plan = FaultPlan::none().with_seed(5).with_driver_crashes(0.5);
+        let draws: Vec<bool> = (1..200).map(|b| plan.driver_crashes_at(b)).collect();
+        let again: Vec<bool> = (1..200).map(|b| plan.driver_crashes_at(b)).collect();
+        assert_eq!(draws, again);
+        let crashes = draws.iter().filter(|&&c| c).count();
+        assert!((50..150).contains(&crashes), "{crashes}/199 crashed");
+        let other = FaultPlan::none().with_seed(6).with_driver_crashes(0.5);
+        assert!((1..200).any(|b| plan.driver_crashes_at(b) != other.driver_crashes_at(b)));
+    }
+
+    #[test]
+    fn without_driver_crashes_clears_only_driver_faults() {
+        let plan = FaultPlan::hadoop_defaults(7)
+            .with_transient_failures(0.1)
+            .with_driver_crash_after(2)
+            .with_driver_crashes(0.3)
+            .without_driver_crashes();
+        assert_eq!(plan.driver_crash_after_jobs, None);
+        assert_eq!(plan.driver_crash_prob, 0.0);
+        assert_eq!(plan.transient_fail_prob, 0.1);
+    }
+
+    #[test]
     fn validation_rejects_bad_plans() {
         assert!(FaultPlan::none()
             .with_transient_failures(1.0)
@@ -363,6 +454,14 @@ mod tests {
             .is_err());
         assert!(FaultPlan::none().with_max_attempts(0).validate().is_err());
         assert!(FaultPlan::none().with_speculation(1.0).validate().is_err());
+        assert!(FaultPlan::none()
+            .with_driver_crashes(1.0)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_driver_crash_after(0)
+            .validate()
+            .is_err());
         assert!(FaultPlan::hadoop_defaults(0).validate().is_ok());
     }
 }

@@ -71,6 +71,16 @@ impl TaskContext {
     pub fn compute_units(&self) -> f64 {
         self.compute_units
     }
+
+    /// Quarantines one bad input record (unparsable, wrong dimension,
+    /// non-finite coordinates) instead of failing the task — Hadoop's
+    /// bad-record skipping. Charges the skip counters; the record is
+    /// otherwise dropped.
+    pub fn skip_bad_record(&mut self, line: &str) {
+        self.counters.inc(Counter::BadRecordsSkipped);
+        self.counters
+            .add(Counter::BadRecordBytes, line.len() as u64 + 1);
+    }
 }
 
 /// Collects intermediate `(key, value)` pairs from a mapper, routing

@@ -19,6 +19,9 @@
 //! * [`counters`] — the measurable events §4's cost model is written in;
 //! * [`memory`] — simulated per-task heap; exceeding it fails the job
 //!   with the "Java heap space" error Figure 2 maps out;
+//! * [`checkpoint`] — a DFS-backed write-ahead run journal with
+//!   atomic rename commit, so a crashed driver resumes from its last
+//!   complete snapshot instead of recomputing the run;
 //! * [`cluster`] + [`cost`] — the simulated cluster (nodes × slots) and
 //!   the cost model converting task work into simulated seconds through
 //!   wave scheduling, which regenerates every "Time" column and the
@@ -84,6 +87,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod checkpoint;
 pub mod cluster;
 pub mod cost;
 pub mod counters;
@@ -101,6 +105,7 @@ pub use error::{Error, Result};
 /// Convenient glob-import surface for job authors.
 pub mod prelude {
     pub use crate::cache::{CachedSplit, PointCache};
+    pub use crate::checkpoint::{Checkpoint, RunJournal};
     pub use crate::cluster::ClusterConfig;
     pub use crate::cost::{CostModel, JobTiming, TaskCost};
     pub use crate::counters::{Counter, Counters};

@@ -1,0 +1,94 @@
+//! Crash-recoverable drivers: the same G-means run uninterrupted, then
+//! killed mid-run by an injected driver crash and resumed from its
+//! DFS-backed checkpoint journal — ending bit-identical.
+//!
+//! ```text
+//! cargo run --release --example checkpoint_recovery
+//! ```
+
+use std::sync::Arc;
+
+use gmeans_mapreduce::algorithms::prelude::*;
+use gmeans_mapreduce::datagen::GaussianMixture;
+use gmeans_mapreduce::mapreduce::counters::Counter;
+use gmeans_mapreduce::mapreduce::prelude::{ClusterConfig, Dfs, Error, FaultPlan, JobRunner};
+
+const CKPT_DIR: &str = "ckpt/gmeans";
+
+fn staged_dfs() -> Arc<Dfs> {
+    let dfs = Arc::new(Dfs::new(32 * 1024));
+    GaussianMixture::paper_r10(10_000, 8, 2024)
+        .generate_to_dfs(&dfs, "points.txt")
+        .expect("write dataset");
+    dfs
+}
+
+fn driver(dfs: &Arc<Dfs>, faults: FaultPlan) -> MRGMeans {
+    let cluster = ClusterConfig::default().with_faults(faults);
+    let runner = JobRunner::new(Arc::clone(dfs), cluster).expect("valid cluster");
+    MRGMeans::new(runner, GMeansConfig::default()).with_checkpoints(CKPT_DIR)
+}
+
+fn describe(label: &str, r: &MRGMeansResult) {
+    println!("== {label} ==");
+    println!(
+        "  k = {:<3} jobs = {:<3} simulated makespan = {:9.3}s",
+        r.k(),
+        r.jobs,
+        r.simulated_secs
+    );
+    println!(
+        "  checkpoints: {} committed, {} bytes journaled",
+        r.counters.get(Counter::CheckpointsCommitted),
+        r.counters.get(Counter::CheckpointBytes),
+    );
+    println!();
+}
+
+fn main() {
+    // Reference: a checkpointed run that is never interrupted. Its
+    // makespan already pays for every journal commit.
+    let reference = driver(&staged_dfs(), FaultPlan::none())
+        .run("points.txt")
+        .expect("reference run");
+    describe("uninterrupted, checkpointed", &reference);
+
+    // Kill the driver after its 5th MapReduce job: the run dies with a
+    // typed error, leaving the journal behind in the DFS.
+    let dfs = staged_dfs();
+    let crash = driver(&dfs, FaultPlan::none().with_driver_crash_after(5))
+        .run("points.txt")
+        .expect_err("the injected crash must surface");
+    match &crash {
+        Error::DriverCrash { boundary } => {
+            println!("driver crashed after job {boundary} (injected)\n")
+        }
+        other => panic!("expected DriverCrash, got {other:?}"),
+    }
+
+    // Resume from the newest intact checkpoint on the same DFS. The
+    // interrupted iteration replays with the same deterministic fault
+    // draws, so the final result is bit-identical to the reference.
+    let resumed = driver(&dfs, FaultPlan::none())
+        .resume("points.txt")
+        .expect("resume completes");
+    describe("crashed after job 5, resumed", &resumed);
+
+    assert_eq!(reference.k(), resumed.k(), "same discovered k");
+    assert_eq!(
+        reference.simulated_secs.to_bits(),
+        resumed.simulated_secs.to_bits(),
+        "bit-identical simulated makespan"
+    );
+    for (a, b) in reference.centers.rows().zip(resumed.centers.rows()) {
+        assert!(
+            a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "bit-identical centers"
+        );
+    }
+    println!(
+        "resumed run reproduced k = {} and the {:.3}s makespan bit-for-bit",
+        resumed.k(),
+        resumed.simulated_secs
+    );
+}

@@ -1,0 +1,347 @@
+//! Crash-recoverable drivers: a run killed by an injected driver crash
+//! at *any* job boundary must, after [`MRGMeans::resume`], end in a
+//! result bit-identical to the uninterrupted run — same centers (to the
+//! bit), same counters, same simulated makespan — with the checkpoint
+//! I/O itself visible in both.
+
+use std::sync::Arc;
+
+use gmeans::prelude::*;
+use gmr_datagen::GaussianMixture;
+use gmr_mapreduce::counters::Counter;
+use gmr_mapreduce::prelude::{ClusterConfig, Dfs, Error, FaultPlan, JobRunner};
+
+const CKPT: &str = "ckpt/run";
+
+/// A fresh DFS holding the same deterministic dataset every time.
+fn staged_dfs() -> Arc<Dfs> {
+    let dfs = Arc::new(Dfs::new(16 * 1024));
+    GaussianMixture::paper_r10(1200, 3, 77)
+        .generate_to_dfs(&dfs, "pts")
+        .expect("write dataset");
+    dfs
+}
+
+fn gmeans_on(dfs: &Arc<Dfs>, faults: FaultPlan) -> MRGMeans {
+    let cluster = ClusterConfig::default().with_faults(faults);
+    let runner = JobRunner::new(Arc::clone(dfs), cluster).expect("valid cluster");
+    MRGMeans::new(runner, GMeansConfig::default()).with_checkpoints(CKPT)
+}
+
+/// A stormy-but-survivable fault plan (transients, stragglers) so the
+/// bit-identity claim covers the retry machinery too.
+fn stormy() -> FaultPlan {
+    FaultPlan::hadoop_defaults(11)
+        .with_transient_failures(0.05)
+        .with_stragglers(0.05, 4.0)
+}
+
+/// Bitwise comparison of two result structs, wall-clock excluded.
+fn assert_bit_identical(a: &MRGMeansResult, b: &MRGMeansResult, ctx: &str) {
+    assert_eq!(a.k(), b.k(), "{ctx}: k");
+    assert_eq!(a.iterations, b.iterations, "{ctx}: iterations");
+    assert_eq!(a.jobs, b.jobs, "{ctx}: jobs");
+    assert_eq!(a.dataset_reads, b.dataset_reads, "{ctx}: dataset reads");
+    assert_eq!(a.counts, b.counts, "{ctx}: counts");
+    assert!(a.failure.is_none() && b.failure.is_none(), "{ctx}: failure");
+    assert_eq!(
+        a.simulated_secs.to_bits(),
+        b.simulated_secs.to_bits(),
+        "{ctx}: simulated makespan ({} vs {})",
+        a.simulated_secs,
+        b.simulated_secs
+    );
+    for (ra, rb) in a.centers.rows().zip(b.centers.rows()) {
+        let bits_a: Vec<u64> = ra.iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u64> = rb.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "{ctx}: center {ra:?} vs {rb:?}");
+    }
+    for &c in Counter::all() {
+        assert_eq!(a.counters.get(c), b.counters.get(c), "{ctx}: counter {c:?}");
+    }
+    assert_eq!(a.reports.len(), b.reports.len(), "{ctx}: report count");
+    for (ra, rb) in a.reports.iter().zip(&b.reports) {
+        assert_eq!(ra.iteration, rb.iteration, "{ctx}: report iteration");
+        assert_eq!(ra.clusters_before, rb.clusters_before, "{ctx}");
+        assert_eq!(ra.clusters_tested, rb.clusters_tested, "{ctx}");
+        assert_eq!(ra.splits, rb.splits, "{ctx}");
+        assert_eq!(ra.found_after, rb.found_after, "{ctx}");
+        assert_eq!(ra.clusters_after, rb.clusters_after, "{ctx}");
+        assert_eq!(ra.strategy, rb.strategy, "{ctx}");
+        assert_eq!(ra.jobs, rb.jobs, "{ctx}");
+        assert_eq!(ra.error, rb.error, "{ctx}");
+        assert_eq!(
+            ra.simulated_secs.to_bits(),
+            rb.simulated_secs.to_bits(),
+            "{ctx}: report simulated"
+        );
+        for (ca, cb) in ra.centers_after.rows().zip(rb.centers_after.rows()) {
+            let bits_a: Vec<u64> = ca.iter().map(|v| v.to_bits()).collect();
+            let bits_b: Vec<u64> = cb.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits_a, bits_b, "{ctx}: trajectory centers");
+        }
+    }
+}
+
+#[test]
+fn gmeans_resumes_bit_identical_at_every_job_boundary() {
+    // Uninterrupted, checkpointed reference: its makespan and counters
+    // already include every checkpoint commit, so the resumed runs must
+    // reproduce them exactly.
+    let reference = gmeans_on(&staged_dfs(), stormy())
+        .run("pts")
+        .expect("reference run");
+    assert!(
+        reference.counters.get(Counter::CheckpointsCommitted) > 0,
+        "checkpointed run must record its commits"
+    );
+    assert!(reference.counters.get(Counter::CheckpointBytes) > 0);
+    assert!(reference.jobs >= 4, "need several boundaries to crash at");
+
+    for boundary in 1..=reference.jobs as u64 {
+        let dfs = staged_dfs();
+        let err = gmeans_on(&dfs, stormy().with_driver_crash_after(boundary))
+            .run("pts")
+            .expect_err("driver must crash at the injected boundary");
+        match err {
+            Error::DriverCrash { boundary: b } => assert_eq!(b, boundary),
+            other => panic!("expected DriverCrash, got {other:?}"),
+        }
+        // Resume on the same DFS (journal survives the crash), crashes
+        // disabled, every other fault identical.
+        let resumed = gmeans_on(&dfs, stormy().without_driver_crashes())
+            .resume("pts")
+            .expect("resume completes");
+        assert_bit_identical(&reference, &resumed, &format!("boundary {boundary}"));
+    }
+}
+
+#[test]
+fn cached_mode_resume_rebuilds_the_point_cache() {
+    // Spark-style execution pins the parsed dataset in memory; a
+    // resumed driver must rebuild that cache (a physical re-read) while
+    // the *logical* dataset-read count stays identical to the
+    // uninterrupted run.
+    let reference = gmeans_on(&staged_dfs(), FaultPlan::none())
+        .with_execution_mode(ExecutionMode::Cached)
+        .run("pts")
+        .expect("reference run");
+
+    let dfs = staged_dfs();
+    let err = gmeans_on(&dfs, FaultPlan::none().with_driver_crash_after(3))
+        .with_execution_mode(ExecutionMode::Cached)
+        .run("pts")
+        .expect_err("crash");
+    assert!(matches!(err, Error::DriverCrash { boundary: 3 }));
+
+    let resumed = gmeans_on(&dfs, FaultPlan::none())
+        .with_execution_mode(ExecutionMode::Cached)
+        .resume("pts")
+        .expect("resume rebuilds the cache");
+    assert_bit_identical(&reference, &resumed, "cached mode");
+}
+
+#[test]
+fn resume_survives_a_torn_newest_checkpoint() {
+    let reference = gmeans_on(&staged_dfs(), FaultPlan::none())
+        .run("pts")
+        .expect("reference run");
+
+    let dfs = staged_dfs();
+    let err = gmeans_on(&dfs, FaultPlan::none().with_driver_crash_after(4))
+        .run("pts")
+        .expect_err("crash");
+    assert!(matches!(err, Error::DriverCrash { .. }));
+
+    // Tear the newest committed checkpoint: recovery must fall back to
+    // the next-newest intact snapshot and still converge bit-identical.
+    let newest = dfs
+        .list()
+        .into_iter()
+        .filter(|p| p.starts_with("ckpt/run/ckpt-"))
+        .max()
+        .expect("at least one checkpoint");
+    let mut w = dfs.create(&newest, true).expect("overwrite checkpoint");
+    w.write_line("GMRCKPT1 seq=999 len=64 crc=0000000000000000");
+    w.write_line("deadbeef");
+    w.close();
+
+    let resumed = gmeans_on(&dfs, FaultPlan::none())
+        .resume("pts")
+        .expect("resume from older snapshot");
+    assert_bit_identical(&reference, &resumed, "torn newest checkpoint");
+}
+
+#[test]
+fn resume_with_empty_journal_is_a_fresh_run() {
+    let reference = gmeans_on(&staged_dfs(), FaultPlan::none())
+        .run("pts")
+        .expect("reference");
+    let resumed = gmeans_on(&staged_dfs(), FaultPlan::none())
+        .resume("pts")
+        .expect("resume with nothing journaled");
+    assert_bit_identical(&reference, &resumed, "empty journal");
+}
+
+#[test]
+fn resume_without_checkpoints_is_a_config_error() {
+    let runner = JobRunner::new(staged_dfs(), ClusterConfig::default()).unwrap();
+    let err = MRGMeans::new(runner, GMeansConfig::default())
+        .resume("pts")
+        .expect_err("no journal configured");
+    assert!(matches!(err, Error::Config(_)), "{err:?}");
+}
+
+#[test]
+fn kmeans_driver_resumes_bit_identical() {
+    let reference = {
+        let runner = JobRunner::new(staged_dfs(), ClusterConfig::default()).unwrap();
+        MRKMeans::new(runner, 3, 6, 5)
+            .with_checkpoints(CKPT)
+            .run("pts")
+            .expect("reference")
+    };
+
+    let dfs = staged_dfs();
+    let cluster =
+        ClusterConfig::default().with_faults(FaultPlan::none().with_driver_crash_after(3));
+    let runner = JobRunner::new(Arc::clone(&dfs), cluster).unwrap();
+    let err = MRKMeans::new(runner, 3, 6, 5)
+        .with_checkpoints(CKPT)
+        .run("pts")
+        .expect_err("crash mid-sweep");
+    assert!(matches!(err, Error::DriverCrash { boundary: 3 }));
+
+    let runner = JobRunner::new(Arc::clone(&dfs), ClusterConfig::default()).unwrap();
+    let resumed = MRKMeans::new(runner, 3, 6, 5)
+        .with_checkpoints(CKPT)
+        .resume("pts")
+        .expect("resume");
+
+    assert_eq!(reference.counts, resumed.counts);
+    assert_eq!(
+        reference.simulated_secs.to_bits(),
+        resumed.simulated_secs.to_bits()
+    );
+    for (a, b) in reference.centers.rows().zip(resumed.centers.rows()) {
+        let bits_a: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_a, bits_b);
+    }
+    for &c in Counter::all() {
+        assert_eq!(reference.counters.get(c), resumed.counters.get(c), "{c:?}");
+    }
+}
+
+#[test]
+fn multi_kmeans_resumes_bit_identical() {
+    let reference = {
+        let runner = JobRunner::new(staged_dfs(), ClusterConfig::default()).unwrap();
+        MultiKMeans::new(runner, 1, 4, 1, 5, 9)
+            .with_checkpoints(CKPT)
+            .run("pts")
+            .expect("reference")
+    };
+
+    let dfs = staged_dfs();
+    let cluster =
+        ClusterConfig::default().with_faults(FaultPlan::none().with_driver_crash_after(2));
+    let runner = JobRunner::new(Arc::clone(&dfs), cluster).unwrap();
+    let err = MultiKMeans::new(runner, 1, 4, 1, 5, 9)
+        .with_checkpoints(CKPT)
+        .run("pts")
+        .expect_err("crash mid-sweep");
+    assert!(matches!(err, Error::DriverCrash { boundary: 2 }));
+
+    let runner = JobRunner::new(Arc::clone(&dfs), ClusterConfig::default()).unwrap();
+    let resumed = MultiKMeans::new(runner, 1, 4, 1, 5, 9)
+        .with_checkpoints(CKPT)
+        .resume("pts")
+        .expect("resume");
+
+    assert_eq!(reference.models.len(), resumed.models.len());
+    for (ma, mb) in reference.models.iter().zip(&resumed.models) {
+        assert_eq!(ma.k, mb.k);
+        assert_eq!(ma.counts, mb.counts);
+        for (a, b) in ma.centers.rows().zip(mb.centers.rows()) {
+            let bits_a: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+            let bits_b: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits_a, bits_b);
+        }
+    }
+    assert_eq!(
+        reference.simulated_secs.to_bits(),
+        resumed.simulated_secs.to_bits()
+    );
+    for &c in Counter::all() {
+        assert_eq!(reference.counters.get(c), resumed.counters.get(c), "{c:?}");
+    }
+}
+
+#[test]
+fn parallel_init_resumes_bit_identical() {
+    let reference = {
+        let runner = JobRunner::new(staged_dfs(), ClusterConfig::default()).unwrap();
+        KMeansParallelInit::new(runner, 3, 13)
+            .with_checkpoints(CKPT)
+            .run("pts")
+            .expect("reference")
+    };
+
+    let dfs = staged_dfs();
+    let cluster =
+        ClusterConfig::default().with_faults(FaultPlan::none().with_driver_crash_after(2));
+    let runner = JobRunner::new(Arc::clone(&dfs), cluster).unwrap();
+    let err = KMeansParallelInit::new(runner, 3, 13)
+        .with_checkpoints(CKPT)
+        .run("pts")
+        .expect_err("crash mid-init");
+    assert!(matches!(err, Error::DriverCrash { boundary: 2 }));
+
+    let runner = JobRunner::new(Arc::clone(&dfs), ClusterConfig::default()).unwrap();
+    let resumed = KMeansParallelInit::new(runner, 3, 13)
+        .with_checkpoints(CKPT)
+        .resume("pts")
+        .expect("resume");
+    assert_eq!(reference, resumed, "k-means|| init must replay exactly");
+}
+
+#[test]
+fn bad_records_are_quarantined_end_to_end() {
+    // A dataset salted with everything a mapper might choke on: garbage
+    // text, NaN/infinite coordinates, a wrong-dimension row, blanks.
+    let dfs = Arc::new(Dfs::new(4 * 1024));
+    let mut lines: Vec<String> = Vec::new();
+    for i in 0..300 {
+        let (x, y) = if i % 2 == 0 { (0.0, 0.0) } else { (40.0, 40.0) };
+        lines.push(format!("{} {}", x + (i % 7) as f64 * 0.1, y));
+        match i % 60 {
+            0 => lines.push("definitely not a point".into()),
+            1 => lines.push("nan 3.0".into()),
+            2 => lines.push("1.0 inf".into()),
+            3 => lines.push("1.0 2.0 3.0".into()),
+            4 => lines.push(String::new()),
+            _ => {}
+        }
+    }
+    dfs.put_lines("dirty", lines).unwrap();
+    let runner = JobRunner::new(Arc::clone(&dfs), ClusterConfig::default()).unwrap();
+
+    // check_input reports a summary instead of dying on the first bad
+    // line.
+    let report = check_input(&runner, "dirty").expect("summary, not failure");
+    assert_eq!(report.points, 300);
+    assert_eq!(report.bad_records, 25);
+    assert_eq!(report.lines, 325);
+    assert_eq!(report.dim, 2);
+
+    let r = MRGMeans::new(runner, GMeansConfig::default())
+        .run("dirty")
+        .expect("bad records must not kill the run");
+    assert_eq!(r.counts.iter().sum::<u64>(), 300, "only real points count");
+    assert!(r.counters.get(Counter::BadRecordsSkipped) > 0);
+    assert!(r.counters.get(Counter::BadRecordBytes) > 0);
+    for c in r.centers.rows() {
+        assert!(c.iter().all(|v| v.is_finite()), "non-finite center {c:?}");
+    }
+}

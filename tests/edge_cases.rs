@@ -137,23 +137,41 @@ fn merge_with_huge_threshold_collapses_everything() {
 }
 
 #[test]
-fn blank_and_whitespace_lines_are_rejected_cleanly() {
+fn blank_and_whitespace_lines_are_skipped_not_fatal() {
     let dfs = Arc::new(Dfs::new(1024));
     dfs.put_lines("pts", ["1.0 2.0", "", "3.0 4.0"]).unwrap();
     let runner = JobRunner::new(dfs, ClusterConfig::default()).unwrap();
-    let err = MRGMeans::new(runner, GMeansConfig::default())
+    let r = MRGMeans::new(runner, GMeansConfig::default())
         .run("pts")
-        .unwrap_err();
-    assert!(matches!(err, gmr_mapreduce::Error::Corrupt(_)), "{err:?}");
+        .unwrap();
+    // The blank line is quarantined, the two real points clustered.
+    assert_eq!(r.counts.iter().sum::<u64>(), 2);
+    assert!(
+        r.counters
+            .get(gmr_mapreduce::prelude::Counter::BadRecordsSkipped)
+            > 0,
+        "blank line must be counted as a skipped bad record"
+    );
 }
 
 #[test]
-fn mixed_dimensions_are_rejected_cleanly() {
+fn mixed_dimensions_degrade_to_the_modal_dimension() {
     let dfs = Arc::new(Dfs::new(1024));
-    dfs.put_lines("pts", ["1.0 2.0", "3.0 4.0 5.0"]).unwrap();
+    dfs.put_lines("pts", ["1.0 2.0", "3.0 4.0", "3.0 4.0 5.0"])
+        .unwrap();
     let runner = JobRunner::new(dfs, ClusterConfig::default()).unwrap();
-    let err = MRGMeans::new(runner, GMeansConfig::default())
+    let r = MRGMeans::new(runner, GMeansConfig::default())
         .run("pts")
-        .unwrap_err();
-    assert!(matches!(err, gmr_mapreduce::Error::Corrupt(_)), "{err:?}");
+        .unwrap();
+    // The odd 3-d row is quarantined; the 2-d majority is clustered.
+    assert_eq!(r.centers.dim(), 2);
+    assert_eq!(r.counts.iter().sum::<u64>(), 2);
+    assert!(
+        r.counters
+            .get(gmr_mapreduce::prelude::Counter::BadRecordsSkipped)
+            > 0
+    );
+    for c in r.centers.rows() {
+        assert!(c.iter().all(|v| v.is_finite()), "non-finite center {c:?}");
+    }
 }
