@@ -14,6 +14,7 @@
 //!   fig4      the local-minimum illustration (ASCII plot)
 //!   table4    node-count scalability (Figure 5)
 //!   ablations design-choice ablations
+//!   kernels   nearest-center kernel benchmark (writes BENCH_kernels.json)
 //!   all       everything above, in order
 //! ```
 //!
@@ -23,7 +24,7 @@
 //! further for a smoke pass. Scaled-down runs preserve the paper's
 //! shapes, not its absolute numbers.
 
-use gmr_bench::experiments::{ablations, fig1, fig2, fig4, table3, table4, times};
+use gmr_bench::experiments::{ablations, fig1, fig2, fig4, kernels, table3, table4, times};
 use gmr_bench::ExperimentScale;
 
 fn main() {
@@ -88,6 +89,11 @@ fn main() {
             print!("{}", table4::render(&default_rows, &task_rows));
         }
         "ablations" => print!("{}", ablations::render(&ablations::run(&scale))),
+        "kernels" => {
+            let bench = kernels::run(&scale);
+            print!("{}", kernels::render(&bench));
+            write_kernels_json(&bench);
+        }
         "all" => {
             print!("{}", fig1::render(&fig1::run(&scale)));
             print!("{}", fig2::render(&fig2::run(&scale)));
@@ -101,6 +107,9 @@ fn main() {
             let (default_rows, task_rows) = table4::run_both(&scale);
             print!("{}", table4::render(&default_rows, &task_rows));
             print!("{}", ablations::render(&ablations::run(&scale)));
+            let bench = kernels::run(&scale);
+            print!("{}", kernels::render(&bench));
+            write_kernels_json(&bench);
         }
         other => usage(&format!("unknown experiment {other}")),
     }
@@ -110,10 +119,18 @@ fn main() {
     );
 }
 
+fn write_kernels_json(bench: &kernels::KernelBench) {
+    let path = "BENCH_kernels.json";
+    match std::fs::write(path, bench.to_json()) {
+        Ok(()) => eprintln!("[wrote {path}]"),
+        Err(e) => eprintln!("[could not write {path}: {e}]"),
+    }
+}
+
 fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
-        "usage: repro <fig1|fig2|table1|table2|fig3|table3|fig4|table4|ablations|all> \
+        "usage: repro <fig1|fig2|table1|table2|fig3|table3|fig4|table4|ablations|kernels|all> \
          [--points N] [--k-factor F] [--seed S] [--quick]"
     );
     std::process::exit(2);

@@ -1,0 +1,330 @@
+//! Nearest-center kernel benchmark: naive scan vs k-d tree vs the
+//! blocked kernel vs blocked + triangle pruning.
+//!
+//! This is the PR-over-PR perf trajectory for the hot path the paper's
+//! §4 cost model counts. The workload is the acceptance workload of the
+//! kernel work: a d = 2 Gaussian mixture with k ≥ 32 centers — low
+//! dimension and many centers is where the paper's own evaluation lives
+//! (R² illustrations, k up to 1600) and where center pruning pays.
+//!
+//! Every backend must produce *identical* assignments; the benchmark
+//! proves it by running a short Lloyd refinement per backend and
+//! requiring bit-identical final centers, then measures assignment
+//! throughput (points/sec), distance evaluations, and wall time. The
+//! numbers are rendered as a table and serialized to
+//! `BENCH_kernels.json` by the `repro` binary so the trajectory
+//! accumulates across PRs.
+
+use std::time::Instant;
+
+use gmeans::mr::CenterSet;
+use gmr_datagen::{ClusterWeights, GaussianMixture};
+use gmr_linalg::{nearest_center_flat, squared_norms, Dataset};
+
+use crate::harness::{render_table, ExperimentScale};
+
+/// Number of clusters of the benchmark workload (the issue's `k ≥ 32`).
+const K: usize = 128;
+/// Lloyd iterations of the identity check.
+const LLOYD_ITERS: usize = 5;
+/// Points handed to `nearest_block` per call, mirroring the runtime's
+/// cached map-phase block size.
+const BLOCK_POINTS: usize = 256;
+
+/// One measured backend.
+#[derive(Clone, Debug)]
+pub struct KernelRow {
+    /// Backend label.
+    pub name: &'static str,
+    /// Assignment throughput over the full dataset.
+    pub points_per_sec: f64,
+    /// Distance evaluations charged for one full sweep.
+    pub distance_evals: u64,
+    /// Wall time of one full sweep, in seconds.
+    pub wall_secs: f64,
+}
+
+/// The benchmark report.
+#[derive(Clone, Debug)]
+pub struct KernelBench {
+    /// Points in the workload.
+    pub points: usize,
+    /// Centers in the workload.
+    pub k: usize,
+    /// Dimensionality of the workload.
+    pub dim: usize,
+    /// One row per backend, naive first.
+    pub rows: Vec<KernelRow>,
+    /// Whether all backends produced bit-identical final Lloyd centers.
+    pub identical_centers: bool,
+}
+
+impl KernelBench {
+    /// Speedup of the named backend over the naive scan (points/sec).
+    pub fn speedup(&self, name: &str) -> f64 {
+        let naive = self.rows[0].points_per_sec;
+        self.rows
+            .iter()
+            .find(|r| r.name == name)
+            .map_or(0.0, |r| r.points_per_sec / naive)
+    }
+
+    /// Serializes the report as a small JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"experiment\": \"kernels\",\n");
+        s.push_str(&format!("  \"points\": {},\n", self.points));
+        s.push_str(&format!("  \"k\": {},\n", self.k));
+        s.push_str(&format!("  \"dim\": {},\n", self.dim));
+        s.push_str(&format!(
+            "  \"identical_final_centers\": {},\n",
+            self.identical_centers
+        ));
+        s.push_str("  \"backends\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"points_per_sec\": {:.1}, \"distance_evals\": {}, \
+                 \"wall_secs\": {:.6}, \"speedup_vs_naive\": {:.3}}}{}\n",
+                r.name,
+                r.points_per_sec,
+                r.distance_evals,
+                r.wall_secs,
+                r.points_per_sec / self.rows[0].points_per_sec,
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// One assignment sweep of a backend: fills `assign` and returns the
+/// distance evaluations charged.
+fn sweep(backend: &Backend, data: &Dataset, norms: &[f64], assign: &mut Vec<usize>) -> u64 {
+    assign.clear();
+    let dim = data.dim();
+    match backend {
+        Backend::Naive(set) => {
+            let flat = set.to_dataset();
+            let centers = flat.flat();
+            for p in data.rows() {
+                let (idx, _) = nearest_center_flat(p, centers, dim).expect("non-empty centers");
+                assign.push(idx);
+            }
+            (data.len() * set.len()) as u64
+        }
+        Backend::Block(set) => {
+            let mut evals = 0u64;
+            let flat = data.flat();
+            for (bi, block) in flat.chunks(BLOCK_POINTS * dim).enumerate() {
+                let base = bi * BLOCK_POINTS;
+                let rows = block.len() / dim;
+                for (idx, _, _, e) in set.nearest_block(block, &norms[base..base + rows]) {
+                    assign.push(idx);
+                    evals += e;
+                }
+            }
+            evals
+        }
+    }
+}
+
+/// A backend under test: the naive scalar scan, or a [`CenterSet`]
+/// (optionally accelerated) queried through the engine's block path.
+enum Backend {
+    Naive(CenterSet),
+    Block(CenterSet),
+}
+
+/// Builds a [`Backend`] around a fresh copy of the centers.
+type BackendFactory = Box<dyn Fn(CenterSet) -> Backend>;
+
+fn centers_from(data: &Dataset, k: usize) -> CenterSet {
+    // Deterministic spread-out init: stride through the dataset.
+    let stride = (data.len() / k).max(1);
+    let mut set = CenterSet::new(data.dim());
+    for i in 0..k {
+        set.push(i as i64, data.row((i * stride) % data.len()));
+    }
+    set
+}
+
+/// Runs a short Lloyd refinement with the backend's assignments and
+/// returns the final flat center buffer (for the bit-identity check).
+fn lloyd(backend_of: impl Fn(CenterSet) -> Backend, data: &Dataset, norms: &[f64]) -> Vec<f64> {
+    let dim = data.dim();
+    let mut set = centers_from(data, K);
+    let mut assign = Vec::with_capacity(data.len());
+    for _ in 0..LLOYD_ITERS {
+        let backend = backend_of(set.clone());
+        sweep(&backend, data, norms, &mut assign);
+        let mut sums = vec![0.0f64; K * dim];
+        let mut counts = vec![0u64; K];
+        for (p, &a) in data.rows().zip(&assign) {
+            counts[a] += 1;
+            for (s, x) in sums[a * dim..(a + 1) * dim].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        let mut next = CenterSet::new(dim);
+        for j in 0..K {
+            if counts[j] > 0 {
+                let inv = 1.0 / counts[j] as f64;
+                let mean: Vec<f64> = sums[j * dim..(j + 1) * dim]
+                    .iter()
+                    .map(|s| s * inv)
+                    .collect();
+                next.push(j as i64, &mean);
+            } else {
+                next.push(j as i64, set.coords(j));
+            }
+        }
+        set = next;
+    }
+    set.to_dataset().flat().to_vec()
+}
+
+/// Runs the benchmark.
+pub fn run(scale: &ExperimentScale) -> KernelBench {
+    let spec = GaussianMixture {
+        n_points: scale.points,
+        dim: 2,
+        n_clusters: K,
+        box_min: 0.0,
+        box_max: 1000.0,
+        stddev: 4.0,
+        min_separation_sigmas: 3.0,
+        seed: scale.seed ^ 0x6b65,
+        weights: ClusterWeights::Balanced,
+    };
+    let data = spec.generate().expect("dataset generation").points;
+    let norms = squared_norms(data.flat(), data.dim());
+    let base = centers_from(&data, K);
+
+    let backends: Vec<(&'static str, BackendFactory)> = vec![
+        ("naive", Box::new(Backend::Naive)),
+        (
+            "kd",
+            Box::new(|s: CenterSet| Backend::Block(s.with_kd_index())),
+        ),
+        ("blocked", Box::new(Backend::Block)),
+        (
+            "blocked+pruned",
+            Box::new(|s: CenterSet| Backend::Block(s.with_triangle_prune())),
+        ),
+    ];
+
+    // Identity: every backend's short Lloyd run ends bit-identically.
+    let finals: Vec<Vec<f64>> = backends
+        .iter()
+        .map(|(_, mk)| lloyd(mk, &data, &norms))
+        .collect();
+    let identical_centers = finals.iter().all(|f| {
+        f.len() == finals[0].len()
+            && f.iter()
+                .zip(&finals[0])
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    });
+
+    // Throughput: repeat the sweep until ≥ ~2M point-assignments so the
+    // quick scale still measures something (capped so debug-mode smoke
+    // tests stay fast).
+    let reps = (2_000_000 / data.len().max(1)).clamp(1, 64);
+    let mut rows = Vec::new();
+    let mut assign = Vec::with_capacity(data.len());
+    for (name, mk) in &backends {
+        let backend = mk(base.clone());
+        // Warm-up (also the eval count; identical across reps).
+        let evals = sweep(&backend, &data, &norms, &mut assign);
+        // Best-of-reps: the minimum sweep time is the least noisy
+        // estimate of the kernel's cost on a shared machine.
+        let mut wall = f64::INFINITY;
+        for _ in 0..reps {
+            let start = Instant::now();
+            sweep(&backend, &data, &norms, &mut assign);
+            wall = wall.min(start.elapsed().as_secs_f64());
+        }
+        rows.push(KernelRow {
+            name,
+            points_per_sec: data.len() as f64 / wall,
+            distance_evals: evals,
+            wall_secs: wall,
+        });
+    }
+
+    KernelBench {
+        points: data.len(),
+        k: K,
+        dim: 2,
+        rows,
+        identical_centers,
+    }
+}
+
+/// Renders the report.
+pub fn render(b: &KernelBench) -> String {
+    let rows: Vec<Vec<String>> = b
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                format!("{:.0}", r.points_per_sec),
+                format!("{:.2}x", r.points_per_sec / b.rows[0].points_per_sec),
+                r.distance_evals.to_string(),
+                format!("{:.4}", r.wall_secs),
+            ]
+        })
+        .collect();
+    let mut out = render_table(
+        &format!(
+            "Nearest-center kernels — {} points, d={}, k={}",
+            b.points, b.dim, b.k
+        ),
+        &[
+            "backend",
+            "points/sec",
+            "speedup",
+            "distance evals",
+            "wall secs",
+        ],
+        &rows,
+    );
+    out.push_str(&format!(
+        "final Lloyd centers identical across backends: {}\n",
+        b.identical_centers
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backends_agree_and_prune_reduces_evals() {
+        let b = run(&ExperimentScale::quick());
+        assert!(b.identical_centers, "backends diverged");
+        assert_eq!(b.rows.len(), 4);
+        let naive = &b.rows[0];
+        assert_eq!(naive.distance_evals, (b.points * b.k) as u64);
+        // The blocked kernel charges exactly the naive count (the
+        // determinism/cost contract); pruning and k-d charge fewer.
+        let blocked = b.rows.iter().find(|r| r.name == "blocked").unwrap();
+        assert_eq!(blocked.distance_evals, naive.distance_evals);
+        let pruned = b.rows.iter().find(|r| r.name == "blocked+pruned").unwrap();
+        assert!(pruned.distance_evals < naive.distance_evals / 2);
+        let kd = b.rows.iter().find(|r| r.name == "kd").unwrap();
+        assert!(kd.distance_evals < naive.distance_evals);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let b = run(&ExperimentScale::quick());
+        let j = b.to_json();
+        assert!(j.contains("\"experiment\": \"kernels\""));
+        assert!(j.contains("\"blocked+pruned\""));
+        assert_eq!(j.matches("points_per_sec").count(), 4);
+    }
+}

@@ -9,11 +9,13 @@
 //! | [`fig4`] | Figure 4 | the local-minimum illustration (14 vs 10 centers) |
 //! | [`table4`] | Table 4, Figure 5 | node-count scalability |
 //! | [`ablations`] | — | design-choice ablations DESIGN.md calls out |
+//! | [`kernels`] | — | nearest-center kernel throughput trajectory (`BENCH_kernels.json`) |
 
 pub mod ablations;
 pub mod fig1;
 pub mod fig2;
 pub mod fig4;
+pub mod kernels;
 pub mod table3;
 pub mod table4;
 pub mod times;

@@ -8,7 +8,7 @@
 //! §3.1) — and the candidate-center channel of `KMeansAndFindNewCenters`
 //! is multiplexed by adding [`OFFSET`] to the id.
 
-use gmr_linalg::{nearest_center_flat, Dataset, KdTree};
+use gmr_linalg::{nearest_center_flat, nearest_centers_batch, Dataset, KdTree, TrianglePruner};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -31,8 +31,12 @@ pub struct CenterSet {
     dim: usize,
     ids: Vec<i64>,
     flat: Vec<f64>,
+    /// Per-center squared norms, maintained incrementally by `push` so
+    /// the blocked kernel never recomputes them per sweep.
+    norms: Vec<f64>,
     by_id: HashMap<i64, usize>,
     index: Option<Arc<KdTree>>,
+    pruner: Option<Arc<TrianglePruner>>,
 }
 
 impl PartialEq for CenterSet {
@@ -50,8 +54,10 @@ impl CenterSet {
             dim,
             ids: Vec::new(),
             flat: Vec::new(),
+            norms: Vec::new(),
             by_id: HashMap::new(),
             index: None,
+            pruner: None,
         }
     }
 
@@ -79,8 +85,10 @@ impl CenterSet {
         let prev = self.by_id.insert(id, idx);
         assert!(prev.is_none(), "duplicate center id {id}");
         self.ids.push(id);
+        self.norms.push(coords.iter().map(|x| x * x).sum());
         self.flat.extend_from_slice(coords);
         self.index = None; // centers changed; any index is stale
+        self.pruner = None;
     }
 
     /// Builds (or rebuilds) the k-d index over the current centers.
@@ -94,9 +102,33 @@ impl CenterSet {
         self
     }
 
+    /// Builds (or rebuilds) the triangle-inequality pruner — the `k × k`
+    /// half inter-center distance matrix — over the current centers.
+    /// Subsequent [`CenterSet::nearest_with_cost`] calls skip centers the
+    /// triangle inequality rules out, and the cost accounting charges the
+    /// evaluations actually performed, exactly like the k-d path.
+    ///
+    /// # Panics
+    /// Panics when the set is empty.
+    pub fn with_triangle_prune(mut self) -> Self {
+        assert!(!self.is_empty(), "cannot build a pruner for an empty set");
+        self.pruner = Some(Arc::new(TrianglePruner::build(&self.flat, self.dim)));
+        self
+    }
+
     /// True when a k-d index is attached.
     pub fn has_index(&self) -> bool {
         self.index.is_some()
+    }
+
+    /// True when a triangle-inequality pruner is attached.
+    pub fn has_pruner(&self) -> bool {
+        self.pruner.is_some()
+    }
+
+    /// Per-center squared norms, aligned with center order.
+    pub fn norms(&self) -> &[f64] {
+        &self.norms
     }
 
     /// Number of centers.
@@ -144,19 +176,67 @@ impl CenterSet {
     }
 
     /// Nearest center plus the number of distance evaluations performed
-    /// — `k` for the linear scan, usually far fewer with a k-d index.
+    /// — `k` for the linear scan, usually far fewer with a k-d index or
+    /// a triangle-inequality pruner.
     pub fn nearest_with_cost(&self, point: &[f64]) -> Option<(usize, i64, f64, u64)> {
         if self.is_empty() {
             return None;
         }
-        match &self.index {
-            Some(tree) => {
-                let q = tree.nearest(point);
-                Some((q.index, self.ids[q.index], q.dist2, q.evaluations as u64))
-            }
-            None => nearest_center_flat(point, &self.flat, self.dim)
-                .map(|(idx, d2)| (idx, self.ids[idx], d2, self.ids.len() as u64)),
+        if let Some(tree) = &self.index {
+            let q = tree.nearest(point);
+            return Some((q.index, self.ids[q.index], q.dist2, q.evaluations as u64));
         }
+        if let Some(pruner) = &self.pruner {
+            let (idx, d2, evals) = pruner.nearest(point, &self.flat, self.dim);
+            return Some((idx, self.ids[idx], d2, evals));
+        }
+        nearest_center_flat(point, &self.flat, self.dim)
+            .map(|(idx, d2)| (idx, self.ids[idx], d2, self.ids.len() as u64))
+    }
+
+    /// Nearest center for every row of a flat point block, returning one
+    /// `(index, id, squared_distance, evaluations)` per point.
+    ///
+    /// `point_norms` are the per-row squared norms of `points` (cached
+    /// once per split by the point cache). Without an accelerator the
+    /// blocked batch kernel runs — bit-identical to the scalar scan,
+    /// charging `k` evaluations per point like the scan does — so
+    /// simulated cost and counters are unchanged while wall time drops.
+    /// With a k-d index or pruner attached, those paths run per row and
+    /// report their actual evaluation counts.
+    ///
+    /// Returns an empty vector when the set is empty.
+    pub fn nearest_block(
+        &self,
+        points: &[f64],
+        point_norms: &[f64],
+    ) -> Vec<(usize, i64, f64, u64)> {
+        if self.is_empty() || points.is_empty() {
+            return Vec::new();
+        }
+        if let Some(tree) = &self.index {
+            return points
+                .chunks_exact(self.dim)
+                .map(|p| {
+                    let q = tree.nearest(p);
+                    (q.index, self.ids[q.index], q.dist2, q.evaluations as u64)
+                })
+                .collect();
+        }
+        if let Some(pruner) = &self.pruner {
+            return points
+                .chunks_exact(self.dim)
+                .map(|p| {
+                    let (idx, d2, evals) = pruner.nearest(p, &self.flat, self.dim);
+                    (idx, self.ids[idx], d2, evals)
+                })
+                .collect();
+        }
+        let k = self.ids.len() as u64;
+        nearest_centers_batch(points, point_norms, &self.flat, &self.norms, self.dim)
+            .into_iter()
+            .map(|(idx, d2)| (idx, self.ids[idx], d2, k))
+            .collect()
     }
 
     /// The centers as a [`Dataset`] (ids dropped, order preserved).
@@ -181,11 +261,18 @@ pub struct CenterUpdate {
 /// count of zero (the empty-cluster convention). Returns the new set and
 /// the per-center counts, aligned with the set's order.
 pub fn apply_updates(current: &CenterSet, updates: &[CenterUpdate]) -> (CenterSet, Vec<u64>) {
-    let by_id: HashMap<i64, &CenterUpdate> = updates.iter().map(|u| (u.id, u)).collect();
+    // Slot each update through the set's existing id→index map instead of
+    // rebuilding a HashMap over the update list on every iteration.
+    let mut slots: Vec<Option<&CenterUpdate>> = vec![None; current.len()];
+    for u in updates {
+        if let Some(idx) = current.index_of(u.id) {
+            slots[idx] = Some(u);
+        }
+    }
     let mut next = CenterSet::new(current.dim());
     let mut counts = Vec::with_capacity(current.len());
-    for (id, coords) in current.iter() {
-        match by_id.get(&id) {
+    for (slot, (id, coords)) in slots.iter().zip(current.iter()) {
+        match slot {
             Some(u) => {
                 next.push(id, &u.coords);
                 counts.push(u.count);
@@ -263,6 +350,75 @@ mod tests {
         assert_eq!(next.coords(0), &[0.0]); // kept, empty
         assert_eq!(next.coords(1), &[11.0]); // moved
         assert_eq!(counts, vec![0, 7]);
+    }
+
+    #[test]
+    fn apply_updates_ignores_unknown_ids() {
+        let mut s = CenterSet::new(1);
+        s.push(0, &[0.0]);
+        let updates = vec![CenterUpdate {
+            id: 99,
+            coords: vec![5.0],
+            count: 3,
+        }];
+        let (next, counts) = apply_updates(&s, &updates);
+        assert_eq!(next.len(), 1);
+        assert_eq!(next.coords(0), &[0.0]);
+        assert_eq!(counts, vec![0]);
+    }
+
+    #[test]
+    fn nearest_block_matches_per_point_lookup() {
+        let mut s = CenterSet::new(2);
+        s.push(0, &[0.0, 0.0]);
+        s.push(1, &[10.0, 0.0]);
+        s.push(2, &[5.0, 5.0]);
+        let points = [1.0, 0.5, 9.0, -0.5, 5.0, 4.0, 5.0, 2.5];
+        let norms = gmr_linalg::squared_norms(&points, 2);
+        for set in [
+            s.clone(),
+            s.clone().with_kd_index(),
+            s.clone().with_triangle_prune(),
+        ] {
+            let block = set.nearest_block(&points, &norms);
+            assert_eq!(block.len(), 4);
+            for (p, got) in points.chunks_exact(2).zip(&block) {
+                let (idx, id, d2, _) = set.nearest_with_cost(p).unwrap();
+                assert_eq!((got.0, got.1), (idx, id));
+                assert_eq!(got.2.to_bits(), d2.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn pruner_matches_linear_scan_and_costs_less() {
+        let mut s = CenterSet::new(2);
+        for i in 0..8 {
+            s.push(i, &[i as f64 * 0.1, 0.0]);
+        }
+        for i in 8..16 {
+            s.push(i, &[500.0 + i as f64 * 0.1, 0.0]);
+        }
+        let pruned = s.clone().with_triangle_prune();
+        assert!(pruned.has_pruner() && !s.has_pruner());
+        let p = [0.21, 0.02];
+        let (idx, id, d2, evals) = pruned.nearest_with_cost(&p).unwrap();
+        let (want_idx, want_id, want_d2, full) = s.nearest_with_cost(&p).unwrap();
+        assert_eq!((idx, id), (want_idx, want_id));
+        assert_eq!(d2.to_bits(), want_d2.to_bits());
+        assert_eq!(full, 16);
+        assert!(evals < full, "pruner evaluated all {evals} centers");
+    }
+
+    #[test]
+    fn push_invalidates_pruner_and_maintains_norms() {
+        let mut s = CenterSet::new(2);
+        s.push(0, &[3.0, 4.0]);
+        let mut pruned = s.with_triangle_prune();
+        assert!(pruned.has_pruner());
+        pruned.push(1, &[1.0, 2.0]);
+        assert!(!pruned.has_pruner(), "push must invalidate the pruner");
+        assert_eq!(pruned.norms(), &[25.0, 5.0]);
     }
 
     #[test]

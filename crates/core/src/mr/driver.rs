@@ -233,6 +233,7 @@ pub struct MRGMeans {
     force_strategy: Option<TestStrategy>,
     mode: ExecutionMode,
     kd_index: bool,
+    pruning: bool,
     criterion: SplitCriterion,
     checkpoint_dir: Option<String>,
 }
@@ -247,6 +248,7 @@ impl MRGMeans {
             force_strategy: None,
             mode: ExecutionMode::OnDisk,
             kd_index: false,
+            pruning: false,
             criterion: SplitCriterion::AndersonDarling,
             checkpoint_dir: None,
         }
@@ -267,6 +269,16 @@ impl MRGMeans {
         self
     }
 
+    /// Enables triangle-inequality center pruning inside every job of
+    /// the run (ignored when the k-d index is also enabled, which
+    /// subsumes it). Results are identical; the distance-evaluation
+    /// counters drop, so like the k-d index it is opt-in — the default
+    /// path keeps the paper's O(nk) accounting.
+    pub fn with_pruning(mut self, pruning: bool) -> Self {
+        self.pruning = pruning;
+        self
+    }
+
     /// Journals driver state into a DFS checkpoint directory after
     /// `PickInitialCenters` and after every iteration, enabling
     /// [`MRGMeans::resume`]. Commit I/O is charged to the simulated
@@ -277,8 +289,12 @@ impl MRGMeans {
     }
 
     fn prepared(&self, set: CenterSet) -> CenterSet {
-        if self.kd_index && !set.is_empty() {
+        if set.is_empty() {
+            set
+        } else if self.kd_index {
             set.with_kd_index()
+        } else if self.pruning {
+            set.with_triangle_prune()
         } else {
             set
         }

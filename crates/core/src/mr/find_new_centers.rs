@@ -81,6 +81,9 @@ impl FindNewCentersJob {
 /// Mapper of [`FindNewCentersJob`] (Algorithm 2 verbatim: "Emit twice").
 pub struct FindNewCentersMapper {
     centers: Arc<CenterSet>,
+    /// Assignments precomputed by the blocked kernel, drained one per
+    /// `map_point` call; empty in text mode (scalar fallback).
+    pending: std::collections::VecDeque<(i64, u64)>,
 }
 
 impl FindNewCentersMapper {
@@ -126,7 +129,30 @@ impl PointMapper for FindNewCentersMapper {
         out: &mut MapOutput<'_, i64, PointSum>,
         ctx: &mut TaskContext,
     ) -> Result<()> {
+        if let Some((id, evals)) = self.pending.pop_front() {
+            ctx.charge_distances(evals, self.centers.dim());
+            out.emit(id, (point.to_vec(), 1));
+            out.emit(id + OFFSET, (point.to_vec(), 1));
+            return Ok(());
+        }
         self.process(point.to_vec(), out, ctx)
+    }
+
+    fn prepare_block(
+        &mut self,
+        points: &[f64],
+        norms: &[f64],
+        _ctx: &mut TaskContext,
+    ) -> Result<()> {
+        debug_assert!(self.pending.is_empty(), "undrained block");
+        self.pending.clear();
+        self.pending.extend(
+            self.centers
+                .nearest_block(points, norms)
+                .into_iter()
+                .map(|(_, id, _, evals)| (id, evals)),
+        );
+        Ok(())
     }
 }
 
@@ -180,6 +206,7 @@ impl Job for FindNewCentersJob {
     fn create_mapper(&self) -> FindNewCentersMapper {
         FindNewCentersMapper {
             centers: Arc::clone(&self.centers),
+            pending: std::collections::VecDeque::new(),
         }
     }
 

@@ -93,6 +93,9 @@ impl KMeansJob {
 /// Mapper of [`KMeansJob`].
 pub struct KMeansMapper {
     centers: Arc<CenterSet>,
+    /// Assignments precomputed by the blocked kernel, drained one per
+    /// `map_point` call; empty in text mode (scalar fallback).
+    pending: std::collections::VecDeque<(i64, u64)>,
 }
 
 impl KMeansMapper {
@@ -137,7 +140,29 @@ impl PointMapper for KMeansMapper {
         out: &mut MapOutput<'_, i64, PointSum>,
         ctx: &mut TaskContext,
     ) -> Result<()> {
+        if let Some((id, evals)) = self.pending.pop_front() {
+            ctx.charge_distances(evals, self.centers.dim());
+            out.emit(id, (point.to_vec(), 1));
+            return Ok(());
+        }
         self.process(point.to_vec(), out, ctx)
+    }
+
+    fn prepare_block(
+        &mut self,
+        points: &[f64],
+        norms: &[f64],
+        _ctx: &mut TaskContext,
+    ) -> Result<()> {
+        debug_assert!(self.pending.is_empty(), "undrained block");
+        self.pending.clear();
+        self.pending.extend(
+            self.centers
+                .nearest_block(points, norms)
+                .into_iter()
+                .map(|(_, id, _, evals)| (id, evals)),
+        );
+        Ok(())
     }
 }
 
@@ -182,6 +207,7 @@ impl Job for KMeansJob {
     fn create_mapper(&self) -> KMeansMapper {
         KMeansMapper {
             centers: Arc::clone(&self.centers),
+            pending: std::collections::VecDeque::new(),
         }
     }
 

@@ -65,6 +65,9 @@ pub struct ModelScoringMapper {
     sum_sq: f64,
     coord_sums: Vec<f64>,
     seen: u64,
+    /// Per-point `(d², evals)` rows — one entry per model — from the
+    /// blocked kernel, drained one row per `map_point` call.
+    pending: std::collections::VecDeque<Vec<(f64, u64)>>,
 }
 
 impl ModelScoringMapper {
@@ -76,12 +79,16 @@ impl ModelScoringMapper {
             ctx.charge_distances(evals, set.dim());
             self.partial_wcss[mi] += d2;
         }
+        self.accumulate_global(point);
+        Ok(())
+    }
+
+    fn accumulate_global(&mut self, point: &[f64]) {
         self.sum_sq += point.iter().map(|c| c * c).sum::<f64>();
         for (s, c) in self.coord_sums.iter_mut().zip(point) {
             *s += c;
         }
         self.seen += 1;
-        Ok(())
     }
 }
 
@@ -124,7 +131,40 @@ impl PointMapper for ModelScoringMapper {
         _out: &mut MapOutput<'_, u32, Partial>,
         ctx: &mut TaskContext,
     ) -> Result<()> {
+        if let Some(row) = self.pending.pop_front() {
+            for (mi, (d2, evals)) in row.into_iter().enumerate() {
+                ctx.charge_distances(evals, self.sets[mi].dim());
+                self.partial_wcss[mi] += d2;
+            }
+            self.accumulate_global(point);
+            return Ok(());
+        }
         self.process(point, ctx)
+    }
+
+    fn prepare_block(
+        &mut self,
+        points: &[f64],
+        norms: &[f64],
+        _ctx: &mut TaskContext,
+    ) -> Result<()> {
+        debug_assert!(self.pending.is_empty(), "undrained block");
+        self.pending.clear();
+        let n = norms.len();
+        let mut rows: Vec<Vec<(f64, u64)>> = vec![Vec::with_capacity(self.sets.len()); n];
+        for set in self.sets.iter() {
+            let block = set.nearest_block(points, norms);
+            if block.len() != n {
+                // Degenerate (empty) model: leave the queue empty so the
+                // scalar path reports the typed error per point.
+                return Ok(());
+            }
+            for (row, (_, _, d2, evals)) in rows.iter_mut().zip(block) {
+                row.push((d2, evals));
+            }
+        }
+        self.pending.extend(rows);
+        Ok(())
     }
 }
 
@@ -205,6 +245,7 @@ impl Job for ModelScoringJob {
             sum_sq: 0.0,
             coord_sums: vec![0.0; dim],
             seen: 0,
+            pending: std::collections::VecDeque::new(),
         }
     }
 

@@ -53,6 +53,9 @@ impl MultiKMeansJob {
 /// emit(k_centerid ⇒ point)".
 pub struct MultiKMeansMapper {
     sets: Arc<Vec<CenterSet>>,
+    /// Per-point `(id, evals)` rows — one entry per center set — from
+    /// the blocked kernel, drained one row per `map_point` call.
+    pending: std::collections::VecDeque<Vec<(i64, u64)>>,
 }
 
 impl Mapper for MultiKMeansMapper {
@@ -81,6 +84,13 @@ impl PointMapper for MultiKMeansMapper {
         ctx: &mut TaskContext,
     ) -> Result<()> {
         let dim = self.sets[0].dim();
+        if let Some(row) = self.pending.pop_front() {
+            for (ki, (id, evals)) in row.into_iter().enumerate() {
+                ctx.charge_distances(evals, dim);
+                out.emit((ki as u32, id as u32), (point.to_vec(), 1));
+            }
+            return Ok(());
+        }
         for (ki, set) in self.sets.iter().enumerate() {
             let (_, id, _, evals) = set
                 .nearest_with_cost(point)
@@ -88,6 +98,31 @@ impl PointMapper for MultiKMeansMapper {
             ctx.charge_distances(evals, dim);
             out.emit((ki as u32, id as u32), (point.to_vec(), 1));
         }
+        Ok(())
+    }
+
+    fn prepare_block(
+        &mut self,
+        points: &[f64],
+        norms: &[f64],
+        _ctx: &mut TaskContext,
+    ) -> Result<()> {
+        debug_assert!(self.pending.is_empty(), "undrained block");
+        self.pending.clear();
+        let n = norms.len();
+        let mut rows: Vec<Vec<(i64, u64)>> = vec![Vec::with_capacity(self.sets.len()); n];
+        for set in self.sets.iter() {
+            let block = set.nearest_block(points, norms);
+            if block.len() != n {
+                // Degenerate (empty) set: leave the queue empty so the
+                // scalar path reports the typed error per point.
+                return Ok(());
+            }
+            for (row, (_, id, _, evals)) in rows.iter_mut().zip(block) {
+                row.push((id, evals));
+            }
+        }
+        self.pending.extend(rows);
         Ok(())
     }
 }
@@ -136,6 +171,7 @@ impl Job for MultiKMeansJob {
     fn create_mapper(&self) -> MultiKMeansMapper {
         MultiKMeansMapper {
             sets: Arc::clone(&self.sets),
+            pending: std::collections::VecDeque::new(),
         }
     }
 
@@ -213,6 +249,7 @@ pub struct MultiKMeans {
     seed: u64,
     mode: ExecutionMode,
     kd_index: bool,
+    pruning: bool,
     checkpoint_dir: Option<String>,
 }
 
@@ -240,6 +277,7 @@ impl MultiKMeans {
             seed,
             mode: ExecutionMode::OnDisk,
             kd_index: false,
+            pruning: false,
             checkpoint_dir: None,
         }
     }
@@ -247,6 +285,15 @@ impl MultiKMeans {
     /// Enables the k-d-tree nearest-center index inside the job.
     pub fn with_kd_index(mut self, kd_index: bool) -> Self {
         self.kd_index = kd_index;
+        self
+    }
+
+    /// Enables triangle-inequality center pruning inside the job
+    /// (ignored when the k-d index is also enabled, which subsumes it).
+    /// Like the k-d index, pruning changes the charged evaluation counts
+    /// and therefore the simulated cost — it is opt-in.
+    pub fn with_pruning(mut self, pruning: bool) -> Self {
+        self.pruning = pruning;
         self
     }
 
@@ -372,15 +419,19 @@ impl MultiKMeans {
             .min(self.ks.iter().sum::<usize>())
             .max(1);
         while state.iteration < self.iterations {
-            let job_sets: Vec<CenterSet> = if self.kd_index {
-                state
-                    .sets
-                    .iter()
-                    .map(|s| s.clone().with_kd_index())
-                    .collect()
-            } else {
-                state.sets.clone()
-            };
+            let job_sets: Vec<CenterSet> = state
+                .sets
+                .iter()
+                .map(|s| {
+                    if self.kd_index {
+                        s.clone().with_kd_index()
+                    } else if self.pruning {
+                        s.clone().with_triangle_prune()
+                    } else {
+                        s.clone()
+                    }
+                })
+                .collect();
             let job = MultiKMeansJob::new(Arc::new(job_sets));
             let config = JobConfig::with_reducers(reducers);
             let result = match cache.as_ref() {

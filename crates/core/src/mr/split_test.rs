@@ -98,12 +98,26 @@ impl SplitTestSpec {
             .parents
             .nearest_with_cost(point)
             .ok_or_else(|| empty_centers_error("TestClusters"))?;
+        Ok(self.project_assigned(point, idx, id, evals, ctx))
+    }
+
+    /// Projects a point whose nearest parent was already found (by the
+    /// blocked kernel); charges the same cost in the same order as
+    /// [`SplitTestSpec::project`].
+    fn project_assigned(
+        &self,
+        point: &[f64],
+        idx: usize,
+        id: i64,
+        evals: u64,
+        ctx: &mut TaskContext,
+    ) -> Option<(i64, f64)> {
         ctx.charge_distances(evals, self.parents.dim());
-        Ok(self.projectors[idx].as_ref().map(|proj| {
+        self.projectors[idx].as_ref().map(|proj| {
             ctx.counters().inc(Counter::Projections);
             ctx.charge_compute(self.parents.dim() as f64);
             (id, proj.project(point))
-        }))
+        })
     }
 
     /// Runs the Anderson–Darling test on a buffered sample, mapping
@@ -151,6 +165,9 @@ impl TestClustersJob {
 /// Mapper: project every point onto its cluster's vector (Algorithm 3).
 pub struct TestClustersMapper {
     spec: SplitTestSpec,
+    /// `(index, id, evals)` rows from the blocked kernel, drained one
+    /// per `map_point` call; empty in text mode (scalar fallback).
+    pending: std::collections::VecDeque<(usize, i64, u64)>,
 }
 
 impl Mapper for TestClustersMapper {
@@ -178,9 +195,31 @@ impl PointMapper for TestClustersMapper {
         out: &mut MapOutput<'_, i64, f64>,
         ctx: &mut TaskContext,
     ) -> Result<()> {
-        if let Some((id, projection)) = self.spec.project(point, ctx)? {
+        let projected = match self.pending.pop_front() {
+            Some((idx, id, evals)) => self.spec.project_assigned(point, idx, id, evals, ctx),
+            None => self.spec.project(point, ctx)?,
+        };
+        if let Some((id, projection)) = projected {
             out.emit(id, projection);
         }
+        Ok(())
+    }
+
+    fn prepare_block(
+        &mut self,
+        points: &[f64],
+        norms: &[f64],
+        _ctx: &mut TaskContext,
+    ) -> Result<()> {
+        debug_assert!(self.pending.is_empty(), "undrained block");
+        self.pending.clear();
+        self.pending.extend(
+            self.spec
+                .parents
+                .nearest_block(points, norms)
+                .into_iter()
+                .map(|(idx, id, _, evals)| (idx, id, evals)),
+        );
         Ok(())
     }
 }
@@ -237,6 +276,7 @@ impl Job for TestClustersJob {
     fn create_mapper(&self) -> TestClustersMapper {
         TestClustersMapper {
             spec: self.spec.clone(),
+            pending: std::collections::VecDeque::new(),
         }
     }
 
@@ -272,6 +312,9 @@ impl TestFewClustersJob {
 pub struct TestFewClustersMapper {
     spec: SplitTestSpec,
     buffers: HashMap<i64, Vec<f64>>,
+    /// `(index, id, evals)` rows from the blocked kernel, drained one
+    /// per `map_point` call; empty in text mode (scalar fallback).
+    pending: std::collections::VecDeque<(usize, i64, u64)>,
 }
 
 impl Mapper for TestFewClustersMapper {
@@ -385,10 +428,32 @@ impl PointMapper for TestFewClustersMapper {
         _out: &mut MapOutput<'_, i64, SubVerdict>,
         ctx: &mut TaskContext,
     ) -> Result<()> {
-        if let Some((id, projection)) = self.spec.project(point, ctx)? {
+        let projected = match self.pending.pop_front() {
+            Some((idx, id, evals)) => self.spec.project_assigned(point, idx, id, evals, ctx),
+            None => self.spec.project(point, ctx)?,
+        };
+        if let Some((id, projection)) = projected {
             ctx.heap.charge(BYTES_PER_PROJECTION)?;
             self.buffers.entry(id).or_default().push(projection);
         }
+        Ok(())
+    }
+
+    fn prepare_block(
+        &mut self,
+        points: &[f64],
+        norms: &[f64],
+        _ctx: &mut TaskContext,
+    ) -> Result<()> {
+        debug_assert!(self.pending.is_empty(), "undrained block");
+        self.pending.clear();
+        self.pending.extend(
+            self.spec
+                .parents
+                .nearest_block(points, norms)
+                .into_iter()
+                .map(|(idx, id, _, evals)| (idx, id, evals)),
+        );
         Ok(())
     }
 }
@@ -408,6 +473,7 @@ impl Job for TestFewClustersJob {
         TestFewClustersMapper {
             spec: self.spec.clone(),
             buffers: HashMap::new(),
+            pending: std::collections::VecDeque::new(),
         }
     }
 

@@ -1,0 +1,249 @@
+//! Triangle-inequality center pruning for nearest-center search.
+//!
+//! Elkan-style acceleration keeps per-point bounds across iterations, but
+//! the paper's mappers are stateless — no point membership is persisted
+//! between jobs (§3). This pruner therefore keeps only *per-job* state
+//! derived from the centers themselves: for every `stride`-th "anchor"
+//! center `c_a`, the list of `(d²(c_a, c_j), j)` pairs over the
+//! remaining centers, sorted by distance ascending (the "sort-means"
+//! layout). A query then runs in two phases:
+//!
+//! 1. **prepass** — evaluate every `stride`-th center exactly; the best
+//!    of those becomes the *anchor* `a` and yields the initial radius.
+//! 2. **sorted scan** — walk the anchor's sorted row. By the triangle
+//!    inequality, `d(x, c_j) ≥ d(a, c_j) − d(x, a)`, so once
+//!    `d(a, c_j) > d(x, a) + r` every *remaining* entry of the ascending
+//!    row is provably farther than the current best and the scan stops.
+//!
+//! The break test is carried out on *squared* quantities with a small
+//! multiplicative guard, and only a *strict* excess stops the scan, so a
+//! center that could tie exactly is always evaluated. Every evaluation
+//! uses the exact [`squared_euclidean`] loop and the final winner is the
+//! minimal distance with the lowest center index — results are
+//! bit-identical to the naive first-wins scan, and the evaluation count
+//! reported to the §4 cost model is the number of distances actually
+//! computed (always in `[1, k]`).
+
+use crate::distance::{nearest_center_flat, squared_euclidean};
+
+/// Multiplicative guard on the stop test: the square roots and squared
+/// accumulations involved each carry a relative rounding error of a few
+/// ulps, far below 1e-9. Too wide a guard only scans a few extra
+/// entries; too narrow a one would silently change an argmin.
+const SKIP_GUARD: f64 = 1.0 + 1e-9;
+
+/// Precomputed, distance-sorted inter-center geometry enabling stateless
+/// triangle-inequality pruning.
+#[derive(Clone, Debug)]
+pub struct TrianglePruner {
+    k: usize,
+    /// Prepass step: every `stride`-th center is evaluated exactly,
+    /// giving a near-optimal anchor for ≈`√k` evaluations.
+    stride: usize,
+    /// Entries per sorted row: the number of non-prepass centers.
+    row_len: usize,
+    /// One row per prepass anchor `a = i·stride`, holding
+    /// `(d²(c_a, c_j), j)` for every *non-prepass* center `j`, sorted
+    /// ascending by distance (ties by index). Prepass centers are
+    /// excluded because every query evaluates them before the scan.
+    rows: Vec<(f64, u32)>,
+}
+
+impl TrianglePruner {
+    /// Builds the sorted inter-center distance rows for a flat row-major
+    /// center buffer. Costs ≈`k^1.5` distance evaluations plus `√k`
+    /// sorts of ≈`k` entries, paid once per job rather than per point.
+    ///
+    /// # Panics
+    /// Panics if `centers` is empty, `dim == 0`, or the buffer is ragged.
+    pub fn build(centers: &[f64], dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(!centers.is_empty(), "no centers");
+        assert_eq!(centers.len() % dim, 0, "ragged center buffer");
+        let k = centers.len() / dim;
+        let stride = (k as f64).sqrt().round().max(1.0) as usize;
+        let n_anchors = k.div_ceil(stride);
+        let row_len = k - n_anchors;
+        let mut rows = Vec::with_capacity(n_anchors * row_len);
+        for a in (0..k).step_by(stride) {
+            let ca = &centers[a * dim..(a + 1) * dim];
+            let start = rows.len();
+            for j in 0..k {
+                if j % stride != 0 {
+                    let d = squared_euclidean(ca, &centers[j * dim..(j + 1) * dim]);
+                    rows.push((d, j as u32));
+                }
+            }
+            rows[start..].sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        }
+        Self {
+            k,
+            stride,
+            row_len,
+            rows,
+        }
+    }
+
+    /// Number of centers the pruner was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Nearest center to `point` among the same `centers` the pruner was
+    /// built from, returning `(index, squared_distance, evaluations)`.
+    ///
+    /// The `(index, squared_distance)` pair is bit-identical to
+    /// [`nearest_center_flat`](crate::nearest_center_flat);
+    /// `evaluations ∈ [1, k]` is the count of exact distance
+    /// computations performed, charged to the cost model by callers.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `centers` disagrees with the build
+    /// buffer's row count.
+    pub fn nearest(&self, point: &[f64], centers: &[f64], dim: usize) -> (usize, f64, u64) {
+        debug_assert_eq!(centers.len(), self.k * dim, "center buffer mismatch");
+        let k = self.k;
+        // Prepass: exact evaluation of every `stride`-th center. The
+        // centers it covers are exactly those the sorted scan skips, so
+        // no center is ever evaluated twice and `evals ≤ k` holds.
+        let mut best_idx = 0usize;
+        let mut best_d2 = squared_euclidean(point, &centers[..dim]);
+        let mut evals = 1u64;
+        let mut j = self.stride;
+        while j < k {
+            let d2 = squared_euclidean(point, &centers[j * dim..(j + 1) * dim]);
+            evals += 1;
+            if d2 < best_d2 {
+                best_idx = j;
+                best_d2 = d2;
+            }
+            j += self.stride;
+        }
+
+        // The anchor is fixed for the whole scan; only the radius (and
+        // with it the stop threshold) tightens as the best improves.
+        let anchor = best_idx;
+        let dxa = best_d2.sqrt();
+        let mut limit = (dxa + dxa) * SKIP_GUARD;
+        let mut limit2 = limit * limit;
+        if !limit2.is_finite() {
+            // Non-finite coordinates poison the geometry; fall back to
+            // the plain scan so the result still matches it exactly.
+            let (idx, d2) = nearest_center_flat(point, centers, dim).expect("non-empty centers");
+            return (idx, d2, k as u64);
+        }
+
+        let row_idx = anchor / self.stride;
+        for &(d2_aj, cj) in &self.rows[row_idx * self.row_len..(row_idx + 1) * self.row_len] {
+            // Ascending row: the first entry beyond the threshold proves
+            // every remaining one is strictly farther than the best.
+            if d2_aj > limit2 {
+                break;
+            }
+            let j = cj as usize;
+            let d2 = squared_euclidean(point, &centers[j * dim..(j + 1) * dim]);
+            evals += 1;
+            if d2 < best_d2 || (d2 == best_d2 && j < best_idx) {
+                best_idx = j;
+                best_d2 = d2;
+                limit = (dxa + best_d2.sqrt()) * SKIP_GUARD;
+                limit2 = limit * limit;
+            }
+        }
+        (best_idx, best_d2, evals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::nearest_center_flat;
+    use proptest::prelude::*;
+
+    #[test]
+    fn prunes_far_centers_but_matches_scan() {
+        // Two tight groups far apart: points near group A should never
+        // evaluate most of group B.
+        let dim = 2;
+        let mut centers = Vec::new();
+        for i in 0..8 {
+            centers.extend_from_slice(&[i as f64 * 0.1, 0.0]);
+        }
+        for i in 0..8 {
+            centers.extend_from_slice(&[1000.0 + i as f64 * 0.1, 0.0]);
+        }
+        let pruner = TrianglePruner::build(&centers, dim);
+        let p = [0.35, 0.01];
+        let (idx, d2, evals) = pruner.nearest(&p, &centers, dim);
+        let (want_idx, want_d2) = nearest_center_flat(&p, &centers, dim).unwrap();
+        assert_eq!(idx, want_idx);
+        assert_eq!(d2.to_bits(), want_d2.to_bits());
+        assert!(evals < 16, "expected pruning, evaluated all {evals}");
+        assert!(evals >= 1);
+    }
+
+    #[test]
+    fn duplicate_centers_tie_keeps_lowest_index() {
+        let centers = [2.0, 2.0, 2.0, 2.0, 9.0, 9.0];
+        let pruner = TrianglePruner::build(&centers, 2);
+        let (idx, _, _) = pruner.nearest(&[2.0, 2.0], &centers, 2);
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn single_center() {
+        let centers = [3.0, -1.0];
+        let pruner = TrianglePruner::build(&centers, 2);
+        let (idx, d2, evals) = pruner.nearest(&[0.0, 0.0], &centers, 2);
+        assert_eq!((idx, evals), (0, 1));
+        assert_eq!(d2, 10.0);
+    }
+
+    proptest! {
+        #[test]
+        fn pruned_is_bit_identical_to_scan(
+            dim in 1usize..5,
+            k in 1usize..40,
+            n in 1usize..60,
+            seed: u64,
+        ) {
+            let mut state = seed | 1;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) * 50.0
+            };
+            let centers: Vec<f64> = (0..k * dim).map(|_| next()).collect();
+            let pruner = TrianglePruner::build(&centers, dim);
+            for _ in 0..n {
+                let p: Vec<f64> = (0..dim).map(|_| next()).collect();
+                let (idx, d2, evals) = pruner.nearest(&p, &centers, dim);
+                let (want_idx, want_d2) = nearest_center_flat(&p, &centers, dim).unwrap();
+                prop_assert_eq!(idx, want_idx);
+                prop_assert_eq!(d2.to_bits(), want_d2.to_bits());
+                prop_assert!(evals >= 1 && evals <= k as u64);
+            }
+        }
+
+        #[test]
+        fn pruned_handles_exact_ties(
+            n in 1usize..40,
+            seed: u64,
+        ) {
+            // Grid centers + midpoint points: many exact ties.
+            let mut state = seed | 1;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) % 5) as f64
+            };
+            let centers: Vec<f64> = (0..12).map(|_| next()).collect();
+            let pruner = TrianglePruner::build(&centers, 2);
+            for _ in 0..n {
+                let p = [next() + 0.5, next() + 0.5];
+                let (idx, d2, _) = pruner.nearest(&p, &centers, 2);
+                let (want_idx, want_d2) = nearest_center_flat(&p, &centers, 2).unwrap();
+                prop_assert_eq!(idx, want_idx);
+                prop_assert_eq!(d2.to_bits(), want_d2.to_bits());
+            }
+        }
+    }
+}

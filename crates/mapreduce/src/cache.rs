@@ -34,6 +34,9 @@ pub struct CachedSplit {
     pub text_bytes: usize,
     /// The decoded points.
     pub points: Dataset,
+    /// Per-point squared norms, computed once at cache build time and
+    /// reused by the blocked nearest-center kernel on every iteration.
+    pub norms: Vec<f64>,
 }
 
 /// A dataset parsed once and pinned in memory, partition-preserving.
@@ -74,11 +77,13 @@ impl PointCache {
                 }
                 points.push(&p);
             }
+            let norms = gmr_linalg::squared_norms(points.flat(), dim);
             splits.push(CachedSplit {
                 index: split.index,
                 offset: split.offset,
                 text_bytes: split.len(),
                 points,
+                norms,
             });
         }
         Ok(Self {
@@ -159,6 +164,13 @@ mod tests {
             .collect();
         assert_eq!(all[7], vec![7.0, 14.0]);
         assert_eq!(cache.memory_bytes(), 100 * 2 * 8);
+        // Norms were precomputed at build time, one per point.
+        for s in cache.splits() {
+            assert_eq!(s.norms.len(), s.points.len());
+            for (row, &n) in s.points.rows().zip(&s.norms) {
+                assert_eq!(n, row.iter().map(|x| x * x).sum::<f64>());
+            }
+        }
     }
 
     #[test]

@@ -197,6 +197,25 @@ pub trait PointMapper: Mapper {
         out: &mut MapOutput<'_, Self::Key, Self::Value>,
         ctx: &mut TaskContext,
     ) -> Result<()>;
+
+    /// Batched fast path: called by the cached runtime with a flat block
+    /// of points (and their cached squared norms) *before* the per-point
+    /// [`PointMapper::map_point`] calls for those same points, in order.
+    ///
+    /// Mappers on a distance-heavy path precompute nearest-center
+    /// results for the whole block here (feeding the blocked kernel) and
+    /// drain them one per `map_point` call, so emission order, spill
+    /// boundaries, and counter timing stay byte-identical to the
+    /// unbatched path. The default does nothing — `map_point` then
+    /// computes from scratch, which is also the text-mode behavior.
+    fn prepare_block(
+        &mut self,
+        _points: &[f64],
+        _norms: &[f64],
+        _ctx: &mut TaskContext,
+    ) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// Streaming access to the values of one reduce group.

@@ -39,6 +39,11 @@ use crate::job::{
 };
 use crate::shuffle::{encode_segment, sort_and_combine, MergeIter, Segment};
 
+/// Points per [`PointMapper::prepare_block`] batch in cached execution:
+/// big enough to amortize the blocked kernel's tile sweeps, small enough
+/// that a block of precomputed assignments stays cache-resident.
+const MAP_BLOCK_POINTS: usize = 256;
+
 /// Result of one executed job.
 #[derive(Debug)]
 pub struct JobResult<O> {
@@ -427,20 +432,31 @@ impl JobRunner {
         let mut mapper = job.create_mapper();
 
         mapper.setup(&mut ctx)?;
-        for point in split.points.rows() {
-            counters.inc(Counter::MapInputRecords);
-            let mut out = MapOutput {
-                emitter: &mut emitter,
-                partitioner: &partitioner,
-                counters,
-            };
-            mapper.map_point(point, &mut out, &mut ctx)?;
-            if emitter.records_since_spill() >= config.spill_threshold_records {
-                counters.inc(Counter::Spills);
-                for part in emitter.partitions_mut() {
-                    sort_and_combine(job, part, counters);
+        // Hand the mapper whole point blocks (the blocked-kernel fast
+        // path), then drive the per-point loop unchanged so spill
+        // boundaries and counter order match the unbatched execution.
+        let dim = split.points.dim();
+        let flat = split.points.flat();
+        let block_floats = MAP_BLOCK_POINTS * dim;
+        for (block_idx, block) in flat.chunks(block_floats).enumerate() {
+            let rows = block.len() / dim;
+            let base = block_idx * MAP_BLOCK_POINTS;
+            mapper.prepare_block(block, &split.norms[base..base + rows], &mut ctx)?;
+            for point in block.chunks_exact(dim) {
+                counters.inc(Counter::MapInputRecords);
+                let mut out = MapOutput {
+                    emitter: &mut emitter,
+                    partitioner: &partitioner,
+                    counters,
+                };
+                mapper.map_point(point, &mut out, &mut ctx)?;
+                if emitter.records_since_spill() >= config.spill_threshold_records {
+                    counters.inc(Counter::Spills);
+                    for part in emitter.partitions_mut() {
+                        sort_and_combine(job, part, counters);
+                    }
+                    emitter.reset_spill_window();
                 }
-                emitter.reset_spill_window();
             }
         }
         {
