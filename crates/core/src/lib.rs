@@ -77,8 +77,9 @@ pub mod prelude {
     pub use crate::eval::{assign, average_distance, wcss, Assignment};
     pub use crate::merge::{merge_close_centers, MergeResult};
     pub use crate::mr::{
-        check_input, CenterSet, ExecutionMode, InputCheck, KMeansParallelInit, MRGMeans,
-        MRGMeansResult, MRKMeans, MultiKMeans, TestStrategy,
+        check_input, CenterSet, Engine, EngineCtx, ExecutionMode, InputCheck, IterativeAlgorithm,
+        JobOutputs, KMeansParallelInit, MRGMeans, MRGMeansResult, MRKMeans, MultiKMeans,
+        PlannedJob, RunStats, SegmentStats, Step, TestStrategy,
     };
     pub use crate::selection;
     pub use crate::serial::{

@@ -18,6 +18,44 @@ use std::sync::Arc;
 /// value of OFFSET is thus 2⁶²" (§3.1).
 pub const OFFSET: i64 = 1 << 62;
 
+/// The typed view of the dual-output key multiplexing in
+/// `KMeansAndFindNewCenters` (§3.1): one shuffle carries both the
+/// refine-center channel (plain center ids) and the candidate-center
+/// channel (ids shifted by [`OFFSET`]). The wire format stays the
+/// paper's raw `i64` arithmetic — [`ChannelKey::encode`] produces
+/// exactly `id` or `id + OFFSET` — but mappers and reducers demux
+/// through this enum instead of comparing against `OFFSET` by hand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChannelKey {
+    /// A center-refinement record keyed by the center's own id.
+    Refine(i64),
+    /// A split-candidate record for the center with this id, keyed on
+    /// the wire as `id + OFFSET`.
+    Candidate(i64),
+}
+
+impl ChannelKey {
+    /// The raw shuffle key: `id` for the refine channel, `id + OFFSET`
+    /// for the candidate channel.
+    pub fn encode(self) -> i64 {
+        match self {
+            ChannelKey::Refine(id) => id,
+            ChannelKey::Candidate(id) => id + OFFSET,
+        }
+    }
+
+    /// Classifies a raw shuffle key back into its channel. Center ids
+    /// are always below [`OFFSET`] (enforced by [`CenterSet::push`]),
+    /// so the comparison is exact.
+    pub fn decode(key: i64) -> Self {
+        if key >= OFFSET {
+            ChannelKey::Candidate(key - OFFSET)
+        } else {
+            ChannelKey::Refine(key)
+        }
+    }
+}
+
 /// An ordered set of centers with stable ids.
 ///
 /// Nearest-center lookup defaults to the linear scan the paper's

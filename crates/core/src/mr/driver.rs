@@ -23,71 +23,36 @@
 //! paper's ≈1.5× (Table 1); [`crate::merge`] implements the
 //! post-processing the paper leaves as future work.
 //!
-//! # Crash recovery
-//!
-//! With [`MRGMeans::with_checkpoints`] the driver journals its complete
-//! loop state (hierarchy, counters, clock, reports) through a DFS-backed
-//! [`RunJournal`] after every iteration, plus a seq-0 snapshot right
-//! after `PickInitialCenters`. A driver killed mid-run — including by an
-//! injected [`gmr_mapreduce::faults::FaultPlan`] driver crash — resumes
-//! with [`MRGMeans::resume`] from the newest intact snapshot and
-//! produces a result bit-identical to an uninterrupted run: job-level
-//! fault draws are keyed by (job, kind, index, attempt), so replaying an
-//! interrupted iteration re-derives the same attempts, counters and
-//! simulated seconds, and checkpoint commit charges are re-applied in
-//! the same order on both paths.
+//! The driver is a [`GMeansAlgo`] state machine on the generic
+//! [`Engine`]: each G-means iteration is one engine segment of several
+//! job waves (k-means refinements, the fused find-new-centers job, the
+//! split test, an optional reducer-side retry), checkpointed at the
+//! iteration boundary. Crash recovery, fault degradation, counters and
+//! clocks are the engine's; the state machine only decides what job
+//! comes next and how its outputs fold into the cluster hierarchy.
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
 
 use gmr_linalg::{Dataset, SegmentProjector};
-use gmr_mapreduce::cache::PointCache;
-use gmr_mapreduce::checkpoint::{no_journal_error, RunJournal};
 use gmr_mapreduce::counters::Counters;
-use gmr_mapreduce::job::{Job, JobConfig, PointMapper};
-use gmr_mapreduce::runtime::{JobResult, JobRunner};
+use gmr_mapreduce::writable::Writable;
 use gmr_mapreduce::{Error, Result};
 
 use crate::config::GMeansConfig;
 use crate::mr::bic_test::{BicTestJob, BicTestSpec};
 use crate::mr::centers::{apply_updates, CenterSet, CenterUpdate};
-use crate::mr::checkpoint::{
-    apply_commit_charge, commit_snapshot, counters_from_vec, counters_to_vec, decode_snapshot,
-    encode_snapshot, strategy_from_tag, strategy_tag, ChildSnap, GMeansSnapshot, ParentSnap,
-    ReportSnap, GMEANS_MAGIC,
+use crate::mr::engine::{
+    Engine, EngineCtx, ExecutionMode, IterativeAlgorithm, JobOutputs, PlannedJob, RunStats,
+    SegmentStats, Step,
 };
 use crate::mr::find_new_centers::{FindNewCentersJob, FindNewOutput};
 use crate::mr::kmeans_job::KMeansJob;
-use crate::mr::sample::sample_points;
 use crate::mr::split_test::{
     SplitTestSpec, TestClustersJob, TestDecision, TestFewClustersJob, TestOutcome,
 };
 use crate::mr::strategy::{choose_strategy, TestStrategy};
-
-/// Sorts job errors into task failures the driver absorbs (the job
-/// exhausted its attempt budget — heap, degenerate input or otherwise)
-/// versus environment/configuration errors that must propagate. Used by
-/// both MapReduce drivers to degrade gracefully under injected faults.
-///
-/// [`Error::DriverCrash`] deliberately propagates: a crashed driver
-/// process cannot catch its own death — recovery happens in a fresh
-/// process through `resume`.
-pub(crate) fn recover_task_failure<T>(
-    failure: &mut Option<Error>,
-    res: Result<T>,
-) -> Result<Option<T>> {
-    match res {
-        Ok(v) => Ok(Some(v)),
-        Err(
-            e @ (Error::HeapSpace { .. } | Error::AttemptsExhausted { .. } | Error::Degenerate(_)),
-        ) => {
-            *failure = Some(e);
-            Ok(None)
-        }
-        Err(e) => Err(e),
-    }
-}
+use gmr_mapreduce::runtime::JobRunner;
 
 /// A candidate next-iteration center.
 #[derive(Clone, Debug)]
@@ -193,43 +158,769 @@ pub enum SplitCriterion {
     Bic,
 }
 
-/// How the driver feeds the dataset to its jobs.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum ExecutionMode {
-    /// Hadoop-style: every job re-reads and re-parses the text dataset
-    /// from the DFS (the paper's implementation).
-    #[default]
-    OnDisk,
-    /// Spark-style (the paper's §6 future work): the dataset is parsed
-    /// once into an in-memory, partition-preserving [`PointCache`];
-    /// every job scans the decoded points. One dataset read total
-    /// instead of one per job.
-    Cached,
+/// Where inside one G-means iteration the state machine stands: which
+/// job wave [`GMeansAlgo::plan`] emits next.
+enum GPhase {
+    /// `remaining` plain k-means refinement waves left before the fused
+    /// job.
+    Refine { remaining: usize },
+    /// The fused `KMeansAndFindNewCenters` wave.
+    FindNew,
+    /// The split-test wave (BIC aggregation, or the §3.2
+    /// strategy-chosen Anderson–Darling job).
+    Test,
+    /// Reducer-side re-test of clusters the mapper-side job left
+    /// undecided.
+    Retry,
 }
 
-/// The G-means driver's complete loop state — everything the journal
-/// must capture for a resumed run to continue bit-identically.
-struct GState {
+/// Intra-iteration scratch: everything the iteration accumulates
+/// between its job waves. Deliberately *not* checkpointed — a resume
+/// replays the interrupted iteration from its boundary snapshot and
+/// re-derives identical scratch.
+struct IterScratch {
+    phase: GPhase,
+    clusters_before: usize,
+    /// Centers being refined this iteration (children of splitting
+    /// parents + centers of found ones).
+    current: CenterSet,
+    kmeans_reducers: usize,
+    /// Post-refinement per-center point counts.
+    counts: HashMap<i64, u64>,
+    /// Candidate next-iteration centers per current center.
+    candidates: HashMap<i64, Vec<Vec<f64>>>,
+    /// Split vectors per parent index (`None` = not testable).
+    projectors: Vec<Option<SegmentProjector>>,
+    /// Child coordinate pairs per parent index (the BIC test's input).
+    child_pairs: Vec<Option<(Vec<f64>, Vec<f64>)>>,
+    /// Parent indices settled without a job (empty half / too small /
+    /// degenerate axis).
+    auto_normal: Vec<usize>,
+    clusters_tested: usize,
+    decisions: HashMap<i64, TestOutcome>,
+    strategy_used: Option<TestStrategy>,
+    /// Ids the mapper-side test left undecided (feeds the retry wave).
+    undecided: Vec<i64>,
+}
+
+/// The G-means driver's complete loop state at an iteration boundary.
+pub struct GState {
     dim: usize,
     next_id: i64,
     iteration: usize,
-    jobs: usize,
-    /// Logical dataset reads so far (sample + cache build + per-job
-    /// scans). Tracked driver-side rather than diffed from DFS stats so
-    /// the physical re-read a resume needs (rebuilding the point cache)
-    /// does not count twice.
-    reads: u64,
-    simulated: f64,
     parents: Vec<Parent>,
     reports: Vec<IterationReport>,
-    counters: Counters,
+    /// In-flight iteration scratch; `None` at boundaries.
+    scratch: Option<IterScratch>,
+}
+
+/// Journal wire form of [`GState`] (run totals travel in the engine's
+/// frame, not here; scratch is re-derived by replaying the iteration).
+pub struct GMeansSnapshot {
+    dim: u32,
+    next_id: i64,
+    iteration: u64,
+    parents: Vec<ParentSnap>,
+    reports: Vec<ReportSnap>,
+}
+
+impl Writable for GMeansSnapshot {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.dim.write(buf);
+        self.next_id.write(buf);
+        self.iteration.write(buf);
+        self.parents.write(buf);
+        self.reports.write(buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Self {
+            dim: u32::read(buf)?,
+            next_id: i64::read(buf)?,
+            iteration: u64::read(buf)?,
+            parents: Vec::read(buf)?,
+            reports: Vec::read(buf)?,
+        })
+    }
+}
+
+/// Wire form of a [`Child`].
+struct ChildSnap {
+    id: i64,
+    coords: Vec<f64>,
+}
+
+impl Writable for ChildSnap {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.id.write(buf);
+        self.coords.write(buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Self {
+            id: i64::read(buf)?,
+            coords: Vec::read(buf)?,
+        })
+    }
+}
+
+/// Wire form of a [`Parent`].
+struct ParentSnap {
+    id: i64,
+    center: Vec<f64>,
+    found: bool,
+    count: u64,
+    normal_streak: u8,
+    children: Vec<ChildSnap>,
+}
+
+impl Writable for ParentSnap {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.id.write(buf);
+        self.center.write(buf);
+        self.found.write(buf);
+        self.count.write(buf);
+        self.normal_streak.write(buf);
+        self.children.write(buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Self {
+            id: i64::read(buf)?,
+            center: Vec::read(buf)?,
+            found: bool::read(buf)?,
+            count: u64::read(buf)?,
+            normal_streak: u8::read(buf)?,
+            children: Vec::read(buf)?,
+        })
+    }
+}
+
+/// Wire form of an [`IterationReport`].
+struct ReportSnap {
+    iteration: u64,
+    clusters_before: u64,
+    clusters_tested: u64,
+    splits: u64,
+    found_after: u64,
+    clusters_after: u64,
+    strategy: Option<u8>,
+    simulated_secs: f64,
+    jobs: u64,
+    dim: u32,
+    centers_flat: Vec<f64>,
+    error: Option<String>,
+}
+
+impl Writable for ReportSnap {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.iteration.write(buf);
+        self.clusters_before.write(buf);
+        self.clusters_tested.write(buf);
+        self.splits.write(buf);
+        self.found_after.write(buf);
+        self.clusters_after.write(buf);
+        self.strategy.write(buf);
+        self.simulated_secs.write(buf);
+        self.jobs.write(buf);
+        self.dim.write(buf);
+        self.centers_flat.write(buf);
+        self.error.write(buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Self {
+            iteration: u64::read(buf)?,
+            clusters_before: u64::read(buf)?,
+            clusters_tested: u64::read(buf)?,
+            splits: u64::read(buf)?,
+            found_after: u64::read(buf)?,
+            clusters_after: u64::read(buf)?,
+            strategy: Option::read(buf)?,
+            simulated_secs: f64::read(buf)?,
+            jobs: u64::read(buf)?,
+            dim: u32::read(buf)?,
+            centers_flat: Vec::read(buf)?,
+            error: Option::read(buf)?,
+        })
+    }
+}
+
+/// Stable wire tag of a [`TestStrategy`].
+fn strategy_tag(s: TestStrategy) -> u8 {
+    match s {
+        TestStrategy::FewClusters => 0,
+        TestStrategy::Clusters => 1,
+    }
+}
+
+/// Inverse of [`strategy_tag`].
+fn strategy_from_tag(tag: u8) -> Result<TestStrategy> {
+    match tag {
+        0 => Ok(TestStrategy::FewClusters),
+        1 => Ok(TestStrategy::Clusters),
+        other => Err(Error::Corrupt(format!("unknown strategy tag {other}"))),
+    }
+}
+
+/// G-means (Algorithm 1) as a pure state machine on the [`Engine`].
+pub struct GMeansAlgo {
+    config: GMeansConfig,
+    criterion: SplitCriterion,
+    force_strategy: Option<TestStrategy>,
+}
+
+impl GMeansAlgo {
+    fn parent_set(&self, parents: &[Parent], dim: usize) -> CenterSet {
+        let mut set = CenterSet::new(dim);
+        for p in parents {
+            set.push(p.id, &p.center);
+        }
+        set
+    }
+
+    /// Ends the iteration: folds decisions into the hierarchy and
+    /// pushes the iteration report.
+    fn finalize_iteration(&self, state: &mut GState, scratch: IterScratch, seg: &SegmentStats) {
+        let IterScratch {
+            clusters_before,
+            counts,
+            mut candidates,
+            auto_normal,
+            clusters_tested,
+            decisions,
+            strategy_used,
+            ..
+        } = scratch;
+        let mut splits = 0usize;
+        let parents = std::mem::take(&mut state.parents);
+        let mut next_parents: Vec<Parent> = Vec::with_capacity(parents.len() * 2);
+        for (pi, p) in parents.into_iter().enumerate() {
+            if p.found {
+                next_parents.push(p);
+                continue;
+            }
+            let decision = if auto_normal.contains(&pi) {
+                TestDecision::Normal
+            } else {
+                decisions
+                    .get(&p.id)
+                    .map(|o| o.decision)
+                    // No projections reached the test (e.g. the
+                    // cluster lost all its points to neighbours):
+                    // keep the center.
+                    .unwrap_or(TestDecision::Normal)
+            };
+            match decision {
+                TestDecision::Normal | TestDecision::Undecided => {
+                    // The BIC criterion retries once with a fresh
+                    // child pair (serial X-means re-attempts every
+                    // structure round); a one-shot keep-verdict is
+                    // too sensitive to an unlucky candidate pair.
+                    let streak = p.normal_streak + 1;
+                    let retries = match self.criterion {
+                        SplitCriterion::AndersonDarling => 1,
+                        SplitCriterion::Bic => 2,
+                    };
+                    let fresh_pair = (!p.children.is_empty()).then(|| {
+                        let a = candidates
+                            .remove(&p.children[0].id)
+                            .unwrap_or_default()
+                            .into_iter()
+                            .next();
+                        let b = candidates
+                            .remove(&p.children[1].id)
+                            .unwrap_or_default()
+                            .into_iter()
+                            .next();
+                        (a, b)
+                    });
+                    if streak >= retries {
+                        next_parents.push(Parent {
+                            found: true,
+                            children: Vec::new(),
+                            ..p
+                        });
+                    } else if let Some((Some(a), Some(b))) = fresh_pair {
+                        let mut kids = Vec::with_capacity(2);
+                        for coords in [a, b] {
+                            kids.push(Child {
+                                id: state.next_id,
+                                coords,
+                            });
+                            state.next_id += 1;
+                        }
+                        next_parents.push(Parent {
+                            normal_streak: streak,
+                            children: kids,
+                            ..p
+                        });
+                    } else {
+                        // No fresh candidates: accept.
+                        next_parents.push(Parent {
+                            found: true,
+                            children: Vec::new(),
+                            ..p
+                        });
+                    }
+                }
+                TestDecision::Split => {
+                    splits += 1;
+                    for ch in p.children {
+                        let count = counts.get(&ch.id).copied().unwrap_or(0);
+                        let cands = candidates.remove(&ch.id).unwrap_or_default();
+                        let (found, children) = if cands.len() < 2 {
+                            (true, Vec::new())
+                        } else {
+                            let mut kids = Vec::with_capacity(2);
+                            for coords in cands.into_iter().take(2) {
+                                kids.push(Child {
+                                    id: state.next_id,
+                                    coords,
+                                });
+                                state.next_id += 1;
+                            }
+                            (false, kids)
+                        };
+                        next_parents.push(Parent {
+                            id: ch.id,
+                            center: ch.coords,
+                            found,
+                            count,
+                            normal_streak: 0,
+                            children,
+                        });
+                    }
+                }
+            }
+        }
+        state.parents = next_parents;
+
+        let mut centers_after = Dataset::with_capacity(state.dim, state.parents.len());
+        for p in &state.parents {
+            centers_after.push(&p.center);
+        }
+        state.reports.push(IterationReport {
+            iteration: state.iteration,
+            clusters_before,
+            clusters_tested,
+            splits,
+            found_after: state.parents.iter().filter(|p| p.found).count(),
+            clusters_after: state.parents.len(),
+            strategy: strategy_used,
+            simulated_secs: seg.simulated_secs,
+            jobs: seg.jobs,
+            centers_after,
+            error: None,
+        });
+    }
+}
+
+impl IterativeAlgorithm for GMeansAlgo {
+    type State = GState;
+    type Snapshot = GMeansSnapshot;
+    type Output = MRGMeansResult;
+
+    const NAME: &'static str = "MRGMeans";
+    const MAGIC: u32 = 0x474d_4e01;
+
+    /// `PickInitialCenters`: one serial sample read and the initial
+    /// one-cluster hierarchy.
+    fn fresh(&self, ctx: &mut EngineCtx<'_>) -> Result<GState> {
+        let sample = ctx.sample(64, self.config.seed)?;
+        let dim = sample.dim();
+        let mut acc = gmr_linalg::CentroidAccumulator::new(dim);
+        for row in sample.rows() {
+            acc.push(row);
+        }
+        let mean = acc.mean().expect("nonempty sample").into_vec();
+        let (i1, i2) = (
+            0,
+            if sample.len() > 1 {
+                sample.len() / 2
+            } else {
+                0
+            },
+        );
+        let parents = vec![Parent {
+            id: 0,
+            center: mean,
+            found: false,
+            count: 0,
+            normal_streak: 0,
+            children: vec![
+                Child {
+                    id: 1,
+                    coords: sample.row(i1).to_vec(),
+                },
+                Child {
+                    id: 2,
+                    coords: sample.row(i2).to_vec(),
+                },
+            ],
+        }];
+        Ok(GState {
+            dim,
+            next_id: 3,
+            iteration: 0,
+            parents,
+            reports: Vec::new(),
+            scratch: None,
+        })
+    }
+
+    fn dim(&self, state: &GState) -> Result<usize> {
+        Ok(state.dim)
+    }
+
+    fn done(&self, state: &GState) -> bool {
+        state.parents.iter().all(|p| p.found) || state.iteration >= self.config.max_iterations
+    }
+
+    fn seq(&self, state: &GState) -> u64 {
+        state.iteration as u64
+    }
+
+    fn plan(&self, state: &mut GState, ctx: &EngineCtx<'_>) -> Result<Vec<PlannedJob>> {
+        if state.scratch.is_none() {
+            // Iteration start: snapshot the hierarchy into the current
+            // center set (children of splitting parents, centers of
+            // found ones).
+            state.iteration += 1;
+            let mut current = CenterSet::new(state.dim);
+            for p in &state.parents {
+                if p.found {
+                    current.push(p.id, &p.center);
+                } else {
+                    for ch in &p.children {
+                        current.push(ch.id, &ch.coords);
+                    }
+                }
+            }
+            let kmeans_reducers = ctx.reduce_tasks(current.len());
+            let refinements = self.config.kmeans_iterations_per_round.max(1) - 1;
+            state.scratch = Some(IterScratch {
+                phase: if refinements > 0 {
+                    GPhase::Refine {
+                        remaining: refinements,
+                    }
+                } else {
+                    GPhase::FindNew
+                },
+                clusters_before: state.parents.len(),
+                current,
+                kmeans_reducers,
+                counts: HashMap::new(),
+                candidates: HashMap::new(),
+                projectors: Vec::new(),
+                child_pairs: Vec::new(),
+                auto_normal: Vec::new(),
+                clusters_tested: 0,
+                decisions: HashMap::new(),
+                strategy_used: None,
+                undecided: Vec::new(),
+            });
+        }
+        let scratch = state.scratch.as_mut().expect("scratch initialized above");
+        match &scratch.phase {
+            GPhase::Refine { .. } => {
+                let job = KMeansJob::new(Arc::new(ctx.prepare(scratch.current.clone())));
+                Ok(vec![PlannedJob::new(job, scratch.kmeans_reducers)])
+            }
+            GPhase::FindNew => {
+                let job = FindNewCentersJob::new(
+                    Arc::new(ctx.prepare(scratch.current.clone())),
+                    self.config.seed ^ (state.iteration as u64).wrapping_mul(0x9e37),
+                );
+                Ok(vec![PlannedJob::new(job, scratch.kmeans_reducers)])
+            }
+            GPhase::Test => {
+                let parent_set = Arc::new(ctx.prepare(self.parent_set(&state.parents, state.dim)));
+                let test_reducers = ctx.reduce_tasks(scratch.clusters_tested);
+                if self.criterion == SplitCriterion::Bic {
+                    // X-means decision: one aggregation job, no strategy
+                    // switch needed (the aggregates are tiny).
+                    let spec = BicTestSpec::new(
+                        parent_set,
+                        Arc::new(scratch.child_pairs.clone()),
+                        self.config.min_test_sample,
+                    );
+                    Ok(vec![PlannedJob::new(BicTestJob::new(spec), test_reducers)])
+                } else {
+                    let biggest = state
+                        .parents
+                        .iter()
+                        .enumerate()
+                        .filter(|(pi, p)| !p.found && scratch.projectors[*pi].is_some())
+                        .map(|(_, p)| p.count)
+                        .max()
+                        .unwrap_or(0);
+                    let strategy = self.force_strategy.unwrap_or_else(|| {
+                        choose_strategy(scratch.clusters_tested, biggest, ctx.cluster())
+                    });
+                    scratch.strategy_used = Some(strategy);
+                    let spec = SplitTestSpec::new(
+                        parent_set,
+                        Arc::new(scratch.projectors.clone()),
+                        self.config.ad_test(),
+                    );
+                    Ok(vec![match strategy {
+                        TestStrategy::FewClusters => {
+                            PlannedJob::new(TestFewClustersJob::new(spec), test_reducers)
+                        }
+                        TestStrategy::Clusters => {
+                            PlannedJob::new(TestClustersJob::new(spec), test_reducers)
+                        }
+                    }])
+                }
+            }
+            GPhase::Retry => {
+                // Mapper-side testing came back undecided where every
+                // split's sub-sample was too small; re-test those with
+                // the reducer-side strategy (an extra job, only when
+                // needed).
+                let mut retry_projectors: Vec<Option<SegmentProjector>> =
+                    vec![None; state.parents.len()];
+                for (pi, p) in state.parents.iter().enumerate() {
+                    if scratch.undecided.contains(&p.id) {
+                        retry_projectors[pi] = scratch.projectors[pi].clone();
+                    }
+                }
+                let parent_set = Arc::new(ctx.prepare(self.parent_set(&state.parents, state.dim)));
+                let spec = SplitTestSpec::new(
+                    parent_set,
+                    Arc::new(retry_projectors),
+                    self.config.ad_test(),
+                );
+                Ok(vec![PlannedJob::new(
+                    TestClustersJob::new(spec),
+                    ctx.reduce_tasks(scratch.undecided.len()),
+                )])
+            }
+        }
+    }
+
+    fn apply(
+        &self,
+        state: &mut GState,
+        mut outputs: Vec<JobOutputs>,
+        seg: &SegmentStats,
+    ) -> Result<Step> {
+        let mut scratch = state.scratch.take().expect("apply without plan");
+        match scratch.phase {
+            GPhase::Refine { remaining } => {
+                let updates = outputs.remove(0).take::<CenterUpdate>();
+                let (next, _) = apply_updates(&scratch.current, &updates);
+                scratch.current = next;
+                scratch.phase = if remaining > 1 {
+                    GPhase::Refine {
+                        remaining: remaining - 1,
+                    }
+                } else {
+                    GPhase::FindNew
+                };
+                state.scratch = Some(scratch);
+                Ok(Step::Continue)
+            }
+            GPhase::FindNew => {
+                let output = outputs.remove(0).take::<FindNewOutput>();
+                let mut updates: Vec<CenterUpdate> = Vec::new();
+                for out in output {
+                    match out {
+                        FindNewOutput::Update(u) => updates.push(u),
+                        FindNewOutput::Candidates { id, points } => {
+                            scratch.candidates.insert(id, points);
+                        }
+                    }
+                }
+                let (refined, counts_vec) = apply_updates(&scratch.current, &updates);
+                scratch.current = refined;
+                scratch.counts = (0..scratch.current.len())
+                    .map(|i| (scratch.current.id(i), counts_vec[i]))
+                    .collect();
+
+                // Push the refined positions back into the hierarchy.
+                for p in state.parents.iter_mut() {
+                    if p.found {
+                        if let Some(idx) = scratch.current.index_of(p.id) {
+                            p.center = scratch.current.coords(idx).to_vec();
+                            p.count = scratch.counts[&p.id];
+                        }
+                    } else {
+                        for ch in p.children.iter_mut() {
+                            if let Some(idx) = scratch.current.index_of(ch.id) {
+                                ch.coords = scratch.current.coords(idx).to_vec();
+                            }
+                        }
+                        p.count = p
+                            .children
+                            .iter()
+                            .map(|ch| scratch.counts.get(&ch.id).copied().unwrap_or(0))
+                            .sum();
+                    }
+                }
+
+                // Build projectors; settle trivial cases without a job.
+                scratch.projectors = vec![None; state.parents.len()];
+                scratch.child_pairs = vec![None; state.parents.len()];
+                for (pi, p) in state.parents.iter().enumerate() {
+                    if p.found {
+                        continue;
+                    }
+                    let c1 = &p.children[0];
+                    let c2 = &p.children[1];
+                    let n1 = scratch.counts.get(&c1.id).copied().unwrap_or(0);
+                    let n2 = scratch.counts.get(&c2.id).copied().unwrap_or(0);
+                    if n1 == 0 || n2 == 0 || n1 + n2 < self.config.min_test_sample as u64 {
+                        // Nothing to split: an empty half or a cluster
+                        // too small to test.
+                        scratch.auto_normal.push(pi);
+                        continue;
+                    }
+                    let proj = SegmentProjector::new(&c1.coords, &c2.coords);
+                    if proj.is_degenerate() {
+                        scratch.auto_normal.push(pi);
+                    } else {
+                        scratch.projectors[pi] = Some(proj);
+                        scratch.child_pairs[pi] = Some((c1.coords.clone(), c2.coords.clone()));
+                    }
+                }
+                scratch.clusters_tested = scratch.projectors.iter().filter(|p| p.is_some()).count();
+
+                if scratch.clusters_tested > 0 {
+                    scratch.phase = GPhase::Test;
+                    state.scratch = Some(scratch);
+                    Ok(Step::Continue)
+                } else {
+                    self.finalize_iteration(state, scratch, seg);
+                    Ok(Step::Boundary)
+                }
+            }
+            GPhase::Test => {
+                let outcomes = outputs.remove(0).take::<TestOutcome>();
+                for o in outcomes {
+                    scratch.decisions.insert(o.parent_id, o);
+                }
+                if self.criterion == SplitCriterion::Bic {
+                    // The BIC aggregation decides every cluster in one
+                    // pass; there is no undecided retry.
+                    self.finalize_iteration(state, scratch, seg);
+                    return Ok(Step::Boundary);
+                }
+                scratch.undecided = scratch
+                    .decisions
+                    .values()
+                    .filter(|o| o.decision == TestDecision::Undecided)
+                    .map(|o| o.parent_id)
+                    .collect();
+                if scratch.undecided.is_empty() {
+                    self.finalize_iteration(state, scratch, seg);
+                    Ok(Step::Boundary)
+                } else {
+                    scratch.phase = GPhase::Retry;
+                    state.scratch = Some(scratch);
+                    Ok(Step::Continue)
+                }
+            }
+            GPhase::Retry => {
+                let outcomes = outputs.remove(0).take::<TestOutcome>();
+                for o in outcomes {
+                    scratch.decisions.insert(o.parent_id, o);
+                }
+                self.finalize_iteration(state, scratch, seg);
+                Ok(Step::Boundary)
+            }
+        }
+    }
+
+    fn snapshot(&self, state: &GState) -> GMeansSnapshot {
+        GMeansSnapshot {
+            dim: state.dim as u32,
+            next_id: state.next_id,
+            iteration: state.iteration as u64,
+            parents: state.parents.iter().map(parent_to_snap).collect(),
+            reports: state.reports.iter().map(report_to_snap).collect(),
+        }
+    }
+
+    fn restore(&self, snap: GMeansSnapshot) -> Result<GState> {
+        let reports = snap
+            .reports
+            .into_iter()
+            .map(report_from_snap)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(GState {
+            dim: snap.dim as usize,
+            next_id: snap.next_id,
+            iteration: snap.iteration as usize,
+            parents: snap.parents.into_iter().map(parent_from_snap).collect(),
+            reports,
+            scratch: None,
+        })
+    }
+
+    fn on_task_failure(
+        &self,
+        state: &mut GState,
+        failure: Error,
+        seg: &SegmentStats,
+    ) -> Result<Error> {
+        // A job of this iteration exhausted its task attempts: report
+        // the iteration as failed; `finish` then accepts the hierarchy
+        // as it stood after the last completed iteration.
+        state.scratch = None;
+        let mut centers_after = Dataset::with_capacity(state.dim, state.parents.len());
+        for p in &state.parents {
+            centers_after.push(&p.center);
+        }
+        state.reports.push(IterationReport {
+            iteration: state.iteration,
+            clusters_before: state.parents.len(),
+            clusters_tested: 0,
+            splits: 0,
+            found_after: state.parents.iter().filter(|p| p.found).count(),
+            clusters_after: state.parents.len(),
+            strategy: None,
+            simulated_secs: seg.simulated_secs,
+            jobs: seg.jobs,
+            centers_after,
+            error: Some(failure.to_string()),
+        });
+        Ok(failure)
+    }
+
+    fn finish(
+        &self,
+        mut state: GState,
+        _ctx: &mut EngineCtx<'_>,
+        stats: RunStats,
+    ) -> Result<MRGMeansResult> {
+        // Iteration cap hit (or run ended by a task failure): accept
+        // whatever is left.
+        for p in state.parents.iter_mut() {
+            p.found = true;
+        }
+        let mut centers = Dataset::with_capacity(state.dim, state.parents.len());
+        let mut counts = Vec::with_capacity(state.parents.len());
+        for p in &state.parents {
+            centers.push(&p.center);
+            counts.push(p.count);
+        }
+        Ok(MRGMeansResult {
+            centers,
+            counts,
+            iterations: state.iteration,
+            reports: state.reports,
+            simulated_secs: stats.simulated_secs,
+            wall_secs: stats.wall_secs,
+            counters: stats.counters,
+            dataset_reads: stats.dataset_reads,
+            jobs: stats.jobs,
+            failure: stats.failure,
+        })
+    }
 }
 
 /// MapReduce G-means.
 pub struct MRGMeans {
     runner: JobRunner,
     config: GMeansConfig,
-    spill_threshold: usize,
     force_strategy: Option<TestStrategy>,
     mode: ExecutionMode,
     kd_index: bool,
@@ -244,7 +935,6 @@ impl MRGMeans {
         Self {
             runner,
             config,
-            spill_threshold: JobConfig::default().spill_threshold_records,
             force_strategy: None,
             mode: ExecutionMode::OnDisk,
             kd_index: false,
@@ -288,18 +978,6 @@ impl MRGMeans {
         self
     }
 
-    fn prepared(&self, set: CenterSet) -> CenterSet {
-        if set.is_empty() {
-            set
-        } else if self.kd_index {
-            set.with_kd_index()
-        } else if self.pruning {
-            set.with_triangle_prune()
-        } else {
-            set
-        }
-    }
-
     /// Selects disk-based (Hadoop-style) or cached (Spark-style)
     /// execution. See [`ExecutionMode`].
     pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {
@@ -315,99 +993,28 @@ impl MRGMeans {
         self
     }
 
-    fn journal(&self) -> Option<RunJournal> {
-        self.checkpoint_dir
-            .as_ref()
-            .map(|dir| RunJournal::new(Arc::clone(self.runner.dfs()), dir.clone()))
-    }
-
-    /// Spark-style mode: parse the dataset once, pin it in memory.
-    fn build_cache(&self, input: &str, dim: usize) -> Result<Option<PointCache>> {
-        match self.mode {
-            ExecutionMode::OnDisk => Ok(None),
-            ExecutionMode::Cached => Ok(Some(PointCache::build(
-                self.runner.dfs(),
-                input,
-                dim,
-                gmr_datagen::parse_point,
-            )?)),
+    fn engine(&self) -> Engine {
+        let engine = Engine::new(self.runner.clone())
+            .with_execution_mode(self.mode)
+            .with_kd_index(self.kd_index)
+            .with_pruning(self.pruning);
+        match &self.checkpoint_dir {
+            Some(dir) => engine.with_checkpoints(dir.clone()),
+            None => engine,
         }
     }
 
-    /// `PickInitialCenters`: one serial sample read, the initial
-    /// one-cluster hierarchy, and (in cached mode) the cache build.
-    fn fresh_state(&self, input: &str) -> Result<(GState, Option<PointCache>)> {
-        let dfs = Arc::clone(self.runner.dfs());
-        let sample = sample_points(&dfs, input, 64, self.config.seed)?;
-        let dim = sample.dim();
-        let mut reads = 1u64;
-        let cache = self.build_cache(input, dim)?;
-        if cache.is_some() {
-            // The cache materialization scans the dataset once more.
-            reads += 1;
+    fn algo(&self) -> GMeansAlgo {
+        GMeansAlgo {
+            config: self.config,
+            criterion: self.criterion,
+            force_strategy: self.force_strategy,
         }
-        let mut acc = gmr_linalg::CentroidAccumulator::new(dim);
-        for row in sample.rows() {
-            acc.push(row);
-        }
-        let mean = acc.mean().expect("nonempty sample").into_vec();
-        let (i1, i2) = (
-            0,
-            if sample.len() > 1 {
-                sample.len() / 2
-            } else {
-                0
-            },
-        );
-        let parents = vec![Parent {
-            id: 0,
-            center: mean,
-            found: false,
-            count: 0,
-            normal_streak: 0,
-            children: vec![
-                Child {
-                    id: 1,
-                    coords: sample.row(i1).to_vec(),
-                },
-                Child {
-                    id: 2,
-                    coords: sample.row(i2).to_vec(),
-                },
-            ],
-        }];
-        Ok((
-            GState {
-                dim,
-                next_id: 3,
-                iteration: 0,
-                jobs: 0,
-                reads,
-                simulated: 0.0,
-                parents,
-                reports: Vec::new(),
-                counters: Counters::new(),
-            },
-            cache,
-        ))
     }
 
     /// Clusters the DFS text file at `input`.
     pub fn run(&self, input: &str) -> Result<MRGMeansResult> {
-        let wall = Instant::now();
-        let (mut state, cache) = self.fresh_state(input)?;
-        if let Some(journal) = self.journal() {
-            journal.reset();
-            let payload = encode_snapshot(GMEANS_MAGIC, &snapshot_of(&state));
-            state.simulated += commit_snapshot(
-                &journal,
-                0,
-                &payload,
-                &state.counters,
-                &self.runner.cluster().cost_model,
-            )?;
-        }
-        self.drive(state, cache, input, wall)
+        self.engine().run(&self.algo(), input)
     }
 
     /// Resumes an interrupted checkpointed run from its newest intact
@@ -416,618 +1023,8 @@ impl MRGMeans {
     /// the journal holds no valid checkpoint. Requires
     /// [`MRGMeans::with_checkpoints`].
     pub fn resume(&self, input: &str) -> Result<MRGMeansResult> {
-        let wall = Instant::now();
-        let journal = self.journal().ok_or_else(|| no_journal_error("MRGMeans"))?;
-        let ckpt = match journal.latest()? {
-            Some(c) => c,
-            None => return self.run(input),
-        };
-        let snap: GMeansSnapshot = decode_snapshot(GMEANS_MAGIC, &ckpt.payload)?;
-        let mut state = restore_state(snap)?;
-        // Re-apply the loaded checkpoint's own commit charge: the
-        // snapshot was serialized before it, so the uninterrupted run
-        // added it right after this point in its accumulation order.
-        state.simulated += apply_commit_charge(
-            &state.counters,
-            &self.runner.cluster().cost_model,
-            ckpt.stored_bytes,
-        );
-        // Rebuild the point cache (physical re-read only; the logical
-        // read is already in the restored `reads`).
-        let cache = self.build_cache(input, state.dim)?;
-        self.drive(state, cache, input, wall)
+        self.engine().resume(&self.algo(), input)
     }
-
-    /// The G-means loop, from `state` to completion.
-    fn drive(
-        &self,
-        state: GState,
-        cache: Option<PointCache>,
-        input: &str,
-        wall: Instant,
-    ) -> Result<MRGMeansResult> {
-        let GState {
-            dim,
-            mut next_id,
-            mut iteration,
-            mut jobs,
-            mut reads,
-            mut simulated,
-            mut parents,
-            mut reports,
-            counters,
-        } = state;
-        let journal = self.journal();
-
-        let mut failure: Option<Error> = None;
-        let mut iter_sim = 0.0f64;
-        let mut iter_jobs = 0usize;
-        'iterations: while parents.iter().any(|p| !p.found)
-            && iteration < self.config.max_iterations
-        {
-            iteration += 1;
-            let clusters_before = parents.len();
-            iter_sim = 0.0;
-            iter_jobs = 0;
-
-            // ---- current center set ----
-            let mut current = CenterSet::new(dim);
-            for p in &parents {
-                if p.found {
-                    current.push(p.id, &p.center);
-                } else {
-                    for ch in &p.children {
-                        current.push(ch.id, &ch.coords);
-                    }
-                }
-            }
-            let kmeans_reducers = self.reduce_tasks(current.len());
-
-            // ---- KMeans (all but the last refinement iteration) ----
-            for _ in 1..self.config.kmeans_iterations_per_round.max(1) {
-                let job = KMeansJob::new(Arc::new(self.prepared(current.clone())));
-                let run = self.run_job(
-                    &job,
-                    input,
-                    cache.as_ref(),
-                    &self.job_config(kmeans_reducers),
-                    &mut reads,
-                );
-                let result = match recover_task_failure(&mut failure, run)? {
-                    Some(r) => r,
-                    None => break 'iterations,
-                };
-                self.absorb(&counters, jobs, &mut iter_sim, &mut iter_jobs, &result)?;
-                let (next, _) = apply_updates(&current, &result.output);
-                current = next;
-            }
-
-            // ---- KMeansAndFindNewCenters (last refinement + picks) ----
-            let job = FindNewCentersJob::new(
-                Arc::new(self.prepared(current.clone())),
-                self.config.seed ^ (iteration as u64).wrapping_mul(0x9e37),
-            );
-            let run = self.run_job(
-                &job,
-                input,
-                cache.as_ref(),
-                &self.job_config(kmeans_reducers),
-                &mut reads,
-            );
-            let result = match recover_task_failure(&mut failure, run)? {
-                Some(r) => r,
-                None => break 'iterations,
-            };
-            self.absorb(&counters, jobs, &mut iter_sim, &mut iter_jobs, &result)?;
-            let mut updates: Vec<CenterUpdate> = Vec::new();
-            let mut candidates: HashMap<i64, Vec<Vec<f64>>> = HashMap::new();
-            for out in result.output {
-                match out {
-                    FindNewOutput::Update(u) => updates.push(u),
-                    FindNewOutput::Candidates { id, points } => {
-                        candidates.insert(id, points);
-                    }
-                }
-            }
-            let (refined, counts_vec) = apply_updates(&current, &updates);
-            current = refined;
-            let counts: HashMap<i64, u64> = (0..current.len())
-                .map(|i| (current.id(i), counts_vec[i]))
-                .collect();
-
-            // Push the refined positions back into the hierarchy.
-            for p in parents.iter_mut() {
-                if p.found {
-                    if let Some(idx) = current.index_of(p.id) {
-                        p.center = current.coords(idx).to_vec();
-                        p.count = counts[&p.id];
-                    }
-                } else {
-                    for ch in p.children.iter_mut() {
-                        if let Some(idx) = current.index_of(ch.id) {
-                            ch.coords = current.coords(idx).to_vec();
-                        }
-                    }
-                    p.count = p
-                        .children
-                        .iter()
-                        .map(|ch| counts.get(&ch.id).copied().unwrap_or(0))
-                        .sum();
-                }
-            }
-
-            // ---- build projectors; settle trivial cases without a job ----
-            let mut projectors: Vec<Option<SegmentProjector>> = vec![None; parents.len()];
-            let mut child_pairs: Vec<Option<(Vec<f64>, Vec<f64>)>> = vec![None; parents.len()];
-            let mut auto_normal: Vec<usize> = Vec::new();
-            for (pi, p) in parents.iter().enumerate() {
-                if p.found {
-                    continue;
-                }
-                let c1 = &p.children[0];
-                let c2 = &p.children[1];
-                let n1 = counts.get(&c1.id).copied().unwrap_or(0);
-                let n2 = counts.get(&c2.id).copied().unwrap_or(0);
-                if n1 == 0 || n2 == 0 || n1 + n2 < self.config.min_test_sample as u64 {
-                    // Nothing to split: an empty half or a cluster too
-                    // small to test.
-                    auto_normal.push(pi);
-                    continue;
-                }
-                let proj = SegmentProjector::new(&c1.coords, &c2.coords);
-                if proj.is_degenerate() {
-                    auto_normal.push(pi);
-                } else {
-                    projectors[pi] = Some(proj);
-                    child_pairs[pi] = Some((c1.coords.clone(), c2.coords.clone()));
-                }
-            }
-            let clusters_tested = projectors.iter().filter(|p| p.is_some()).count();
-
-            // ---- split test ----
-            let mut decisions: HashMap<i64, TestOutcome> = HashMap::new();
-            let mut strategy_used = None;
-            if clusters_tested > 0 {
-                let parent_set = Arc::new(self.prepared(self.parent_set(&parents, dim)));
-                let biggest = parents
-                    .iter()
-                    .enumerate()
-                    .filter(|(pi, p)| !p.found && projectors[*pi].is_some())
-                    .map(|(_, p)| p.count)
-                    .max()
-                    .unwrap_or(0);
-                let test_reducers = self.reduce_tasks(clusters_tested);
-                if self.criterion == SplitCriterion::Bic {
-                    // X-means decision: one aggregation job, no strategy
-                    // switch needed (the aggregates are tiny).
-                    let spec = BicTestSpec::new(
-                        Arc::clone(&parent_set),
-                        Arc::new(child_pairs.clone()),
-                        self.config.min_test_sample,
-                    );
-                    let run = self.run_job(
-                        &BicTestJob::new(spec),
-                        input,
-                        cache.as_ref(),
-                        &self.job_config(test_reducers),
-                        &mut reads,
-                    );
-                    let result = match recover_task_failure(&mut failure, run)? {
-                        Some(r) => r,
-                        None => break 'iterations,
-                    };
-                    self.absorb(&counters, jobs, &mut iter_sim, &mut iter_jobs, &result)?;
-                    for o in result.output {
-                        decisions.insert(o.parent_id, o);
-                    }
-                } else {
-                    let strategy = self.force_strategy.unwrap_or_else(|| {
-                        choose_strategy(clusters_tested, biggest, self.runner.cluster())
-                    });
-                    strategy_used = Some(strategy);
-                    let spec = SplitTestSpec::new(
-                        Arc::clone(&parent_set),
-                        Arc::new(projectors.clone()),
-                        self.config.ad_test(),
-                    );
-                    let outcomes = match strategy {
-                        TestStrategy::FewClusters => {
-                            let run = self.run_job(
-                                &TestFewClustersJob::new(spec),
-                                input,
-                                cache.as_ref(),
-                                &self.job_config(test_reducers),
-                                &mut reads,
-                            );
-                            let result = match recover_task_failure(&mut failure, run)? {
-                                Some(r) => r,
-                                None => break 'iterations,
-                            };
-                            self.absorb(&counters, jobs, &mut iter_sim, &mut iter_jobs, &result)?;
-                            result.output
-                        }
-                        TestStrategy::Clusters => {
-                            let run = self.run_job(
-                                &TestClustersJob::new(spec),
-                                input,
-                                cache.as_ref(),
-                                &self.job_config(test_reducers),
-                                &mut reads,
-                            );
-                            let result = match recover_task_failure(&mut failure, run)? {
-                                Some(r) => r,
-                                None => break 'iterations,
-                            };
-                            self.absorb(&counters, jobs, &mut iter_sim, &mut iter_jobs, &result)?;
-                            result.output
-                        }
-                    };
-                    for o in outcomes {
-                        decisions.insert(o.parent_id, o);
-                    }
-
-                    // Mapper-side testing can come back undecided when every
-                    // split's sub-sample is too small; re-test those with the
-                    // reducer-side strategy (an extra job, only when needed).
-                    let undecided: Vec<i64> = decisions
-                        .values()
-                        .filter(|o| o.decision == TestDecision::Undecided)
-                        .map(|o| o.parent_id)
-                        .collect();
-                    if !undecided.is_empty() {
-                        let mut retry_projectors: Vec<Option<SegmentProjector>> =
-                            vec![None; parents.len()];
-                        for (pi, p) in parents.iter().enumerate() {
-                            if undecided.contains(&p.id) {
-                                retry_projectors[pi] = projectors[pi].clone();
-                            }
-                        }
-                        let spec = SplitTestSpec::new(
-                            parent_set,
-                            Arc::new(retry_projectors),
-                            self.config.ad_test(),
-                        );
-                        let run = self.run_job(
-                            &TestClustersJob::new(spec),
-                            input,
-                            cache.as_ref(),
-                            &self.job_config(self.reduce_tasks(undecided.len())),
-                            &mut reads,
-                        );
-                        let result = match recover_task_failure(&mut failure, run)? {
-                            Some(r) => r,
-                            None => break 'iterations,
-                        };
-                        self.absorb(&counters, jobs, &mut iter_sim, &mut iter_jobs, &result)?;
-                        for o in result.output {
-                            decisions.insert(o.parent_id, o);
-                        }
-                    }
-                }
-            }
-
-            // ---- apply decisions ----
-            let mut splits = 0usize;
-            let mut next_parents: Vec<Parent> = Vec::with_capacity(parents.len() * 2);
-            for (pi, p) in parents.into_iter().enumerate() {
-                if p.found {
-                    next_parents.push(p);
-                    continue;
-                }
-                let decision = if auto_normal.contains(&pi) {
-                    TestDecision::Normal
-                } else {
-                    decisions
-                        .get(&p.id)
-                        .map(|o| o.decision)
-                        // No projections reached the test (e.g. the
-                        // cluster lost all its points to neighbours):
-                        // keep the center.
-                        .unwrap_or(TestDecision::Normal)
-                };
-                match decision {
-                    TestDecision::Normal | TestDecision::Undecided => {
-                        // The BIC criterion retries once with a fresh
-                        // child pair (serial X-means re-attempts every
-                        // structure round); a one-shot keep-verdict is
-                        // too sensitive to an unlucky candidate pair.
-                        let streak = p.normal_streak + 1;
-                        let retries = match self.criterion {
-                            SplitCriterion::AndersonDarling => 1,
-                            SplitCriterion::Bic => 2,
-                        };
-                        let fresh_pair = (!p.children.is_empty()).then(|| {
-                            let a = candidates
-                                .remove(&p.children[0].id)
-                                .unwrap_or_default()
-                                .into_iter()
-                                .next();
-                            let b = candidates
-                                .remove(&p.children[1].id)
-                                .unwrap_or_default()
-                                .into_iter()
-                                .next();
-                            (a, b)
-                        });
-                        if streak >= retries {
-                            next_parents.push(Parent {
-                                found: true,
-                                children: Vec::new(),
-                                ..p
-                            });
-                        } else if let Some((Some(a), Some(b))) = fresh_pair {
-                            let mut kids = Vec::with_capacity(2);
-                            for coords in [a, b] {
-                                kids.push(Child {
-                                    id: next_id,
-                                    coords,
-                                });
-                                next_id += 1;
-                            }
-                            next_parents.push(Parent {
-                                normal_streak: streak,
-                                children: kids,
-                                ..p
-                            });
-                        } else {
-                            // No fresh candidates: accept.
-                            next_parents.push(Parent {
-                                found: true,
-                                children: Vec::new(),
-                                ..p
-                            });
-                        }
-                    }
-                    TestDecision::Split => {
-                        splits += 1;
-                        for ch in p.children {
-                            let count = counts.get(&ch.id).copied().unwrap_or(0);
-                            let cands = candidates.remove(&ch.id).unwrap_or_default();
-                            let (found, children) = if cands.len() < 2 {
-                                (true, Vec::new())
-                            } else {
-                                let mut kids = Vec::with_capacity(2);
-                                for coords in cands.into_iter().take(2) {
-                                    kids.push(Child {
-                                        id: next_id,
-                                        coords,
-                                    });
-                                    next_id += 1;
-                                }
-                                (false, kids)
-                            };
-                            next_parents.push(Parent {
-                                id: ch.id,
-                                center: ch.coords,
-                                found,
-                                count,
-                                normal_streak: 0,
-                                children,
-                            });
-                        }
-                    }
-                }
-            }
-            parents = next_parents;
-
-            simulated += iter_sim;
-            jobs += iter_jobs;
-            let mut centers_after = Dataset::with_capacity(dim, parents.len());
-            for p in &parents {
-                centers_after.push(&p.center);
-            }
-            reports.push(IterationReport {
-                iteration,
-                clusters_before,
-                clusters_tested,
-                splits,
-                found_after: parents.iter().filter(|p| p.found).count(),
-                clusters_after: parents.len(),
-                strategy: strategy_used,
-                simulated_secs: iter_sim,
-                jobs: iter_jobs,
-                centers_after,
-                error: None,
-            });
-
-            // ---- checkpoint the completed iteration ----
-            if let Some(journal) = &journal {
-                let snap = snapshot_parts(
-                    dim, next_id, iteration, jobs, reads, simulated, &parents, &reports, &counters,
-                );
-                let payload = encode_snapshot(GMEANS_MAGIC, &snap);
-                simulated += commit_snapshot(
-                    journal,
-                    iteration as u64,
-                    &payload,
-                    &counters,
-                    &self.runner.cluster().cost_model,
-                )?;
-            }
-        }
-
-        if let Some(err) = &failure {
-            // A job of this iteration exhausted its task attempts:
-            // account for the iteration's successful jobs and report it
-            // as failed, then fall through to accept the hierarchy as
-            // it stood after the last completed iteration.
-            simulated += iter_sim;
-            jobs += iter_jobs;
-            let mut centers_after = Dataset::with_capacity(dim, parents.len());
-            for p in &parents {
-                centers_after.push(&p.center);
-            }
-            reports.push(IterationReport {
-                iteration,
-                clusters_before: parents.len(),
-                clusters_tested: 0,
-                splits: 0,
-                found_after: parents.iter().filter(|p| p.found).count(),
-                clusters_after: parents.len(),
-                strategy: None,
-                simulated_secs: iter_sim,
-                jobs: iter_jobs,
-                centers_after,
-                error: Some(err.to_string()),
-            });
-        }
-
-        // Iteration cap hit (or run ended by a task failure): accept
-        // whatever is left.
-        for p in parents.iter_mut() {
-            p.found = true;
-        }
-
-        let mut centers = Dataset::with_capacity(dim, parents.len());
-        let mut counts = Vec::with_capacity(parents.len());
-        for p in &parents {
-            centers.push(&p.center);
-            counts.push(p.count);
-        }
-        Ok(MRGMeansResult {
-            centers,
-            counts,
-            iterations: iteration,
-            reports,
-            simulated_secs: simulated,
-            wall_secs: wall.elapsed().as_secs_f64(),
-            counters,
-            dataset_reads: reads,
-            jobs,
-            failure,
-        })
-    }
-
-    fn parent_set(&self, parents: &[Parent], dim: usize) -> CenterSet {
-        let mut set = CenterSet::new(dim);
-        for p in parents {
-            set.push(p.id, &p.center);
-        }
-        set
-    }
-
-    fn run_job<J>(
-        &self,
-        job: &J,
-        input: &str,
-        cache: Option<&PointCache>,
-        config: &JobConfig,
-        reads: &mut u64,
-    ) -> Result<JobResult<J::Output>>
-    where
-        J: Job,
-        J::Mapper: PointMapper,
-    {
-        match cache {
-            Some(cache) => self.runner.run_cached(job, cache, config),
-            None => {
-                // One logical dataset read per disk-based job, charged
-                // whether or not the job succeeds (the runtime scans the
-                // input before tasks can fail).
-                *reads += 1;
-                self.runner.run(job, input, config)
-            }
-        }
-    }
-
-    fn job_config(&self, reducers: usize) -> JobConfig {
-        JobConfig {
-            num_reduce_tasks: reducers,
-            spill_threshold_records: self.spill_threshold,
-        }
-    }
-
-    fn reduce_tasks(&self, wanted: usize) -> usize {
-        wanted
-            .max(1)
-            .min(self.runner.cluster().total_reduce_slots().max(1))
-    }
-
-    /// Merges a successful job into the run totals, then fires the
-    /// injected driver crash if this job boundary is the configured
-    /// one. The crash strikes *before* the iteration-end checkpoint, so
-    /// a resumed driver replays the interrupted iteration from its
-    /// start — re-deriving identical job outcomes from the per-job
-    /// fault draws.
-    fn absorb<O>(
-        &self,
-        counters: &Counters,
-        base_jobs: usize,
-        sim: &mut f64,
-        jobs: &mut usize,
-        result: &JobResult<O>,
-    ) -> Result<()> {
-        counters.merge(&result.counters);
-        *sim += result.timing.simulated_secs;
-        *jobs += 1;
-        let boundary = (base_jobs + *jobs) as u64;
-        if self.runner.cluster().faults.driver_crashes_at(boundary) {
-            return Err(Error::DriverCrash { boundary });
-        }
-        Ok(())
-    }
-}
-
-/// Serializes the driver state for the journal.
-fn snapshot_of(state: &GState) -> GMeansSnapshot {
-    snapshot_parts(
-        state.dim,
-        state.next_id,
-        state.iteration,
-        state.jobs,
-        state.reads,
-        state.simulated,
-        &state.parents,
-        &state.reports,
-        &state.counters,
-    )
-}
-
-/// [`snapshot_of`], from the loop's destructured locals.
-#[allow(clippy::too_many_arguments)]
-fn snapshot_parts(
-    dim: usize,
-    next_id: i64,
-    iteration: usize,
-    jobs: usize,
-    reads: u64,
-    simulated: f64,
-    parents: &[Parent],
-    reports: &[IterationReport],
-    counters: &Counters,
-) -> GMeansSnapshot {
-    GMeansSnapshot {
-        dim: dim as u32,
-        next_id,
-        iteration: iteration as u64,
-        jobs: jobs as u64,
-        reads,
-        simulated,
-        parents: parents.iter().map(parent_to_snap).collect(),
-        reports: reports.iter().map(report_to_snap).collect(),
-        counters: counters_to_vec(counters),
-    }
-}
-
-/// Rebuilds driver state from a decoded snapshot.
-fn restore_state(snap: GMeansSnapshot) -> Result<GState> {
-    let counters = counters_from_vec(&snap.counters)?;
-    let reports = snap
-        .reports
-        .into_iter()
-        .map(report_from_snap)
-        .collect::<Result<Vec<_>>>()?;
-    Ok(GState {
-        dim: snap.dim as usize,
-        next_id: snap.next_id,
-        iteration: snap.iteration as usize,
-        jobs: snap.jobs as usize,
-        reads: snap.reads,
-        simulated: snap.simulated,
-        parents: snap.parents.into_iter().map(parent_from_snap).collect(),
-        reports,
-        counters,
-    })
 }
 
 fn parent_to_snap(p: &Parent) -> ParentSnap {
@@ -1113,54 +1110,17 @@ fn report_from_snap(s: ReportSnap) -> Result<IterationReport> {
     })
 }
 
-/// Summary of a pre-flight input scan: what [`check_input`] found.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct InputCheck {
-    /// Total text lines scanned.
-    pub lines: u64,
-    /// Lines that parsed as points of the modal dimensionality.
-    pub points: u64,
-    /// Lines quarantined: unparsable, non-finite, or of a minority
-    /// dimensionality.
-    pub bad_records: u64,
-    /// The modal point dimensionality.
-    pub dim: usize,
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-/// Validates an input path before running (friendlier than the first
-/// job failing), scanning it once — one charged dataset read — and
-/// summarizing instead of failing on the first malformed line: how many
-/// lines parse as points, how many would be quarantined as bad records,
-/// and the modal dimensionality the run would use.
-///
-/// Errors only when the file is missing or holds no usable points at
-/// all.
-pub fn check_input(runner: &JobRunner, input: &str) -> Result<InputCheck> {
-    let dfs = runner.dfs();
-    if !dfs.exists(input) {
-        return Err(Error::FileNotFound(input.to_string()));
+    #[test]
+    fn strategy_tags_are_stable() {
+        // The journal wire format depends on these exact values.
+        assert_eq!(strategy_tag(TestStrategy::FewClusters), 0);
+        assert_eq!(strategy_tag(TestStrategy::Clusters), 1);
+        assert_eq!(strategy_from_tag(0).unwrap(), TestStrategy::FewClusters);
+        assert_eq!(strategy_from_tag(1).unwrap(), TestStrategy::Clusters);
+        assert!(strategy_from_tag(9).is_err());
     }
-    let splits = dfs.splits(input)?;
-    dfs.begin_dataset_read();
-    let mut lines = 0u64;
-    let mut dim_counts: HashMap<usize, u64> = HashMap::new();
-    for split in &splits {
-        dfs.charge_split_read(split);
-        for (_, line) in split.lines() {
-            lines += 1;
-            if let Ok(point) = gmr_datagen::parse_point(line) {
-                *dim_counts.entry(point.len()).or_insert(0) += 1;
-            }
-        }
-    }
-    let (&dim, &points) = dim_counts
-        .iter()
-        .max_by_key(|&(&d, &n)| (n, std::cmp::Reverse(d)))
-        .ok_or_else(|| Error::Config(format!("no parsable points in {input}")))?;
-    Ok(InputCheck {
-        lines,
-        points,
-        bad_records: lines - points,
-        dim,
-    })
 }

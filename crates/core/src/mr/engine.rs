@@ -1,0 +1,914 @@
+//! The generic iterative-driver engine.
+//!
+//! Every MapReduce driver in this crate — G-means (Algorithm 1), plain
+//! k-means, multi-k-means (Algorithm 6) and k-means‖ initialization —
+//! is the same loop wearing a different algorithm: plan a wave of jobs,
+//! run them, fold the outputs into driver state, checkpoint at the
+//! iteration boundary, repeat until converged. This module owns that
+//! loop once, so every cross-cutting guarantee is single-sourced:
+//!
+//! * **journal reset / commit** with the serialize-before-charge
+//!   ordering (a snapshot cannot contain the cost of its own commit, so
+//!   the charge is applied *after* [`RunJournal::commit`] returns the
+//!   stored byte count — and re-applied in the same position on
+//!   resume);
+//! * **resume recovery**: newest intact snapshot → restore → re-apply
+//!   the loaded checkpoint's commit charge → rebuild the point cache
+//!   (physical re-read only) → continue bit-identically;
+//! * **fault degradation**: task failures ([`Error::HeapSpace`],
+//!   [`Error::AttemptsExhausted`], [`Error::Degenerate`]) are offered
+//!   to the algorithm to absorb; everything else — including the
+//!   injected [`Error::DriverCrash`], which a dying process cannot
+//!   catch — propagates;
+//! * **counters, dataset reads, and the wall/simulated clocks**,
+//!   accumulated per job in a fixed order so resumed totals match
+//!   uninterrupted ones bit for bit;
+//! * **cached-vs-streaming dispatch** ([`ExecutionMode`]) through one
+//!   [`Submission`] handle per job;
+//! * **accelerator wiring**: the k-d index / triangle-pruning flags are
+//!   applied by [`EngineCtx::prepare`], never by algorithms directly.
+//!
+//! An algorithm is a pure state machine implementing
+//! [`IterativeAlgorithm`]: `fresh` builds the initial state, `plan`
+//! emits the next wave of jobs, `apply` folds their outputs and decides
+//! [`Step::Continue`] (more waves this iteration) or [`Step::Boundary`]
+//! (iteration done — checkpointable), and `finish` converts the final
+//! state into the driver's result. Adding a fifth driver means writing
+//! those methods; the engine needs no changes.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gmr_linalg::Dataset;
+use gmr_mapreduce::cache::PointCache;
+use gmr_mapreduce::checkpoint::{no_journal_error, RunJournal};
+use gmr_mapreduce::cluster::ClusterConfig;
+use gmr_mapreduce::cost::JobTiming;
+use gmr_mapreduce::counters::{Counter, Counters};
+use gmr_mapreduce::job::{Job, JobConfig, PointMapper};
+use gmr_mapreduce::submit::Submission;
+use gmr_mapreduce::writable::{to_bytes, Writable};
+use gmr_mapreduce::{Error, Result};
+
+use crate::mr::centers::CenterSet;
+use crate::mr::sample::sample_points;
+
+/// How a driver feeds the dataset to its jobs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Hadoop-style: every job re-reads and re-parses the text dataset
+    /// from the DFS (the paper's implementation).
+    #[default]
+    OnDisk,
+    /// Spark-style (the paper's §6 future work): the dataset is parsed
+    /// once into an in-memory, partition-preserving [`PointCache`];
+    /// every job scans the decoded points. One dataset read total
+    /// instead of one per job.
+    Cached,
+}
+
+/// What an [`IterativeAlgorithm::apply`] decides after a job wave.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// The iteration needs more job waves: the engine calls
+    /// [`IterativeAlgorithm::plan`] again.
+    Continue,
+    /// The iteration is complete: the engine folds its stats into the
+    /// run totals and commits a checkpoint (when journaling).
+    Boundary,
+}
+
+/// Job and clock totals of the current iteration segment (the job waves
+/// since the last checkpointed boundary).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SegmentStats {
+    /// Simulated seconds of this segment's successful jobs.
+    pub simulated_secs: f64,
+    /// Successful jobs launched this segment.
+    pub jobs: usize,
+}
+
+/// Whole-run totals handed to [`IterativeAlgorithm::finish`].
+#[derive(Debug)]
+pub struct RunStats {
+    /// Total simulated seconds (job makespans + checkpoint commits).
+    pub simulated_secs: f64,
+    /// Real wall-clock of the run so far.
+    pub wall_secs: f64,
+    /// Total MapReduce jobs launched.
+    pub jobs: usize,
+    /// Logical dataset reads (serial samples + cache build + per-job
+    /// scans of disk-based jobs).
+    pub dataset_reads: u64,
+    /// Counters accumulated over every successful job.
+    pub counters: Counters,
+    /// The task failure that ended the run early, if any.
+    pub failure: Option<Error>,
+}
+
+/// A type-erased result of one executed job.
+struct ErasedOutput {
+    output: Box<dyn std::any::Any>,
+    counters: Counters,
+    timing: JobTiming,
+}
+
+type PlannedRun = Box<dyn FnOnce(&Submission<'_>, &JobConfig) -> Result<ErasedOutput>>;
+
+/// One job of a planned wave: the concrete [`Job`] is captured in a
+/// closure so the engine can run heterogeneous jobs through one loop.
+pub struct PlannedJob {
+    reducers: usize,
+    run: PlannedRun,
+}
+
+impl PlannedJob {
+    /// Wraps a concrete job with its reduce-task count.
+    pub fn new<J>(job: J, reducers: usize) -> Self
+    where
+        J: Job + 'static,
+        J::Mapper: PointMapper,
+    {
+        Self {
+            reducers,
+            run: Box::new(move |submission, config| {
+                let result = submission.submit(&job, config)?;
+                Ok(ErasedOutput {
+                    output: Box::new(result.output),
+                    counters: result.counters,
+                    timing: result.timing,
+                })
+            }),
+        }
+    }
+}
+
+/// The outputs of one executed job, handed to
+/// [`IterativeAlgorithm::apply`].
+pub struct JobOutputs {
+    output: Box<dyn std::any::Any>,
+    timing: JobTiming,
+}
+
+impl JobOutputs {
+    /// Downcasts to the concrete output records of the planned job.
+    ///
+    /// # Panics
+    /// Panics when `O` is not the output type of the job this wave
+    /// planned — a driver programming error, not a runtime condition.
+    pub fn take<O: 'static>(self) -> Vec<O> {
+        self.into_parts().0
+    }
+
+    /// Like [`JobOutputs::take`], also returning the job's timing.
+    ///
+    /// # Panics
+    /// Panics when `O` is not the planned job's output type.
+    pub fn into_parts<O: 'static>(self) -> (Vec<O>, JobTiming) {
+        let output = *self
+            .output
+            .downcast::<Vec<O>>()
+            .expect("job output type mismatch between plan and apply");
+        (output, self.timing)
+    }
+}
+
+/// An iterative MapReduce algorithm: the pure state machine the
+/// [`Engine`] drives. See the module docs for the contract; the
+/// existing drivers ([`crate::mr::MRGMeans`], [`crate::mr::MRKMeans`],
+/// [`crate::mr::MultiKMeans`], [`crate::mr::KMeansParallelInit`]) are
+/// the reference implementations.
+pub trait IterativeAlgorithm {
+    /// Complete in-memory loop state between job waves.
+    type State;
+    /// The journaled wire form of [`IterativeAlgorithm::State`] at an
+    /// iteration boundary. Transient intra-iteration scratch need not
+    /// be captured: a resume replays the interrupted iteration from its
+    /// boundary snapshot.
+    type Snapshot: Writable;
+    /// What the driver ultimately returns.
+    type Output;
+
+    /// Driver name, used in journal-configuration errors.
+    const NAME: &'static str;
+    /// Snapshot framing magic (also versions the layout; bump on
+    /// change). A journal written by one driver cannot resume another.
+    const MAGIC: u32;
+    /// Whether checkpoint commits are charged to the counters and the
+    /// simulated clock. `false` only for drivers that surface neither
+    /// (k-means‖ returns a bare center set).
+    const CHARGE_COMMITS: bool = true;
+
+    /// Builds the initial state (serial samples via
+    /// [`EngineCtx::sample`]).
+    fn fresh(&self, ctx: &mut EngineCtx<'_>) -> Result<Self::State>;
+    /// Dataset dimensionality, for the cached-mode point cache.
+    fn dim(&self, state: &Self::State) -> Result<usize>;
+    /// True when no further iterations should run.
+    fn done(&self, state: &Self::State) -> bool;
+    /// Checkpoint sequence number of the current boundary.
+    fn seq(&self, state: &Self::State) -> u64;
+    /// Plans the next wave of jobs. Called again after every
+    /// [`Step::Continue`]; may mutate intra-iteration scratch state.
+    fn plan(&self, state: &mut Self::State, ctx: &EngineCtx<'_>) -> Result<Vec<PlannedJob>>;
+    /// Folds a wave's outputs into the state. `seg` carries the
+    /// iteration segment's stats so far (for per-iteration reports).
+    fn apply(
+        &self,
+        state: &mut Self::State,
+        outputs: Vec<JobOutputs>,
+        seg: &SegmentStats,
+    ) -> Result<Step>;
+    /// Serializes the boundary state for the journal.
+    fn snapshot(&self, state: &Self::State) -> Self::Snapshot;
+    /// Rebuilds state from a decoded snapshot.
+    fn restore(&self, snap: Self::Snapshot) -> Result<Self::State>;
+    /// Offered an absorbable task failure (heap, attempts exhausted,
+    /// degenerate input). Return `Ok(err)` to degrade gracefully — the
+    /// run stops and `err` lands in [`RunStats::failure`] — or `Err` to
+    /// propagate. The default propagates.
+    fn on_task_failure(
+        &self,
+        _state: &mut Self::State,
+        failure: Error,
+        _seg: &SegmentStats,
+    ) -> Result<Error> {
+        Err(failure)
+    }
+    /// Converts the final state into the driver result. `ctx` still
+    /// accepts [`EngineCtx::execute`] for deterministic post-loop jobs
+    /// (k-means‖ runs its candidate-weighting job here).
+    fn finish(
+        &self,
+        state: Self::State,
+        ctx: &mut EngineCtx<'_>,
+        stats: RunStats,
+    ) -> Result<Self::Output>;
+}
+
+/// Run totals the engine owns on behalf of every algorithm; serialized
+/// into the checkpoint frame ahead of the algorithm snapshot.
+#[derive(Debug, Default)]
+struct Totals {
+    jobs: u64,
+    reads: u64,
+    simulated: f64,
+    counters: Counters,
+}
+
+/// Wire form of [`Totals`].
+struct TotalsSnap {
+    jobs: u64,
+    reads: u64,
+    simulated: f64,
+    counters: Vec<u64>,
+}
+
+impl Writable for TotalsSnap {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.jobs.write(buf);
+        self.reads.write(buf);
+        self.simulated.write(buf);
+        self.counters.write(buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Self {
+            jobs: u64::read(buf)?,
+            reads: u64::read(buf)?,
+            simulated: f64::read(buf)?,
+            counters: Vec::read(buf)?,
+        })
+    }
+}
+
+/// Borrowing write-only wrapper so a frame can be encoded without
+/// cloning the algorithm snapshot.
+struct WriteOnly<'a, T>(&'a T);
+
+impl<T: Writable> Writable for WriteOnly<'_, T> {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.0.write(buf);
+    }
+    fn read(_buf: &mut &[u8]) -> Result<Self> {
+        Err(Error::Corrupt("write-only wrapper".into()))
+    }
+}
+
+/// Frames engine totals + algorithm snapshot under the driver magic.
+fn encode_frame<A: IterativeAlgorithm>(totals: &Totals, snap: &A::Snapshot) -> Vec<u8> {
+    let totals_snap = TotalsSnap {
+        jobs: totals.jobs,
+        reads: totals.reads,
+        simulated: totals.simulated,
+        counters: counters_to_vec(&totals.counters),
+    };
+    to_bytes(&(A::MAGIC, (totals_snap, WriteOnly(snap))))
+}
+
+/// Unframes a checkpoint payload, rejecting other drivers' journals.
+fn decode_frame<A: IterativeAlgorithm>(payload: &[u8]) -> Result<(Totals, A::Snapshot)> {
+    let mut buf = payload;
+    let found = u32::read(&mut buf)?;
+    if found != A::MAGIC {
+        return Err(Error::Corrupt(format!(
+            "checkpoint magic {found:#010x} does not match expected {magic:#010x}",
+            magic = A::MAGIC
+        )));
+    }
+    let totals_snap = TotalsSnap::read(&mut buf)?;
+    let snap = A::Snapshot::read(&mut buf)?;
+    Ok((
+        Totals {
+            jobs: totals_snap.jobs,
+            reads: totals_snap.reads,
+            simulated: totals_snap.simulated,
+            counters: counters_from_vec(&totals_snap.counters)?,
+        },
+        snap,
+    ))
+}
+
+/// Counter bank → values in [`Counter::all`] order.
+pub(crate) fn counters_to_vec(counters: &Counters) -> Vec<u64> {
+    Counter::all().iter().map(|&c| counters.get(c)).collect()
+}
+
+/// Rebuilds a counter bank from a snapshot vector.
+pub(crate) fn counters_from_vec(values: &[u64]) -> Result<Counters> {
+    if values.len() != Counter::all().len() {
+        return Err(Error::Corrupt(format!(
+            "counter snapshot has {} entries, runtime has {}",
+            values.len(),
+            Counter::all().len()
+        )));
+    }
+    let counters = Counters::new();
+    for (&c, &v) in Counter::all().iter().zip(values) {
+        counters.add(c, v);
+    }
+    Ok(counters)
+}
+
+/// A serialized [`CenterSet`].
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct CenterSetSnap {
+    pub dim: u32,
+    pub ids: Vec<i64>,
+    pub flat: Vec<f64>,
+}
+
+impl CenterSetSnap {
+    pub fn from_set(set: &CenterSet) -> Self {
+        let mut ids = Vec::with_capacity(set.len());
+        let mut flat = Vec::with_capacity(set.len() * set.dim());
+        for i in 0..set.len() {
+            ids.push(set.id(i));
+            flat.extend_from_slice(set.coords(i));
+        }
+        Self {
+            dim: set.dim() as u32,
+            ids,
+            flat,
+        }
+    }
+
+    pub fn to_set(&self) -> Result<CenterSet> {
+        let dim = self.dim as usize;
+        if dim == 0 || self.flat.len() != self.ids.len() * dim {
+            return Err(Error::Corrupt("center set snapshot shape mismatch".into()));
+        }
+        let mut set = CenterSet::new(dim);
+        for (i, &id) in self.ids.iter().enumerate() {
+            set.push(id, &self.flat[i * dim..(i + 1) * dim]);
+        }
+        Ok(set)
+    }
+}
+
+impl Writable for CenterSetSnap {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.dim.write(buf);
+        self.ids.write(buf);
+        self.flat.write(buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Self {
+            dim: u32::read(buf)?,
+            ids: Vec::read(buf)?,
+            flat: Vec::read(buf)?,
+        })
+    }
+}
+
+/// A serialized [`JobTiming`].
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct TimingSnap {
+    pub map: Vec<f64>,
+    pub reduce: Vec<f64>,
+    pub simulated: f64,
+    pub wall: f64,
+}
+
+impl TimingSnap {
+    pub fn from_timing(t: &JobTiming) -> Self {
+        Self {
+            map: t.map_durations.clone(),
+            reduce: t.reduce_durations.clone(),
+            simulated: t.simulated_secs,
+            wall: t.wall_secs,
+        }
+    }
+
+    pub fn to_timing(&self) -> JobTiming {
+        JobTiming {
+            map_durations: self.map.clone(),
+            reduce_durations: self.reduce.clone(),
+            simulated_secs: self.simulated,
+            wall_secs: self.wall,
+        }
+    }
+}
+
+impl Writable for TimingSnap {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.map.write(buf);
+        self.reduce.write(buf);
+        self.simulated.write(buf);
+        self.wall.write(buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Self {
+            map: Vec::read(buf)?,
+            reduce: Vec::read(buf)?,
+            simulated: f64::read(buf)?,
+            wall: f64::read(buf)?,
+        })
+    }
+}
+
+/// The engine: a [`JobRunner`] plus the cross-cutting driver
+/// configuration (execution mode, accelerators, journaling).
+///
+/// [`JobRunner`]: gmr_mapreduce::runtime::JobRunner
+pub struct Engine {
+    runner: gmr_mapreduce::runtime::JobRunner,
+    mode: ExecutionMode,
+    kd_index: bool,
+    pruning: bool,
+    spill_threshold: usize,
+    checkpoint_dir: Option<String>,
+}
+
+impl Engine {
+    /// Creates an engine on `runner`'s cluster with default settings:
+    /// on-disk execution, no accelerators, no journaling.
+    pub fn new(runner: gmr_mapreduce::runtime::JobRunner) -> Self {
+        Self {
+            runner,
+            mode: ExecutionMode::OnDisk,
+            kd_index: false,
+            pruning: false,
+            spill_threshold: JobConfig::default().spill_threshold_records,
+            checkpoint_dir: None,
+        }
+    }
+
+    /// Selects disk-based (Hadoop-style) or cached (Spark-style)
+    /// execution. See [`ExecutionMode`].
+    pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Enables the k-d-tree nearest-center index inside every prepared
+    /// center set of the run. Results are identical; the
+    /// distance-evaluation counters drop.
+    pub fn with_kd_index(mut self, kd_index: bool) -> Self {
+        self.kd_index = kd_index;
+        self
+    }
+
+    /// Enables triangle-inequality center pruning inside every prepared
+    /// center set (ignored when the k-d index is also enabled, which
+    /// subsumes it).
+    pub fn with_pruning(mut self, pruning: bool) -> Self {
+        self.pruning = pruning;
+        self
+    }
+
+    /// Journals state into a DFS checkpoint directory after `fresh` and
+    /// after every iteration boundary, enabling [`Engine::resume`].
+    pub fn with_checkpoints(mut self, dir: impl Into<String>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// The underlying job runner.
+    pub fn runner(&self) -> &gmr_mapreduce::runtime::JobRunner {
+        &self.runner
+    }
+
+    fn journal(&self) -> Option<RunJournal> {
+        self.checkpoint_dir
+            .as_ref()
+            .map(|dir| RunJournal::new(Arc::clone(self.runner.dfs()), dir.clone()))
+    }
+
+    /// Runs `algo` against the DFS text file at `input` from a fresh
+    /// initial state.
+    pub fn run<A: IterativeAlgorithm>(&self, algo: &A, input: &str) -> Result<A::Output> {
+        let wall = Instant::now();
+        let mut ctx = EngineCtx::fresh(self, input);
+        let state = algo.fresh(&mut ctx)?;
+        ctx.build_cache(algo.dim(&state)?, true)?;
+        if let Some(journal) = self.journal() {
+            journal.reset();
+            ctx.commit::<A>(&journal, algo.seq(&state), &algo.snapshot(&state))?;
+        }
+        self.drive(algo, state, ctx, wall)
+    }
+
+    /// Resumes an interrupted checkpointed run from its newest intact
+    /// snapshot, continuing to a result bit-identical to an
+    /// uninterrupted [`Engine::run`]. Falls back to a fresh run when
+    /// the journal holds no valid checkpoint; errors when the engine
+    /// was built without [`Engine::with_checkpoints`].
+    pub fn resume<A: IterativeAlgorithm>(&self, algo: &A, input: &str) -> Result<A::Output> {
+        let wall = Instant::now();
+        let journal = self.journal().ok_or_else(|| no_journal_error(A::NAME))?;
+        let ckpt = match journal.latest()? {
+            Some(c) => c,
+            None => return self.run(algo, input),
+        };
+        let (totals, snap) = decode_frame::<A>(&ckpt.payload)?;
+        let state = algo.restore(snap)?;
+        let mut ctx = EngineCtx::resumed(self, input, totals);
+        if A::CHARGE_COMMITS {
+            // Re-apply the loaded checkpoint's own commit charge: the
+            // snapshot was serialized before it, so the uninterrupted
+            // run added it right after this point in its accumulation
+            // order.
+            ctx.apply_commit_charge(ckpt.stored_bytes);
+        }
+        // Rebuild the point cache (physical re-read only; the logical
+        // read is already in the restored totals).
+        ctx.build_cache(algo.dim(&state)?, false)?;
+        self.drive(algo, state, ctx, wall)
+    }
+
+    /// The shared driver loop: plan → execute → apply until the
+    /// algorithm converges, with a checkpoint at every boundary.
+    fn drive<A: IterativeAlgorithm>(
+        &self,
+        algo: &A,
+        mut state: A::State,
+        mut ctx: EngineCtx<'_>,
+        wall: Instant,
+    ) -> Result<A::Output> {
+        let journal = self.journal();
+        let mut failure: Option<Error> = None;
+        'run: while !algo.done(&state) {
+            ctx.seg = SegmentStats::default();
+            loop {
+                let wave = algo.plan(&mut state, &ctx)?;
+                let mut outputs = Vec::with_capacity(wave.len());
+                let mut task_failure: Option<Error> = None;
+                for job in wave {
+                    match ctx.execute(job) {
+                        Ok(out) => outputs.push(out),
+                        Err(
+                            e @ (Error::HeapSpace { .. }
+                            | Error::AttemptsExhausted { .. }
+                            | Error::Degenerate(_)),
+                        ) => {
+                            // A job exhausted its task-attempt budget:
+                            // absorbable, if the algorithm agrees.
+                            task_failure = Some(e);
+                            break;
+                        }
+                        // Environment/configuration errors — and the
+                        // injected driver crash, which a dying process
+                        // cannot catch — propagate.
+                        Err(e) => return Err(e),
+                    }
+                }
+                if let Some(e) = task_failure {
+                    ctx.fold_segment();
+                    failure = Some(algo.on_task_failure(&mut state, e, &ctx.seg)?);
+                    break 'run;
+                }
+                match algo.apply(&mut state, outputs, &ctx.seg)? {
+                    Step::Continue => {}
+                    Step::Boundary => break,
+                }
+            }
+            ctx.fold_segment();
+            if let Some(journal) = &journal {
+                ctx.commit::<A>(journal, algo.seq(&state), &algo.snapshot(&state))?;
+            }
+        }
+        let stats = ctx.stats(wall, failure);
+        algo.finish(state, &mut ctx, stats)
+    }
+}
+
+/// The engine's per-run context: input binding, optional point cache,
+/// and the run totals. Algorithms use it to sample, prepare center
+/// sets, size reduce waves, and (in `finish`) run post-loop jobs.
+pub struct EngineCtx<'e> {
+    engine: &'e Engine,
+    input: &'e str,
+    cache: Option<PointCache>,
+    totals: Totals,
+    seg: SegmentStats,
+}
+
+impl<'e> EngineCtx<'e> {
+    fn fresh(engine: &'e Engine, input: &'e str) -> Self {
+        Self {
+            engine,
+            input,
+            cache: None,
+            totals: Totals::default(),
+            seg: SegmentStats::default(),
+        }
+    }
+
+    fn resumed(engine: &'e Engine, input: &'e str, totals: Totals) -> Self {
+        Self {
+            engine,
+            input,
+            cache: None,
+            totals,
+            seg: SegmentStats::default(),
+        }
+    }
+
+    /// The input path this run is bound to.
+    pub fn input(&self) -> &str {
+        self.input
+    }
+
+    /// The simulated cluster configuration.
+    pub fn cluster(&self) -> &ClusterConfig {
+        self.engine.runner.cluster()
+    }
+
+    /// Caps a wanted reduce-task count by the cluster's reduce slots
+    /// (at least one task).
+    pub fn reduce_tasks(&self, wanted: usize) -> usize {
+        wanted
+            .max(1)
+            .min(self.cluster().total_reduce_slots().max(1))
+    }
+
+    /// All reduce slots of the cluster (at least one) — for jobs whose
+    /// key space is not center-bounded.
+    pub fn reduce_slots(&self) -> usize {
+        self.cluster().total_reduce_slots().max(1)
+    }
+
+    /// Wires the engine's configured accelerator (k-d index or triangle
+    /// pruning) into a center set bound for a job.
+    pub fn prepare(&self, set: CenterSet) -> CenterSet {
+        if set.is_empty() {
+            set
+        } else if self.engine.kd_index {
+            set.with_kd_index()
+        } else if self.engine.pruning {
+            set.with_triangle_prune()
+        } else {
+            set
+        }
+    }
+
+    /// Serial reservoir sample of `count` points — one charged dataset
+    /// read, exactly like the paper's `PickInitialCenters`.
+    pub fn sample(&mut self, count: usize, seed: u64) -> Result<Dataset> {
+        let sample = sample_points(self.engine.runner.dfs(), self.input, count, seed)?;
+        self.totals.reads += 1;
+        Ok(sample)
+    }
+
+    /// Runs one planned job against the bound source, absorbing its
+    /// counters and clock into the run totals, then fires the injected
+    /// driver crash if this job boundary is the configured one. The
+    /// crash strikes *before* the iteration-end checkpoint, so a
+    /// resumed driver replays the interrupted iteration from its start
+    /// — re-deriving identical job outcomes from the per-job fault
+    /// draws.
+    pub fn execute(&mut self, job: PlannedJob) -> Result<JobOutputs> {
+        let config = JobConfig {
+            num_reduce_tasks: job.reducers,
+            spill_threshold_records: self.engine.spill_threshold,
+        };
+        let erased = match &self.cache {
+            Some(cache) => (job.run)(&Submission::cached(&self.engine.runner, cache), &config)?,
+            None => {
+                // One logical dataset read per disk-based job, charged
+                // whether or not the job succeeds (the runtime scans
+                // the input before tasks can fail).
+                self.totals.reads += 1;
+                (job.run)(
+                    &Submission::streaming(&self.engine.runner, self.input),
+                    &config,
+                )?
+            }
+        };
+        self.totals.counters.merge(&erased.counters);
+        self.seg.simulated_secs += erased.timing.simulated_secs;
+        self.seg.jobs += 1;
+        self.totals.jobs += 1;
+        let boundary = self.totals.jobs;
+        if self.cluster().faults.driver_crashes_at(boundary) {
+            return Err(Error::DriverCrash { boundary });
+        }
+        Ok(JobOutputs {
+            output: erased.output,
+            timing: erased.timing,
+        })
+    }
+
+    /// Spark-style mode: parse the dataset once, pin it in memory.
+    /// `charge_read` distinguishes a fresh build (one logical read)
+    /// from a resume rebuild (physical re-read only).
+    fn build_cache(&mut self, dim: usize, charge_read: bool) -> Result<()> {
+        if self.engine.mode == ExecutionMode::Cached {
+            self.cache = Some(PointCache::build(
+                self.engine.runner.dfs(),
+                self.input,
+                dim,
+                gmr_datagen::parse_point,
+            )?);
+            if charge_read {
+                // The cache materialization scans the dataset once.
+                self.totals.reads += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds the open iteration segment into the run totals. One f64
+    /// addition per boundary — the same accumulation order as the
+    /// pre-engine drivers, which is what keeps resumed clocks
+    /// bit-identical.
+    fn fold_segment(&mut self) {
+        self.totals.simulated += self.seg.simulated_secs;
+    }
+
+    /// Serialize → commit → charge, in that order (the snapshot cannot
+    /// contain the cost of its own commit).
+    fn commit<A: IterativeAlgorithm>(
+        &mut self,
+        journal: &RunJournal,
+        seq: u64,
+        snap: &A::Snapshot,
+    ) -> Result<()> {
+        let payload = encode_frame::<A>(&self.totals, snap);
+        let stored = journal.commit(seq, &payload)?;
+        if A::CHARGE_COMMITS {
+            self.apply_commit_charge(stored);
+        }
+        Ok(())
+    }
+
+    /// Charges one committed (or resume-replayed) checkpoint to the
+    /// counters and the simulated clock.
+    fn apply_commit_charge(&mut self, stored: u64) {
+        self.totals.counters.inc(Counter::CheckpointsCommitted);
+        self.totals.counters.add(Counter::CheckpointBytes, stored);
+        self.totals.simulated += self.cluster().cost_model.checkpoint_secs(stored);
+    }
+
+    /// Snapshots the run totals for [`IterativeAlgorithm::finish`].
+    fn stats(&self, wall: Instant, failure: Option<Error>) -> RunStats {
+        let counters = Counters::new();
+        counters.merge(&self.totals.counters);
+        RunStats {
+            simulated_secs: self.totals.simulated,
+            wall_secs: wall.elapsed().as_secs_f64(),
+            jobs: self.totals.jobs as usize,
+            dataset_reads: self.totals.reads,
+            counters,
+            failure,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmr_mapreduce::counters::Counter;
+
+    #[test]
+    fn counters_round_trip_via_vec() {
+        let c = Counters::new();
+        c.add(Counter::DistanceComputations, 99);
+        c.max(Counter::HeapPeakBytes, 1234);
+        let v = counters_to_vec(&c);
+        let back = counters_from_vec(&v).unwrap();
+        for &counter in Counter::all() {
+            assert_eq!(back.get(counter), c.get(counter));
+        }
+        assert!(counters_from_vec(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn center_set_snap_round_trips() {
+        let mut set = CenterSet::new(2);
+        set.push(3, &[1.0, 2.0]);
+        set.push(9, &[4.0, 5.0]);
+        let snap = CenterSetSnap::from_set(&set);
+        let back = snap.to_set().unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.id(0), 3);
+        assert_eq!(back.coords(1), &[4.0, 5.0]);
+        assert!(CenterSetSnap {
+            dim: 0,
+            ids: vec![],
+            flat: vec![]
+        }
+        .to_set()
+        .is_err());
+    }
+
+    #[test]
+    fn frames_reject_foreign_magic() {
+        struct A;
+        struct B;
+        impl IterativeAlgorithm for A {
+            type State = ();
+            type Snapshot = u64;
+            type Output = ();
+            const NAME: &'static str = "A";
+            const MAGIC: u32 = 0xAAAA_0001;
+            fn fresh(&self, _ctx: &mut EngineCtx<'_>) -> Result<()> {
+                Ok(())
+            }
+            fn dim(&self, _s: &()) -> Result<usize> {
+                Ok(1)
+            }
+            fn done(&self, _s: &()) -> bool {
+                true
+            }
+            fn seq(&self, _s: &()) -> u64 {
+                0
+            }
+            fn plan(&self, _s: &mut (), _ctx: &EngineCtx<'_>) -> Result<Vec<PlannedJob>> {
+                Ok(Vec::new())
+            }
+            fn apply(&self, _s: &mut (), _o: Vec<JobOutputs>, _g: &SegmentStats) -> Result<Step> {
+                Ok(Step::Boundary)
+            }
+            fn snapshot(&self, _s: &()) -> u64 {
+                7
+            }
+            fn restore(&self, _snap: u64) -> Result<()> {
+                Ok(())
+            }
+            fn finish(&self, _s: (), _ctx: &mut EngineCtx<'_>, _r: RunStats) -> Result<()> {
+                Ok(())
+            }
+        }
+        impl IterativeAlgorithm for B {
+            type State = ();
+            type Snapshot = u64;
+            type Output = ();
+            const NAME: &'static str = "B";
+            const MAGIC: u32 = 0xBBBB_0001;
+            fn fresh(&self, _ctx: &mut EngineCtx<'_>) -> Result<()> {
+                Ok(())
+            }
+            fn dim(&self, _s: &()) -> Result<usize> {
+                Ok(1)
+            }
+            fn done(&self, _s: &()) -> bool {
+                true
+            }
+            fn seq(&self, _s: &()) -> u64 {
+                0
+            }
+            fn plan(&self, _s: &mut (), _ctx: &EngineCtx<'_>) -> Result<Vec<PlannedJob>> {
+                Ok(Vec::new())
+            }
+            fn apply(&self, _s: &mut (), _o: Vec<JobOutputs>, _g: &SegmentStats) -> Result<Step> {
+                Ok(Step::Boundary)
+            }
+            fn snapshot(&self, _s: &()) -> u64 {
+                7
+            }
+            fn restore(&self, _snap: u64) -> Result<()> {
+                Ok(())
+            }
+            fn finish(&self, _s: (), _ctx: &mut EngineCtx<'_>, _r: RunStats) -> Result<()> {
+                Ok(())
+            }
+        }
+        let totals = Totals::default();
+        let payload = encode_frame::<A>(&totals, &7u64);
+        let (back, snap) = decode_frame::<A>(&payload).unwrap();
+        assert_eq!(back.jobs, 0);
+        assert_eq!(snap, 7);
+        assert!(decode_frame::<B>(&payload).is_err());
+    }
+}

@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use gmr_mapreduce::prelude::*;
 
-use crate::mr::centers::{CenterSet, CenterUpdate, OFFSET};
+use crate::mr::centers::{CenterSet, CenterUpdate, ChannelKey};
 use crate::mr::kmeans_job::{empty_centers_error, fold_point_sums, parse_point_or_skip, PointSum};
 
 /// Output of the fused job.
@@ -98,8 +98,8 @@ impl FindNewCentersMapper {
             .nearest_with_cost(&point)
             .ok_or_else(|| empty_centers_error("KMeansAndFindNewCenters"))?;
         ctx.charge_distances(evals, self.centers.dim());
-        out.emit(id, (point.clone(), 1));
-        out.emit(id + OFFSET, (point, 1));
+        out.emit(ChannelKey::Refine(id).encode(), (point.clone(), 1));
+        out.emit(ChannelKey::Candidate(id).encode(), (point, 1));
         Ok(())
     }
 }
@@ -131,8 +131,8 @@ impl PointMapper for FindNewCentersMapper {
     ) -> Result<()> {
         if let Some((id, evals)) = self.pending.pop_front() {
             ctx.charge_distances(evals, self.centers.dim());
-            out.emit(id, (point.to_vec(), 1));
-            out.emit(id + OFFSET, (point.to_vec(), 1));
+            out.emit(ChannelKey::Refine(id).encode(), (point.to_vec(), 1));
+            out.emit(ChannelKey::Candidate(id).encode(), (point.to_vec(), 1));
             return Ok(());
         }
         self.process(point.to_vec(), out, ctx)
@@ -156,8 +156,9 @@ impl PointMapper for FindNewCentersMapper {
     }
 }
 
-/// Reducer of [`FindNewCentersJob`]: tests the key against OFFSET, as in
-/// the paper — k-means reduction below, candidate selection above.
+/// Reducer of [`FindNewCentersJob`]: demuxes the key's channel (the
+/// paper's test against OFFSET, via [`ChannelKey::decode`]) — k-means
+/// reduction on the refine channel, candidate selection on the other.
 pub struct FindNewCentersReducer {
     seed: u64,
 }
@@ -174,19 +175,24 @@ impl Reducer for FindNewCentersReducer {
         out: &mut Vec<FindNewOutput>,
         _ctx: &mut TaskContext,
     ) -> Result<()> {
-        if key >= OFFSET {
-            let winners = keep_two_minimal(self.seed, values.collect());
-            out.push(FindNewOutput::Candidates {
-                id: key - OFFSET,
-                points: winners.into_iter().map(|(coords, _)| coords).collect(),
-            });
-        } else if let Some((sum, count)) = fold_point_sums(values) {
-            let inv = 1.0 / count as f64;
-            out.push(FindNewOutput::Update(CenterUpdate {
-                id: key,
-                coords: sum.iter().map(|s| s * inv).collect(),
-                count,
-            }));
+        match ChannelKey::decode(key) {
+            ChannelKey::Candidate(id) => {
+                let winners = keep_two_minimal(self.seed, values.collect());
+                out.push(FindNewOutput::Candidates {
+                    id,
+                    points: winners.into_iter().map(|(coords, _)| coords).collect(),
+                });
+            }
+            ChannelKey::Refine(id) => {
+                if let Some((sum, count)) = fold_point_sums(values) {
+                    let inv = 1.0 / count as f64;
+                    out.push(FindNewOutput::Update(CenterUpdate {
+                        id,
+                        coords: sum.iter().map(|s| s * inv).collect(),
+                        count,
+                    }));
+                }
+            }
         }
         Ok(())
     }
@@ -222,10 +228,9 @@ impl Job for FindNewCentersJob {
     /// larger than the predefined offset, they keep only 2 new centers
     /// per cluster. Otherwise they perform classical k-means reduction."
     fn combine(&self, key: &i64, values: Vec<PointSum>) -> Vec<PointSum> {
-        if *key >= OFFSET {
-            keep_two_minimal(self.seed, values)
-        } else {
-            fold_point_sums(values).into_iter().collect()
+        match ChannelKey::decode(*key) {
+            ChannelKey::Candidate(_) => keep_two_minimal(self.seed, values),
+            ChannelKey::Refine(_) => fold_point_sums(values).into_iter().collect(),
         }
     }
 }

@@ -3,27 +3,25 @@
 //! The "common MapReduce implementation of k-means" the paper's
 //! abstract compares against; also the refinement engine behind the
 //! Table 3 quality comparison (multi-k-means at `k = k_found`, 10
-//! iterations).
+//! iterations). The driver is a [`KMeansAlgo`] state machine on the
+//! generic [`Engine`]; [`MRKMeans`] is the thin façade keeping the
+//! original constructor-style API.
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use gmr_linalg::Dataset;
-use gmr_mapreduce::checkpoint::{no_journal_error, RunJournal};
 use gmr_mapreduce::cost::JobTiming;
 use gmr_mapreduce::counters::Counters;
-use gmr_mapreduce::job::JobConfig;
 use gmr_mapreduce::runtime::JobRunner;
+use gmr_mapreduce::writable::Writable;
 use gmr_mapreduce::{Error, Result};
 
-use crate::mr::centers::{apply_updates, CenterSet};
-use crate::mr::checkpoint::{
-    apply_commit_charge, commit_snapshot, counters_from_vec, counters_to_vec, decode_snapshot,
-    encode_snapshot, CenterSetSnap, KMeansSnapshot, TimingSnap, KMEANS_MAGIC,
+use crate::mr::centers::{apply_updates, CenterSet, CenterUpdate};
+use crate::mr::engine::{
+    CenterSetSnap, Engine, EngineCtx, IterativeAlgorithm, JobOutputs, PlannedJob, RunStats,
+    SegmentStats, Step, TimingSnap,
 };
-use crate::mr::driver::recover_task_failure;
 use crate::mr::kmeans_job::KMeansJob;
-use crate::mr::sample::sample_points;
 
 /// Result of a MapReduce k-means run.
 #[derive(Debug)]
@@ -46,14 +44,158 @@ pub struct MRKMeansResult {
 }
 
 /// The driver's complete loop state at an iteration boundary.
-struct KState {
+pub struct KState {
     /// Completed Lloyd iterations.
     iteration: usize,
     centers: CenterSet,
     counts: Vec<u64>,
     timings: Vec<JobTiming>,
-    simulated: f64,
-    counters: Counters,
+}
+
+/// Journal wire form of [`KState`] (run totals travel in the engine's
+/// frame, not here).
+pub struct KMeansSnapshot {
+    iteration: u64,
+    centers: CenterSetSnap,
+    counts: Vec<u64>,
+    timings: Vec<TimingSnap>,
+}
+
+impl Writable for KMeansSnapshot {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.iteration.write(buf);
+        self.centers.write(buf);
+        self.counts.write(buf);
+        self.timings.write(buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Self {
+            iteration: u64::read(buf)?,
+            centers: CenterSetSnap::read(buf)?,
+            counts: Vec::read(buf)?,
+            timings: Vec::read(buf)?,
+        })
+    }
+}
+
+/// Iterated-Lloyd k-means as a pure state machine on the [`Engine`]:
+/// one [`KMeansJob`] per iteration, every iteration a checkpointable
+/// boundary.
+pub struct KMeansAlgo {
+    k: usize,
+    iterations: usize,
+    seed: u64,
+    /// Explicit initial centers (bypasses the random sample).
+    init: Option<CenterSet>,
+}
+
+impl IterativeAlgorithm for KMeansAlgo {
+    type State = KState;
+    type Snapshot = KMeansSnapshot;
+    type Output = MRKMeansResult;
+
+    const NAME: &'static str = "MRKMeans";
+    const MAGIC: u32 = 0x4b4d_4e01;
+
+    fn fresh(&self, ctx: &mut EngineCtx<'_>) -> Result<KState> {
+        let centers = match &self.init {
+            Some(init) => init.clone(),
+            None => {
+                let sample = ctx.sample(self.k, self.seed)?;
+                let mut centers = CenterSet::new(sample.dim());
+                for i in 0..self.k {
+                    centers.push(i as i64, sample.row(i % sample.len()));
+                }
+                centers
+            }
+        };
+        let counts = vec![0u64; centers.len()];
+        Ok(KState {
+            iteration: 0,
+            centers,
+            counts,
+            timings: Vec::with_capacity(self.iterations),
+        })
+    }
+
+    fn dim(&self, state: &KState) -> Result<usize> {
+        Ok(state.centers.dim())
+    }
+
+    fn done(&self, state: &KState) -> bool {
+        state.iteration >= self.iterations
+    }
+
+    fn seq(&self, state: &KState) -> u64 {
+        state.iteration as u64
+    }
+
+    fn plan(&self, state: &mut KState, ctx: &EngineCtx<'_>) -> Result<Vec<PlannedJob>> {
+        let job = KMeansJob::new(Arc::new(state.centers.clone()));
+        let reducers = ctx.reduce_tasks(state.centers.len());
+        Ok(vec![PlannedJob::new(job, reducers)])
+    }
+
+    fn apply(
+        &self,
+        state: &mut KState,
+        mut outputs: Vec<JobOutputs>,
+        _seg: &SegmentStats,
+    ) -> Result<Step> {
+        let (updates, timing) = outputs.remove(0).into_parts::<CenterUpdate>();
+        let (next, counts) = apply_updates(&state.centers, &updates);
+        state.centers = next;
+        state.counts = counts;
+        state.timings.push(timing);
+        state.iteration += 1;
+        Ok(Step::Boundary)
+    }
+
+    fn snapshot(&self, state: &KState) -> KMeansSnapshot {
+        KMeansSnapshot {
+            iteration: state.iteration as u64,
+            centers: CenterSetSnap::from_set(&state.centers),
+            counts: state.counts.clone(),
+            timings: state.timings.iter().map(TimingSnap::from_timing).collect(),
+        }
+    }
+
+    fn restore(&self, snap: KMeansSnapshot) -> Result<KState> {
+        Ok(KState {
+            iteration: snap.iteration as usize,
+            centers: snap.centers.to_set()?,
+            counts: snap.counts,
+            timings: snap.timings.iter().map(TimingSnap::to_timing).collect(),
+        })
+    }
+
+    fn on_task_failure(
+        &self,
+        _state: &mut KState,
+        failure: Error,
+        _seg: &SegmentStats,
+    ) -> Result<Error> {
+        // Degrade: surface the failure alongside the last completed
+        // iteration's centers instead of losing the whole run.
+        Ok(failure)
+    }
+
+    fn finish(
+        &self,
+        state: KState,
+        _ctx: &mut EngineCtx<'_>,
+        stats: RunStats,
+    ) -> Result<MRKMeansResult> {
+        Ok(MRKMeansResult {
+            centers: state.centers.to_dataset(),
+            counts: state.counts,
+            iteration_timings: state.timings,
+            counters: stats.counters,
+            simulated_secs: stats.simulated_secs,
+            wall_secs: stats.wall_secs,
+            failure: stats.failure,
+        })
+    }
 }
 
 /// MapReduce k-means with random serial initialization.
@@ -90,47 +232,32 @@ impl MRKMeans {
         self
     }
 
-    fn journal(&self) -> Option<RunJournal> {
-        self.checkpoint_dir
-            .as_ref()
-            .map(|dir| RunJournal::new(Arc::clone(self.runner.dfs()), dir.clone()))
+    fn engine(&self) -> Engine {
+        let engine = Engine::new(self.runner.clone());
+        match &self.checkpoint_dir {
+            Some(dir) => engine.with_checkpoints(dir.clone()),
+            None => engine,
+        }
+    }
+
+    fn algo(&self, init: Option<CenterSet>) -> KMeansAlgo {
+        KMeansAlgo {
+            k: self.k,
+            iterations: self.iterations,
+            seed: self.seed,
+            init,
+        }
     }
 
     /// Runs on the DFS text file at `input`, initializing from a random
     /// sample (one serial dataset read), then iterating the job.
     pub fn run(&self, input: &str) -> Result<MRKMeansResult> {
-        let sample = sample_points(self.runner.dfs(), input, self.k, self.seed)?;
-        let mut centers = CenterSet::new(sample.dim());
-        for i in 0..self.k {
-            centers.push(i as i64, sample.row(i % sample.len()));
-        }
-        self.run_from(input, centers)
+        self.engine().run(&self.algo(None), input)
     }
 
     /// Runs from explicit initial centers.
     pub fn run_from(&self, input: &str, centers: CenterSet) -> Result<MRKMeansResult> {
-        let wall = Instant::now();
-        let counts = vec![0u64; centers.len()];
-        let mut state = KState {
-            iteration: 0,
-            centers,
-            counts,
-            timings: Vec::with_capacity(self.iterations),
-            simulated: 0.0,
-            counters: Counters::new(),
-        };
-        if let Some(journal) = self.journal() {
-            journal.reset();
-            let payload = encode_snapshot(KMEANS_MAGIC, &snapshot_of(&state));
-            state.simulated += commit_snapshot(
-                &journal,
-                0,
-                &payload,
-                &state.counters,
-                &self.runner.cluster().cost_model,
-            )?;
-        }
-        self.drive(input, state, wall)
+        self.engine().run(&self.algo(Some(centers)), input)
     }
 
     /// Resumes an interrupted checkpointed run from its newest intact
@@ -140,101 +267,8 @@ impl MRKMeans {
     /// [`MRKMeans::run`] when the journal holds no valid checkpoint.
     /// Requires [`MRKMeans::with_checkpoints`].
     pub fn resume(&self, input: &str) -> Result<MRKMeansResult> {
-        let wall = Instant::now();
-        let journal = self.journal().ok_or_else(|| no_journal_error("MRKMeans"))?;
-        let ckpt = match journal.latest()? {
-            Some(c) => c,
-            None => return self.run(input),
-        };
-        let snap: KMeansSnapshot = decode_snapshot(KMEANS_MAGIC, &ckpt.payload)?;
-        let mut state = restore_state(snap)?;
-        state.simulated += apply_commit_charge(
-            &state.counters,
-            &self.runner.cluster().cost_model,
-            ckpt.stored_bytes,
-        );
-        self.drive(input, state, wall)
+        self.engine().resume(&self.algo(None), input)
     }
-
-    fn drive(&self, input: &str, mut state: KState, wall: Instant) -> Result<MRKMeansResult> {
-        let journal = self.journal();
-        let reducers = self
-            .runner
-            .cluster()
-            .total_reduce_slots()
-            .min(state.centers.len())
-            .max(1);
-        let mut failure: Option<Error> = None;
-        while state.iteration < self.iterations {
-            let job = KMeansJob::new(Arc::new(state.centers.clone()));
-            let run = self
-                .runner
-                .run(&job, input, &JobConfig::with_reducers(reducers));
-            let result = match recover_task_failure(&mut failure, run)? {
-                Some(r) => r,
-                None => break,
-            };
-            state.counters.merge(&result.counters);
-            state.simulated += result.timing.simulated_secs;
-            let (next, c) = apply_updates(&state.centers, &result.output);
-            state.centers = next;
-            state.counts = c;
-            state.timings.push(result.timing);
-            state.iteration += 1;
-
-            // Injected driver crash at this job boundary (before the
-            // iteration's checkpoint — resume replays the iteration).
-            let boundary = state.iteration as u64;
-            if self.runner.cluster().faults.driver_crashes_at(boundary) {
-                return Err(Error::DriverCrash { boundary });
-            }
-
-            if let Some(journal) = &journal {
-                let payload = encode_snapshot(KMEANS_MAGIC, &snapshot_of(&state));
-                state.simulated += commit_snapshot(
-                    journal,
-                    state.iteration as u64,
-                    &payload,
-                    &state.counters,
-                    &self.runner.cluster().cost_model,
-                )?;
-            }
-        }
-        Ok(MRKMeansResult {
-            centers: state.centers.to_dataset(),
-            counts: state.counts,
-            iteration_timings: state.timings,
-            counters: state.counters,
-            simulated_secs: state.simulated,
-            wall_secs: wall.elapsed().as_secs_f64(),
-            failure,
-        })
-    }
-}
-
-/// Serializes the driver state for the journal.
-fn snapshot_of(state: &KState) -> KMeansSnapshot {
-    KMeansSnapshot {
-        iteration: state.iteration as u64,
-        centers: CenterSetSnap::from_set(&state.centers),
-        counts: state.counts.clone(),
-        timings: state.timings.iter().map(TimingSnap::from_timing).collect(),
-        simulated: state.simulated,
-        counters: counters_to_vec(&state.counters),
-    }
-}
-
-/// Rebuilds driver state from a decoded snapshot.
-fn restore_state(snap: KMeansSnapshot) -> Result<KState> {
-    let counters = counters_from_vec(&snap.counters)?;
-    Ok(KState {
-        iteration: snap.iteration as usize,
-        centers: snap.centers.to_set()?,
-        counts: snap.counts,
-        timings: snap.timings.iter().map(TimingSnap::to_timing).collect(),
-        simulated: snap.simulated,
-        counters,
-    })
 }
 
 #[cfg(test)]

@@ -17,14 +17,17 @@
 //! * [`model_scoring`] — the "additional job to find the correct value
 //!   of k" the multi-k pipeline needs (§4): one MR pass scoring every
 //!   candidate model's WCSS, feeding the elbow / jump criteria.
-//! * `checkpoint` (crate-private) — the drivers' journal snapshots:
-//!   `Writable` mirrors of their loop state, for crash recovery.
+//! * [`engine`] — the generic iterative-driver engine every driver
+//!   above runs on: one loop owning journaling, resume, fault
+//!   degradation, counters, clocks, and cached-vs-streaming dispatch.
+//! * [`input`] — pre-flight input validation shared by the drivers.
 
 pub mod bic_test;
 pub mod centers;
-pub(crate) mod checkpoint;
 pub mod driver;
+pub mod engine;
 pub mod find_new_centers;
+pub mod input;
 pub mod kmeans_driver;
 pub mod kmeans_job;
 pub mod model_scoring;
@@ -35,12 +38,14 @@ pub mod split_test;
 pub mod strategy;
 
 pub use bic_test::{BicTestJob, BicTestSpec};
-pub use centers::{apply_updates, CenterSet, CenterUpdate, OFFSET};
-pub use driver::{
-    check_input, ExecutionMode, InputCheck, IterationReport, MRGMeans, MRGMeansResult,
-    SplitCriterion,
+pub use centers::{apply_updates, CenterSet, CenterUpdate, ChannelKey, OFFSET};
+pub use driver::{IterationReport, MRGMeans, MRGMeansResult, SplitCriterion};
+pub use engine::{
+    Engine, EngineCtx, ExecutionMode, IterativeAlgorithm, JobOutputs, PlannedJob, RunStats,
+    SegmentStats, Step,
 };
 pub use find_new_centers::{FindNewCentersJob, FindNewOutput};
+pub use input::{check_input, InputCheck};
 pub use kmeans_driver::{MRKMeans, MRKMeansResult};
 pub use kmeans_job::KMeansJob;
 pub use model_scoring::{score_models, ModelScore, ModelScoringJob, ScoredModels};

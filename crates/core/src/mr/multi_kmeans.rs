@@ -7,26 +7,26 @@
 //! reducing the number of iterations and dataset reads" — at the price
 //! of `O(n·k_max²)` distance computations per iteration, which is what
 //! Table 2 and Figure 3 measure.
+//!
+//! The driver is a [`MultiKAlgo`] state machine on the generic
+//! [`Engine`]; [`MultiKMeans`] is the thin façade keeping the original
+//! constructor-style API.
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
 
 use gmr_linalg::Dataset;
-use gmr_mapreduce::checkpoint::{no_journal_error, RunJournal};
 use gmr_mapreduce::cost::JobTiming;
 use gmr_mapreduce::counters::Counters;
 use gmr_mapreduce::prelude::*;
+use gmr_mapreduce::writable::Writable;
 
 use crate::mr::centers::{apply_updates, CenterSet, CenterUpdate};
-use crate::mr::checkpoint::{
-    apply_commit_charge, commit_snapshot, counters_from_vec, counters_to_vec, decode_snapshot,
-    encode_snapshot, CenterSetSnap, MultiKMeansSnapshot, TimingSnap, MULTIK_MAGIC,
+use crate::mr::engine::{
+    CenterSetSnap, Engine, EngineCtx, ExecutionMode, IterativeAlgorithm, JobOutputs, PlannedJob,
+    RunStats, SegmentStats, Step, TimingSnap,
 };
-use crate::mr::driver::ExecutionMode;
 use crate::mr::kmeans_job::{empty_centers_error, fold_point_sums, parse_point_or_skip, PointSum};
-use crate::mr::sample::sample_points;
-use gmr_mapreduce::cache::PointCache;
 
 /// Intermediate key: `(k-index, center id)` — the paper's `k_centerid`
 /// composite key, kept numeric for cheap shuffle sorting.
@@ -231,14 +231,174 @@ impl MultiKMeansResult {
 }
 
 /// The sweep's complete loop state at an iteration boundary.
-struct MState {
+pub struct MState {
     /// Completed Lloyd iterations.
     iteration: usize,
     sets: Vec<CenterSet>,
     counts: Vec<Vec<u64>>,
     timings: Vec<JobTiming>,
-    simulated: f64,
-    counters: Counters,
+}
+
+/// Journal wire form of [`MState`] (run totals travel in the engine's
+/// frame, not here).
+pub struct MultiKMeansSnapshot {
+    iteration: u64,
+    sets: Vec<CenterSetSnap>,
+    counts: Vec<Vec<u64>>,
+    timings: Vec<TimingSnap>,
+}
+
+impl Writable for MultiKMeansSnapshot {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.iteration.write(buf);
+        self.sets.write(buf);
+        self.counts.write(buf);
+        self.timings.write(buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Self {
+            iteration: u64::read(buf)?,
+            sets: Vec::read(buf)?,
+            counts: Vec::read(buf)?,
+            timings: Vec::read(buf)?,
+        })
+    }
+}
+
+/// The multi-k sweep as a pure state machine on the [`Engine`]: one
+/// fused job per Lloyd iteration, every iteration a checkpointable
+/// boundary. Task failures propagate (the sweep has no partial result
+/// worth degrading to).
+pub struct MultiKAlgo {
+    ks: Vec<usize>,
+    iterations: usize,
+    seed: u64,
+}
+
+impl IterativeAlgorithm for MultiKAlgo {
+    type State = MState;
+    type Snapshot = MultiKMeansSnapshot;
+    type Output = MultiKMeansResult;
+
+    const NAME: &'static str = "MultiKMeans";
+    const MAGIC: u32 = 0x4d4b_4e01;
+
+    fn fresh(&self, ctx: &mut EngineCtx<'_>) -> Result<MState> {
+        let k_max = *self.ks.last().expect("nonempty ks");
+        // Serial init: one reservoir sample feeds every k (centers for
+        // k are the first k sampled points).
+        let sample = ctx.sample(k_max, self.seed)?;
+        let dim = sample.dim();
+        let mut sets: Vec<CenterSet> = Vec::with_capacity(self.ks.len());
+        for &k in &self.ks {
+            let mut set = CenterSet::new(dim);
+            for i in 0..k {
+                set.push(i as i64, sample.row(i % sample.len()));
+            }
+            sets.push(set);
+        }
+        let counts: Vec<Vec<u64>> = sets.iter().map(|s| vec![0; s.len()]).collect();
+        Ok(MState {
+            iteration: 0,
+            sets,
+            counts,
+            timings: Vec::with_capacity(self.iterations),
+        })
+    }
+
+    fn dim(&self, state: &MState) -> Result<usize> {
+        state
+            .sets
+            .first()
+            .map(|s| s.dim())
+            .ok_or_else(|| Error::Corrupt("multi-k snapshot has no center sets".into()))
+    }
+
+    fn done(&self, state: &MState) -> bool {
+        state.iteration >= self.iterations
+    }
+
+    fn seq(&self, state: &MState) -> u64 {
+        state.iteration as u64
+    }
+
+    fn plan(&self, state: &mut MState, ctx: &EngineCtx<'_>) -> Result<Vec<PlannedJob>> {
+        let job_sets: Vec<CenterSet> = state.sets.iter().map(|s| ctx.prepare(s.clone())).collect();
+        let job = MultiKMeansJob::new(Arc::new(job_sets));
+        let reducers = ctx.reduce_tasks(self.ks.iter().sum::<usize>());
+        Ok(vec![PlannedJob::new(job, reducers)])
+    }
+
+    fn apply(
+        &self,
+        state: &mut MState,
+        mut outputs: Vec<JobOutputs>,
+        _seg: &SegmentStats,
+    ) -> Result<Step> {
+        let (output, timing) = outputs.remove(0).into_parts::<(u32, CenterUpdate)>();
+        let mut per_k: HashMap<u32, Vec<CenterUpdate>> = HashMap::new();
+        for (ki, update) in output {
+            per_k.entry(ki).or_default().push(update);
+        }
+        for (ki, set) in state.sets.iter_mut().enumerate() {
+            let updates = per_k.remove(&(ki as u32)).unwrap_or_default();
+            let (next, c) = apply_updates(set, &updates);
+            *set = next;
+            state.counts[ki] = c;
+        }
+        state.timings.push(timing);
+        state.iteration += 1;
+        Ok(Step::Boundary)
+    }
+
+    fn snapshot(&self, state: &MState) -> MultiKMeansSnapshot {
+        MultiKMeansSnapshot {
+            iteration: state.iteration as u64,
+            sets: state.sets.iter().map(CenterSetSnap::from_set).collect(),
+            counts: state.counts.clone(),
+            timings: state.timings.iter().map(TimingSnap::from_timing).collect(),
+        }
+    }
+
+    fn restore(&self, snap: MultiKMeansSnapshot) -> Result<MState> {
+        let sets = snap
+            .sets
+            .iter()
+            .map(CenterSetSnap::to_set)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(MState {
+            iteration: snap.iteration as usize,
+            sets,
+            counts: snap.counts,
+            timings: snap.timings.iter().map(TimingSnap::to_timing).collect(),
+        })
+    }
+
+    fn finish(
+        &self,
+        state: MState,
+        _ctx: &mut EngineCtx<'_>,
+        stats: RunStats,
+    ) -> Result<MultiKMeansResult> {
+        let models = state
+            .sets
+            .iter()
+            .zip(&self.ks)
+            .zip(&state.counts)
+            .map(|((set, &k), c)| MRKModel {
+                k,
+                centers: set.to_dataset(),
+                counts: c.clone(),
+            })
+            .collect();
+        Ok(MultiKMeansResult {
+            models,
+            iteration_timings: state.timings,
+            counters: stats.counters,
+            simulated_secs: stats.simulated_secs,
+            wall_secs: stats.wall_secs,
+        })
+    }
 }
 
 /// Driver: initializes a center set per k and iterates the fused job.
@@ -316,62 +476,28 @@ impl MultiKMeans {
         self
     }
 
-    fn journal(&self) -> Option<RunJournal> {
-        self.checkpoint_dir
-            .as_ref()
-            .map(|dir| RunJournal::new(Arc::clone(self.runner.dfs()), dir.clone()))
+    fn engine(&self) -> Engine {
+        let engine = Engine::new(self.runner.clone())
+            .with_execution_mode(self.mode)
+            .with_kd_index(self.kd_index)
+            .with_pruning(self.pruning);
+        match &self.checkpoint_dir {
+            Some(dir) => engine.with_checkpoints(dir.clone()),
+            None => engine,
+        }
     }
 
-    fn build_cache(&self, input: &str, dim: usize) -> Result<Option<PointCache>> {
-        match self.mode {
-            ExecutionMode::OnDisk => Ok(None),
-            ExecutionMode::Cached => Ok(Some(PointCache::build(
-                self.runner.dfs(),
-                input,
-                dim,
-                gmr_datagen::parse_point,
-            )?)),
+    fn algo(&self) -> MultiKAlgo {
+        MultiKAlgo {
+            ks: self.ks.clone(),
+            iterations: self.iterations,
+            seed: self.seed,
         }
     }
 
     /// Runs the sweep over the DFS text file at `input`.
     pub fn run(&self, input: &str) -> Result<MultiKMeansResult> {
-        let wall = Instant::now();
-        let k_max = *self.ks.last().expect("nonempty ks");
-        // Serial init: one reservoir sample feeds every k (centers for
-        // k are the first k sampled points).
-        let sample = sample_points(self.runner.dfs(), input, k_max, self.seed)?;
-        let dim = sample.dim();
-        let cache = self.build_cache(input, dim)?;
-        let mut sets: Vec<CenterSet> = Vec::with_capacity(self.ks.len());
-        for &k in &self.ks {
-            let mut set = CenterSet::new(dim);
-            for i in 0..k {
-                set.push(i as i64, sample.row(i % sample.len()));
-            }
-            sets.push(set);
-        }
-        let counts: Vec<Vec<u64>> = sets.iter().map(|s| vec![0; s.len()]).collect();
-        let mut state = MState {
-            iteration: 0,
-            sets,
-            counts,
-            timings: Vec::with_capacity(self.iterations),
-            simulated: 0.0,
-            counters: Counters::new(),
-        };
-        if let Some(journal) = self.journal() {
-            journal.reset();
-            let payload = encode_snapshot(MULTIK_MAGIC, &snapshot_of(&state));
-            state.simulated += commit_snapshot(
-                &journal,
-                0,
-                &payload,
-                &state.counters,
-                &self.runner.cluster().cost_model,
-            )?;
-        }
-        self.drive(input, state, cache, wall)
+        self.engine().run(&self.algo(), input)
     }
 
     /// Resumes an interrupted checkpointed sweep from its newest intact
@@ -380,148 +506,8 @@ impl MultiKMeans {
     /// when the journal holds no valid checkpoint. Requires
     /// [`MultiKMeans::with_checkpoints`].
     pub fn resume(&self, input: &str) -> Result<MultiKMeansResult> {
-        let wall = Instant::now();
-        let journal = self
-            .journal()
-            .ok_or_else(|| no_journal_error("MultiKMeans"))?;
-        let ckpt = match journal.latest()? {
-            Some(c) => c,
-            None => return self.run(input),
-        };
-        let snap: MultiKMeansSnapshot = decode_snapshot(MULTIK_MAGIC, &ckpt.payload)?;
-        let mut state = restore_state(snap)?;
-        state.simulated += apply_commit_charge(
-            &state.counters,
-            &self.runner.cluster().cost_model,
-            ckpt.stored_bytes,
-        );
-        let dim = state
-            .sets
-            .first()
-            .map(|s| s.dim())
-            .ok_or_else(|| Error::Corrupt("multi-k snapshot has no center sets".into()))?;
-        let cache = self.build_cache(input, dim)?;
-        self.drive(input, state, cache, wall)
+        self.engine().resume(&self.algo(), input)
     }
-
-    fn drive(
-        &self,
-        input: &str,
-        mut state: MState,
-        cache: Option<PointCache>,
-        wall: Instant,
-    ) -> Result<MultiKMeansResult> {
-        let journal = self.journal();
-        let reducers = self
-            .runner
-            .cluster()
-            .total_reduce_slots()
-            .min(self.ks.iter().sum::<usize>())
-            .max(1);
-        while state.iteration < self.iterations {
-            let job_sets: Vec<CenterSet> = state
-                .sets
-                .iter()
-                .map(|s| {
-                    if self.kd_index {
-                        s.clone().with_kd_index()
-                    } else if self.pruning {
-                        s.clone().with_triangle_prune()
-                    } else {
-                        s.clone()
-                    }
-                })
-                .collect();
-            let job = MultiKMeansJob::new(Arc::new(job_sets));
-            let config = JobConfig::with_reducers(reducers);
-            let result = match cache.as_ref() {
-                Some(cache) => self.runner.run_cached(&job, cache, &config)?,
-                None => self.runner.run(&job, input, &config)?,
-            };
-            state.counters.merge(&result.counters);
-            state.simulated += result.timing.simulated_secs;
-
-            let mut per_k: HashMap<u32, Vec<CenterUpdate>> = HashMap::new();
-            for (ki, update) in result.output {
-                per_k.entry(ki).or_default().push(update);
-            }
-            for (ki, set) in state.sets.iter_mut().enumerate() {
-                let updates = per_k.remove(&(ki as u32)).unwrap_or_default();
-                let (next, c) = apply_updates(set, &updates);
-                *set = next;
-                state.counts[ki] = c;
-            }
-            state.timings.push(result.timing);
-            state.iteration += 1;
-
-            // Injected driver crash at this job boundary (before the
-            // iteration's checkpoint — resume replays the iteration).
-            let boundary = state.iteration as u64;
-            if self.runner.cluster().faults.driver_crashes_at(boundary) {
-                return Err(Error::DriverCrash { boundary });
-            }
-
-            if let Some(journal) = &journal {
-                let payload = encode_snapshot(MULTIK_MAGIC, &snapshot_of(&state));
-                state.simulated += commit_snapshot(
-                    journal,
-                    state.iteration as u64,
-                    &payload,
-                    &state.counters,
-                    &self.runner.cluster().cost_model,
-                )?;
-            }
-        }
-
-        let models = state
-            .sets
-            .iter()
-            .zip(&self.ks)
-            .zip(&state.counts)
-            .map(|((set, &k), c)| MRKModel {
-                k,
-                centers: set.to_dataset(),
-                counts: c.clone(),
-            })
-            .collect();
-        Ok(MultiKMeansResult {
-            models,
-            iteration_timings: state.timings,
-            counters: state.counters,
-            simulated_secs: state.simulated,
-            wall_secs: wall.elapsed().as_secs_f64(),
-        })
-    }
-}
-
-/// Serializes the sweep state for the journal.
-fn snapshot_of(state: &MState) -> MultiKMeansSnapshot {
-    MultiKMeansSnapshot {
-        iteration: state.iteration as u64,
-        sets: state.sets.iter().map(CenterSetSnap::from_set).collect(),
-        counts: state.counts.clone(),
-        timings: state.timings.iter().map(TimingSnap::from_timing).collect(),
-        simulated: state.simulated,
-        counters: counters_to_vec(&state.counters),
-    }
-}
-
-/// Rebuilds sweep state from a decoded snapshot.
-fn restore_state(snap: MultiKMeansSnapshot) -> Result<MState> {
-    let counters = counters_from_vec(&snap.counters)?;
-    let sets = snap
-        .sets
-        .iter()
-        .map(CenterSetSnap::to_set)
-        .collect::<Result<Vec<_>>>()?;
-    Ok(MState {
-        iteration: snap.iteration as usize,
-        sets,
-        counts: snap.counts,
-        timings: snap.timings.iter().map(TimingSnap::to_timing).collect(),
-        simulated: snap.simulated,
-        counters,
-    })
 }
 
 #[cfg(test)]

@@ -1,5 +1,5 @@
 //! k-means‖ — the MapReduce k-means++ initialization (§2: "Bahmani
-//! [4] also proposed a MapReduce version of k-means++ initialization
+//! \[4\] also proposed a MapReduce version of k-means++ initialization
 //! algorithm").
 //!
 //! The paper's G-means picks initial centers at random and notes that
@@ -20,22 +20,27 @@
 //! so "random" is the same hash-uniform construction the candidate
 //! picker of `KMeansAndFindNewCenters` uses: a point is sampled iff
 //! `h(seed_round, coords) / 2⁶⁴ < ℓ·d²/ψ`.
+//!
+//! The driver is a [`ParInitAlgo`] state machine on the generic
+//! [`Engine`]: each sampling round is one job and one checkpointable
+//! boundary; the weighting job and the driver-side k-means++ run in
+//! `finish` and are recomputed deterministically on resume.
 
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use gmr_linalg::{squared_euclidean, Dataset};
-use gmr_mapreduce::checkpoint::{no_journal_error, RunJournal};
 use gmr_mapreduce::prelude::*;
+use gmr_mapreduce::writable::Writable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::mr::centers::CenterSet;
-use crate::mr::checkpoint::{
-    decode_snapshot, encode_snapshot, CenterSetSnap, ParallelInitSnapshot, PARINIT_MAGIC,
+use crate::mr::engine::{
+    CenterSetSnap, Engine, EngineCtx, IterativeAlgorithm, JobOutputs, PlannedJob, RunStats,
+    SegmentStats, Step,
 };
 use crate::mr::kmeans_job::{empty_centers_error, fold_point_sums, parse_point_or_skip, PointSum};
-use crate::mr::sample::sample_points;
 
 /// Key 0 carries the cost aggregate; key 1 carries sampled candidates.
 const COST_KEY: i64 = 0;
@@ -225,6 +230,177 @@ impl Job for ParallelInitRound {
     }
 }
 
+/// Driver state at a round boundary.
+pub struct PState {
+    /// Next sampling round to run (rounds `0..next_round` are done).
+    next_round: usize,
+    candidates: CenterSet,
+    next_id: i64,
+    psi: Option<f64>,
+    /// The sampling loop broke early (cost hit zero).
+    done_sampling: bool,
+}
+
+/// Journal wire form of [`PState`].
+pub struct ParallelInitSnapshot {
+    next_round: u64,
+    candidates: CenterSetSnap,
+    next_id: i64,
+    psi: Option<f64>,
+    done_sampling: bool,
+}
+
+impl Writable for ParallelInitSnapshot {
+    fn write(&self, buf: &mut Vec<u8>) {
+        self.next_round.write(buf);
+        self.candidates.write(buf);
+        self.next_id.write(buf);
+        self.psi.write(buf);
+        self.done_sampling.write(buf);
+    }
+    fn read(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Self {
+            next_round: u64::read(buf)?,
+            candidates: CenterSetSnap::read(buf)?,
+            next_id: i64::read(buf)?,
+            psi: Option::read(buf)?,
+            done_sampling: bool::read(buf)?,
+        })
+    }
+}
+
+/// k-means‖ as a pure state machine on the [`Engine`]. Checkpoint
+/// commits are not charged ([`IterativeAlgorithm::CHARGE_COMMITS`] is
+/// `false`): the init driver surfaces no counters or simulated clock.
+pub struct ParInitAlgo {
+    k: usize,
+    rounds: usize,
+    oversample: f64,
+    seed: u64,
+}
+
+impl IterativeAlgorithm for ParInitAlgo {
+    type State = PState;
+    type Snapshot = ParallelInitSnapshot;
+    type Output = CenterSet;
+
+    const NAME: &'static str = "KMeansParallelInit";
+    const MAGIC: u32 = 0x504e_4901;
+    const CHARGE_COMMITS: bool = false;
+
+    fn fresh(&self, ctx: &mut EngineCtx<'_>) -> Result<PState> {
+        // Seed candidate: one random point (one dataset read).
+        let seed_points = ctx.sample(1, self.seed)?;
+        let mut candidates = CenterSet::new(seed_points.dim());
+        candidates.push(0, seed_points.row(0));
+        Ok(PState {
+            next_round: 0,
+            candidates,
+            next_id: 1,
+            psi: None,
+            done_sampling: false,
+        })
+    }
+
+    fn dim(&self, state: &PState) -> Result<usize> {
+        Ok(state.candidates.dim())
+    }
+
+    fn done(&self, state: &PState) -> bool {
+        // Round 0 measures ψ only; rounds 1..=rounds also sample. A
+        // restored ψ of `None` past round 0 means there is nothing left
+        // to sample with.
+        state.done_sampling
+            || state.next_round > self.rounds
+            || (state.next_round > 0 && state.psi.is_none())
+    }
+
+    fn seq(&self, state: &PState) -> u64 {
+        state.next_round as u64
+    }
+
+    fn plan(&self, state: &mut PState, ctx: &EngineCtx<'_>) -> Result<Vec<PlannedJob>> {
+        let round = state.next_round;
+        let factor = state
+            .psi
+            .map(|p| if p > 0.0 { self.oversample / p } else { 0.0 });
+        let job = ParallelInitRound::new(
+            Arc::new(state.candidates.clone()),
+            if round == 0 { None } else { factor },
+            self.seed ^ (round as u64).wrapping_mul(0x517c_c1b7),
+        );
+        Ok(vec![PlannedJob::new(job, ctx.reduce_slots())])
+    }
+
+    fn apply(
+        &self,
+        state: &mut PState,
+        mut outputs: Vec<JobOutputs>,
+        _seg: &SegmentStats,
+    ) -> Result<Step> {
+        let mut new_psi = 0.0;
+        for out in outputs.remove(0).take::<RoundOutput>() {
+            match out {
+                RoundOutput::Cost { psi: p, .. } => new_psi += p,
+                RoundOutput::Candidate(coords) => {
+                    state.candidates.push(state.next_id, &coords);
+                    state.next_id += 1;
+                }
+            }
+        }
+        state.psi = Some(new_psi);
+        state.next_round += 1;
+        if new_psi == 0.0 {
+            state.done_sampling = true; // every point is already a candidate
+        }
+        Ok(Step::Boundary)
+    }
+
+    fn snapshot(&self, state: &PState) -> ParallelInitSnapshot {
+        ParallelInitSnapshot {
+            next_round: state.next_round as u64,
+            candidates: CenterSetSnap::from_set(&state.candidates),
+            next_id: state.next_id,
+            psi: state.psi,
+            done_sampling: state.done_sampling,
+        }
+    }
+
+    fn restore(&self, snap: ParallelInitSnapshot) -> Result<PState> {
+        Ok(PState {
+            next_round: snap.next_round as usize,
+            candidates: snap.candidates.to_set()?,
+            next_id: snap.next_id,
+            psi: snap.psi,
+            done_sampling: snap.done_sampling,
+        })
+    }
+
+    fn finish(
+        &self,
+        state: PState,
+        ctx: &mut EngineCtx<'_>,
+        _stats: RunStats,
+    ) -> Result<CenterSet> {
+        // Weight candidates by attraction counts (one k-means job).
+        let candidates = state.candidates;
+        let weight_job = crate::mr::kmeans_job::KMeansJob::new(Arc::new(candidates.clone()));
+        let updates = ctx
+            .execute(PlannedJob::new(weight_job, ctx.reduce_slots()))?
+            .take::<crate::mr::centers::CenterUpdate>();
+        let mut weights = vec![1u64; candidates.len()];
+        for update in &updates {
+            if let Some(idx) = candidates.index_of(update.id) {
+                weights[idx] = update.count.max(1);
+            }
+        }
+
+        // Recluster the weighted candidates to exactly k (driver-side
+        // weighted k-means++, as in Bahmani §3.3).
+        Ok(weighted_kmeanspp(&candidates, &weights, self.k, self.seed))
+    }
+}
+
 /// The k-means‖ driver.
 pub struct KMeansParallelInit {
     runner: JobRunner,
@@ -233,17 +409,6 @@ pub struct KMeansParallelInit {
     oversample: f64,
     seed: u64,
     checkpoint_dir: Option<String>,
-}
-
-/// Driver state at a round boundary.
-struct PState {
-    /// Next sampling round to run (rounds `0..next_round` are done).
-    next_round: usize,
-    candidates: CenterSet,
-    next_id: i64,
-    psi: Option<f64>,
-    /// The sampling loop broke early (cost hit zero).
-    done_sampling: bool,
 }
 
 impl KMeansParallelInit {
@@ -275,12 +440,6 @@ impl KMeansParallelInit {
         self
     }
 
-    fn journal(&self) -> Option<RunJournal> {
-        self.checkpoint_dir
-            .as_ref()
-            .map(|dir| RunJournal::new(Arc::clone(self.runner.dfs()), dir.clone()))
-    }
-
     /// Overrides the number of sampling rounds.
     pub fn with_rounds(mut self, rounds: usize) -> Self {
         assert!(rounds > 0, "need at least one round");
@@ -295,26 +454,27 @@ impl KMeansParallelInit {
         self
     }
 
+    fn engine(&self) -> Engine {
+        let engine = Engine::new(self.runner.clone());
+        match &self.checkpoint_dir {
+            Some(dir) => engine.with_checkpoints(dir.clone()),
+            None => engine,
+        }
+    }
+
+    fn algo(&self) -> ParInitAlgo {
+        ParInitAlgo {
+            k: self.k,
+            rounds: self.rounds,
+            oversample: self.oversample,
+            seed: self.seed,
+        }
+    }
+
     /// Runs the initialization, returning exactly `k` centers (ids
     /// `0..k`) ready for [`crate::mr::MRKMeans::run_from`].
     pub fn run(&self, input: &str) -> Result<CenterSet> {
-        // Seed candidate: one random point (one dataset read).
-        let seed_points = sample_points(self.runner.dfs(), input, 1, self.seed)?;
-        let dim = seed_points.dim();
-        let mut candidates = CenterSet::new(dim);
-        candidates.push(0, seed_points.row(0));
-        let state = PState {
-            next_round: 0,
-            candidates,
-            next_id: 1,
-            psi: None,
-            done_sampling: false,
-        };
-        if let Some(journal) = self.journal() {
-            journal.reset();
-            journal.commit(0, &encode_snapshot(PARINIT_MAGIC, &snapshot_of(&state)))?;
-        }
-        self.drive(input, state)
+        self.engine().run(&self.algo(), input)
     }
 
     /// Resumes an interrupted checkpointed initialization from its
@@ -323,122 +483,8 @@ impl KMeansParallelInit {
     /// fresh run when the journal holds no valid checkpoint. Requires
     /// [`KMeansParallelInit::with_checkpoints`].
     pub fn resume(&self, input: &str) -> Result<CenterSet> {
-        let journal = self
-            .journal()
-            .ok_or_else(|| no_journal_error("KMeansParallelInit"))?;
-        let ckpt = match journal.latest()? {
-            Some(c) => c,
-            None => return self.run(input),
-        };
-        let snap: ParallelInitSnapshot = decode_snapshot(PARINIT_MAGIC, &ckpt.payload)?;
-        self.drive(input, restore_state(snap)?)
+        self.engine().resume(&self.algo(), input)
     }
-
-    fn drive(&self, input: &str, state: PState) -> Result<CenterSet> {
-        let PState {
-            next_round,
-            mut candidates,
-            mut next_id,
-            mut psi,
-            mut done_sampling,
-        } = state;
-        let journal = self.journal();
-        let reducers = self.runner.cluster().total_reduce_slots().max(1);
-        let mut rounds_done = next_round;
-        for round in next_round..=self.rounds {
-            if done_sampling {
-                break;
-            }
-            // Round 0 measures ψ only; rounds 1..=rounds also sample.
-            let factor = psi.map(|p| if p > 0.0 { self.oversample / p } else { 0.0 });
-            if round > 0 && factor.is_none() {
-                break;
-            }
-            let job = ParallelInitRound::new(
-                Arc::new(candidates.clone()),
-                if round == 0 { None } else { factor },
-                self.seed ^ (round as u64).wrapping_mul(0x517c_c1b7),
-            );
-            let result = self
-                .runner
-                .run(&job, input, &JobConfig::with_reducers(reducers))?;
-            let mut new_psi = 0.0;
-            for out in result.output {
-                match out {
-                    RoundOutput::Cost { psi: p, .. } => new_psi += p,
-                    RoundOutput::Candidate(coords) => {
-                        candidates.push(next_id, &coords);
-                        next_id += 1;
-                    }
-                }
-            }
-            psi = Some(new_psi);
-            rounds_done = round + 1;
-            if new_psi == 0.0 {
-                done_sampling = true; // every point is already a candidate
-            }
-
-            // Injected driver crash at this job boundary (before the
-            // round's checkpoint — resume replays the round).
-            let boundary = rounds_done as u64;
-            if self.runner.cluster().faults.driver_crashes_at(boundary) {
-                return Err(Error::DriverCrash { boundary });
-            }
-
-            if let Some(journal) = &journal {
-                let snap = ParallelInitSnapshot {
-                    next_round: rounds_done as u64,
-                    candidates: CenterSetSnap::from_set(&candidates),
-                    next_id,
-                    psi,
-                    done_sampling,
-                };
-                journal.commit(rounds_done as u64, &encode_snapshot(PARINIT_MAGIC, &snap))?;
-            }
-        }
-
-        // Weight candidates by attraction counts (one k-means job).
-        let weight_job = crate::mr::kmeans_job::KMeansJob::new(Arc::new(candidates.clone()));
-        let result = self
-            .runner
-            .run(&weight_job, input, &JobConfig::with_reducers(reducers))?;
-        let boundary = (rounds_done + 1) as u64;
-        if self.runner.cluster().faults.driver_crashes_at(boundary) {
-            return Err(Error::DriverCrash { boundary });
-        }
-        let mut weights = vec![1u64; candidates.len()];
-        for update in &result.output {
-            if let Some(idx) = candidates.index_of(update.id) {
-                weights[idx] = update.count.max(1);
-            }
-        }
-
-        // Recluster the weighted candidates to exactly k (driver-side
-        // weighted k-means++, as in Bahmani §3.3).
-        Ok(weighted_kmeanspp(&candidates, &weights, self.k, self.seed))
-    }
-}
-
-/// Serializes the driver state for the journal.
-fn snapshot_of(state: &PState) -> ParallelInitSnapshot {
-    ParallelInitSnapshot {
-        next_round: state.next_round as u64,
-        candidates: CenterSetSnap::from_set(&state.candidates),
-        next_id: state.next_id,
-        psi: state.psi,
-        done_sampling: state.done_sampling,
-    }
-}
-
-/// Rebuilds driver state from a decoded snapshot.
-fn restore_state(snap: ParallelInitSnapshot) -> Result<PState> {
-    Ok(PState {
-        next_round: snap.next_round as usize,
-        candidates: snap.candidates.to_set()?,
-        next_id: snap.next_id,
-        psi: snap.psi,
-        done_sampling: snap.done_sampling,
-    })
 }
 
 /// Weighted k-means++ over a small candidate set.

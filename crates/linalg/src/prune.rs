@@ -93,7 +93,7 @@ impl TrianglePruner {
     /// built from, returning `(index, squared_distance, evaluations)`.
     ///
     /// The `(index, squared_distance)` pair is bit-identical to
-    /// [`nearest_center_flat`](crate::nearest_center_flat);
+    /// [`nearest_center_flat`];
     /// `evaluations ∈ [1, k]` is the count of exact distance
     /// computations performed, charged to the cost model by callers.
     ///

@@ -224,7 +224,8 @@ impl Dfs {
     }
 
     /// The input splits of a file, one per block. Charges nothing; reads
-    /// are counted when a split is *consumed* via [`Dfs::read_split`].
+    /// are counted when a split is *consumed* via
+    /// [`Dfs::charge_split_read`].
     pub fn splits(&self, path: &str) -> Result<Vec<InputSplit>> {
         let file = self.file(path)?;
         let mut offset = 0u64;

@@ -16,6 +16,9 @@
 //!   k-way merge on the reduce side;
 //! * [`runtime`] — task execution over a pool of worker threads standing
 //!   in for the cluster's map/reduce slots;
+//! * [`submit`] — a submission façade binding a runner to one input
+//!   source (DFS text or point cache), so iterative drivers stop
+//!   branching on the execution mode at every job site;
 //! * [`counters`] — the measurable events §4's cost model is written in;
 //! * [`memory`] — simulated per-task heap; exceeding it fails the job
 //!   with the "Java heap space" error Figure 2 maps out;
@@ -98,6 +101,7 @@ pub mod job;
 pub mod memory;
 pub mod runtime;
 pub mod shuffle;
+pub mod submit;
 pub mod writable;
 
 pub use error::{Error, Result};
@@ -117,5 +121,6 @@ pub mod prelude {
     };
     pub use crate::memory::{HeapEstimator, HeapLedger, BYTES_PER_PROJECTION, MAX_HEAP_USAGE};
     pub use crate::runtime::{JobResult, JobRunner};
+    pub use crate::submit::Submission;
     pub use crate::writable::{ShuffleKey, ShuffleValue, Writable};
 }

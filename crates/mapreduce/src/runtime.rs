@@ -10,7 +10,7 @@
 //!   volume;
 //! * tasks run concurrently on up to `slots` worker threads and every
 //!   task accumulates a [`TaskCost`], from which the job's simulated
-//!   makespan is computed per the cluster's [`CostModel`]
+//!   makespan is computed per the cluster's [`crate::cost::CostModel`]
 //!   (wave-scheduled, as Hadoop would run the tasks);
 //! * a task exceeding its simulated heap fails the whole job with
 //!   [`crate::error::Error::HeapSpace`] — the behaviour Figure 2 maps;

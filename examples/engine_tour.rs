@@ -4,7 +4,9 @@
 //! * Spark-style cached execution (§6: save disk I/O via in-memory
 //!   caching, partition-preserving),
 //! * k-d-tree nearest-center search (§2: mrkd-tree),
-//! * k-means‖ initialization (§2: Bahmani's MapReduce k-means++).
+//! * k-means‖ initialization (§2: Bahmani's MapReduce k-means++),
+//! * the generic iterative-driver engine all four shipped drivers run
+//!   on — demonstrated end to end with a custom algorithm.
 //!
 //! ```text
 //! cargo run --release --example engine_tour
@@ -12,11 +14,14 @@
 
 use std::sync::Arc;
 
-use gmeans_mapreduce::algorithms::mr::{KMeansParallelInit, MRKMeans};
+use gmeans_mapreduce::algorithms::mr::{
+    apply_updates, CenterUpdate, KMeansJob, KMeansParallelInit, MRKMeans,
+};
 use gmeans_mapreduce::algorithms::prelude::*;
 use gmeans_mapreduce::datagen::GaussianMixture;
 use gmeans_mapreduce::mapreduce::counters::Counter;
 use gmeans_mapreduce::mapreduce::prelude::{ClusterConfig, Dfs, JobRunner};
+use gmeans_mapreduce::mapreduce::Result;
 
 fn staged(seed: u64) -> JobRunner {
     let spec = GaussianMixture::paper_r10(30_000, 32, seed);
@@ -87,4 +92,92 @@ fn main() {
         "  k-means||        wcss = {:.0}   (lower is better)",
         wcss(&data, &kmpp.centers)
     );
+
+    println!("\n== bring your own algorithm: the iterative-driver engine ==");
+    // Every shipped driver (G-means, k-means, multi-k, k-means||) is a
+    // state machine on the same Engine; here is the smallest possible
+    // fifth one — a dataset-centroid finder — getting execution,
+    // counters, the simulated clock and crash recovery for free.
+    let centroid = Engine::new(staged(7))
+        .run(&Centroid, "points.txt")
+        .expect("centroid run");
+    println!(
+        "  global centroid (dim {}) first coords: {:.3}, {:.3}, {:.3}",
+        centroid.len(),
+        centroid[0],
+        centroid[1],
+        centroid[2]
+    );
+}
+
+/// The smallest custom [`IterativeAlgorithm`]: one-center Lloyd, which
+/// converges on the global dataset centroid after a single iteration.
+struct Centroid;
+
+/// The algorithm's whole loop state at a checkpointable boundary.
+struct CentroidState {
+    round: usize,
+    center: CenterSet,
+}
+
+impl IterativeAlgorithm for Centroid {
+    type State = CentroidState;
+    /// Journal wire form: `(round, coords)` — anything [`Writable`]
+    /// works, and the engine handles framing, CRCs and recovery.
+    type Snapshot = (u64, Vec<f64>);
+    type Output = Vec<f64>;
+    const NAME: &'static str = "Centroid";
+    const MAGIC: u32 = 0x1070_0001;
+
+    fn fresh(&self, ctx: &mut EngineCtx<'_>) -> Result<CentroidState> {
+        // Seed the single center from a one-point sample of the input.
+        let sample = ctx.sample(1, 7)?;
+        let mut center = CenterSet::new(sample.dim());
+        center.push(0, sample.row(0));
+        Ok(CentroidState { round: 0, center })
+    }
+    fn dim(&self, state: &CentroidState) -> Result<usize> {
+        Ok(state.center.dim())
+    }
+    fn done(&self, state: &CentroidState) -> bool {
+        state.round >= 1
+    }
+    fn seq(&self, state: &CentroidState) -> u64 {
+        state.round as u64
+    }
+    fn plan(&self, state: &mut CentroidState, ctx: &EngineCtx<'_>) -> Result<Vec<PlannedJob>> {
+        let job = KMeansJob::new(Arc::new(state.center.clone()));
+        Ok(vec![PlannedJob::new(job, ctx.reduce_tasks(1))])
+    }
+    fn apply(
+        &self,
+        state: &mut CentroidState,
+        mut outputs: Vec<JobOutputs>,
+        _seg: &SegmentStats,
+    ) -> Result<Step> {
+        let updates = outputs.remove(0).take::<CenterUpdate>();
+        let (next, _counts) = apply_updates(&state.center, &updates);
+        state.center = next;
+        state.round += 1;
+        Ok(Step::Boundary)
+    }
+    fn snapshot(&self, state: &CentroidState) -> (u64, Vec<f64>) {
+        (state.round as u64, state.center.coords(0).to_vec())
+    }
+    fn restore(&self, snap: (u64, Vec<f64>)) -> Result<CentroidState> {
+        let mut center = CenterSet::new(snap.1.len());
+        center.push(0, &snap.1);
+        Ok(CentroidState {
+            round: snap.0 as usize,
+            center,
+        })
+    }
+    fn finish(
+        &self,
+        state: CentroidState,
+        _ctx: &mut EngineCtx<'_>,
+        _stats: RunStats,
+    ) -> Result<Vec<f64>> {
+        Ok(state.center.coords(0).to_vec())
+    }
 }
