@@ -166,6 +166,7 @@ mod tests {
                 secs_per_compute_unit: 1e-6,
                 secs_per_cached_point: 0.0,
                 secs_per_checkpoint_byte: 0.0,
+                ..Default::default()
             }),
             block_size: Some(8 * 1024),
             force_strategy: Some(gmeans::mr::TestStrategy::FewClusters),

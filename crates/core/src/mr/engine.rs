@@ -16,7 +16,8 @@
 //!   the loaded checkpoint's commit charge → rebuild the point cache
 //!   (physical re-read only) → continue bit-identically;
 //! * **fault degradation**: task failures ([`Error::HeapSpace`],
-//!   [`Error::AttemptsExhausted`], [`Error::Degenerate`]) are offered
+//!   [`Error::AttemptsExhausted`], [`Error::Degenerate`],
+//!   [`Error::ReplicasLost`]) are offered
 //!   to the algorithm to absorb; everything else — including the
 //!   injected [`Error::DriverCrash`], which a dying process cannot
 //!   catch — propagates;
@@ -518,6 +519,9 @@ impl Engine {
     /// initial state.
     pub fn run<A: IterativeAlgorithm>(&self, algo: &A, input: &str) -> Result<A::Output> {
         let wall = Instant::now();
+        // A fresh run starts at job epoch 0 so node-crash draws are a
+        // pure function of the fault plan and the job sequence.
+        self.runner.sync_job_epochs(0);
         let mut ctx = EngineCtx::fresh(self, input);
         let state = algo.fresh(&mut ctx)?;
         ctx.build_cache(algo.dim(&state)?, true)?;
@@ -542,6 +546,10 @@ impl Engine {
         };
         let (totals, snap) = decode_frame::<A>(&ckpt.payload)?;
         let state = algo.restore(snap)?;
+        // Fast-forward the job-epoch counter past the jobs the restored
+        // totals already account for, so every remaining job sees the
+        // same node weather as in the uninterrupted run.
+        self.runner.sync_job_epochs(totals.jobs);
         let mut ctx = EngineCtx::resumed(self, input, totals);
         if A::CHARGE_COMMITS {
             // Re-apply the loaded checkpoint's own commit charge: the
@@ -579,7 +587,8 @@ impl Engine {
                         Err(
                             e @ (Error::HeapSpace { .. }
                             | Error::AttemptsExhausted { .. }
-                            | Error::Degenerate(_)),
+                            | Error::Degenerate(_)
+                            | Error::ReplicasLost { .. }),
                         ) => {
                             // A job exhausted its task-attempt budget:
                             // absorbable, if the algorithm agrees.

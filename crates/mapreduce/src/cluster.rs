@@ -14,7 +14,7 @@
 
 use crate::cost::CostModel;
 use crate::error::{Error, Result};
-use crate::faults::FaultPlan;
+use crate::faults::{FaultPlan, NodeStatus};
 
 /// Static description of the (simulated) cluster a job runs on.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -31,6 +31,9 @@ pub struct ClusterConfig {
     pub cost_model: CostModel,
     /// Fault injection and recovery policy (inert by default).
     pub faults: FaultPlan,
+    /// DFS block replication factor (HDFS `dfs.replication`, default
+    /// 3). Capped at the number of nodes that can hold a copy.
+    pub dfs_replication: usize,
 }
 
 impl Default for ClusterConfig {
@@ -45,6 +48,7 @@ impl Default for ClusterConfig {
             heap_per_task: 1 << 30,
             cost_model: CostModel::default(),
             faults: FaultPlan::default(),
+            dfs_replication: 3,
         }
     }
 }
@@ -65,6 +69,12 @@ impl ClusterConfig {
         self
     }
 
+    /// This cluster with a different DFS block replication factor.
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        self.dfs_replication = replication;
+        self
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.nodes == 0 {
@@ -75,6 +85,21 @@ impl ClusterConfig {
         }
         if self.heap_per_task == 0 {
             return Err(Error::Config("per-task heap must be positive".into()));
+        }
+        if self.dfs_replication == 0 {
+            return Err(Error::Config("dfs_replication must be positive".into()));
+        }
+        if let Some((_, node)) = self
+            .faults
+            .scheduled_node_crashes
+            .iter()
+            .flatten()
+            .find(|(_, n)| *n as usize >= self.nodes)
+        {
+            return Err(Error::Config(format!(
+                "scheduled crash names node {node} but the cluster has {} nodes",
+                self.nodes
+            )));
         }
         self.faults.validate()?;
         Ok(())
@@ -91,9 +116,30 @@ impl ClusterConfig {
         self.nodes * self.reduce_slots_per_node
     }
 
+    /// Map slots available on `live_nodes` of the cluster's nodes — the
+    /// capacity a degraded cluster actually schedules on.
+    pub fn live_map_slots(&self, live_nodes: usize) -> usize {
+        live_nodes * self.map_slots_per_node
+    }
+
+    /// Reduce slots available on `live_nodes` of the cluster's nodes.
+    pub fn live_reduce_slots(&self, live_nodes: usize) -> usize {
+        live_nodes * self.reduce_slots_per_node
+    }
+
+    /// Node weather at one job epoch under this cluster's fault plan.
+    pub fn node_status(&self, epoch: u64) -> NodeStatus {
+        NodeStatus::compute(&self.faults, self.nodes, epoch)
+    }
+
     /// Number of OS threads the runtime actually uses to execute tasks:
     /// the simulated slot count, capped by the machine's parallelism so
     /// that simulating a 96-slot cluster on a laptop does not thrash.
+    /// Callers pass the phase's *live* slot count
+    /// ([`ClusterConfig::live_map_slots`] /
+    /// [`ClusterConfig::live_reduce_slots`]), so a degraded cluster
+    /// schedules on its actual surviving capacity, not the nominal
+    /// `nodes × slots` total.
     pub fn execution_threads(&self, phase_slots: usize) -> usize {
         let hw = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -138,6 +184,31 @@ mod tests {
             ..ClusterConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn replication_and_crash_targets_are_validated() {
+        assert!(ClusterConfig::default()
+            .with_replication(0)
+            .validate()
+            .is_err());
+        assert!(ClusterConfig::default()
+            .with_replication(1)
+            .validate()
+            .is_ok());
+        // A scheduled crash must name a node the cluster has.
+        let c = ClusterConfig::default().with_faults(FaultPlan::none().with_node_crash(1, 4));
+        assert!(c.validate().is_err());
+        let c = ClusterConfig::default().with_faults(FaultPlan::none().with_node_crash(1, 3));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn live_slots_scale_with_surviving_nodes() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.live_map_slots(4), c.total_map_slots());
+        assert_eq!(c.live_map_slots(3), 24);
+        assert_eq!(c.live_reduce_slots(2), 16);
     }
 
     #[test]

@@ -43,6 +43,12 @@ pub struct CostModel {
     /// by the driver (serialized, replicated DFS write — same rate as
     /// the shuffle path).
     pub secs_per_checkpoint_byte: f64,
+    /// Seconds before the JobTracker declares a silent node dead and
+    /// reschedules its work. Hadoop 1.x defaults to 600 s
+    /// (`mapred.tasktracker.expiry.interval`); the simulation uses 30 s
+    /// so node loss is visible but does not dwarf the scaled-down job
+    /// times (see DESIGN.md §14).
+    pub heartbeat_timeout_secs: f64,
 }
 
 impl Default for CostModel {
@@ -55,6 +61,7 @@ impl Default for CostModel {
             secs_per_compute_unit: 1.0 / 2e8,
             secs_per_cached_point: 1.0 / 20e6,
             secs_per_checkpoint_byte: 1.0 / 25e6,
+            heartbeat_timeout_secs: 30.0,
         }
     }
 }
@@ -202,6 +209,7 @@ mod tests {
             secs_per_compute_unit: 0.001,
             secs_per_cached_point: 0.5,
             secs_per_checkpoint_byte: 0.0,
+            heartbeat_timeout_secs: 30.0,
         };
         let cost = TaskCost {
             input_bytes: 10,

@@ -49,6 +49,10 @@ pub enum Counter {
     AttemptsLaunched,
     /// Task attempts that failed (injected or genuine).
     AttemptsFailed,
+    /// Task attempts killed through no fault of their own — their node
+    /// crashed under them. Killed attempts do not count against the
+    /// task's failure budget (Hadoop's KILLED vs FAILED distinction).
+    AttemptsKilled,
     /// Speculative backup attempts launched.
     SpeculativeLaunched,
     /// Speculative backups that lost the race to their primary.
@@ -63,10 +67,27 @@ pub enum Counter {
     BadRecordsSkipped,
     /// Bytes of quarantined bad records.
     BadRecordBytes,
+    /// Worker nodes that crashed mid-job (one per node per job epoch).
+    NodeCrashes,
+    /// Completed map outputs invalidated because their node crashed
+    /// before reducers fetched them.
+    MapOutputsLost,
+    /// Reduce-side fetch failures: one per (lost map output, reduce
+    /// task) pair, as each reducer discovers the missing segment.
+    ShuffleFetchFailures,
+    /// Map tasks re-executed on surviving nodes to regenerate lost
+    /// outputs.
+    MapsReexecuted,
+    /// Nodes removed from scheduling by the blacklist policy
+    /// (max-semantics gauge: the high-water mark across jobs).
+    NodesBlacklisted,
+    /// DFS blocks copied to a new node after a crash reduced their
+    /// replica count.
+    DfsBlocksRereplicated,
 }
 
 /// All counters, indexable without a hash map.
-const ALL: [Counter; 22] = [
+const ALL: [Counter; 29] = [
     Counter::MapInputRecords,
     Counter::MapOutputRecords,
     Counter::CombineInputRecords,
@@ -83,12 +104,19 @@ const ALL: [Counter; 22] = [
     Counter::HeapPeakBytes,
     Counter::AttemptsLaunched,
     Counter::AttemptsFailed,
+    Counter::AttemptsKilled,
     Counter::SpeculativeLaunched,
     Counter::SpeculativeWasted,
     Counter::CheckpointsCommitted,
     Counter::CheckpointBytes,
     Counter::BadRecordsSkipped,
     Counter::BadRecordBytes,
+    Counter::NodeCrashes,
+    Counter::MapOutputsLost,
+    Counter::ShuffleFetchFailures,
+    Counter::MapsReexecuted,
+    Counter::NodesBlacklisted,
+    Counter::DfsBlocksRereplicated,
 ];
 
 impl Counter {
@@ -120,12 +148,19 @@ impl Counter {
             Counter::HeapPeakBytes => "heap_peak_bytes",
             Counter::AttemptsLaunched => "task_attempts_launched",
             Counter::AttemptsFailed => "task_attempts_failed",
+            Counter::AttemptsKilled => "task_attempts_killed",
             Counter::SpeculativeLaunched => "speculative_attempts_launched",
             Counter::SpeculativeWasted => "speculative_attempts_wasted",
             Counter::CheckpointsCommitted => "checkpoints_committed",
             Counter::CheckpointBytes => "checkpoint_bytes",
             Counter::BadRecordsSkipped => "bad_records_skipped",
             Counter::BadRecordBytes => "bad_record_bytes",
+            Counter::NodeCrashes => "node_crashes",
+            Counter::MapOutputsLost => "map_outputs_lost",
+            Counter::ShuffleFetchFailures => "shuffle_fetch_failures",
+            Counter::MapsReexecuted => "maps_reexecuted",
+            Counter::NodesBlacklisted => "nodes_blacklisted",
+            Counter::DfsBlocksRereplicated => "dfs_blocks_rereplicated",
         }
     }
 }
@@ -133,7 +168,7 @@ impl Counter {
 /// Thread-safe counter bank for one job (or one accumulated run).
 #[derive(Debug, Default)]
 pub struct Counters {
-    values: [AtomicU64; 22],
+    values: [AtomicU64; 29],
 }
 
 impl Counters {
@@ -165,12 +200,13 @@ impl Counters {
     }
 
     /// Folds another bank into this one. Max-semantics counters
-    /// (`HeapPeakBytes`) take the maximum; everything else adds.
+    /// (`HeapPeakBytes`, `NodesBlacklisted`) take the maximum;
+    /// everything else adds.
     pub fn merge(&self, other: &Counters) {
         for &c in Counter::all() {
             let v = other.get(c);
             match c {
-                Counter::HeapPeakBytes => self.max(c, v),
+                Counter::HeapPeakBytes | Counter::NodesBlacklisted => self.max(c, v),
                 _ => self.add(c, v),
             }
         }
@@ -241,6 +277,39 @@ mod tests {
             }
         });
         assert_eq!(c.get(Counter::DistanceComputations), 80_000);
+    }
+
+    #[test]
+    fn node_failure_counters_have_issue_names() {
+        for (c, name) in [
+            (Counter::NodeCrashes, "node_crashes"),
+            (Counter::MapOutputsLost, "map_outputs_lost"),
+            (Counter::ShuffleFetchFailures, "shuffle_fetch_failures"),
+            (Counter::MapsReexecuted, "maps_reexecuted"),
+            (Counter::NodesBlacklisted, "nodes_blacklisted"),
+            (Counter::DfsBlocksRereplicated, "dfs_blocks_rereplicated"),
+        ] {
+            assert_eq!(c.name(), name);
+            assert!(Counter::all().contains(&c), "{name} missing from ALL");
+        }
+    }
+
+    #[test]
+    fn counter_names_are_unique() {
+        let mut names: Vec<&str> = Counter::all().iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Counter::all().len());
+    }
+
+    #[test]
+    fn blacklist_gauge_merges_as_max() {
+        let a = Counters::new();
+        a.max(Counter::NodesBlacklisted, 2);
+        let b = Counters::new();
+        b.max(Counter::NodesBlacklisted, 1);
+        a.merge(&b);
+        assert_eq!(a.get(Counter::NodesBlacklisted), 2);
     }
 
     #[test]

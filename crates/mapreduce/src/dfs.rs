@@ -18,12 +18,12 @@
 //! Blocks are reference-counted [`Bytes`], so handing a block to a task
 //! thread is a pointer copy, not a data copy.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::error::{Error, Result};
 
@@ -92,6 +92,29 @@ pub struct DfsStats {
     pub bytes_written: u64,
     /// Number of full-file scans (jobs) started.
     pub dataset_reads: u64,
+    /// Blocks copied to a new node after a crash cost them a replica.
+    pub blocks_rereplicated: u64,
+    /// Blocks whose last replica was destroyed (now unreadable).
+    pub blocks_lost: u64,
+}
+
+/// Node topology the DFS places block replicas on; attached by the
+/// simulated runtime ([`crate::runtime::JobRunner`]) from its cluster
+/// configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Topology {
+    nodes: usize,
+    replication: usize,
+}
+
+/// What one node crash did to the DFS: blocks copied to restore their
+/// replica count, and blocks destroyed outright.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockLossReport {
+    /// Blocks re-replicated onto a surviving node.
+    pub rereplicated: u64,
+    /// Blocks whose last replica died with the node.
+    pub lost: u64,
 }
 
 /// The in-memory distributed file system.
@@ -104,6 +127,21 @@ pub struct Dfs {
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     dataset_reads: AtomicU64,
+    /// Node topology, once a runtime attaches one. Without it the DFS
+    /// behaves as before: single-copy files that cannot be lost.
+    topology: RwLock<Option<Topology>>,
+    /// Per-block replica node lists, parallel to each file's blocks.
+    /// Files written before a topology was attached are placed lazily
+    /// when it is.
+    replicas: RwLock<BTreeMap<String, Vec<Vec<usize>>>>,
+    /// Nodes currently unable to hold replicas (blacklisted).
+    down: RwLock<BTreeSet<usize>>,
+    /// Crashes already processed, keyed by `(job_epoch, node)` with the
+    /// report each produced — a resumed driver replaying an epoch gets
+    /// the recorded outcome instead of double-stripping replicas.
+    crash_log: Mutex<BTreeMap<(u64, usize), BlockLossReport>>,
+    blocks_rereplicated: AtomicU64,
+    blocks_lost: AtomicU64,
 }
 
 impl std::fmt::Debug for Dfs {
@@ -134,12 +172,172 @@ impl Dfs {
             bytes_read: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             dataset_reads: AtomicU64::new(0),
+            topology: RwLock::new(None),
+            replicas: RwLock::new(BTreeMap::new()),
+            down: RwLock::new(BTreeSet::new()),
+            crash_log: Mutex::new(BTreeMap::new()),
+            blocks_rereplicated: AtomicU64::new(0),
+            blocks_lost: AtomicU64::new(0),
         }
     }
 
     /// Configured block size in bytes.
     pub fn block_size(&self) -> usize {
         self.block_size
+    }
+
+    /// Attaches the cluster's node topology so blocks get replica
+    /// placements (HDFS `dfs.replication` semantics; the factor is
+    /// capped at the node count). Called by the runtime when a
+    /// [`crate::runtime::JobRunner`] is created; idempotent for
+    /// identical parameters. Changing the topology re-places every file
+    /// from scratch, but only while no crash has been processed —
+    /// blocks already lost to a crash cannot be resurrected by
+    /// reconfiguration.
+    pub fn attach_topology(&self, nodes: usize, replication: usize) {
+        assert!(nodes > 0, "topology needs at least one node");
+        assert!(replication > 0, "replication factor must be positive");
+        let wanted = Topology {
+            nodes,
+            replication: replication.min(nodes),
+        };
+        {
+            let mut topo = self.topology.write();
+            let changed = *topo != Some(wanted);
+            *topo = Some(wanted);
+            if changed && self.crash_log.lock().is_empty() {
+                self.replicas.write().clear();
+            }
+        }
+        // Place every file that has no assignment yet.
+        let paths: Vec<(String, usize)> = {
+            let files = self.files.read();
+            files
+                .iter()
+                .map(|(p, f)| (p.clone(), f.blocks.len()))
+                .collect()
+        };
+        let mut reps = self.replicas.write();
+        for (path, nblocks) in paths {
+            if let std::collections::btree_map::Entry::Vacant(e) = reps.entry(path) {
+                let placed = self.place_blocks(e.key(), nblocks);
+                e.insert(placed);
+            }
+        }
+    }
+
+    /// Marks the given nodes as unable to hold replicas (the runtime
+    /// passes its blacklist); new writes and re-replication avoid them.
+    pub fn set_down_nodes(&self, nodes: &[usize]) {
+        *self.down.write() = nodes.iter().copied().collect();
+    }
+
+    /// Deterministic replica placement for a file's blocks: each block
+    /// starts at a hash-derived node and takes the next `replication`
+    /// up nodes in rotation.
+    fn place_blocks(&self, path: &str, nblocks: usize) -> Vec<Vec<usize>> {
+        let Some(topo) = *self.topology.read() else {
+            return Vec::new();
+        };
+        let down = self.down.read();
+        let up: Vec<usize> = (0..topo.nodes).filter(|n| !down.contains(n)).collect();
+        // With every node down the write itself could not happen; the
+        // runtime degrades before that, so fall back to all nodes.
+        let domain: Vec<usize> = if up.is_empty() {
+            (0..topo.nodes).collect()
+        } else {
+            up
+        };
+        let r = topo.replication.min(domain.len());
+        (0..nblocks)
+            .map(|block| {
+                let start = block_hash(path, block) as usize % domain.len();
+                (0..r).map(|j| domain[(start + j) % domain.len()]).collect()
+            })
+            .collect()
+    }
+
+    /// Records a replica placement for a newly published file.
+    fn assign_replicas(&self, path: &str, nblocks: usize) {
+        if self.topology.read().is_some() {
+            let placed = self.place_blocks(path, nblocks);
+            self.replicas.write().insert(path.to_string(), placed);
+        }
+    }
+
+    /// Processes the loss of `node` during job epoch `epoch`: strips
+    /// the node from every block's replica list, re-replicates each
+    /// surviving block onto an eligible node (up, not in `exclude`, not
+    /// already holding a copy), and records blocks whose last replica
+    /// died. Idempotent per `(epoch, node)`: a resumed driver replaying
+    /// the epoch gets the recorded report back unchanged.
+    pub fn node_lost(&self, epoch: u64, node: usize, exclude: &[usize]) -> BlockLossReport {
+        let mut log = self.crash_log.lock();
+        if let Some(report) = log.get(&(epoch, node)) {
+            return *report;
+        }
+        let mut report = BlockLossReport::default();
+        if let Some(topo) = *self.topology.read() {
+            let down = self.down.read();
+            let eligible: Vec<usize> = (0..topo.nodes)
+                .filter(|n| *n != node && !down.contains(n) && !exclude.contains(n))
+                .collect();
+            drop(down);
+            let mut reps = self.replicas.write();
+            for (path, blocks) in reps.iter_mut() {
+                for (block, replicas) in blocks.iter_mut().enumerate() {
+                    let Some(pos) = replicas.iter().position(|&n| n == node) else {
+                        continue;
+                    };
+                    replicas.swap_remove(pos);
+                    if replicas.is_empty() {
+                        report.lost += 1;
+                        continue;
+                    }
+                    // Restore the replica count from a surviving copy,
+                    // walking the same rotation as initial placement.
+                    if !eligible.is_empty() {
+                        let start = block_hash(path, block) as usize % eligible.len();
+                        if let Some(target) = (0..eligible.len())
+                            .map(|j| eligible[(start + j) % eligible.len()])
+                            .find(|t| !replicas.contains(t))
+                        {
+                            replicas.push(target);
+                            report.rereplicated += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.blocks_rereplicated
+            .fetch_add(report.rereplicated, Ordering::Relaxed);
+        self.blocks_lost.fetch_add(report.lost, Ordering::Relaxed);
+        log.insert((epoch, node), report);
+        report
+    }
+
+    /// The replica node lists of a file's blocks (empty when no
+    /// topology is attached or the file predates it).
+    pub fn block_replicas(&self, path: &str) -> Vec<Vec<usize>> {
+        self.replicas.read().get(path).cloned().unwrap_or_default()
+    }
+
+    /// Errors with [`Error::ReplicasLost`] when any block of the file
+    /// has lost all its replicas.
+    fn check_available(&self, path: &str) -> Result<()> {
+        let reps = self.replicas.read();
+        let Some(blocks) = reps.get(path) else {
+            return Ok(());
+        };
+        for (block, replicas) in blocks.iter().enumerate() {
+            if replicas.is_empty() {
+                return Err(Error::ReplicasLost {
+                    path: path.to_string(),
+                    block,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Opens a writer for a new text file.
@@ -193,18 +391,30 @@ impl Dfs {
     /// Removes a file; succeeds silently when absent.
     pub fn remove(&self, path: &str) {
         self.files.write().remove(path);
+        self.replicas.write().remove(path);
     }
 
     /// Atomically renames `from` to `to`, replacing any file at `to`
     /// (HDFS `rename` semantics). Readers see either the old file at
     /// `from` or the complete file at `to`, never a partial state —
-    /// this is the commit primitive of the checkpoint journal.
+    /// this is the commit primitive of the checkpoint journal. The
+    /// physical blocks do not move, so their replica placement follows
+    /// the file to its new name.
     pub fn rename(&self, from: &str, to: &str) -> Result<()> {
         let mut files = self.files.write();
         let file = files
             .remove(from)
             .ok_or_else(|| Error::FileNotFound(from.to_string()))?;
         files.insert(to.to_string(), file);
+        let mut reps = self.replicas.write();
+        match reps.remove(from) {
+            Some(placement) => {
+                reps.insert(to.to_string(), placement);
+            }
+            None => {
+                reps.remove(to);
+            }
+        }
         Ok(())
     }
 
@@ -225,9 +435,11 @@ impl Dfs {
 
     /// The input splits of a file, one per block. Charges nothing; reads
     /// are counted when a split is *consumed* via
-    /// [`Dfs::charge_split_read`].
+    /// [`Dfs::charge_split_read`]. Errors with [`Error::ReplicasLost`]
+    /// when node crashes destroyed the last replica of any block.
     pub fn splits(&self, path: &str) -> Result<Vec<InputSplit>> {
         let file = self.file(path)?;
+        self.check_available(path)?;
         let mut offset = 0u64;
         Ok(file
             .blocks
@@ -277,8 +489,23 @@ impl Dfs {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             dataset_reads: self.dataset_reads.load(Ordering::Relaxed),
+            blocks_rereplicated: self.blocks_rereplicated.load(Ordering::Relaxed),
+            blocks_lost: self.blocks_lost.load(Ordering::Relaxed),
         }
     }
+}
+
+/// FNV-1a over a path plus block index — the deterministic spread that
+/// places block replicas across nodes.
+fn block_hash(path: &str, block: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for b in (block as u64).to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 /// Buffered line writer that cuts blocks at line boundaries.
@@ -323,7 +550,9 @@ impl TextWriter {
             len: self.len,
             lines: self.lines,
         });
+        let nblocks = file.blocks.len();
         self.dfs.files.write().insert(self.path.clone(), file);
+        self.dfs.assign_replicas(&self.path, nblocks);
     }
 }
 
@@ -463,6 +692,102 @@ mod tests {
         w.close();
         assert_eq!(fs.splits("empty").unwrap().len(), 0);
         assert_eq!(fs.line_count("empty").unwrap(), 0);
+    }
+
+    #[test]
+    fn topology_places_replicas_on_distinct_nodes() {
+        let fs = dfs(16);
+        fs.put_lines("f", (0..40).map(|i| format!("{i}"))).unwrap();
+        fs.attach_topology(4, 3);
+        let placement = fs.block_replicas("f");
+        assert_eq!(placement.len(), fs.splits("f").unwrap().len());
+        for replicas in &placement {
+            assert_eq!(replicas.len(), 3);
+            let set: BTreeSet<usize> = replicas.iter().copied().collect();
+            assert_eq!(set.len(), 3, "replicas must land on distinct nodes");
+            assert!(replicas.iter().all(|&n| n < 4));
+        }
+        // Files written after attach are placed too.
+        fs.put_lines("g", ["x"]).unwrap();
+        assert_eq!(fs.block_replicas("g").len(), 1);
+        // Replication factor is capped at the node count.
+        let fs2 = dfs(16);
+        fs2.put_lines("f", ["a"]).unwrap();
+        fs2.attach_topology(2, 3);
+        assert_eq!(fs2.block_replicas("f")[0].len(), 2);
+    }
+
+    #[test]
+    fn node_loss_rereplicates_and_reads_survive() {
+        let fs = dfs(16);
+        fs.put_lines("f", (0..60).map(|i| format!("{i}"))).unwrap();
+        fs.attach_topology(4, 3);
+        let before = fs.read_lines("f").unwrap();
+        let report = fs.node_lost(1, 2, &[2]);
+        assert_eq!(report.lost, 0, "triple replication survives one crash");
+        // Every block held by node 2 was copied somewhere else.
+        let placement = fs.block_replicas("f");
+        for replicas in &placement {
+            assert_eq!(replicas.len(), 3);
+            assert!(!replicas.contains(&2));
+        }
+        assert_eq!(fs.read_lines("f").unwrap(), before);
+        assert_eq!(fs.stats().blocks_rereplicated, report.rereplicated);
+        // Replaying the same crash (a resumed driver) is a no-op.
+        let replay = fs.node_lost(1, 2, &[2]);
+        assert_eq!(replay, report);
+        assert_eq!(fs.stats().blocks_rereplicated, report.rereplicated);
+    }
+
+    #[test]
+    fn last_replica_loss_makes_reads_fail() {
+        let fs = dfs(16);
+        fs.put_lines("f", (0..60).map(|i| format!("{i}"))).unwrap();
+        fs.attach_topology(4, 1);
+        // Single replication: kill the nodes until some block is gone.
+        let placement = fs.block_replicas("f");
+        let victim = placement[0][0];
+        let report = fs.node_lost(1, victim, &[victim]);
+        // With replication 1 there is no surviving copy to re-replicate.
+        assert!(report.lost > 0);
+        assert_eq!(report.rereplicated, 0);
+        let err = fs.splits("f").unwrap_err();
+        assert!(
+            matches!(err, Error::ReplicasLost { ref path, .. } if path == "f"),
+            "{err}"
+        );
+        assert!(matches!(
+            fs.read_lines("f"),
+            Err(Error::ReplicasLost { .. })
+        ));
+        assert_eq!(fs.stats().blocks_lost, report.lost);
+        // Metadata stays readable; other files are unaffected.
+        assert!(fs.len("f").is_ok());
+        fs.put_lines("g", ["ok"]).unwrap();
+        assert!(fs.read_lines("g").is_ok());
+    }
+
+    #[test]
+    fn rename_carries_replica_placement() {
+        let fs = dfs(16);
+        fs.attach_topology(4, 2);
+        fs.put_lines("tmp", (0..40).map(|i| format!("{i}")))
+            .unwrap();
+        let placement = fs.block_replicas("tmp");
+        fs.rename("tmp", "final").unwrap();
+        assert_eq!(fs.block_replicas("final"), placement);
+        assert!(fs.block_replicas("tmp").is_empty());
+    }
+
+    #[test]
+    fn down_nodes_receive_no_new_replicas() {
+        let fs = dfs(16);
+        fs.attach_topology(4, 2);
+        fs.set_down_nodes(&[0]);
+        fs.put_lines("f", (0..60).map(|i| format!("{i}"))).unwrap();
+        for replicas in fs.block_replicas("f") {
+            assert!(!replicas.contains(&0), "down node must not hold replicas");
+        }
     }
 
     #[test]

@@ -47,6 +47,16 @@ pub enum Error {
     /// set) that makes its jobs unrunnable. Drivers degrade this into
     /// a per-iteration error instead of panicking.
     Degenerate(String),
+    /// Node crashes destroyed every replica of a DFS block, so the file
+    /// can no longer be read. Like [`Error::HeapSpace`] this is
+    /// absorbable: the engine degrades the iteration that needed the
+    /// file instead of aborting the whole run.
+    ReplicasLost {
+        /// Path of the file with an unreadable block.
+        path: String,
+        /// Index of the block whose last replica was lost.
+        block: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -72,6 +82,9 @@ impl fmt::Display for Error {
                 write!(f, "driver crashed after job boundary {boundary}")
             }
             Error::Degenerate(m) => write!(f, "degenerate iteration: {m}"),
+            Error::ReplicasLost { path, block } => {
+                write!(f, "all replicas of block {block} of {path} were lost")
+            }
         }
     }
 }
@@ -95,6 +108,17 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("Java heap space"), "{s}");
         assert!(s.contains("reduce-0"), "{s}");
+    }
+
+    #[test]
+    fn replicas_lost_names_the_block() {
+        let e = Error::ReplicasLost {
+            path: "data/points".into(),
+            block: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("data/points"), "{s}");
+        assert!(s.contains("block 3"), "{s}");
     }
 
     #[test]

@@ -103,6 +103,20 @@ pub struct FaultPlan {
     /// Probability the driver dies at any given job boundary, drawn
     /// with the same `(seed, boundary)` hash discipline as task faults.
     pub driver_crash_prob: f64,
+    /// Probability any given node crashes during any given job (drawn
+    /// independently per `(job epoch, node)` coordinate). A crashed
+    /// node kills its in-flight attempts, loses its completed map
+    /// outputs and its DFS block replicas, and rejoins at the next job
+    /// unless blacklisted.
+    pub node_crash_prob: f64,
+    /// Scheduled node crashes as `(job_epoch, node)` pairs (epochs are
+    /// 1-based counts of jobs started by the driver). Fixed-size so the
+    /// plan stays `Copy`; up to four scheduled crashes.
+    pub scheduled_node_crashes: [Option<(u64, u32)>; 4],
+    /// Number of crashes after which a node is permanently blacklisted:
+    /// it stops receiving attempts and replicas, and the cluster's slot
+    /// capacity shrinks (Hadoop's per-TaskTracker failure blacklist).
+    pub node_blacklist_after: u32,
 }
 
 impl Default for FaultPlan {
@@ -118,6 +132,9 @@ impl Default for FaultPlan {
             speculative_slowdown_threshold: 1.5,
             driver_crash_after_jobs: None,
             driver_crash_prob: 0.0,
+            node_crash_prob: 0.0,
+            scheduled_node_crashes: [None; 4],
+            node_blacklist_after: 3,
         }
     }
 }
@@ -191,6 +208,34 @@ impl FaultPlan {
         self
     }
 
+    /// Crashes each node during each job with the given probability.
+    pub fn with_node_crashes(mut self, prob: f64) -> Self {
+        self.node_crash_prob = prob;
+        self
+    }
+
+    /// Schedules one node crash: `node` dies during the `epoch`-th job
+    /// the driver starts (1-based). Up to four crashes can be
+    /// scheduled.
+    ///
+    /// # Panics
+    /// Panics when four crashes are already scheduled.
+    pub fn with_node_crash(mut self, epoch: u64, node: u32) -> Self {
+        let slot = self
+            .scheduled_node_crashes
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("at most four scheduled node crashes");
+        *slot = Some((epoch, node));
+        self
+    }
+
+    /// Sets the per-node crash budget before permanent blacklisting.
+    pub fn with_node_blacklist_after(mut self, crashes: u32) -> Self {
+        self.node_blacklist_after = crashes;
+        self
+    }
+
     /// Clears all driver-crash injection, keeping task faults intact.
     /// A resumed run uses this: the crash was an incident in the
     /// previous driver process, not part of the cluster's weather.
@@ -207,6 +252,7 @@ impl FaultPlan {
             ("heap_fail_prob", self.heap_fail_prob),
             ("straggler_prob", self.straggler_prob),
             ("driver_crash_prob", self.driver_crash_prob),
+            ("node_crash_prob", self.node_crash_prob),
         ] {
             if !(0.0..1.0).contains(&p) {
                 return Err(Error::Config(format!(
@@ -236,6 +282,21 @@ impl FaultPlan {
                 "driver_crash_after_jobs is 1-based and must be positive".into(),
             ));
         }
+        if self
+            .scheduled_node_crashes
+            .iter()
+            .flatten()
+            .any(|(e, _)| *e == 0)
+        {
+            return Err(Error::Config(
+                "scheduled node-crash epochs are 1-based and must be positive".into(),
+            ));
+        }
+        if self.node_blacklist_after == 0 {
+            return Err(Error::Config(
+                "node_blacklist_after must be positive".into(),
+            ));
+        }
         Ok(())
     }
 
@@ -249,6 +310,8 @@ impl FaultPlan {
             || self.speculative_execution
             || self.driver_crash_after_jobs.is_some()
             || self.driver_crash_prob > 0.0
+            || self.node_crash_prob > 0.0
+            || self.scheduled_node_crashes.iter().any(Option::is_some)
     }
 
     /// One independent uniform draw in `[0, 1)` per
@@ -329,6 +392,129 @@ impl FaultPlan {
         self.driver_crash_prob > 0.0
             && self.u01("driver", TaskKind::Driver, boundary as usize, 0, 5)
                 < self.driver_crash_prob
+    }
+
+    /// Whether `node` crashes during the `epoch`-th job (1-based count
+    /// of jobs the driver has started). Like [`driver_crashes_at`] this
+    /// is a pure function of the plan, so a replayed or resumed run
+    /// sees identical node weather at the same epoch.
+    ///
+    /// [`driver_crashes_at`]: FaultPlan::driver_crashes_at
+    pub fn node_crashes_at(&self, epoch: u64, node: usize) -> bool {
+        if self
+            .scheduled_node_crashes
+            .iter()
+            .flatten()
+            .any(|&(e, n)| e == epoch && n as usize == node)
+        {
+            return true;
+        }
+        self.node_crash_prob > 0.0
+            && self.u01("node", TaskKind::Driver, node, epoch as u32, 6) < self.node_crash_prob
+    }
+
+    /// When during the map phase the crash strikes, as a fraction of
+    /// the phase in `[0.2, 0.8)`: attempts placed on the node race this
+    /// point — those that finish earlier produce (doomed) output, the
+    /// rest are killed in flight.
+    pub fn node_crash_point(&self, epoch: u64, node: usize) -> f64 {
+        0.2 + 0.6 * self.u01("node", TaskKind::Driver, node, epoch as u32, 7)
+    }
+
+    /// Whether this attempt, placed on a node that crashes during the
+    /// job, completes before the crash point (its output then exists on
+    /// the dead node, to be invalidated at shuffle-fetch time).
+    pub fn attempt_completed_before_crash(
+        &self,
+        job: &str,
+        kind: TaskKind,
+        index: usize,
+        attempt: u32,
+        epoch: u64,
+        node: usize,
+    ) -> bool {
+        self.u01(job, kind, index, attempt, 8) < self.node_crash_point(epoch, node)
+    }
+
+    /// Deterministic task→node placement: which node of `domain` this
+    /// attempt runs on. A pure function of the plan seed and the
+    /// attempt's coordinates, so placement is independent of thread
+    /// scheduling and slot counts.
+    ///
+    /// # Panics
+    /// Panics on an empty domain (the runtime degrades to
+    /// [`Error::Degenerate`] before placing attempts on a dead
+    /// cluster).
+    pub fn place_attempt(
+        &self,
+        domain: &[usize],
+        job: &str,
+        kind: TaskKind,
+        index: usize,
+        attempt: u32,
+    ) -> usize {
+        assert!(!domain.is_empty(), "no live node to place an attempt on");
+        let draw = self.u01(job, kind, index, attempt, 9);
+        domain[((draw * domain.len() as f64) as usize).min(domain.len() - 1)]
+    }
+}
+
+/// Liveness of the cluster's nodes at one job epoch, derived purely
+/// from the fault plan by replaying every epoch's crash draws against
+/// the blacklist policy. The same plan yields the same node weather at
+/// the same epoch whether the run is fresh, replayed with different
+/// slot counts, or resumed from a checkpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeStatus {
+    /// Nodes alive when the job starts, ascending (everything not
+    /// blacklisted; a node crashed at an earlier epoch has rebooted).
+    pub live: Vec<usize>,
+    /// Subset of `live` that crashes during this job, ascending.
+    pub crashed: Vec<usize>,
+    /// Nodes permanently removed by the blacklist policy, ascending.
+    pub blacklisted: Vec<usize>,
+}
+
+impl NodeStatus {
+    /// Computes the node weather of epoch `epoch` on a cluster of
+    /// `nodes` nodes under `plan`.
+    pub fn compute(plan: &FaultPlan, nodes: usize, epoch: u64) -> NodeStatus {
+        let budget = plan.node_blacklist_after.max(1);
+        let mut crash_counts = vec![0u32; nodes];
+        for past in 1..epoch {
+            for (node, count) in crash_counts.iter_mut().enumerate() {
+                // A blacklisted node is powered off: no further crashes.
+                if *count < budget && plan.node_crashes_at(past, node) {
+                    *count += 1;
+                }
+            }
+        }
+        let mut status = NodeStatus {
+            live: Vec::new(),
+            crashed: Vec::new(),
+            blacklisted: Vec::new(),
+        };
+        for (node, &count) in crash_counts.iter().enumerate() {
+            if count >= budget {
+                status.blacklisted.push(node);
+                continue;
+            }
+            status.live.push(node);
+            if plan.node_crashes_at(epoch, node) {
+                status.crashed.push(node);
+            }
+        }
+        status
+    }
+
+    /// Nodes that are still up when the job ends: `live` minus
+    /// `crashed`. Retries, re-executed maps and reduce tasks run here.
+    pub fn survivors(&self) -> Vec<usize> {
+        self.live
+            .iter()
+            .copied()
+            .filter(|n| !self.crashed.contains(n))
+            .collect()
     }
 }
 
@@ -439,6 +625,103 @@ mod tests {
     }
 
     #[test]
+    fn scheduled_node_crash_fires_at_exactly_its_epoch() {
+        let plan = FaultPlan::none().with_node_crash(3, 1);
+        assert!(plan.is_active());
+        for epoch in 1..8 {
+            for node in 0..4 {
+                assert_eq!(
+                    plan.node_crashes_at(epoch, node),
+                    epoch == 3 && node == 1,
+                    "epoch {epoch} node {node}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probabilistic_node_crashes_are_deterministic_and_seeded() {
+        let plan = FaultPlan::none().with_seed(9).with_node_crashes(0.3);
+        let draws: Vec<bool> = (1..100)
+            .flat_map(|e| (0..4).map(move |n| (e, n)))
+            .map(|(e, n)| plan.node_crashes_at(e, n))
+            .collect();
+        let again: Vec<bool> = (1..100)
+            .flat_map(|e| (0..4).map(move |n| (e, n)))
+            .map(|(e, n)| plan.node_crashes_at(e, n))
+            .collect();
+        assert_eq!(draws, again);
+        let crashes = draws.iter().filter(|&&c| c).count();
+        assert!((60..180).contains(&crashes), "{crashes}/396 crashed");
+        let other = FaultPlan::none().with_seed(10).with_node_crashes(0.3);
+        assert!((1..100).any(|e| plan.node_crashes_at(e, 0) != other.node_crashes_at(e, 0)));
+    }
+
+    #[test]
+    fn crash_point_in_range() {
+        let plan = FaultPlan::none().with_seed(3).with_node_crashes(0.5);
+        for epoch in 1..50 {
+            for node in 0..4 {
+                let p = plan.node_crash_point(epoch, node);
+                assert!((0.2..0.8).contains(&p), "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_stays_in_domain() {
+        let plan = FaultPlan::hadoop_defaults(4);
+        let domain = [0usize, 2, 3];
+        let mut seen = [false; 4];
+        for i in 0..200 {
+            for a in 0..3 {
+                let n = plan.place_attempt(&domain, "j", TaskKind::Map, i, a);
+                assert_eq!(n, plan.place_attempt(&domain, "j", TaskKind::Map, i, a));
+                assert!(domain.contains(&n), "{n}");
+                seen[n] = true;
+            }
+        }
+        // Every domain node receives work; the excluded node never does.
+        assert!(seen[0] && seen[2] && seen[3] && !seen[1]);
+    }
+
+    #[test]
+    fn node_status_blacklists_after_budget() {
+        // Node 2 crashes at epochs 1, 2 and 3; budget is 2 crashes.
+        let plan = FaultPlan::none()
+            .with_node_crash(1, 2)
+            .with_node_crash(2, 2)
+            .with_node_crash(3, 2)
+            .with_node_blacklist_after(2);
+        let e1 = NodeStatus::compute(&plan, 4, 1);
+        assert_eq!(e1.live, vec![0, 1, 2, 3]);
+        assert_eq!(e1.crashed, vec![2]);
+        assert!(e1.blacklisted.is_empty());
+        let e2 = NodeStatus::compute(&plan, 4, 2);
+        assert_eq!(e2.crashed, vec![2], "rebooted node crashes again");
+        let e3 = NodeStatus::compute(&plan, 4, 3);
+        assert_eq!(e3.blacklisted, vec![2], "two crashes exhaust the budget");
+        assert_eq!(e3.live, vec![0, 1, 3]);
+        assert!(e3.crashed.is_empty(), "a powered-off node cannot crash");
+        assert_eq!(e3.survivors(), vec![0, 1, 3]);
+        // The blacklist is permanent.
+        for epoch in 4..10 {
+            assert_eq!(NodeStatus::compute(&plan, 4, epoch).blacklisted, vec![2]);
+        }
+    }
+
+    #[test]
+    fn node_status_without_node_faults_is_all_live() {
+        let plan = FaultPlan::hadoop_defaults(7).with_transient_failures(0.2);
+        for epoch in 1..20 {
+            let s = NodeStatus::compute(&plan, 4, epoch);
+            assert_eq!(s.live, vec![0, 1, 2, 3]);
+            assert!(s.crashed.is_empty());
+            assert!(s.blacklisted.is_empty());
+        }
+    }
+
+    #[test]
     fn validation_rejects_bad_plans() {
         assert!(FaultPlan::none()
             .with_transient_failures(1.0)
@@ -460,6 +743,12 @@ mod tests {
             .is_err());
         assert!(FaultPlan::none()
             .with_driver_crash_after(0)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::none().with_node_crashes(1.0).validate().is_err());
+        assert!(FaultPlan::none().with_node_crash(0, 1).validate().is_err());
+        assert!(FaultPlan::none()
+            .with_node_blacklist_after(0)
             .validate()
             .is_err());
         assert!(FaultPlan::hadoop_defaults(0).validate().is_ok());

@@ -113,9 +113,9 @@ pub mod prelude {
     pub use crate::cluster::ClusterConfig;
     pub use crate::cost::{CostModel, JobTiming, TaskCost};
     pub use crate::counters::{Counter, Counters};
-    pub use crate::dfs::{Dfs, InputSplit};
+    pub use crate::dfs::{BlockLossReport, Dfs, InputSplit};
     pub use crate::error::{Error, Result};
-    pub use crate::faults::{FaultDecision, FaultPlan, TaskKind};
+    pub use crate::faults::{FaultDecision, FaultPlan, NodeStatus, TaskKind};
     pub use crate::job::{
         Job, JobConfig, MapOutput, Mapper, PointMapper, Reducer, TaskContext, Values,
     };

@@ -19,9 +19,15 @@
 //!   attempt (and simulated slot time), a bounded retry budget decides
 //!   when the job gives up, and abnormally slow tasks get speculative
 //!   backup attempts — all deterministically, so a faulty run produces
-//!   bit-identical output to a fault-free one, just a longer makespan.
+//!   bit-identical output to a fault-free one, just a longer makespan;
+//! * every attempt is **placed on a node**: a node crash kills the
+//!   attempts in flight on it, strands the map outputs it completed
+//!   (detected as shuffle-fetch failures and re-executed on survivors
+//!   after a heartbeat timeout), and costs the DFS its block replicas;
+//!   repeat offenders are blacklisted and the cluster's slot capacity
+//!   shrinks.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -29,15 +35,15 @@ use parking_lot::Mutex;
 
 use crate::cache::{CachedSplit, PointCache};
 use crate::cluster::ClusterConfig;
-use crate::cost::{JobTiming, TaskCost};
+use crate::cost::{makespan, JobTiming, TaskCost};
 use crate::counters::{Counter, Counters};
 use crate::dfs::{Dfs, InputSplit};
 use crate::error::{Error, Result};
-use crate::faults::{FaultDecision, TaskKind};
+use crate::faults::{FaultDecision, NodeStatus, TaskKind};
 use crate::job::{
     Emitter, Job, JobConfig, MapOutput, Mapper, PointMapper, Reducer, TaskContext, Values,
 };
-use crate::shuffle::{encode_segment, sort_and_combine, MergeIter, Segment};
+use crate::shuffle::{detect_fetch_failures, encode_segment, sort_and_combine, MergeIter, Segment};
 
 /// Points per [`PointMapper::prepare_block`] batch in cached execution:
 /// big enough to amortize the blocked kernel's tile sweeps, small enough
@@ -60,6 +66,11 @@ pub struct JobResult<O> {
 pub struct JobRunner {
     dfs: Arc<Dfs>,
     cluster: ClusterConfig,
+    /// 1-based count of jobs this runner has started — the *epoch* that
+    /// keys node-crash draws, so an identically configured rerun (or a
+    /// resumed driver, which re-syncs the count) sees identical node
+    /// weather. Shared across clones.
+    epochs: Arc<AtomicU64>,
 }
 
 struct MapTaskOut {
@@ -77,13 +88,47 @@ struct TaskTiming {
     base: f64,
     /// Slot time burned by this task's failed attempts.
     failed: Vec<f64>,
+    /// Node the winning attempt ran on.
+    node: usize,
+}
+
+/// Node weather of one job: which nodes take attempts, which die
+/// mid-job, and the epoch the draws were keyed on.
+struct NodeView {
+    epoch: u64,
+    status: NodeStatus,
+    /// `status.live` minus `status.crashed`: where retries, re-executed
+    /// maps and reduce tasks land.
+    survivors: Vec<usize>,
+}
+
+impl NodeView {
+    /// Placement domain for one attempt. First attempts of map tasks
+    /// schedule over every live node — the scheduler cannot know the
+    /// crash yet; retries are placed after the failure is detected, and
+    /// the whole reduce phase starts after the map-phase barrier, so
+    /// both go to survivors only.
+    fn domain(&self, kind: TaskKind, attempt: u32) -> &[usize] {
+        if kind == TaskKind::Map && attempt == 0 {
+            &self.status.live
+        } else {
+            &self.survivors
+        }
+    }
 }
 
 impl JobRunner {
-    /// Creates a runner; validates the cluster configuration.
+    /// Creates a runner; validates the cluster configuration and
+    /// attaches the cluster's node topology to the DFS so blocks get
+    /// replica placements.
     pub fn new(dfs: Arc<Dfs>, cluster: ClusterConfig) -> Result<Self> {
         cluster.validate()?;
-        Ok(Self { dfs, cluster })
+        dfs.attach_topology(cluster.nodes, cluster.dfs_replication);
+        Ok(Self {
+            dfs,
+            cluster,
+            epochs: Arc::new(AtomicU64::new(0)),
+        })
     }
 
     /// The underlying DFS.
@@ -96,20 +141,66 @@ impl JobRunner {
         &self.cluster
     }
 
+    /// Re-synchronizes the job-epoch counter to `completed_jobs` jobs
+    /// already run. The engine calls this with `0` at the start of a
+    /// fresh run and with the restored job count on resume, so the
+    /// epoch that keys node-crash draws matches the uninterrupted run's
+    /// at every job.
+    pub fn sync_job_epochs(&self, completed_jobs: u64) {
+        self.epochs.store(completed_jobs, Ordering::Relaxed);
+    }
+
+    /// Opens the next job epoch: advances the epoch counter, computes
+    /// the node weather, tells the DFS which nodes are gone, processes
+    /// this epoch's crashes (replica loss + re-replication) and charges
+    /// the node-level counters. Degrades to [`Error::Degenerate`] when
+    /// no node is left to run tasks.
+    fn begin_job(&self, counters: &Counters) -> Result<NodeView> {
+        let epoch = self.epochs.fetch_add(1, Ordering::Relaxed) + 1;
+        let status = self.cluster.node_status(epoch);
+        self.dfs.set_down_nodes(&status.blacklisted);
+        counters.max(Counter::NodesBlacklisted, status.blacklisted.len() as u64);
+        if status.live.is_empty() {
+            return Err(Error::Degenerate(format!(
+                "all {} cluster nodes are blacklisted at job epoch {epoch}",
+                self.cluster.nodes
+            )));
+        }
+        for &node in &status.crashed {
+            counters.inc(Counter::NodeCrashes);
+            let report = self.dfs.node_lost(epoch, node, &status.crashed);
+            counters.add(Counter::DfsBlocksRereplicated, report.rereplicated);
+        }
+        let survivors = status.survivors();
+        if survivors.is_empty() {
+            return Err(Error::Degenerate(format!(
+                "every live node crashed during job epoch {epoch}; no survivor to finish the job"
+            )));
+        }
+        Ok(NodeView {
+            epoch,
+            status,
+            survivors,
+        })
+    }
+
     /// Runs one task as a bounded sequence of attempts under the
     /// cluster's fault plan.
     ///
-    /// Each attempt is either killed by the plan before doing any work
-    /// (injected transient/heap faults) or executed via `body`. A
-    /// failed attempt — injected or genuine — burns simulated slot
-    /// time; `body` runs against a private counter bank that is merged
-    /// into the job's only on success, so failed attempts leave no
-    /// counter residue (Hadoop likewise discards failed-attempt
+    /// Each attempt is placed on a node of `nodes`' placement domain,
+    /// then either killed by the plan before doing any work (injected
+    /// transient/heap faults), killed in flight by its node crashing
+    /// (detected only after a heartbeat timeout), or executed via
+    /// `body`. A failed attempt — injected or genuine — burns simulated
+    /// slot time; `body` runs against a private counter bank that is
+    /// merged into the job's only on success, so failed attempts leave
+    /// no counter residue (Hadoop likewise discards failed-attempt
     /// counters). When the budget is exhausted the last genuine or
     /// injected-heap error surfaces; a purely transient exhaustion
     /// surfaces as [`Error::AttemptsExhausted`].
     fn run_attempts<T>(
         &self,
+        nodes: &NodeView,
         job_name: &str,
         kind: TaskKind,
         index: usize,
@@ -120,34 +211,74 @@ impl JobRunner {
         let model = &self.cluster.cost_model;
         let max = plan.max_attempts.max(1);
         let mut failed: Vec<f64> = Vec::new();
-        // Progress fractions of injected-failed attempts: they are not
-        // executed (their counters would be discarded anyway), so their
-        // slot time is charged once a successful attempt reveals the
-        // task's base duration.
-        let mut pending_progress: Vec<f64> = Vec::new();
+        // Failed attempts whose slot time is only computable once a
+        // successful attempt reveals the task's base duration: the
+        // progress fraction the attempt reached, plus any detection
+        // latency (a heartbeat timeout for node-crash kills).
+        let mut pending_progress: Vec<(f64, f64)> = Vec::new();
         let mut last_err: Option<Error> = None;
-        for attempt in 0..max {
+        let mut attempt: u32 = 0;
+        let mut failures: u32 = 0;
+        while failures < max {
             counters.inc(Counter::AttemptsLaunched);
+            let node =
+                plan.place_attempt(nodes.domain(kind, attempt), job_name, kind, index, attempt);
             match plan.decide(job_name, kind, index, attempt) {
                 FaultDecision::FailTransient => {
                     counters.inc(Counter::AttemptsFailed);
-                    pending_progress
-                        .push(plan.failed_attempt_progress(job_name, kind, index, attempt));
+                    pending_progress.push((
+                        plan.failed_attempt_progress(job_name, kind, index, attempt),
+                        0.0,
+                    ));
                     last_err = None;
+                    attempt += 1;
+                    failures += 1;
                     continue;
                 }
                 FaultDecision::FailHeap => {
                     counters.inc(Counter::AttemptsFailed);
-                    pending_progress
-                        .push(plan.failed_attempt_progress(job_name, kind, index, attempt));
+                    pending_progress.push((
+                        plan.failed_attempt_progress(job_name, kind, index, attempt),
+                        0.0,
+                    ));
                     last_err = Some(Error::HeapSpace {
                         task: format!("{}-{index}", kind.label()),
                         attempted: self.cluster.heap_per_task.saturating_add(1),
                         limit: self.cluster.heap_per_task,
                     });
+                    attempt += 1;
+                    failures += 1;
                     continue;
                 }
                 FaultDecision::Run => {}
+            }
+            // An attempt placed on a node that dies mid-job either
+            // finishes before the crash point (its output is computed,
+            // stranded on the dead node, and invalidated at
+            // shuffle-fetch time) or is killed in flight — noticed only
+            // when the node misses its heartbeat. A node-loss kill is
+            // KILLED, not FAILED, in Hadoop's taxonomy: it does not
+            // count against the task's failure budget (the task did
+            // nothing wrong), and its replacement goes to a survivor,
+            // so at most one kill can strike a task per epoch.
+            if nodes.status.crashed.contains(&node)
+                && !plan.attempt_completed_before_crash(
+                    job_name,
+                    kind,
+                    index,
+                    attempt,
+                    nodes.epoch,
+                    node,
+                )
+            {
+                counters.inc(Counter::AttemptsKilled);
+                pending_progress.push((
+                    plan.failed_attempt_progress(job_name, kind, index, attempt),
+                    model.heartbeat_timeout_secs,
+                ));
+                last_err = None;
+                attempt += 1;
+                continue;
             }
             let attempt_counters = Arc::new(Counters::new());
             match body(attempt, &attempt_counters) {
@@ -156,8 +287,12 @@ impl JobRunner {
                     let base = cost.duration(model);
                     let slowdown = plan.straggler_multiplier(job_name, kind, index, attempt);
                     let setup = model.task_setup_secs;
-                    for p in pending_progress {
-                        failed.push(setup + p * (base - setup).max(0.0));
+                    for (p, extra) in pending_progress {
+                        let mut charge = setup + p * (base - setup).max(0.0);
+                        if extra > 0.0 {
+                            charge += extra;
+                        }
+                        failed.push(charge);
                     }
                     return Ok((
                         out,
@@ -165,6 +300,7 @@ impl JobRunner {
                             duration: base * slowdown,
                             base,
                             failed,
+                            node,
                         },
                     ));
                 }
@@ -174,6 +310,8 @@ impl JobRunner {
                     // charge its setup so the slot time is not free.
                     failed.push(model.task_setup_secs);
                     last_err = Some(e);
+                    attempt += 1;
+                    failures += 1;
                 }
             }
         }
@@ -243,6 +381,78 @@ impl JobRunner {
         durations
     }
 
+    /// Detects shuffle-fetch failures — maps whose winning attempt ran
+    /// on a node that crashed this epoch — and re-executes each lost
+    /// map via `rerun`, replacing its stranded segments.
+    ///
+    /// Re-execution is deterministic: the same split through the same
+    /// mapper yields bit-identical segments, so job *output* never
+    /// changes — only the schedule. The re-run's counters are charged
+    /// to a scratch bank and discarded (the original, stranded attempt
+    /// already charged the job), keeping counter totals fault-invariant.
+    /// Returns the re-run durations: a heartbeat timeout to notice the
+    /// dead node plus the map's healthy-node time, packed as an extra
+    /// wave on the survivors' map slots by [`JobRunner::compute_timing`].
+    fn reexecute_lost_maps(
+        &self,
+        nodes: &NodeView,
+        config: &JobConfig,
+        counters: &Arc<Counters>,
+        map_outputs: &mut [MapTaskOut],
+        mut rerun: impl FnMut(usize, &Arc<Counters>) -> Result<(Vec<Segment>, TaskCost)>,
+    ) -> Result<Vec<f64>> {
+        if nodes.status.crashed.is_empty() || map_outputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let model = &self.cluster.cost_model;
+        let winner_nodes: Vec<usize> = map_outputs.iter().map(|m| m.timing.node).collect();
+        let lost = detect_fetch_failures(
+            &winner_nodes,
+            &nodes.status.crashed,
+            config.num_reduce_tasks,
+            counters,
+        );
+        let mut durations = Vec::with_capacity(lost.len());
+        for i in lost {
+            counters.inc(Counter::MapsReexecuted);
+            counters.inc(Counter::AttemptsLaunched);
+            let scratch = Arc::new(Counters::new());
+            let (segments, cost) = rerun(i, &scratch)?;
+            map_outputs[i].segments = segments;
+            durations.push(model.heartbeat_timeout_secs + cost.duration(model));
+        }
+        Ok(durations)
+    }
+
+    /// Computes the job's timing on the cluster's *live* capacity, then
+    /// appends the lost-map re-execution wave: those maps run after the
+    /// fetch failures surface, on the survivors' map slots, extending
+    /// the simulated makespan. With no node faults this reduces exactly
+    /// to the full-cluster computation — every duration bit unchanged.
+    fn compute_timing(
+        &self,
+        nodes: &NodeView,
+        map_durations: Vec<f64>,
+        reduce_durations: Vec<f64>,
+        reruns: Vec<f64>,
+        wall_secs: f64,
+    ) -> JobTiming {
+        let mut timing = JobTiming::compute(
+            &self.cluster.cost_model,
+            map_durations,
+            reduce_durations,
+            self.cluster.live_map_slots(nodes.status.live.len()),
+            self.cluster.live_reduce_slots(nodes.survivors.len()),
+            wall_secs,
+        );
+        if !reruns.is_empty() {
+            timing.simulated_secs +=
+                makespan(&reruns, self.cluster.live_map_slots(nodes.survivors.len()));
+            timing.map_durations.extend(reruns);
+        }
+        timing
+    }
+
     /// Runs a job over a DFS input file and returns its output,
     /// counters and timing.
     pub fn run<J: Job>(
@@ -261,20 +471,30 @@ impl JobRunner {
         let splits = self.dfs.splits(input)?;
         self.dfs.begin_dataset_read();
         let counters = Arc::new(Counters::new());
+        let nodes = self.begin_job(&counters)?;
 
         // ---------------- map phase ----------------
-        let map_outputs = self.run_map_phase(job, splits, config, &counters)?;
+        let mut map_outputs = self.run_map_phase(job, &nodes, &splits, config, &counters)?;
+
+        // Maps whose winning attempt finished on a node that then
+        // crashed left their output on a dead disk; reducers notice at
+        // fetch time and the maps are re-executed on survivors.
+        let reruns =
+            self.reexecute_lost_maps(&nodes, config, &counters, &mut map_outputs, |i, c| {
+                self.run_map_task(job, i, &splits[i], config, c)
+            })?;
+
         let (map_durations, partitioned) = self.collect_map_outputs(map_outputs, config, &counters);
 
         // ---------------- reduce phase ----------------
-        let (outputs, reduce_durations) = self.run_reduce_phase(job, partitioned, &counters)?;
+        let (outputs, reduce_durations) =
+            self.run_reduce_phase(job, &nodes, partitioned, &counters)?;
 
-        let timing = JobTiming::compute(
-            &self.cluster.cost_model,
+        let timing = self.compute_timing(
+            &nodes,
             map_durations,
             reduce_durations,
-            self.cluster.total_map_slots(),
-            self.cluster.total_reduce_slots(),
+            reruns,
             wall_start.elapsed().as_secs_f64(),
         );
         let counters = Arc::try_unwrap(counters).unwrap_or_else(|arc| {
@@ -318,17 +538,23 @@ impl JobRunner {
         }
         let wall_start = Instant::now();
         let counters = Arc::new(Counters::new());
+        let nodes = self.begin_job(&counters)?;
+        let splits = cache.splits();
 
-        let map_outputs = self.run_cached_map_phase(job, cache, config, &counters)?;
+        let mut map_outputs = self.run_cached_map_phase(job, &nodes, splits, config, &counters)?;
+        let reruns =
+            self.reexecute_lost_maps(&nodes, config, &counters, &mut map_outputs, |i, c| {
+                self.run_cached_map_task(job, i, &splits[i], config, c)
+            })?;
         let (map_durations, partitioned) = self.collect_map_outputs(map_outputs, config, &counters);
-        let (outputs, reduce_durations) = self.run_reduce_phase(job, partitioned, &counters)?;
+        let (outputs, reduce_durations) =
+            self.run_reduce_phase(job, &nodes, partitioned, &counters)?;
 
-        let timing = JobTiming::compute(
-            &self.cluster.cost_model,
+        let timing = self.compute_timing(
+            &nodes,
             map_durations,
             reduce_durations,
-            self.cluster.total_map_slots(),
-            self.cluster.total_reduce_slots(),
+            reruns,
             wall_start.elapsed().as_secs_f64(),
         );
         let counters = Arc::try_unwrap(counters).unwrap_or_else(|arc| {
@@ -346,7 +572,8 @@ impl JobRunner {
     fn run_cached_map_phase<J>(
         &self,
         job: &J,
-        cache: &PointCache,
+        nodes: &NodeView,
+        splits: &[CachedSplit],
         config: &JobConfig,
         counters: &Arc<Counters>,
     ) -> Result<Vec<MapTaskOut>>
@@ -354,14 +581,13 @@ impl JobRunner {
         J: Job,
         J::Mapper: PointMapper,
     {
-        let splits = cache.splits();
         let n = splits.len();
         if n == 0 {
             return Ok(Vec::new());
         }
         let threads = self
             .cluster
-            .execution_threads(self.cluster.total_map_slots())
+            .execution_threads(self.cluster.live_map_slots(nodes.status.live.len()))
             .min(n);
         let next = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
@@ -379,7 +605,7 @@ impl JobRunner {
                         break;
                     }
                     let r = self
-                        .run_attempts(job.name(), TaskKind::Map, i, counters, |_, c| {
+                        .run_attempts(nodes, job.name(), TaskKind::Map, i, counters, |_, c| {
                             self.run_cached_map_task(job, i, &splits[i], config, c)
                         })
                         .map(|(segments, timing)| MapTaskOut { segments, timing });
@@ -494,7 +720,8 @@ impl JobRunner {
     fn run_map_phase<J: Job>(
         &self,
         job: &J,
-        splits: Vec<InputSplit>,
+        nodes: &NodeView,
+        splits: &[InputSplit],
         config: &JobConfig,
         counters: &Arc<Counters>,
     ) -> Result<Vec<MapTaskOut>> {
@@ -504,13 +731,12 @@ impl JobRunner {
         }
         let threads = self
             .cluster
-            .execution_threads(self.cluster.total_map_slots())
+            .execution_threads(self.cluster.live_map_slots(nodes.status.live.len()))
             .min(n);
         let next = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
         let results: Mutex<Vec<Option<Result<MapTaskOut>>>> =
             Mutex::new((0..n).map(|_| None).collect());
-        let splits = &splits;
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
@@ -523,7 +749,7 @@ impl JobRunner {
                         break;
                     }
                     let r = self
-                        .run_attempts(job.name(), TaskKind::Map, i, counters, |_, c| {
+                        .run_attempts(nodes, job.name(), TaskKind::Map, i, counters, |_, c| {
                             self.run_map_task(job, i, &splits[i], config, c)
                         })
                         .map(|(segments, timing)| MapTaskOut { segments, timing });
@@ -655,13 +881,14 @@ impl JobRunner {
     fn run_reduce_phase<J: Job>(
         &self,
         job: &J,
+        nodes: &NodeView,
         partitioned: Vec<Vec<Segment>>,
         counters: &Arc<Counters>,
     ) -> Result<(Vec<J::Output>, Vec<f64>)> {
         let n = partitioned.len();
         let threads = self
             .cluster
-            .execution_threads(self.cluster.total_reduce_slots())
+            .execution_threads(self.cluster.live_reduce_slots(nodes.survivors.len()))
             .min(n.max(1));
         let next = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
@@ -685,6 +912,7 @@ impl JobRunner {
                     }
                     let mut store = inputs[p].lock().take();
                     let r = self.run_attempts(
+                        nodes,
                         job.name(),
                         TaskKind::Reduce,
                         p,

@@ -72,6 +72,7 @@ fn compute_dominant() -> gmr_mapreduce::cost::CostModel {
         secs_per_compute_unit: 1e-6,
         secs_per_cached_point: 0.0,
         secs_per_checkpoint_byte: 0.0,
+        ..Default::default()
     }
 }
 
