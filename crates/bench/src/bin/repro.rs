@@ -15,6 +15,7 @@
 //!   table4    node-count scalability (Figure 5)
 //!   ablations design-choice ablations
 //!   kernels   nearest-center kernel benchmark (writes BENCH_kernels.json)
+//!   scheduler multi-tenant fair-share vs FIFO (writes BENCH_scheduler.json)
 //!   all       everything above, in order
 //! ```
 //!
@@ -24,7 +25,9 @@
 //! further for a smoke pass. Scaled-down runs preserve the paper's
 //! shapes, not its absolute numbers.
 
-use gmr_bench::experiments::{ablations, fig1, fig2, fig4, kernels, table3, table4, times};
+use gmr_bench::experiments::{
+    ablations, fig1, fig2, fig4, kernels, scheduler, table3, table4, times,
+};
 use gmr_bench::ExperimentScale;
 
 fn main() {
@@ -92,7 +95,13 @@ fn main() {
         "kernels" => {
             let bench = kernels::run(&scale);
             print!("{}", kernels::render(&bench));
+            kernels::assert_no_regression(&bench);
             write_kernels_json(&bench);
+        }
+        "scheduler" => {
+            let bench = scheduler::run(&scale);
+            print!("{}", scheduler::render(&bench));
+            write_scheduler_json(&bench);
         }
         "all" => {
             print!("{}", fig1::render(&fig1::run(&scale)));
@@ -110,6 +119,9 @@ fn main() {
             let bench = kernels::run(&scale);
             print!("{}", kernels::render(&bench));
             write_kernels_json(&bench);
+            let sched = scheduler::run(&scale);
+            print!("{}", scheduler::render(&sched));
+            write_scheduler_json(&sched);
         }
         other => usage(&format!("unknown experiment {other}")),
     }
@@ -127,11 +139,19 @@ fn write_kernels_json(bench: &kernels::KernelBench) {
     }
 }
 
+fn write_scheduler_json(bench: &scheduler::SchedulerBench) {
+    let path = "BENCH_scheduler.json";
+    match std::fs::write(path, bench.to_json()) {
+        Ok(()) => eprintln!("[wrote {path}]"),
+        Err(e) => eprintln!("[could not write {path}: {e}]"),
+    }
+}
+
 fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
-        "usage: repro <fig1|fig2|table1|table2|fig3|table3|fig4|table4|ablations|kernels|all> \
-         [--points N] [--k-factor F] [--seed S] [--quick]"
+        "usage: repro <fig1|fig2|table1|table2|fig3|table3|fig4|table4|ablations|kernels|\
+         scheduler|all> [--points N] [--k-factor F] [--seed S] [--quick]"
     );
     std::process::exit(2);
 }

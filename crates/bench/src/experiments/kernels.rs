@@ -298,6 +298,35 @@ pub fn render(b: &KernelBench) -> String {
     out
 }
 
+/// Regression guard: the blocked kernel must not run slower than the
+/// naive scan it wraps (it once did at d = 2, where the bounds
+/// decomposition costs more than it saves). Allows a small
+/// timing-noise slack for shared machines, and only measures
+/// optimized builds — unoptimized timing says nothing about the
+/// shipped kernel. The CI release smoke run (`repro kernels --quick`)
+/// enforces it on every push.
+///
+/// # Panics
+/// Panics when the blocked backend falls below 90% of the naive
+/// backend's throughput in an optimized build.
+pub fn assert_no_regression(b: &KernelBench) {
+    if cfg!(debug_assertions) {
+        return;
+    }
+    let naive = &b.rows[0];
+    let blocked = b
+        .rows
+        .iter()
+        .find(|r| r.name == "blocked")
+        .expect("blocked backend row");
+    assert!(
+        blocked.points_per_sec >= 0.9 * naive.points_per_sec,
+        "blocked kernel regressed below naive: {:.0} vs {:.0} points/sec",
+        blocked.points_per_sec,
+        naive.points_per_sec
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,6 +346,7 @@ mod tests {
         assert!(pruned.distance_evals < naive.distance_evals / 2);
         let kd = b.rows.iter().find(|r| r.name == "kd").unwrap();
         assert!(kd.distance_evals < naive.distance_evals);
+        assert_no_regression(&b);
     }
 
     #[test]

@@ -10,12 +10,14 @@
 //! | [`table4`] | Table 4, Figure 5 | node-count scalability |
 //! | [`ablations`] | — | design-choice ablations DESIGN.md calls out |
 //! | [`kernels`] | — | nearest-center kernel throughput trajectory (`BENCH_kernels.json`) |
+//! | [`scheduler`] | — | multi-tenant fair-share vs FIFO arbitration (`BENCH_scheduler.json`) |
 
 pub mod ablations;
 pub mod fig1;
 pub mod fig2;
 pub mod fig4;
 pub mod kernels;
+pub mod scheduler;
 pub mod table3;
 pub mod table4;
 pub mod times;

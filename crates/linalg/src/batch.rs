@@ -16,6 +16,11 @@
 //! reported squared distance are therefore bit-identical to the naive
 //! scan, which is what the fault-replay and checkpoint-resume suites
 //! require.
+//!
+//! At very low dimensionality (d < 4) the bounds pass costs as much as
+//! the exact scan and the survivor pass then pays again, so the entry
+//! point falls back to the scalar scan per point — same results, none
+//! of the overhead.
 
 use crate::distance::squared_euclidean;
 
@@ -26,6 +31,17 @@ const POINT_TILE: usize = 64;
 /// Centers per tile: a tile of `32 × dim` f64s fits in L1 for the low
 /// dimensionalities the paper evaluates (d ≤ 10).
 const CENTER_TILE: usize = 32;
+
+/// Minimum dimensionality for the norm-decomposition bounds pass.
+///
+/// Below this the decomposition loses: the dot product costs as many
+/// flops as the exact subtract-square loop, and the survivor pass then
+/// pays the exact loop *again*, so the kernel ran slower than the plain
+/// scan it was meant to beat (the `BENCH_kernels.json` d = 2 workload
+/// measured 0.73× naive). For d < 4 the batch entry point delegates to
+/// [`nearest_center_flat`](crate::nearest_center_flat) per point, which
+/// is the bit-identity contract's reference anyway.
+const MIN_DECOMPOSITION_DIM: usize = 4;
 
 /// Squared Euclidean norm of every row in a flat row-major buffer.
 ///
@@ -82,6 +98,17 @@ pub fn nearest_centers_batch(
     let k = centers.len() / dim;
     assert_eq!(point_norms.len(), n, "point norm count mismatch");
     assert_eq!(center_norms.len(), k, "center norm count mismatch");
+
+    // Low dimension: the bounds trick cannot win (see
+    // [`MIN_DECOMPOSITION_DIM`]); use the reference scan directly.
+    if dim < MIN_DECOMPOSITION_DIM {
+        return points
+            .chunks_exact(dim)
+            .map(|p| {
+                crate::distance::nearest_center_flat(p, centers, dim).expect("non-empty centers")
+            })
+            .collect();
+    }
 
     let cn_max = center_norms.iter().cloned().fold(0.0f64, f64::max);
     let mut out = Vec::with_capacity(n);
@@ -188,9 +215,28 @@ mod tests {
     }
 
     #[test]
+    fn exact_ties_prefer_first_center_in_the_tile_loop() {
+        // Same contract at a dimension that takes the bounds pass
+        // (d ≥ 4): duplicated centers must still resolve first-wins.
+        let centers = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 5.0, 5.0, 5.0, 5.0];
+        let points = [3.0, 3.0, 3.0, 3.0, 1.0, 1.0, 1.0, 1.0];
+        let got = nearest_centers_batch(
+            &points,
+            &squared_norms(&points, 4),
+            &centers,
+            &squared_norms(&centers, 4),
+            4,
+        );
+        assert_eq!(got, naive(&points, &centers, 4));
+        assert_eq!(got[0].0, 0, "equidistant duplicates: lowest index wins");
+    }
+
+    #[test]
     fn spans_multiple_tiles() {
-        // More points than POINT_TILE and more centers than CENTER_TILE.
-        let dim = 3;
+        // More points than POINT_TILE and more centers than CENTER_TILE,
+        // at a dimension high enough to run the tile loop rather than
+        // the low-dimension fallback.
+        let dim = 5;
         let points: Vec<f64> = (0..(POINT_TILE * 2 + 7) * dim)
             .map(|i| ((i * 37) % 101) as f64 - 50.0)
             .collect();

@@ -84,10 +84,20 @@ pub enum Counter {
     /// DFS blocks copied to a new node after a crash reduced their
     /// replica count.
     DfsBlocksRereplicated,
+    /// Map attempts whose winning attempt ran on a node holding a DFS
+    /// replica of its input block (Hadoop's node-local placement).
+    MapsNodeLocal,
+    /// Map attempts whose winning attempt ran off-replica: the input
+    /// block had to cross the network to reach its mapper.
+    MapsRemote,
+    /// Task attempts killed by the fair-share scheduler to reclaim
+    /// slots for an under-share queue. Like node-crash kills, preempted
+    /// attempts are KILLED, not FAILED: no retry budget is consumed.
+    TasksPreempted,
 }
 
 /// All counters, indexable without a hash map.
-const ALL: [Counter; 29] = [
+const ALL: [Counter; 32] = [
     Counter::MapInputRecords,
     Counter::MapOutputRecords,
     Counter::CombineInputRecords,
@@ -117,6 +127,9 @@ const ALL: [Counter; 29] = [
     Counter::MapsReexecuted,
     Counter::NodesBlacklisted,
     Counter::DfsBlocksRereplicated,
+    Counter::MapsNodeLocal,
+    Counter::MapsRemote,
+    Counter::TasksPreempted,
 ];
 
 impl Counter {
@@ -161,6 +174,9 @@ impl Counter {
             Counter::MapsReexecuted => "maps_reexecuted",
             Counter::NodesBlacklisted => "nodes_blacklisted",
             Counter::DfsBlocksRereplicated => "dfs_blocks_rereplicated",
+            Counter::MapsNodeLocal => "maps_node_local",
+            Counter::MapsRemote => "maps_remote",
+            Counter::TasksPreempted => "tasks_preempted",
         }
     }
 }
@@ -168,7 +184,7 @@ impl Counter {
 /// Thread-safe counter bank for one job (or one accumulated run).
 #[derive(Debug, Default)]
 pub struct Counters {
-    values: [AtomicU64; 29],
+    values: [AtomicU64; 32],
 }
 
 impl Counters {
@@ -288,6 +304,18 @@ mod tests {
             (Counter::MapsReexecuted, "maps_reexecuted"),
             (Counter::NodesBlacklisted, "nodes_blacklisted"),
             (Counter::DfsBlocksRereplicated, "dfs_blocks_rereplicated"),
+        ] {
+            assert_eq!(c.name(), name);
+            assert!(Counter::all().contains(&c), "{name} missing from ALL");
+        }
+    }
+
+    #[test]
+    fn scheduler_counters_have_issue_names() {
+        for (c, name) in [
+            (Counter::MapsNodeLocal, "maps_node_local"),
+            (Counter::MapsRemote, "maps_remote"),
+            (Counter::TasksPreempted, "tasks_preempted"),
         ] {
             assert_eq!(c.name(), name);
             assert!(Counter::all().contains(&c), "{name} missing from ALL");

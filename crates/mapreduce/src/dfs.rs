@@ -117,6 +117,9 @@ pub struct BlockLossReport {
     pub lost: u64,
 }
 
+/// Per-block replica node lists of one file, parallel to its blocks.
+type ReplicaMap = Vec<Vec<usize>>;
+
 /// The in-memory distributed file system.
 ///
 /// Thread-safe; shared across the driver and all task threads as
@@ -140,6 +143,11 @@ pub struct Dfs {
     /// report each produced — a resumed driver replaying an epoch gets
     /// the recorded outcome instead of double-stripping replicas.
     crash_log: Mutex<BTreeMap<(u64, usize), BlockLossReport>>,
+    /// Submission-time replica snapshots, keyed by `(job_epoch, path)` —
+    /// a resumed driver replaying an epoch places its maps over the
+    /// replica map the original run saw, not the one later crash
+    /// processing has since reshaped.
+    replica_log: Mutex<BTreeMap<(u64, String), ReplicaMap>>,
     blocks_rereplicated: AtomicU64,
     blocks_lost: AtomicU64,
 }
@@ -176,6 +184,7 @@ impl Dfs {
             replicas: RwLock::new(BTreeMap::new()),
             down: RwLock::new(BTreeSet::new()),
             crash_log: Mutex::new(BTreeMap::new()),
+            replica_log: Mutex::new(BTreeMap::new()),
             blocks_rereplicated: AtomicU64::new(0),
             blocks_lost: AtomicU64::new(0),
         }
@@ -320,6 +329,23 @@ impl Dfs {
     /// topology is attached or the file predates it).
     pub fn block_replicas(&self, path: &str) -> Vec<Vec<usize>> {
         self.replicas.read().get(path).cloned().unwrap_or_default()
+    }
+
+    /// The replica map a job submitted at `epoch` sees for `path`,
+    /// journaled like [`Dfs::node_lost`]: the first call at a given
+    /// `(epoch, path)` records the live map, and a resumed driver
+    /// re-running the epoch reads the record back — so locality
+    /// preferences (and every placement draw downstream of them)
+    /// replay bit-identically even though later crash processing has
+    /// since reshaped the live replica map.
+    pub fn block_replicas_at(&self, epoch: u64, path: &str) -> Vec<Vec<usize>> {
+        let mut log = self.replica_log.lock();
+        if let Some(snapshot) = log.get(&(epoch, path.to_string())) {
+            return snapshot.clone();
+        }
+        let snapshot = self.block_replicas(path);
+        log.insert((epoch, path.to_string()), snapshot.clone());
+        snapshot
     }
 
     /// Errors with [`Error::ReplicasLost`] when any block of the file

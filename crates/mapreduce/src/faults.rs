@@ -457,6 +457,65 @@ impl FaultPlan {
         let draw = self.u01(job, kind, index, attempt, 9);
         domain[((draw * domain.len() as f64) as usize).min(domain.len() - 1)]
     }
+
+    /// Locality-aware placement: like [`FaultPlan::place_attempt`], but
+    /// the attempt is drawn from `domain ∩ preferred` (the live nodes
+    /// holding a DFS replica of the task's input block) when that
+    /// intersection is non-empty, falling back to the full `domain`
+    /// otherwise. Uses the same draw as `place_attempt`, so plans with
+    /// no preference (empty `preferred`) place identically to PR 5.
+    ///
+    /// Returns `(node, node_local)` where `node_local` says whether the
+    /// chosen node holds a replica of the input block.
+    ///
+    /// # Panics
+    /// Panics on an empty `domain`.
+    pub fn place_attempt_preferring(
+        &self,
+        domain: &[usize],
+        preferred: &[usize],
+        job: &str,
+        kind: TaskKind,
+        index: usize,
+        attempt: u32,
+    ) -> (usize, bool) {
+        assert!(!domain.is_empty(), "no live node to place an attempt on");
+        let local: Vec<usize> = domain
+            .iter()
+            .copied()
+            .filter(|n| preferred.contains(n))
+            .collect();
+        let pool = if local.is_empty() { domain } else { &local[..] };
+        let draw = self.u01(job, kind, index, attempt, 9);
+        let node = pool[((draw * pool.len() as f64) as usize).min(pool.len() - 1)];
+        (node, preferred.contains(&node))
+    }
+
+    /// Placement for a map task re-executed after its winning attempt's
+    /// output was stranded on a crashed node. A fresh draw (salt 10)
+    /// independent of the original attempt draws, preferring surviving
+    /// replica holders of the task's input block.
+    ///
+    /// # Panics
+    /// Panics on an empty `domain`.
+    pub fn place_reexecuted_map(
+        &self,
+        domain: &[usize],
+        preferred: &[usize],
+        job: &str,
+        index: usize,
+    ) -> (usize, bool) {
+        assert!(!domain.is_empty(), "no survivor to re-execute a map on");
+        let local: Vec<usize> = domain
+            .iter()
+            .copied()
+            .filter(|n| preferred.contains(n))
+            .collect();
+        let pool = if local.is_empty() { domain } else { &local[..] };
+        let draw = self.u01(job, TaskKind::Map, index, 0, 10);
+        let node = pool[((draw * pool.len() as f64) as usize).min(pool.len() - 1)];
+        (node, preferred.contains(&node))
+    }
 }
 
 /// Liveness of the cluster's nodes at one job epoch, derived purely

@@ -19,6 +19,9 @@
 //! * [`submit`] — a submission façade binding a runner to one input
 //!   source (DFS text or point cache), so iterative drivers stop
 //!   branching on the execution mode at every job site;
+//! * [`scheduler`] — a multi-tenant JobTracker: hierarchical fair-share
+//!   queues with deterministic preemption and locality-aware map
+//!   placement arbitrating the cluster's slots between N tenants;
 //! * [`counters`] — the measurable events §4's cost model is written in;
 //! * [`memory`] — simulated per-task heap; exceeding it fails the job
 //!   with the "Java heap space" error Figure 2 maps out;
@@ -100,6 +103,7 @@ pub mod faults;
 pub mod job;
 pub mod memory;
 pub mod runtime;
+pub mod scheduler;
 pub mod shuffle;
 pub mod submit;
 pub mod writable;
@@ -121,6 +125,9 @@ pub mod prelude {
     };
     pub use crate::memory::{HeapEstimator, HeapLedger, BYTES_PER_PROJECTION, MAX_HEAP_USAGE};
     pub use crate::runtime::{JobResult, JobRunner};
+    pub use crate::scheduler::{
+        JobDemand, JobTracker, QueueConfig, SchedulingPolicy, TaskDemand, TenantDemand, TrackerRun,
+    };
     pub use crate::submit::Submission;
     pub use crate::writable::{ShuffleKey, ShuffleValue, Writable};
 }

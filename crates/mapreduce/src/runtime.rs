@@ -20,7 +20,10 @@
 //!   when the job gives up, and abnormally slow tasks get speculative
 //!   backup attempts — all deterministically, so a faulty run produces
 //!   bit-identical output to a fault-free one, just a longer makespan;
-//! * every attempt is **placed on a node**: a node crash kills the
+//! * every attempt is **placed on a node**, preferring (for map tasks)
+//!   a node that holds a DFS replica of the input block — node-local
+//!   first, any-node fallback, counted by `maps_node_local` /
+//!   `maps_remote`; a node crash kills the
 //!   attempts in flight on it, strands the map outputs it completed
 //!   (detected as shuffle-fetch failures and re-executed on survivors
 //!   after a heartbeat timeout), and costs the DFS its block replicas;
@@ -102,6 +105,26 @@ struct NodeView {
     survivors: Vec<usize>,
 }
 
+/// Identity and placement preference of one task's attempt sequence —
+/// everything the fault plan keys its draws and placement off.
+struct TaskSite<'a> {
+    job: &'a str,
+    kind: TaskKind,
+    index: usize,
+    /// DFS replica holders of the task's input block (empty for
+    /// reduces, whose input is shuffled, not read from the DFS).
+    prefer: &'a [usize],
+}
+
+/// Submission-time facts lost-map re-execution keys off: the job's
+/// name (placement hash), reducer count (fetch-failure accounting) and
+/// each input block's replica holders (locality preference).
+struct JobSite<'a> {
+    name: &'a str,
+    num_reduce_tasks: usize,
+    replicas: &'a [Vec<usize>],
+}
+
 impl NodeView {
     /// Placement domain for one attempt. First attempts of map tasks
     /// schedule over every live node — the scheduler cannot know the
@@ -150,13 +173,19 @@ impl JobRunner {
         self.epochs.store(completed_jobs, Ordering::Relaxed);
     }
 
-    /// Opens the next job epoch: advances the epoch counter, computes
-    /// the node weather, tells the DFS which nodes are gone, processes
-    /// this epoch's crashes (replica loss + re-replication) and charges
-    /// the node-level counters. Degrades to [`Error::Degenerate`] when
-    /// no node is left to run tasks.
-    fn begin_job(&self, counters: &Counters) -> Result<NodeView> {
+    /// Opens the next job epoch: advances the epoch counter, snapshots
+    /// the input's replica map (the schedule's locality preferences —
+    /// taken *before* this epoch's crashes are processed, because a
+    /// node that crashes mid-job was still a preferred target when its
+    /// attempts were placed, and journaled so a resumed driver
+    /// replaying the epoch places identically), computes the node
+    /// weather, tells the DFS which nodes are gone, processes this
+    /// epoch's crashes (replica loss + re-replication) and charges the
+    /// node-level counters. Degrades to [`Error::Degenerate`] when no
+    /// node is left to run tasks.
+    fn begin_job(&self, input: &str, counters: &Counters) -> Result<(NodeView, Vec<Vec<usize>>)> {
         let epoch = self.epochs.fetch_add(1, Ordering::Relaxed) + 1;
+        let replicas = self.dfs.block_replicas_at(epoch, input);
         let status = self.cluster.node_status(epoch);
         self.dfs.set_down_nodes(&status.blacklisted);
         counters.max(Counter::NodesBlacklisted, status.blacklisted.len() as u64);
@@ -177,18 +206,24 @@ impl JobRunner {
                 "every live node crashed during job epoch {epoch}; no survivor to finish the job"
             )));
         }
-        Ok(NodeView {
-            epoch,
-            status,
-            survivors,
-        })
+        Ok((
+            NodeView {
+                epoch,
+                status,
+                survivors,
+            },
+            replicas,
+        ))
     }
 
     /// Runs one task as a bounded sequence of attempts under the
     /// cluster's fault plan.
     ///
-    /// Each attempt is placed on a node of `nodes`' placement domain,
-    /// then either killed by the plan before doing any work (injected
+    /// Each attempt is placed on a node of `nodes`' placement domain —
+    /// preferring the nodes in `prefer` (the DFS replica holders of a
+    /// map task's input block; empty for reduces) when one is in the
+    /// domain — then either killed by the plan before doing any work
+    /// (injected
     /// transient/heap faults), killed in flight by its node crashing
     /// (detected only after a heartbeat timeout), or executed via
     /// `body`. A failed attempt — injected or genuine — burns simulated
@@ -201,12 +236,16 @@ impl JobRunner {
     fn run_attempts<T>(
         &self,
         nodes: &NodeView,
-        job_name: &str,
-        kind: TaskKind,
-        index: usize,
+        site: &TaskSite<'_>,
         counters: &Arc<Counters>,
         mut body: impl FnMut(u32, &Arc<Counters>) -> Result<(T, TaskCost)>,
     ) -> Result<(T, TaskTiming)> {
+        let TaskSite {
+            job: job_name,
+            kind,
+            index,
+            prefer,
+        } = *site;
         let plan = &self.cluster.faults;
         let model = &self.cluster.cost_model;
         let max = plan.max_attempts.max(1);
@@ -221,8 +260,14 @@ impl JobRunner {
         let mut failures: u32 = 0;
         while failures < max {
             counters.inc(Counter::AttemptsLaunched);
-            let node =
-                plan.place_attempt(nodes.domain(kind, attempt), job_name, kind, index, attempt);
+            let (node, node_local) = plan.place_attempt_preferring(
+                nodes.domain(kind, attempt),
+                prefer,
+                job_name,
+                kind,
+                index,
+                attempt,
+            );
             match plan.decide(job_name, kind, index, attempt) {
                 FaultDecision::FailTransient => {
                     counters.inc(Counter::AttemptsFailed);
@@ -284,6 +329,16 @@ impl JobRunner {
             match body(attempt, &attempt_counters) {
                 Ok((out, cost)) => {
                     counters.merge(&attempt_counters);
+                    // Locality is charged for the winning attempt only:
+                    // that is the copy of the work whose input actually
+                    // had to reach its node.
+                    if kind == TaskKind::Map && !prefer.is_empty() {
+                        counters.inc(if node_local {
+                            Counter::MapsNodeLocal
+                        } else {
+                            Counter::MapsRemote
+                        });
+                    }
                     let base = cost.duration(model);
                     let slowdown = plan.straggler_multiplier(job_name, kind, index, attempt);
                     let setup = model.task_setup_secs;
@@ -396,7 +451,7 @@ impl JobRunner {
     fn reexecute_lost_maps(
         &self,
         nodes: &NodeView,
-        config: &JobConfig,
+        site: &JobSite<'_>,
         counters: &Arc<Counters>,
         map_outputs: &mut [MapTaskOut],
         mut rerun: impl FnMut(usize, &Arc<Counters>) -> Result<(Vec<Segment>, TaskCost)>,
@@ -405,20 +460,35 @@ impl JobRunner {
             return Ok(Vec::new());
         }
         let model = &self.cluster.cost_model;
+        let plan = &self.cluster.faults;
         let winner_nodes: Vec<usize> = map_outputs.iter().map(|m| m.timing.node).collect();
         let lost = detect_fetch_failures(
             &winner_nodes,
             &nodes.status.crashed,
-            config.num_reduce_tasks,
+            site.num_reduce_tasks,
             counters,
         );
         let mut durations = Vec::with_capacity(lost.len());
         for i in lost {
             counters.inc(Counter::MapsReexecuted);
             counters.inc(Counter::AttemptsLaunched);
+            // Re-executed maps go to survivors, preferring the block's
+            // surviving replica holders (the crashed holder has been
+            // stripped out by the domain intersection).
+            let prefer = site.replicas.get(i).map(Vec::as_slice).unwrap_or(&[]);
+            let (node, node_local) =
+                plan.place_reexecuted_map(&nodes.survivors, prefer, site.name, i);
+            if !prefer.is_empty() {
+                counters.inc(if node_local {
+                    Counter::MapsNodeLocal
+                } else {
+                    Counter::MapsRemote
+                });
+            }
             let scratch = Arc::new(Counters::new());
             let (segments, cost) = rerun(i, &scratch)?;
             map_outputs[i].segments = segments;
+            map_outputs[i].timing.node = node;
             durations.push(model.heartbeat_timeout_secs + cost.duration(model));
         }
         Ok(durations)
@@ -471,18 +541,26 @@ impl JobRunner {
         let splits = self.dfs.splits(input)?;
         self.dfs.begin_dataset_read();
         let counters = Arc::new(Counters::new());
-        let nodes = self.begin_job(&counters)?;
+        let (nodes, replicas) = self.begin_job(input, &counters)?;
 
         // ---------------- map phase ----------------
-        let mut map_outputs = self.run_map_phase(job, &nodes, &splits, config, &counters)?;
+        let mut map_outputs =
+            self.run_map_phase(job, &nodes, &splits, &replicas, config, &counters)?;
 
         // Maps whose winning attempt finished on a node that then
         // crashed left their output on a dead disk; reducers notice at
         // fetch time and the maps are re-executed on survivors.
-        let reruns =
-            self.reexecute_lost_maps(&nodes, config, &counters, &mut map_outputs, |i, c| {
-                self.run_map_task(job, i, &splits[i], config, c)
-            })?;
+        let reruns = self.reexecute_lost_maps(
+            &nodes,
+            &JobSite {
+                name: job.name(),
+                num_reduce_tasks: config.num_reduce_tasks,
+                replicas: &replicas,
+            },
+            &counters,
+            &mut map_outputs,
+            |i, c| self.run_map_task(job, i, &splits[i], config, c),
+        )?;
 
         let (map_durations, partitioned) = self.collect_map_outputs(map_outputs, config, &counters);
 
@@ -537,15 +615,26 @@ impl JobRunner {
             )));
         }
         let wall_start = Instant::now();
+        // Cached splits mirror the DFS blocks of the cached file, so
+        // locality preferences come from the same journaled block map
+        // as the streaming path.
         let counters = Arc::new(Counters::new());
-        let nodes = self.begin_job(&counters)?;
+        let (nodes, replicas) = self.begin_job(cache.path(), &counters)?;
         let splits = cache.splits();
 
-        let mut map_outputs = self.run_cached_map_phase(job, &nodes, splits, config, &counters)?;
-        let reruns =
-            self.reexecute_lost_maps(&nodes, config, &counters, &mut map_outputs, |i, c| {
-                self.run_cached_map_task(job, i, &splits[i], config, c)
-            })?;
+        let mut map_outputs =
+            self.run_cached_map_phase(job, &nodes, splits, &replicas, config, &counters)?;
+        let reruns = self.reexecute_lost_maps(
+            &nodes,
+            &JobSite {
+                name: job.name(),
+                num_reduce_tasks: config.num_reduce_tasks,
+                replicas: &replicas,
+            },
+            &counters,
+            &mut map_outputs,
+            |i, c| self.run_cached_map_task(job, i, &splits[i], config, c),
+        )?;
         let (map_durations, partitioned) = self.collect_map_outputs(map_outputs, config, &counters);
         let (outputs, reduce_durations) =
             self.run_reduce_phase(job, &nodes, partitioned, &counters)?;
@@ -574,6 +663,7 @@ impl JobRunner {
         job: &J,
         nodes: &NodeView,
         splits: &[CachedSplit],
+        replicas: &[Vec<usize>],
         config: &JobConfig,
         counters: &Arc<Counters>,
     ) -> Result<Vec<MapTaskOut>>
@@ -604,10 +694,19 @@ impl JobRunner {
                     if i >= n {
                         break;
                     }
+                    let prefer = replicas.get(i).map(Vec::as_slice).unwrap_or(&[]);
                     let r = self
-                        .run_attempts(nodes, job.name(), TaskKind::Map, i, counters, |_, c| {
-                            self.run_cached_map_task(job, i, &splits[i], config, c)
-                        })
+                        .run_attempts(
+                            nodes,
+                            &TaskSite {
+                                job: job.name(),
+                                kind: TaskKind::Map,
+                                index: i,
+                                prefer,
+                            },
+                            counters,
+                            |_, c| self.run_cached_map_task(job, i, &splits[i], config, c),
+                        )
                         .map(|(segments, timing)| MapTaskOut { segments, timing });
                     if r.is_err() {
                         failed.store(true, Ordering::Relaxed);
@@ -722,6 +821,7 @@ impl JobRunner {
         job: &J,
         nodes: &NodeView,
         splits: &[InputSplit],
+        replicas: &[Vec<usize>],
         config: &JobConfig,
         counters: &Arc<Counters>,
     ) -> Result<Vec<MapTaskOut>> {
@@ -748,10 +848,19 @@ impl JobRunner {
                     if i >= n {
                         break;
                     }
+                    let prefer = replicas.get(i).map(Vec::as_slice).unwrap_or(&[]);
                     let r = self
-                        .run_attempts(nodes, job.name(), TaskKind::Map, i, counters, |_, c| {
-                            self.run_map_task(job, i, &splits[i], config, c)
-                        })
+                        .run_attempts(
+                            nodes,
+                            &TaskSite {
+                                job: job.name(),
+                                kind: TaskKind::Map,
+                                index: i,
+                                prefer,
+                            },
+                            counters,
+                            |_, c| self.run_map_task(job, i, &splits[i], config, c),
+                        )
                         .map(|(segments, timing)| MapTaskOut { segments, timing });
                     if r.is_err() {
                         failed.store(true, Ordering::Relaxed);
@@ -913,9 +1022,12 @@ impl JobRunner {
                     let mut store = inputs[p].lock().take();
                     let r = self.run_attempts(
                         nodes,
-                        job.name(),
-                        TaskKind::Reduce,
-                        p,
+                        &TaskSite {
+                            job: job.name(),
+                            kind: TaskKind::Reduce,
+                            index: p,
+                            prefer: &[],
+                        },
                         counters,
                         |attempt, c| {
                             // Retries re-read the shuffled segments; keep a
