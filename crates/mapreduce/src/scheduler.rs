@@ -18,7 +18,15 @@
 //! fair-share policy hands the next free slot to the queue furthest
 //! below its weighted share, preempting a running attempt of an
 //! over-share queue when a queue cannot reach its configured minimum
-//! share. Preempted attempts are KILLED, not FAILED — like node-crash
+//! share. Shares and minimums are accounted per slot pool — a queue's
+//! running reduces neither block it from preempting for maps nor make
+//! it look over its map share — and a queue at or below its own
+//! minimum share is never picked as a victim, so preemption converges
+//! instead of ping-ponging between starved queues. When the
+//! policy-preferred queue cannot place (no free slot, no preemption
+//! right), the pass moves on to the remaining contenders rather than
+//! giving up, so a starved queue always reaches its preemption
+//! opportunity. Preempted attempts are KILLED, not FAILED — like node-crash
 //! kills they burn no retry budget, and the re-run computes an
 //! identical result, so preemption moves makespans and never answers.
 //! Map placement is locality-aware: a free slot on a node holding a DFS
@@ -339,6 +347,22 @@ impl JobTracker {
                 )));
             }
         }
+        if let Some(cap) = queue.max_share_slots {
+            if cap == 0 {
+                return Err(Error::Config(format!(
+                    "queue {}: max_share_slots must be positive — a cap of 0 \
+                     would silently drop every job submitted to the queue",
+                    queue.name
+                )));
+            }
+            if cap < queue.min_share_slots {
+                return Err(Error::Config(format!(
+                    "queue {}: max_share_slots ({cap}) is below \
+                     min_share_slots ({})",
+                    queue.name, queue.min_share_slots
+                )));
+            }
+        }
         let pool = self
             .cluster
             .total_map_slots()
@@ -431,7 +455,7 @@ impl JobTracker {
                 )));
             }
         }
-        Ok(Simulation::new(self, demands).run())
+        Simulation::new(self, demands).run()
     }
 }
 
@@ -492,8 +516,17 @@ struct Simulation<'a> {
     free_map: Vec<usize>,
     free_reduce: Vec<usize>,
     running: Vec<Running>,
-    /// Concurrently running attempts per queue.
+    /// Concurrently running attempts per queue (maps and reduces
+    /// combined — feeds the max-share cap, slot-seconds and the share
+    /// samples, which are all defined over total attempts).
     queue_running: Vec<usize>,
+    /// Concurrently running attempts per queue split by slot pool
+    /// (index [`Self::kind_slot`]): `min_share_slots` is a per-pool
+    /// guarantee, so the min-share check, the fair-share deficit and
+    /// the preemption over-share must all compare like with like — a
+    /// queue's reduces must neither block it from preempting for maps
+    /// nor make it look over its map share.
+    running_by_kind: Vec<[usize; 2]>,
     slot_secs: Vec<f64>,
     maps_node_local: Vec<u64>,
     maps_remote: Vec<u64>,
@@ -505,6 +538,14 @@ struct Simulation<'a> {
 }
 
 impl<'a> Simulation<'a> {
+    /// Index of `kind`'s slot pool in [`Self::running_by_kind`].
+    fn kind_slot(kind: TaskKind) -> usize {
+        match kind {
+            TaskKind::Map => 0,
+            _ => 1,
+        }
+    }
+
     fn new(tracker: &'a JobTracker, demands: &'a [TenantDemand]) -> Self {
         let nq = tracker.queues.len();
         let setup = tracker.cluster.cost_model.job_setup_secs;
@@ -544,6 +585,7 @@ impl<'a> Simulation<'a> {
             free_reduce: vec![tracker.cluster.reduce_slots_per_node; tracker.cluster.nodes],
             running: Vec::new(),
             queue_running: vec![0; nq],
+            running_by_kind: vec![[0; 2]; nq],
             slot_secs: vec![0.0; nq],
             maps_node_local: vec![0; nq],
             maps_remote: vec![0; nq],
@@ -555,7 +597,7 @@ impl<'a> Simulation<'a> {
         }
     }
 
-    fn run(mut self) -> TrackerRun {
+    fn run(mut self) -> Result<TrackerRun> {
         loop {
             self.schedule();
             // Zero-length tasks retire at the instant they start.
@@ -570,6 +612,19 @@ impl<'a> Simulation<'a> {
             }
             self.now = next;
             self.complete_finished();
+        }
+        // Defense in depth: a run that exits with demand still pending
+        // would silently report a makespan as if complete. add_queue's
+        // validation should make this unreachable.
+        if let Some(t) = self
+            .tenants
+            .iter()
+            .find(|t| !t.done(self.demands[t.arrival.1].jobs.len()))
+        {
+            return Err(Error::Config(format!(
+                "scheduler stalled: queue {} exited with unrun demand",
+                self.tracker.queues[t.queue].name
+            )));
         }
         let makespan = self.tenants.iter().map(|t| t.finish).fold(0.0f64, f64::max);
         let counters = Counters::new();
@@ -592,12 +647,12 @@ impl<'a> Simulation<'a> {
                 tasks_preempted: self.tasks_preempted[q],
             });
         }
-        TrackerRun {
+        Ok(TrackerRun {
             makespan,
             queues,
             share_samples: self.share_samples,
             counters,
-        }
+        })
     }
 
     /// Earliest future event: a running attempt finishing or an idle
@@ -637,6 +692,7 @@ impl<'a> Simulation<'a> {
         finished.sort_by_key(|r| r.seq);
         for r in finished {
             self.queue_running[r.queue] -= 1;
+            self.running_by_kind[r.queue][Self::kind_slot(r.kind)] -= 1;
             match r.kind {
                 TaskKind::Map => {
                     self.free_map[r.node] += 1;
@@ -784,6 +840,15 @@ impl<'a> Simulation<'a> {
     /// the policy, max-share caps, locality and min-share preemption.
     fn schedule(&mut self) {
         for kind in [TaskKind::Map, TaskKind::Reduce] {
+            let k = Self::kind_slot(kind);
+            // Queues that failed to place this pass. A failed queue
+            // leaves the candidate set rather than aborting the pass —
+            // otherwise one queue with no free slot and no preemption
+            // right (min share 0 or already met) would mask a starved
+            // queue right behind it in the policy order, violating the
+            // min-share guarantee. Cleared whenever a placement
+            // changes the slot state.
+            let mut exhausted = vec![false; self.tracker.queues.len()];
             loop {
                 let runnable = self.runnable_tenants(kind);
                 if runnable.is_empty() {
@@ -795,9 +860,10 @@ impl<'a> Simulation<'a> {
                 candidates.sort_unstable();
                 candidates.dedup();
                 candidates.retain(|&q| {
-                    self.tracker.queues[q]
-                        .max_share_slots
-                        .map_or(true, |cap| self.queue_running[q] < cap)
+                    !exhausted[q]
+                        && self.tracker.queues[q]
+                            .max_share_slots
+                            .map_or(true, |cap| self.queue_running[q] < cap)
                 });
                 if candidates.is_empty() {
                     break;
@@ -824,15 +890,16 @@ impl<'a> Simulation<'a> {
                     SchedulingPolicy::FairShare => {
                         let active = self.active_queues();
                         let target = self.target_shares(&active);
-                        // The queue furthest below its share: minimal
-                        // running/target (deterministic tie: index).
+                        // The queue furthest below its share of *this*
+                        // pool: minimal running/target over attempts of
+                        // this kind (deterministic tie: index).
                         match candidates
                             .iter()
                             .copied()
                             .filter(|&q| target[q] > 0.0)
                             .min_by(|&a, &b| {
-                                let da = self.queue_running[a] as f64 / target[a];
-                                let db = self.queue_running[b] as f64 / target[b];
+                                let da = self.running_by_kind[a][k] as f64 / target[a];
+                                let db = self.running_by_kind[b][k] as f64 / target[b];
                                 da.total_cmp(&db).then(a.cmp(&b))
                             }) {
                             Some(q) => q,
@@ -853,8 +920,10 @@ impl<'a> Simulation<'a> {
                             .then(self.tenants[a].arrival.1.cmp(&self.tenants[b].arrival.1))
                     })
                     .expect("chosen queue has a runnable tenant");
-                if !self.place(kind, queue, tenant) {
-                    break;
+                if self.place(kind, queue, tenant) {
+                    exhausted.fill(false);
+                } else {
+                    exhausted[queue] = true;
                 }
             }
         }
@@ -900,11 +969,30 @@ impl<'a> Simulation<'a> {
                 (0..self.free_reduce.len()).find(|&n| self.free_reduce[n] > 0),
             ),
         };
-        let node = match node {
-            Some(n) => Some(n),
-            None => self.preempt_for(kind, queue),
+        let (pos, node) = match node {
+            Some(n) => (pos, n),
+            None => {
+                let Some(n) = self.preempt_for(kind, queue) else {
+                    return false;
+                };
+                // Preemption fixed the node after `pos` was chosen:
+                // re-run the locality scan against that specific node
+                // so the earliest pending map with a replica there
+                // runs, not blindly the head of the pending list.
+                let pos = match kind {
+                    TaskKind::Map => {
+                        let t = &self.tenants[tenant];
+                        let job = &self.demands[tenant].jobs[t.current];
+                        t.pending_maps
+                            .iter()
+                            .position(|&task| job.maps[task].replicas.contains(&n))
+                            .unwrap_or(0)
+                    }
+                    _ => 0,
+                };
+                (pos, n)
+            }
         };
-        let Some(node) = node else { return false };
         let t = &mut self.tenants[tenant];
         let (task, duration) = match kind {
             TaskKind::Map => {
@@ -937,6 +1025,7 @@ impl<'a> Simulation<'a> {
             _ => self.free_reduce[node] -= 1,
         }
         self.queue_running[queue] += 1;
+        self.running_by_kind[queue][Self::kind_slot(kind)] += 1;
         self.seq += 1;
         self.running.push(Running {
             finish: self.now + duration.max(0.0),
@@ -952,16 +1041,25 @@ impl<'a> Simulation<'a> {
     }
 
     /// Minimum-share preemption: when `queue` is starved below its
-    /// configured minimum and no slot is free, kill the most recently
-    /// launched attempt of the queue furthest *over* its weighted
-    /// share. The killed attempt re-enters its tenant's pending list at
-    /// full duration — KILLED, not FAILED, so no retry budget burns —
-    /// and the freed slot is returned for the starved task.
+    /// configured minimum in `kind`'s pool and no slot is free, kill
+    /// the most recently launched attempt of the queue furthest *over*
+    /// its weighted share of that pool. The killed attempt re-enters
+    /// its tenant's pending list at full duration — KILLED, not
+    /// FAILED, so no retry budget burns — and the freed slot is
+    /// returned for the starved task.
+    ///
+    /// A queue at or below its *own* min share is never a victim: its
+    /// guaranteed slots are exactly what preemption exists to protect.
+    /// This is also the termination argument — a starved queue only
+    /// gains attempts up to its minimum, a victim only loses down to
+    /// its minimum, so two under-min queues can never kill each
+    /// other's just-launched attempts in a ping-pong.
     fn preempt_for(&mut self, kind: TaskKind, queue: usize) -> Option<usize> {
         if self.tracker.policy != SchedulingPolicy::FairShare {
             return None;
         }
-        if self.queue_running[queue] >= self.tracker.queues[queue].min_share_slots {
+        let k = Self::kind_slot(kind);
+        if self.running_by_kind[queue][k] >= self.tracker.queues[queue].min_share_slots {
             return None;
         }
         let active = self.active_queues();
@@ -970,12 +1068,14 @@ impl<'a> Simulation<'a> {
             TaskKind::Map => self.tracker.cluster.total_map_slots(),
             _ => self.tracker.cluster.total_reduce_slots(),
         } as f64;
-        // The queue most slots over its share, provided it is strictly
-        // over and has a running attempt of this pool to give up.
+        // The queue most slots of this pool over its share, provided
+        // it is strictly over and would keep its own minimum share
+        // after giving one up (> min implies it has an attempt of this
+        // pool to give).
         let victim_queue = (0..self.tracker.queues.len())
             .filter(|&q| q != queue)
-            .filter(|&q| self.running.iter().any(|r| r.queue == q && r.kind == kind))
-            .map(|q| (q, self.queue_running[q] as f64 - target[q] * pool))
+            .filter(|&q| self.running_by_kind[q][k] > self.tracker.queues[q].min_share_slots)
+            .map(|q| (q, self.running_by_kind[q][k] as f64 - target[q] * pool))
             .filter(|&(_, over)| over >= 1.0)
             .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
             .map(|(q, _)| q)?;
@@ -990,6 +1090,7 @@ impl<'a> Simulation<'a> {
             .map(|(i, _)| i)?;
         let victim = self.running.remove(victim_idx);
         self.queue_running[victim.queue] -= 1;
+        self.running_by_kind[victim.queue][Self::kind_slot(victim.kind)] -= 1;
         self.tasks_preempted[victim.queue] += 1;
         let vt = &mut self.tenants[victim.tenant];
         match victim.kind {
@@ -1061,6 +1162,16 @@ mod tests {
             t.add_queue(QueueConfig::new("b").with_min_share(33))
                 .is_err(),
             "overcommitted min shares"
+        );
+        assert!(
+            t.add_queue(QueueConfig::new("b").with_max_share(0))
+                .is_err(),
+            "a zero max share would silently drop the queue's jobs"
+        );
+        assert!(
+            t.add_queue(QueueConfig::new("b").with_min_share(4).with_max_share(2))
+                .is_err(),
+            "max share below min share"
         );
         assert!(t.runner("a").is_ok());
         assert!(t.runner("missing").is_err());
@@ -1208,6 +1319,159 @@ mod tests {
         );
         // The preempted work still completes: bulk finishes everything.
         assert!(bulk.finish_secs > 100.0);
+    }
+
+    #[test]
+    fn symmetric_starved_queues_do_not_livelock() {
+        // Two queues each below their min share and each ≥1 slot over
+        // their weighted target (weights 1/1/30 on 32 slots put a and
+        // b's targets at 1 slot) must not kill each other's attempts
+        // in an endless ping-pong: queues at or below their own min
+        // share are never preemption victims.
+        let mut t = tracker(SchedulingPolicy::FairShare);
+        t.add_queue(QueueConfig::new("a").with_min_share(16))
+            .unwrap();
+        t.add_queue(QueueConfig::new("b").with_min_share(16))
+            .unwrap();
+        t.add_queue(QueueConfig::new("c").with_weight(30.0))
+            .unwrap();
+        let demands = vec![
+            tenant("a", 0.0, vec![job(36, 2)]),
+            tenant("b", 0.0, vec![job(36, 2)]),
+            tenant("c", 0.0, vec![job(36, 2)]),
+        ];
+        let r = t.arbitrate(&demands).unwrap();
+        assert!(r.makespan > 0.0);
+        assert_eq!(r.queues.len(), 3, "every queue's demand must run");
+    }
+
+    #[test]
+    fn starved_min_share_queue_preempts_even_when_not_first_pick() {
+        // "idle" (lower index, deficit 0, min share 0) is the policy's
+        // first pick but cannot place on the saturated cluster; its
+        // failure must not abort the pass before "urgent" — starved
+        // below its min share — gets its preemption opportunity.
+        let mut t = tracker(SchedulingPolicy::FairShare);
+        t.add_queue(QueueConfig::new("bulk")).unwrap();
+        t.add_queue(QueueConfig::new("idle")).unwrap();
+        t.add_queue(QueueConfig::new("urgent").with_min_share(8))
+            .unwrap();
+        let long = JobDemand {
+            name: "long".into(),
+            maps: (0..40)
+                .map(|i| TaskDemand {
+                    duration: 100.0,
+                    replicas: vec![i % 4],
+                })
+                .collect(),
+            reduces: vec![1.0],
+        };
+        let demands = vec![
+            tenant("bulk", 0.0, vec![long]),
+            tenant("idle", 10.0, vec![job(4, 1)]),
+            tenant("urgent", 10.0, vec![job(8, 2)]),
+        ];
+        let r = t.arbitrate(&demands).unwrap();
+        let bulk = r.queues.iter().find(|q| q.queue == "bulk").unwrap();
+        let urgent = r.queues.iter().find(|q| q.queue == "urgent").unwrap();
+        assert_eq!(bulk.tasks_preempted, 8, "urgent reclaims its min share");
+        assert!(
+            urgent.finish_secs < 40.0,
+            "urgent must not wait out the 100s tasks (finished {:.1}s)",
+            urgent.finish_secs
+        );
+    }
+
+    #[test]
+    fn running_reduces_do_not_block_map_preemption() {
+        // min_share_slots is per pool: a queue whose tenants hold 8
+        // reduce slots is still entitled to preempt for maps when it
+        // runs zero maps against a min share of 4.
+        let mut t = tracker(SchedulingPolicy::FairShare);
+        t.add_queue(QueueConfig::new("m").with_min_share(4))
+            .unwrap();
+        t.add_queue(QueueConfig::new("bulk")).unwrap();
+        let reducer_heavy = JobDemand {
+            name: "reducer-heavy".into(),
+            maps: vec![TaskDemand {
+                duration: 1.0,
+                replicas: vec![0],
+            }],
+            reduces: vec![200.0; 8],
+        };
+        let long = JobDemand {
+            name: "long".into(),
+            maps: (0..40)
+                .map(|i| TaskDemand {
+                    duration: 100.0,
+                    replicas: vec![i % 4],
+                })
+                .collect(),
+            reduces: vec![1.0],
+        };
+        let demands = vec![
+            tenant("m", 0.0, vec![reducer_heavy]),
+            tenant("bulk", 0.0, vec![long]),
+            // Arrives while the first tenant's 8 reduces are running
+            // and bulk holds every map slot with 100s tasks.
+            tenant("m", 20.0, vec![job(4, 2)]),
+        ];
+        let r = t.arbitrate(&demands).unwrap();
+        let bulk = r.queues.iter().find(|q| q.queue == "bulk").unwrap();
+        assert_eq!(
+            bulk.tasks_preempted, 4,
+            "the map-pool min share must be enforced despite 8 running reduces"
+        );
+    }
+
+    #[test]
+    fn preemption_respects_locality_on_the_victim_node() {
+        // bulk fills node 3 locally then spills onto nodes 0..2; the
+        // preemption victim is its latest attempt, on node 2. The
+        // starved queue's head map wants node 1, its second map wants
+        // node 2 — the re-scan against the freed node must run the
+        // second map there (node-local) instead of the head (remote).
+        let mut t = tracker(SchedulingPolicy::FairShare);
+        t.add_queue(QueueConfig::new("bulk")).unwrap();
+        t.add_queue(QueueConfig::new("u").with_min_share(1))
+            .unwrap();
+        let skewed = JobDemand {
+            name: "skewed".into(),
+            maps: (0..32)
+                .map(|_| TaskDemand {
+                    duration: 100.0,
+                    replicas: vec![3],
+                })
+                .collect(),
+            reduces: vec![1.0],
+        };
+        let urgent = JobDemand {
+            name: "urgent".into(),
+            maps: vec![
+                TaskDemand {
+                    duration: 100.0,
+                    replicas: vec![1],
+                },
+                TaskDemand {
+                    duration: 100.0,
+                    replicas: vec![2],
+                },
+            ],
+            reduces: vec![1.0],
+        };
+        let demands = vec![
+            tenant("bulk", 0.0, vec![skewed]),
+            tenant("u", 10.0, vec![urgent]),
+        ];
+        let r = t.arbitrate(&demands).unwrap();
+        let u = r.queues.iter().find(|q| q.queue == "u").unwrap();
+        let bulk = r.queues.iter().find(|q| q.queue == "bulk").unwrap();
+        assert_eq!(bulk.tasks_preempted, 1, "min share 1 preempts exactly once");
+        assert_eq!(
+            u.maps_remote, 0,
+            "the map with a replica on the freed node must take it"
+        );
+        assert_eq!(u.maps_node_local, 2);
     }
 
     #[test]
