@@ -16,6 +16,7 @@
 //!   ablations design-choice ablations
 //!   kernels   nearest-center kernel benchmark (writes BENCH_kernels.json)
 //!   scheduler multi-tenant fair-share vs FIFO (writes BENCH_scheduler.json)
+//!   elastic   membership elasticity: joins, spot revocations (writes BENCH_elastic.json)
 //!   all       everything above, in order
 //! ```
 //!
@@ -26,7 +27,7 @@
 //! shapes, not its absolute numbers.
 
 use gmr_bench::experiments::{
-    ablations, fig1, fig2, fig4, kernels, scheduler, table3, table4, times,
+    ablations, elastic, fig1, fig2, fig4, kernels, scheduler, table3, table4, times,
 };
 use gmr_bench::ExperimentScale;
 
@@ -103,6 +104,11 @@ fn main() {
             print!("{}", scheduler::render(&bench));
             write_scheduler_json(&bench);
         }
+        "elastic" => {
+            let bench = elastic::run(&scale);
+            print!("{}", elastic::render(&bench));
+            write_elastic_json(&bench);
+        }
         "all" => {
             print!("{}", fig1::render(&fig1::run(&scale)));
             print!("{}", fig2::render(&fig2::run(&scale)));
@@ -122,6 +128,9 @@ fn main() {
             let sched = scheduler::run(&scale);
             print!("{}", scheduler::render(&sched));
             write_scheduler_json(&sched);
+            let el = elastic::run(&scale);
+            print!("{}", elastic::render(&el));
+            write_elastic_json(&el);
         }
         other => usage(&format!("unknown experiment {other}")),
     }
@@ -147,11 +156,19 @@ fn write_scheduler_json(bench: &scheduler::SchedulerBench) {
     }
 }
 
+fn write_elastic_json(bench: &elastic::ElasticBench) {
+    let path = "BENCH_elastic.json";
+    match std::fs::write(path, bench.to_json()) {
+        Ok(()) => eprintln!("[wrote {path}]"),
+        Err(e) => eprintln!("[could not write {path}: {e}]"),
+    }
+}
+
 fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: repro <fig1|fig2|table1|table2|fig3|table3|fig4|table4|ablations|kernels|\
-         scheduler|all> [--points N] [--k-factor F] [--seed S] [--quick]"
+         scheduler|elastic|all> [--points N] [--k-factor F] [--seed S] [--quick]"
     );
     std::process::exit(2);
 }

@@ -11,8 +11,10 @@
 //! | [`ablations`] | — | design-choice ablations DESIGN.md calls out |
 //! | [`kernels`] | — | nearest-center kernel throughput trajectory (`BENCH_kernels.json`) |
 //! | [`scheduler`] | — | multi-tenant fair-share vs FIFO arbitration (`BENCH_scheduler.json`) |
+//! | [`elastic`] | — | elastic membership: join speedup, revocation cost (`BENCH_elastic.json`) |
 
 pub mod ablations;
+pub mod elastic;
 pub mod fig1;
 pub mod fig2;
 pub mod fig4;

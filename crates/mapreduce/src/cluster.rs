@@ -14,7 +14,7 @@
 
 use crate::cost::CostModel;
 use crate::error::{Error, Result};
-use crate::faults::{FaultPlan, NodeStatus};
+use crate::faults::{FaultPlan, MembershipPlan, NodeStatus};
 
 /// Static description of the (simulated) cluster a job runs on.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -34,6 +34,11 @@ pub struct ClusterConfig {
     /// DFS block replication factor (HDFS `dfs.replication`, default
     /// 3). Capped at the number of nodes that can hold a copy.
     pub dfs_replication: usize,
+    /// Scheduled cluster-membership events — joins, graceful
+    /// decommissions, revocation sweeps (fixed membership by default).
+    /// `nodes` is the *base* cluster; joins extend it up to
+    /// [`ClusterConfig::peak_nodes`].
+    pub membership: MembershipPlan,
 }
 
 impl Default for ClusterConfig {
@@ -49,6 +54,7 @@ impl Default for ClusterConfig {
             cost_model: CostModel::default(),
             faults: FaultPlan::default(),
             dfs_replication: 3,
+            membership: MembershipPlan::default(),
         }
     }
 }
@@ -75,6 +81,13 @@ impl ClusterConfig {
         self
     }
 
+    /// This cluster with a membership plan (joins, decommissions,
+    /// revocation sweeps).
+    pub fn with_membership(mut self, membership: MembershipPlan) -> Self {
+        self.membership = membership;
+        self
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.nodes == 0 {
@@ -94,15 +107,23 @@ impl ClusterConfig {
             .scheduled_node_crashes
             .iter()
             .flatten()
-            .find(|(_, n)| *n as usize >= self.nodes)
+            .find(|(_, n)| *n as usize >= self.peak_nodes())
         {
             return Err(Error::Config(format!(
-                "scheduled crash names node {node} but the cluster has {} nodes",
-                self.nodes
+                "scheduled crash names node {node} but the cluster peaks at {} nodes",
+                self.peak_nodes()
             )));
         }
         self.faults.validate()?;
+        self.membership.validate(self.nodes)?;
         Ok(())
+    }
+
+    /// Size of the node universe: the base cluster plus every node that
+    /// ever joins. Ids in `[nodes, peak_nodes)` exist only from their
+    /// join epoch on.
+    pub fn peak_nodes(&self) -> usize {
+        self.membership.peak_nodes(self.nodes)
     }
 
     /// Total map slots across the cluster.
@@ -117,7 +138,12 @@ impl ClusterConfig {
     }
 
     /// Map slots available on `live_nodes` of the cluster's nodes — the
-    /// capacity a degraded cluster actually schedules on.
+    /// capacity a degraded or elastic cluster actually schedules on.
+    /// Callers must pass the **live** node count of
+    /// [`ClusterConfig::node_status`], which excludes blacklisted,
+    /// drained/decommissioned and not-yet-joined nodes alike, so the
+    /// thread pool and the scheduler never over-subscribe a shrinking
+    /// cluster (and do see the slots a join added).
     pub fn live_map_slots(&self, live_nodes: usize) -> usize {
         live_nodes * self.map_slots_per_node
     }
@@ -127,9 +153,38 @@ impl ClusterConfig {
         live_nodes * self.reduce_slots_per_node
     }
 
-    /// Node weather at one job epoch under this cluster's fault plan.
+    /// Node weather at one job epoch under this cluster's fault *and*
+    /// membership plans.
     pub fn node_status(&self, epoch: u64) -> NodeStatus {
-        NodeStatus::compute(&self.faults, self.nodes, epoch)
+        NodeStatus::compute_full(&self.faults, &self.membership, self.nodes, epoch)
+    }
+
+    /// Live map/reduce slot capacity at one job epoch: the slots on
+    /// nodes that are present, not blacklisted and not drained.
+    pub fn capacity_at(&self, epoch: u64) -> (usize, usize) {
+        let live = self.node_status(epoch).live.len();
+        (self.live_map_slots(live), self.live_reduce_slots(live))
+    }
+
+    /// Nodes of the universe that must not hold data or run work while
+    /// epoch `epoch` executes: blacklisted, decommissioned, not yet
+    /// joined, plus revocation victims of this epoch and of the next
+    /// one (revocations are announced one epoch ahead — placing a fresh
+    /// replica on a doomed node would just lose it again).
+    pub fn unavailable_at(&self, epoch: u64) -> Vec<usize> {
+        let status = self.node_status(epoch);
+        let mut down = status.blacklisted;
+        down.extend(status.decommissioned);
+        down.extend(status.absent);
+        down.extend(status.revoked.iter().copied());
+        for node in 0..self.peak_nodes() {
+            if self.membership.revoked_at(epoch + 1, node) && !down.contains(&node) {
+                down.push(node);
+            }
+        }
+        down.sort_unstable();
+        down.dedup();
+        down
     }
 
     /// Number of OS threads the runtime actually uses to execute tasks:
@@ -209,6 +264,53 @@ mod tests {
         assert_eq!(c.live_map_slots(4), c.total_map_slots());
         assert_eq!(c.live_map_slots(3), 24);
         assert_eq!(c.live_reduce_slots(2), 16);
+    }
+
+    #[test]
+    fn membership_is_validated_and_scales_capacity() {
+        // A join target inside the base cluster is rejected.
+        let c =
+            ClusterConfig::default().with_membership(MembershipPlan::none().with_node_join(2, 3));
+        assert!(c.validate().is_err());
+        // A valid join grows the universe and, from its epoch, capacity.
+        let c =
+            ClusterConfig::default().with_membership(MembershipPlan::none().with_node_join(3, 4));
+        assert!(c.validate().is_ok());
+        assert_eq!(c.peak_nodes(), 5);
+        assert_eq!(c.capacity_at(2), (32, 32));
+        assert_eq!(c.capacity_at(3), (40, 40));
+        // A scheduled crash may name a joined node.
+        let c = c.with_faults(FaultPlan::none().with_node_crash(4, 4));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn decommission_shrinks_live_capacity() {
+        let c = ClusterConfig::default()
+            .with_membership(MembershipPlan::none().with_node_decommission(2, 1));
+        assert!(c.validate().is_ok());
+        assert_eq!(c.capacity_at(1), (32, 32));
+        // The drained node's slots are gone — the thread pool and the
+        // scheduler must not over-subscribe.
+        assert_eq!(c.capacity_at(2), (24, 24));
+        assert!(c.unavailable_at(2).contains(&1));
+    }
+
+    #[test]
+    fn unavailable_includes_next_epochs_revocations() {
+        let m = MembershipPlan::none()
+            .with_seed(13)
+            .with_revocation_sweeps(3, 0.5);
+        let c = ClusterConfig::with_nodes(8).with_membership(m);
+        assert!(c.validate().is_ok());
+        let doomed: Vec<usize> = (0..8).filter(|&n| m.revoked_at(3, n)).collect();
+        assert!(!doomed.is_empty(), "seed must revoke someone at epoch 3");
+        // One epoch ahead of the sweep, the victims are already
+        // unavailable as replica targets.
+        let down = c.unavailable_at(2);
+        for n in &doomed {
+            assert!(down.contains(n), "node {n} dooms at 3, must be down at 2");
+        }
     }
 
     #[test]

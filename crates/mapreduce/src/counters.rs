@@ -94,10 +94,26 @@ pub enum Counter {
     /// slots for an under-share queue. Like node-crash kills, preempted
     /// attempts are KILLED, not FAILED: no retry budget is consumed.
     TasksPreempted,
+    /// Nodes that joined the cluster mid-run (one per join epoch).
+    NodeJoins,
+    /// Nodes gracefully decommissioned: drained and removed only after
+    /// their DFS blocks were copied off.
+    NodesDecommissioned,
+    /// Nodes hard-killed by a spot-style revocation sweep. Unlike
+    /// [`Counter::NodeCrashes`] these are announced one epoch ahead and
+    /// never count toward the blacklist budget.
+    NodesRevoked,
+    /// DFS blocks proactively copied toward a new topology by a join or
+    /// a graceful decommission (distinct from the reactive
+    /// [`Counter::DfsBlocksRereplicated`] after a crash).
+    DfsBlocksRebalanced,
+    /// Block replicas whose checksum verification failed on read; each
+    /// detection falls back to the next replica.
+    DfsCorruptBlocksDetected,
 }
 
 /// All counters, indexable without a hash map.
-const ALL: [Counter; 32] = [
+const ALL: [Counter; 37] = [
     Counter::MapInputRecords,
     Counter::MapOutputRecords,
     Counter::CombineInputRecords,
@@ -130,6 +146,11 @@ const ALL: [Counter; 32] = [
     Counter::MapsNodeLocal,
     Counter::MapsRemote,
     Counter::TasksPreempted,
+    Counter::NodeJoins,
+    Counter::NodesDecommissioned,
+    Counter::NodesRevoked,
+    Counter::DfsBlocksRebalanced,
+    Counter::DfsCorruptBlocksDetected,
 ];
 
 impl Counter {
@@ -177,14 +198,27 @@ impl Counter {
             Counter::MapsNodeLocal => "maps_node_local",
             Counter::MapsRemote => "maps_remote",
             Counter::TasksPreempted => "tasks_preempted",
+            Counter::NodeJoins => "node_joins",
+            Counter::NodesDecommissioned => "nodes_decommissioned",
+            Counter::NodesRevoked => "nodes_revoked",
+            Counter::DfsBlocksRebalanced => "dfs_blocks_rebalanced",
+            Counter::DfsCorruptBlocksDetected => "dfs_corrupt_blocks_detected",
         }
     }
 }
 
 /// Thread-safe counter bank for one job (or one accumulated run).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Counters {
-    values: [AtomicU64; 32],
+    values: [AtomicU64; 37],
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Self {
+            values: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
 }
 
 impl Counters {
@@ -316,6 +350,23 @@ mod tests {
             (Counter::MapsNodeLocal, "maps_node_local"),
             (Counter::MapsRemote, "maps_remote"),
             (Counter::TasksPreempted, "tasks_preempted"),
+        ] {
+            assert_eq!(c.name(), name);
+            assert!(Counter::all().contains(&c), "{name} missing from ALL");
+        }
+    }
+
+    #[test]
+    fn elasticity_counters_have_issue_names() {
+        for (c, name) in [
+            (Counter::NodeJoins, "node_joins"),
+            (Counter::NodesDecommissioned, "nodes_decommissioned"),
+            (Counter::NodesRevoked, "nodes_revoked"),
+            (Counter::DfsBlocksRebalanced, "dfs_blocks_rebalanced"),
+            (
+                Counter::DfsCorruptBlocksDetected,
+                "dfs_corrupt_blocks_detected",
+            ),
         ] {
             assert_eq!(c.name(), name);
             assert!(Counter::all().contains(&c), "{name} missing from ALL");

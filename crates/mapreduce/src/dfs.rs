@@ -26,6 +26,7 @@ use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::{Error, Result};
+use crate::faults::FaultPlan;
 
 /// Default block (and therefore split) size: 4 MiB.
 ///
@@ -35,12 +36,52 @@ use crate::error::{Error, Result};
 /// (tens of tasks per job).
 pub const DEFAULT_BLOCK_SIZE: usize = 4 * 1024 * 1024;
 
-/// A stored file: line-aligned blocks plus summary metadata.
+/// Magic tag of the per-block integrity frame, mirroring the
+/// `GMRCKPT1` header of the checkpoint journal
+/// ([`crate::checkpoint`]): same FNV-1a length/CRC discipline, one
+/// frame per stored block instead of per checkpoint.
+pub const BLOCK_MAGIC: &str = "GMRBLK1";
+
+/// FNV-1a over a block's bytes — the checksum stored in its frame
+/// header and verified on every read.
+pub fn block_crc(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Renders the integrity frame header of one block.
+fn frame_header(len: usize, crc: u64) -> String {
+    format!("{BLOCK_MAGIC} len={len} crc={crc:016x}")
+}
+
+/// A stored file: line-aligned blocks plus summary metadata. Every
+/// block carries an FNV-1a frame header computed at publish time;
+/// reads verify it.
 #[derive(Clone, Debug)]
 struct DfsFile {
     blocks: Vec<Bytes>,
+    /// Per-block integrity frames, parallel to `blocks`.
+    frames: Vec<String>,
     len: u64,
     lines: u64,
+}
+
+impl DfsFile {
+    fn framed(blocks: Vec<Bytes>, len: u64, lines: u64) -> Self {
+        let frames = blocks
+            .iter()
+            .map(|b| frame_header(b.len(), block_crc(b)))
+            .collect();
+        Self {
+            blocks,
+            frames,
+            len,
+            lines,
+        }
+    }
 }
 
 /// One input split: a line-aligned slice of a file, processed by exactly
@@ -96,6 +137,12 @@ pub struct DfsStats {
     pub blocks_rereplicated: u64,
     /// Blocks whose last replica was destroyed (now unreadable).
     pub blocks_lost: u64,
+    /// Blocks proactively copied toward a new topology by a node join
+    /// or a graceful decommission.
+    pub blocks_rebalanced: u64,
+    /// Block replicas that failed checksum verification on read (the
+    /// read fell back to the next replica).
+    pub corrupt_blocks_detected: u64,
 }
 
 /// Node topology the DFS places block replicas on; attached by the
@@ -148,8 +195,15 @@ pub struct Dfs {
     /// replica map the original run saw, not the one later crash
     /// processing has since reshaped.
     replica_log: Mutex<BTreeMap<(u64, String), ReplicaMap>>,
+    /// Membership rebalances already processed, keyed by
+    /// `(job_epoch, node)` with the number of blocks each moved — like
+    /// `crash_log`, a resumed driver replaying a join or decommission
+    /// epoch gets the recorded outcome instead of re-moving blocks.
+    membership_log: Mutex<BTreeMap<(u64, usize), u64>>,
     blocks_rereplicated: AtomicU64,
     blocks_lost: AtomicU64,
+    blocks_rebalanced: AtomicU64,
+    corrupt_blocks_detected: AtomicU64,
 }
 
 impl std::fmt::Debug for Dfs {
@@ -185,8 +239,11 @@ impl Dfs {
             down: RwLock::new(BTreeSet::new()),
             crash_log: Mutex::new(BTreeMap::new()),
             replica_log: Mutex::new(BTreeMap::new()),
+            membership_log: Mutex::new(BTreeMap::new()),
             blocks_rereplicated: AtomicU64::new(0),
             blocks_lost: AtomicU64::new(0),
+            blocks_rebalanced: AtomicU64::new(0),
+            corrupt_blocks_detected: AtomicU64::new(0),
         }
     }
 
@@ -325,6 +382,155 @@ impl Dfs {
         report
     }
 
+    /// Processes a node *joining* the cluster at job epoch `epoch`:
+    /// every block whose ideal hash placement under the current up-set
+    /// includes the newcomer gets a copy moved onto it (the surplus
+    /// replica that the new topology no longer wants is dropped), so
+    /// the joined node carries its share of data and locality-first
+    /// scheduling can place maps on it. Returns the number of blocks
+    /// rebalanced; journaled per `(epoch, node)` like [`Dfs::node_lost`]
+    /// so a resumed driver replaying the epoch re-moves nothing.
+    ///
+    /// Callers must refresh [`Dfs::set_down_nodes`] *before* this so
+    /// the newcomer is no longer in the down set.
+    pub fn node_joined(&self, epoch: u64, node: usize) -> u64 {
+        let mut log = self.membership_log.lock();
+        if let Some(&moved) = log.get(&(epoch, node)) {
+            return moved;
+        }
+        let mut moved = 0u64;
+        if self.topology.read().is_some() {
+            let paths: Vec<(String, usize)> = self
+                .replicas
+                .read()
+                .iter()
+                .map(|(p, b)| (p.clone(), b.len()))
+                .collect();
+            for (path, nblocks) in paths {
+                let ideal = self.place_blocks(&path, nblocks);
+                let mut reps = self.replicas.write();
+                let Some(blocks) = reps.get_mut(&path) else {
+                    continue;
+                };
+                for (block, replicas) in blocks.iter_mut().enumerate() {
+                    let Some(want) = ideal.get(block) else {
+                        continue;
+                    };
+                    if !want.contains(&node) || replicas.contains(&node) || replicas.is_empty() {
+                        continue;
+                    }
+                    replicas.push(node);
+                    if replicas.len() > want.len() {
+                        if let Some(pos) = replicas.iter().position(|n| !want.contains(n)) {
+                            replicas.swap_remove(pos);
+                        }
+                    }
+                    moved += 1;
+                }
+            }
+        }
+        self.blocks_rebalanced.fetch_add(moved, Ordering::Relaxed);
+        log.insert((epoch, node), moved);
+        moved
+    }
+
+    /// Processes a *graceful decommission* of `node` at job epoch
+    /// `epoch`: each block replica it holds is copied onto an eligible
+    /// node **before** the drained node is stripped from the replica
+    /// list — the copy-then-remove order is what makes decommission
+    /// lose nothing even at `dfs_replication = 1` (contrast
+    /// [`Dfs::node_lost`], where the data is already gone). If no
+    /// eligible target exists the replica stays on the drained node
+    /// rather than being destroyed. Returns the number of blocks
+    /// rebalanced; journaled per `(epoch, node)`.
+    pub fn node_decommissioned(&self, epoch: u64, node: usize) -> u64 {
+        let mut log = self.membership_log.lock();
+        if let Some(&moved) = log.get(&(epoch, node)) {
+            return moved;
+        }
+        let mut moved = 0u64;
+        if let Some(topo) = *self.topology.read() {
+            let down = self.down.read();
+            let eligible: Vec<usize> = (0..topo.nodes)
+                .filter(|n| *n != node && !down.contains(n))
+                .collect();
+            drop(down);
+            let mut reps = self.replicas.write();
+            for (path, blocks) in reps.iter_mut() {
+                for (block, replicas) in blocks.iter_mut().enumerate() {
+                    if !replicas.contains(&node) {
+                        continue;
+                    }
+                    // Copy off first (same rotation as initial
+                    // placement), then drop the drained copy.
+                    if !eligible.is_empty() {
+                        let start = block_hash(path, block) as usize % eligible.len();
+                        if let Some(target) = (0..eligible.len())
+                            .map(|j| eligible[(start + j) % eligible.len()])
+                            .find(|t| !replicas.contains(t))
+                        {
+                            replicas.push(target);
+                            moved += 1;
+                        }
+                    }
+                    if replicas.len() > 1 {
+                        if let Some(pos) = replicas.iter().position(|&n| n == node) {
+                            replicas.swap_remove(pos);
+                        }
+                    }
+                }
+            }
+        }
+        self.blocks_rebalanced.fetch_add(moved, Ordering::Relaxed);
+        log.insert((epoch, node), moved);
+        moved
+    }
+
+    /// Simulates checksum verification of a job's input under a fault
+    /// plan with [`crate::faults::FaultPlan::with_dfs_corruption`]
+    /// enabled: for each block, replicas are read in snapshot order and
+    /// every leading corrupt copy (a deterministic per-`(path, block,
+    /// node)` draw) is detected and skipped until a good replica
+    /// serves the read. Returns the number of corrupt replicas
+    /// detected; errors with [`Error::ReplicasLost`] when **every**
+    /// replica of some block fails verification. Because corruption is
+    /// simulated as a placement predicate — the stored bytes are never
+    /// touched — the surviving replica is bit-identical to a fault-free
+    /// read.
+    pub fn scan_replicas_for_corruption(
+        &self,
+        path: &str,
+        replicas: &[Vec<usize>],
+        plan: &FaultPlan,
+    ) -> Result<u64> {
+        if plan.dfs_corruption_prob <= 0.0 || replicas.is_empty() {
+            return Ok(0);
+        }
+        let mut detected = 0u64;
+        for (block, nodes) in replicas.iter().enumerate() {
+            // A block with no placement is handled by the availability
+            // check, not the checksum path.
+            let mut served = nodes.is_empty();
+            for &node in nodes {
+                if plan.dfs_replica_corrupt(path, block, node) {
+                    detected += 1;
+                } else {
+                    served = true;
+                    break;
+                }
+            }
+            if !served {
+                return Err(Error::ReplicasLost {
+                    path: path.to_string(),
+                    block,
+                });
+            }
+        }
+        self.corrupt_blocks_detected
+            .fetch_add(detected, Ordering::Relaxed);
+        Ok(detected)
+    }
+
     /// The replica node lists of a file's blocks (empty when no
     /// topology is attached or the file predates it).
     pub fn block_replicas(&self, path: &str) -> Vec<Vec<usize>> {
@@ -461,17 +667,26 @@ impl Dfs {
 
     /// The input splits of a file, one per block. Charges nothing; reads
     /// are counted when a split is *consumed* via
-    /// [`Dfs::charge_split_read`]. Errors with [`Error::ReplicasLost`]
-    /// when node crashes destroyed the last replica of any block.
+    /// [`Dfs::charge_split_read`]. Every block is verified against the
+    /// integrity frame computed when it was published
+    /// ([`Error::Corrupt`] on mismatch); errors with
+    /// [`Error::ReplicasLost`] when node crashes destroyed the last
+    /// replica of any block.
     pub fn splits(&self, path: &str) -> Result<Vec<InputSplit>> {
         let file = self.file(path)?;
         self.check_available(path)?;
         let mut offset = 0u64;
-        Ok(file
-            .blocks
+        file.blocks
             .iter()
+            .zip(&file.frames)
             .enumerate()
-            .map(|(index, block)| {
+            .map(|(index, (block, frame))| {
+                let expect = frame_header(block.len(), block_crc(block));
+                if *frame != expect {
+                    return Err(Error::Corrupt(format!(
+                        "{path} block {index}: frame {frame:?} does not match data ({expect})"
+                    )));
+                }
                 let split = InputSplit {
                     path: path.to_string(),
                     index,
@@ -479,9 +694,19 @@ impl Dfs {
                     data: block.clone(),
                 };
                 offset += block.len() as u64;
-                split
+                Ok(split)
             })
-            .collect())
+            .collect()
+    }
+
+    /// The stored integrity frame of one block, e.g.
+    /// `"GMRBLK1 len=4096 crc=9e3779b97f4a7c15"`.
+    pub fn block_frame_header(&self, path: &str, block: usize) -> Result<String> {
+        let file = self.file(path)?;
+        file.frames
+            .get(block)
+            .cloned()
+            .ok_or_else(|| Error::Corrupt(format!("{path} has no block {block}")))
     }
 
     /// Marks the start of one full scan of the dataset (one MapReduce
@@ -517,6 +742,8 @@ impl Dfs {
             dataset_reads: self.dataset_reads.load(Ordering::Relaxed),
             blocks_rereplicated: self.blocks_rereplicated.load(Ordering::Relaxed),
             blocks_lost: self.blocks_lost.load(Ordering::Relaxed),
+            blocks_rebalanced: self.blocks_rebalanced.load(Ordering::Relaxed),
+            corrupt_blocks_detected: self.corrupt_blocks_detected.load(Ordering::Relaxed),
         }
     }
 }
@@ -571,11 +798,11 @@ impl TextWriter {
         self.dfs
             .bytes_written
             .fetch_add(self.len, Ordering::Relaxed);
-        let file = Arc::new(DfsFile {
-            blocks: std::mem::take(&mut self.blocks),
-            len: self.len,
-            lines: self.lines,
-        });
+        let file = Arc::new(DfsFile::framed(
+            std::mem::take(&mut self.blocks),
+            self.len,
+            self.lines,
+        ));
         let nblocks = file.blocks.len();
         self.dfs.files.write().insert(self.path.clone(), file);
         self.dfs.assign_replicas(&self.path, nblocks);
@@ -814,6 +1041,114 @@ mod tests {
         for replicas in fs.block_replicas("f") {
             assert!(!replicas.contains(&0), "down node must not hold replicas");
         }
+    }
+
+    #[test]
+    fn blocks_carry_integrity_frames() {
+        let fs = dfs(16);
+        fs.put_lines("f", (0..40).map(|i| format!("{i}"))).unwrap();
+        let splits = fs.splits("f").unwrap();
+        assert!(!splits.is_empty());
+        for s in &splits {
+            let frame = fs.block_frame_header("f", s.index).unwrap();
+            let expect = format!(
+                "{BLOCK_MAGIC} len={} crc={:016x}",
+                s.data.len(),
+                block_crc(&s.data)
+            );
+            assert_eq!(frame, expect);
+        }
+        assert!(fs.block_frame_header("f", splits.len()).is_err());
+        // The frame discipline matches the checkpoint journal's: same
+        // FNV-1a, same `len=… crc=…` shape, different magic.
+        assert!(fs
+            .block_frame_header("f", 0)
+            .unwrap()
+            .starts_with("GMRBLK1 "));
+    }
+
+    #[test]
+    fn corruption_scan_falls_back_and_detects() {
+        let fs = dfs(16);
+        fs.put_lines("f", (0..60).map(|i| format!("{i}"))).unwrap();
+        fs.attach_topology(4, 3);
+        let replicas = fs.block_replicas("f");
+        let plan = FaultPlan::none().with_seed(5).with_dfs_corruption(0.4);
+        let detected = fs
+            .scan_replicas_for_corruption("f", &replicas, &plan)
+            .unwrap();
+        assert!(detected > 0, "p=0.4 over many replicas must hit something");
+        assert_eq!(fs.stats().corrupt_blocks_detected, detected);
+        // The scan is a pure function of (path, snapshot, plan): a
+        // replayed epoch detects the identical count.
+        let again = fs
+            .scan_replicas_for_corruption("f", &replicas, &plan)
+            .unwrap();
+        assert_eq!(again, detected);
+        // An inert plan detects nothing and charges nothing.
+        assert_eq!(
+            fs.scan_replicas_for_corruption("f", &replicas, &FaultPlan::none())
+                .unwrap(),
+            0
+        );
+        // Certain corruption kills every replica of block 0.
+        let all_bad = FaultPlan::none().with_dfs_corruption(1.0);
+        let err = fs
+            .scan_replicas_for_corruption("f", &replicas, &all_bad)
+            .unwrap_err();
+        assert!(matches!(err, Error::ReplicasLost { ref path, block: 0 } if path == "f"));
+    }
+
+    #[test]
+    fn node_join_rebalances_blocks_onto_newcomer() {
+        let fs = dfs(16);
+        fs.put_lines("f", (0..200).map(|i| format!("{i}"))).unwrap();
+        // Universe of 5 nodes; node 4 hasn't joined yet, so it starts
+        // down and holds nothing.
+        fs.attach_topology(5, 2);
+        fs.set_down_nodes(&[4]);
+        fs.remove("f");
+        fs.put_lines("f", (0..200).map(|i| format!("{i}"))).unwrap();
+        assert!(fs.block_replicas("f").iter().all(|r| !r.contains(&4)));
+        // The join lifts the down marker, then rebalancing moves every
+        // block whose ideal placement wants node 4.
+        fs.set_down_nodes(&[]);
+        let moved = fs.node_joined(3, 4);
+        assert!(moved > 0, "hash placement over 5 nodes must want node 4");
+        let placement = fs.block_replicas("f");
+        assert!(placement.iter().any(|r| r.contains(&4)));
+        // Replication factor is preserved: the surplus copy was dropped.
+        assert!(placement.iter().all(|r| r.len() == 2));
+        assert_eq!(fs.stats().blocks_rebalanced, moved);
+        // Replaying the join (a resumed driver) is a no-op.
+        assert_eq!(fs.node_joined(3, 4), moved);
+        assert_eq!(fs.stats().blocks_rebalanced, moved);
+        // Reads still verify and serve the same data.
+        assert_eq!(fs.line_count("f").unwrap(), 200);
+        assert!(fs.read_lines("f").is_ok());
+    }
+
+    #[test]
+    fn graceful_decommission_loses_nothing_at_replication_one() {
+        let fs = dfs(16);
+        fs.put_lines("f", (0..120).map(|i| format!("{i}"))).unwrap();
+        fs.attach_topology(4, 1);
+        let before = fs.read_lines("f").unwrap();
+        let victim = fs.block_replicas("f")[0][0];
+        fs.set_down_nodes(&[victim]);
+        let moved = fs.node_decommissioned(2, victim);
+        assert!(moved > 0, "the drained node held at least block 0");
+        let placement = fs.block_replicas("f");
+        assert!(placement.iter().all(|r| !r.contains(&victim)));
+        assert!(placement.iter().all(|r| r.len() == 1));
+        // Copy-then-remove: unlike a crash at replication 1, nothing is
+        // lost and every read still succeeds bit-identically.
+        assert_eq!(fs.read_lines("f").unwrap(), before);
+        assert_eq!(fs.stats().blocks_lost, 0);
+        assert_eq!(fs.stats().blocks_rebalanced, moved);
+        // Journaled: replaying the decommission epoch re-moves nothing.
+        assert_eq!(fs.node_decommissioned(2, victim), moved);
+        assert_eq!(fs.stats().blocks_rebalanced, moved);
     }
 
     #[test]

@@ -27,6 +27,28 @@
 
 use crate::error::{Error, Result};
 
+/// One independent uniform draw in `[0, 1)` per
+/// `(seed, job, tag, index, attempt, salt)` coordinate: FNV-1a over the
+/// coordinates, then a SplitMix64 finalizer so near-identical keys
+/// decorrelate. Shared by [`FaultPlan`] and [`MembershipPlan`] — one
+/// hash discipline, disjoint salts.
+fn hash_u01(seed: u64, job: &str, tag: u64, index: usize, attempt: u32, salt: u64) -> f64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+    for b in job.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for word in [tag, index as u64, attempt as u64, salt] {
+        for b in word.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
 /// Which phase a task belongs to, for fault-plan keying and task names.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TaskKind {
@@ -117,6 +139,13 @@ pub struct FaultPlan {
     /// it stops receiving attempts and replicas, and the cluster's slot
     /// capacity shrinks (Hadoop's per-TaskTracker failure blacklist).
     pub node_blacklist_after: u32,
+    /// Probability any given DFS block replica is silently corrupt on
+    /// disk (drawn independently per `(path, block, node)` coordinate,
+    /// salt 12). Reads verify the block's FNV checksum, fall back to
+    /// the next replica and charge `dfs_corrupt_blocks_detected`; only
+    /// when every replica is bad does the read fail with
+    /// [`Error::ReplicasLost`].
+    pub dfs_corruption_prob: f64,
 }
 
 impl Default for FaultPlan {
@@ -135,6 +164,7 @@ impl Default for FaultPlan {
             node_crash_prob: 0.0,
             scheduled_node_crashes: [None; 4],
             node_blacklist_after: 3,
+            dfs_corruption_prob: 0.0,
         }
     }
 }
@@ -236,6 +266,14 @@ impl FaultPlan {
         self
     }
 
+    /// Marks each DFS block replica silently corrupt with the given
+    /// probability (per `(path, block, node)`, stable across epochs —
+    /// bit rot does not heal).
+    pub fn with_dfs_corruption(mut self, prob: f64) -> Self {
+        self.dfs_corruption_prob = prob;
+        self
+    }
+
     /// Clears all driver-crash injection, keeping task faults intact.
     /// A resumed run uses this: the crash was an incident in the
     /// previous driver process, not part of the cluster's weather.
@@ -253,6 +291,7 @@ impl FaultPlan {
             ("straggler_prob", self.straggler_prob),
             ("driver_crash_prob", self.driver_crash_prob),
             ("node_crash_prob", self.node_crash_prob),
+            ("dfs_corruption_prob", self.dfs_corruption_prob),
         ] {
             if !(0.0..1.0).contains(&p) {
                 return Err(Error::Config(format!(
@@ -312,27 +351,13 @@ impl FaultPlan {
             || self.driver_crash_prob > 0.0
             || self.node_crash_prob > 0.0
             || self.scheduled_node_crashes.iter().any(Option::is_some)
+            || self.dfs_corruption_prob > 0.0
     }
 
     /// One independent uniform draw in `[0, 1)` per
     /// `(job, kind, index, attempt, salt)` coordinate.
     fn u01(&self, job: &str, kind: TaskKind, index: usize, attempt: u32, salt: u64) -> f64 {
-        // FNV-1a over the coordinates, then a SplitMix64 finalizer so
-        // near-identical keys decorrelate.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed;
-        for b in job.bytes() {
-            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
-        }
-        for word in [kind.tag(), index as u64, attempt as u64, salt] {
-            for b in word.to_le_bytes() {
-                h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
-            }
-        }
-        let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        (z >> 11) as f64 / (1u64 << 53) as f64
+        hash_u01(self.seed, job, kind.tag(), index, attempt, salt)
     }
 
     /// The plan's verdict for one attempt. Transient faults are checked
@@ -516,34 +541,347 @@ impl FaultPlan {
         let node = pool[((draw * pool.len() as f64) as usize).min(pool.len() - 1)];
         (node, preferred.contains(&node))
     }
+
+    /// Whether the replica of block `block` of `path` stored on `node`
+    /// is silently corrupt (salt 12). Stable across epochs: a rotted
+    /// replica stays rotted until re-replication writes a fresh copy
+    /// elsewhere.
+    pub fn dfs_replica_corrupt(&self, path: &str, block: usize, node: usize) -> bool {
+        self.dfs_corruption_prob > 0.0
+            && self.u01(path, TaskKind::Driver, block, node as u32, 12) < self.dfs_corruption_prob
+    }
+}
+
+/// Deterministic cluster-membership events: scheduled node joins,
+/// graceful decommissions and spot-style revocation sweeps.
+///
+/// Like [`FaultPlan`], every decision is a pure function of the plan
+/// and the `(epoch, node)` coordinate — same pure-hash salt discipline
+/// (revocation draws use salt 11), so a faulty run replays bit for bit
+/// and a resumed run reconstructs the identical membership timeline
+/// from its job count alone.
+///
+/// Epochs are the 1-based count of jobs the driver has started — the
+/// same clock [`FaultPlan::node_crashes_at`] uses. The three event
+/// kinds differ in how much warning the framework gets:
+///
+/// * **join** (`with_node_join`): the node appears at its epoch, adds
+///   slots, and becomes a target for new replicas and rebalanced
+///   blocks.
+/// * **graceful decommission** (`with_node_decommission`): the node is
+///   drained at its epoch — it takes no further attempts, its DFS
+///   blocks are copied off (`dfs_blocks_rebalanced`) *before* the node
+///   is removed, so nothing is lost even at `dfs_replication = 1`.
+/// * **revocation sweep** (`with_revocation_sweeps`): at every sweep
+///   epoch each live node is revoked with the configured probability —
+///   a hard kill exactly like a crash (in-flight attempts die, finished
+///   map outputs are stranded, DFS replicas are lost), except the
+///   revocation is announced one epoch ahead, so the DFS stops
+///   targeting the doomed node for new replicas and the scheduler's
+///   capacity timeline stops placing work there. Revoked capacity is
+///   replaced at the next epoch (spot fleets backfill), and revocations
+///   never count toward the crash blacklist — the node did nothing
+///   wrong.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MembershipPlan {
+    /// Seed the revocation draws derive from.
+    pub seed: u64,
+    /// Scheduled joins as `(epoch, node)`; node ids must extend the
+    /// base cluster (`node >= nodes`). Fixed-size so the plan stays
+    /// `Copy`; up to four scheduled joins.
+    pub scheduled_joins: [Option<(u64, u32)>; 4],
+    /// Scheduled graceful decommissions as `(epoch, node)`.
+    pub scheduled_decommissions: [Option<(u64, u32)>; 4],
+    /// Sweep period in epochs (a sweep fires at every positive multiple
+    /// of the period); `0` disables sweeps.
+    pub revocation_period: u64,
+    /// Probability each live node is revoked at a sweep epoch.
+    pub revocation_fraction: f64,
+}
+
+impl Default for MembershipPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            scheduled_joins: [None; 4],
+            scheduled_decommissions: [None; 4],
+            revocation_period: 0,
+            revocation_fraction: 0.0,
+        }
+    }
+}
+
+impl MembershipPlan {
+    /// The inert plan: fixed membership forever.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Sets the revocation-draw seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Schedules `node` to join the cluster at the start of the
+    /// `epoch`-th job (1-based). The node id must extend the base
+    /// cluster (`node >= ClusterConfig::nodes`).
+    ///
+    /// # Panics
+    /// Panics when four joins are already scheduled.
+    pub fn with_node_join(mut self, epoch: u64, node: u32) -> Self {
+        let slot = self
+            .scheduled_joins
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("at most four scheduled joins");
+        *slot = Some((epoch, node));
+        self
+    }
+
+    /// Schedules `node` for graceful decommission at the start of the
+    /// `epoch`-th job (1-based): drained, blocks copied off, removed.
+    ///
+    /// # Panics
+    /// Panics when four decommissions are already scheduled.
+    pub fn with_node_decommission(mut self, epoch: u64, node: u32) -> Self {
+        let slot = self
+            .scheduled_decommissions
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("at most four scheduled decommissions");
+        *slot = Some((epoch, node));
+        self
+    }
+
+    /// Enables spot-style revocation sweeps: at every epoch that is a
+    /// positive multiple of `period`, each live node is revoked with
+    /// probability `fraction`.
+    pub fn with_revocation_sweeps(mut self, period: u64, fraction: f64) -> Self {
+        self.revocation_period = period;
+        self.revocation_fraction = fraction;
+        self
+    }
+
+    /// Whether the plan can change anything relative to [`none`].
+    ///
+    /// [`none`]: MembershipPlan::none
+    pub fn is_active(&self) -> bool {
+        self.scheduled_joins.iter().any(Option::is_some)
+            || self.scheduled_decommissions.iter().any(Option::is_some)
+            || (self.revocation_period > 0 && self.revocation_fraction > 0.0)
+    }
+
+    /// Validates the plan against a base cluster of `nodes` nodes.
+    pub fn validate(&self, nodes: usize) -> Result<()> {
+        if !(0.0..1.0).contains(&self.revocation_fraction) {
+            return Err(Error::Config(format!(
+                "revocation_fraction must be in [0, 1), got {}",
+                self.revocation_fraction
+            )));
+        }
+        if self.revocation_fraction > 0.0 && self.revocation_period == 0 {
+            return Err(Error::Config(
+                "revocation_fraction needs a positive revocation_period".into(),
+            ));
+        }
+        let joins: Vec<(u64, u32)> = self.scheduled_joins.iter().flatten().copied().collect();
+        let decoms: Vec<(u64, u32)> = self
+            .scheduled_decommissions
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        if joins.iter().chain(&decoms).any(|&(e, _)| e == 0) {
+            return Err(Error::Config(
+                "membership epochs are 1-based and must be positive".into(),
+            ));
+        }
+        for (i, &(_, n)) in joins.iter().enumerate() {
+            if (n as usize) < nodes {
+                return Err(Error::Config(format!(
+                    "join node {n} is already part of the {nodes}-node base cluster"
+                )));
+            }
+            if joins[..i].iter().any(|&(_, m)| m == n) {
+                return Err(Error::Config(format!("node {n} joins twice")));
+            }
+        }
+        for (i, &(e, n)) in decoms.iter().enumerate() {
+            let exists_by = if (n as usize) < nodes {
+                Some(0)
+            } else {
+                joins.iter().find(|&&(_, m)| m == n).map(|&(je, _)| je)
+            };
+            match exists_by {
+                Some(join_epoch) if join_epoch < e => {}
+                Some(_) => {
+                    return Err(Error::Config(format!(
+                        "node {n} is decommissioned at epoch {e} but joins no earlier"
+                    )));
+                }
+                None => {
+                    return Err(Error::Config(format!(
+                        "decommission targets unknown node {n}"
+                    )));
+                }
+            }
+            if decoms[..i].iter().any(|&(_, m)| m == n) {
+                return Err(Error::Config(format!("node {n} is decommissioned twice")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Size of the node universe: base nodes plus everything that ever
+    /// joins. Node ids in `[nodes, peak)` exist only from their join
+    /// epoch on.
+    pub fn peak_nodes(&self, nodes: usize) -> usize {
+        self.scheduled_joins
+            .iter()
+            .flatten()
+            .map(|&(_, n)| n as usize + 1)
+            .fold(nodes, usize::max)
+    }
+
+    /// The epoch `node` joins at, if it is a scheduled joiner.
+    pub fn join_epoch(&self, node: usize) -> Option<u64> {
+        self.scheduled_joins
+            .iter()
+            .flatten()
+            .find(|&&(_, n)| n as usize == node)
+            .map(|&(e, _)| e)
+    }
+
+    /// The epoch `node` is gracefully decommissioned at, if scheduled.
+    pub fn decommission_epoch(&self, node: usize) -> Option<u64> {
+        self.scheduled_decommissions
+            .iter()
+            .flatten()
+            .find(|&&(_, n)| n as usize == node)
+            .map(|&(e, _)| e)
+    }
+
+    /// Whether `node` is part of the cluster during epoch `epoch`:
+    /// either a base node or joined by then, and not yet decommissioned.
+    pub fn present_at(&self, node: usize, epoch: u64, nodes: usize) -> bool {
+        let joined = node < nodes || self.join_epoch(node).is_some_and(|e| e <= epoch);
+        joined && !self.decommission_epoch(node).is_some_and(|e| e <= epoch)
+    }
+
+    /// Nodes that join at exactly `epoch`, ascending.
+    pub fn joins_at(&self, epoch: u64) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .scheduled_joins
+            .iter()
+            .flatten()
+            .filter(|&&(e, _)| e == epoch)
+            .map(|&(_, n)| n as usize)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Nodes gracefully decommissioned at exactly `epoch`, ascending.
+    pub fn decommissions_at(&self, epoch: u64) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .scheduled_decommissions
+            .iter()
+            .flatten()
+            .filter(|&&(e, _)| e == epoch)
+            .map(|&(_, n)| n as usize)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether a revocation sweep fires at `epoch`.
+    pub fn sweep_at(&self, epoch: u64) -> bool {
+        self.revocation_period > 0
+            && self.revocation_fraction > 0.0
+            && epoch > 0
+            && epoch % self.revocation_period == 0
+    }
+
+    /// Whether `node` is revoked during epoch `epoch` (salt 11). Pure
+    /// in the plan and the coordinate; presence and liveness are the
+    /// caller's concern ([`NodeStatus::compute_full`] only consults
+    /// this for live nodes).
+    pub fn revoked_at(&self, epoch: u64, node: usize) -> bool {
+        self.sweep_at(epoch)
+            && hash_u01(
+                self.seed,
+                "revocation",
+                TaskKind::Driver.tag(),
+                node,
+                epoch as u32,
+                11,
+            ) < self.revocation_fraction
+    }
 }
 
 /// Liveness of the cluster's nodes at one job epoch, derived purely
-/// from the fault plan by replaying every epoch's crash draws against
-/// the blacklist policy. The same plan yields the same node weather at
-/// the same epoch whether the run is fresh, replayed with different
-/// slot counts, or resumed from a checkpoint.
+/// from the fault and membership plans by replaying every epoch's crash
+/// draws and membership events against the blacklist policy. The same
+/// plans yield the same node weather at the same epoch whether the run
+/// is fresh, replayed with different slot counts, or resumed from a
+/// checkpoint — this is the epoch-indexed live-node view the runtime,
+/// the DFS and the scheduler all share.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NodeStatus {
-    /// Nodes alive when the job starts, ascending (everything not
-    /// blacklisted; a node crashed at an earlier epoch has rebooted).
+    /// Nodes alive when the job starts, ascending (everything present
+    /// and not blacklisted; a node crashed or revoked at an earlier
+    /// epoch has rebooted / been backfilled).
     pub live: Vec<usize>,
-    /// Subset of `live` that crashes during this job, ascending.
+    /// Subset of `live` hard-killed during this job, ascending: crash
+    /// draws plus revocation-sweep victims.
     pub crashed: Vec<usize>,
     /// Nodes permanently removed by the blacklist policy, ascending.
     pub blacklisted: Vec<usize>,
+    /// Nodes gracefully decommissioned at epochs ≤ this one, ascending.
+    /// Drained before removal: never in `live`, blocks copied off.
+    pub decommissioned: Vec<usize>,
+    /// Subset of `crashed` killed by a revocation sweep rather than a
+    /// crash draw, ascending. Announced one epoch ahead: the DFS and
+    /// the scheduler already avoid these as targets.
+    pub revoked: Vec<usize>,
+    /// Nodes that joined at epochs ≤ this one and are still part of the
+    /// cluster, ascending.
+    pub joined: Vec<usize>,
+    /// Nodes of the universe that have not joined yet, ascending.
+    pub absent: Vec<usize>,
 }
 
 impl NodeStatus {
     /// Computes the node weather of epoch `epoch` on a cluster of
-    /// `nodes` nodes under `plan`.
+    /// `nodes` nodes under `plan`, with fixed membership.
     pub fn compute(plan: &FaultPlan, nodes: usize, epoch: u64) -> NodeStatus {
+        Self::compute_full(plan, &MembershipPlan::none(), nodes, epoch)
+    }
+
+    /// Computes the node weather of epoch `epoch` on a base cluster of
+    /// `nodes` nodes under a fault plan and a membership plan. The node
+    /// universe is `membership.peak_nodes(nodes)`; ids beyond the base
+    /// cluster exist only from their join epoch on.
+    pub fn compute_full(
+        plan: &FaultPlan,
+        membership: &MembershipPlan,
+        nodes: usize,
+        epoch: u64,
+    ) -> NodeStatus {
+        let universe = membership.peak_nodes(nodes);
         let budget = plan.node_blacklist_after.max(1);
-        let mut crash_counts = vec![0u32; nodes];
+        let mut crash_counts = vec![0u32; universe];
         for past in 1..epoch {
             for (node, count) in crash_counts.iter_mut().enumerate() {
-                // A blacklisted node is powered off: no further crashes.
-                if *count < budget && plan.node_crashes_at(past, node) {
+                // A blacklisted node is powered off and an absent or
+                // decommissioned node is not racked: no crashes. Past
+                // revocations deliberately do not advance the count —
+                // losing a spot instance is not the node's fault.
+                if membership.present_at(node, past, nodes)
+                    && *count < budget
+                    && plan.node_crashes_at(past, node)
+                {
                     *count += 1;
                 }
             }
@@ -552,14 +890,35 @@ impl NodeStatus {
             live: Vec::new(),
             crashed: Vec::new(),
             blacklisted: Vec::new(),
+            decommissioned: Vec::new(),
+            revoked: Vec::new(),
+            joined: Vec::new(),
+            absent: Vec::new(),
         };
         for (node, &count) in crash_counts.iter().enumerate() {
+            if membership
+                .decommission_epoch(node)
+                .is_some_and(|e| e <= epoch)
+            {
+                status.decommissioned.push(node);
+                continue;
+            }
+            if !membership.present_at(node, epoch, nodes) {
+                status.absent.push(node);
+                continue;
+            }
+            if membership.join_epoch(node).is_some_and(|e| e <= epoch) {
+                status.joined.push(node);
+            }
             if count >= budget {
                 status.blacklisted.push(node);
                 continue;
             }
             status.live.push(node);
-            if plan.node_crashes_at(epoch, node) {
+            if membership.revoked_at(epoch, node) {
+                status.revoked.push(node);
+                status.crashed.push(node);
+            } else if plan.node_crashes_at(epoch, node) {
                 status.crashed.push(node);
             }
         }
@@ -810,6 +1169,176 @@ mod tests {
             .with_node_blacklist_after(0)
             .validate()
             .is_err());
+        assert!(FaultPlan::none()
+            .with_dfs_corruption(1.0)
+            .validate()
+            .is_err());
         assert!(FaultPlan::hadoop_defaults(0).validate().is_ok());
+    }
+
+    #[test]
+    fn corruption_draws_are_deterministic_and_epoch_stable() {
+        let plan = FaultPlan::none().with_seed(21).with_dfs_corruption(0.3);
+        assert!(plan.is_active());
+        let draws: Vec<bool> = (0..50)
+            .flat_map(|b| (0..4).map(move |n| (b, n)))
+            .map(|(b, n)| plan.dfs_replica_corrupt("points.txt", b, n))
+            .collect();
+        let again: Vec<bool> = (0..50)
+            .flat_map(|b| (0..4).map(move |n| (b, n)))
+            .map(|(b, n)| plan.dfs_replica_corrupt("points.txt", b, n))
+            .collect();
+        assert_eq!(draws, again);
+        let rotten = draws.iter().filter(|&&c| c).count();
+        assert!((20..100).contains(&rotten), "{rotten}/200 corrupt");
+        // Different paths rot independently.
+        assert!((0..50).any(|b| plan.dfs_replica_corrupt("points.txt", b, 0)
+            != plan.dfs_replica_corrupt("other.txt", b, 0)));
+        assert!(!FaultPlan::none().dfs_replica_corrupt("points.txt", 0, 0));
+    }
+
+    #[test]
+    fn membership_join_appears_at_its_epoch() {
+        let m = MembershipPlan::none().with_node_join(3, 4);
+        assert!(m.is_active());
+        assert!(m.validate(4).is_ok());
+        assert_eq!(m.peak_nodes(4), 5);
+        let plan = FaultPlan::none();
+        let e2 = NodeStatus::compute_full(&plan, &m, 4, 2);
+        assert_eq!(e2.live, vec![0, 1, 2, 3]);
+        assert_eq!(e2.absent, vec![4]);
+        assert!(e2.joined.is_empty());
+        let e3 = NodeStatus::compute_full(&plan, &m, 4, 3);
+        assert_eq!(e3.live, vec![0, 1, 2, 3, 4]);
+        assert_eq!(e3.joined, vec![4]);
+        assert!(e3.absent.is_empty());
+        // Joins are permanent.
+        assert_eq!(NodeStatus::compute_full(&plan, &m, 4, 9).live.len(), 5);
+    }
+
+    #[test]
+    fn membership_decommission_drains_at_its_epoch() {
+        let m = MembershipPlan::none().with_node_decommission(2, 1);
+        assert!(m.validate(4).is_ok());
+        let plan = FaultPlan::none();
+        let e1 = NodeStatus::compute_full(&plan, &m, 4, 1);
+        assert_eq!(e1.live, vec![0, 1, 2, 3]);
+        assert!(e1.decommissioned.is_empty());
+        let e2 = NodeStatus::compute_full(&plan, &m, 4, 2);
+        assert_eq!(e2.live, vec![0, 2, 3], "drained node takes no work");
+        assert_eq!(e2.decommissioned, vec![1]);
+        assert!(e2.crashed.is_empty(), "a drain is not a crash");
+        // A decommissioned node cannot crash at later epochs either.
+        let crashy = FaultPlan::none().with_node_crash(3, 1);
+        let e3 = NodeStatus::compute_full(&crashy, &m, 4, 3);
+        assert!(e3.crashed.is_empty());
+        assert_eq!(e3.decommissioned, vec![1]);
+    }
+
+    #[test]
+    fn revocation_sweeps_fire_on_period_and_are_deterministic() {
+        let m = MembershipPlan::none()
+            .with_seed(13)
+            .with_revocation_sweeps(3, 0.5);
+        assert!(m.validate(8).is_ok());
+        assert!(m.sweep_at(3) && m.sweep_at(6) && !m.sweep_at(4));
+        let plan = FaultPlan::none();
+        let s3 = NodeStatus::compute_full(&plan, &m, 8, 3);
+        let again = NodeStatus::compute_full(&plan, &m, 8, 3);
+        assert_eq!(s3, again);
+        assert_eq!(s3.revoked, s3.crashed, "sweep kills are the only kills");
+        // Across several sweeps, some node is revoked and some is spared.
+        let any_revoked =
+            (1..20).any(|e| !NodeStatus::compute_full(&plan, &m, 8, e).revoked.is_empty());
+        assert!(any_revoked, "fraction 0.5 over 6 sweeps must hit something");
+        let off_sweep = NodeStatus::compute_full(&plan, &m, 8, 4);
+        assert!(off_sweep.revoked.is_empty());
+        assert_eq!(off_sweep.live.len(), 8, "revoked capacity is backfilled");
+    }
+
+    #[test]
+    fn revocations_do_not_consume_the_blacklist_budget() {
+        // Sweep every epoch at fraction just below 1: node 0 is revoked
+        // at every epoch, yet never blacklisted.
+        let m = MembershipPlan::none()
+            .with_seed(1)
+            .with_revocation_sweeps(1, 0.999);
+        let plan = FaultPlan::none().with_node_blacklist_after(1);
+        for epoch in 1..8 {
+            let s = NodeStatus::compute_full(&plan, &m, 4, epoch);
+            assert!(
+                s.blacklisted.is_empty(),
+                "epoch {epoch}: {:?}",
+                s.blacklisted
+            );
+            assert_eq!(s.live.len(), 4);
+        }
+    }
+
+    #[test]
+    fn membership_validation_rejects_bad_plans() {
+        // Join epoch 0.
+        assert!(MembershipPlan::none()
+            .with_node_join(0, 4)
+            .validate(4)
+            .is_err());
+        // Join of a base node.
+        assert!(MembershipPlan::none()
+            .with_node_join(2, 1)
+            .validate(4)
+            .is_err());
+        // Duplicate join.
+        assert!(MembershipPlan::none()
+            .with_node_join(2, 4)
+            .with_node_join(3, 4)
+            .validate(4)
+            .is_err());
+        // Decommission of an unknown node.
+        assert!(MembershipPlan::none()
+            .with_node_decommission(2, 9)
+            .validate(4)
+            .is_err());
+        // Decommission before (or at) the join.
+        assert!(MembershipPlan::none()
+            .with_node_join(3, 4)
+            .with_node_decommission(3, 4)
+            .validate(4)
+            .is_err());
+        // Join then decommission later is fine.
+        assert!(MembershipPlan::none()
+            .with_node_join(2, 4)
+            .with_node_decommission(5, 4)
+            .validate(4)
+            .is_ok());
+        // Duplicate decommission.
+        assert!(MembershipPlan::none()
+            .with_node_decommission(2, 1)
+            .with_node_decommission(4, 1)
+            .validate(4)
+            .is_err());
+        // Fraction out of range / missing period.
+        assert!(MembershipPlan::none()
+            .with_revocation_sweeps(2, 1.0)
+            .validate(4)
+            .is_err());
+        assert!(MembershipPlan::none()
+            .with_revocation_sweeps(0, 0.5)
+            .validate(4)
+            .is_err());
+        assert!(MembershipPlan::none().validate(4).is_ok());
+    }
+
+    #[test]
+    fn compute_matches_compute_full_with_inert_membership() {
+        let plan = FaultPlan::none()
+            .with_seed(5)
+            .with_node_crashes(0.2)
+            .with_node_blacklist_after(2);
+        for epoch in 1..30 {
+            assert_eq!(
+                NodeStatus::compute(&plan, 4, epoch),
+                NodeStatus::compute_full(&plan, &MembershipPlan::none(), 4, epoch)
+            );
+        }
     }
 }

@@ -119,14 +119,15 @@ pub mod prelude {
     pub use crate::counters::{Counter, Counters};
     pub use crate::dfs::{BlockLossReport, Dfs, InputSplit};
     pub use crate::error::{Error, Result};
-    pub use crate::faults::{FaultDecision, FaultPlan, NodeStatus, TaskKind};
+    pub use crate::faults::{FaultDecision, FaultPlan, MembershipPlan, NodeStatus, TaskKind};
     pub use crate::job::{
         Job, JobConfig, MapOutput, Mapper, PointMapper, Reducer, TaskContext, Values,
     };
     pub use crate::memory::{HeapEstimator, HeapLedger, BYTES_PER_PROJECTION, MAX_HEAP_USAGE};
     pub use crate::runtime::{JobResult, JobRunner};
     pub use crate::scheduler::{
-        JobDemand, JobTracker, QueueConfig, SchedulingPolicy, TaskDemand, TenantDemand, TrackerRun,
+        CapacityTimeline, JobDemand, JobTracker, QueueConfig, SchedulingPolicy, TaskDemand,
+        TenantDemand, TrackerRun,
     };
     pub use crate::submit::Submission;
     pub use crate::writable::{ShuffleKey, ShuffleValue, Writable};

@@ -143,10 +143,16 @@ impl NodeView {
 impl JobRunner {
     /// Creates a runner; validates the cluster configuration and
     /// attaches the cluster's node topology to the DFS so blocks get
-    /// replica placements.
+    /// replica placements. The topology spans the full node *universe*
+    /// ([`ClusterConfig::peak_nodes`]); under an elastic membership
+    /// plan the not-yet-joined nodes start in the DFS down-set so
+    /// initial placement avoids them until their join epoch.
     pub fn new(dfs: Arc<Dfs>, cluster: ClusterConfig) -> Result<Self> {
         cluster.validate()?;
-        dfs.attach_topology(cluster.nodes, cluster.dfs_replication);
+        if cluster.membership.is_active() {
+            dfs.set_down_nodes(&cluster.unavailable_at(0));
+        }
+        dfs.attach_topology(cluster.peak_nodes(), cluster.dfs_replication);
         Ok(Self {
             dfs,
             cluster,
@@ -168,26 +174,40 @@ impl JobRunner {
     /// already run. The engine calls this with `0` at the start of a
     /// fresh run and with the restored job count on resume, so the
     /// epoch that keys node-crash draws matches the uninterrupted run's
-    /// at every job.
+    /// at every job. Under an elastic membership plan it also
+    /// reconstructs the DFS down-set the uninterrupted run had at this
+    /// point in its membership timeline, so writes issued before the
+    /// next job (checkpoint commits, intermediate files) are placed
+    /// identically — the membership half of driver-crash resume
+    /// bit-identity.
     pub fn sync_job_epochs(&self, completed_jobs: u64) {
         self.epochs.store(completed_jobs, Ordering::Relaxed);
+        if self.cluster.membership.is_active() {
+            self.dfs
+                .set_down_nodes(&self.cluster.unavailable_at(completed_jobs));
+        }
     }
 
-    /// Opens the next job epoch: advances the epoch counter, snapshots
-    /// the input's replica map (the schedule's locality preferences —
-    /// taken *before* this epoch's crashes are processed, because a
-    /// node that crashes mid-job was still a preferred target when its
-    /// attempts were placed, and journaled so a resumed driver
-    /// replaying the epoch places identically), computes the node
-    /// weather, tells the DFS which nodes are gone, processes this
-    /// epoch's crashes (replica loss + re-replication) and charges the
-    /// node-level counters. Degrades to [`Error::Degenerate`] when no
-    /// node is left to run tasks.
+    /// Opens the next job epoch: advances the epoch counter, computes
+    /// the node weather under the fault *and* membership plans, tells
+    /// the DFS which nodes may not hold data this epoch (blacklisted,
+    /// decommissioned, not yet joined, and announced revocation
+    /// victims), processes membership events (joins and graceful
+    /// decommissions rebalance replicas toward the new topology
+    /// *before* the schedule's locality snapshot is taken), snapshots
+    /// the input's replica map (journaled so a resumed driver replaying
+    /// the epoch places identically; taken *before* this epoch's
+    /// crashes are processed, because a node that crashes mid-job was
+    /// still a preferred target when its attempts were placed),
+    /// processes this epoch's crashes and revocations (replica loss +
+    /// re-replication), verifies the input's replica checksums under
+    /// the corruption plan, and charges the node-level counters.
+    /// Degrades to [`Error::Degenerate`] when no node is left to run
+    /// tasks.
     fn begin_job(&self, input: &str, counters: &Counters) -> Result<(NodeView, Vec<Vec<usize>>)> {
         let epoch = self.epochs.fetch_add(1, Ordering::Relaxed) + 1;
-        let replicas = self.dfs.block_replicas_at(epoch, input);
         let status = self.cluster.node_status(epoch);
-        self.dfs.set_down_nodes(&status.blacklisted);
+        self.dfs.set_down_nodes(&self.cluster.unavailable_at(epoch));
         counters.max(Counter::NodesBlacklisted, status.blacklisted.len() as u64);
         if status.live.is_empty() {
             return Err(Error::Degenerate(format!(
@@ -195,11 +215,40 @@ impl JobRunner {
                 self.cluster.nodes
             )));
         }
+        // Membership events first: a join pulls data onto the newcomer
+        // and a graceful decommission drains data off the leaver, so
+        // the locality snapshot below already sees the epoch's
+        // topology. Both are journaled per (epoch, node) — a resumed
+        // driver re-moves nothing and the counters replay identically.
+        for node in self.cluster.membership.joins_at(epoch) {
+            counters.inc(Counter::NodeJoins);
+            let moved = self.dfs.node_joined(epoch, node);
+            counters.add(Counter::DfsBlocksRebalanced, moved);
+        }
+        for node in self.cluster.membership.decommissions_at(epoch) {
+            counters.inc(Counter::NodesDecommissioned);
+            let moved = self.dfs.node_decommissioned(epoch, node);
+            counters.add(Counter::DfsBlocksRebalanced, moved);
+        }
+        let replicas = self.dfs.block_replicas_at(epoch, input);
         for &node in &status.crashed {
-            counters.inc(Counter::NodeCrashes);
+            // A spot revocation is a hard kill with different
+            // bookkeeping: announced capacity loss, not node fault —
+            // it neither advances the blacklist budget (NodeStatus
+            // already excludes it from the replay) nor the crash
+            // counter.
+            if status.revoked.contains(&node) {
+                counters.inc(Counter::NodesRevoked);
+            } else {
+                counters.inc(Counter::NodeCrashes);
+            }
             let report = self.dfs.node_lost(epoch, node, &status.crashed);
             counters.add(Counter::DfsBlocksRereplicated, report.rereplicated);
         }
+        let detected =
+            self.dfs
+                .scan_replicas_for_corruption(input, &replicas, &self.cluster.faults)?;
+        counters.add(Counter::DfsCorruptBlocksDetected, detected);
         let survivors = status.survivors();
         if survivors.is_empty() {
             return Err(Error::Degenerate(format!(

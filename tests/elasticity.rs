@@ -1,0 +1,419 @@
+//! Elastic cluster membership, proven end to end.
+//!
+//! Real clusters are not fixed-size: operators add nodes mid-run,
+//! drain nodes for maintenance, and spot markets revoke capacity with
+//! minutes of notice. These tests drive the membership machinery —
+//! [`MembershipPlan`] joins, graceful decommissions and revocation
+//! sweeps — through every algorithm and prove the properties the
+//! elasticity layer promises:
+//!
+//! * a full membership storm (a node joining, another draining, spot
+//!   sweeps revoking fractions of the fleet) leaves every algorithm's
+//!   *answer* bit-identical and only moves the simulated makespan;
+//! * graceful decommission re-replicates a leaving node's blocks
+//!   *before* removal, so even `dfs_replication = 1` loses nothing;
+//! * revocations are announced capacity losses, charged to
+//!   `nodes_revoked` — never to crash counts or the blacklist;
+//! * corrupt DFS block replicas are detected by checksum and reads
+//!   fall back to a clean replica without touching the answer;
+//! * *any* survivable membership plan yields the same final centers
+//!   (property-based, random plans);
+//! * a driver crash *during* a membership storm resumes bit-identical,
+//!   because membership is a pure function of the job epoch.
+
+use std::sync::{Arc, OnceLock};
+
+use gmeans::prelude::*;
+use gmr_datagen::GaussianMixture;
+use gmr_mapreduce::counters::Counter;
+use gmr_mapreduce::prelude::{ClusterConfig, Dfs, FaultPlan, JobRunner, MembershipPlan};
+use gmr_mapreduce::Error;
+use proptest::prelude::*;
+
+const DATA: &str = "points.txt";
+
+fn staged_dfs() -> Arc<Dfs> {
+    let dfs = Arc::new(Dfs::new(16 * 1024));
+    GaussianMixture::paper_r10(1200, 3, 77)
+        .generate_to_dfs(&dfs, DATA)
+        .expect("write dataset");
+    dfs
+}
+
+fn runner_with(config: ClusterConfig) -> JobRunner {
+    JobRunner::new(staged_dfs(), config).expect("valid cluster")
+}
+
+/// The full weather system: node 4 joins at epoch 2, node 1 drains at
+/// epoch 5, and every third epoch a spot sweep revokes each live node
+/// with probability 25%.
+fn membership_storm() -> MembershipPlan {
+    MembershipPlan::none()
+        .with_seed(0x4)
+        .with_node_join(2, 4)
+        .with_node_decommission(5, 1)
+        .with_revocation_sweeps(3, 0.25)
+}
+
+fn stormy_cluster() -> ClusterConfig {
+    ClusterConfig::default()
+        .with_membership(membership_storm())
+        .with_faults(FaultPlan::none().with_seed(0x4).with_max_attempts(8))
+}
+
+/// FNV-1a over the little-endian bytes of a word stream.
+fn fnv(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+fn hash_rows<'a>(rows: impl Iterator<Item = &'a [f64]>) -> u64 {
+    fnv(rows.flat_map(|r| r.iter().map(|v| v.to_bits())))
+}
+
+/// Asserts the run actually lived through the membership storm — a
+/// join, a drain and at least one revocation, with blocks moved and
+/// stranded maps re-executed — without the storm leaking into the
+/// crash accounting.
+fn assert_storm_visible(name: &str, counters: &gmr_mapreduce::counters::Counters) {
+    assert_eq!(
+        counters.get(Counter::NodeJoins),
+        1,
+        "{name}: the scheduled join never happened"
+    );
+    assert_eq!(
+        counters.get(Counter::NodesDecommissioned),
+        1,
+        "{name}: the scheduled decommission never happened"
+    );
+    assert!(
+        counters.get(Counter::NodesRevoked) >= 1,
+        "{name}: the sweeps revoked nobody"
+    );
+    assert!(
+        counters.get(Counter::DfsBlocksRebalanced) > 0,
+        "{name}: membership changes moved no DFS block"
+    );
+    assert!(
+        counters.get(Counter::MapsReexecuted) > 0,
+        "{name}: no revocation stranded a map output"
+    );
+    assert_eq!(
+        counters.get(Counter::NodeCrashes),
+        0,
+        "{name}: a revocation was charged as a crash"
+    );
+    assert_eq!(
+        counters.get(Counter::NodesBlacklisted),
+        0,
+        "{name}: announced revocations must never blacklist a node"
+    );
+}
+
+#[test]
+fn gmeans_answer_survives_an_elastic_storm() {
+    let clean = MRGMeans::new(
+        runner_with(ClusterConfig::default()),
+        GMeansConfig::default(),
+    )
+    .run(DATA)
+    .unwrap();
+    let elastic = MRGMeans::new(runner_with(stormy_cluster()), GMeansConfig::default())
+        .run(DATA)
+        .unwrap();
+
+    assert!(clean.failure.is_none());
+    assert!(elastic.failure.is_none(), "the storm killed the run");
+    assert_eq!(clean.k(), elastic.k(), "elastic membership changed k");
+    for (a, b) in clean.centers.rows().zip(elastic.centers.rows()) {
+        assert_eq!(a, b, "elastic membership perturbed a center");
+    }
+    assert_eq!(clean.counts, elastic.counts);
+    assert_storm_visible("MRGMeans", &elastic.counters);
+    // Logical work is membership-invariant: joins, drains and
+    // revocations reshape *where* tasks run, never what they compute.
+    assert_eq!(
+        clean.counters.get(Counter::DistanceComputations),
+        elastic.counters.get(Counter::DistanceComputations)
+    );
+    assert_eq!(
+        clean.counters.get(Counter::ShuffleBytes),
+        elastic.counters.get(Counter::ShuffleBytes)
+    );
+}
+
+#[test]
+fn kmeans_answer_survives_an_elastic_storm() {
+    let clean = MRKMeans::new(runner_with(ClusterConfig::default()), 3, 6, 5)
+        .run(DATA)
+        .unwrap();
+    let elastic = MRKMeans::new(runner_with(stormy_cluster()), 3, 6, 5)
+        .run(DATA)
+        .unwrap();
+
+    assert_eq!(
+        hash_rows(clean.centers.rows()),
+        hash_rows(elastic.centers.rows())
+    );
+    assert_eq!(clean.counts, elastic.counts);
+    assert_storm_visible("MRKMeans", &elastic.counters);
+}
+
+#[test]
+fn multi_kmeans_answer_survives_an_elastic_storm() {
+    let clean = MultiKMeans::new(runner_with(ClusterConfig::default()), 1, 4, 1, 5, 9)
+        .run(DATA)
+        .unwrap();
+    let elastic = MultiKMeans::new(runner_with(stormy_cluster()), 1, 4, 1, 5, 9)
+        .run(DATA)
+        .unwrap();
+
+    let centers = |r: &gmeans::mr::MultiKMeansResult| {
+        fnv(r
+            .models
+            .iter()
+            .flat_map(|m| m.centers.rows())
+            .flat_map(|row| row.iter().map(|v| v.to_bits())))
+    };
+    assert_eq!(centers(&clean), centers(&elastic));
+    assert_storm_visible("MultiKMeans", &elastic.counters);
+}
+
+#[test]
+fn parallel_init_answer_survives_an_elastic_storm() {
+    let clean = KMeansParallelInit::new(runner_with(ClusterConfig::default()), 3, 13)
+        .run(DATA)
+        .unwrap();
+    let elastic = KMeansParallelInit::new(runner_with(stormy_cluster()), 3, 13)
+        .run(DATA)
+        .unwrap();
+
+    assert_eq!(clean.len(), elastic.len(), "elastic membership changed k");
+    assert_eq!(
+        hash_rows((0..clean.len()).map(|i| clean.coords(i))),
+        hash_rows((0..elastic.len()).map(|i| elastic.coords(i))),
+        "elastic membership perturbed an initial center"
+    );
+}
+
+#[test]
+fn graceful_decommission_is_lossless_at_replication_one() {
+    // Replication 1 is the acid test: every block has exactly one copy,
+    // so removing a node before copying its blocks off would destroy
+    // data (`node_failures.rs` proves a *crash* does exactly that). A
+    // graceful decommission drains first — the run must complete with
+    // no ReplicasLost and no lost block.
+    let dfs = staged_dfs();
+    let cluster = ClusterConfig::default()
+        .with_replication(1)
+        .with_membership(MembershipPlan::none().with_node_decommission(2, 0));
+    let runner = JobRunner::new(Arc::clone(&dfs), cluster).unwrap();
+
+    let r = MRGMeans::new(runner, GMeansConfig::default())
+        .run(DATA)
+        .unwrap();
+    assert!(
+        r.failure.is_none(),
+        "graceful decommission lost a block at replication 1: {:?}",
+        r.failure
+    );
+    assert_eq!(r.counters.get(Counter::NodesDecommissioned), 1);
+    assert!(
+        r.counters.get(Counter::DfsBlocksRebalanced) > 0,
+        "the drained node's blocks were never copied off"
+    );
+    let stats = dfs.stats();
+    assert_eq!(stats.blocks_lost, 0, "decommission destroyed a replica");
+    assert!(stats.blocks_rebalanced > 0);
+
+    // And the answer matches a run on the fixed-membership cluster.
+    let fixed = MRGMeans::new(
+        runner_with(ClusterConfig::default().with_replication(1)),
+        GMeansConfig::default(),
+    )
+    .run(DATA)
+    .unwrap();
+    assert_eq!(fixed.k(), r.k());
+    assert_eq!(hash_rows(fixed.centers.rows()), hash_rows(r.centers.rows()));
+}
+
+#[test]
+fn revocations_charge_their_own_counter_not_the_crash_path() {
+    // A pure revocation plan: no faults at all, just spot sweeps. The
+    // kill machinery is the crash machinery (outputs stranded, maps
+    // re-executed), but the bookkeeping must say "revoked", keep the
+    // blacklist empty, and leave the answer alone.
+    let membership = MembershipPlan::none()
+        .with_seed(0xE1A5)
+        .with_revocation_sweeps(2, 0.25);
+    let clean = MRGMeans::new(
+        runner_with(ClusterConfig::default()),
+        GMeansConfig::default(),
+    )
+    .run(DATA)
+    .unwrap();
+    let revoked = MRGMeans::new(
+        runner_with(ClusterConfig::default().with_membership(membership)),
+        GMeansConfig::default(),
+    )
+    .run(DATA)
+    .unwrap();
+
+    assert!(revoked.failure.is_none());
+    assert!(revoked.counters.get(Counter::NodesRevoked) >= 1);
+    assert_eq!(revoked.counters.get(Counter::NodeCrashes), 0);
+    assert_eq!(revoked.counters.get(Counter::NodesBlacklisted), 0);
+    assert!(
+        revoked.counters.get(Counter::MapsReexecuted) > 0,
+        "a revocation mid-job must strand and re-execute map work"
+    );
+    assert_eq!(clean.k(), revoked.k());
+    assert_eq!(
+        hash_rows(clean.centers.rows()),
+        hash_rows(revoked.centers.rows())
+    );
+    assert!(
+        revoked.simulated_secs > clean.simulated_secs,
+        "revoked capacity must cost simulated time ({:.3}s vs {:.3}s)",
+        revoked.simulated_secs,
+        clean.simulated_secs
+    );
+}
+
+#[test]
+fn corrupt_replicas_are_detected_and_reads_fall_back() {
+    // 30% of block replicas are corrupt on disk. With 3-way
+    // replication a clean copy (almost) always survives; the checksum
+    // layer must detect the bad frames, fall back, and deliver the
+    // bit-identical answer.
+    let clean = MRGMeans::new(
+        runner_with(ClusterConfig::default()),
+        GMeansConfig::default(),
+    )
+    .run(DATA)
+    .unwrap();
+    let faults = FaultPlan::none().with_seed(0).with_dfs_corruption(0.3);
+    let corrupt = MRGMeans::new(
+        runner_with(ClusterConfig::default().with_faults(faults)),
+        GMeansConfig::default(),
+    )
+    .run(DATA)
+    .unwrap();
+
+    assert!(corrupt.failure.is_none(), "a clean replica always survived");
+    assert!(
+        corrupt.counters.get(Counter::DfsCorruptBlocksDetected) > 0,
+        "30% corruption must trip the checksum at least once"
+    );
+    assert_eq!(clean.k(), corrupt.k());
+    assert_eq!(
+        hash_rows(clean.centers.rows()),
+        hash_rows(corrupt.centers.rows()),
+        "a corrupt replica leaked into a map task"
+    );
+    assert_eq!(clean.counts, corrupt.counts);
+}
+
+/// Fingerprint of everything the answer consists of.
+fn kmeans_fingerprint(r: &gmeans::mr::MRKMeansResult) -> (u64, u64) {
+    (hash_rows(r.centers.rows()), fnv(r.counts.iter().copied()))
+}
+
+fn kmeans_baseline() -> (u64, u64) {
+    static BASELINE: OnceLock<(u64, u64)> = OnceLock::new();
+    *BASELINE.get_or_init(|| {
+        let r = MRKMeans::new(runner_with(ClusterConfig::default()), 3, 3, 5)
+            .run(DATA)
+            .unwrap();
+        assert!(r.failure.is_none());
+        kmeans_fingerprint(&r)
+    })
+}
+
+proptest! {
+    /// *Any* survivable membership plan — random join/decommission
+    /// epochs, random sweep cadence and intensity — produces the same
+    /// final centers and counts as the fixed 4-node cluster.
+    #[test]
+    fn random_membership_never_changes_the_answer(
+        join_epoch in 1u64..6,
+        dec_node in 0u32..4,
+        dec_epoch in 1u64..6,
+        period in 0u64..4,
+        fraction in 0.0..0.30f64,
+        seed in 0u64..1 << 32,
+    ) {
+        let membership = MembershipPlan::none()
+            .with_seed(seed)
+            .with_node_join(join_epoch, 4)
+            .with_node_decommission(dec_epoch, dec_node)
+            .with_revocation_sweeps(period, fraction);
+        let cluster = ClusterConfig::default().with_membership(membership);
+        prop_assume!(cluster.validate().is_ok());
+        // Skip the (rare) universes where a sweep revokes every live
+        // node of some epoch — no survivors means a degenerate run by
+        // design, not an elasticity bug.
+        prop_assume!((1..=12u64).all(|e| !cluster.node_status(e).survivors().is_empty()));
+
+        let r = MRKMeans::new(runner_with(cluster), 3, 3, 5).run(DATA).unwrap();
+        prop_assert!(r.failure.is_none(), "membership plan killed the run");
+        prop_assert_eq!(kmeans_fingerprint(&r), kmeans_baseline());
+    }
+}
+
+#[test]
+fn elastic_storm_run_resumes_bit_identical_after_a_driver_crash() {
+    const CKPT: &str = "ckpt/elasticity";
+    let fingerprint = |r: &MRGMeansResult| {
+        (
+            hash_rows(r.centers.rows()),
+            fnv(r.counts.iter().copied()),
+            r.simulated_secs.to_bits(),
+            r.jobs,
+            r.counters.snapshot(),
+        )
+    };
+    let reference = MRGMeans::new(runner_with(stormy_cluster()), GMeansConfig::default())
+        .with_checkpoints(CKPT)
+        .run(DATA)
+        .unwrap();
+
+    // Crash the driver at boundary 3 — after the join (epoch 2) but
+    // before the decommission (epoch 5), so the resumed driver must
+    // reconstruct a half-played membership timeline.
+    let dfs = staged_dfs();
+    let crashed_cluster = stormy_cluster().with_faults(
+        FaultPlan::none()
+            .with_seed(0x4)
+            .with_max_attempts(8)
+            .with_driver_crash_after(3),
+    );
+    let err = MRGMeans::new(
+        JobRunner::new(Arc::clone(&dfs), crashed_cluster).unwrap(),
+        GMeansConfig::default(),
+    )
+    .with_checkpoints(CKPT)
+    .run(DATA)
+    .expect_err("driver must crash at boundary 3");
+    assert!(matches!(err, Error::DriverCrash { boundary: 3 }));
+
+    let resumed = MRGMeans::new(
+        JobRunner::new(dfs, stormy_cluster()).unwrap(),
+        GMeansConfig::default(),
+    )
+    .with_checkpoints(CKPT)
+    .resume(DATA)
+    .unwrap();
+
+    assert_eq!(
+        fingerprint(&reference),
+        fingerprint(&resumed),
+        "resume across a membership storm diverged from the uninterrupted run"
+    );
+}
