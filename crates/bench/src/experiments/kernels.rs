@@ -1,42 +1,68 @@
-//! Nearest-center kernel benchmark: naive scan vs k-d tree vs the
-//! blocked kernel vs blocked + triangle pruning.
+//! Nearest-center kernel benchmark: a d × k sweep of every backend.
 //!
 //! This is the PR-over-PR perf trajectory for the hot path the paper's
-//! §4 cost model counts. The workload is the acceptance workload of the
-//! kernel work: a d = 2 Gaussian mixture with k ≥ 32 centers — low
-//! dimension and many centers is where the paper's own evaluation lives
-//! (R² illustrations, k up to 1600) and where center pruning pays.
+//! §4 cost model counts. Where earlier revisions measured one cell
+//! (d = 2, k = 128), this one sweeps d ∈ {2, 8, 32, 128} ×
+//! k ∈ {128, 512, 4096} so the auto-dispatch policy in
+//! [`KernelBackend::resolve`] is tuned from — and guarded by — the same
+//! grid it routes on. Per cell the sweep measures:
 //!
-//! Every backend must produce *identical* assignments; the benchmark
-//! proves it by running a short Lloyd refinement per backend and
-//! requiring bit-identical final centers, then measures assignment
-//! throughput (points/sec), distance evaluations, and wall time. The
-//! numbers are rendered as a table and serialized to
-//! `BENCH_kernels.json` by the `repro` binary so the trajectory
-//! accumulates across PRs.
+//! * `naive` — the scalar flat scan (the paper's cost-model unit),
+//! * `blocked` — the SIMD bounds-then-exact tile kernel,
+//! * `blocked-mt` — the same kernel split over deterministic parallel
+//!   tiles (4 workers, byte-identical merge),
+//! * `kd` — the opt-in k-d index (charges *actual* evaluations),
+//! * `pruned` — the opt-in triangle pruner (actual evaluations),
+//! * `default` — [`KernelBackend::Auto`], i.e. exactly what every
+//!   distance-heavy mapper gets from `EngineCtx::prepare`; the cell
+//!   records which concrete backend the policy picked.
+//!
+//! Every backend must produce *identical* assignments; each cell proves
+//! it by running a short Lloyd refinement per backend and requiring
+//! bit-identical final centers, then measures assignment throughput
+//! (points/sec), charged distance evaluations, and wall time. The sweep
+//! is rendered as a table and serialized to `BENCH_kernels.json` by the
+//! `repro` binary so the trajectory accumulates across PRs.
 
 use std::time::Instant;
 
-use gmeans::mr::CenterSet;
+use gmeans::mr::{CenterSet, KernelBackend};
 use gmr_datagen::{ClusterWeights, GaussianMixture};
 use gmr_linalg::{nearest_center_flat, squared_norms, Dataset};
 
 use crate::harness::{render_table, ExperimentScale};
 
-/// Number of clusters of the benchmark workload (the issue's `k ≥ 32`).
-const K: usize = 128;
-/// Lloyd iterations of the identity check.
-const LLOYD_ITERS: usize = 5;
-/// Points handed to `nearest_block` per call, mirroring the runtime's
-/// cached map-phase block size.
-const BLOCK_POINTS: usize = 256;
+/// The sweep grid: every (dim, k) cell measured by `repro kernels`.
+pub const CELLS: [(usize, usize); 12] = [
+    (2, 128),
+    (2, 512),
+    (2, 4096),
+    (8, 128),
+    (8, 512),
+    (8, 4096),
+    (32, 128),
+    (32, 512),
+    (32, 4096),
+    (128, 128),
+    (128, 512),
+    (128, 4096),
+];
 
-/// One measured backend.
+/// Points handed to `nearest_block` per call for single-threaded
+/// backends, mirroring the runtime's cached map-phase block size.
+const BLOCK_POINTS: usize = 256;
+/// Block size for the multi-tile backend: large enough that one
+/// scoped-thread spawn amortizes over many tiles.
+const MT_BLOCK_POINTS: usize = 8192;
+/// Workers of the `blocked-mt` backend.
+const MT_WORKERS: usize = 4;
+
+/// One measured backend within a cell.
 #[derive(Clone, Debug)]
 pub struct KernelRow {
     /// Backend label.
     pub name: &'static str,
-    /// Assignment throughput over the full dataset.
+    /// Assignment throughput over the cell's dataset.
     pub points_per_sec: f64,
     /// Distance evaluations charged for one full sweep.
     pub distance_evals: u64,
@@ -44,22 +70,24 @@ pub struct KernelRow {
     pub wall_secs: f64,
 }
 
-/// The benchmark report.
+/// One (dim, k) cell of the sweep.
 #[derive(Clone, Debug)]
-pub struct KernelBench {
-    /// Points in the workload.
-    pub points: usize,
-    /// Centers in the workload.
-    pub k: usize,
-    /// Dimensionality of the workload.
+pub struct KernelCell {
+    /// Dimensionality of the cell's workload.
     pub dim: usize,
+    /// Centers in the cell's workload.
+    pub k: usize,
+    /// Points in the cell's workload.
+    pub points: usize,
+    /// The concrete backend [`KernelBackend::Auto`] resolved to here.
+    pub auto_backend: &'static str,
     /// One row per backend, naive first.
     pub rows: Vec<KernelRow>,
     /// Whether all backends produced bit-identical final Lloyd centers.
     pub identical_centers: bool,
 }
 
-impl KernelBench {
+impl KernelCell {
     /// Speedup of the named backend over the naive scan (points/sec).
     pub fn speedup(&self, name: &str) -> f64 {
         let naive = self.rows[0].points_per_sec;
@@ -68,35 +96,115 @@ impl KernelBench {
             .find(|r| r.name == name)
             .map_or(0.0, |r| r.points_per_sec / naive)
     }
+}
+
+/// The benchmark report: the whole d × k sweep.
+#[derive(Clone, Debug)]
+pub struct KernelBench {
+    /// One entry per measured (dim, k) cell.
+    pub cells: Vec<KernelCell>,
+    /// Whether *every* cell's backends ended bit-identically.
+    pub identical_centers: bool,
+}
+
+impl KernelBench {
+    /// The cell measured at `(dim, k)`, if the sweep ran it.
+    pub fn cell(&self, dim: usize, k: usize) -> Option<&KernelCell> {
+        self.cells.iter().find(|c| c.dim == dim && c.k == k)
+    }
 
     /// Serializes the report as a small JSON document.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
         s.push_str("  \"experiment\": \"kernels\",\n");
-        s.push_str(&format!("  \"points\": {},\n", self.points));
-        s.push_str(&format!("  \"k\": {},\n", self.k));
-        s.push_str(&format!("  \"dim\": {},\n", self.dim));
         s.push_str(&format!(
             "  \"identical_final_centers\": {},\n",
             self.identical_centers
         ));
-        s.push_str("  \"backends\": [\n");
-        for (i, r) in self.rows.iter().enumerate() {
+        s.push_str("  \"cells\": [\n");
+        for (ci, c) in self.cells.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"name\": \"{}\", \"points_per_sec\": {:.1}, \"distance_evals\": {}, \
-                 \"wall_secs\": {:.6}, \"speedup_vs_naive\": {:.3}}}{}\n",
-                r.name,
-                r.points_per_sec,
-                r.distance_evals,
-                r.wall_secs,
-                r.points_per_sec / self.rows[0].points_per_sec,
-                if i + 1 < self.rows.len() { "," } else { "" }
+                "    {{\"dim\": {}, \"k\": {}, \"points\": {}, \"auto_backend\": \"{}\", \
+                 \"identical_final_centers\": {},\n",
+                c.dim, c.k, c.points, c.auto_backend, c.identical_centers
+            ));
+            s.push_str("     \"backends\": [\n");
+            for (i, r) in c.rows.iter().enumerate() {
+                s.push_str(&format!(
+                    "      {{\"name\": \"{}\", \"points_per_sec\": {:.1}, \"distance_evals\": {}, \
+                     \"wall_secs\": {:.6}, \"speedup_vs_naive\": {:.3}}}{}\n",
+                    r.name,
+                    r.points_per_sec,
+                    r.distance_evals,
+                    r.wall_secs,
+                    r.points_per_sec / c.rows[0].points_per_sec,
+                    if i + 1 < c.rows.len() { "," } else { "" }
+                ));
+            }
+            s.push_str(&format!(
+                "     ]}}{}\n",
+                if ci + 1 < self.cells.len() { "," } else { "" }
             ));
         }
         s.push_str("  ]\n}\n");
         s
     }
+}
+
+/// A backend under test: the naive scalar scan, or a [`CenterSet`]
+/// (with some backend attached) queried through the engine's block
+/// path, in `block_points`-sized chunks.
+enum Backend {
+    Naive(CenterSet),
+    Block { set: CenterSet, block_points: usize },
+}
+
+/// Builds a [`Backend`] around a fresh copy of the centers.
+type BackendFactory = Box<dyn Fn(CenterSet) -> Backend>;
+
+/// The six measured backends, naive first.
+fn backends() -> Vec<(&'static str, BackendFactory)> {
+    vec![
+        ("naive", Box::new(Backend::Naive) as BackendFactory),
+        (
+            "blocked",
+            Box::new(|s: CenterSet| Backend::Block {
+                set: s.with_backend(KernelBackend::Blocked),
+                block_points: BLOCK_POINTS,
+            }),
+        ),
+        (
+            "blocked-mt",
+            Box::new(|s: CenterSet| Backend::Block {
+                set: s
+                    .with_backend(KernelBackend::Blocked)
+                    .with_tile_workers(MT_WORKERS),
+                block_points: MT_BLOCK_POINTS,
+            }),
+        ),
+        (
+            "kd",
+            Box::new(|s: CenterSet| Backend::Block {
+                set: s.with_kd_index(),
+                block_points: BLOCK_POINTS,
+            }),
+        ),
+        (
+            "pruned",
+            Box::new(|s: CenterSet| Backend::Block {
+                set: s.with_triangle_prune(),
+                block_points: BLOCK_POINTS,
+            }),
+        ),
+        (
+            "default",
+            Box::new(|s: CenterSet| Backend::Block {
+                set: s.with_backend(KernelBackend::Auto),
+                block_points: BLOCK_POINTS,
+            }),
+        ),
+    ]
 }
 
 /// One assignment sweep of a backend: fills `assign` and returns the
@@ -114,11 +222,11 @@ fn sweep(backend: &Backend, data: &Dataset, norms: &[f64], assign: &mut Vec<usiz
             }
             (data.len() * set.len()) as u64
         }
-        Backend::Block(set) => {
+        Backend::Block { set, block_points } => {
             let mut evals = 0u64;
             let flat = data.flat();
-            for (bi, block) in flat.chunks(BLOCK_POINTS * dim).enumerate() {
-                let base = bi * BLOCK_POINTS;
+            for (bi, block) in flat.chunks(block_points * dim).enumerate() {
+                let base = bi * block_points;
                 let rows = block.len() / dim;
                 for (idx, _, _, e) in set.nearest_block(block, &norms[base..base + rows]) {
                     assign.push(idx);
@@ -130,19 +238,16 @@ fn sweep(backend: &Backend, data: &Dataset, norms: &[f64], assign: &mut Vec<usiz
     }
 }
 
-/// A backend under test: the naive scalar scan, or a [`CenterSet`]
-/// (optionally accelerated) queried through the engine's block path.
-enum Backend {
-    Naive(CenterSet),
-    Block(CenterSet),
-}
-
-/// Builds a [`Backend`] around a fresh copy of the centers.
-type BackendFactory = Box<dyn Fn(CenterSet) -> Backend>;
-
+/// Deterministic spread-out init: stride through the dataset (wrapping
+/// when `k` exceeds the cell's point count, which deliberately creates
+/// duplicate centers — a tie case every backend must break identically).
+/// The stride is forced odd so it is coprime to the generator's
+/// power-of-two round-robin cluster count — an even stride can alias
+/// onto a fraction of the clusters, leaving most queries far from every
+/// center, which benchmarks an aliasing artifact rather than the
+/// clustered workload the engine actually runs.
 fn centers_from(data: &Dataset, k: usize) -> CenterSet {
-    // Deterministic spread-out init: stride through the dataset.
-    let stride = (data.len() / k).max(1);
+    let stride = (data.len() / k).max(1) | 1;
     let mut set = CenterSet::new(data.dim());
     for i in 0..k {
         set.push(i as i64, data.row((i * stride) % data.len()));
@@ -152,15 +257,21 @@ fn centers_from(data: &Dataset, k: usize) -> CenterSet {
 
 /// Runs a short Lloyd refinement with the backend's assignments and
 /// returns the final flat center buffer (for the bit-identity check).
-fn lloyd(backend_of: impl Fn(CenterSet) -> Backend, data: &Dataset, norms: &[f64]) -> Vec<f64> {
+fn lloyd(
+    backend_of: impl Fn(CenterSet) -> Backend,
+    data: &Dataset,
+    norms: &[f64],
+    k: usize,
+    iters: usize,
+) -> Vec<f64> {
     let dim = data.dim();
-    let mut set = centers_from(data, K);
+    let mut set = centers_from(data, k);
     let mut assign = Vec::with_capacity(data.len());
-    for _ in 0..LLOYD_ITERS {
+    for _ in 0..iters {
         let backend = backend_of(set.clone());
         sweep(&backend, data, norms, &mut assign);
-        let mut sums = vec![0.0f64; K * dim];
-        let mut counts = vec![0u64; K];
+        let mut sums = vec![0.0f64; k * dim];
+        let mut counts = vec![0u64; k];
         for (p, &a) in data.rows().zip(&assign) {
             counts[a] += 1;
             for (s, x) in sums[a * dim..(a + 1) * dim].iter_mut().zip(p) {
@@ -168,7 +279,7 @@ fn lloyd(backend_of: impl Fn(CenterSet) -> Backend, data: &Dataset, norms: &[f64
             }
         }
         let mut next = CenterSet::new(dim);
-        for j in 0..K {
+        for j in 0..k {
             if counts[j] > 0 {
                 let inv = 1.0 / counts[j] as f64;
                 let mean: Vec<f64> = sums[j * dim..(j + 1) * dim]
@@ -185,40 +296,54 @@ fn lloyd(backend_of: impl Fn(CenterSet) -> Backend, data: &Dataset, norms: &[f64
     set.to_dataset().flat().to_vec()
 }
 
-/// Runs the benchmark.
-pub fn run(scale: &ExperimentScale) -> KernelBench {
+/// Points for one cell: sized so a single naive sweep stays near a
+/// constant ~25.6M multiply-adds (`n·k·d`), floored so tiny cells still
+/// measure something and capped by the configured scale. At the default
+/// scale this makes the d=2, k=128 cell exactly the 100k-point workload
+/// earlier single-cell revisions of this benchmark measured, so its
+/// trajectory stays comparable.
+fn cell_points(scale: &ExperimentScale, dim: usize, k: usize) -> usize {
+    (scale.points * 256 / (k * dim))
+        .max(256)
+        .min(scale.points.max(256))
+}
+
+/// Measures one (dim, k) cell.
+fn run_cell(scale: &ExperimentScale, dim: usize, k: usize) -> KernelCell {
+    let n = cell_points(scale, dim, k);
     let spec = GaussianMixture {
-        n_points: scale.points,
-        dim: 2,
-        n_clusters: K,
+        n_points: n,
+        dim,
+        n_clusters: k.min(128).min(n / 4).max(2),
         box_min: 0.0,
         box_max: 1000.0,
         stddev: 4.0,
         min_separation_sigmas: 3.0,
+        // The same seed every cell (the spec's dim/cluster shape already
+        // varies the draw) keeps the d=2, k=128 cell's dataset identical
+        // to the prior single-cell benchmark's.
         seed: scale.seed ^ 0x6b65,
         weights: ClusterWeights::Balanced,
     };
     let data = spec.generate().expect("dataset generation").points;
     let norms = squared_norms(data.flat(), data.dim());
-    let base = centers_from(&data, K);
+    let base = centers_from(&data, k);
+    let auto_backend = base
+        .clone()
+        .with_backend(KernelBackend::Auto)
+        .speed_backend()
+        .unwrap_or("scan");
 
-    let backends: Vec<(&'static str, BackendFactory)> = vec![
-        ("naive", Box::new(Backend::Naive)),
-        (
-            "kd",
-            Box::new(|s: CenterSet| Backend::Block(s.with_kd_index())),
-        ),
-        ("blocked", Box::new(Backend::Block)),
-        (
-            "blocked+pruned",
-            Box::new(|s: CenterSet| Backend::Block(s.with_triangle_prune())),
-        ),
-    ];
+    let backends = backends();
+    let work = n * k * dim;
 
-    // Identity: every backend's short Lloyd run ends bit-identically.
+    // Identity: every backend's short Lloyd run ends bit-identically
+    // (fewer iterations on the heaviest cells — the tie/merge structure
+    // shows up in the very first assignment pass).
+    let iters = if work > 64_000_000 { 2 } else { 3 };
     let finals: Vec<Vec<f64>> = backends
         .iter()
-        .map(|(_, mk)| lloyd(mk, &data, &norms))
+        .map(|(_, mk)| lloyd(mk, &data, &norms, k, iters))
         .collect();
     let identical_centers = finals.iter().all(|f| {
         f.len() == finals[0].len()
@@ -227,18 +352,16 @@ pub fn run(scale: &ExperimentScale) -> KernelBench {
                 .all(|(a, b)| a.to_bits() == b.to_bits())
     });
 
-    // Throughput: repeat the sweep until ≥ ~2M point-assignments so the
-    // quick scale still measures something (capped so debug-mode smoke
-    // tests stay fast).
-    let reps = (2_000_000 / data.len().max(1)).clamp(1, 64);
+    // Throughput: best-of-reps — the minimum sweep time is the least
+    // noisy estimate of the kernel's cost on a shared machine. Reps are
+    // scaled to the cell so big cells do not dominate wall time.
+    let reps = (256_000_000 / work.max(1)).clamp(5, 40);
     let mut rows = Vec::new();
     let mut assign = Vec::with_capacity(data.len());
     for (name, mk) in &backends {
         let backend = mk(base.clone());
         // Warm-up (also the eval count; identical across reps).
         let evals = sweep(&backend, &data, &norms, &mut assign);
-        // Best-of-reps: the minimum sweep time is the least noisy
-        // estimate of the kernel's cost on a shared machine.
         let mut wall = f64::INFINITY;
         for _ in 0..reps {
             let start = Instant::now();
@@ -253,36 +376,70 @@ pub fn run(scale: &ExperimentScale) -> KernelBench {
         });
     }
 
-    KernelBench {
-        points: data.len(),
-        k: K,
-        dim: 2,
+    KernelCell {
+        dim,
+        k,
+        points: n,
+        auto_backend,
         rows,
         identical_centers,
     }
 }
 
+/// Runs an explicit subset of cells (test hook; `run` sweeps
+/// [`CELLS`]).
+pub fn run_cells(scale: &ExperimentScale, cells: &[(usize, usize)]) -> KernelBench {
+    let cells: Vec<KernelCell> = cells
+        .iter()
+        .map(|&(dim, k)| run_cell(scale, dim, k))
+        .collect();
+    let identical_centers = cells.iter().all(|c| c.identical_centers);
+    KernelBench {
+        cells,
+        identical_centers,
+    }
+}
+
+/// Runs the full d × k sweep.
+pub fn run(scale: &ExperimentScale) -> KernelBench {
+    run_cells(scale, &CELLS)
+}
+
 /// Renders the report.
 pub fn render(b: &KernelBench) -> String {
-    let rows: Vec<Vec<String>> = b
-        .rows
-        .iter()
-        .map(|r| {
-            vec![
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for c in &b.cells {
+        for (i, r) in c.rows.iter().enumerate() {
+            let head = if i == 0 {
+                (
+                    c.dim.to_string(),
+                    c.k.to_string(),
+                    c.points.to_string(),
+                    c.auto_backend.to_string(),
+                )
+            } else {
+                (String::new(), String::new(), String::new(), String::new())
+            };
+            rows.push(vec![
+                head.0,
+                head.1,
+                head.2,
+                head.3,
                 r.name.to_string(),
                 format!("{:.0}", r.points_per_sec),
-                format!("{:.2}x", r.points_per_sec / b.rows[0].points_per_sec),
+                format!("{:.2}x", r.points_per_sec / c.rows[0].points_per_sec),
                 r.distance_evals.to_string(),
                 format!("{:.4}", r.wall_secs),
-            ]
-        })
-        .collect();
+            ]);
+        }
+    }
     let mut out = render_table(
-        &format!(
-            "Nearest-center kernels — {} points, d={}, k={}",
-            b.points, b.dim, b.k
-        ),
+        "Nearest-center kernels — d × k sweep",
         &[
+            "d",
+            "k",
+            "points",
+            "auto",
             "backend",
             "points/sec",
             "speedup",
@@ -292,69 +449,98 @@ pub fn render(b: &KernelBench) -> String {
         &rows,
     );
     out.push_str(&format!(
-        "final Lloyd centers identical across backends: {}\n",
+        "final Lloyd centers identical across backends in every cell: {}\n",
         b.identical_centers
     ));
     out
 }
 
-/// Regression guard: the blocked kernel must not run slower than the
-/// naive scan it wraps (it once did at d = 2, where the bounds
-/// decomposition costs more than it saves). Allows a small
-/// timing-noise slack for shared machines, and only measures
-/// optimized builds — unoptimized timing says nothing about the
-/// shipped kernel. The CI release smoke run (`repro kernels --quick`)
-/// enforces it on every push.
+/// Regression guard over the sweep: the engine's *default* path (auto
+/// dispatch) must never run slower than the naive scan it replaces, in
+/// any cell — and must actually pay off (≥ 2×) in the sweet spot the
+/// issue pins (d = 8, k = 512). Allows a small timing-noise slack for
+/// shared machines, and only measures optimized builds — unoptimized
+/// timing says nothing about the shipped kernel. The CI release smoke
+/// run (`repro kernels --quick`) enforces it on every push.
 ///
 /// # Panics
-/// Panics when the blocked backend falls below 90% of the naive
-/// backend's throughput in an optimized build.
+/// Panics when `default` falls below 90% of naive throughput in any
+/// measured cell, or below 2× naive at d = 8, k = 512 (when that cell
+/// was measured) in an optimized build.
 pub fn assert_no_regression(b: &KernelBench) {
     if cfg!(debug_assertions) {
         return;
     }
-    let naive = &b.rows[0];
-    let blocked = b
-        .rows
-        .iter()
-        .find(|r| r.name == "blocked")
-        .expect("blocked backend row");
-    assert!(
-        blocked.points_per_sec >= 0.9 * naive.points_per_sec,
-        "blocked kernel regressed below naive: {:.0} vs {:.0} points/sec",
-        blocked.points_per_sec,
-        naive.points_per_sec
-    );
+    for c in &b.cells {
+        let s = c.speedup("default");
+        assert!(
+            s >= 0.9,
+            "default backend regressed below naive at d={}, k={}: {:.2}x",
+            c.dim,
+            c.k,
+            s
+        );
+    }
+    if let Some(c) = b.cell(8, 512) {
+        let s = c.speedup("default");
+        assert!(
+            s >= 2.0,
+            "default backend below 2x naive at d=8, k=512: {:.2}x",
+            s
+        );
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Cheap debug-mode cells: one where auto resolves to each concrete
+    /// backend (per [`KernelBackend::resolve`]).
+    const TEST_CELLS: [(usize, usize); 2] = [(2, 48), (32, 48)];
+
+    fn expected_auto(dim: usize, k: usize) -> &'static str {
+        match KernelBackend::Auto.resolve(dim, k) {
+            KernelBackend::Kd => "kd",
+            KernelBackend::Pruned => "pruned",
+            _ => "blocked",
+        }
+    }
+
     #[test]
-    fn backends_agree_and_prune_reduces_evals() {
-        let b = run(&ExperimentScale::quick());
+    fn backends_agree_and_speed_paths_charge_scan_cost() {
+        let b = run_cells(&ExperimentScale::quick(), &TEST_CELLS);
         assert!(b.identical_centers, "backends diverged");
-        assert_eq!(b.rows.len(), 4);
-        let naive = &b.rows[0];
-        assert_eq!(naive.distance_evals, (b.points * b.k) as u64);
-        // The blocked kernel charges exactly the naive count (the
-        // determinism/cost contract); pruning and k-d charge fewer.
-        let blocked = b.rows.iter().find(|r| r.name == "blocked").unwrap();
-        assert_eq!(blocked.distance_evals, naive.distance_evals);
-        let pruned = b.rows.iter().find(|r| r.name == "blocked+pruned").unwrap();
-        assert!(pruned.distance_evals < naive.distance_evals / 2);
-        let kd = b.rows.iter().find(|r| r.name == "kd").unwrap();
-        assert!(kd.distance_evals < naive.distance_evals);
+        assert_eq!(b.cells.len(), 2);
+        for c in &b.cells {
+            assert_eq!(c.rows.len(), 6);
+            assert_eq!(c.auto_backend, expected_auto(c.dim, c.k));
+            let naive = &c.rows[0];
+            assert_eq!(naive.name, "naive");
+            assert_eq!(naive.distance_evals, (c.points * c.k) as u64);
+            // Speed backends charge exactly the naive count (the
+            // determinism/cost contract); the opt-in index and pruner
+            // charge their actual (smaller) counts.
+            for speed in ["blocked", "blocked-mt", "default"] {
+                let r = c.rows.iter().find(|r| r.name == speed).unwrap();
+                assert_eq!(r.distance_evals, naive.distance_evals, "{speed}");
+            }
+            for actual in ["kd", "pruned"] {
+                let r = c.rows.iter().find(|r| r.name == actual).unwrap();
+                assert!(r.distance_evals < naive.distance_evals, "{actual}");
+            }
+        }
         assert_no_regression(&b);
     }
 
     #[test]
     fn json_is_well_formed_enough() {
-        let b = run(&ExperimentScale::quick());
+        let b = run_cells(&ExperimentScale::quick(), &[(2, 48)]);
         let j = b.to_json();
         assert!(j.contains("\"experiment\": \"kernels\""));
-        assert!(j.contains("\"blocked+pruned\""));
-        assert_eq!(j.matches("points_per_sec").count(), 4);
+        assert!(j.contains("\"cells\""));
+        assert!(j.contains("\"auto_backend\""));
+        assert!(j.contains("\"blocked-mt\""));
+        assert_eq!(j.matches("points_per_sec").count(), 6);
     }
 }

@@ -8,7 +8,9 @@
 //! §3.1) — and the candidate-center channel of `KMeansAndFindNewCenters`
 //! is multiplexed by adding [`OFFSET`] to the id.
 
-use gmr_linalg::{nearest_center_flat, nearest_centers_batch, Dataset, KdTree, TrianglePruner};
+use gmr_linalg::{
+    nearest_center_flat, nearest_centers_batch_tiled, Dataset, KdTree, TrianglePruner,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -56,6 +58,77 @@ impl ChannelKey {
     }
 }
 
+/// Which nearest-center kernel serves a job's cached-map fast path.
+///
+/// Every backend is **bit-identical** to the naive first-wins scan —
+/// same argmin, same `f64` distance bits — and **cost-neutral**: it
+/// charges exactly `k` distance evaluations per point, the paper's §4
+/// accounting for a full scan. Backend choice therefore changes wall
+/// time only; counters, simulated makespans, checkpoints and fault
+/// replay are untouched, which is what lets the engine enable it on the
+/// *default* path. (The opt-in [`CenterSet::with_kd_index`] /
+/// [`CenterSet::with_triangle_prune`] accelerators are different: they
+/// charge the *actual* evaluation count and so change the cost model.)
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// Pick per job from the center set's shape: the k-d tree at low
+    /// dimensionality with enough centers (where spatial pruning is
+    /// near-logarithmic), the SIMD blocked kernel everywhere else
+    /// (where the curse of dimensionality makes trees scan anyway and
+    /// wide FMA lanes win). See [`KernelBackend::resolve`].
+    #[default]
+    Auto,
+    /// The SIMD blocked bounds-then-exact kernel
+    /// ([`gmr_linalg::nearest_centers_batch_tiled`]).
+    Blocked,
+    /// The k-d tree ([`gmr_linalg::KdTree`]), first-wins contract
+    /// included.
+    Kd,
+    /// Triangle-inequality pruning ([`gmr_linalg::TrianglePruner`]).
+    Pruned,
+}
+
+impl KernelBackend {
+    /// Resolves [`KernelBackend::Auto`] for a `dim`-dimensional set of
+    /// `k` centers into a concrete backend. The thresholds come from
+    /// the `repro kernels` d × k sweep (see `BENCH_kernels.json`): the
+    /// k-d tree dominates at low dimension once there are enough
+    /// centers for its pruning to amortize the descent (at d = 8 the
+    /// crossover against the SIMD blocked kernel sits between k = 128
+    /// and k = 512), and the blocked kernel wins everywhere else.
+    pub fn resolve(self, dim: usize, k: usize) -> KernelBackend {
+        match self {
+            KernelBackend::Auto => {
+                if k >= 32 && (dim <= 2 || (dim <= 8 && k >= 256)) {
+                    KernelBackend::Kd
+                } else {
+                    KernelBackend::Blocked
+                }
+            }
+            concrete => concrete,
+        }
+    }
+}
+
+/// The resolved, eagerly-built speed backend attached to a
+/// [`CenterSet`] by [`CenterSet::with_backend`].
+#[derive(Clone, Debug)]
+enum SpeedBackend {
+    Blocked,
+    Kd(Arc<KdTree>),
+    Pruned(Arc<TrianglePruner>),
+}
+
+impl SpeedBackend {
+    fn name(&self) -> &'static str {
+        match self {
+            SpeedBackend::Blocked => "blocked",
+            SpeedBackend::Kd(_) => "kd",
+            SpeedBackend::Pruned(_) => "pruned",
+        }
+    }
+}
+
 /// An ordered set of centers with stable ids.
 ///
 /// Nearest-center lookup defaults to the linear scan the paper's
@@ -63,18 +136,26 @@ impl ChannelKey {
 /// the unit of its §4 cost model). Calling [`CenterSet::with_kd_index`]
 /// attaches an exact k-d tree (the mrkd-tree acceleration §2 cites);
 /// lookups then evaluate far fewer distances and the cost accounting
-/// charges the *actual* evaluation count.
+/// charges the *actual* evaluation count. Calling
+/// [`CenterSet::with_backend`] instead attaches a cost-neutral *speed*
+/// backend (see [`KernelBackend`]) that keeps the full-scan accounting.
 #[derive(Clone, Debug, Default)]
 pub struct CenterSet {
     dim: usize,
     ids: Vec<i64>,
     flat: Vec<f64>,
     /// Per-center squared norms, maintained incrementally by `push` so
-    /// the blocked kernel never recomputes them per sweep.
+    /// the blocked kernel never recomputes them per sweep (they are
+    /// invariant within a job).
     norms: Vec<f64>,
     by_id: HashMap<i64, usize>,
     index: Option<Arc<KdTree>>,
     pruner: Option<Arc<TrianglePruner>>,
+    /// Cost-neutral speed backend for the default cached-map path.
+    speed: Option<SpeedBackend>,
+    /// Worker threads for the blocked kernel's deterministic parallel
+    /// tiles (1 = inline).
+    tile_workers: usize,
 }
 
 impl PartialEq for CenterSet {
@@ -96,6 +177,8 @@ impl CenterSet {
             by_id: HashMap::new(),
             index: None,
             pruner: None,
+            speed: None,
+            tile_workers: 1,
         }
     }
 
@@ -125,8 +208,9 @@ impl CenterSet {
         self.ids.push(id);
         self.norms.push(coords.iter().map(|x| x * x).sum());
         self.flat.extend_from_slice(coords);
-        self.index = None; // centers changed; any index is stale
+        self.index = None; // centers changed; any derived structure is stale
         self.pruner = None;
+        self.speed = None;
     }
 
     /// Builds (or rebuilds) the k-d index over the current centers.
@@ -152,6 +236,49 @@ impl CenterSet {
         assert!(!self.is_empty(), "cannot build a pruner for an empty set");
         self.pruner = Some(Arc::new(TrianglePruner::build(&self.flat, self.dim)));
         self
+    }
+
+    /// Attaches a cost-neutral speed backend for the default cached-map
+    /// fast path, resolving [`KernelBackend::Auto`] against this set's
+    /// shape and building the backing structure eagerly (once per job,
+    /// like the opt-in accelerators). Results stay bit-identical to the
+    /// naive scan and every point still charges `k` evaluations.
+    ///
+    /// Sets containing non-finite coordinates always get the blocked
+    /// backend, whose internal scan fallback reproduces the naive
+    /// scan's NaN comparison semantics exactly. Empty sets are a no-op.
+    pub fn with_backend(mut self, backend: KernelBackend) -> Self {
+        if self.is_empty() {
+            return self;
+        }
+        let finite = self.norms.iter().all(|n| n.is_finite());
+        let resolved = if finite {
+            backend.resolve(self.dim, self.len())
+        } else {
+            KernelBackend::Blocked
+        };
+        self.speed = Some(match resolved {
+            KernelBackend::Kd => SpeedBackend::Kd(Arc::new(KdTree::build(&self.flat, self.dim))),
+            KernelBackend::Pruned => {
+                SpeedBackend::Pruned(Arc::new(TrianglePruner::build(&self.flat, self.dim)))
+            }
+            _ => SpeedBackend::Blocked,
+        });
+        self
+    }
+
+    /// Sets the worker-thread count for the blocked kernel's
+    /// deterministic parallel tiles (clamped to at least 1). Results
+    /// are byte-identical for every value; only wall time changes.
+    pub fn with_tile_workers(mut self, workers: usize) -> Self {
+        self.tile_workers = workers.max(1);
+        self
+    }
+
+    /// Name of the attached speed backend (`"blocked"`, `"kd"`,
+    /// `"pruned"`), or `None` when lookups run the plain default path.
+    pub fn speed_backend(&self) -> Option<&'static str> {
+        self.speed.as_ref().map(|s| s.name())
     }
 
     /// True when a k-d index is attached.
@@ -228,8 +355,21 @@ impl CenterSet {
             let (idx, d2, evals) = pruner.nearest(point, &self.flat, self.dim);
             return Some((idx, self.ids[idx], d2, evals));
         }
-        nearest_center_flat(point, &self.flat, self.dim)
-            .map(|(idx, d2)| (idx, self.ids[idx], d2, self.ids.len() as u64))
+        let k = self.ids.len() as u64;
+        match &self.speed {
+            // Cost-neutral: the speed backends answer bit-identically to
+            // the scan and charge the scan's full k evaluations.
+            Some(SpeedBackend::Kd(tree)) => {
+                let q = tree.nearest(point);
+                Some((q.index, self.ids[q.index], q.dist2, k))
+            }
+            Some(SpeedBackend::Pruned(pruner)) => {
+                let (idx, d2, _) = pruner.nearest(point, &self.flat, self.dim);
+                Some((idx, self.ids[idx], d2, k))
+            }
+            _ => nearest_center_flat(point, &self.flat, self.dim)
+                .map(|(idx, d2)| (idx, self.ids[idx], d2, k)),
+        }
     }
 
     /// Nearest center for every row of a flat point block, returning one
@@ -237,11 +377,13 @@ impl CenterSet {
     ///
     /// `point_norms` are the per-row squared norms of `points` (cached
     /// once per split by the point cache). Without an accelerator the
-    /// blocked batch kernel runs — bit-identical to the scalar scan,
-    /// charging `k` evaluations per point like the scan does — so
-    /// simulated cost and counters are unchanged while wall time drops.
-    /// With a k-d index or pruner attached, those paths run per row and
-    /// report their actual evaluation counts.
+    /// attached speed backend (or the SIMD blocked batch kernel, with
+    /// parallel tiles when [`CenterSet::with_tile_workers`] allows)
+    /// runs — bit-identical to the scalar scan, charging `k`
+    /// evaluations per point like the scan does — so simulated cost and
+    /// counters are unchanged while wall time drops. With an opt-in k-d
+    /// index or pruner attached, those paths run per row and report
+    /// their actual evaluation counts.
     ///
     /// Returns an empty vector when the set is empty.
     pub fn nearest_block(
@@ -271,10 +413,40 @@ impl CenterSet {
                 .collect();
         }
         let k = self.ids.len() as u64;
-        nearest_centers_batch(points, point_norms, &self.flat, &self.norms, self.dim)
+        match &self.speed {
+            // Cost-neutral speed backends: bit-identical to the scan,
+            // charging the scan's k evaluations per point.
+            //
+            // (Deliberately *not* `KdTree::nearest_from`: generated
+            // datasets interleave clusters round-robin, so consecutive
+            // points rarely share one and the warm-start bound costs
+            // more than it prunes here.)
+            Some(SpeedBackend::Kd(tree)) => points
+                .chunks_exact(self.dim)
+                .map(|p| {
+                    let q = tree.nearest(p);
+                    (q.index, self.ids[q.index], q.dist2, k)
+                })
+                .collect(),
+            Some(SpeedBackend::Pruned(pruner)) => points
+                .chunks_exact(self.dim)
+                .map(|p| {
+                    let (idx, d2, _) = pruner.nearest(p, &self.flat, self.dim);
+                    (idx, self.ids[idx], d2, k)
+                })
+                .collect(),
+            _ => nearest_centers_batch_tiled(
+                points,
+                point_norms,
+                &self.flat,
+                &self.norms,
+                self.dim,
+                self.tile_workers,
+            )
             .into_iter()
             .map(|(idx, d2)| (idx, self.ids[idx], d2, k))
-            .collect()
+            .collect(),
+        }
     }
 
     /// The centers as a [`Dataset`] (ids dropped, order preserved).
@@ -457,6 +629,104 @@ mod tests {
         pruned.push(1, &[1.0, 2.0]);
         assert!(!pruned.has_pruner(), "push must invalidate the pruner");
         assert_eq!(pruned.norms(), &[25.0, 5.0]);
+    }
+
+    #[test]
+    fn speed_backends_are_bit_identical_and_charge_full_scans() {
+        let mut s = CenterSet::new(2);
+        for i in 0..40 {
+            s.push(i, &[(i % 8) as f64 * 3.0, (i / 8) as f64 * 3.0]);
+        }
+        let points: Vec<f64> = (0..64).map(|i| ((i * 7) % 23) as f64).collect();
+        let norms = gmr_linalg::squared_norms(&points, 2);
+        let want = s.nearest_block(&points, &norms);
+        for backend in [
+            KernelBackend::Auto,
+            KernelBackend::Blocked,
+            KernelBackend::Kd,
+            KernelBackend::Pruned,
+        ] {
+            let fast = s.clone().with_backend(backend).with_tile_workers(3);
+            assert!(fast.speed_backend().is_some());
+            let got = fast.nearest_block(&points, &norms);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!((g.0, g.1), (w.0, w.1), "{backend:?}");
+                assert_eq!(g.2.to_bits(), w.2.to_bits(), "{backend:?}");
+                assert_eq!(g.3, 40, "{backend:?} must charge k evals");
+            }
+            // Single-point dispatch agrees too.
+            for p in points.chunks_exact(2) {
+                let a = fast.nearest_with_cost(p).unwrap();
+                let b = s.nearest_with_cost(p).unwrap();
+                assert_eq!(
+                    (a.0, a.1, a.2.to_bits(), a.3),
+                    (b.0, b.1, b.2.to_bits(), b.3)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_backend_resolution_follows_shape() {
+        assert_eq!(
+            KernelBackend::Auto.resolve(2, 128),
+            KernelBackend::Kd,
+            "low d, many centers: kd"
+        );
+        assert_eq!(
+            KernelBackend::Auto.resolve(32, 4096),
+            KernelBackend::Blocked,
+            "high d: blocked"
+        );
+        assert_eq!(
+            KernelBackend::Auto.resolve(2, 4),
+            KernelBackend::Blocked,
+            "too few centers to amortize a tree"
+        );
+        assert_eq!(
+            KernelBackend::Auto.resolve(8, 128),
+            KernelBackend::Blocked,
+            "d=8 below the measured k crossover: blocked"
+        );
+        assert_eq!(
+            KernelBackend::Auto.resolve(8, 512),
+            KernelBackend::Kd,
+            "d=8 above the measured k crossover: kd"
+        );
+        assert_eq!(KernelBackend::Kd.resolve(128, 2), KernelBackend::Kd);
+    }
+
+    #[test]
+    fn non_finite_centers_force_the_blocked_speed_backend() {
+        let mut s = CenterSet::new(2);
+        for i in 0..40 {
+            s.push(i, &[i as f64, 1.0]);
+        }
+        s.push(40, &[f64::NAN, f64::INFINITY]);
+        let fast = s.clone().with_backend(KernelBackend::Auto);
+        assert_eq!(fast.speed_backend(), Some("blocked"));
+        // The blocked path's scan fallback keeps bit-identity even here.
+        let points = [3.5, 0.5, 100.0, -2.0];
+        let norms = gmr_linalg::squared_norms(&points, 2);
+        let got = fast.nearest_block(&points, &norms);
+        for (p, g) in points.chunks_exact(2).zip(&got) {
+            let (idx, d2) = gmr_linalg::nearest_center_flat(p, &s.flat, 2).unwrap();
+            assert_eq!(g.0, idx);
+            assert_eq!(g.2.to_bits(), d2.to_bits());
+        }
+    }
+
+    #[test]
+    fn push_invalidates_the_speed_backend() {
+        let mut s = CenterSet::new(1);
+        for i in 0..40 {
+            s.push(i, &[i as f64]);
+        }
+        let mut fast = s.with_backend(KernelBackend::Auto);
+        assert!(fast.speed_backend().is_some());
+        fast.push(99, &[0.5]);
+        assert_eq!(fast.speed_backend(), None, "push must drop the backend");
     }
 
     #[test]

@@ -925,6 +925,7 @@ pub struct MRGMeans {
     mode: ExecutionMode,
     kd_index: bool,
     pruning: bool,
+    tile_workers: usize,
     criterion: SplitCriterion,
     checkpoint_dir: Option<String>,
 }
@@ -939,6 +940,7 @@ impl MRGMeans {
             mode: ExecutionMode::OnDisk,
             kd_index: false,
             pruning: false,
+            tile_workers: 1,
             criterion: SplitCriterion::AndersonDarling,
             checkpoint_dir: None,
         }
@@ -966,6 +968,15 @@ impl MRGMeans {
     /// path keeps the paper's O(nk) accounting.
     pub fn with_pruning(mut self, pruning: bool) -> Self {
         self.pruning = pruning;
+        self
+    }
+
+    /// Splits every cached map block's kernel work across `workers`
+    /// deterministic parallel tiles inside the default (cost-neutral)
+    /// kernel backend. Results, counters, emissions and checkpoints are
+    /// byte-identical for every value; only wall time changes.
+    pub fn with_tile_workers(mut self, workers: usize) -> Self {
+        self.tile_workers = workers.max(1);
         self
     }
 
@@ -997,7 +1008,8 @@ impl MRGMeans {
         let engine = Engine::new(self.runner.clone())
             .with_execution_mode(self.mode)
             .with_kd_index(self.kd_index)
-            .with_pruning(self.pruning);
+            .with_pruning(self.pruning)
+            .with_tile_workers(self.tile_workers);
         match &self.checkpoint_dir {
             Some(dir) => engine.with_checkpoints(dir.clone()),
             None => engine,

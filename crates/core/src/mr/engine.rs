@@ -51,7 +51,7 @@ use gmr_mapreduce::submit::Submission;
 use gmr_mapreduce::writable::{to_bytes, Writable};
 use gmr_mapreduce::{Error, Result};
 
-use crate::mr::centers::CenterSet;
+use crate::mr::centers::{CenterSet, KernelBackend};
 use crate::mr::sample::sample_points;
 
 /// How a driver feeds the dataset to its jobs.
@@ -456,6 +456,8 @@ pub struct Engine {
     mode: ExecutionMode,
     kd_index: bool,
     pruning: bool,
+    backend: KernelBackend,
+    tile_workers: usize,
     spill_threshold: usize,
     checkpoint_dir: Option<String>,
 }
@@ -469,6 +471,8 @@ impl Engine {
             mode: ExecutionMode::OnDisk,
             kd_index: false,
             pruning: false,
+            backend: KernelBackend::Auto,
+            tile_workers: 1,
             spill_threshold: JobConfig::default().spill_threshold_records,
             checkpoint_dir: None,
         }
@@ -505,6 +509,25 @@ impl Engine {
     /// subsumes it).
     pub fn with_pruning(mut self, pruning: bool) -> Self {
         self.pruning = pruning;
+        self
+    }
+
+    /// Selects the cost-neutral kernel backend for the default
+    /// cached-map fast path (see [`KernelBackend`]); results and
+    /// counters are bit-identical for every choice, only wall time
+    /// changes. The default, [`KernelBackend::Auto`], picks per job
+    /// from the center set's shape.
+    pub fn with_backend(mut self, backend: KernelBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the worker-thread count for the blocked kernel's
+    /// deterministic parallel point tiles (default 1 = inline).
+    /// Execution stays byte-identical — emissions, counters,
+    /// checkpoints — for every value.
+    pub fn with_tile_workers(mut self, workers: usize) -> Self {
+        self.tile_workers = workers.max(1);
         self
     }
 
@@ -688,8 +711,12 @@ impl<'e> EngineCtx<'e> {
         self.cluster().total_reduce_slots().max(1)
     }
 
-    /// Wires the engine's configured accelerator (k-d index or triangle
-    /// pruning) into a center set bound for a job.
+    /// Wires the engine's configured accelerator into a center set
+    /// bound for a job. The opt-in k-d index / triangle pruning
+    /// accelerators (which change the charged evaluation counts) take
+    /// precedence; otherwise the cost-neutral speed backend and the
+    /// parallel-tile worker count are attached, so every distance-heavy
+    /// mapper inherits the fast path with zero per-mapper changes.
     pub fn prepare(&self, set: CenterSet) -> CenterSet {
         if set.is_empty() {
             set
@@ -698,7 +725,8 @@ impl<'e> EngineCtx<'e> {
         } else if self.engine.pruning {
             set.with_triangle_prune()
         } else {
-            set
+            set.with_backend(self.engine.backend)
+                .with_tile_workers(self.engine.tile_workers)
         }
     }
 

@@ -38,7 +38,7 @@ pub mod split_test;
 pub mod strategy;
 
 pub use bic_test::{BicTestJob, BicTestSpec};
-pub use centers::{apply_updates, CenterSet, CenterUpdate, ChannelKey, OFFSET};
+pub use centers::{apply_updates, CenterSet, CenterUpdate, ChannelKey, KernelBackend, OFFSET};
 pub use driver::{IterationReport, MRGMeans, MRGMeansResult, SplitCriterion};
 pub use engine::{
     Engine, EngineCtx, ExecutionMode, IterativeAlgorithm, JobOutputs, PlannedJob, RunStats,

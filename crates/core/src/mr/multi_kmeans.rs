@@ -410,6 +410,7 @@ pub struct MultiKMeans {
     mode: ExecutionMode,
     kd_index: bool,
     pruning: bool,
+    tile_workers: usize,
     checkpoint_dir: Option<String>,
 }
 
@@ -438,8 +439,17 @@ impl MultiKMeans {
             mode: ExecutionMode::OnDisk,
             kd_index: false,
             pruning: false,
+            tile_workers: 1,
             checkpoint_dir: None,
         }
+    }
+
+    /// Splits every cached map block's kernel work across `workers`
+    /// deterministic parallel tiles. Results are byte-identical for
+    /// every value; only wall time changes.
+    pub fn with_tile_workers(mut self, workers: usize) -> Self {
+        self.tile_workers = workers.max(1);
+        self
     }
 
     /// Enables the k-d-tree nearest-center index inside the job.
@@ -480,7 +490,8 @@ impl MultiKMeans {
         let engine = Engine::new(self.runner.clone())
             .with_execution_mode(self.mode)
             .with_kd_index(self.kd_index)
-            .with_pruning(self.pruning);
+            .with_pruning(self.pruning)
+            .with_tile_workers(self.tile_workers);
         match &self.checkpoint_dir {
             Some(dir) => engine.with_checkpoints(dir.clone()),
             None => engine,

@@ -1,11 +1,12 @@
 //! Blocked nearest-center kernel over tiles of points × tiles of centers.
 //!
 //! The scalar [`nearest_center_flat`](crate::nearest_center_flat) scan
-//! streams all `k` centers through the cache once *per point*. This
-//! kernel instead processes a tile of points against a tile of centers so
-//! the center tile stays hot in L1, and uses the norm decomposition
-//! `‖x − c‖² = ‖x‖² − 2·x·c + ‖c‖²` with squared norms computed once per
-//! buffer instead of per pair.
+//! streams all `k` centers through the cache once *per point*, and its
+//! accumulator chain (`acc += d·d`) is a serial dependency no compiler
+//! can vectorize. This kernel instead processes a tile of points against
+//! a tile of centers so the center tile stays hot in L1, and uses the
+//! norm decomposition `‖x − c‖² = ‖x‖² − 2·x·c + ‖c‖²` with squared
+//! norms computed once per buffer instead of per pair.
 //!
 //! The decomposition is numerically *different* from the direct
 //! subtract-square-accumulate loop, so it is used only to compute
@@ -17,10 +18,36 @@
 //! scan, which is what the fault-replay and checkpoint-resume suites
 //! require.
 //!
-//! At very low dimensionality (d < 4) the bounds pass costs as much as
-//! the exact scan and the survivor pass then pays again, so the entry
-//! point falls back to the scalar scan per point — same results, none
-//! of the overhead.
+//! # Tile layout and SIMD
+//!
+//! Each center tile of (up to) `CENTER_TILE` centers is transposed
+//! once into dimension-major order — `t[d·CENTER_TILE + j]` is
+//! coordinate `d` of tile-center `j` — so the bounds pass for one point
+//! is a rank-1 update: broadcast `p[d]`, multiply by a contiguous lane
+//! of 32 center coordinates, accumulate into 32 independent dot-product
+//! accumulators. There is no reduction dependency across lanes, which is
+//! exactly the shape SIMD wants. On x86-64 an AVX2+FMA path (selected
+//! once at runtime via `is_x86_feature_detected!`) runs the update as
+//! 8 × 4-lane fused multiply-adds; everywhere else a 32-wide scalar
+//! accumulator array autovectorizes to whatever the target baseline
+//! offers. Bound values may differ between the two paths by a few ulps —
+//! the margin covers both — but the *output* is identical because every
+//! survivor is re-evaluated exactly.
+//!
+//! Partial tiles are padded with zero coordinates and `+∞` norms: a
+//! padded lane's bound is `+∞`, so it can never win the minimum and
+//! never survives.
+//!
+//! # Deterministic parallel tiles
+//!
+//! [`nearest_centers_batch_tiled`] splits the point rows across a
+//! bounded set of scoped worker threads. Each worker owns a disjoint,
+//! contiguous range of output slots decided *before* any thread starts
+//! — tile order, not completion order — and the per-point result is a
+//! pure function of `(point, centers)`, so the output (and therefore
+//! emission order, charged evaluations, and fault replay downstream) is
+//! byte-identical to the single-threaded run no matter how the OS
+//! schedules the workers.
 
 use crate::distance::squared_euclidean;
 
@@ -29,19 +56,9 @@ use crate::distance::squared_euclidean;
 const POINT_TILE: usize = 64;
 
 /// Centers per tile: a tile of `32 × dim` f64s fits in L1 for the low
-/// dimensionalities the paper evaluates (d ≤ 10).
+/// dimensionalities the paper evaluates (d ≤ 10), and 32 lanes is a
+/// multiple of every f64 SIMD width in sight (2, 4, 8).
 const CENTER_TILE: usize = 32;
-
-/// Minimum dimensionality for the norm-decomposition bounds pass.
-///
-/// Below this the decomposition loses: the dot product costs as many
-/// flops as the exact subtract-square loop, and the survivor pass then
-/// pays the exact loop *again*, so the kernel ran slower than the plain
-/// scan it was meant to beat (the `BENCH_kernels.json` d = 2 workload
-/// measured 0.73× naive). For d < 4 the batch entry point delegates to
-/// [`nearest_center_flat`](crate::nearest_center_flat) per point, which
-/// is the bit-identity contract's reference anyway.
-const MIN_DECOMPOSITION_DIM: usize = 4;
 
 /// Squared Euclidean norm of every row in a flat row-major buffer.
 ///
@@ -61,12 +78,221 @@ pub fn squared_norms(flat: &[f64], dim: usize) -> Vec<f64> {
 /// Both computations accumulate `O(dim)` terms no larger in magnitude
 /// than `‖x‖² + ‖c‖²` (since `2|x·c| ≤ ‖x‖² + ‖c‖²`), so each carries a
 /// rounding error of at most a small multiple of `dim · ε` relative to
-/// that scale. The factor 8 and the `+ 8` are deliberate slack: a margin
-/// that is too wide only re-evaluates a few extra centers, while one
-/// that is too narrow would silently change an argmin.
+/// that scale. The factor 8 and the `+ 8` are deliberate slack — wide
+/// enough to also cover the FMA/reassociation differences of the SIMD
+/// bounds path: a margin that is too wide only re-evaluates a few extra
+/// centers, while one that is too narrow would silently change an
+/// argmin. The cutoff is `min_bound + margin` and both the true
+/// nearest's bound and the minimum bound err by at most one margin-half
+/// each, which is why [`nearest_into`] applies the margin once on top of
+/// the observed minimum.
 #[inline]
 fn bound_margin(dim: usize, px2: f64, cn_max: f64) -> f64 {
     (dim as f64 + 8.0) * 8.0 * f64::EPSILON * (px2 + cn_max)
+}
+
+/// One transposed center tile: `t[d * CENTER_TILE + j]` is coordinate
+/// `d` of the tile's `j`-th center. Lanes `rows..CENTER_TILE` are
+/// padding (zero coordinates, `+∞` norm).
+struct CenterTile {
+    t: Vec<f64>,
+    norms: [f64; CENTER_TILE],
+    /// Real centers in this tile (the rest is padding).
+    rows: usize,
+    /// Global index of the tile's first center.
+    base: usize,
+}
+
+/// Transposes the center buffer into per-tile dimension-major layout.
+fn transpose_tiles(centers: &[f64], center_norms: &[f64], dim: usize) -> Vec<CenterTile> {
+    centers
+        .chunks(CENTER_TILE * dim)
+        .enumerate()
+        .map(|(ti, chunk)| {
+            let rows = chunk.len() / dim;
+            let base = ti * CENTER_TILE;
+            let mut t = vec![0.0f64; dim * CENTER_TILE];
+            for (j, c) in chunk.chunks_exact(dim).enumerate() {
+                for (d, &x) in c.iter().enumerate() {
+                    t[d * CENTER_TILE + j] = x;
+                }
+            }
+            let mut norms = [f64::INFINITY; CENTER_TILE];
+            norms[..rows].copy_from_slice(&center_norms[base..base + rows]);
+            CenterTile {
+                t,
+                norms,
+                rows,
+                base,
+            }
+        })
+        .collect()
+}
+
+/// Whether the AVX2+FMA bounds kernel is available, probed once.
+#[cfg(target_arch = "x86_64")]
+fn simd_available() -> bool {
+    use std::sync::OnceLock;
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+    })
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn simd_available() -> bool {
+    false
+}
+
+/// Scalar bounds pass for one point against one transposed center tile:
+/// writes the tile's bounds into `out_row` and returns the tile minimum.
+///
+/// The 32 accumulators are independent, so this loop autovectorizes at
+/// whatever width the compilation target guarantees; it is also the
+/// reference the AVX2 path must stay within one margin of.
+#[inline]
+fn tile_bounds_scalar(p: &[f64], px2: f64, tile: &CenterTile, out_row: &mut [f64]) -> f64 {
+    let mut dot = [0.0f64; CENTER_TILE];
+    for (d, &pd) in p.iter().enumerate() {
+        let col = &tile.t[d * CENTER_TILE..(d + 1) * CENTER_TILE];
+        for (acc, &c) in dot.iter_mut().zip(col) {
+            *acc += pd * c;
+        }
+    }
+    let mut bs = [0.0f64; CENTER_TILE];
+    for (b, (&acc, &cn)) in bs.iter_mut().zip(dot.iter().zip(&tile.norms)) {
+        *b = px2 - 2.0 * acc + cn;
+    }
+    let mut min = f64::INFINITY;
+    for &b in &bs {
+        min = min.min(b);
+    }
+    out_row[..tile.rows].copy_from_slice(&bs[..tile.rows]);
+    min
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    use super::{CenterTile, CENTER_TILE};
+    use std::arch::x86_64::*;
+
+    /// AVX2+FMA bounds pass for one point against one transposed tile:
+    /// 8 × 4-lane FMA accumulators cover the 32 center lanes with no
+    /// cross-lane dependency. Returns the tile's minimum bound.
+    ///
+    /// NaN note: `_mm256_min_pd` propagates its *second* operand on a
+    /// NaN input, so a transient NaN bound can only *raise* the running
+    /// minimum (or leave it NaN) — never lower it. A raised minimum
+    /// widens the survivor cutoff (harmless: extra exact re-evaluations)
+    /// and a NaN minimum makes the cutoff non-finite, which sends the
+    /// caller to the exact per-point scan. Either way the output stays
+    /// bit-identical to the scan.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 and FMA support at runtime.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn tile_bounds(p: &[f64], px2: f64, tile: &CenterTile, out_row: &mut [f64]) -> f64 {
+        const LANES: usize = 4;
+        const VECS: usize = CENTER_TILE / LANES;
+        let mut acc = [_mm256_setzero_pd(); VECS];
+        let t = tile.t.as_ptr();
+        for (d, &pd) in p.iter().enumerate() {
+            let pv = _mm256_set1_pd(pd);
+            let col = t.add(d * CENTER_TILE);
+            for (v, a) in acc.iter_mut().enumerate() {
+                *a = _mm256_fmadd_pd(pv, _mm256_loadu_pd(col.add(v * LANES)), *a);
+            }
+        }
+        let two = _mm256_set1_pd(2.0);
+        let px2v = _mm256_set1_pd(px2);
+        let mut bs = [0.0f64; CENTER_TILE];
+        let mut minv = _mm256_set1_pd(f64::INFINITY);
+        for (v, a) in acc.iter().enumerate() {
+            let cn = _mm256_loadu_pd(tile.norms.as_ptr().add(v * LANES));
+            // px2 − 2·dot + ‖c‖², with the subtraction fused.
+            let b = _mm256_add_pd(_mm256_fnmadd_pd(*a, two, px2v), cn);
+            _mm256_storeu_pd(bs.as_mut_ptr().add(v * LANES), b);
+            minv = _mm256_min_pd(minv, b);
+        }
+        let lo = _mm256_castpd256_pd128(minv);
+        let hi = _mm256_extractf128_pd(minv, 1);
+        let m = _mm_min_pd(lo, hi);
+        let m = _mm_min_sd(m, _mm_unpackhi_pd(m, m));
+        out_row[..tile.rows].copy_from_slice(&bs[..tile.rows]);
+        _mm_cvtsd_f64(m)
+    }
+}
+
+/// Bounds pass for one point against one tile, dispatching to the AVX2
+/// kernel when the caller's one-time probe allowed it.
+#[inline]
+fn tile_bounds(p: &[f64], px2: f64, tile: &CenterTile, out_row: &mut [f64], use_simd: bool) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if use_simd {
+        // SAFETY: `use_simd` is only true when `simd_available()`
+        // confirmed AVX2 and FMA at runtime.
+        return unsafe { avx::tile_bounds(p, px2, tile, out_row) };
+    }
+    let _ = use_simd;
+    tile_bounds_scalar(p, px2, tile, out_row)
+}
+
+/// The serial kernel over a pre-transposed center buffer, writing one
+/// `(center_index, squared_distance)` per point row into `out`.
+#[allow(clippy::too_many_arguments)]
+fn nearest_into(
+    points: &[f64],
+    point_norms: &[f64],
+    centers: &[f64],
+    tiles: &[CenterTile],
+    dim: usize,
+    k: usize,
+    cn_max: f64,
+    use_simd: bool,
+    out: &mut [(usize, f64)],
+) {
+    let mut bounds = vec![0.0f64; POINT_TILE * k];
+    let mut min_bounds = [0.0f64; POINT_TILE];
+
+    for (tile_idx, tile) in points.chunks(POINT_TILE * dim).enumerate() {
+        let rows = tile.len() / dim;
+        let p_base = tile_idx * POINT_TILE;
+        let tile_norms = &point_norms[p_base..p_base + rows];
+        min_bounds[..rows].fill(f64::INFINITY);
+
+        // Bounds pass: tile of points × transposed tile of centers.
+        for ct in tiles {
+            for (pi, p) in tile.chunks_exact(dim).enumerate() {
+                let px2 = tile_norms[pi];
+                let row = &mut bounds[pi * k + ct.base..pi * k + ct.base + ct.rows];
+                let min = tile_bounds(p, px2, ct, row, use_simd);
+                min_bounds[pi] = min_bounds[pi].min(min);
+            }
+        }
+
+        // Survivor pass: exact recomputation in ascending center order.
+        for (pi, p) in tile.chunks_exact(dim).enumerate() {
+            let row = &bounds[pi * k..(pi + 1) * k];
+            let cutoff = min_bounds[pi] + bound_margin(dim, tile_norms[pi], cn_max);
+            let mut best: Option<(usize, f64)> = None;
+            if cutoff.is_finite() {
+                for (j, &b) in row.iter().enumerate() {
+                    if b <= cutoff {
+                        let d = squared_euclidean(p, &centers[j * dim..(j + 1) * dim]);
+                        match best {
+                            Some((_, bd)) if bd <= d => {}
+                            _ => best = Some((j, d)),
+                        }
+                    }
+                }
+            }
+            // Non-finite coordinates poison the bounds; fall back to the
+            // plain scan so the result still matches it exactly.
+            out[p_base + pi] = best.unwrap_or_else(|| {
+                crate::distance::nearest_center_flat(p, centers, dim).expect("non-empty centers")
+            });
+        }
+    }
 }
 
 /// Nearest center for every point of a flat row-major block, returning
@@ -90,6 +316,30 @@ pub fn nearest_centers_batch(
     center_norms: &[f64],
     dim: usize,
 ) -> Vec<(usize, f64)> {
+    nearest_centers_batch_tiled(points, point_norms, centers, center_norms, dim, 1)
+}
+
+/// [`nearest_centers_batch`] with the point rows split across up to
+/// `workers` scoped threads in deterministic tile order.
+///
+/// Output, and therefore everything computed from it downstream
+/// (emission order, charged evaluations, checkpoints, fault replay), is
+/// byte-identical for every `workers` value: each worker is handed a
+/// contiguous run of point tiles and a matching disjoint output slice
+/// *before* any thread runs, and each point's result is a pure function
+/// of the inputs. `workers ≤ 1`, tiny blocks, and single-tile inputs
+/// run inline on the calling thread.
+///
+/// # Panics
+/// Same contract as [`nearest_centers_batch`].
+pub fn nearest_centers_batch_tiled(
+    points: &[f64],
+    point_norms: &[f64],
+    centers: &[f64],
+    center_norms: &[f64],
+    dim: usize,
+    workers: usize,
+) -> Vec<(usize, f64)> {
     assert!(dim > 0, "dimension must be positive");
     assert!(!centers.is_empty(), "no centers");
     assert_eq!(points.len() % dim, 0, "ragged point buffer");
@@ -98,10 +348,16 @@ pub fn nearest_centers_batch(
     let k = centers.len() / dim;
     assert_eq!(point_norms.len(), n, "point norm count mismatch");
     assert_eq!(center_norms.len(), k, "center norm count mismatch");
+    if n == 0 {
+        return Vec::new();
+    }
 
-    // Low dimension: the bounds trick cannot win (see
-    // [`MIN_DECOMPOSITION_DIM`]); use the reference scan directly.
-    if dim < MIN_DECOMPOSITION_DIM {
+    // A non-finite center poisons every decomposition bound involving
+    // it, and the naive scan's comparison semantics around NaN are what
+    // the bit-identity contract pins — delegate the whole block to the
+    // reference scan. (Non-finite *points* are handled per point by the
+    // cutoff check inside the kernel.)
+    if center_norms.iter().any(|cn| !cn.is_finite()) {
         return points
             .chunks_exact(dim)
             .map(|p| {
@@ -111,62 +367,46 @@ pub fn nearest_centers_batch(
     }
 
     let cn_max = center_norms.iter().cloned().fold(0.0f64, f64::max);
-    let mut out = Vec::with_capacity(n);
-    // Bound buffer for one tile of points, row-major: tile_rows × k,
-    // plus the running minimum bound of each point row.
-    let mut bounds = vec![0.0f64; POINT_TILE * k];
-    let mut min_bounds = [0.0f64; POINT_TILE];
+    let tiles = transpose_tiles(centers, center_norms, dim);
+    let use_simd = simd_available();
+    let mut out = vec![(0usize, 0.0f64); n];
 
-    for (tile_idx, tile) in points.chunks(POINT_TILE * dim).enumerate() {
-        let rows = tile.len() / dim;
-        let tile_norms = &point_norms[tile_idx * POINT_TILE..tile_idx * POINT_TILE + rows];
-        min_bounds[..rows].fill(f64::INFINITY);
-
-        // Bounds pass: tile of points × tile of centers, centers hot.
-        for (ct_idx, c_tile) in centers.chunks(CENTER_TILE * dim).enumerate() {
-            let c_base = ct_idx * CENTER_TILE;
-            let c_rows = c_tile.len() / dim;
-            for (pi, p) in tile.chunks_exact(dim).enumerate() {
-                let px2 = tile_norms[pi];
-                let row = &mut bounds[pi * k + c_base..pi * k + c_base + c_rows];
-                let mut min = min_bounds[pi];
-                for (cj, c) in c_tile.chunks_exact(dim).enumerate() {
-                    let mut dot = 0.0;
-                    for (x, y) in p.iter().zip(c) {
-                        dot += x * y;
-                    }
-                    let b = px2 - 2.0 * dot + center_norms[c_base + cj];
-                    row[cj] = b;
-                    min = min.min(b);
-                }
-                min_bounds[pi] = min;
-            }
-        }
-
-        // Survivor pass: exact recomputation in ascending center order.
-        for (pi, p) in tile.chunks_exact(dim).enumerate() {
-            let row = &bounds[pi * k..(pi + 1) * k];
-            let cutoff = min_bounds[pi] + bound_margin(dim, tile_norms[pi], cn_max);
-            let mut best: Option<(usize, f64)> = None;
-            if cutoff.is_finite() {
-                for (j, &b) in row.iter().enumerate() {
-                    if b <= cutoff {
-                        let d = squared_euclidean(p, &centers[j * dim..(j + 1) * dim]);
-                        match best {
-                            Some((_, bd)) if bd <= d => {}
-                            _ => best = Some((j, d)),
-                        }
-                    }
-                }
-            }
-            // Non-finite coordinates poison the bounds; fall back to the
-            // plain scan so the result still matches it exactly.
-            let (idx, d2) = best.unwrap_or_else(|| {
-                crate::distance::nearest_center_flat(p, centers, dim).expect("non-empty centers")
-            });
-            out.push((idx, d2));
-        }
+    // Contiguous point-tile ranges per worker, fixed before spawning.
+    let n_tiles = n.div_ceil(POINT_TILE);
+    let workers = workers.clamp(1, n_tiles);
+    if workers == 1 {
+        nearest_into(
+            points,
+            point_norms,
+            centers,
+            &tiles,
+            dim,
+            k,
+            cn_max,
+            use_simd,
+            &mut out,
+        );
+        return out;
     }
+
+    let tiles_per_worker = n_tiles.div_ceil(workers);
+    let rows_per_worker = tiles_per_worker * POINT_TILE;
+    std::thread::scope(|s| {
+        let tiles = &tiles;
+        let mut rest = out.as_mut_slice();
+        let mut offset = 0usize;
+        while !rest.is_empty() {
+            let take = rows_per_worker.min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let p = &points[offset * dim..(offset + take) * dim];
+            let pn = &point_norms[offset..offset + take];
+            offset += take;
+            s.spawn(move || {
+                nearest_into(p, pn, centers, tiles, dim, k, cn_max, use_simd, chunk);
+            });
+        }
+    });
     out
 }
 
@@ -216,8 +456,6 @@ mod tests {
 
     #[test]
     fn exact_ties_prefer_first_center_in_the_tile_loop() {
-        // Same contract at a dimension that takes the bounds pass
-        // (d ≥ 4): duplicated centers must still resolve first-wins.
         let centers = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 5.0, 5.0, 5.0, 5.0];
         let points = [3.0, 3.0, 3.0, 3.0, 1.0, 1.0, 1.0, 1.0];
         let got = nearest_centers_batch(
@@ -233,9 +471,7 @@ mod tests {
 
     #[test]
     fn spans_multiple_tiles() {
-        // More points than POINT_TILE and more centers than CENTER_TILE,
-        // at a dimension high enough to run the tile loop rather than
-        // the low-dimension fallback.
+        // More points than POINT_TILE and more centers than CENTER_TILE.
         let dim = 5;
         let points: Vec<f64> = (0..(POINT_TILE * 2 + 7) * dim)
             .map(|i| ((i * 37) % 101) as f64 - 50.0)
@@ -251,6 +487,108 @@ mod tests {
             dim,
         );
         assert_eq!(got, naive(&points, &centers, dim));
+    }
+
+    #[test]
+    fn non_finite_centers_fall_back_to_scan() {
+        // One NaN center and one +∞ center among finite ones: the batch
+        // kernel must reproduce the scan's comparison semantics exactly,
+        // NaN oddities included.
+        let dim = 4;
+        let mut centers: Vec<f64> = (0..6 * dim).map(|i| (i % 11) as f64).collect();
+        centers[5] = f64::NAN;
+        centers[4 * dim] = f64::INFINITY;
+        let points: Vec<f64> = (0..40 * dim).map(|i| ((i * 13) % 17) as f64).collect();
+        let got = nearest_centers_batch(
+            &points,
+            &squared_norms(&points, dim),
+            &centers,
+            &squared_norms(&centers, dim),
+            dim,
+        );
+        let want = naive(&points, &centers, dim);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.0, w.0);
+            assert_eq!(g.1.to_bits(), w.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn non_finite_points_fall_back_to_scan() {
+        let dim = 4;
+        let centers: Vec<f64> = (0..8 * dim).map(|i| (i % 7) as f64).collect();
+        let mut points: Vec<f64> = (0..10 * dim).map(|i| ((i * 3) % 13) as f64).collect();
+        points[2] = f64::NAN;
+        points[5 * dim] = f64::NEG_INFINITY;
+        let got = nearest_centers_batch(
+            &points,
+            &squared_norms(&points, dim),
+            &centers,
+            &squared_norms(&centers, dim),
+            dim,
+        );
+        let want = naive(&points, &centers, dim);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.0, w.0);
+            assert_eq!(g.1.to_bits(), w.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn tiled_is_byte_identical_across_worker_counts() {
+        // Enough rows that 4 workers each own multiple point tiles.
+        let dim = 6;
+        let n = POINT_TILE * 9 + 13;
+        let points: Vec<f64> = (0..n * dim)
+            .map(|i| ((i * 29) % 211) as f64 - 100.0)
+            .collect();
+        let centers: Vec<f64> = (0..70 * dim)
+            .map(|i| ((i * 31) % 199) as f64 - 99.0)
+            .collect();
+        let pn = squared_norms(&points, dim);
+        let cn = squared_norms(&centers, dim);
+        let serial = nearest_centers_batch_tiled(&points, &pn, &centers, &cn, dim, 1);
+        for workers in [2, 3, 4, 16, 1000] {
+            let par = nearest_centers_batch_tiled(&points, &pn, &centers, &cn, dim, workers);
+            assert_eq!(par.len(), serial.len());
+            for (a, b) in par.iter().zip(&serial) {
+                assert_eq!(a.0, b.0, "workers={workers}");
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "workers={workers}");
+            }
+        }
+    }
+
+    /// Regression: the margin must never let a bound that is a few ulps
+    /// *above* the observed minimum (while its exact distance is the
+    /// true minimum) be skipped. This is the catastrophic-cancellation
+    /// shape — points far from the origin, centers a hair apart — where
+    /// `‖x‖² − 2x·c + ‖c‖²` loses almost all its significant bits.
+    #[test]
+    fn margin_never_skips_the_true_nearest_under_cancellation() {
+        let dim = 8;
+        let offset = 1.0e7; // px2 ≈ 8e14: bound error swamps the gap
+        for probe in 0..64 {
+            let eps = (probe + 1) as f64 * 1.0e-9;
+            let mut centers = Vec::new();
+            // Center 0 marginally farther, center 1 the true nearest,
+            // then decoys.
+            for delta in [2.0 * eps, eps, 0.5, 1.0, 2.0] {
+                let mut c = vec![offset; dim];
+                c[0] += delta;
+                centers.extend_from_slice(&c);
+            }
+            let p = vec![offset; dim];
+            let got = nearest_centers_batch(
+                &p,
+                &squared_norms(&p, dim),
+                &centers,
+                &squared_norms(&centers, dim),
+                dim,
+            );
+            let want = naive(&p, &centers, dim);
+            assert_eq!(got[0].0, want[0].0, "eps={eps}");
+            assert_eq!(got[0].1.to_bits(), want[0].1.to_bits(), "eps={eps}");
+        }
     }
 
     proptest! {
@@ -310,6 +648,72 @@ mod tests {
             for (g, w) in got.iter().zip(&want) {
                 prop_assert_eq!(g.0, w.0);
                 prop_assert_eq!(g.1.to_bits(), w.1.to_bits());
+            }
+        }
+
+        /// The satellite d = 128 margin stress: adversarial near-tie
+        /// grids at high dimension, where the `(d+8)·8·ε` margin is at
+        /// its tightest relative to the accumulated rounding error.
+        #[test]
+        fn batch_is_bit_identical_at_d128_near_ties(
+            n in 1usize..24,
+            k in 2usize..40,
+            grid in 1usize..5,
+            offset in 0.0..1.0e6f64,
+            seed: u64,
+        ) {
+            const DIM: usize = 128;
+            let mut state = seed | 1;
+            let mut next_u = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state >> 33
+            };
+            // Coarse integer grid shifted far from the origin: many
+            // exact ties plus heavy cancellation in the decomposition.
+            let centers: Vec<f64> = (0..k * DIM)
+                .map(|_| (next_u() % grid as u64) as f64 + offset)
+                .collect();
+            let points: Vec<f64> = (0..n * DIM)
+                .map(|_| (next_u() % grid as u64) as f64 + 0.5 + offset)
+                .collect();
+            let got = nearest_centers_batch(
+                &points,
+                &squared_norms(&points, DIM),
+                &centers,
+                &squared_norms(&centers, DIM),
+                DIM,
+            );
+            let want = naive(&points, &centers, DIM);
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(g.0, w.0);
+                prop_assert_eq!(g.1.to_bits(), w.1.to_bits());
+            }
+        }
+
+        /// Worker count must never leak into results, whatever the data.
+        #[test]
+        fn tiled_matches_serial_for_any_worker_count(
+            dim in 1usize..8,
+            n in 1usize..300,
+            k in 1usize..50,
+            workers in 1usize..9,
+            seed: u64,
+        ) {
+            let mut state = seed | 1;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) * 100.0
+            };
+            let points: Vec<f64> = (0..n * dim).map(|_| next()).collect();
+            let centers: Vec<f64> = (0..k * dim).map(|_| next()).collect();
+            let pn = squared_norms(&points, dim);
+            let cn = squared_norms(&centers, dim);
+            let serial = nearest_centers_batch_tiled(&points, &pn, &centers, &cn, dim, 1);
+            let par = nearest_centers_batch_tiled(&points, &pn, &centers, &cn, dim, workers);
+            prop_assert_eq!(serial.len(), par.len());
+            for (a, b) in serial.iter().zip(&par) {
+                prop_assert_eq!(a.0, b.0);
+                prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
             }
         }
     }

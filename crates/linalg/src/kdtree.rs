@@ -12,8 +12,17 @@
 //! (ties broken by the lower index). Queries report how many distance
 //! evaluations they performed, so the §4 cost accounting stays truthful
 //! when the index is enabled.
+//!
+//! Non-finite coordinates break both the spatial splits (NaN has no
+//! order) and the hypersphere pruning test, and the naive scan's
+//! comparison semantics around NaN are what the mapper bit-identity
+//! contract pins. A buffer containing any non-finite coordinate
+//! therefore *poisons* the tree at build time, and a poisoned tree — or
+//! any query with a non-finite coordinate — answers with the reference
+//! linear scan itself (charging all `n` evaluations), so the result is
+//! the scan's by construction.
 
-use crate::distance::squared_euclidean;
+use crate::distance::{nearest_center_flat, squared_euclidean};
 
 /// Leaf capacity: below this many points a subtree is scanned linearly.
 const LEAF_SIZE: usize = 8;
@@ -33,7 +42,16 @@ pub struct KdTree {
     dim: usize,
     flat: Vec<f64>,
     order: Vec<u32>,
+    /// The points permuted into tree order (`arranged[i] = flat[order[i]]`
+    /// row-wise), so leaf scans read contiguous memory instead of
+    /// gathering through `order`. `flat` stays in original order for the
+    /// poisoned/non-finite linear-scan fallback, whose semantics depend
+    /// on scan order.
+    arranged: Vec<f64>,
     nodes: Vec<Node>,
+    /// Set when the build saw a non-finite coordinate; queries then run
+    /// the reference linear scan instead of descending.
+    poisoned: bool,
 }
 
 /// Result of one nearest-neighbor query.
@@ -59,14 +77,40 @@ impl KdTree {
         assert_eq!(flat.len() % dim, 0, "ragged point buffer");
         let n = flat.len() / dim;
         assert!(n > 0, "cannot index zero points");
+        let poisoned = flat.iter().any(|x| !x.is_finite());
         let mut tree = Self {
             dim,
             flat: flat.to_vec(),
             order: (0..n as u32).collect(),
+            arranged: Vec::new(),
             nodes: Vec::with_capacity(2 * n / LEAF_SIZE + 2),
+            poisoned,
         };
-        tree.build_node(0, n);
+        if poisoned {
+            // One all-covering leaf; `nearest` never descends anyway.
+            tree.nodes.push(Node::Leaf {
+                start: 0,
+                end: n as u32,
+            });
+        } else {
+            tree.build_node(0, n);
+        }
+        tree.arranged = tree
+            .order
+            .iter()
+            .flat_map(|&p| {
+                tree.flat[p as usize * dim..(p as usize + 1) * dim]
+                    .iter()
+                    .copied()
+            })
+            .collect();
         tree
+    }
+
+    /// True when the indexed buffer contained a non-finite coordinate
+    /// and every query answers via the linear-scan fallback.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     fn coord(&self, point_idx: u32, d: usize) -> f64 {
@@ -149,44 +193,134 @@ impl KdTree {
     /// # Panics
     /// Panics if `point.len() != dim`.
     pub fn nearest(&self, point: &[f64]) -> KdQuery {
-        assert_eq!(point.len(), self.dim, "dimension mismatch");
-        let mut best = KdQuery {
-            index: usize::MAX,
-            dist2: f64::INFINITY,
-            evaluations: 0,
-        };
-        self.search(0, point, &mut best);
-        best
+        self.nearest_inner(point, None)
     }
 
-    fn search(&self, node: u32, point: &[f64], best: &mut KdQuery) {
-        match &self.nodes[node as usize] {
-            Node::Leaf { start, end } => {
-                for &p in &self.order[*start as usize..*end as usize] {
-                    let row = &self.flat[p as usize * self.dim..(p as usize + 1) * self.dim];
-                    let d2 = squared_euclidean(point, row);
-                    best.evaluations += 1;
-                    // Strict less-than plus index tie-break keeps results
-                    // identical to a first-wins linear scan.
-                    if d2 < best.dist2 || (d2 == best.dist2 && (p as usize) < best.index) {
-                        best.dist2 = d2;
-                        best.index = p as usize;
-                    }
+    /// Exact nearest neighbor of `point`, warm-started from a candidate.
+    ///
+    /// `hint` (an index into the original buffer, e.g. the previous
+    /// query's answer — consecutive cached points usually share a
+    /// cluster) seeds the running best with that row's exact distance,
+    /// so pruning starts with a finite bound at the root instead of
+    /// `∞`. The *answer* is identical to [`KdTree::nearest`] — the seed
+    /// is a valid candidate, every strictly-closer row still wins, and
+    /// the `<=` plane test keeps equal-distance subtrees so lower-index
+    /// ties are still found. Only `evaluations` differs (usually far
+    /// smaller), so callers on the cost-neutral speed path use this and
+    /// callers that charge actual evaluations use `nearest`.
+    ///
+    /// # Panics
+    /// Panics if `point.len() != dim` or `hint` is out of range.
+    pub fn nearest_from(&self, point: &[f64], hint: usize) -> KdQuery {
+        self.nearest_inner(point, Some(hint))
+    }
+
+    fn nearest_inner(&self, point: &[f64], hint: Option<usize>) -> KdQuery {
+        assert_eq!(point.len(), self.dim, "dimension mismatch");
+        if self.poisoned || point.iter().any(|x| !x.is_finite()) {
+            // Non-finite geometry: answer with the reference scan so the
+            // result (NaN comparison semantics included) is the scan's.
+            let (index, dist2) =
+                nearest_center_flat(point, &self.flat, self.dim).expect("non-empty tree");
+            return KdQuery {
+                index,
+                dist2,
+                evaluations: self.order.len() as u32,
+            };
+        }
+        let mut best = match hint {
+            Some(h) => {
+                let row = &self.flat[h * self.dim..(h + 1) * self.dim];
+                KdQuery {
+                    index: h,
+                    dist2: leaf_dist2(point, row),
+                    evaluations: 1,
                 }
             }
-            Node::Internal { dim, value, right } => {
-                let delta = point[*dim as usize] - value;
-                let (near, far) = if delta < 0.0 {
-                    (node + 1, *right)
-                } else {
-                    (*right, node + 1)
-                };
-                self.search(near, point, best);
-                if delta * delta <= best.dist2 {
-                    self.search(far, point, best);
+            None => KdQuery {
+                index: usize::MAX,
+                dist2: f64::INFINITY,
+                evaluations: 0,
+            },
+        };
+        // Iterative descent replicating the recursive traversal exactly:
+        // descend the near side, deferring each far child (with its
+        // plane distance) on a stack; popping revisits the deferred
+        // fars in the same order — and against the same running best —
+        // as the recursion's post-near checks, so evaluation counts are
+        // identical too. Midpoint splits keep the tree balanced, so
+        // depth (= stack use) is at most ⌈log2(u32::MAX / LEAF_SIZE)⌉ =
+        // 29 deferred entries.
+        let mut stack = [(0u32, 0.0f64); 32];
+        let mut sp = 0usize;
+        let mut node = 0u32;
+        loop {
+            match &self.nodes[node as usize] {
+                Node::Leaf { start, end } => {
+                    let (s, e) = (*start as usize, *end as usize);
+                    let rows = &self.arranged[s * self.dim..e * self.dim];
+                    for (off, row) in rows.chunks_exact(self.dim).enumerate() {
+                        let d2 = leaf_dist2(point, row);
+                        best.evaluations += 1;
+                        let p = self.order[s + off] as usize;
+                        // Strict less-than plus index tie-break keeps
+                        // results identical to a first-wins linear scan.
+                        if d2 < best.dist2 || (d2 == best.dist2 && p < best.index) {
+                            best.dist2 = d2;
+                            best.index = p;
+                        }
+                    }
+                    loop {
+                        if sp == 0 {
+                            return best;
+                        }
+                        sp -= 1;
+                        let (far, delta2) = stack[sp];
+                        if delta2 <= best.dist2 {
+                            node = far;
+                            break;
+                        }
+                    }
+                }
+                Node::Internal { dim, value, right } => {
+                    let delta = point[*dim as usize] - value;
+                    let (near, far) = if delta < 0.0 {
+                        (node + 1, *right)
+                    } else {
+                        (*right, node + 1)
+                    };
+                    stack[sp] = (far, delta * delta);
+                    sp += 1;
+                    node = near;
                 }
             }
         }
+    }
+}
+
+/// Leaf-scan distance: low dimensions get an unrolled form whose
+/// operation order — and therefore every result bit — matches
+/// [`squared_euclidean`]'s left-to-right accumulation (`0.0 + d²` is
+/// bit-identical to `d²` because a square is never `-0.0`).
+#[inline(always)]
+fn leaf_dist2(a: &[f64], b: &[f64]) -> f64 {
+    match (a.len(), b.len()) {
+        (1, 1) => {
+            let d = a[0] - b[0];
+            d * d
+        }
+        (2, 2) => {
+            let dx = a[0] - b[0];
+            let dy = a[1] - b[1];
+            dx * dx + dy * dy
+        }
+        (3, 3) => {
+            let dx = a[0] - b[0];
+            let dy = a[1] - b[1];
+            let dz = a[2] - b[2];
+            (dx * dx + dy * dy) + dz * dz
+        }
+        _ => squared_euclidean(a, b),
     }
 }
 
@@ -275,6 +409,58 @@ mod tests {
         KdTree::build(&[], 2);
     }
 
+    #[test]
+    fn non_finite_points_poison_the_tree_into_scan_fallback() {
+        // NaN and ±∞ in the indexed buffer: the tree must answer with
+        // the exact linear-scan result (its NaN semantics included).
+        let mut flat: Vec<f64> = (0..20).map(|i| (i % 7) as f64).collect();
+        flat[3] = f64::NAN;
+        flat[10] = f64::INFINITY;
+        let tree = KdTree::build(&flat, 2);
+        assert!(tree.is_poisoned());
+        for q in 0..15 {
+            let query = [q as f64 * 0.4, (q * 2) as f64 * 0.3];
+            let kd = tree.nearest(&query);
+            let (li, ld2) = nearest_center_flat(&query, &flat, 2).unwrap();
+            assert_eq!(kd.index, li);
+            assert_eq!(kd.dist2.to_bits(), ld2.to_bits());
+            assert_eq!(kd.evaluations, 10, "fallback charges a full scan");
+        }
+    }
+
+    #[test]
+    fn non_finite_query_falls_back_to_scan() {
+        let flat: Vec<f64> = (0..30).map(|i| (i % 11) as f64).collect();
+        let tree = KdTree::build(&flat, 2);
+        assert!(!tree.is_poisoned());
+        for query in [
+            [f64::NAN, 1.0],
+            [1.0, f64::NAN],
+            [f64::INFINITY, 0.0],
+            [f64::NEG_INFINITY, f64::NAN],
+        ] {
+            let kd = tree.nearest(&query);
+            let (li, ld2) = nearest_center_flat(&query, &flat, 2).unwrap();
+            assert_eq!(kd.index, li);
+            assert_eq!(kd.dist2.to_bits(), ld2.to_bits());
+        }
+    }
+
+    #[test]
+    fn seeded_query_matches_unseeded_from_any_hint() {
+        let flat = grid_points(200, 2);
+        let tree = KdTree::build(&flat, 2);
+        for q in 0..40 {
+            let query = [q as f64 * 1.3 - 25.0, (q * 7 % 90) as f64 - 45.0];
+            let plain = tree.nearest(&query);
+            for hint in [0, 1, 57, 199] {
+                let seeded = tree.nearest_from(&query, hint);
+                assert_eq!(seeded.index, plain.index, "hint {hint} query {q}");
+                assert_eq!(seeded.dist2.to_bits(), plain.dist2.to_bits());
+            }
+        }
+    }
+
     proptest! {
         /// The tree is exact: any query returns the linear-scan result.
         #[test]
@@ -290,6 +476,43 @@ mod tests {
             prop_assert_eq!(kd.index, li);
             prop_assert!((kd.dist2 - ld2).abs() < 1e-9);
             prop_assert!(kd.evaluations as usize <= pts.len() / 2);
+        }
+
+        /// The mapper-backend contract: coarse integer grids with
+        /// duplicated points and midpoint queries generate dense exact
+        /// ties, and the tree must resolve every one of them exactly
+        /// like the first-wins linear scan — index and distance bits.
+        #[test]
+        fn prop_exact_tie_grids_are_bit_identical_to_scan(
+            dim in 1usize..5,
+            k in 1usize..60,
+            grid in 1usize..5,
+            n in 1usize..40,
+            seed: u64,
+        ) {
+            let mut state = seed | 1;
+            let mut next_u = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state >> 33
+            };
+            let pts: Vec<f64> = (0..k * dim)
+                .map(|_| (next_u() % grid as u64) as f64)
+                .collect();
+            let tree = KdTree::build(&pts, dim);
+            for _ in 0..n {
+                let q: Vec<f64> = (0..dim)
+                    .map(|_| (next_u() % grid as u64) as f64 + 0.5)
+                    .collect();
+                let kd = tree.nearest(&q);
+                let (li, ld2) = nearest_center_flat(&q, &pts, dim).unwrap();
+                prop_assert_eq!(kd.index, li);
+                prop_assert_eq!(kd.dist2.to_bits(), ld2.to_bits());
+                // The warm-started query must resolve the same dense
+                // ties identically from any seed.
+                let seeded = tree.nearest_from(&q, (next_u() % k as u64) as usize);
+                prop_assert_eq!(seeded.index, li);
+                prop_assert_eq!(seeded.dist2.to_bits(), ld2.to_bits());
+            }
         }
     }
 }

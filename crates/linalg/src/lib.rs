@@ -45,7 +45,7 @@ pub mod prune;
 pub mod regression;
 pub mod stats;
 
-pub use batch::{nearest_centers_batch, squared_norms};
+pub use batch::{nearest_centers_batch, nearest_centers_batch_tiled, squared_norms};
 pub use centroid::CentroidAccumulator;
 pub use distance::{euclidean, nearest_center, nearest_center_flat, squared_euclidean};
 pub use kdtree::{KdQuery, KdTree};

@@ -89,3 +89,178 @@ fn index_composes_with_cached_execution() {
     assert_eq!(plain.centers, both.centers);
     assert_eq!(both.dataset_reads, 2);
 }
+
+// ---------------------------------------------------------------------
+// The kd *speed* backend (`CenterSet::with_backend`): bit-identical to
+// the scan, cost-neutral, and safe under non-finite geometry.
+// ---------------------------------------------------------------------
+
+use gmeans::mr::{CenterSet, KernelBackend};
+use proptest::prelude::*;
+
+/// Per-point reference: the plain flat scan (`nearest_with_cost` on a
+/// set with no backend attached) — the semantics every backend pins.
+fn scan_reference(set: &CenterSet, points: &[f64], dim: usize) -> Vec<(usize, i64, f64, u64)> {
+    points
+        .chunks_exact(dim)
+        .map(|p| set.nearest_with_cost(p).expect("non-empty set"))
+        .collect()
+}
+
+fn norms_of(points: &[f64], dim: usize) -> Vec<f64> {
+    points
+        .chunks_exact(dim)
+        .map(|p| p.iter().map(|x| x * x).sum())
+        .collect()
+}
+
+#[test]
+fn kd_backend_survives_non_finite_points() {
+    // Finite centers, queries laced with NaN/∞: the kd backend must
+    // answer exactly like the scan (whose NaN comparison quirks are the
+    // contract), while still charging k evaluations per point.
+    let mut plain = CenterSet::new(2);
+    for i in 0..40 {
+        plain.push(i as i64, &[(i % 7) as f64, (i / 7) as f64]);
+    }
+    let kd = plain.clone().with_backend(KernelBackend::Kd);
+    assert_eq!(kd.speed_backend(), Some("kd"));
+    let mut pts = Vec::new();
+    for q in 0..30 {
+        pts.extend_from_slice(&[q as f64 * 0.3, (q % 5) as f64]);
+    }
+    pts[4] = f64::NAN;
+    pts[11] = f64::INFINITY;
+    pts[20] = f64::NEG_INFINITY;
+    let reference = scan_reference(&plain, &pts, 2);
+    let got = kd.nearest_block(&pts, &norms_of(&pts, 2));
+    assert_eq!(got.len(), reference.len());
+    for (g, r) in got.iter().zip(&reference) {
+        assert_eq!(g.0, r.0, "index");
+        assert_eq!(g.1, r.1, "id");
+        assert_eq!(g.2.to_bits(), r.2.to_bits(), "distance bits");
+        assert_eq!(g.3, 40, "cost-neutral: charges k");
+    }
+}
+
+#[test]
+fn non_finite_centers_build_a_scan_equivalent_backend() {
+    // A center set containing NaN coordinates: `with_backend` must not
+    // hand the query to a structure with different NaN semantics.
+    let mut plain = CenterSet::new(2);
+    for i in 0..12 {
+        plain.push(i as i64, &[i as f64, 1.0]);
+    }
+    plain.push(12, &[f64::NAN, 2.0]);
+    plain.push(13, &[3.0, f64::INFINITY]);
+    let auto = plain.clone().with_backend(KernelBackend::Kd);
+    let pts: Vec<f64> = (0..20).flat_map(|q| [q as f64 * 0.7, 1.2]).collect();
+    let reference = scan_reference(&plain, &pts, 2);
+    let got = auto.nearest_block(&pts, &norms_of(&pts, 2));
+    for (g, r) in got.iter().zip(&reference) {
+        assert_eq!((g.0, g.1), (r.0, r.1));
+        assert_eq!(g.2.to_bits(), r.2.to_bits());
+    }
+}
+
+proptest! {
+    /// The mapper contract, adversarially: coarse integer grids breed
+    /// duplicate centers and dense exact ties, and the kd speed backend
+    /// must resolve every one exactly like the first-wins scan — index,
+    /// id, and distance bits — while charging the scan's k evaluations.
+    #[test]
+    fn prop_kd_backend_is_bit_identical_to_scan_on_tie_grids(
+        dim in 1usize..4,
+        k in 2usize..70,
+        grid in 1usize..5,
+        n in 1usize..50,
+        seed: u64,
+    ) {
+        let mut state = seed | 1;
+        let mut next_u = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut plain = CenterSet::new(dim);
+        for i in 0..k {
+            let c: Vec<f64> = (0..dim).map(|_| (next_u() % grid as u64) as f64).collect();
+            plain.push(i as i64, &c);
+        }
+        let kd = plain.clone().with_backend(KernelBackend::Kd);
+        prop_assert_eq!(kd.speed_backend(), Some("kd"));
+        // Midpoint queries tie between whole grid neighborhoods.
+        let pts: Vec<f64> = (0..n * dim)
+            .map(|_| (next_u() % grid as u64) as f64 + 0.5)
+            .collect();
+        let reference = scan_reference(&plain, &pts, dim);
+        let got = kd.nearest_block(&pts, &norms_of(&pts, dim));
+        prop_assert_eq!(got.len(), reference.len());
+        for (g, r) in got.iter().zip(&reference) {
+            prop_assert_eq!(g.0, r.0);
+            prop_assert_eq!(g.1, r.1);
+            prop_assert_eq!(g.2.to_bits(), r.2.to_bits());
+            prop_assert_eq!(g.3, k as u64);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic parallel tiles: any worker count is byte-identical to
+// single-threaded execution, all the way to the checkpoint journal.
+// ---------------------------------------------------------------------
+
+fn full_counters(c: &gmr_mapreduce::counters::Counters) -> Vec<(Counter, u64)> {
+    Counter::all().iter().map(|&k| (k, c.get(k))).collect()
+}
+
+#[test]
+fn parallel_tiles_are_byte_identical_end_to_end() {
+    let run = |workers: usize| {
+        let spec = GaussianMixture::paper_r10(4000, 8, 91);
+        let dfs = Arc::new(Dfs::new(32 * 1024));
+        spec.generate_to_dfs(&dfs, "points.txt").unwrap();
+        let runner = JobRunner::new(Arc::clone(&dfs), ClusterConfig::default()).unwrap();
+        let r = MRGMeans::new(runner, GMeansConfig::default().with_seed(9))
+            .with_execution_mode(ExecutionMode::Cached)
+            .with_tile_workers(workers)
+            .with_checkpoints("ck")
+            .run("points.txt")
+            .unwrap();
+        let mut files: Vec<String> = dfs
+            .list()
+            .into_iter()
+            .filter(|f| f.starts_with("ck"))
+            .collect();
+        files.sort();
+        assert!(!files.is_empty(), "checkpoints were journaled");
+        let journal: Vec<(String, Vec<String>)> = files
+            .into_iter()
+            .map(|f| {
+                let lines = dfs.read_lines(&f).unwrap();
+                (f, lines)
+            })
+            .collect();
+        (r, journal)
+    };
+    let (base, base_journal) = run(1);
+    for workers in [2usize, 4, 9] {
+        let (r, journal) = run(workers);
+        assert_eq!(base.centers, r.centers, "workers={workers}");
+        assert_eq!(base.counts, r.counts, "workers={workers}");
+        assert_eq!(base.iterations, r.iterations, "workers={workers}");
+        assert_eq!(
+            full_counters(&base.counters),
+            full_counters(&r.counters),
+            "counter bank diverged at workers={workers}"
+        );
+        assert_eq!(
+            base.simulated_secs.to_bits(),
+            r.simulated_secs.to_bits(),
+            "simulated clock diverged at workers={workers}"
+        );
+        assert_eq!(
+            base_journal, journal,
+            "checkpoint journal diverged at workers={workers}"
+        );
+    }
+}
