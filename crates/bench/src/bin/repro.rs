@@ -17,6 +17,7 @@
 //!   kernels   nearest-center kernel benchmark (writes BENCH_kernels.json)
 //!   scheduler multi-tenant fair-share vs FIFO (writes BENCH_scheduler.json)
 //!   elastic   membership elasticity: joins, spot revocations (writes BENCH_elastic.json)
+//!   scale     out-of-core spill-merge at 100x-1000x paper scale (writes BENCH_scale.json)
 //!   all       everything above, in order
 //! ```
 //!
@@ -27,7 +28,8 @@
 //! shapes, not its absolute numbers.
 
 use gmr_bench::experiments::{
-    ablations, elastic, fig1, fig2, fig4, kernels, scheduler, table3, table4, times,
+    ablations, elastic, fig1, fig2, fig4, kernels, scale as scale_exp, scheduler, table3, table4,
+    times,
 };
 use gmr_bench::ExperimentScale;
 
@@ -35,10 +37,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = None;
     let mut scale = ExperimentScale::default();
+    let mut quick = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => scale = ExperimentScale::quick(),
+            "--quick" => {
+                scale = ExperimentScale::quick();
+                quick = true;
+            }
             "--points" => {
                 i += 1;
                 scale.points = args
@@ -109,6 +115,14 @@ fn main() {
             print!("{}", elastic::render(&bench));
             write_elastic_json(&bench);
         }
+        "scale" => {
+            let bench = scale_exp::run(&scale);
+            print!("{}", scale_exp::render(&bench));
+            if quick {
+                scale_exp::assert_within_budget(&bench, 1.3);
+            }
+            write_scale_json(&bench);
+        }
         "all" => {
             print!("{}", fig1::render(&fig1::run(&scale)));
             print!("{}", fig2::render(&fig2::run(&scale)));
@@ -131,6 +145,12 @@ fn main() {
             let el = elastic::run(&scale);
             print!("{}", elastic::render(&el));
             write_elastic_json(&el);
+            let sc = scale_exp::run(&scale);
+            print!("{}", scale_exp::render(&sc));
+            if quick {
+                scale_exp::assert_within_budget(&sc, 1.3);
+            }
+            write_scale_json(&sc);
         }
         other => usage(&format!("unknown experiment {other}")),
     }
@@ -164,11 +184,19 @@ fn write_elastic_json(bench: &elastic::ElasticBench) {
     }
 }
 
+fn write_scale_json(bench: &scale_exp::ScaleBench) {
+    let path = "BENCH_scale.json";
+    match std::fs::write(path, bench.to_json()) {
+        Ok(()) => eprintln!("[wrote {path}]"),
+        Err(e) => eprintln!("[could not write {path}: {e}]"),
+    }
+}
+
 fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: repro <fig1|fig2|table1|table2|fig3|table3|fig4|table4|ablations|kernels|\
-         scheduler|elastic|all> [--points N] [--k-factor F] [--seed S] [--quick]"
+         scheduler|elastic|scale|all> [--points N] [--k-factor F] [--seed S] [--quick]"
     );
     std::process::exit(2);
 }

@@ -12,6 +12,7 @@
 //! | [`kernels`] | — | nearest-center kernel throughput trajectory (`BENCH_kernels.json`) |
 //! | [`scheduler`] | — | multi-tenant fair-share vs FIFO arbitration (`BENCH_scheduler.json`) |
 //! | [`elastic`] | — | elastic membership: join speedup, revocation cost (`BENCH_elastic.json`) |
+//! | [`scale`] | — | out-of-core spill-merge at 100×–1000× paper scale (`BENCH_scale.json`) |
 
 pub mod ablations;
 pub mod elastic;
@@ -19,6 +20,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod fig4;
 pub mod kernels;
+pub mod scale;
 pub mod scheduler;
 pub mod table3;
 pub mod table4;

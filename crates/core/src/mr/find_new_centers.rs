@@ -51,8 +51,10 @@ fn priority(seed: u64, coords: &[f64]) -> u64 {
 }
 
 /// Keeps the two values with the smallest priorities (stable under
-/// recombination: min of mins is the global min).
-fn keep_two_minimal(seed: u64, values: Vec<PointSum>) -> Vec<PointSum> {
+/// recombination: min of mins is the global min). Streams its input —
+/// at most three candidates are resident at a time, so the reducer can
+/// feed it values straight off the merge without collecting the group.
+fn keep_two_minimal(seed: u64, values: impl IntoIterator<Item = PointSum>) -> Vec<PointSum> {
     let mut best: Vec<(u64, PointSum)> = Vec::with_capacity(3);
     for v in values {
         let p = priority(seed, &v.0);
@@ -177,7 +179,7 @@ impl Reducer for FindNewCentersReducer {
     ) -> Result<()> {
         match ChannelKey::decode(key) {
             ChannelKey::Candidate(id) => {
-                let winners = keep_two_minimal(self.seed, values.collect());
+                let winners = keep_two_minimal(self.seed, values);
                 out.push(FindNewOutput::Candidates {
                     id,
                     points: winners.into_iter().map(|(coords, _)| coords).collect(),

@@ -16,6 +16,100 @@ use crate::cost::CostModel;
 use crate::error::{Error, Result};
 use crate::faults::{FaultPlan, MembershipPlan, NodeStatus};
 
+/// Out-of-core execution policy: when and how map tasks spill their
+/// sort buffers to disk instead of buffering every emission in memory.
+///
+/// Disabled by default — the buffer-everything mode is the reference
+/// behaviour every golden fingerprint pins. Enabling spilling changes
+/// *where* intermediate bytes live, never *what* the job computes:
+/// spilled runs are raw (uncombined) sorted emission windows, merged
+/// with a run-index tie-break and combined once over the merged
+/// stream, so the final map output is byte-identical to the buffered
+/// path (DESIGN.md §18 walks the argument).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutOfCoreConfig {
+    /// Master switch: spill map sort buffers to disk on overflow and
+    /// rescue injected heap faults by spilling instead of dying.
+    pub spill_enabled: bool,
+    /// Map-side sort buffer size in bytes (Hadoop's `io.sort.mb`,
+    /// default 32 MiB). A spill is also forced whenever the task's
+    /// heap ledger refuses the buffer's next charge.
+    pub sort_buffer_bytes: u64,
+    /// Maximum runs merged in one pass (Hadoop's `io.sort.factor`,
+    /// default 16). More runs than this triggers intermediate merge
+    /// passes, counted in `shuffle_merge_passes`.
+    pub merge_fan_in: usize,
+    /// Block-compress spill runs (Hadoop's
+    /// `mapred.compress.map.output`, default on).
+    pub compress_spills: bool,
+    /// Spill-file block size in bytes (default 256 KiB): the unit of
+    /// checksumming, compression and read-side buffering.
+    pub spill_block_bytes: usize,
+}
+
+impl Default for OutOfCoreConfig {
+    fn default() -> Self {
+        Self {
+            spill_enabled: false,
+            sort_buffer_bytes: 32 << 20,
+            merge_fan_in: 16,
+            compress_spills: true,
+            spill_block_bytes: 256 << 10,
+        }
+    }
+}
+
+impl OutOfCoreConfig {
+    /// Spilling enabled with the default buffer sizes.
+    pub fn enabled() -> Self {
+        Self {
+            spill_enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// This policy with a different sort-buffer size.
+    pub fn with_sort_buffer(mut self, bytes: u64) -> Self {
+        self.sort_buffer_bytes = bytes;
+        self
+    }
+
+    /// This policy with a different merge fan-in.
+    pub fn with_merge_fan_in(mut self, fan_in: usize) -> Self {
+        self.merge_fan_in = fan_in;
+        self
+    }
+
+    /// This policy with spill compression switched on or off.
+    pub fn with_compression(mut self, compress: bool) -> Self {
+        self.compress_spills = compress;
+        self
+    }
+
+    /// This policy with a different spill block size.
+    pub fn with_block_bytes(mut self, bytes: usize) -> Self {
+        self.spill_block_bytes = bytes;
+        self
+    }
+
+    /// Validates the policy (called from cluster validation).
+    pub fn validate(&self) -> Result<()> {
+        if !self.spill_enabled {
+            return Ok(());
+        }
+        if self.sort_buffer_bytes == 0 {
+            return Err(Error::Config("sort_buffer_bytes must be positive".into()));
+        }
+        if self.merge_fan_in < 2 {
+            return Err(Error::Config("merge_fan_in must be at least 2".into()));
+        }
+        if self.spill_block_bytes == 0 {
+            return Err(Error::Config("spill_block_bytes must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
 /// Static description of the (simulated) cluster a job runs on.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ClusterConfig {
@@ -39,6 +133,8 @@ pub struct ClusterConfig {
     /// `nodes` is the *base* cluster; joins extend it up to
     /// [`ClusterConfig::peak_nodes`].
     pub membership: MembershipPlan,
+    /// Out-of-core execution policy (buffer-everything by default).
+    pub out_of_core: OutOfCoreConfig,
 }
 
 impl Default for ClusterConfig {
@@ -55,6 +151,7 @@ impl Default for ClusterConfig {
             faults: FaultPlan::default(),
             dfs_replication: 3,
             membership: MembershipPlan::default(),
+            out_of_core: OutOfCoreConfig::default(),
         }
     }
 }
@@ -88,6 +185,12 @@ impl ClusterConfig {
         self
     }
 
+    /// This cluster with an out-of-core execution policy.
+    pub fn with_out_of_core(mut self, out_of_core: OutOfCoreConfig) -> Self {
+        self.out_of_core = out_of_core;
+        self
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.nodes == 0 {
@@ -116,6 +219,7 @@ impl ClusterConfig {
         }
         self.faults.validate()?;
         self.membership.validate(self.nodes)?;
+        self.out_of_core.validate()?;
         Ok(())
     }
 
@@ -310,6 +414,38 @@ mod tests {
         let down = c.unavailable_at(2);
         for n in &doomed {
             assert!(down.contains(n), "node {n} dooms at 3, must be down at 2");
+        }
+    }
+
+    #[test]
+    fn out_of_core_config_is_validated() {
+        // Disabled policies are never rejected, whatever the knobs say.
+        let lax = OutOfCoreConfig {
+            sort_buffer_bytes: 0,
+            merge_fan_in: 0,
+            spill_block_bytes: 0,
+            ..OutOfCoreConfig::default()
+        };
+        assert!(ClusterConfig::default()
+            .with_out_of_core(lax)
+            .validate()
+            .is_ok());
+        assert!(ClusterConfig::default()
+            .with_out_of_core(OutOfCoreConfig::enabled())
+            .validate()
+            .is_ok());
+        for bad in [
+            OutOfCoreConfig::enabled().with_sort_buffer(0),
+            OutOfCoreConfig::enabled().with_merge_fan_in(1),
+            OutOfCoreConfig::enabled().with_block_bytes(0),
+        ] {
+            assert!(
+                ClusterConfig::default()
+                    .with_out_of_core(bad)
+                    .validate()
+                    .is_err(),
+                "{bad:?}"
+            );
         }
     }
 

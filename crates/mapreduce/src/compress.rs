@@ -1,0 +1,334 @@
+//! Block compression for spill runs and DFS segments.
+//!
+//! The cluster the paper ran on compressed its intermediate map output
+//! (`mapred.compress.map.output`) — at 10⁸–10⁹ points the shuffle is
+//! disk- and network-bound, and trading CPU for bytes is the standard
+//! Hadoop discipline. This module is a small, dependency-free LZ77
+//! byte codec in the LZ4 block format family: greedy hash-chain
+//! matching, nibble-packed token byte (literal length high, match
+//! length low), 255-continuation length extensions, and 2-byte
+//! little-endian match offsets.
+//!
+//! Every compressed block carries a one-byte mode header:
+//!
+//! * `0` — **stored**: the payload did not shrink (already-compressed
+//!   or high-entropy data), so the raw bytes follow verbatim;
+//! * `1` — **compressed**: an LZ-sequence stream follows.
+//!
+//! [`decompress`] validates the stream defensively (offsets into the
+//! produced output, bounded reads) and surfaces malformed input as
+//! [`Error::Corrupt`], which the runtime's bounded-retry machinery
+//! already knows how to absorb.
+
+use crate::error::{Error, Result};
+
+/// Mode byte: payload stored verbatim.
+const MODE_STORED: u8 = 0;
+/// Mode byte: payload is an LZ sequence stream.
+const MODE_COMPRESSED: u8 = 1;
+
+/// Minimum useful match length (below this a match costs more than the
+/// literals it replaces).
+const MIN_MATCH: usize = 4;
+/// Hash table size exponent: 2^14 four-byte anchors.
+const HASH_BITS: u32 = 14;
+/// Maximum back-reference distance encodable in two bytes.
+const MAX_OFFSET: usize = u16::MAX as usize;
+
+#[inline]
+fn hash4(v: u32) -> usize {
+    // Knuth multiplicative hash over the next four bytes.
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+#[inline]
+fn read4(data: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]])
+}
+
+/// Appends a length in 255-continuation encoding.
+fn put_len(out: &mut Vec<u8>, mut n: usize) {
+    while n >= 255 {
+        out.push(255);
+        n -= 255;
+    }
+    out.push(n as u8);
+}
+
+/// Appends one sequence: token, literal run, and (unless this is the
+/// terminal literal-only sequence) the match offset and length.
+fn put_sequence(out: &mut Vec<u8>, literals: &[u8], matched: Option<(u16, usize)>) {
+    let lit_nibble = literals.len().min(15) as u8;
+    let match_nibble = match matched {
+        Some((_, len)) => (len - MIN_MATCH).min(15) as u8,
+        None => 0,
+    };
+    out.push((lit_nibble << 4) | match_nibble);
+    if literals.len() >= 15 {
+        put_len(out, literals.len() - 15);
+    }
+    out.extend_from_slice(literals);
+    if let Some((offset, len)) = matched {
+        out.extend_from_slice(&offset.to_le_bytes());
+        if len - MIN_MATCH >= 15 {
+            put_len(out, len - MIN_MATCH - 15);
+        }
+    }
+}
+
+/// Compresses `input` into a self-describing block.
+///
+/// Falls back to stored mode whenever the LZ stream would not be
+/// strictly smaller than the input, so the output is never more than
+/// one byte (the mode header) larger than the payload.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.push(MODE_COMPRESSED);
+    compress_stream(input, &mut out);
+    if out.len() <= input.len() {
+        return out;
+    }
+    let mut stored = Vec::with_capacity(input.len() + 1);
+    stored.push(MODE_STORED);
+    stored.extend_from_slice(input);
+    stored
+}
+
+fn compress_stream(input: &[u8], out: &mut Vec<u8>) {
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut anchor = 0usize; // start of the pending literal run
+    let mut pos = 0usize;
+    // The last MIN_MATCH-1 bytes can never start a match.
+    let match_limit = input.len().saturating_sub(MIN_MATCH - 1);
+    while pos < match_limit {
+        let h = hash4(read4(input, pos));
+        let candidate = table[h];
+        table[h] = pos;
+        let valid = candidate != usize::MAX
+            && pos - candidate <= MAX_OFFSET
+            && read4(input, candidate) == read4(input, pos);
+        if !valid {
+            pos += 1;
+            continue;
+        }
+        // Extend the match forward as far as it goes.
+        let mut len = MIN_MATCH;
+        while pos + len < input.len() && input[candidate + len] == input[pos + len] {
+            len += 1;
+        }
+        put_sequence(
+            out,
+            &input[anchor..pos],
+            Some(((pos - candidate) as u16, len)),
+        );
+        pos += len;
+        anchor = pos;
+    }
+    if anchor < input.len() {
+        put_sequence(out, &input[anchor..], None);
+    }
+}
+
+/// Reads a 255-continuation length extension.
+fn take_len(data: &[u8], pos: &mut usize) -> Result<usize> {
+    let mut n = 0usize;
+    loop {
+        let b = *data.get(*pos).ok_or_else(|| truncated("length"))?;
+        *pos += 1;
+        n += b as usize;
+        if b != 255 {
+            return Ok(n);
+        }
+    }
+}
+
+fn truncated(what: &str) -> Error {
+    Error::Corrupt(format!("compressed block truncated in {what}"))
+}
+
+/// Decompresses a block produced by [`compress`].
+///
+/// Malformed input — unknown mode byte, truncated sequences, or match
+/// offsets pointing before the start of the output — returns
+/// [`Error::Corrupt`]; the decoder never reads or writes out of
+/// bounds.
+pub fn decompress(block: &[u8]) -> Result<Vec<u8>> {
+    let (&mode, data) = block
+        .split_first()
+        .ok_or_else(|| Error::Corrupt("empty compressed block".into()))?;
+    match mode {
+        MODE_STORED => Ok(data.to_vec()),
+        MODE_COMPRESSED => decompress_stream(data),
+        other => Err(Error::Corrupt(format!(
+            "unknown compression mode byte {other}"
+        ))),
+    }
+}
+
+fn decompress_stream(data: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let token = data[pos];
+        pos += 1;
+        let mut lit_len = (token >> 4) as usize;
+        if lit_len == 15 {
+            lit_len += take_len(data, &mut pos)?;
+        }
+        let lit_end = pos
+            .checked_add(lit_len)
+            .filter(|&e| e <= data.len())
+            .ok_or_else(|| truncated("literals"))?;
+        out.extend_from_slice(&data[pos..lit_end]);
+        pos = lit_end;
+        if pos == data.len() {
+            break; // terminal literal-only sequence
+        }
+        let off_end = pos + 2;
+        if off_end > data.len() {
+            return Err(truncated("match offset"));
+        }
+        let offset = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        pos = off_end;
+        let mut match_len = (token & 0x0F) as usize + MIN_MATCH;
+        if match_len == MIN_MATCH + 15 {
+            match_len += take_len(data, &mut pos)?;
+        }
+        if offset == 0 || offset > out.len() {
+            return Err(Error::Corrupt(format!(
+                "match offset {offset} outside {} decompressed bytes",
+                out.len()
+            )));
+        }
+        // Byte-by-byte copy: overlapping matches (offset < len) repeat
+        // the just-written bytes, which is how runs are encoded.
+        let start = out.len() - offset;
+        for i in 0..match_len {
+            let b = out[start + i];
+            out.push(b);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(payload: &[u8]) {
+        let packed = compress(payload);
+        assert!(packed.len() <= payload.len() + 1, "never grows past header");
+        assert_eq!(decompress(&packed).unwrap(), payload);
+    }
+
+    #[test]
+    fn empty_payload() {
+        round_trip(&[]);
+    }
+
+    #[test]
+    fn short_payloads() {
+        for n in 0..24usize {
+            let payload: Vec<u8> = (0..n as u8).collect();
+            round_trip(&payload);
+        }
+    }
+
+    #[test]
+    fn repetitive_payload_shrinks() {
+        let payload: Vec<u8> = b"3.14 2.72 1.41 "
+            .iter()
+            .copied()
+            .cycle()
+            .take(64 * 1024)
+            .collect();
+        let packed = compress(&payload);
+        assert_eq!(decompress(&packed).unwrap(), payload);
+        assert!(
+            packed.len() < payload.len() / 10,
+            "repetitive text should compress >10x, got {} -> {}",
+            payload.len(),
+            packed.len()
+        );
+    }
+
+    #[test]
+    fn incompressible_payload_stores() {
+        // A xorshift stream has no 4-byte repeats within the window to
+        // speak of; the codec must fall back to stored mode and cost
+        // exactly one header byte.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let payload: Vec<u8> = (0..32 * 1024)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state as u8
+            })
+            .collect();
+        let packed = compress(&payload);
+        assert_eq!(packed.len(), payload.len() + 1);
+        assert_eq!(packed[0], MODE_STORED);
+        assert_eq!(decompress(&packed).unwrap(), payload);
+    }
+
+    #[test]
+    fn long_runs_use_length_extensions() {
+        let payload = vec![7u8; 100_000];
+        let packed = compress(&payload);
+        assert!(packed.len() < 512);
+        assert_eq!(decompress(&packed).unwrap(), payload);
+    }
+
+    #[test]
+    fn unknown_mode_is_corrupt() {
+        assert!(matches!(decompress(&[9, 1, 2]), Err(Error::Corrupt(_))));
+        assert!(matches!(decompress(&[]), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_stream_is_corrupt() {
+        let payload: Vec<u8> = b"abcdabcdabcdabcdabcdabcd".repeat(100);
+        let packed = compress(&payload);
+        assert_eq!(packed[0], MODE_COMPRESSED);
+        for cut in 1..packed.len().min(40) {
+            let torn = &packed[..packed.len() - cut];
+            match decompress(torn) {
+                Err(Error::Corrupt(_)) => {}
+                Ok(out) => assert_ne!(out, payload, "torn block must not round-trip"),
+                Err(e) => panic!("unexpected error {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_offset_is_corrupt() {
+        // Token: 1 literal, match len nibble 0 (= MIN_MATCH), then an
+        // offset of 9 with only 1 byte of output produced.
+        let stream = [MODE_COMPRESSED, 0x10, b'x', 9, 0];
+        assert!(matches!(decompress(&stream), Err(Error::Corrupt(_))));
+        // Zero offset is never valid.
+        let stream = [MODE_COMPRESSED, 0x10, b'x', 0, 0];
+        assert!(matches!(decompress(&stream), Err(Error::Corrupt(_))));
+    }
+
+    proptest! {
+        #[test]
+        fn round_trips_arbitrary_bytes(payload in proptest::collection::vec(0u8..=255, 0..4096)) {
+            round_trip(&payload);
+        }
+
+        #[test]
+        fn round_trips_low_entropy_bytes(
+            payload in proptest::collection::vec(0u8..4, 0..4096),
+        ) {
+            round_trip(&payload);
+        }
+
+        #[test]
+        fn decompress_never_panics(garbage in proptest::collection::vec(0u8..=255, 0..512)) {
+            let _ = decompress(&garbage);
+        }
+    }
+}

@@ -49,6 +49,15 @@ pub struct CostModel {
     /// so node loss is visible but does not dwarf the scaled-down job
     /// times (see DESIGN.md §14).
     pub heartbeat_timeout_secs: f64,
+    /// Seconds per byte of spill-file disk traffic (sorted run writes
+    /// plus merge-pass reads — local sequential disk, ~100 MB/s).
+    pub secs_per_spill_byte: f64,
+    /// Seconds per raw byte fed through the spill/DFS block compressor
+    /// (~400 MB/s, the LZ-family compression rate).
+    pub secs_per_compress_byte: f64,
+    /// Seconds per raw byte produced by the decompressor (~800 MB/s —
+    /// decompression is roughly twice as fast as compression).
+    pub secs_per_decompress_byte: f64,
 }
 
 impl Default for CostModel {
@@ -62,6 +71,9 @@ impl Default for CostModel {
             secs_per_cached_point: 1.0 / 20e6,
             secs_per_checkpoint_byte: 1.0 / 25e6,
             heartbeat_timeout_secs: 30.0,
+            secs_per_spill_byte: 1.0 / 100e6,
+            secs_per_compress_byte: 1.0 / 400e6,
+            secs_per_decompress_byte: 1.0 / 800e6,
         }
     }
 }
@@ -87,6 +99,13 @@ pub struct TaskCost {
     pub shuffle_bytes_in: u64,
     /// Application compute units charged.
     pub compute_units: f64,
+    /// Spill-file bytes moved to or from local disk (stored, i.e.
+    /// post-compression, sizes — what actually hits the platters).
+    pub spill_io_bytes: u64,
+    /// Raw bytes fed through the block compressor.
+    pub compressed_bytes: u64,
+    /// Raw bytes produced by the block decompressor.
+    pub decompressed_bytes: u64,
 }
 
 impl TaskCost {
@@ -97,6 +116,9 @@ impl TaskCost {
             + self.cached_points as f64 * model.secs_per_cached_point
             + (self.shuffle_bytes_out + self.shuffle_bytes_in) as f64 * model.secs_per_shuffle_byte
             + self.compute_units * model.secs_per_compute_unit
+            + self.spill_io_bytes as f64 * model.secs_per_spill_byte
+            + self.compressed_bytes as f64 * model.secs_per_compress_byte
+            + self.decompressed_bytes as f64 * model.secs_per_decompress_byte
     }
 
     /// Folds another task's cost in (used for run-level aggregation).
@@ -106,6 +128,9 @@ impl TaskCost {
         self.shuffle_bytes_out += other.shuffle_bytes_out;
         self.shuffle_bytes_in += other.shuffle_bytes_in;
         self.compute_units += other.compute_units;
+        self.spill_io_bytes += other.spill_io_bytes;
+        self.compressed_bytes += other.compressed_bytes;
+        self.decompressed_bytes += other.decompressed_bytes;
     }
 }
 
@@ -210,6 +235,9 @@ mod tests {
             secs_per_cached_point: 0.5,
             secs_per_checkpoint_byte: 0.0,
             heartbeat_timeout_secs: 30.0,
+            secs_per_spill_byte: 0.002,
+            secs_per_compress_byte: 0.0001,
+            secs_per_decompress_byte: 0.00005,
         };
         let cost = TaskCost {
             input_bytes: 10,
@@ -217,9 +245,12 @@ mod tests {
             shuffle_bytes_out: 100,
             shuffle_bytes_in: 100,
             compute_units: 1000.0,
+            spill_io_bytes: 500,
+            compressed_bytes: 10_000,
+            decompressed_bytes: 20_000,
         };
-        // 1 + 1 + 1 + 2 + 1
-        assert!((cost.duration(&model) - 6.0).abs() < 1e-9);
+        // 1 + 1 + 1 + 2 + 1 + 1 + 1 + 1
+        assert!((cost.duration(&model) - 9.0).abs() < 1e-9);
     }
 
     #[test]
@@ -240,6 +271,9 @@ mod tests {
             shuffle_bytes_out: 2,
             shuffle_bytes_in: 3,
             compute_units: 4.0,
+            spill_io_bytes: 6,
+            compressed_bytes: 7,
+            decompressed_bytes: 8,
         };
         a.merge(&TaskCost {
             input_bytes: 10,
@@ -247,12 +281,18 @@ mod tests {
             shuffle_bytes_out: 20,
             shuffle_bytes_in: 30,
             compute_units: 40.0,
+            spill_io_bytes: 60,
+            compressed_bytes: 70,
+            decompressed_bytes: 80,
         });
         assert_eq!(a.input_bytes, 11);
         assert_eq!(a.cached_points, 55);
         assert_eq!(a.shuffle_bytes_out, 22);
         assert_eq!(a.shuffle_bytes_in, 33);
         assert!((a.compute_units - 44.0).abs() < 1e-12);
+        assert_eq!(a.spill_io_bytes, 66);
+        assert_eq!(a.compressed_bytes, 77);
+        assert_eq!(a.decompressed_bytes, 88);
     }
 
     proptest! {

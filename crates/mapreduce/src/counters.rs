@@ -110,10 +110,30 @@ pub enum Counter {
     /// Block replicas whose checksum verification failed on read; each
     /// detection falls back to the next replica.
     DfsCorruptBlocksDetected,
+    /// Sort-buffer overflows that wrote a sorted run file to the
+    /// mapper's local disk (external-sort spills, distinct from the
+    /// in-memory combine [`Counter::Spills`]).
+    ShuffleSpills,
+    /// Serialized bytes written to spill run files (pre-compression).
+    ShuffleSpillBytes,
+    /// Intermediate merge passes performed because the number of
+    /// spilled runs exceeded the merge fan-in.
+    ShuffleMergePasses,
+    /// Raw bytes fed into the block compressor (spill runs and
+    /// compressed DFS segments).
+    BytesCompressed,
+    /// Raw bytes produced by the block decompressor on read.
+    BytesDecompressed,
+    /// Task attempts that would have died of an injected heap fault but
+    /// degraded to the spill path instead (out-of-core enabled).
+    HeapSpillRescues,
 }
 
+/// Number of counters (sizes [`Counters::values`] and [`ALL`]).
+const COUNT: usize = 43;
+
 /// All counters, indexable without a hash map.
-const ALL: [Counter; 37] = [
+const ALL: [Counter; COUNT] = [
     Counter::MapInputRecords,
     Counter::MapOutputRecords,
     Counter::CombineInputRecords,
@@ -151,6 +171,12 @@ const ALL: [Counter; 37] = [
     Counter::NodesRevoked,
     Counter::DfsBlocksRebalanced,
     Counter::DfsCorruptBlocksDetected,
+    Counter::ShuffleSpills,
+    Counter::ShuffleSpillBytes,
+    Counter::ShuffleMergePasses,
+    Counter::BytesCompressed,
+    Counter::BytesDecompressed,
+    Counter::HeapSpillRescues,
 ];
 
 impl Counter {
@@ -203,6 +229,12 @@ impl Counter {
             Counter::NodesRevoked => "nodes_revoked",
             Counter::DfsBlocksRebalanced => "dfs_blocks_rebalanced",
             Counter::DfsCorruptBlocksDetected => "dfs_corrupt_blocks_detected",
+            Counter::ShuffleSpills => "shuffle_spills",
+            Counter::ShuffleSpillBytes => "shuffle_spill_bytes",
+            Counter::ShuffleMergePasses => "shuffle_merge_passes",
+            Counter::BytesCompressed => "bytes_compressed",
+            Counter::BytesDecompressed => "bytes_decompressed",
+            Counter::HeapSpillRescues => "heap_spill_rescues",
         }
     }
 }
@@ -210,7 +242,7 @@ impl Counter {
 /// Thread-safe counter bank for one job (or one accumulated run).
 #[derive(Debug)]
 pub struct Counters {
-    values: [AtomicU64; 37],
+    values: [AtomicU64; COUNT],
 }
 
 impl Default for Counters {
@@ -367,6 +399,21 @@ mod tests {
                 Counter::DfsCorruptBlocksDetected,
                 "dfs_corrupt_blocks_detected",
             ),
+        ] {
+            assert_eq!(c.name(), name);
+            assert!(Counter::all().contains(&c), "{name} missing from ALL");
+        }
+    }
+
+    #[test]
+    fn out_of_core_counters_have_issue_names() {
+        for (c, name) in [
+            (Counter::ShuffleSpills, "shuffle_spills"),
+            (Counter::ShuffleSpillBytes, "shuffle_spill_bytes"),
+            (Counter::ShuffleMergePasses, "shuffle_merge_passes"),
+            (Counter::BytesCompressed, "bytes_compressed"),
+            (Counter::BytesDecompressed, "bytes_decompressed"),
+            (Counter::HeapSpillRescues, "heap_spill_rescues"),
         ] {
             assert_eq!(c.name(), name);
             assert!(Counter::all().contains(&c), "{name} missing from ALL");

@@ -146,6 +146,14 @@ pub struct FaultPlan {
     /// when every replica is bad does the read fail with
     /// [`Error::ReplicasLost`].
     pub dfs_corruption_prob: f64,
+    /// Probability a spill run a map attempt just wrote lands torn —
+    /// truncated mid-block, the crashed-writer / full-disk case (drawn
+    /// independently per `(job, task, attempt, spill)` coordinate,
+    /// salt 13). The attempt's own merge detects the damage through the
+    /// run's block checksums, fails the attempt with
+    /// [`Error::Corrupt`], and the ordinary bounded-retry budget
+    /// re-runs the task.
+    pub torn_spill_prob: f64,
 }
 
 impl Default for FaultPlan {
@@ -165,6 +173,7 @@ impl Default for FaultPlan {
             scheduled_node_crashes: [None; 4],
             node_blacklist_after: 3,
             dfs_corruption_prob: 0.0,
+            torn_spill_prob: 0.0,
         }
     }
 }
@@ -274,6 +283,15 @@ impl FaultPlan {
         self
     }
 
+    /// Tears (truncates mid-block) each spill run a map attempt writes
+    /// with the given probability. Only meaningful with out-of-core
+    /// spilling enabled; detected by run checksums and absorbed by the
+    /// attempt budget.
+    pub fn with_torn_spills(mut self, prob: f64) -> Self {
+        self.torn_spill_prob = prob;
+        self
+    }
+
     /// Clears all driver-crash injection, keeping task faults intact.
     /// A resumed run uses this: the crash was an incident in the
     /// previous driver process, not part of the cluster's weather.
@@ -292,6 +310,7 @@ impl FaultPlan {
             ("driver_crash_prob", self.driver_crash_prob),
             ("node_crash_prob", self.node_crash_prob),
             ("dfs_corruption_prob", self.dfs_corruption_prob),
+            ("torn_spill_prob", self.torn_spill_prob),
         ] {
             if !(0.0..1.0).contains(&p) {
                 return Err(Error::Config(format!(
@@ -352,6 +371,7 @@ impl FaultPlan {
             || self.node_crash_prob > 0.0
             || self.scheduled_node_crashes.iter().any(Option::is_some)
             || self.dfs_corruption_prob > 0.0
+            || self.torn_spill_prob > 0.0
     }
 
     /// One independent uniform draw in `[0, 1)` per
@@ -549,6 +569,28 @@ impl FaultPlan {
     pub fn dfs_replica_corrupt(&self, path: &str, block: usize, node: usize) -> bool {
         self.dfs_corruption_prob > 0.0
             && self.u01(path, TaskKind::Driver, block, node as u32, 12) < self.dfs_corruption_prob
+    }
+
+    /// Whether the `spill_seq`-th spill this attempt writes lands torn
+    /// (salt 13, with the spill sequence folded into the kind tag so
+    /// every spill of an attempt draws independently).
+    pub fn torn_spill(
+        &self,
+        job: &str,
+        kind: TaskKind,
+        index: usize,
+        attempt: u32,
+        spill_seq: u64,
+    ) -> bool {
+        self.torn_spill_prob > 0.0
+            && hash_u01(
+                self.seed,
+                job,
+                kind.tag() ^ spill_seq.wrapping_mul(0x9E37_79B9),
+                index,
+                attempt,
+                13,
+            ) < self.torn_spill_prob
     }
 }
 
@@ -1173,7 +1215,31 @@ mod tests {
             .with_dfs_corruption(1.0)
             .validate()
             .is_err());
+        assert!(FaultPlan::none().with_torn_spills(1.0).validate().is_err());
         assert!(FaultPlan::hadoop_defaults(0).validate().is_ok());
+    }
+
+    #[test]
+    fn torn_spill_draws_are_deterministic_and_per_spill() {
+        let plan = FaultPlan::none().with_seed(17).with_torn_spills(0.3);
+        assert!(plan.is_active());
+        let draws: Vec<bool> = (0..100)
+            .flat_map(|i| (0..4u64).map(move |s| (i, s)))
+            .map(|(i, s)| plan.torn_spill("gmeans", TaskKind::Map, i, 0, s))
+            .collect();
+        let again: Vec<bool> = (0..100)
+            .flat_map(|i| (0..4u64).map(move |s| (i, s)))
+            .map(|(i, s)| plan.torn_spill("gmeans", TaskKind::Map, i, 0, s))
+            .collect();
+        assert_eq!(draws, again);
+        let torn = draws.iter().filter(|&&t| t).count();
+        assert!((60..180).contains(&torn), "{torn}/400 torn");
+        // Successive spills of the same attempt draw independently.
+        assert!(
+            (0..64u64).any(|s| plan.torn_spill("j", TaskKind::Map, 0, 0, s)
+                != plan.torn_spill("j", TaskKind::Map, 0, 0, s + 1))
+        );
+        assert!(!FaultPlan::none().torn_spill("j", TaskKind::Map, 0, 0, 0));
     }
 
     #[test]

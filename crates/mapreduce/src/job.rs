@@ -91,6 +91,12 @@ pub struct Emitter<K, V> {
     partitions: Vec<Vec<(K, V)>>,
     records_since_spill: usize,
     emitted: u64,
+    /// Serialized size of the buffered pairs — the sort-buffer bytes
+    /// the out-of-core path triggers spills on and charges to the heap
+    /// ledger. Only maintained when byte tracking is on, keeping the
+    /// buffered hot path free of per-emit `byte_len` calls.
+    buffered_bytes: u64,
+    track_bytes: bool,
 }
 
 impl<K: ShuffleKey, V: ShuffleValue> Emitter<K, V> {
@@ -99,11 +105,25 @@ impl<K: ShuffleKey, V: ShuffleValue> Emitter<K, V> {
             partitions: (0..num_partitions).map(|_| Vec::new()).collect(),
             records_since_spill: 0,
             emitted: 0,
+            buffered_bytes: 0,
+            track_bytes: false,
+        }
+    }
+
+    /// An emitter that tracks the serialized size of its buffers, for
+    /// spilling (out-of-core) map execution.
+    pub(crate) fn with_byte_tracking(num_partitions: usize) -> Self {
+        Self {
+            track_bytes: true,
+            ..Self::new(num_partitions)
         }
     }
 
     /// Emits one intermediate pair into partition `partition`.
     pub(crate) fn emit_to(&mut self, partition: usize, key: K, value: V) {
+        if self.track_bytes {
+            self.buffered_bytes += (key.byte_len() + value.byte_len()) as u64;
+        }
         self.partitions[partition].push((key, value));
         self.records_since_spill += 1;
         self.emitted += 1;
@@ -115,6 +135,16 @@ impl<K: ShuffleKey, V: ShuffleValue> Emitter<K, V> {
 
     pub(crate) fn reset_spill_window(&mut self) {
         self.records_since_spill = 0;
+    }
+
+    /// Serialized bytes currently buffered (byte-tracking mode only).
+    pub(crate) fn buffered_bytes(&self) -> u64 {
+        self.buffered_bytes
+    }
+
+    /// Resets the byte ledger after the runtime drains the buffers.
+    pub(crate) fn reset_buffered_bytes(&mut self) {
+        self.buffered_bytes = 0;
     }
 
     #[allow(dead_code)] // exercised by unit tests
@@ -379,6 +409,20 @@ mod tests {
         assert_eq!(counters.get(Counter::DistanceComputations), 10);
         assert!((ctx.compute_units() - 75.0).abs() < 1e-12);
         assert_eq!(ctx.task_name(), "map-0");
+    }
+
+    #[test]
+    fn emitter_tracks_serialized_bytes_only_when_asked() {
+        let mut plain: Emitter<i64, f64> = Emitter::new(2);
+        plain.emit_to(0, 1, 2.0);
+        assert_eq!(plain.buffered_bytes(), 0, "untracked emitter stays at 0");
+
+        let mut tracking: Emitter<i64, f64> = Emitter::with_byte_tracking(2);
+        tracking.emit_to(0, 1, 2.0);
+        tracking.emit_to(1, 2, 3.0);
+        assert_eq!(tracking.buffered_bytes(), 2 * 16);
+        tracking.reset_buffered_bytes();
+        assert_eq!(tracking.buffered_bytes(), 0);
     }
 
     #[test]

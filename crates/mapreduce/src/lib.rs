@@ -95,6 +95,7 @@
 pub mod cache;
 pub mod checkpoint;
 pub mod cluster;
+pub mod compress;
 pub mod cost;
 pub mod counters;
 pub mod dfs;
@@ -105,6 +106,7 @@ pub mod memory;
 pub mod runtime;
 pub mod scheduler;
 pub mod shuffle;
+pub mod spill;
 pub mod submit;
 pub mod writable;
 
@@ -114,7 +116,7 @@ pub use error::{Error, Result};
 pub mod prelude {
     pub use crate::cache::{CachedSplit, PointCache};
     pub use crate::checkpoint::{Checkpoint, RunJournal};
-    pub use crate::cluster::ClusterConfig;
+    pub use crate::cluster::{ClusterConfig, OutOfCoreConfig};
     pub use crate::cost::{CostModel, JobTiming, TaskCost};
     pub use crate::counters::{Counter, Counters};
     pub use crate::dfs::{BlockLossReport, Dfs, InputSplit};

@@ -37,16 +37,21 @@ use std::time::Instant;
 use parking_lot::Mutex;
 
 use crate::cache::{CachedSplit, PointCache};
-use crate::cluster::ClusterConfig;
+use crate::cluster::{ClusterConfig, OutOfCoreConfig};
 use crate::cost::{makespan, JobTiming, TaskCost};
 use crate::counters::{Counter, Counters};
 use crate::dfs::{Dfs, InputSplit};
 use crate::error::{Error, Result};
-use crate::faults::{FaultDecision, NodeStatus, TaskKind};
+use crate::faults::{FaultDecision, FaultPlan, NodeStatus, TaskKind};
 use crate::job::{
     Emitter, Job, JobConfig, MapOutput, Mapper, PointMapper, Reducer, TaskContext, Values,
 };
-use crate::shuffle::{detect_fetch_failures, encode_segment, sort_and_combine, MergeIter, Segment};
+use crate::shuffle::{
+    detect_fetch_failures, encode_segment, merge_combine_to_run, merge_to_run, sort_and_combine,
+    MergeIter, Segment, ShuffleSegment,
+};
+use crate::spill::{RunWriter, SpillDir, SpillIo};
+use crate::writable::{ShuffleKey, ShuffleValue};
 
 /// Points per [`PointMapper::prepare_block`] batch in cached execution:
 /// big enough to amortize the blocked kernel's tile sweeps, small enough
@@ -74,10 +79,14 @@ pub struct JobRunner {
     /// resumed driver, which re-syncs the count) sees identical node
     /// weather. Shared across clones.
     epochs: Arc<AtomicU64>,
+    /// Scratch directory for out-of-core spill runs; present only when
+    /// [`OutOfCoreConfig::spill_enabled`] and removed (with every run
+    /// file) when the last runner clone drops.
+    spill: Option<Arc<SpillDir>>,
 }
 
 struct MapTaskOut {
-    segments: Vec<Segment>,
+    segments: Vec<ShuffleSegment>,
     timing: TaskTiming,
 }
 
@@ -125,6 +134,208 @@ struct JobSite<'a> {
     replicas: &'a [Vec<usize>],
 }
 
+/// Out-of-core state of one spilling map attempt: the spill trigger,
+/// the accumulated runs per partition, and the byte ledgers.
+///
+/// Bit-identity with buffered execution rests on two invariants this
+/// struct maintains:
+///
+/// * spills write **raw** (uncombined) stably-sorted runs — each run is
+///   a consecutive emission window, so the earliest-source-first merge
+///   replays the exact per-key value order the buffered path's single
+///   final sort produces;
+/// * the combiner runs **once**, streaming over the fully merged
+///   partition at task end — the same application (and the same
+///   combine-counter totals) the buffered path performs.
+struct MapSpill {
+    dir: Arc<SpillDir>,
+    cfg: OutOfCoreConfig,
+    /// Effective sort-buffer size: the configured bytes, clamped down
+    /// when the attempt is rescuing an injected heap fault.
+    sort_buffer: u64,
+    /// Per-partition spilled runs, in spill order.
+    runs: Vec<Vec<ShuffleSegment>>,
+    io: SpillIo,
+    /// Raw bytes written to spill and intermediate-merge runs (final
+    /// output runs are shuffle bytes, not spill bytes).
+    spill_bytes: u64,
+    spills: u64,
+    /// Sort-buffer bytes currently charged to the task's heap ledger.
+    ledger_charged: u64,
+}
+
+impl MapSpill {
+    fn new(dir: Arc<SpillDir>, cfg: OutOfCoreConfig, forced: bool, num_parts: usize) -> Self {
+        let sort_buffer = if forced {
+            (cfg.sort_buffer_bytes / 8).max(4096)
+        } else {
+            cfg.sort_buffer_bytes
+        };
+        Self {
+            dir,
+            cfg,
+            sort_buffer,
+            runs: (0..num_parts).map(|_| Vec::new()).collect(),
+            io: SpillIo::default(),
+            spill_bytes: 0,
+            spills: 0,
+            ledger_charged: 0,
+        }
+    }
+
+    /// Charges newly buffered sort-buffer bytes to the task's heap
+    /// ledger and spills when the buffer fills or the heap cannot take
+    /// the charge — the task degrades to disk instead of dying with
+    /// `HeapSpace`.
+    #[allow(clippy::too_many_arguments)]
+    fn maybe_spill<K: ShuffleKey, V: ShuffleValue>(
+        &mut self,
+        emitter: &mut Emitter<K, V>,
+        ctx: &mut TaskContext,
+        counters: &Counters,
+        plan: &FaultPlan,
+        job_name: &str,
+        index: usize,
+        attempt: u32,
+    ) -> Result<()> {
+        let buffered = emitter.buffered_bytes();
+        let mut full = buffered >= self.sort_buffer;
+        if !full {
+            let delta = buffered.saturating_sub(self.ledger_charged);
+            if delta > 0 {
+                match ctx.heap.charge(delta) {
+                    Ok(()) => self.ledger_charged = buffered,
+                    Err(_) => full = true,
+                }
+            }
+        }
+        if full {
+            self.spill(emitter, ctx, counters, plan, job_name, index, attempt)?;
+        }
+        Ok(())
+    }
+
+    /// Writes every non-empty partition buffer as a raw sorted run,
+    /// releases the heap ledger, and resets the sort window.
+    #[allow(clippy::too_many_arguments)]
+    fn spill<K: ShuffleKey, V: ShuffleValue>(
+        &mut self,
+        emitter: &mut Emitter<K, V>,
+        ctx: &mut TaskContext,
+        counters: &Counters,
+        plan: &FaultPlan,
+        job_name: &str,
+        index: usize,
+        attempt: u32,
+    ) -> Result<()> {
+        // One torn-spill draw per spill event; a hit truncates the
+        // first run written, for the task's own merge to detect.
+        let mut tear_pending =
+            plan.torn_spill(job_name, TaskKind::Map, index, attempt, self.spills);
+        let mut wrote = false;
+        for (p, part) in emitter.partitions_mut().iter_mut().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            // Raw, stably sorted, uncombined — see the struct docs.
+            part.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut writer = RunWriter::create(
+                &self.dir,
+                self.cfg.compress_spills,
+                self.cfg.spill_block_bytes,
+            )?;
+            for (k, v) in part.iter() {
+                writer.push(k, v)?;
+            }
+            let (run, io) = writer.finish()?;
+            if std::mem::take(&mut tear_pending) {
+                run.tear()?;
+            }
+            self.spill_bytes += run.raw_len();
+            self.io.absorb(&io);
+            self.runs[p].push(ShuffleSegment::Disk(Arc::new(run)));
+            part.clear();
+            wrote = true;
+        }
+        if wrote {
+            self.spills += 1;
+            counters.inc(Counter::ShuffleSpills);
+        }
+        ctx.heap.release(self.ledger_charged);
+        self.ledger_charged = 0;
+        emitter.reset_spill_window();
+        emitter.reset_buffered_bytes();
+        Ok(())
+    }
+
+    /// Ends a spilled map attempt: folds the still-buffered tail in as
+    /// a memory source (Hadoop's final in-memory spill), runs the
+    /// bounded-fan-in multi-pass merge per partition, and streams each
+    /// partition once through the combiner into its final output run.
+    ///
+    /// Returns the final per-partition segments, the serialized output
+    /// size (the `shuffle_bytes` contribution) and the attempt's spill
+    /// I/O totals.
+    fn finish<J: Job>(
+        mut self,
+        job: &J,
+        emitter: &mut Emitter<J::Key, J::Value>,
+        ctx: &mut TaskContext,
+        counters: &Counters,
+    ) -> Result<(Vec<ShuffleSegment>, u64, SpillIo)> {
+        let mut segments = Vec::with_capacity(self.runs.len());
+        let mut shuffle_out = 0u64;
+        let runs = std::mem::take(&mut self.runs);
+        let parts = emitter.partitions_mut();
+        for (p, mut sources) in runs.into_iter().enumerate() {
+            let part = &mut parts[p];
+            if !part.is_empty() {
+                // The unspilled tail joins the merge from memory, as
+                // the latest emission window.
+                part.sort_by(|a, b| a.0.cmp(&b.0));
+                sources.push(ShuffleSegment::Mem(encode_segment(part)));
+                part.clear();
+            }
+            if sources.is_empty() {
+                segments.push(ShuffleSegment::Mem(Segment::default()));
+                continue;
+            }
+            while sources.len() > self.cfg.merge_fan_in {
+                // Merge the *oldest* runs first and put the result
+                // back at the front: nested merges of consecutive
+                // sources preserve the flat merge's tie-break order.
+                let batch: Vec<ShuffleSegment> = sources.drain(..self.cfg.merge_fan_in).collect();
+                let resident: u64 = batch.iter().map(ShuffleSegment::merge_resident_bytes).sum();
+                ctx.heap.charge(resident)?;
+                let merged = merge_to_run::<J::Key, J::Value>(&self.dir, &self.cfg, batch);
+                ctx.heap.release(resident);
+                let (run, io) = merged?;
+                counters.inc(Counter::ShuffleMergePasses);
+                self.spill_bytes += run.raw_len();
+                self.io.absorb(&io);
+                sources.insert(0, ShuffleSegment::Disk(Arc::new(run)));
+            }
+            let resident: u64 = sources
+                .iter()
+                .map(ShuffleSegment::merge_resident_bytes)
+                .sum();
+            ctx.heap.charge(resident)?;
+            let combined = merge_combine_to_run(job, &self.dir, &self.cfg, sources, counters);
+            ctx.heap.release(resident);
+            let (run, io) = combined?;
+            self.io.absorb(&io);
+            shuffle_out += run.raw_len();
+            segments.push(ShuffleSegment::Disk(Arc::new(run)));
+        }
+        ctx.heap.release(self.ledger_charged);
+        self.ledger_charged = 0;
+        counters.add(Counter::ShuffleSpillBytes, self.spill_bytes);
+        counters.add(Counter::BytesCompressed, self.io.compressed_raw);
+        counters.add(Counter::BytesDecompressed, self.io.decompressed_raw);
+        Ok((segments, shuffle_out, self.io))
+    }
+}
+
 impl NodeView {
     /// Placement domain for one attempt. First attempts of map tasks
     /// schedule over every live node — the scheduler cannot know the
@@ -153,10 +364,16 @@ impl JobRunner {
             dfs.set_down_nodes(&cluster.unavailable_at(0));
         }
         dfs.attach_topology(cluster.peak_nodes(), cluster.dfs_replication);
+        let spill = if cluster.out_of_core.spill_enabled {
+            Some(Arc::new(SpillDir::create()?))
+        } else {
+            None
+        };
         Ok(Self {
             dfs,
             cluster,
             epochs: Arc::new(AtomicU64::new(0)),
+            spill,
         })
     }
 
@@ -287,7 +504,7 @@ impl JobRunner {
         nodes: &NodeView,
         site: &TaskSite<'_>,
         counters: &Arc<Counters>,
-        mut body: impl FnMut(u32, &Arc<Counters>) -> Result<(T, TaskCost)>,
+        mut body: impl FnMut(u32, bool, &Arc<Counters>) -> Result<(T, TaskCost)>,
     ) -> Result<(T, TaskTiming)> {
         let TaskSite {
             job: job_name,
@@ -308,6 +525,7 @@ impl JobRunner {
         let mut attempt: u32 = 0;
         let mut failures: u32 = 0;
         while failures < max {
+            let mut forced_spill = false;
             counters.inc(Counter::AttemptsLaunched);
             let (node, node_local) = plan.place_attempt_preferring(
                 nodes.domain(kind, attempt),
@@ -328,6 +546,14 @@ impl JobRunner {
                     attempt += 1;
                     failures += 1;
                     continue;
+                }
+                FaultDecision::FailHeap if self.cluster.out_of_core.spill_enabled => {
+                    // With spilling enabled a heap fault degrades the
+                    // attempt instead of killing it: the sort buffer is
+                    // clamped and the task spills its way through — no
+                    // burned attempt, just more disk traffic.
+                    counters.inc(Counter::HeapSpillRescues);
+                    forced_spill = true;
                 }
                 FaultDecision::FailHeap => {
                     counters.inc(Counter::AttemptsFailed);
@@ -375,7 +601,7 @@ impl JobRunner {
                 continue;
             }
             let attempt_counters = Arc::new(Counters::new());
-            match body(attempt, &attempt_counters) {
+            match body(attempt, forced_spill, &attempt_counters) {
                 Ok((out, cost)) => {
                     counters.merge(&attempt_counters);
                     // Locality is charged for the winning attempt only:
@@ -503,7 +729,7 @@ impl JobRunner {
         site: &JobSite<'_>,
         counters: &Arc<Counters>,
         map_outputs: &mut [MapTaskOut],
-        mut rerun: impl FnMut(usize, &Arc<Counters>) -> Result<(Vec<Segment>, TaskCost)>,
+        mut rerun: impl FnMut(usize, &Arc<Counters>) -> Result<(Vec<ShuffleSegment>, TaskCost)>,
     ) -> Result<Vec<f64>> {
         if nodes.status.crashed.is_empty() || map_outputs.is_empty() {
             return Ok(Vec::new());
@@ -608,7 +834,7 @@ impl JobRunner {
             },
             &counters,
             &mut map_outputs,
-            |i, c| self.run_map_task(job, i, &splits[i], config, c),
+            |i, c| self.run_map_task(job, i, &splits[i], config, 0, false, c),
         )?;
 
         let (map_durations, partitioned) = self.collect_map_outputs(map_outputs, config, &counters);
@@ -682,7 +908,7 @@ impl JobRunner {
             },
             &counters,
             &mut map_outputs,
-            |i, c| self.run_cached_map_task(job, i, &splits[i], config, c),
+            |i, c| self.run_cached_map_task(job, i, &splits[i], config, 0, false, c),
         )?;
         let (map_durations, partitioned) = self.collect_map_outputs(map_outputs, config, &counters);
         let (outputs, reduce_durations) =
@@ -754,7 +980,11 @@ impl JobRunner {
                                 prefer,
                             },
                             counters,
-                            |_, c| self.run_cached_map_task(job, i, &splits[i], config, c),
+                            |attempt, forced, c| {
+                                self.run_cached_map_task(
+                                    job, i, &splits[i], config, attempt, forced, c,
+                                )
+                            },
                         )
                         .map(|(segments, timing)| MapTaskOut { segments, timing });
                     if r.is_err() {
@@ -783,14 +1013,17 @@ impl JobRunner {
         Ok(out)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_cached_map_task<J>(
         &self,
         job: &J,
         index: usize,
         split: &CachedSplit,
         config: &JobConfig,
+        attempt: u32,
+        forced_spill: bool,
         counters: &Arc<Counters>,
-    ) -> Result<(Vec<Segment>, TaskCost)>
+    ) -> Result<(Vec<ShuffleSegment>, TaskCost)>
     where
         J: Job,
         J::Mapper: PointMapper,
@@ -802,7 +1035,19 @@ impl JobRunner {
         );
         let num_parts = config.num_reduce_tasks;
         let partitioner = |k: &J::Key| job.partition(k, num_parts);
-        let mut emitter: Emitter<J::Key, J::Value> = Emitter::new(num_parts);
+        let mut spill = self.spill.as_ref().map(|dir| {
+            MapSpill::new(
+                Arc::clone(dir),
+                self.cluster.out_of_core,
+                forced_spill,
+                num_parts,
+            )
+        });
+        let mut emitter: Emitter<J::Key, J::Value> = if spill.is_some() {
+            Emitter::with_byte_tracking(num_parts)
+        } else {
+            Emitter::new(num_parts)
+        };
         let mut mapper = job.create_mapper();
 
         mapper.setup(&mut ctx)?;
@@ -824,12 +1069,25 @@ impl JobRunner {
                     counters,
                 };
                 mapper.map_point(point, &mut out, &mut ctx)?;
-                if emitter.records_since_spill() >= config.spill_threshold_records {
-                    counters.inc(Counter::Spills);
-                    for part in emitter.partitions_mut() {
-                        sort_and_combine(job, part, counters);
+                match spill.as_mut() {
+                    Some(s) => s.maybe_spill(
+                        &mut emitter,
+                        &mut ctx,
+                        counters,
+                        &self.cluster.faults,
+                        job.name(),
+                        index,
+                        attempt,
+                    )?,
+                    None => {
+                        if emitter.records_since_spill() >= config.spill_threshold_records {
+                            counters.inc(Counter::Spills);
+                            for part in emitter.partitions_mut() {
+                                sort_and_combine(job, part, counters);
+                            }
+                            emitter.reset_spill_window();
+                        }
                     }
-                    emitter.reset_spill_window();
                 }
             }
         }
@@ -842,14 +1100,8 @@ impl JobRunner {
             mapper.close(&mut out, &mut ctx)?;
         }
 
-        let mut segments = Vec::with_capacity(num_parts);
-        let mut shuffle_out = 0u64;
-        for part in emitter.partitions_mut() {
-            sort_and_combine(job, part, counters);
-            let seg = encode_segment(part);
-            shuffle_out += seg.len() as u64;
-            segments.push(seg);
-        }
+        let (segments, shuffle_out, spill_io) =
+            self.finalize_map_output(job, spill, &mut emitter, &mut ctx, counters)?;
         counters.add(Counter::ShuffleBytes, shuffle_out);
         counters.max(Counter::HeapPeakBytes, ctx.heap.peak());
 
@@ -861,8 +1113,43 @@ impl JobRunner {
                 shuffle_bytes_out: shuffle_out,
                 shuffle_bytes_in: 0,
                 compute_units: ctx.compute_units(),
+                spill_io_bytes: spill_io.disk_bytes(),
+                compressed_bytes: spill_io.compressed_raw,
+                decompressed_bytes: spill_io.decompressed_raw,
             },
         ))
+    }
+
+    /// Shared map-task epilogue: the spilled path merges runs into
+    /// final combined output runs; the unspilled (or buffered-mode)
+    /// path performs the legacy in-memory sort/combine/serialize —
+    /// bit-for-bit the pre-out-of-core behaviour.
+    fn finalize_map_output<J: Job>(
+        &self,
+        job: &J,
+        mut spill: Option<MapSpill>,
+        emitter: &mut Emitter<J::Key, J::Value>,
+        ctx: &mut TaskContext,
+        counters: &Arc<Counters>,
+    ) -> Result<(Vec<ShuffleSegment>, u64, SpillIo)> {
+        if spill.as_ref().is_some_and(|s| s.spills > 0) {
+            let s = spill.take().expect("spill state present");
+            return s.finish(job, emitter, ctx, counters);
+        }
+        if let Some(s) = spill.take() {
+            // Nothing spilled; give back the sort-buffer charge and
+            // fall through to the buffered finalize.
+            ctx.heap.release(s.ledger_charged);
+        }
+        let mut segments = Vec::with_capacity(emitter.partitions_mut().len());
+        let mut shuffle_out = 0u64;
+        for part in emitter.partitions_mut() {
+            sort_and_combine(job, part, counters);
+            let seg = encode_segment(part);
+            shuffle_out += seg.len() as u64;
+            segments.push(ShuffleSegment::Mem(seg));
+        }
+        Ok((segments, shuffle_out, SpillIo::default()))
     }
 
     fn run_map_phase<J: Job>(
@@ -908,7 +1195,9 @@ impl JobRunner {
                                 prefer,
                             },
                             counters,
-                            |_, c| self.run_map_task(job, i, &splits[i], config, c),
+                            |attempt, forced, c| {
+                                self.run_map_task(job, i, &splits[i], config, attempt, forced, c)
+                            },
                         )
                         .map(|(segments, timing)| MapTaskOut { segments, timing });
                     if r.is_err() {
@@ -943,14 +1232,17 @@ impl JobRunner {
         Ok(out)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_map_task<J: Job>(
         &self,
         job: &J,
         index: usize,
         split: &InputSplit,
         config: &JobConfig,
+        attempt: u32,
+        forced_spill: bool,
         counters: &Arc<Counters>,
-    ) -> Result<(Vec<Segment>, TaskCost)> {
+    ) -> Result<(Vec<ShuffleSegment>, TaskCost)> {
         let mut ctx = TaskContext::new(
             format!("map-{index}"),
             Arc::clone(counters),
@@ -958,7 +1250,19 @@ impl JobRunner {
         );
         let num_parts = config.num_reduce_tasks;
         let partitioner = |k: &J::Key| job.partition(k, num_parts);
-        let mut emitter: Emitter<J::Key, J::Value> = Emitter::new(num_parts);
+        let mut spill = self.spill.as_ref().map(|dir| {
+            MapSpill::new(
+                Arc::clone(dir),
+                self.cluster.out_of_core,
+                forced_spill,
+                num_parts,
+            )
+        });
+        let mut emitter: Emitter<J::Key, J::Value> = if spill.is_some() {
+            Emitter::with_byte_tracking(num_parts)
+        } else {
+            Emitter::new(num_parts)
+        };
         let mut mapper = job.create_mapper();
 
         mapper.setup(&mut ctx)?;
@@ -970,12 +1274,25 @@ impl JobRunner {
                 counters,
             };
             mapper.map(offset, line, &mut out, &mut ctx)?;
-            if emitter.records_since_spill() >= config.spill_threshold_records {
-                counters.inc(Counter::Spills);
-                for part in emitter.partitions_mut() {
-                    sort_and_combine(job, part, counters);
+            match spill.as_mut() {
+                Some(s) => s.maybe_spill(
+                    &mut emitter,
+                    &mut ctx,
+                    counters,
+                    &self.cluster.faults,
+                    job.name(),
+                    index,
+                    attempt,
+                )?,
+                None => {
+                    if emitter.records_since_spill() >= config.spill_threshold_records {
+                        counters.inc(Counter::Spills);
+                        for part in emitter.partitions_mut() {
+                            sort_and_combine(job, part, counters);
+                        }
+                        emitter.reset_spill_window();
+                    }
                 }
-                emitter.reset_spill_window();
             }
         }
         {
@@ -987,15 +1304,10 @@ impl JobRunner {
             mapper.close(&mut out, &mut ctx)?;
         }
 
-        // Final sort/combine and serialization.
-        let mut segments = Vec::with_capacity(num_parts);
-        let mut shuffle_out = 0u64;
-        for part in emitter.partitions_mut() {
-            sort_and_combine(job, part, counters);
-            let seg = encode_segment(part);
-            shuffle_out += seg.len() as u64;
-            segments.push(seg);
-        }
+        // Final sort/combine and serialization (merged from spill runs
+        // when the task spilled).
+        let (segments, shuffle_out, spill_io) =
+            self.finalize_map_output(job, spill, &mut emitter, &mut ctx, counters)?;
         counters.add(Counter::ShuffleBytes, shuffle_out);
         counters.add(Counter::InputBytes, split.len() as u64);
         counters.max(Counter::HeapPeakBytes, ctx.heap.peak());
@@ -1009,6 +1321,9 @@ impl JobRunner {
                 shuffle_bytes_out: shuffle_out,
                 shuffle_bytes_in: 0,
                 compute_units: ctx.compute_units(),
+                spill_io_bytes: spill_io.disk_bytes(),
+                compressed_bytes: spill_io.compressed_raw,
+                decompressed_bytes: spill_io.decompressed_raw,
             },
         ))
     }
@@ -1021,9 +1336,9 @@ impl JobRunner {
         map_outputs: Vec<MapTaskOut>,
         config: &JobConfig,
         counters: &Counters,
-    ) -> (Vec<f64>, Vec<Vec<Segment>>) {
+    ) -> (Vec<f64>, Vec<Vec<ShuffleSegment>>) {
         let mut timings = Vec::with_capacity(map_outputs.len());
-        let mut partitioned: Vec<Vec<Segment>> =
+        let mut partitioned: Vec<Vec<ShuffleSegment>> =
             (0..config.num_reduce_tasks).map(|_| Vec::new()).collect();
         for m in map_outputs {
             timings.push(m.timing);
@@ -1040,7 +1355,7 @@ impl JobRunner {
         &self,
         job: &J,
         nodes: &NodeView,
-        partitioned: Vec<Vec<Segment>>,
+        partitioned: Vec<Vec<ShuffleSegment>>,
         counters: &Arc<Counters>,
     ) -> Result<(Vec<J::Output>, Vec<f64>)> {
         let n = partitioned.len();
@@ -1051,7 +1366,7 @@ impl JobRunner {
         let next = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
         let max_attempts = self.cluster.faults.max_attempts.max(1);
-        let inputs: Vec<Mutex<Option<Vec<Segment>>>> = partitioned
+        let inputs: Vec<Mutex<Option<Vec<ShuffleSegment>>>> = partitioned
             .into_iter()
             .map(|p| Mutex::new(Some(p)))
             .collect();
@@ -1078,7 +1393,7 @@ impl JobRunner {
                             prefer: &[],
                         },
                         counters,
-                        |attempt, c| {
+                        |attempt, _forced, c| {
                             // Retries re-read the shuffled segments; keep a
                             // copy only while another attempt may follow.
                             let segments = if attempt + 1 >= max_attempts {
@@ -1124,7 +1439,7 @@ impl JobRunner {
         &self,
         job: &J,
         partition: usize,
-        segments: Vec<Segment>,
+        sources: Vec<ShuffleSegment>,
         counters: &Arc<Counters>,
     ) -> Result<(Vec<J::Output>, TaskCost)> {
         let mut ctx = TaskContext::new(
@@ -1132,12 +1447,42 @@ impl JobRunner {
             Arc::clone(counters),
             self.cluster.heap_per_task,
         );
-        let shuffle_in: u64 = segments.iter().map(|s| s.len() as u64).sum();
+        let shuffle_in: u64 = sources.iter().map(|s| s.len() as u64).sum();
         let mut reducer = job.create_reducer();
         let mut out: Vec<J::Output> = Vec::new();
         reducer.setup(&mut ctx)?;
 
-        let mut merge: MergeIter<J::Key, J::Value> = MergeIter::new(segments)?;
+        // Out-of-core reduces bound the merge fan-in the same way the
+        // map side does: too many sources get pre-merged into raw
+        // on-disk runs (consecutive batches from the front, results
+        // re-inserted at the front, so the flat tie-break order is
+        // preserved), and the final merge's resident footprint is
+        // charged to the heap ledger.
+        let mut sources = sources;
+        let mut io = SpillIo::default();
+        let mut merge_charged = 0u64;
+        if let Some(dir) = self.spill.as_ref() {
+            let cfg = self.cluster.out_of_core;
+            while sources.len() > cfg.merge_fan_in {
+                let batch: Vec<ShuffleSegment> = sources.drain(..cfg.merge_fan_in).collect();
+                let resident: u64 = batch.iter().map(ShuffleSegment::merge_resident_bytes).sum();
+                ctx.heap.charge(resident)?;
+                let merged = merge_to_run::<J::Key, J::Value>(dir, &cfg, batch);
+                ctx.heap.release(resident);
+                let (run, pass_io) = merged?;
+                counters.inc(Counter::ShuffleMergePasses);
+                counters.add(Counter::ShuffleSpillBytes, run.raw_len());
+                io.absorb(&pass_io);
+                sources.insert(0, ShuffleSegment::Disk(Arc::new(run)));
+            }
+            merge_charged = sources
+                .iter()
+                .map(ShuffleSegment::merge_resident_bytes)
+                .sum();
+            ctx.heap.charge(merge_charged)?;
+        }
+
+        let mut merge: MergeIter<J::Key, J::Value> = MergeIter::from_sources(sources)?;
         let mut lookahead: Option<(J::Key, J::Value)> = match merge.next() {
             None => None,
             Some(r) => {
@@ -1203,6 +1548,14 @@ impl JobRunner {
             };
         }
         reducer.close(&mut out, &mut ctx)?;
+        io.absorb(&merge.io());
+        if merge_charged > 0 {
+            ctx.heap.release(merge_charged);
+        }
+        if io.compressed_raw > 0 || io.decompressed_raw > 0 {
+            counters.add(Counter::BytesCompressed, io.compressed_raw);
+            counters.add(Counter::BytesDecompressed, io.decompressed_raw);
+        }
         counters.add(Counter::ReduceOutputRecords, out.len() as u64);
         counters.max(Counter::HeapPeakBytes, ctx.heap.peak());
         Ok((
@@ -1213,6 +1566,9 @@ impl JobRunner {
                 shuffle_bytes_out: 0,
                 shuffle_bytes_in: shuffle_in,
                 compute_units: ctx.compute_units(),
+                spill_io_bytes: io.disk_bytes(),
+                compressed_bytes: io.compressed_raw,
+                decompressed_bytes: io.decompressed_raw,
             },
         ))
     }

@@ -17,10 +17,13 @@
 
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
+use crate::cluster::OutOfCoreConfig;
 use crate::counters::{Counter, Counters};
 use crate::error::Result;
 use crate::job::Job;
+use crate::spill::{RunCursor, RunWriter, SpillDir, SpillIo, SpillRun};
 use crate::writable::{ShuffleKey, ShuffleValue, Writable};
 
 /// A serialized run of key-sorted `(key, value)` pairs produced by one
@@ -42,6 +45,55 @@ impl Segment {
     /// True when the segment holds no records.
     pub fn is_empty(&self) -> bool {
         self.records == 0
+    }
+}
+
+/// One sorted source of a merge: either a memory-resident [`Segment`]
+/// (the buffered path) or a spilled on-disk run (the out-of-core path).
+///
+/// Both shapes hold the same serialized record stream; `len()` reports
+/// the *raw* (uncompressed) byte size in either case, so shuffle-volume
+/// accounting is identical whether a run spilled or stayed resident.
+#[derive(Clone, Debug)]
+pub enum ShuffleSegment {
+    /// A memory-resident serialized segment.
+    Mem(Segment),
+    /// A sorted, block-compressed run on local disk. The `Arc` keeps
+    /// the backing file alive across reduce-attempt retries; the file
+    /// is deleted when the last reference drops.
+    Disk(Arc<SpillRun>),
+}
+
+impl ShuffleSegment {
+    /// Raw serialized byte size (pre-compression for disk runs).
+    pub fn len(&self) -> usize {
+        match self {
+            ShuffleSegment::Mem(s) => s.len(),
+            ShuffleSegment::Disk(r) => r.raw_len() as usize,
+        }
+    }
+
+    /// Number of records in the source.
+    pub fn records(&self) -> u64 {
+        match self {
+            ShuffleSegment::Mem(s) => s.records,
+            ShuffleSegment::Disk(r) => r.records(),
+        }
+    }
+
+    /// True when the source holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records() == 0
+    }
+
+    /// Heap bytes a k-way merge must keep resident to stream this
+    /// source: the whole segment when in memory, one block buffer when
+    /// on disk — the quantity the out-of-core memory ledger charges.
+    pub fn merge_resident_bytes(&self) -> u64 {
+        match self {
+            ShuffleSegment::Mem(s) => s.len() as u64,
+            ShuffleSegment::Disk(r) => r.max_block_raw() as u64,
+        }
     }
 }
 
@@ -104,7 +156,7 @@ struct SegmentCursor {
 }
 
 impl SegmentCursor {
-    fn next<K: Writable, V: Writable>(&mut self) -> Result<Option<(K, V)>> {
+    fn next_record<K: Writable, V: Writable>(&mut self) -> Result<Option<(K, V)>> {
         if self.pos >= self.data.len() {
             return Ok(None);
         }
@@ -114,6 +166,28 @@ impl SegmentCursor {
         let v = V::read(&mut slice)?;
         self.pos += before - slice.len();
         Ok(Some((k, v)))
+    }
+}
+
+/// Record cursor over one merge source, memory- or disk-backed.
+enum SourceCursor {
+    Mem(SegmentCursor),
+    Disk(RunCursor),
+}
+
+impl SourceCursor {
+    fn next_record<K: Writable, V: Writable>(&mut self) -> Result<Option<(K, V)>> {
+        match self {
+            SourceCursor::Mem(c) => c.next_record(),
+            SourceCursor::Disk(c) => c.next_record(),
+        }
+    }
+
+    fn io(&self) -> SpillIo {
+        match self {
+            SourceCursor::Mem(_) => SpillIo::default(),
+            SourceCursor::Disk(c) => c.io(),
+        }
     }
 }
 
@@ -145,27 +219,38 @@ impl<K: Ord, V> Ord for HeapEntry<K, V> {
     }
 }
 
-/// K-way merge over sorted segments, yielding `(key, value)` pairs in
+/// K-way merge over sorted sources, yielding `(key, value)` pairs in
 /// globally ascending key order. Decodes lazily: at any moment only one
-/// record per segment is materialized.
+/// record per memory source (plus one block buffer per disk source) is
+/// materialized. Equal keys break ties by source index, so feeding
+/// sources in emission order reproduces the single-buffer sort's
+/// within-key value order exactly.
 pub struct MergeIter<K, V> {
-    cursors: Vec<SegmentCursor>,
+    cursors: Vec<SourceCursor>,
     heap: BinaryHeap<HeapEntry<K, V>>,
 }
 
 impl<K: ShuffleKey, V: ShuffleValue> MergeIter<K, V> {
-    /// Builds a merge over the given segments.
+    /// Builds a merge over memory-resident segments.
     pub fn new(segments: Vec<Segment>) -> Result<Self> {
-        let mut cursors: Vec<SegmentCursor> = segments
-            .into_iter()
-            .map(|s| SegmentCursor {
-                data: s.data,
-                pos: 0,
-            })
-            .collect();
+        Self::from_sources(segments.into_iter().map(ShuffleSegment::Mem).collect())
+    }
+
+    /// Builds a merge over mixed memory and disk sources.
+    pub fn from_sources(sources: Vec<ShuffleSegment>) -> Result<Self> {
+        let mut cursors = Vec::with_capacity(sources.len());
+        for s in sources {
+            cursors.push(match s {
+                ShuffleSegment::Mem(seg) => SourceCursor::Mem(SegmentCursor {
+                    data: seg.data,
+                    pos: 0,
+                }),
+                ShuffleSegment::Disk(run) => SourceCursor::Disk(RunCursor::open(run)?),
+            });
+        }
         let mut heap = BinaryHeap::with_capacity(cursors.len());
         for (i, c) in cursors.iter_mut().enumerate() {
-            if let Some((key, value)) = c.next::<K, V>()? {
+            if let Some((key, value)) = c.next_record::<K, V>()? {
                 heap.push(HeapEntry {
                     key,
                     value,
@@ -175,6 +260,16 @@ impl<K: ShuffleKey, V: ShuffleValue> MergeIter<K, V> {
         }
         Ok(Self { cursors, heap })
     }
+
+    /// Accumulated disk-read and decompression traffic of the merge's
+    /// disk-backed sources so far.
+    pub fn io(&self) -> SpillIo {
+        let mut total = SpillIo::default();
+        for c in &self.cursors {
+            total.absorb(&c.io());
+        }
+        total
+    }
 }
 
 impl<K: ShuffleKey, V: ShuffleValue> Iterator for MergeIter<K, V> {
@@ -182,7 +277,7 @@ impl<K: ShuffleKey, V: ShuffleValue> Iterator for MergeIter<K, V> {
 
     fn next(&mut self) -> Option<Self::Item> {
         let entry = self.heap.pop()?;
-        match self.cursors[entry.segment].next::<K, V>() {
+        match self.cursors[entry.segment].next_record::<K, V>() {
             Ok(Some((key, value))) => self.heap.push(HeapEntry {
                 key,
                 value,
@@ -193,6 +288,98 @@ impl<K: ShuffleKey, V: ShuffleValue> Iterator for MergeIter<K, V> {
         }
         Some(Ok((entry.key, entry.value)))
     }
+}
+
+/// Merges sorted sources into one *raw* (uncombined) disk run — one
+/// pass of a multi-pass merge.
+///
+/// Records come out exactly as [`MergeIter`] yields them, so merging
+/// **consecutive** sources and putting the result back in their place
+/// preserves the order a flat merge over all sources would produce:
+/// nested earliest-source-first tie-breaks compose.
+pub fn merge_to_run<K: ShuffleKey, V: ShuffleValue>(
+    dir: &SpillDir,
+    cfg: &OutOfCoreConfig,
+    sources: Vec<ShuffleSegment>,
+) -> Result<(SpillRun, SpillIo)> {
+    let mut writer = RunWriter::create(dir, cfg.compress_spills, cfg.spill_block_bytes)?;
+    let mut merge = MergeIter::<K, V>::from_sources(sources)?;
+    for record in merge.by_ref() {
+        let (k, v) = record?;
+        writer.push(&k, &v)?;
+    }
+    let mut io = merge.io();
+    let (run, write_io) = writer.finish()?;
+    io.absorb(&write_io);
+    Ok((run, io))
+}
+
+/// Merges sorted sources, applies the job's combiner once over the
+/// merged stream, and writes the combined output as a new disk run —
+/// the spilled map task's final output for one partition.
+///
+/// Counter parity with the buffered path is exact:
+/// `combine_input_records` counts each record arriving from the merge
+/// and `combine_output_records` counts each record written out, the
+/// same totals [`sort_and_combine`] charges for the same data. To bound
+/// memory, oversized key groups are pre-folded through the combiner in
+/// chunks; partial applications are invisible to the counters (only
+/// originals in, finals out) and output-transparent for any combiner
+/// that folds — which [`Job::combine`]'s "semantically idempotent"
+/// contract already requires.
+pub fn merge_combine_to_run<J: Job>(
+    job: &J,
+    dir: &SpillDir,
+    cfg: &OutOfCoreConfig,
+    sources: Vec<ShuffleSegment>,
+    counters: &Counters,
+) -> Result<(SpillRun, SpillIo)> {
+    /// Values buffered per key before a partial combiner fold.
+    const GROUP_CHUNK: usize = 4096;
+    let mut writer = RunWriter::create(dir, cfg.compress_spills, cfg.spill_block_bytes)?;
+    let mut merge = MergeIter::<J::Key, J::Value>::from_sources(sources)?;
+    if !job.has_combiner() {
+        for record in merge.by_ref() {
+            let (k, v) = record?;
+            writer.push(&k, &v)?;
+        }
+    } else {
+        let mut current: Option<(J::Key, Vec<J::Value>)> = None;
+        let flush = |key: J::Key, values: Vec<J::Value>, writer: &mut RunWriter| -> Result<()> {
+            let outs = job.combine(&key, values);
+            counters.add(Counter::CombineOutputRecords, outs.len() as u64);
+            for v in outs {
+                writer.push(&key, &v)?;
+            }
+            Ok(())
+        };
+        for record in merge.by_ref() {
+            let (k, v) = record?;
+            counters.inc(Counter::CombineInputRecords);
+            match current.as_mut() {
+                Some((ck, vals)) if *ck == k => {
+                    vals.push(v);
+                    if vals.len() >= GROUP_CHUNK {
+                        let partial = job.combine(ck, std::mem::take(vals));
+                        *vals = partial;
+                    }
+                }
+                _ => {
+                    if let Some((ck, vals)) = current.take() {
+                        flush(ck, vals, &mut writer)?;
+                    }
+                    current = Some((k, vec![v]));
+                }
+            }
+        }
+        if let Some((ck, vals)) = current.take() {
+            flush(ck, vals, &mut writer)?;
+        }
+    }
+    let mut io = merge.io();
+    let (run, write_io) = writer.finish()?;
+    io.absorb(&write_io);
+    Ok((run, io))
 }
 
 /// Reduce-side detection of map outputs stranded on crashed nodes.
@@ -482,5 +669,150 @@ mod tests {
         let lost = detect_fetch_failures(&[0, 1, 2, 3], &[], 4, &counters);
         assert!(lost.is_empty());
         assert_eq!(counters.get(Counter::ShuffleFetchFailures), 0);
+    }
+
+    /// Spills a sorted pair list to a disk run.
+    fn spill_pairs(dir: &SpillDir, cfg: &OutOfCoreConfig, pairs: &[(i64, u64)]) -> ShuffleSegment {
+        let mut w = RunWriter::create(dir, cfg.compress_spills, cfg.spill_block_bytes).unwrap();
+        for (k, v) in pairs {
+            w.push(k, v).unwrap();
+        }
+        let (run, _) = w.finish().unwrap();
+        ShuffleSegment::Disk(Arc::new(run))
+    }
+
+    fn small_ooc() -> OutOfCoreConfig {
+        OutOfCoreConfig {
+            spill_block_bytes: 64,
+            ..OutOfCoreConfig::enabled()
+        }
+    }
+
+    #[test]
+    fn merge_mixes_memory_and_disk_sources() {
+        let dir = SpillDir::create().unwrap();
+        let cfg = small_ooc();
+        let disk = spill_pairs(&dir, &cfg, &[(1i64, 10u64), (3, 30), (3, 31)]);
+        let mem = ShuffleSegment::Mem(encode_segment(&[(2i64, 20u64), (3, 32)]));
+        let mut merge = MergeIter::<i64, u64>::from_sources(vec![disk, mem]).unwrap();
+        let merged: Vec<(i64, u64)> = merge.by_ref().collect::<Result<_>>().unwrap();
+        // Source 0 (disk) wins ties, so 30, 31 precede 32.
+        assert_eq!(merged, vec![(1, 10), (2, 20), (3, 30), (3, 31), (3, 32)]);
+        let io = merge.io();
+        assert!(io.stored_read > 0, "disk source was read from disk");
+        assert_eq!(io.decompressed_raw, 3 * 16, "three records decompressed");
+    }
+
+    #[test]
+    fn merge_to_run_nests_like_a_flat_merge() {
+        // Four runs of a tie-heavy stream; merging runs {0,1} into an
+        // intermediate and then {intermediate, 2, 3} must equal the
+        // flat 4-way merge.
+        let dir = SpillDir::create().unwrap();
+        let cfg = small_ooc();
+        let runs: Vec<Vec<(i64, u64)>> = vec![
+            vec![(1, 0), (5, 1), (5, 2)],
+            vec![(1, 3), (5, 4)],
+            vec![(2, 5), (5, 6)],
+            vec![(5, 7), (9, 8)],
+        ];
+        let sources: Vec<ShuffleSegment> =
+            runs.iter().map(|r| spill_pairs(&dir, &cfg, r)).collect();
+        let flat: Vec<(i64, u64)> = MergeIter::<i64, u64>::from_sources(sources.clone())
+            .unwrap()
+            .collect::<Result<_>>()
+            .unwrap();
+
+        let mut nested = sources;
+        let batch: Vec<ShuffleSegment> = nested.drain(..2).collect();
+        let (mid, io) = merge_to_run::<i64, u64>(&dir, &cfg, batch).unwrap();
+        assert_eq!(mid.records(), 5);
+        assert!(io.raw_written > 0);
+        nested.insert(0, ShuffleSegment::Disk(Arc::new(mid)));
+        let merged: Vec<(i64, u64)> = MergeIter::<i64, u64>::from_sources(nested)
+            .unwrap()
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(merged, flat);
+    }
+
+    #[test]
+    fn merge_combine_matches_sort_and_combine() {
+        // The spilled path (raw runs -> merge_combine_to_run) must
+        // produce byte-identical output and identical combine counters
+        // to the buffered path (sort_and_combine -> encode_segment).
+        let job = SumJob { combiner: true };
+        let dir = SpillDir::create().unwrap();
+        let cfg = small_ooc();
+        let emitted: Vec<(i64, u64)> = (0..200u64).map(|i| ((i % 7) as i64, i)).collect();
+
+        // Buffered reference.
+        let buffered_counters = Counters::new();
+        let mut buf = emitted.clone();
+        sort_and_combine(&job, &mut buf, &buffered_counters);
+        let reference = encode_segment(&buf);
+
+        // Spilled: three consecutive emission windows, each stably
+        // sorted, written raw, then merged + combined once.
+        let spilled_counters = Counters::new();
+        let sources: Vec<ShuffleSegment> = emitted
+            .chunks(70)
+            .map(|window| {
+                let mut w = window.to_vec();
+                w.sort_by_key(|a| a.0);
+                spill_pairs(&dir, &cfg, &w)
+            })
+            .collect();
+        let (run, _) = merge_combine_to_run(&job, &dir, &cfg, sources, &spilled_counters).unwrap();
+        assert_eq!(run.raw_len(), reference.len() as u64);
+        assert_eq!(run.records(), reference.records);
+        let replayed: Vec<(i64, u64)> =
+            MergeIter::<i64, u64>::from_sources(vec![ShuffleSegment::Disk(Arc::new(run))])
+                .unwrap()
+                .collect::<Result<_>>()
+                .unwrap();
+        assert_eq!(encode_segment(&replayed).data, reference.data);
+        assert_eq!(
+            spilled_counters.get(Counter::CombineInputRecords),
+            buffered_counters.get(Counter::CombineInputRecords)
+        );
+        assert_eq!(
+            spilled_counters.get(Counter::CombineOutputRecords),
+            buffered_counters.get(Counter::CombineOutputRecords)
+        );
+    }
+
+    #[test]
+    fn merge_combine_without_combiner_passes_records_through() {
+        let job = SumJob { combiner: false };
+        let dir = SpillDir::create().unwrap();
+        let cfg = small_ooc();
+        let a = spill_pairs(&dir, &cfg, &[(1i64, 1u64), (2, 2)]);
+        let b = spill_pairs(&dir, &cfg, &[(1i64, 3u64)]);
+        let counters = Counters::new();
+        let (run, _) = merge_combine_to_run(&job, &dir, &cfg, vec![a, b], &counters).unwrap();
+        assert_eq!(run.records(), 3);
+        assert_eq!(counters.get(Counter::CombineInputRecords), 0);
+        let merged: Vec<(i64, u64)> =
+            MergeIter::<i64, u64>::from_sources(vec![ShuffleSegment::Disk(Arc::new(run))])
+                .unwrap()
+                .collect::<Result<_>>()
+                .unwrap();
+        assert_eq!(merged, vec![(1, 1), (1, 3), (2, 2)]);
+    }
+
+    #[test]
+    fn shuffle_segment_reports_raw_sizes() {
+        let dir = SpillDir::create().unwrap();
+        let cfg = small_ooc();
+        let pairs = [(1i64, 1u64), (2, 2), (3, 3)];
+        let mem = ShuffleSegment::Mem(encode_segment(&pairs));
+        let disk = spill_pairs(&dir, &cfg, &pairs);
+        assert_eq!(mem.len(), disk.len());
+        assert_eq!(mem.records(), disk.records());
+        assert!(!mem.is_empty() && !disk.is_empty());
+        assert_eq!(mem.merge_resident_bytes(), 3 * 16);
+        assert!(disk.merge_resident_bytes() <= cfg.spill_block_bytes as u64 + 16);
+        assert!(ShuffleSegment::Mem(Segment::default()).is_empty());
     }
 }
