@@ -18,6 +18,7 @@
 //!   scheduler multi-tenant fair-share vs FIFO (writes BENCH_scheduler.json)
 //!   elastic   membership elasticity: joins, spot revocations (writes BENCH_elastic.json)
 //!   scale     out-of-core spill-merge at 100x-1000x paper scale (writes BENCH_scale.json)
+//!   chaos     composite storm intensity sweep, zero answer drift (writes BENCH_chaos.json)
 //!   all       everything above, in order
 //! ```
 //!
@@ -28,8 +29,8 @@
 //! shapes, not its absolute numbers.
 
 use gmr_bench::experiments::{
-    ablations, elastic, fig1, fig2, fig4, kernels, scale as scale_exp, scheduler, table3, table4,
-    times,
+    ablations, chaos, elastic, fig1, fig2, fig4, kernels, scale as scale_exp, scheduler, table3,
+    table4, times,
 };
 use gmr_bench::ExperimentScale;
 
@@ -123,6 +124,11 @@ fn main() {
             }
             write_scale_json(&bench);
         }
+        "chaos" => {
+            let bench = chaos::run(&scale);
+            print!("{}", chaos::render(&bench));
+            write_chaos_json(&bench);
+        }
         "all" => {
             print!("{}", fig1::render(&fig1::run(&scale)));
             print!("{}", fig2::render(&fig2::run(&scale)));
@@ -151,6 +157,9 @@ fn main() {
                 scale_exp::assert_within_budget(&sc, 1.3);
             }
             write_scale_json(&sc);
+            let ch = chaos::run(&scale);
+            print!("{}", chaos::render(&ch));
+            write_chaos_json(&ch);
         }
         other => usage(&format!("unknown experiment {other}")),
     }
@@ -184,6 +193,14 @@ fn write_elastic_json(bench: &elastic::ElasticBench) {
     }
 }
 
+fn write_chaos_json(bench: &chaos::ChaosBench) {
+    let path = "BENCH_chaos.json";
+    match std::fs::write(path, bench.to_json()) {
+        Ok(()) => eprintln!("[wrote {path}]"),
+        Err(e) => eprintln!("[could not write {path}: {e}]"),
+    }
+}
+
 fn write_scale_json(bench: &scale_exp::ScaleBench) {
     let path = "BENCH_scale.json";
     match std::fs::write(path, bench.to_json()) {
@@ -196,7 +213,7 @@ fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: repro <fig1|fig2|table1|table2|fig3|table3|fig4|table4|ablations|kernels|\
-         scheduler|elastic|scale|all> [--points N] [--k-factor F] [--seed S] [--quick]"
+         scheduler|elastic|scale|chaos|all> [--points N] [--k-factor F] [--seed S] [--quick]"
     );
     std::process::exit(2);
 }

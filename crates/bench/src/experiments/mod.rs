@@ -13,8 +13,10 @@
 //! | [`scheduler`] | — | multi-tenant fair-share vs FIFO arbitration (`BENCH_scheduler.json`) |
 //! | [`elastic`] | — | elastic membership: join speedup, revocation cost (`BENCH_elastic.json`) |
 //! | [`scale`] | — | out-of-core spill-merge at 100×–1000× paper scale (`BENCH_scale.json`) |
+//! | [`chaos`] | — | composite storm intensity vs makespan, zero answer drift (`BENCH_chaos.json`) |
 
 pub mod ablations;
+pub mod chaos;
 pub mod elastic;
 pub mod fig1;
 pub mod fig2;

@@ -158,6 +158,16 @@ pub fn makespan(durations: &[f64], slots: usize) -> f64 {
     loads.into_iter().fold(0.0, f64::max)
 }
 
+/// Deterministic exponential backoff for shuffle-fetch retries: flaked
+/// try `try_no` waits `base · 2^min(try_no, 16) · (1 + jitter01)`
+/// simulated seconds. The exponent is capped so a pathological retry
+/// budget cannot blow up the double; `jitter01` in `[0, 1)`
+/// decorrelates reducers hammering the same map output (the fault
+/// plan's salt-15 draw).
+pub fn fetch_backoff_secs(base: f64, try_no: u32, jitter01: f64) -> f64 {
+    base * (1u64 << try_no.min(16)) as f64 * (1.0 + jitter01)
+}
+
 /// Simulated timing of one executed job.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct JobTiming {
@@ -215,6 +225,16 @@ mod tests {
     #[test]
     fn makespan_empty_is_zero() {
         assert_eq!(makespan(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn fetch_backoff_doubles_per_try_and_caps_the_exponent() {
+        assert_eq!(fetch_backoff_secs(1.0, 0, 0.0), 1.0);
+        assert_eq!(fetch_backoff_secs(1.0, 3, 0.0), 8.0);
+        assert_eq!(fetch_backoff_secs(0.5, 2, 1.0), 4.0);
+        // Exponent cap: absurd try numbers stay finite.
+        assert_eq!(fetch_backoff_secs(1.0, 999, 0.0), 65536.0);
+        assert_eq!(fetch_backoff_secs(0.0, 5, 0.5), 0.0);
     }
 
     #[test]

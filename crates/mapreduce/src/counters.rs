@@ -9,6 +9,16 @@
 //! Counters are plain atomics: tasks on different threads update them
 //! concurrently without coordination, exactly like Hadoop's task-side
 //! counter caches.
+//!
+//! Two families share the bank. *Logical* counters (records, bytes,
+//! distance computations, AD tests…) are pure functions of the input
+//! and the algorithm — bit-identical between a calm and a stormy run.
+//! *Fault* counters (attempts failed/killed/fenced, fetch retries and
+//! backoff, maps re-executed, zombie commits rejected…) are pure
+//! functions of the [`crate::faults::FaultPlan`] and so equally
+//! deterministic, but only nonzero under injected weather. The chaos
+//! oracle (`crate::chaos`) leans on this split: logical counters must
+//! never drift, fault counters must replay bit for bit.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -127,10 +137,26 @@ pub enum Counter {
     /// Task attempts that would have died of an injected heap fault but
     /// degraded to the spill path instead (out-of-core enabled).
     HeapSpillRescues,
+    /// Shuffle-fetch tries that flaked transiently and were retried
+    /// after an exponential backoff (or escalated once the budget
+    /// burned) — the network weather.
+    FetchRetries,
+    /// Whole simulated seconds of exponential-backoff wait charged to
+    /// flaked shuffle fetches (rounded once per job).
+    FetchBackoffSecs,
+    /// Live attempts falsely declared dead by a heartbeat false
+    /// positive and replaced by a duplicate. Fenced attempts are
+    /// KILLED, not FAILED: they never consume the `max_attempts`
+    /// retry budget.
+    AttemptsFenced,
+    /// Late commits by fenced zombie attempts rejected by the per-task
+    /// commit fence — the exactly-one-visible-output guarantee made
+    /// observable.
+    ZombieCommitsRejected,
 }
 
 /// Number of counters (sizes [`Counters::values`] and [`ALL`]).
-const COUNT: usize = 43;
+const COUNT: usize = 47;
 
 /// All counters, indexable without a hash map.
 const ALL: [Counter; COUNT] = [
@@ -177,6 +203,10 @@ const ALL: [Counter; COUNT] = [
     Counter::BytesCompressed,
     Counter::BytesDecompressed,
     Counter::HeapSpillRescues,
+    Counter::FetchRetries,
+    Counter::FetchBackoffSecs,
+    Counter::AttemptsFenced,
+    Counter::ZombieCommitsRejected,
 ];
 
 impl Counter {
@@ -235,6 +265,10 @@ impl Counter {
             Counter::BytesCompressed => "bytes_compressed",
             Counter::BytesDecompressed => "bytes_decompressed",
             Counter::HeapSpillRescues => "heap_spill_rescues",
+            Counter::FetchRetries => "fetch_retries",
+            Counter::FetchBackoffSecs => "fetch_backoff_secs",
+            Counter::AttemptsFenced => "attempts_fenced",
+            Counter::ZombieCommitsRejected => "zombie_commits_rejected",
         }
     }
 }
@@ -414,6 +448,19 @@ mod tests {
             (Counter::BytesCompressed, "bytes_compressed"),
             (Counter::BytesDecompressed, "bytes_decompressed"),
             (Counter::HeapSpillRescues, "heap_spill_rescues"),
+        ] {
+            assert_eq!(c.name(), name);
+            assert!(Counter::all().contains(&c), "{name} missing from ALL");
+        }
+    }
+
+    #[test]
+    fn chaos_counters_have_issue_names() {
+        for (c, name) in [
+            (Counter::FetchRetries, "fetch_retries"),
+            (Counter::FetchBackoffSecs, "fetch_backoff_secs"),
+            (Counter::AttemptsFenced, "attempts_fenced"),
+            (Counter::ZombieCommitsRejected, "zombie_commits_rejected"),
         ] {
             assert_eq!(c.name(), name);
             assert!(Counter::all().contains(&c), "{name} missing from ALL");

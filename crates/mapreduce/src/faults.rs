@@ -154,6 +154,30 @@ pub struct FaultPlan {
     /// [`Error::Corrupt`], and the ordinary bounded-retry budget
     /// re-runs the task.
     pub torn_spill_prob: f64,
+    /// Probability any single shuffle-fetch try flakes transiently
+    /// (drawn independently per `(job, map, reduce, try)` coordinate,
+    /// salt 14) — the network weather. A flaked try costs the fetching
+    /// reducer a deterministic exponential-backoff wait
+    /// ([`FaultPlan::fetch_backoff_secs`]); only when
+    /// [`fetch_retry_budget`](FaultPlan::fetch_retry_budget)
+    /// consecutive tries flake is the map output declared lost and the
+    /// map re-executed via the stranded-output path.
+    pub fetch_flake_prob: f64,
+    /// Consecutive flaked tries a reducer tolerates per map output
+    /// before declaring the fetch failed (≥ 1).
+    pub fetch_retry_budget: u32,
+    /// Base of the exponential backoff charged per flaked fetch try,
+    /// in simulated seconds: try `t` waits `base · 2^t · (1 + jitter)`
+    /// (jitter in `[0, 1)`, salt 15).
+    pub fetch_backoff_base_secs: f64,
+    /// Probability the JobTracker falsely declares a live attempt dead
+    /// after missed heartbeats (salt 16). The attempt keeps running as
+    /// a *zombie*: a duplicate is scheduled and granted the task's
+    /// commit fence, so the zombie's late commit is rejected
+    /// (`zombie_commits_rejected`). Like node-loss kills, fenced
+    /// attempts are KILLED, not FAILED — they never consume
+    /// [`max_attempts`](FaultPlan::max_attempts).
+    pub heartbeat_false_positive_prob: f64,
 }
 
 impl Default for FaultPlan {
@@ -174,6 +198,10 @@ impl Default for FaultPlan {
             node_blacklist_after: 3,
             dfs_corruption_prob: 0.0,
             torn_spill_prob: 0.0,
+            fetch_flake_prob: 0.0,
+            fetch_retry_budget: 4,
+            fetch_backoff_base_secs: 1.0,
+            heartbeat_false_positive_prob: 0.0,
         }
     }
 }
@@ -292,6 +320,39 @@ impl FaultPlan {
         self
     }
 
+    /// Flakes each shuffle-fetch try transiently at the given
+    /// probability — the network weather. Flaked tries charge an
+    /// exponential backoff to the simulated clock and retry; a fetch
+    /// that burns its whole retry budget escalates to stranded-output
+    /// map re-execution.
+    pub fn with_fetch_flakes(mut self, prob: f64) -> Self {
+        self.fetch_flake_prob = prob;
+        self
+    }
+
+    /// Sets the consecutive-flake budget per `(map output, reducer)`
+    /// fetch before the output is declared lost.
+    pub fn with_fetch_retry_budget(mut self, tries: u32) -> Self {
+        self.fetch_retry_budget = tries;
+        self
+    }
+
+    /// Sets the base (try 0) of the exponential fetch-retry backoff,
+    /// in simulated seconds.
+    pub fn with_fetch_backoff(mut self, base_secs: f64) -> Self {
+        self.fetch_backoff_base_secs = base_secs;
+        self
+    }
+
+    /// Falsely declares live attempts dead at the given probability —
+    /// heartbeat false positives. The runtime schedules a duplicate and
+    /// fences the zombie's late commit; the task's retry budget is
+    /// never consumed.
+    pub fn with_heartbeat_false_positives(mut self, prob: f64) -> Self {
+        self.heartbeat_false_positive_prob = prob;
+        self
+    }
+
     /// Clears all driver-crash injection, keeping task faults intact.
     /// A resumed run uses this: the crash was an incident in the
     /// previous driver process, not part of the cluster's weather.
@@ -311,6 +372,11 @@ impl FaultPlan {
             ("node_crash_prob", self.node_crash_prob),
             ("dfs_corruption_prob", self.dfs_corruption_prob),
             ("torn_spill_prob", self.torn_spill_prob),
+            ("fetch_flake_prob", self.fetch_flake_prob),
+            (
+                "heartbeat_false_positive_prob",
+                self.heartbeat_false_positive_prob,
+            ),
         ] {
             if !(0.0..1.0).contains(&p) {
                 return Err(Error::Config(format!(
@@ -355,6 +421,15 @@ impl FaultPlan {
                 "node_blacklist_after must be positive".into(),
             ));
         }
+        if self.fetch_retry_budget == 0 {
+            return Err(Error::Config("fetch_retry_budget must be positive".into()));
+        }
+        if self.fetch_backoff_base_secs < 0.0 || !self.fetch_backoff_base_secs.is_finite() {
+            return Err(Error::Config(format!(
+                "fetch_backoff_base_secs must be a finite value ≥ 0, got {}",
+                self.fetch_backoff_base_secs
+            )));
+        }
         Ok(())
     }
 
@@ -372,6 +447,8 @@ impl FaultPlan {
             || self.scheduled_node_crashes.iter().any(Option::is_some)
             || self.dfs_corruption_prob > 0.0
             || self.torn_spill_prob > 0.0
+            || self.fetch_flake_prob > 0.0
+            || self.heartbeat_false_positive_prob > 0.0
     }
 
     /// One independent uniform draw in `[0, 1)` per
@@ -591,6 +668,64 @@ impl FaultPlan {
                 attempt,
                 13,
             ) < self.torn_spill_prob
+    }
+
+    /// Whether try `try_no` of reduce task `reduce_index`'s fetch of
+    /// map `map_index`'s output flakes transiently (salt 14, with the
+    /// map index folded into the kind tag so every `(map, reduce)` pair
+    /// of a job draws independently).
+    pub fn fetch_flakes(
+        &self,
+        job: &str,
+        map_index: usize,
+        reduce_index: usize,
+        try_no: u32,
+    ) -> bool {
+        self.fetch_flake_prob > 0.0
+            && hash_u01(
+                self.seed,
+                job,
+                TaskKind::Reduce.tag() ^ (map_index as u64).wrapping_mul(0x9E37_79B9),
+                reduce_index,
+                try_no,
+                14,
+            ) < self.fetch_flake_prob
+    }
+
+    /// Backoff charged to the simulated clock after flaked try
+    /// `try_no`: exponential in the try number with a deterministic
+    /// hash jitter (salt 15), via [`crate::cost::fetch_backoff_secs`].
+    pub fn fetch_backoff_secs(
+        &self,
+        job: &str,
+        map_index: usize,
+        reduce_index: usize,
+        try_no: u32,
+    ) -> f64 {
+        let jitter = hash_u01(
+            self.seed,
+            job,
+            TaskKind::Reduce.tag() ^ (map_index as u64).wrapping_mul(0x9E37_79B9),
+            reduce_index,
+            try_no,
+            15,
+        );
+        crate::cost::fetch_backoff_secs(self.fetch_backoff_base_secs, try_no, jitter)
+    }
+
+    /// Whether the JobTracker falsely declares this live attempt dead
+    /// (salt 16). The attempt becomes a zombie — still running, already
+    /// replaced — and its eventual commit bounces off the task's
+    /// commit fence.
+    pub fn heartbeat_false_positive(
+        &self,
+        job: &str,
+        kind: TaskKind,
+        index: usize,
+        attempt: u32,
+    ) -> bool {
+        self.heartbeat_false_positive_prob > 0.0
+            && self.u01(job, kind, index, attempt, 16) < self.heartbeat_false_positive_prob
     }
 }
 
@@ -1216,6 +1351,23 @@ mod tests {
             .validate()
             .is_err());
         assert!(FaultPlan::none().with_torn_spills(1.0).validate().is_err());
+        assert!(FaultPlan::none().with_fetch_flakes(1.0).validate().is_err());
+        assert!(FaultPlan::none()
+            .with_fetch_retry_budget(0)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_fetch_backoff(-1.0)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_fetch_backoff(f64::INFINITY)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_heartbeat_false_positives(1.0)
+            .validate()
+            .is_err());
         assert!(FaultPlan::hadoop_defaults(0).validate().is_ok());
     }
 
@@ -1240,6 +1392,83 @@ mod tests {
                 != plan.torn_spill("j", TaskKind::Map, 0, 0, s + 1))
         );
         assert!(!FaultPlan::none().torn_spill("j", TaskKind::Map, 0, 0, 0));
+    }
+
+    #[test]
+    fn fetch_flake_draws_are_deterministic_and_per_pair() {
+        let plan = FaultPlan::none().with_seed(23).with_fetch_flakes(0.3);
+        assert!(plan.is_active());
+        let draws: Vec<bool> = (0..20)
+            .flat_map(|m| (0..20).map(move |p| (m, p)))
+            .map(|(m, p)| plan.fetch_flakes("gmeans", m, p, 0))
+            .collect();
+        let again: Vec<bool> = (0..20)
+            .flat_map(|m| (0..20).map(move |p| (m, p)))
+            .map(|(m, p)| plan.fetch_flakes("gmeans", m, p, 0))
+            .collect();
+        assert_eq!(draws, again);
+        let flaked = draws.iter().filter(|&&f| f).count();
+        assert!((60..180).contains(&flaked), "{flaked}/400 flaked");
+        // Successive tries of the same fetch draw independently.
+        assert!((0..64u32)
+            .any(|t| plan.fetch_flakes("j", 0, 0, t) != plan.fetch_flakes("j", 0, 0, t + 1)));
+        // So do different map outputs fetched by the same reducer.
+        assert!(
+            (0..64).any(|m| plan.fetch_flakes("j", m, 0, 0) != plan.fetch_flakes("j", m + 1, 0, 0))
+        );
+        assert!(!FaultPlan::none().fetch_flakes("j", 0, 0, 0));
+    }
+
+    #[test]
+    fn fetch_backoff_grows_exponentially_with_bounded_jitter() {
+        let plan = FaultPlan::none()
+            .with_seed(29)
+            .with_fetch_flakes(0.3)
+            .with_fetch_backoff(2.0);
+        for t in 0..6u32 {
+            let wait = plan.fetch_backoff_secs("gmeans", 3, 1, t);
+            let base = 2.0 * (1u64 << t) as f64;
+            assert!(
+                wait >= base && wait < 2.0 * base,
+                "try {t}: {wait} outside [{base}, {})",
+                2.0 * base
+            );
+            // Deterministic: the same coordinate always waits the same.
+            assert_eq!(wait, plan.fetch_backoff_secs("gmeans", 3, 1, t));
+        }
+        // Jitter decorrelates reducers hammering the same map output.
+        assert!((0..32).any(|p| {
+            plan.fetch_backoff_secs("j", 0, p, 0) != plan.fetch_backoff_secs("j", 0, p + 1, 0)
+        }));
+    }
+
+    #[test]
+    fn heartbeat_false_positive_draws_are_deterministic_and_per_attempt() {
+        let plan = FaultPlan::none()
+            .with_seed(31)
+            .with_heartbeat_false_positives(0.3);
+        assert!(plan.is_active());
+        let draws: Vec<bool> = (0..100)
+            .flat_map(|i| (0..4u32).map(move |a| (i, a)))
+            .map(|(i, a)| plan.heartbeat_false_positive("gmeans", TaskKind::Map, i, a))
+            .collect();
+        let again: Vec<bool> = (0..100)
+            .flat_map(|i| (0..4u32).map(move |a| (i, a)))
+            .map(|(i, a)| plan.heartbeat_false_positive("gmeans", TaskKind::Map, i, a))
+            .collect();
+        assert_eq!(draws, again);
+        let fenced = draws.iter().filter(|&&z| z).count();
+        assert!((60..180).contains(&fenced), "{fenced}/400 false positives");
+        // Independent of the transient draw at the same coordinate.
+        let both = FaultPlan::none()
+            .with_seed(31)
+            .with_transient_failures(0.3)
+            .with_heartbeat_false_positives(0.3);
+        assert!((0..64).any(|i| {
+            (both.decide("j", TaskKind::Map, i, 0) == FaultDecision::FailTransient)
+                != both.heartbeat_false_positive("j", TaskKind::Map, i, 0)
+        }));
+        assert!(!FaultPlan::none().heartbeat_false_positive("j", TaskKind::Map, 0, 0));
     }
 
     #[test]

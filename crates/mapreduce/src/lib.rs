@@ -25,6 +25,9 @@
 //! * [`counters`] — the measurable events §4's cost model is written in;
 //! * [`memory`] — simulated per-task heap; exceeding it fails the job
 //!   with the "Java heap space" error Figure 2 maps out;
+//! * [`chaos`] — seeded composite fault storms across every injection
+//!   dimension, and a shrinker that reduces an invariant violation to a
+//!   minimal one-line reproducible schedule;
 //! * [`checkpoint`] — a DFS-backed write-ahead run journal with
 //!   atomic rename commit, so a crashed driver resumes from its last
 //!   complete snapshot instead of recomputing the run;
@@ -93,6 +96,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod checkpoint;
 pub mod cluster;
 pub mod compress;
@@ -115,6 +119,7 @@ pub use error::{Error, Result};
 /// Convenient glob-import surface for job authors.
 pub mod prelude {
     pub use crate::cache::{CachedSplit, PointCache};
+    pub use crate::chaos::{shrink, Dimension, Storm};
     pub use crate::checkpoint::{Checkpoint, RunJournal};
     pub use crate::cluster::{ClusterConfig, OutOfCoreConfig};
     pub use crate::cost::{CostModel, JobTiming, TaskCost};
@@ -131,6 +136,7 @@ pub mod prelude {
         CapacityTimeline, JobDemand, JobTracker, QueueConfig, SchedulingPolicy, TaskDemand,
         TenantDemand, TrackerRun,
     };
+    pub use crate::shuffle::CommitFence;
     pub use crate::submit::Submission;
     pub use crate::writable::{ShuffleKey, ShuffleValue, Writable};
 }

@@ -48,7 +48,7 @@ use crate::job::{
 };
 use crate::shuffle::{
     detect_fetch_failures, encode_segment, merge_combine_to_run, merge_to_run, sort_and_combine,
-    MergeIter, Segment, ShuffleSegment,
+    CommitFence, MergeIter, Segment, ShuffleSegment,
 };
 use crate::spill::{RunWriter, SpillDir, SpillIo};
 use crate::writable::{ShuffleKey, ShuffleValue};
@@ -57,6 +57,11 @@ use crate::writable::{ShuffleKey, ShuffleValue};
 /// big enough to amortize the blocked kernel's tile sweeps, small enough
 /// that a block of precomputed assignments stays cache-resident.
 const MAP_BLOCK_POINTS: usize = 256;
+
+/// Heartbeat false positives a single task tolerates before the draws
+/// are ignored: fenced attempts never burn the retry budget, so without
+/// a cap a pathological plan could zombie-kill one task forever.
+const MAX_ZOMBIES_PER_TASK: u32 = 3;
 
 /// Result of one executed job.
 #[derive(Debug)]
@@ -524,6 +529,11 @@ impl JobRunner {
         let mut last_err: Option<Error> = None;
         let mut attempt: u32 = 0;
         let mut failures: u32 = 0;
+        // The task's commit fence: every replacement the JobTracker
+        // schedules is granted the token, so whichever attempt holds it
+        // at commit time is the one whose output becomes visible.
+        let fence = CommitFence::new();
+        let mut zombies: u32 = 0;
         while failures < max {
             let mut forced_spill = false;
             counters.inc(Counter::AttemptsLaunched);
@@ -542,6 +552,7 @@ impl JobRunner {
                         plan.failed_attempt_progress(job_name, kind, index, attempt),
                         0.0,
                     ));
+                    fence.grant(attempt + 1);
                     last_err = None;
                     attempt += 1;
                     failures += 1;
@@ -566,6 +577,7 @@ impl JobRunner {
                         attempted: self.cluster.heap_per_task.saturating_add(1),
                         limit: self.cluster.heap_per_task,
                     });
+                    fence.grant(attempt + 1);
                     attempt += 1;
                     failures += 1;
                     continue;
@@ -596,6 +608,33 @@ impl JobRunner {
                     plan.failed_attempt_progress(job_name, kind, index, attempt),
                     model.heartbeat_timeout_secs,
                 ));
+                fence.grant(attempt + 1);
+                last_err = None;
+                attempt += 1;
+                continue;
+            }
+            // A heartbeat false positive declares a *live* attempt dead:
+            // the JobTracker schedules a duplicate and re-grants the
+            // task's commit fence to it while the original keeps running
+            // as a zombie. The zombie finishes its (deterministic,
+            // bit-identical) work and tries to commit — the fence
+            // rejects it, so exactly one attempt's output is ever
+            // visible. Like a node-loss kill this is KILLED, not FAILED:
+            // the task did nothing wrong and its retry budget is
+            // untouched.
+            if zombies < MAX_ZOMBIES_PER_TASK
+                && plan.heartbeat_false_positive(job_name, kind, index, attempt)
+            {
+                zombies += 1;
+                counters.inc(Counter::AttemptsFenced);
+                fence.grant(attempt + 1);
+                if !fence.try_commit(attempt) {
+                    counters.inc(Counter::ZombieCommitsRejected);
+                }
+                // The zombie held its slot for the full task (progress
+                // 1.0) and the duplicate only started once the missed
+                // heartbeats were (falsely) confirmed dead.
+                pending_progress.push((1.0, model.heartbeat_timeout_secs));
                 last_err = None;
                 attempt += 1;
                 continue;
@@ -603,6 +642,19 @@ impl JobRunner {
             let attempt_counters = Arc::new(Counters::new());
             match body(attempt, forced_spill, &attempt_counters) {
                 Ok((out, cost)) => {
+                    // The winner publishes through the fence. Every kill
+                    // path above re-granted the token to its successor,
+                    // so the attempt that reaches here always holds it —
+                    // but the fence, not the control flow, is the
+                    // authority on visibility.
+                    if !fence.try_commit(attempt) {
+                        counters.inc(Counter::AttemptsFenced);
+                        counters.inc(Counter::ZombieCommitsRejected);
+                        pending_progress.push((1.0, model.heartbeat_timeout_secs));
+                        last_err = None;
+                        attempt += 1;
+                        continue;
+                    }
                     counters.merge(&attempt_counters);
                     // Locality is charged for the winning attempt only:
                     // that is the copy of the work whose input actually
@@ -639,6 +691,7 @@ impl JobRunner {
                     // How far a genuine failure got is unknowable here;
                     // charge its setup so the slot time is not free.
                     failed.push(model.task_setup_secs);
+                    fence.grant(attempt + 1);
                     last_err = Some(e);
                     attempt += 1;
                     failures += 1;
@@ -769,6 +822,97 @@ impl JobRunner {
         Ok(durations)
     }
 
+    /// Applies the plan's network weather to the shuffle: every
+    /// `(map output, reduce task)` fetch draws per-try flake decisions
+    /// (salt 14). Each flaked try charges one `fetch_retries` and an
+    /// exponential-backoff wait (salt-15 jitter) that is added to the
+    /// fetching reducer's simulated duration — so the wave scheduler,
+    /// and any multi-tenant arbitration consuming the resulting
+    /// [`JobTiming`], see the retry delays. A fetch that burns its
+    /// whole retry budget declares the map output lost and escalates to
+    /// the stranded-output re-execution path, with the same accounting
+    /// as a crashed output holder.
+    ///
+    /// Pure plan arithmetic plus deterministic re-execution, evaluated
+    /// single-threaded in the driver: answers and logical counters stay
+    /// bit-identical; only the simulated clock and the fault counters
+    /// move. Returns the re-execution durations (packed as an extra map
+    /// wave) and the per-reduce-partition backoff delays.
+    fn apply_network_weather(
+        &self,
+        nodes: &NodeView,
+        site: &JobSite<'_>,
+        counters: &Arc<Counters>,
+        map_outputs: &mut [MapTaskOut],
+        mut rerun: impl FnMut(usize, &Arc<Counters>) -> Result<(Vec<ShuffleSegment>, TaskCost)>,
+    ) -> Result<(Vec<f64>, Vec<f64>)> {
+        let plan = &self.cluster.faults;
+        let mut delays = vec![0.0f64; site.num_reduce_tasks];
+        if plan.fetch_flake_prob <= 0.0 || map_outputs.is_empty() {
+            return Ok((Vec::new(), delays));
+        }
+        let model = &self.cluster.cost_model;
+        let budget = plan.fetch_retry_budget.max(1);
+        let mut retries: u64 = 0;
+        let mut backoff_total = 0.0f64;
+        let mut exhausted: Vec<usize> = Vec::new();
+        for m in 0..map_outputs.len() {
+            let mut burned = false;
+            for (p, delay) in delays.iter_mut().enumerate() {
+                let mut try_no = 0u32;
+                while try_no < budget && plan.fetch_flakes(site.name, m, p, try_no) {
+                    retries += 1;
+                    let wait = plan.fetch_backoff_secs(site.name, m, p, try_no);
+                    *delay += wait;
+                    backoff_total += wait;
+                    try_no += 1;
+                }
+                if try_no >= budget {
+                    burned = true;
+                }
+            }
+            if burned {
+                exhausted.push(m);
+            }
+        }
+        counters.add(Counter::FetchRetries, retries);
+        counters.add(Counter::FetchBackoffSecs, backoff_total.round() as u64);
+        if exhausted.is_empty() {
+            return Ok((Vec::new(), delays));
+        }
+        // Budget burned: the JobTracker treats these outputs exactly
+        // like outputs stranded on a crashed node — charged as fetch
+        // failures and re-executed on the survivor domain. No heartbeat
+        // latency here: the burned backoff above *is* the detection
+        // time, already charged to the reducers.
+        counters.add(Counter::MapOutputsLost, exhausted.len() as u64);
+        counters.add(
+            Counter::ShuffleFetchFailures,
+            (exhausted.len() * site.num_reduce_tasks) as u64,
+        );
+        let mut durations = Vec::with_capacity(exhausted.len());
+        for i in exhausted {
+            counters.inc(Counter::MapsReexecuted);
+            counters.inc(Counter::AttemptsLaunched);
+            let prefer = site.replicas.get(i).map(Vec::as_slice).unwrap_or(&[]);
+            let (node, node_local) =
+                plan.place_reexecuted_map(&nodes.survivors, prefer, site.name, i);
+            if !prefer.is_empty() {
+                counters.inc(if node_local {
+                    Counter::MapsNodeLocal
+                } else {
+                    Counter::MapsRemote
+                });
+            }
+            let scratch = Arc::new(Counters::new());
+            let (segments, cost) = rerun(i, &scratch)?;
+            map_outputs[i].segments = segments;
+            map_outputs[i].timing.node = node;
+            durations.push(cost.duration(model));
+        }
+        Ok((durations, delays))
+    }
+
     /// Computes the job's timing on the cluster's *live* capacity, then
     /// appends the lost-map re-execution wave: those maps run after the
     /// fetch failures surface, on the survivors' map slots, extending
@@ -825,23 +969,29 @@ impl JobRunner {
         // Maps whose winning attempt finished on a node that then
         // crashed left their output on a dead disk; reducers notice at
         // fetch time and the maps are re-executed on survivors.
-        let reruns = self.reexecute_lost_maps(
-            &nodes,
-            &JobSite {
-                name: job.name(),
-                num_reduce_tasks: config.num_reduce_tasks,
-                replicas: &replicas,
-            },
-            &counters,
-            &mut map_outputs,
-            |i, c| self.run_map_task(job, i, &splits[i], config, 0, false, c),
-        )?;
+        let site = JobSite {
+            name: job.name(),
+            num_reduce_tasks: config.num_reduce_tasks,
+            replicas: &replicas,
+        };
+        let mut reruns =
+            self.reexecute_lost_maps(&nodes, &site, &counters, &mut map_outputs, |i, c| {
+                self.run_map_task(job, i, &splits[i], config, 0, false, c)
+            })?;
+        // Network weather: flaked fetches back off (delaying reducers)
+        // and, once a retry budget burns, escalate to the same
+        // re-execution path.
+        let (weather_reruns, fetch_delays) =
+            self.apply_network_weather(&nodes, &site, &counters, &mut map_outputs, |i, c| {
+                self.run_map_task(job, i, &splits[i], config, 0, false, c)
+            })?;
+        reruns.extend(weather_reruns);
 
         let (map_durations, partitioned) = self.collect_map_outputs(map_outputs, config, &counters);
 
         // ---------------- reduce phase ----------------
         let (outputs, reduce_durations) =
-            self.run_reduce_phase(job, &nodes, partitioned, &counters)?;
+            self.run_reduce_phase(job, &nodes, partitioned, &fetch_delays, &counters)?;
 
         let timing = self.compute_timing(
             &nodes,
@@ -899,20 +1049,23 @@ impl JobRunner {
 
         let mut map_outputs =
             self.run_cached_map_phase(job, &nodes, splits, &replicas, config, &counters)?;
-        let reruns = self.reexecute_lost_maps(
-            &nodes,
-            &JobSite {
-                name: job.name(),
-                num_reduce_tasks: config.num_reduce_tasks,
-                replicas: &replicas,
-            },
-            &counters,
-            &mut map_outputs,
-            |i, c| self.run_cached_map_task(job, i, &splits[i], config, 0, false, c),
-        )?;
+        let site = JobSite {
+            name: job.name(),
+            num_reduce_tasks: config.num_reduce_tasks,
+            replicas: &replicas,
+        };
+        let mut reruns =
+            self.reexecute_lost_maps(&nodes, &site, &counters, &mut map_outputs, |i, c| {
+                self.run_cached_map_task(job, i, &splits[i], config, 0, false, c)
+            })?;
+        let (weather_reruns, fetch_delays) =
+            self.apply_network_weather(&nodes, &site, &counters, &mut map_outputs, |i, c| {
+                self.run_cached_map_task(job, i, &splits[i], config, 0, false, c)
+            })?;
+        reruns.extend(weather_reruns);
         let (map_durations, partitioned) = self.collect_map_outputs(map_outputs, config, &counters);
         let (outputs, reduce_durations) =
-            self.run_reduce_phase(job, &nodes, partitioned, &counters)?;
+            self.run_reduce_phase(job, &nodes, partitioned, &fetch_delays, &counters)?;
 
         let timing = self.compute_timing(
             &nodes,
@@ -1356,6 +1509,7 @@ impl JobRunner {
         job: &J,
         nodes: &NodeView,
         partitioned: Vec<Vec<ShuffleSegment>>,
+        fetch_delays: &[f64],
         counters: &Arc<Counters>,
     ) -> Result<(Vec<J::Output>, Vec<f64>)> {
         let n = partitioned.len();
@@ -1393,17 +1547,33 @@ impl JobRunner {
                             prefer: &[],
                         },
                         counters,
-                        |attempt, _forced, c| {
-                            // Retries re-read the shuffled segments; keep a
-                            // copy only while another attempt may follow.
-                            let segments = if attempt + 1 >= max_attempts {
-                                store.take().expect("segments present for final attempt")
+                        |_attempt, _forced, c| {
+                            // Retries re-read the shuffled segments; keep
+                            // a copy while another attempt may follow.
+                            // Kills (node loss, fencing) advance the
+                            // attempt number without consuming the
+                            // failure budget, so only a budget of one —
+                            // where a single genuine failure ends the
+                            // task — proves this body runs once.
+                            let segments = if max_attempts == 1 {
+                                store.take().expect("segments present for sole attempt")
                             } else {
                                 store.clone().expect("segments present")
                             };
                             self.run_reduce_task(job, p, segments, c)
                         },
                     );
+                    // Backoff waits for flaked fetches delay this
+                    // reducer before any attempt can run, whatever node
+                    // it lands on: charge the wait to both the effective
+                    // and the healthy-node duration, so speculation
+                    // never "rescues" a network delay.
+                    let r = r.map(|(out, mut timing)| {
+                        let wait = fetch_delays.get(p).copied().unwrap_or(0.0);
+                        timing.duration += wait;
+                        timing.base += wait;
+                        (out, timing)
+                    });
                     if r.is_err() {
                         failed.store(true, Ordering::Relaxed);
                     }

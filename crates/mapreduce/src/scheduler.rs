@@ -1460,6 +1460,69 @@ mod tests {
     }
 
     #[test]
+    fn backoff_inflated_reduce_demands_shift_arbitration() {
+        // Network weather charges fetch backoff into the executed
+        // job's `reduce_durations` (runtime::apply_network_weather),
+        // and `JobDemand::from_timing` copies those into the demand —
+        // so a tenant whose reduces sat out retry backoff must occupy
+        // its reduce slots longer under arbitration than a calm clone
+        // of itself. Model one flaky tenant whose every reduce waited
+        // out two retries of exponential backoff.
+        let mut t = tracker(SchedulingPolicy::FairShare);
+        t.add_queue(QueueConfig::new("calm")).unwrap();
+        t.add_queue(QueueConfig::new("flaky")).unwrap();
+
+        let wait: f64 = (0..2)
+            .map(|try_no| crate::cost::fetch_backoff_secs(1.0, try_no, 0.5))
+            .sum();
+        assert!(wait > 0.0);
+        let mut inflated = job(8, 4);
+        for d in &mut inflated.reduces {
+            *d += wait;
+        }
+
+        let calm_run = t
+            .arbitrate(&[
+                tenant("calm", 0.0, vec![job(8, 4)]),
+                tenant("flaky", 0.0, vec![job(8, 4)]),
+            ])
+            .unwrap();
+        let stormy_run = t
+            .arbitrate(&[
+                tenant("calm", 0.0, vec![job(8, 4)]),
+                tenant("flaky", 0.0, vec![inflated]),
+            ])
+            .unwrap();
+
+        // The backoff is real occupancy: the flaky tenant stretches the
+        // cluster makespan by at least its per-reduce wait.
+        assert!(
+            stormy_run.makespan >= calm_run.makespan + wait,
+            "backoff did not reach arbitration: {} vs {}",
+            stormy_run.makespan,
+            calm_run.makespan
+        );
+        // And the shift is deterministic, like everything else here.
+        let again = t
+            .arbitrate(&[
+                tenant("calm", 0.0, vec![job(8, 4)]),
+                tenant(
+                    "flaky",
+                    0.0,
+                    vec![{
+                        let mut j = job(8, 4);
+                        for d in &mut j.reduces {
+                            *d += wait;
+                        }
+                        j
+                    }],
+                ),
+            ])
+            .unwrap();
+        assert_eq!(stormy_run.makespan.to_bits(), again.makespan.to_bits());
+    }
+
+    #[test]
     fn free_local_slots_mean_no_remote_maps() {
         let mut t = tracker(SchedulingPolicy::FairShare);
         t.add_queue(QueueConfig::new("a")).unwrap();

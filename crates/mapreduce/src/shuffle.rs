@@ -17,6 +17,7 @@
 
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU32, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 use crate::cluster::OutOfCoreConfig;
@@ -413,6 +414,68 @@ pub fn detect_fetch_failures(
     lost
 }
 
+/// Bit marking a [`CommitFence`] token as spent by a successful commit.
+const FENCE_COMMITTED: u32 = 1 << 31;
+
+/// Per-task commit fence: the exactly-one-visible-output guarantee.
+///
+/// The JobTracker grants the fencing token to the one attempt it
+/// currently believes alive; publishing output — registering shuffle
+/// segments, making a DFS file visible ([`crate::dfs::Dfs::publish_fenced`]) —
+/// requires holding the token at commit time, and the first successful
+/// commit retires the fence. A *zombie* attempt (falsely declared dead
+/// by a heartbeat false positive and already replaced by a duplicate)
+/// finds the token re-granted to its successor, so its commit is
+/// rejected however late it lands. Plain Hadoop/HDFS output-committer
+/// fencing, reduced to one atomic.
+#[derive(Debug, Default)]
+pub struct CommitFence {
+    /// Attempt currently holding the token, OR-ed with
+    /// [`FENCE_COMMITTED`] once an attempt has committed.
+    token: AtomicU32,
+}
+
+impl CommitFence {
+    /// A fresh fence granting the token to attempt 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-grants the token to `attempt` — the JobTracker scheduled a
+    /// replacement for a (presumed) dead attempt. A no-op once some
+    /// attempt has committed: a finished task cannot be re-opened.
+    pub fn grant(&self, attempt: u32) {
+        let _ = self
+            .token
+            .fetch_update(AtomicOrdering::SeqCst, AtomicOrdering::SeqCst, |t| {
+                (t & FENCE_COMMITTED == 0).then_some(attempt)
+            });
+    }
+
+    /// The attempt currently holding the token.
+    pub fn holder(&self) -> u32 {
+        self.token.load(AtomicOrdering::SeqCst) & !FENCE_COMMITTED
+    }
+
+    /// Whether some attempt has already committed.
+    pub fn committed(&self) -> bool {
+        self.token.load(AtomicOrdering::SeqCst) & FENCE_COMMITTED != 0
+    }
+
+    /// Atomically commits `attempt`'s output: succeeds iff `attempt`
+    /// still holds the token and nobody has committed yet.
+    pub fn try_commit(&self, attempt: u32) -> bool {
+        self.token
+            .compare_exchange(
+                attempt,
+                attempt | FENCE_COMMITTED,
+                AtomicOrdering::SeqCst,
+                AtomicOrdering::SeqCst,
+            )
+            .is_ok()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -669,6 +732,44 @@ mod tests {
         let lost = detect_fetch_failures(&[0, 1, 2, 3], &[], 4, &counters);
         assert!(lost.is_empty());
         assert_eq!(counters.get(Counter::ShuffleFetchFailures), 0);
+    }
+
+    #[test]
+    fn fence_commits_exactly_once() {
+        let fence = CommitFence::new();
+        assert_eq!(fence.holder(), 0);
+        assert!(!fence.committed());
+        assert!(fence.try_commit(0));
+        assert!(fence.committed());
+        // Nobody commits twice — not even the winner.
+        assert!(!fence.try_commit(0));
+        assert!(!fence.try_commit(1));
+    }
+
+    #[test]
+    fn fence_rejects_a_zombie_commit_after_regrant() {
+        let fence = CommitFence::new();
+        // The JobTracker declares attempt 0 dead and grants attempt 1.
+        fence.grant(1);
+        assert_eq!(fence.holder(), 1);
+        // Attempt 0 — a zombie, still running — commits late: rejected.
+        assert!(!fence.try_commit(0));
+        assert!(!fence.committed());
+        // The replacement commits normally.
+        assert!(fence.try_commit(1));
+        assert!(fence.committed());
+        // A still-later zombie echo stays rejected.
+        assert!(!fence.try_commit(0));
+    }
+
+    #[test]
+    fn fence_grant_after_commit_is_a_no_op() {
+        let fence = CommitFence::new();
+        assert!(fence.try_commit(0));
+        fence.grant(7);
+        assert!(fence.committed(), "a finished task cannot be re-opened");
+        assert_eq!(fence.holder(), 0);
+        assert!(!fence.try_commit(7));
     }
 
     /// Spills a sorted pair list to a disk run.

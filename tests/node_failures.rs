@@ -23,7 +23,7 @@ use std::sync::Arc;
 use gmeans::prelude::*;
 use gmr_datagen::GaussianMixture;
 use gmr_mapreduce::counters::Counter;
-use gmr_mapreduce::prelude::{ClusterConfig, Dfs, FaultPlan, JobRunner, TaskKind};
+use gmr_mapreduce::prelude::{ClusterConfig, Dfs, FaultPlan, JobRunner, MembershipPlan, TaskKind};
 use gmr_mapreduce::Error;
 
 const DATA: &str = "points.txt";
@@ -342,6 +342,74 @@ fn blacklisting_caps_repeat_offenders_and_shrinks_capacity() {
         blacklisted_before >= 1,
         "a 50% crash rate never blacklisted a node in 64 epochs"
     );
+}
+
+#[test]
+fn killed_fenced_and_revoked_attempts_never_consume_the_retry_budget() {
+    // Kill-path audit: Hadoop's KILLED/FAILED taxonomy says an attempt
+    // that died through no fault of its own — its node crashed, its
+    // spot instance was revoked, or a heartbeat false positive fenced
+    // it — must not burn the task's `max_attempts` budget. Run with a
+    // budget of ONE, so a single mischarged kill on any path would fail
+    // the whole run, under a storm that exercises all three paths at
+    // once. The storm is tuned so the cluster survives every epoch:
+    // harsher rates (e.g. 25% crashes on 4 nodes plus revocation
+    // sweeps) can kill every live node in one epoch, and the driver
+    // then *correctly* degrades to its last completed centers — that
+    // is surfaced degradation, not a fencing bug.
+    let faults = FaultPlan::none()
+        .with_seed(0x40D1E)
+        .with_node_crashes(0.08)
+        .with_heartbeat_false_positives(0.25)
+        .with_max_attempts(1);
+    let membership = MembershipPlan::none()
+        .with_seed(0x40D1E)
+        .with_revocation_sweeps(3, 0.15);
+    let faulty = MRKMeans::new(
+        runner_with(
+            ClusterConfig::with_nodes(8)
+                .with_faults(faults)
+                .with_membership(membership),
+        ),
+        3,
+        6,
+        5,
+    )
+    .run(DATA)
+    .unwrap();
+    assert!(
+        faulty.failure.is_none(),
+        "the tuned storm should not degrade the run: {:?}",
+        faulty.failure
+    );
+
+    let c = &faulty.counters;
+    assert!(
+        c.get(Counter::AttemptsKilled) > 0,
+        "the storm never crash-killed an attempt"
+    );
+    assert!(
+        c.get(Counter::AttemptsFenced) > 0,
+        "the storm never fenced a zombie attempt"
+    );
+    assert!(
+        c.get(Counter::NodesRevoked) > 0,
+        "the storm never revoked a node"
+    );
+    assert_eq!(
+        c.get(Counter::AttemptsFailed),
+        0,
+        "a kill path charged the max_attempts budget"
+    );
+    // And the kills were free of answer drift.
+    let clean = MRKMeans::new(runner_with(ClusterConfig::default()), 3, 6, 5)
+        .run(DATA)
+        .unwrap();
+    assert_eq!(
+        hash_rows(clean.centers.rows()),
+        hash_rows(faulty.centers.rows())
+    );
+    assert_eq!(clean.counts, faulty.counts);
 }
 
 #[test]
